@@ -1,0 +1,119 @@
+// Ablation ABL2 — partial epoch maps + backward search (the paper's design)
+// versus writing a full code map at every epoch boundary.
+//
+// Trade-off: partial maps cost O(churn) to write but may force the offline
+// resolver to walk several maps backwards; full maps cost O(all live code)
+// per epoch but always resolve in the sample's own map. The paper picks
+// partial maps because map writing happens *online* (it is benchmark
+// slowdown) while the search happens *offline* in post-processing.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "support/format.hpp"
+#include "workloads/dacapo.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace viprof;
+
+struct ArmOutcome {
+  double slowdown = 0.0;
+  std::uint64_t maps = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t map_bytes = 0;
+  double avg_search_depth = 0.0;
+  std::uint64_t jit_samples = 0;
+};
+
+ArmOutcome run_arm(const workloads::Workload& w, bool full_maps) {
+  os::MachineConfig mcfg;
+  mcfg.seed = 0xab12;
+  os::Machine machine(mcfg);
+
+  // Base run for the slowdown denominator.
+  hw::Cycles base_cycles = 0;
+  {
+    os::Machine base_machine(mcfg);
+    jvm::Vm base_vm(base_machine, w.vm);
+    core::SessionConfig config;
+    config.mode = core::ProfilingMode::kBase;
+    core::ProfilingSession session(base_machine, base_vm, config);
+    session.attach();
+    base_vm.setup(w.program);
+    base_cycles = session.run().cycles;
+  }
+
+  jvm::Vm vm(machine, w.vm);
+  core::SessionConfig config;
+  config.mode = core::ProfilingMode::kViprof;
+  config.agent.write_full_maps = full_maps;
+  core::ProfilingSession session(machine, vm, config);
+  session.attach();
+  vm.setup(w.program);
+  const core::SessionResult result = session.run();
+
+  ArmOutcome out;
+  out.slowdown = static_cast<double>(result.cycles) / static_cast<double>(base_cycles);
+  out.maps = result.agent.maps_written;
+  out.entries = result.agent.map_entries_written;
+  for (const std::string& path : machine.vfs().list(config.agent.map_dir)) {
+    out.map_bytes += machine.vfs().read(path)->size();
+  }
+
+  // Offline resolution pass: measure backward-search depth over the real
+  // sample log.
+  core::Resolver& resolver = session.resolver();
+  std::uint64_t depth_sum = 0;
+  for (const core::LoggedSample& s : core::SampleLogReader::read(
+           machine.vfs(), session.daemon()->sample_dir(),
+           hw::EventKind::kGlobalPowerEvents)) {
+    const core::Resolution res = resolver.resolve(s);
+    if (res.domain == core::SampleDomain::kJit && res.maps_searched > 0) {
+      ++out.jit_samples;
+      depth_sum += res.maps_searched;
+    }
+  }
+  out.avg_search_depth =
+      out.jit_samples ? static_cast<double>(depth_sum) / out.jit_samples : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ABL2: partial epoch maps + backward search vs full maps ===\n\n");
+
+  support::TextTable table({"workload", "mode", "maps", "entries", "map KB",
+                            "slowdown", "avg search depth"});
+
+  std::vector<workloads::Workload> workloads_list;
+  workloads_list.push_back(workloads::make_dacapo("antlr"));
+  {
+    workloads::GeneratorOptions opt;
+    opt.name = "churny";
+    opt.seed = 9;
+    opt.methods = 600;
+    opt.zipf = 0.6;
+    opt.total_app_ops = 30'000'000;
+    opt.alloc_intensity = 0.8;
+    opt.nursery_bytes = 512 * 1024;
+    opt.mature_age = 10;
+    workloads_list.push_back(workloads::make_synthetic(opt));
+  }
+
+  for (const workloads::Workload& w : workloads_list) {
+    for (const bool full : {false, true}) {
+      const ArmOutcome r = run_arm(w, full);
+      table.add_row({w.name, full ? "full maps" : "partial (paper)",
+                     std::to_string(r.maps), std::to_string(r.entries),
+                     std::to_string(r.map_bytes / 1024),
+                     support::fixed(r.slowdown, 4),
+                     support::fixed(r.avg_search_depth, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Partial maps trade a deeper *offline* search for less *online*\n");
+  std::printf("writing — the right side of the trade for a runtime profiler.\n");
+  return 0;
+}

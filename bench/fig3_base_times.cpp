@@ -1,0 +1,41 @@
+// Figure 3 reproduction: base execution time (seconds) for the evaluated
+// benchmarks, no profiling or VM agents running.
+//
+// Paper values: pseudojbb 31, JVM98 (average) 5.74, antlr 8.7, bloat 28.5,
+// fop 3.2, hsqldb 43, pmd 16.3, xalan 22.2 (ps is not listed; our model
+// assumes 12 s — see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "support/format.hpp"
+
+int main() {
+  using namespace viprof;
+
+  std::printf("=== Figure 3: base execution time in seconds ===\n");
+  std::printf("(virtual seconds at the workload calibration constant; paper\n");
+  std::printf(" values from Fig. 3 for comparison)\n\n");
+
+  support::TextTable table({"Benchmark", "Measured (s)", "Paper (s)", "Ratio"});
+  double measured_sum = 0.0;
+  double paper_sum = 0.0;
+  int paper_rows = 0;
+  for (const workloads::Workload& w : workloads::figure2_suite()) {
+    const double secs = bench::measure_seconds(w, bench::Arm::kBase, 0);
+    measured_sum += secs;
+    std::string paper = "n/a";
+    std::string ratio = "n/a";
+    if (w.paper_base_seconds > 0.0) {
+      paper = support::fixed(w.paper_base_seconds, 2);
+      ratio = support::fixed(secs / w.paper_base_seconds, 3);
+      paper_sum += w.paper_base_seconds;
+      ++paper_rows;
+    }
+    table.add_row({w.name, support::fixed(secs, 2), paper, ratio});
+    std::fflush(stdout);
+  }
+  table.add_row({"Average", support::fixed(measured_sum / 9.0, 2),
+                 support::fixed(paper_sum / paper_rows, 2), ""});
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Shared measurement harness for the paper-figure benches.
+//
+// Reproduces the paper's methodology (Section 4.1): each configuration is
+// run 10 times, the fastest and slowest runs are discarded, and the
+// remaining 8 are averaged. Per-run measurement noise and per-configuration
+// alignment bias (code layout differences between profiled and unprofiled
+// builds — the standard explanation for the paper's occasional apparent
+// speedups) are modelled as small seeded multiplicative factors, documented
+// in EXPERIMENTS.md.
+//
+// Set VIPROF_QUICK=1 in the environment to use 4 runs instead of 10.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/viprof.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "vertical/vertical_profiler.hpp"
+#include "workloads/common.hpp"
+
+namespace viprof::bench {
+
+enum class Arm : std::uint8_t {
+  kBase,
+  kOprofile,  // stock OProfile at `period`
+  kViprof,    // VIProf at `period`
+  kVertical,  // Vertical Profiling comparator (instrumentation, no sampling)
+};
+
+inline const char* to_string(Arm arm) {
+  switch (arm) {
+    case Arm::kBase:     return "base";
+    case Arm::kOprofile: return "oprofile";
+    case Arm::kViprof:   return "viprof";
+    case Arm::kVertical: return "vertical";
+  }
+  return "?";
+}
+
+struct RunOutcome {
+  hw::Cycles cycles = 0;
+  core::SessionResult session;
+};
+
+inline std::uint64_t mix_seed(const std::string& name, Arm arm, std::uint64_t period,
+                              std::uint64_t run) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto fold = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (char c : name) fold(static_cast<std::uint64_t>(c));
+  fold(static_cast<std::uint64_t>(arm));
+  fold(period);
+  fold(run);
+  return h;
+}
+
+/// Executes one run of `workload` under `arm` and returns measured cycles.
+inline RunOutcome run_once(const workloads::Workload& workload, Arm arm,
+                           std::uint64_t period, std::uint64_t run_index) {
+  os::MachineConfig mcfg;
+  mcfg.seed = mix_seed(workload.name, arm, period, run_index);
+  os::Machine machine(mcfg);
+
+  jvm::VmConfig vm_config = workload.vm;
+  vm_config.seed ^= run_index * 0x9e3779b9ULL;  // run-to-run variation
+  jvm::Vm vm(machine, vm_config);
+
+  core::SessionConfig scfg;
+  switch (arm) {
+    case Arm::kBase:
+    case Arm::kVertical:
+      scfg.mode = core::ProfilingMode::kBase;
+      break;
+    case Arm::kOprofile:
+      scfg.mode = core::ProfilingMode::kOprofile;
+      break;
+    case Arm::kViprof:
+      scfg.mode = core::ProfilingMode::kViprof;
+      break;
+  }
+  if (period > 0) {
+    scfg.counters = {
+        {hw::EventKind::kGlobalPowerEvents, period, true},
+        // The paper samples L2 misses alongside time in all profiled runs;
+        // the miss period scales with the cycle period to keep both columns
+        // similarly populated.
+        {hw::EventKind::kBsqCacheReference, std::max<std::uint64_t>(period / 64, 200),
+         true},
+    };
+  }
+
+  core::ProfilingSession session(machine, vm, scfg);
+  session.attach();
+
+  vertical::VerticalProfiler vertical_profiler(machine);
+  if (arm == Arm::kVertical) vm.add_listener(&vertical_profiler);
+
+  vm.setup(workload.program);
+  RunOutcome outcome;
+  outcome.session = session.run();
+  outcome.cycles = outcome.session.cycles;
+  return outcome;
+}
+
+inline int runs_per_config() {
+  const char* quick = std::getenv("VIPROF_QUICK");
+  return (quick != nullptr && quick[0] == '1') ? 4 : 10;
+}
+
+/// Measured seconds for one (workload, arm, period): paper methodology plus
+/// the modelled noise/alignment factors.
+inline double measure_seconds(const workloads::Workload& workload, Arm arm,
+                              std::uint64_t period) {
+  const int runs = runs_per_config();
+  // Alignment bias: fixed per configuration, ~N(0, 0.8%).
+  support::Xoshiro256 align_rng(mix_seed(workload.name, arm, period, 0xa119));
+  const double alignment = arm == Arm::kBase ? 0.0 : align_rng.normal(0.0, 0.008);
+
+  std::vector<double> seconds;
+  seconds.reserve(runs);
+  for (int run = 0; run < runs; ++run) {
+    const RunOutcome outcome = run_once(workload, arm, period, run);
+    support::Xoshiro256 noise_rng(mix_seed(workload.name, arm, period, 1000 + run));
+    const double noise = noise_rng.normal(0.0, 0.003);
+    const double secs = static_cast<double>(outcome.cycles) /
+                        workloads::kCyclesPerSecond * (1.0 + alignment + noise);
+    seconds.push_back(secs);
+  }
+  return support::trimmed_mean_drop_extremes(std::move(seconds));
+}
+
+}  // namespace viprof::bench

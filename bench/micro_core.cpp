@@ -1,0 +1,112 @@
+// ABL3 microbenchmarks (host-time, google-benchmark): the data structures
+// on VIProf's hot paths — the NMI-side ring buffer, the per-sample
+// classification structures, and the cache model that drives event
+// generation. These bound how much *host* time the simulator spends per
+// simulated sample, and document the costs the cycle model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "core/sample_buffer.hpp"
+#include "hw/access_pattern.hpp"
+#include "hw/cache.hpp"
+#include "hw/perf_counter.hpp"
+#include "os/address_space.hpp"
+#include "os/symbol_table.hpp"
+
+namespace {
+
+using namespace viprof;
+
+void BM_SampleBufferPushPop(benchmark::State& state) {
+  core::SampleBuffer buffer(1 << 14);
+  core::Sample s;
+  s.pc = 0x1234;
+  for (auto _ : state) {
+    buffer.push(s);
+    benchmark::DoNotOptimize(buffer.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleBufferPushPop);
+
+void BM_SampleBufferPushFull(benchmark::State& state) {
+  core::SampleBuffer buffer(64);
+  core::Sample s;
+  while (buffer.push(s)) {
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.push(s));  // always drops
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleBufferPushFull);
+
+void BM_PerfCounterAdd(benchmark::State& state) {
+  hw::PerfCounterUnit unit;
+  unit.configure({{hw::EventKind::kGlobalPowerEvents, 90'000, true},
+                  {hw::EventKind::kBsqCacheReference, 1'000, true}});
+  std::vector<hw::Overflow> out;
+  for (auto _ : state) {
+    out.clear();
+    unit.add(hw::EventKind::kGlobalPowerEvents, 5'000, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PerfCounterAdd);
+
+void BM_CacheAccess(benchmark::State& state) {
+  hw::CacheModel cache;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr += 64;
+    if (addr > (1u << state.range(0))) addr = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(21)->Arg(26);  // L1-fit, L2-fit, beyond
+
+void BM_AccessSamplerChunk(benchmark::State& state) {
+  hw::AccessSampler sampler(7);
+  hw::CacheModel cache;
+  hw::AccessPattern p;
+  p.working_set = 256 * 1024;
+  p.random_frac = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(p, 4'000, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * 4'000);  // simulated ops/sec
+}
+BENCHMARK(BM_AccessSamplerChunk);
+
+void BM_SymbolTableFind(benchmark::State& state) {
+  os::SymbolTable table;
+  const std::int64_t count = state.range(0);
+  for (std::int64_t i = 0; i < count; ++i)
+    table.add("sym" + std::to_string(i), static_cast<std::uint64_t>(i) * 256, 256);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(offset));
+    offset = (offset + 7919) % (static_cast<std::uint64_t>(count) * 256);
+  }
+}
+BENCHMARK(BM_SymbolTableFind)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AddressSpaceFind(benchmark::State& state) {
+  os::AddressSpace space;
+  const std::int64_t count = state.range(0);
+  for (std::int64_t i = 0; i < count; ++i)
+    space.map(0x1000'0000 + static_cast<std::uint64_t>(i) * 0x10'0000, 0x8'0000,
+              static_cast<os::ImageId>(i));
+  std::uint64_t pc = 0x1000'0000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.find(pc));
+    pc += 0x30'0001;
+    if (pc > 0x1000'0000 + static_cast<std::uint64_t>(count) * 0x10'0000)
+      pc = 0x1000'0000;
+  }
+}
+BENCHMARK(BM_AddressSpaceFind)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

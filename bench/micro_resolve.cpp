@@ -1,0 +1,99 @@
+// ABL4 microbenchmarks: offline resolution throughput — epoch code-map
+// backward search as a function of map count and churn, and RVM.map
+// parsing. These are the post-processing costs the paper deliberately
+// accepts to keep the online path cheap.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/code_map.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace viprof;
+
+// Builds an index with `epochs` maps of `entries_per_epoch` bodies each;
+// address ranges rotate so lookups exercise varying search depths.
+core::CodeMapIndex build_index(std::uint64_t epochs, std::uint64_t entries_per_epoch) {
+  core::CodeMapIndex index;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    core::CodeMapFile file;
+    file.epoch = e;
+    for (std::uint64_t i = 0; i < entries_per_epoch; ++i) {
+      core::CodeMapEntry entry;
+      entry.address = 0x6000'0000 + ((e + i * epochs) % (entries_per_epoch * epochs)) * 0x1000;
+      entry.size = 0x800;
+      entry.symbol = "m" + std::to_string(e) + "_" + std::to_string(i);
+      file.entries.push_back(std::move(entry));
+    }
+    index.add(std::move(file));
+  }
+  return index;
+}
+
+void BM_CodeMapResolveOwnEpoch(benchmark::State& state) {
+  const auto epochs = static_cast<std::uint64_t>(state.range(0));
+  core::CodeMapIndex index = build_index(epochs, 256);
+  support::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    // PC from a recent entry: hit in the newest map.
+    const std::uint64_t pc = 0x6000'0000 + rng.below(256) * 0x1000 + 16;
+    benchmark::DoNotOptimize(index.resolve(pc, epochs - 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodeMapResolveOwnEpoch)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_CodeMapResolveBackward(benchmark::State& state) {
+  const auto epochs = static_cast<std::uint64_t>(state.range(0));
+  core::CodeMapIndex index = build_index(epochs, 64);
+  support::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    // Random PC over the whole populated range: variable search depth.
+    const std::uint64_t pc = 0x6000'0000 + rng.below(64 * epochs) * 0x1000 + 16;
+    benchmark::DoNotOptimize(index.resolve(pc, epochs - 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodeMapResolveBackward)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_CodeMapResolveMiss(benchmark::State& state) {
+  core::CodeMapIndex index = build_index(static_cast<std::uint64_t>(state.range(0)), 64);
+  for (auto _ : state) {
+    // Unmapped PC: worst case, walks every map.
+    benchmark::DoNotOptimize(index.resolve(0x9999'0000, ~0ull));
+  }
+}
+BENCHMARK(BM_CodeMapResolveMiss)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_CodeMapSerialize(benchmark::State& state) {
+  core::CodeMapFile file;
+  file.epoch = 5;
+  for (int i = 0; i < 512; ++i) {
+    file.entries.push_back({0x6000'0000ull + i * 0x1000, 0x800,
+                            "com.example.Klass" + std::to_string(i) + ".method"});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.serialize());
+  }
+}
+BENCHMARK(BM_CodeMapSerialize);
+
+void BM_CodeMapParse(benchmark::State& state) {
+  core::CodeMapFile file;
+  file.epoch = 5;
+  for (int i = 0; i < 512; ++i) {
+    file.entries.push_back({0x6000'0000ull + i * 0x1000, 0x800,
+                            "com.example.Klass" + std::to_string(i) + ".method"});
+  }
+  const std::string blob = file.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CodeMapFile::parse(blob));
+  }
+}
+BENCHMARK(BM_CodeMapParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Sampling-rate sweep: how profiling overhead and profile detail trade off
+// as the sampling period varies — the knob behind the paper's Fig. 2 arms
+// (45K / 90K / 450K cycles between samples).
+//
+//   $ ./overhead_sweep
+#include <cstdio>
+
+#include "core/viprof.hpp"
+#include "support/format.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace viprof;
+
+struct SweepPoint {
+  std::uint64_t period;
+  double slowdown;
+  std::uint64_t samples;
+  std::uint64_t distinct_symbols;
+};
+
+SweepPoint run_point(const workloads::Workload& w, std::uint64_t period,
+                     hw::Cycles base_cycles) {
+  os::MachineConfig mcfg;
+  mcfg.seed = 0x5eeb;
+  os::Machine machine(mcfg);
+  jvm::Vm vm(machine, w.vm);
+  core::SessionConfig config;
+  config.mode = core::ProfilingMode::kViprof;
+  config.counters = {{hw::EventKind::kGlobalPowerEvents, period, true}};
+  core::ProfilingSession session(machine, vm, config);
+  session.attach();
+  vm.setup(w.program);
+  const core::SessionResult result = session.run();
+
+  SweepPoint point;
+  point.period = period;
+  point.slowdown = static_cast<double>(result.cycles) / static_cast<double>(base_cycles);
+  point.samples = result.nmi_count;
+  point.distinct_symbols =
+      session.build_profile({hw::EventKind::kGlobalPowerEvents}).row_count();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  workloads::GeneratorOptions opt;
+  opt.name = "sweep";
+  opt.seed = 31;
+  opt.methods = 128;
+  opt.total_app_ops = 60'000'000;
+  opt.alloc_intensity = 0.5;
+  opt.nursery_bytes = 2ull << 20;
+  opt.native_frac = 0.08;
+  opt.syscall_frac = 0.03;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+
+  hw::Cycles base_cycles = 0;
+  {
+    os::MachineConfig mcfg;
+    mcfg.seed = 0x5eeb;
+    os::Machine machine(mcfg);
+    jvm::Vm vm(machine, w.vm);
+    core::SessionConfig config;
+    config.mode = core::ProfilingMode::kBase;
+    core::ProfilingSession session(machine, vm, config);
+    session.attach();
+    vm.setup(w.program);
+    base_cycles = session.run().cycles;
+  }
+
+  std::printf("== VIProf sampling-period sweep (synthetic, %.1f virtual s base) ==\n\n",
+              static_cast<double>(base_cycles) / workloads::kCyclesPerSecond);
+  viprof::support::TextTable table(
+      {"period (cycles)", "slowdown", "samples", "distinct symbols"});
+  for (const std::uint64_t period :
+       {10'000ull, 22'500ull, 45'000ull, 90'000ull, 180'000ull, 450'000ull,
+        900'000ull}) {
+    const SweepPoint p = run_point(w, period, base_cycles);
+    table.add_row({std::to_string(p.period), viprof::support::fixed(p.slowdown, 4),
+                   std::to_string(p.samples), std::to_string(p.distinct_symbols)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Rule of thumb from the paper: the 90K period buys function-level\n");
+  std::printf("attribution across the whole stack for ~5%% slowdown; 450K is\n");
+  std::printf("nearly free but starves rare symbols of samples.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "core/annotate.hpp"
+
+#include <algorithm>
+
+#include "support/format.hpp"
+
+namespace viprof::core {
+
+std::string Annotation::render() const {
+  std::string out = image + ":" + symbol + "  (" + std::to_string(total_samples) +
+                    " samples, body " + std::to_string(symbol_size) + " bytes)\n";
+  std::uint64_t peak = 1;
+  for (std::uint64_t b : buckets) peak = std::max(peak, b);
+  const std::uint64_t stride =
+      buckets.empty() ? 0 : (symbol_size + buckets.size() - 1) / buckets.size();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto width = static_cast<std::size_t>(
+        40.0 * static_cast<double>(buckets[i]) / static_cast<double>(peak));
+    out += "  +" + support::pad_left(support::hex(i * stride), 8) + " | " +
+           std::string(width, '#') + " " + std::to_string(buckets[i]) + "\n";
+  }
+  if (out_of_range > 0) {
+    out += "  (" + std::to_string(out_of_range) +
+           " samples outside the recorded extent)\n";
+  }
+  return out;
+}
+
+}  // namespace viprof::core

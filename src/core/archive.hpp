@@ -1,0 +1,86 @@
+// Profile archives: everything post-processing needs, as files.
+//
+// The real OProfile's post-processing runs *offline*: opreport re-reads the
+// binaries, /proc-style range data and sample files from disk (oparchive
+// bundles them). Our in-process Resolver takes the shortcut of consulting
+// the live Machine; this module removes the shortcut. write_archive()
+// serialises the resolution world — images, symbol tables, per-process
+// VMAs, kernel/hypervisor ranges, VM registrations — into the VFS next to
+// the sample logs and code maps, and ArchiveResolver reproduces the full
+// resolution semantics from those files alone. The test suite asserts
+// bit-identical attribution between the live and the archive resolver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/code_map.hpp"
+#include "core/registration.hpp"
+#include "core/resolver.hpp"
+#include "core/sample_log.hpp"
+#include "os/machine.hpp"
+
+namespace viprof::core {
+
+/// Serialises the resolution world into `vfs` under `prefix` (one manifest
+/// file; RVM.map / code maps / sample logs are already files).
+void write_archive(const os::Machine& machine, const RegistrationTable& table,
+                   os::Vfs& vfs, const std::string& prefix);
+
+/// Offline resolver: same attribution rules as core::Resolver, driven only
+/// by files (the archive manifest plus the maps referenced from it).
+class ArchiveResolver {
+ public:
+  /// Loads the manifest written by write_archive(); `vm_aware` selects
+  /// VIProf vs stock-OProfile behaviour, as with the live resolver.
+  ArchiveResolver(const os::Vfs& vfs, const std::string& prefix, bool vm_aware);
+
+  Resolution resolve(const LoggedSample& sample) const;
+  Resolution resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                        std::uint64_t epoch) const;
+
+  std::size_t image_count() const { return images_.size(); }
+  std::size_t process_count() const { return processes_.size(); }
+  bool loaded() const { return loaded_; }
+
+ private:
+  struct ArchivedImage {
+    std::string name;
+    os::ImageKind kind = os::ImageKind::kExecutable;
+    bool stripped = false;
+    os::SymbolTable symbols;
+  };
+  struct ArchivedVma {
+    hw::Address start = 0, end = 0;
+    std::uint32_t image = 0;
+    std::uint64_t file_offset = 0;
+  };
+  struct ArchivedProcess {
+    std::string name;
+    std::vector<ArchivedVma> vmas;  // sorted by start
+  };
+  struct Range {
+    std::uint32_t image = 0;
+    hw::Address base = 0;
+    std::uint64_t size = 0;
+    bool contains(hw::Address pc) const { return pc >= base && pc < base + size; }
+  };
+
+  const ArchivedVma* find_vma(const ArchivedProcess& proc, hw::Address pc) const;
+
+  bool vm_aware_;
+  bool loaded_ = false;
+  std::vector<ArchivedImage> images_;
+  std::unordered_map<hw::Pid, ArchivedProcess> processes_;
+  std::optional<Range> kernel_;
+  std::optional<Range> hypervisor_;
+  std::vector<VmRegistration> registrations_;
+  std::unordered_map<hw::Pid, os::SymbolTable> boot_maps_;
+  std::unordered_map<hw::Pid, std::string> boot_labels_;
+  std::unordered_map<hw::Pid, CodeMapIndex> jit_maps_;
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,61 @@
+#include "core/callgraph.hpp"
+
+#include <algorithm>
+
+#include "support/format.hpp"
+
+namespace viprof::core {
+
+void CallGraph::add(const LoggedSample& sample) {
+  if (sample.caller_pc == 0) return;
+  ++samples_;
+  const Resolution callee = resolver_->resolve(sample);
+  // The caller is user code in the same process (one-level unwind).
+  const Resolution caller =
+      resolver_->resolve_pc(sample.caller_pc, hw::CpuMode::kUser, sample.pid, sample.epoch);
+  for (CallArc& arc : arcs_) {
+    if (arc.caller_symbol == caller.symbol && arc.callee_symbol == callee.symbol &&
+        arc.caller_image == caller.image && arc.callee_image == callee.image) {
+      ++arc.count;
+      return;
+    }
+  }
+  CallArc arc;
+  arc.caller_image = caller.image;
+  arc.caller_symbol = caller.symbol;
+  arc.callee_image = callee.image;
+  arc.callee_symbol = callee.symbol;
+  arc.caller_domain = caller.domain;
+  arc.callee_domain = callee.domain;
+  arc.count = 1;
+  arcs_.push_back(std::move(arc));
+}
+
+std::vector<CallArc> CallGraph::ranked() const {
+  std::vector<CallArc> out = arcs_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CallArc& a, const CallArc& b) { return a.count > b.count; });
+  return out;
+}
+
+std::vector<CallArc> CallGraph::cross_layer_arcs() const {
+  std::vector<CallArc> out;
+  for (const CallArc& arc : ranked())
+    if (arc.crosses_layers()) out.push_back(arc);
+  return out;
+}
+
+std::string CallGraph::render(std::size_t top_n) const {
+  support::TextTable table({"Samples", "Caller", "->", "Callee"});
+  std::size_t emitted = 0;
+  for (const CallArc& arc : ranked()) {
+    if (emitted >= top_n) break;
+    table.add_row({std::to_string(arc.count),
+                   arc.caller_image + ":" + arc.caller_symbol, "->",
+                   arc.callee_image + ":" + arc.callee_symbol});
+    ++emitted;
+  }
+  return table.render();
+}
+
+}  // namespace viprof::core

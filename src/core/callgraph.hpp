@@ -1,0 +1,58 @@
+// Cross-layer call-graph profiling (paper Section 4.2: "VIProf also extends
+// the call graph functionality of Oprofile to include call sequence
+// profiles across layers").
+//
+// Each sample optionally carries a one-level return address; arcs aggregate
+// (caller symbol → callee symbol) pairs after both endpoints are resolved —
+// so an arc can cross layers: a JIT.App method calling into libc, a JIT
+// method triggering a kernel path, etc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resolver.hpp"
+#include "core/sample_log.hpp"
+#include "hw/event.hpp"
+
+namespace viprof::core {
+
+struct CallArc {
+  std::string caller_image;
+  std::string caller_symbol;
+  std::string callee_image;
+  std::string callee_symbol;
+  SampleDomain caller_domain = SampleDomain::kUnknown;
+  SampleDomain callee_domain = SampleDomain::kUnknown;
+  std::uint64_t count = 0;
+
+  /// True when caller and callee live in different stack layers.
+  bool crosses_layers() const { return caller_domain != callee_domain; }
+};
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Resolver& resolver) : resolver_(&resolver) {}
+
+  /// Accounts one sample; samples without a caller PC are ignored.
+  void add(const LoggedSample& sample);
+
+  /// Arcs sorted by count (descending).
+  std::vector<CallArc> ranked() const;
+
+  /// Only arcs whose endpoints are in different domains.
+  std::vector<CallArc> cross_layer_arcs() const;
+
+  std::uint64_t total_arcs() const { return arcs_.size(); }
+  std::uint64_t total_samples() const { return samples_; }
+
+  std::string render(std::size_t top_n) const;
+
+ private:
+  const Resolver* resolver_;
+  std::vector<CallArc> arcs_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,109 @@
+#include "core/code_map.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace viprof::core {
+
+std::string CodeMapFile::serialize() const {
+  std::string out = "epoch " + std::to_string(epoch) + "\n";
+  for (const CodeMapEntry& e : entries) {
+    out += support::hex(e.address);
+    out += ' ';
+    out += std::to_string(e.size);
+    out += ' ';
+    out += e.symbol;
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<CodeMapFile> CodeMapFile::parse(const std::string& contents) {
+  std::istringstream in(contents);
+  std::string word;
+  CodeMapFile file;
+  if (!(in >> word) || word != "epoch") return std::nullopt;
+  if (!(in >> file.epoch)) return std::nullopt;
+  std::string line;
+  std::getline(in, line);  // consume rest of header line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    CodeMapEntry e;
+    unsigned long long addr = 0;
+    unsigned long long size = 0;
+    char symbol[512];
+    if (std::sscanf(line.c_str(), "%llx %llu %511s", &addr, &size, symbol) != 3) {
+      return std::nullopt;
+    }
+    e.address = addr;
+    e.size = size;
+    e.symbol = symbol;
+    file.entries.push_back(std::move(e));
+  }
+  return file;
+}
+
+std::string CodeMapFile::path_for(const std::string& dir, hw::Pid pid,
+                                  std::uint64_t epoch) {
+  char buf[64];
+  // Zero-padded epoch keeps VFS listing in epoch order.
+  std::snprintf(buf, sizeof buf, "/%u/map.%08llu", pid,
+                static_cast<unsigned long long>(epoch));
+  return dir + buf;
+}
+
+void CodeMapIndex::load(const os::Vfs& vfs, const std::string& dir, hw::Pid pid) {
+  const std::string prefix = dir + "/" + std::to_string(pid) + "/map.";
+  for (const std::string& path : vfs.list(prefix)) {
+    const auto contents = vfs.read(path);
+    VIPROF_CHECK(contents.has_value());
+    auto file = CodeMapFile::parse(*contents);
+    VIPROF_CHECK(file.has_value());
+    add(std::move(*file));
+  }
+}
+
+void CodeMapIndex::add(CodeMapFile file) {
+  auto& entries = maps_[file.epoch];
+  VIPROF_CHECK(entries.empty());  // one map per epoch
+  entries = std::move(file.entries);
+  std::sort(entries.begin(), entries.end(),
+            [](const CodeMapEntry& a, const CodeMapEntry& b) {
+              return a.address < b.address;
+            });
+  total_entries_ += entries.size();
+}
+
+std::optional<CodeMapIndex::Hit> CodeMapIndex::resolve(hw::Address pc,
+                                                       std::uint64_t epoch) const {
+  std::uint32_t searched = 0;
+  // Iterate epochs <= `epoch` from newest to oldest.
+  auto it = maps_.upper_bound(epoch);
+  while (it != maps_.begin()) {
+    --it;
+    ++searched;
+    const auto& entries = it->second;
+    auto e = std::upper_bound(entries.begin(), entries.end(), pc,
+                              [](hw::Address a, const CodeMapEntry& m) {
+                                return a < m.address;
+                              });
+    if (e != entries.begin()) {
+      --e;
+      if (e->contains(pc)) {
+        return Hit{e->symbol, it->first, searched, e->address, e->size};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t CodeMapIndex::max_epoch() const {
+  if (maps_.empty()) return 0;
+  return maps_.rbegin()->first;
+}
+
+}  // namespace viprof::core

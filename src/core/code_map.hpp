@@ -1,0 +1,75 @@
+// Epoch-keyed JIT code maps (paper Sections 3.1-3.3).
+//
+// The VM agent writes one *partial* map per execution epoch, just before the
+// GC that closes it: methods compiled or recompiled during the epoch, plus
+// methods the previous collection moved. Post-processing resolves a sample
+// against the map of the sample's epoch and walks *backwards* through older
+// maps until it finds the first map containing an address range that covers
+// the PC — guaranteeing attribution to "the most recently compiled — or
+// moved — method to occupy that address space".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "os/vfs.hpp"
+
+namespace viprof::core {
+
+struct CodeMapEntry {
+  hw::Address address = 0;
+  std::uint64_t size = 0;
+  std::string symbol;  // fully qualified method name
+
+  bool contains(hw::Address pc) const { return pc >= address && pc < address + size; }
+};
+
+/// One epoch's map: serialisation to/from the VFS file format.
+struct CodeMapFile {
+  std::uint64_t epoch = 0;
+  std::vector<CodeMapEntry> entries;
+
+  std::string serialize() const;
+  static std::optional<CodeMapFile> parse(const std::string& contents);
+
+  /// Conventional path for the map of `epoch` under `dir`.
+  static std::string path_for(const std::string& dir, hw::Pid pid, std::uint64_t epoch);
+};
+
+/// The post-processing index over all epoch maps of one VM.
+class CodeMapIndex {
+ public:
+  /// Loads every map file under `dir` for `pid` from the VFS.
+  void load(const os::Vfs& vfs, const std::string& dir, hw::Pid pid);
+
+  /// Adds one parsed map (tests construct indices directly).
+  void add(CodeMapFile file);
+
+  struct Hit {
+    std::string symbol;
+    std::uint64_t found_in_epoch = 0;
+    std::uint32_t maps_searched = 0;  // 1 = found in the sample's own epoch
+    hw::Address address = 0;          // body start (as of that epoch)
+    std::uint64_t size = 0;
+  };
+
+  /// Backward search from `epoch` down to 0.
+  std::optional<Hit> resolve(hw::Address pc, std::uint64_t epoch) const;
+
+  std::size_t map_count() const { return maps_.size(); }
+  std::uint64_t total_entries() const { return total_entries_; }
+
+  /// Highest epoch with a loaded map.
+  std::uint64_t max_epoch() const;
+
+ private:
+  // epoch -> address-sorted entries.
+  std::map<std::uint64_t, std::vector<CodeMapEntry>> maps_;
+  std::uint64_t total_entries_ = 0;
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,119 @@
+#include "core/daemon.hpp"
+
+#include "support/check.hpp"
+
+namespace viprof::core {
+
+Daemon::Daemon(os::Machine& machine, SampleBuffer& buffer, const RegistrationTable& table,
+               const DaemonConfig& config)
+    : machine_(&machine),
+      buffer_(&buffer),
+      table_(&table),
+      config_(config),
+      log_(machine.vfs(), config.sample_dir) {
+  // The daemon is a real user process ("oprofiled") with its own image, so
+  // heavy profiling shows the profiler in its own reports.
+  os::Image& img =
+      machine_->registry().create("oprofiled", os::ImageKind::kExecutable, 64 * 1024);
+  img.symbols().add("opd_process_samples", 0, 8192);
+  img.symbols().add("opd_sfile_log", 8192, 4096);
+  img.symbols().add("opd_anon_match", 12288, 4096);
+  os::Process& proc = machine_->spawn("oprofiled");
+  const os::Vma vma = machine_->loader().load_executable(proc, img.id());
+  context_ = hw::ExecContext{vma.start, 8192, hw::CpuMode::kUser, proc.pid()};
+  pattern_.base = vma.start + img.size();
+  pattern_.working_set = 64 * 1024;
+  pattern_.stride = 64;
+  pattern_.random_frac = 0.2;
+  pattern_.accesses_per_op = 0.5;
+}
+
+std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
+  const std::size_t backlog = buffer_->size();
+  if (backlog == 0) return std::nullopt;
+  const bool period_hit = now - last_drain_ >= config_.drain_period;
+  if (backlog < config_.drain_watermark && !period_hit) return std::nullopt;
+
+  hw::Cycles cost = config_.wakeup_cost;
+  ++stats_.wakeups;
+  std::size_t processed = 0;
+  while (processed < config_.batch) {
+    const auto sample = buffer_->pop();
+    if (!sample) break;
+    cost += process(*sample);
+    ++processed;
+  }
+  log_.flush();
+  if (buffer_->empty()) last_drain_ = now;
+  stats_.cost_cycles += cost;
+
+  os::WorkChunk chunk;
+  chunk.context = context_;
+  chunk.cycles = cost;
+  chunk.ops = std::max<std::uint64_t>(1, cost / 2);  // ~2 cycles per daemon op
+  chunk.pattern = pattern_;
+  return chunk;
+}
+
+void Daemon::final_flush() {
+  while (const auto sample = buffer_->pop()) process(*sample);
+  log_.flush();
+}
+
+hw::Cycles Daemon::process(const Sample& sample) {
+  ++stats_.drained;
+  if (sample.kind == RecordKind::kEpochMarker) {
+    ++stats_.epoch_markers;
+    // Epoch `sample.epoch` of this VM closed; its subsequent samples belong
+    // to the next one. Other VMs' epoch counters are untouched.
+    epoch_by_pid_[sample.pid] = sample.epoch + 1;
+    return config_.per_sample_kernel;  // marker handling is trivial
+  }
+
+  LoggedSample out;
+  out.pc = sample.pc;
+  out.caller_pc = sample.caller_pc;
+  out.mode = sample.mode;
+  out.pid = sample.pid;
+  out.cycle = sample.cycle;
+  // Logging-time epoch assignment (paper Section 3.1): every sample carries
+  // the epoch of its VM current at the time it is logged. Stock OProfile
+  // has no markers, so its samples all stay in epoch 0.
+  out.epoch = current_epoch(sample.pid);
+
+  hw::Cycles cost = 0;
+  const auto& hyp = machine_->hypervisor();
+  if (sample.mode == hw::CpuMode::kHypervisor || (hyp && hyp->contains(sample.pc))) {
+    // XenoProf extension: hypervisor-ring samples match the Xen range first.
+    ++stats_.hypervisor_samples;
+    cost = config_.per_sample_kernel;
+  } else if (sample.mode == hw::CpuMode::kKernel || machine_->kernel().contains(sample.pc)) {
+    ++stats_.kernel_samples;
+    cost = config_.per_sample_kernel;
+  } else {
+    // User-space: find the backing VMA.
+    const os::Process* proc = machine_->find_process(sample.pid);
+    bool anon = true;
+    if (proc != nullptr) {
+      if (const auto vma = proc->address_space().find(sample.pc)) {
+        anon = machine_->registry().get(vma->image).kind() == os::ImageKind::kAnon;
+      }
+    }
+    if (!anon) {
+      ++stats_.image_samples;
+      cost = config_.per_sample_image;
+    } else if (config_.vm_aware &&
+               table_->find_heap(sample.pid, sample.pc) != nullptr) {
+      // VIProf path: the registered-heap check replaces the anon machinery.
+      ++stats_.jit_samples;
+      cost = config_.per_sample_jit;
+    } else {
+      ++stats_.anon_samples;
+      cost = config_.per_sample_anon;
+    }
+  }
+  log_.append(sample.event, out);
+  return cost;
+}
+
+}  // namespace viprof::core

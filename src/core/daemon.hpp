@@ -1,0 +1,96 @@
+// The runtime profiler daemon (paper Section 3, "Runtime Profiler").
+//
+// OProfile's user-level daemon, extended by VIProf: it periodically drains
+// the kernel sample buffer and logs samples to per-event files. For each
+// user-space sample it walks the process's VMAs to find the backing image;
+// VIProf adds one check *before* the anonymous-region fallback — if the PC
+// falls inside a registered VM heap, the sample is logged as a JIT.App
+// sample tagged with the current execution epoch. The registered-heap check
+// is cheaper than OProfile's anonymous-mapping path (dcookie lookup + VMA
+// re-walk), which is why the paper occasionally measures VIProf *faster*
+// than stock OProfile.
+//
+// The daemon is a BackgroundService: it steals CPU from the workload on the
+// single-core testbed, and its cost is the main source of profiling
+// overhead (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/registration.hpp"
+#include "core/sample_buffer.hpp"
+#include "core/sample_log.hpp"
+#include "os/machine.hpp"
+#include "os/service.hpp"
+
+namespace viprof::core {
+
+struct DaemonConfig {
+  std::string sample_dir = "samples";
+
+  hw::Cycles wakeup_cost = 10'000;        // schedule-in + buffer mmap scan
+  hw::Cycles per_sample_kernel = 240;    // kernel-range match
+  hw::Cycles per_sample_image = 390;     // VMA walk + image hash lookup
+  hw::Cycles per_sample_anon = 900;      // stock anon path: dcookie + re-walk
+  hw::Cycles per_sample_jit = 460;       // VIProf: registration check + epoch tag
+
+  std::size_t drain_watermark = 256;     // drain when backlog reaches this
+  hw::Cycles drain_period = 3'000'000;   // ... or at this interval (buffer watershed)
+  std::size_t batch = 128;               // samples per scheduling chunk
+
+  /// false = stock OProfile daemon (no registration table consulted).
+  bool vm_aware = true;
+};
+
+struct DaemonStats {
+  std::uint64_t drained = 0;
+  std::uint64_t kernel_samples = 0;
+  std::uint64_t hypervisor_samples = 0;
+  std::uint64_t image_samples = 0;
+  std::uint64_t anon_samples = 0;
+  std::uint64_t jit_samples = 0;
+  std::uint64_t epoch_markers = 0;
+  std::uint64_t wakeups = 0;
+  hw::Cycles cost_cycles = 0;
+};
+
+class Daemon : public os::BackgroundService {
+ public:
+  Daemon(os::Machine& machine, SampleBuffer& buffer, const RegistrationTable& table,
+         const DaemonConfig& config = {});
+
+  /// BackgroundService: drain a batch when the watermark or period triggers.
+  std::optional<os::WorkChunk> next_work(hw::Cycles now) override;
+
+  /// End-of-session drain of everything left in the buffer (the daemon
+  /// outlives the benchmark; this work is not part of measured time).
+  void final_flush();
+
+  const DaemonStats& stats() const { return stats_; }
+  const std::string& sample_dir() const { return config_.sample_dir; }
+
+  /// Logging-time epoch for one VM (epochs are tracked per pid).
+  std::uint64_t current_epoch(hw::Pid pid) const {
+    auto it = epoch_by_pid_.find(pid);
+    return it == epoch_by_pid_.end() ? 0 : it->second;
+  }
+
+ private:
+  /// Classifies + logs one record; returns its processing cost.
+  hw::Cycles process(const Sample& sample);
+
+  os::Machine* machine_;
+  SampleBuffer* buffer_;
+  const RegistrationTable* table_;
+  DaemonConfig config_;
+  DaemonStats stats_;
+  SampleLogWriter log_;
+  std::unordered_map<hw::Pid, std::uint64_t> epoch_by_pid_;
+  hw::Cycles last_drain_ = 0;
+  hw::ExecContext context_{};   // oprofiled's code
+  hw::AccessPattern pattern_{}; // oprofiled's data behaviour
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,58 @@
+// VM registration — the paper's key runtime mechanism (Section 3, "Runtime
+// Profiler"): a virtual machine registers that it executes dynamically
+// generated code and declares its heap boundaries. The daemon consults this
+// table before logging a sample as anonymous; samples inside a registered
+// heap become JIT.App samples instead. The table is written once at VM
+// start-up and read on the sample-logging path, so lookups are O(#VMs) with
+// a cheap range check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace viprof::core {
+
+struct VmRegistration {
+  hw::Pid pid = 0;
+  hw::Address heap_lo = 0;
+  hw::Address heap_hi = 0;
+  hw::Address boot_base = 0;
+  std::uint64_t boot_size = 0;
+  std::string boot_map_path;  // RVM.map location (build product)
+  std::string jit_map_dir;    // where the agent writes epoch code maps
+
+  bool heap_contains(hw::Address pc) const { return pc >= heap_lo && pc < heap_hi; }
+  bool boot_contains(hw::Address pc) const {
+    return pc >= boot_base && pc < boot_base + boot_size;
+  }
+};
+
+class RegistrationTable {
+ public:
+  void add(const VmRegistration& reg) { regs_.push_back(reg); }
+  void clear() { regs_.clear(); }
+
+  /// Registration whose heap (or boot image) covers `pc` for `pid`.
+  const VmRegistration* find_heap(hw::Pid pid, hw::Address pc) const {
+    for (const auto& r : regs_)
+      if (r.pid == pid && r.heap_contains(pc)) return &r;
+    return nullptr;
+  }
+
+  const VmRegistration* find_pid(hw::Pid pid) const {
+    for (const auto& r : regs_)
+      if (r.pid == pid) return &r;
+    return nullptr;
+  }
+
+  const std::vector<VmRegistration>& all() const { return regs_; }
+  bool empty() const { return regs_.empty(); }
+
+ private:
+  std::vector<VmRegistration> regs_;
+};
+
+}  // namespace viprof::core

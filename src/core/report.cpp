@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "support/format.hpp"
+
+namespace viprof::core {
+
+const char* event_column_title(hw::EventKind event) {
+  switch (event) {
+    case hw::EventKind::kGlobalPowerEvents: return "Time %";
+    case hw::EventKind::kBsqCacheReference: return "Dmiss %";
+    case hw::EventKind::kInstrRetired:      return "Instr %";
+    case hw::EventKind::kItlbMiss:          return "ITLB %";
+    case hw::EventKind::kBranchMispredict:  return "BrMiss %";
+  }
+  return "?";
+}
+
+void Profile::add(hw::EventKind event, const Resolution& res, std::uint64_t count) {
+  totals_[hw::event_index(event)] += count;
+  for (ProfileRow& row : rows_) {
+    if (row.image == res.image && row.symbol == res.symbol) {
+      row.counts[hw::event_index(event)] += count;
+      return;
+    }
+  }
+  ProfileRow row;
+  row.image = res.image;
+  row.symbol = res.symbol;
+  row.domain = res.domain;
+  row.counts[hw::event_index(event)] = count;
+  rows_.push_back(std::move(row));
+}
+
+double Profile::percent(const ProfileRow& row, hw::EventKind event) const {
+  const std::uint64_t total = totals_[hw::event_index(event)];
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(row.count(event)) / static_cast<double>(total);
+}
+
+std::vector<ProfileRow> Profile::ranked(hw::EventKind primary) const {
+  std::vector<ProfileRow> out = rows_;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const ProfileRow& a, const ProfileRow& b) {
+                     return a.count(primary) > b.count(primary);
+                   });
+  return out;
+}
+
+std::uint64_t Profile::domain_total(SampleDomain domain, hw::EventKind event) const {
+  std::uint64_t total = 0;
+  for (const ProfileRow& row : rows_)
+    if (row.domain == domain) total += row.count(event);
+  return total;
+}
+
+const ProfileRow* Profile::find(const std::string& image,
+                                const std::string& symbol) const {
+  for (const ProfileRow& row : rows_)
+    if (row.image == image && row.symbol == symbol) return &row;
+  return nullptr;
+}
+
+std::string Profile::render(const std::vector<hw::EventKind>& events,
+                            std::size_t top_n) const {
+  std::vector<std::string> headers;
+  for (hw::EventKind e : events) headers.push_back(event_column_title(e));
+  headers.push_back("Image name");
+  headers.push_back("Symbol name");
+  support::TextTable table(std::move(headers));
+
+  const auto rows = ranked(events.empty() ? hw::EventKind::kGlobalPowerEvents : events[0]);
+  std::size_t emitted = 0;
+  for (const ProfileRow& row : rows) {
+    if (emitted >= top_n) break;
+    std::vector<std::string> cells;
+    for (hw::EventKind e : events) cells.push_back(support::fixed(percent(row, e), 4));
+    cells.push_back(row.image);
+    cells.push_back(row.symbol);
+    table.add_row(std::move(cells));
+    ++emitted;
+  }
+  return table.render();
+}
+
+}  // namespace viprof::core

@@ -1,0 +1,64 @@
+// opreport-style aggregation and rendering (paper Fig. 1).
+//
+// Aggregates resolved samples into (image, symbol) rows with per-event
+// counts, computes percentages against each event's total, and renders the
+// fixed-width table the paper shows:
+//
+//   Time %  Dmiss %  Image name  Symbol name
+//   13.01   0.56     RVM.map     com.ibm.jikesrvm...getOsrPrologueLength
+//   ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resolver.hpp"
+#include "hw/event.hpp"
+
+namespace viprof::core {
+
+struct ProfileRow {
+  std::string image;
+  std::string symbol;
+  SampleDomain domain = SampleDomain::kUnknown;
+  std::uint64_t counts[hw::kEventKindCount] = {};
+
+  std::uint64_t count(hw::EventKind e) const { return counts[hw::event_index(e)]; }
+};
+
+/// Column header the paper uses for each event.
+const char* event_column_title(hw::EventKind event);
+
+class Profile {
+ public:
+  void add(hw::EventKind event, const Resolution& res, std::uint64_t count = 1);
+
+  std::uint64_t total(hw::EventKind event) const {
+    return totals_[hw::event_index(event)];
+  }
+
+  double percent(const ProfileRow& row, hw::EventKind event) const;
+
+  /// Rows sorted by the count of `primary` (descending).
+  std::vector<ProfileRow> ranked(hw::EventKind primary) const;
+
+  /// Sum of counts of `event` over rows in `domain`.
+  std::uint64_t domain_total(SampleDomain domain, hw::EventKind event) const;
+
+  /// Row for an exact (image, symbol), if present.
+  const ProfileRow* find(const std::string& image, const std::string& symbol) const;
+
+  /// Fig. 1-style report: one percentage column per event in `events`,
+  /// then image and symbol names; top `top_n` rows by the first event.
+  std::string render(const std::vector<hw::EventKind>& events, std::size_t top_n) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<ProfileRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<ProfileRow> rows_;
+  std::uint64_t totals_[hw::kEventKindCount] = {};
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,187 @@
+#include "core/resolver.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace viprof::core {
+
+namespace {
+
+constexpr const char* kNoSymbols = "(no symbols)";
+
+os::SymbolTable parse_rvm_map(const std::string& contents) {
+  os::SymbolTable table;
+  std::istringstream in(contents);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    unsigned long long offset = 0;
+    unsigned long long size = 0;
+    char name[512];
+    if (std::sscanf(line.c_str(), "%llx %llu %511s", &offset, &size, name) == 3) {
+      table.add(name, offset, size);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+Resolver::Resolver(const os::Machine& machine, const RegistrationTable& table,
+                   bool vm_aware)
+    : machine_(&machine), table_(&table), vm_aware_(vm_aware) {}
+
+void Resolver::load() {
+  if (!vm_aware_) {
+    loaded_ = true;
+    return;
+  }
+  for (const VmRegistration& reg : table_->all()) {
+    if (!reg.boot_map_path.empty()) {
+      if (const auto contents = machine_->vfs().read(reg.boot_map_path)) {
+        boot_maps_[reg.pid] = parse_rvm_map(*contents);
+        const auto slash = reg.boot_map_path.rfind('/');
+        boot_labels_[reg.pid] =
+            slash == std::string::npos ? reg.boot_map_path
+                                       : reg.boot_map_path.substr(slash + 1);
+      }
+    }
+    CodeMapIndex index;
+    index.load(machine_->vfs(), reg.jit_map_dir, reg.pid);
+    jit_maps_[reg.pid] = std::move(index);
+  }
+  loaded_ = true;
+}
+
+const CodeMapIndex* Resolver::code_maps(hw::Pid pid) const {
+  auto it = jit_maps_.find(pid);
+  return it == jit_maps_.end() ? nullptr : &it->second;
+}
+
+Resolution Resolver::resolve(const LoggedSample& s) const {
+  return resolve_pc(s.pc, s.mode, s.pid, s.epoch);
+}
+
+Resolution Resolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                                std::uint64_t epoch) const {
+  VIPROF_CHECK(loaded_);
+  Resolution out;
+
+  const auto& hyp = machine_->hypervisor();
+  if (hyp && (mode == hw::CpuMode::kHypervisor || hyp->contains(pc))) {
+    out.domain = SampleDomain::kHypervisor;
+    const os::Image& ximg = machine_->registry().get(hyp->image);
+    out.image = ximg.name();
+    const auto sym = ximg.symbols().find(pc - hyp->base);
+    out.symbol = sym ? sym->name : kNoSymbols;
+    if (sym) {
+      out.symbol_base = hyp->base + sym->offset;
+      out.symbol_size = sym->size;
+    }
+    return out;
+  }
+
+  if (mode == hw::CpuMode::kKernel || machine_->kernel().contains(pc)) {
+    out.domain = SampleDomain::kKernel;
+    const os::Image& kimg = machine_->registry().get(machine_->kernel().image());
+    out.image = kimg.name();
+    const auto sym = kimg.symbols().find(machine_->kernel().offset_of(pc));
+    out.symbol = sym ? sym->name : kNoSymbols;
+    if (sym) {
+      out.symbol_base = machine_->kernel().base() + sym->offset;
+      out.symbol_size = sym->size;
+    }
+    return out;
+  }
+
+  // Resolver runs offline but reads the same process maps the daemon saw.
+  const os::Process* proc = machine_->find_process(pid);
+  if (proc == nullptr) {
+    out.domain = SampleDomain::kUnknown;
+    out.image = "unknown-pid-" + std::to_string(pid);
+    out.symbol = kNoSymbols;
+    return out;
+  }
+
+  const auto vma = proc->address_space().find(pc);
+  if (!vma) {
+    out.domain = SampleDomain::kUnknown;
+    out.image = "unmapped";
+    out.symbol = kNoSymbols;
+    return out;
+  }
+
+  const os::Image& img = machine_->registry().get(vma->image);
+  const std::uint64_t offset = vma->file_offset + (pc - vma->start);
+
+  switch (img.kind()) {
+    case os::ImageKind::kBootImage: {
+      if (vm_aware_) {
+        auto bm = boot_maps_.find(pid);
+        if (bm != boot_maps_.end()) {
+          out.domain = SampleDomain::kBoot;
+          out.image = boot_labels_.at(pid);
+          const auto sym = bm->second.find(offset);
+          out.symbol = sym ? sym->name : kNoSymbols;
+          if (sym) {
+            out.symbol_base = vma->start - vma->file_offset + sym->offset;
+            out.symbol_size = sym->size;
+          }
+          return out;
+        }
+      }
+      out.domain = SampleDomain::kBoot;
+      out.image = img.name();  // opaque blob: RVM.code.image / CLR.native.image
+      out.symbol = kNoSymbols;
+      return out;
+    }
+    case os::ImageKind::kAnon: {
+      if (vm_aware_) {
+        if (const VmRegistration* reg = table_->find_heap(pid, pc)) {
+          out.domain = SampleDomain::kJit;
+          out.image = "JIT.App";
+          auto jm = jit_maps_.find(reg->pid);
+          if (jm != jit_maps_.end()) {
+            if (const auto hit = jm->second.resolve(pc, epoch)) {
+              out.symbol = hit->symbol;
+              out.maps_searched = hit->maps_searched;
+              out.symbol_base = hit->address;
+              out.symbol_size = hit->size;
+              backward_steps_ += hit->maps_searched;
+              ++jit_resolved_;
+              return out;
+            }
+          }
+          ++jit_unresolved_;
+          out.symbol = "(unknown JIT code)";
+          return out;
+        }
+      }
+      out.domain = SampleDomain::kAnon;
+      out.image = "anon (range:" + support::hex(vma->start) + "-" +
+                  support::hex(vma->end) + ")," + proc->name();
+      out.symbol = kNoSymbols;
+      return out;
+    }
+    default: {
+      out.domain = SampleDomain::kImage;
+      out.image = img.name();
+      if (img.stripped()) {
+        out.symbol = kNoSymbols;
+        return out;
+      }
+      const auto sym = img.symbols().find(offset);
+      out.symbol = sym ? sym->name : kNoSymbols;
+      if (sym) {
+        out.symbol_base = vma->start - vma->file_offset + sym->offset;
+        out.symbol_size = sym->size;
+      }
+      return out;
+    }
+  }
+}
+
+}  // namespace viprof::core

@@ -1,0 +1,98 @@
+// Offline sample resolution — VIProf's modified OProfile post-processing
+// (paper Sections 3.2-3.3).
+//
+// Turns a logged (pc, mode, pid, epoch) into (image, symbol):
+//   * kernel PCs resolve against the kernel symbol table;
+//   * mapped binaries/libraries resolve against their symbol tables
+//     ("(no symbols)" when stripped);
+//   * the JVM boot image resolves through the Jikes build's RVM.map —
+//     VIProf only; stock OProfile reports the opaque RVM.code.image;
+//   * registered-heap PCs resolve through the epoch code maps with the
+//     paper's backward search (this epoch's map, else the one before, ...);
+//     stock OProfile reports "anon (range:...)".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/code_map.hpp"
+#include "core/registration.hpp"
+#include "core/sample_log.hpp"
+#include "os/machine.hpp"
+
+namespace viprof::core {
+
+enum class SampleDomain : std::uint8_t {
+  kHypervisor,  // Xen (XenoProf extension)
+  kKernel,
+  kImage,   // executable or shared library
+  kBoot,    // JVM boot image
+  kJit,     // dynamically generated code, resolved via code maps
+  kAnon,    // anonymous mapping the tool cannot see into
+  kUnknown,
+};
+
+inline const char* to_string(SampleDomain d) {
+  switch (d) {
+    case SampleDomain::kHypervisor: return "hypervisor";
+    case SampleDomain::kKernel:  return "kernel";
+    case SampleDomain::kImage:   return "image";
+    case SampleDomain::kBoot:    return "boot";
+    case SampleDomain::kJit:     return "jit";
+    case SampleDomain::kAnon:    return "anon";
+    case SampleDomain::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+struct Resolution {
+  std::string image;
+  std::string symbol;
+  SampleDomain domain = SampleDomain::kUnknown;
+  std::uint32_t maps_searched = 0;  // JIT hits: backward-search depth
+
+  // Extent of the resolved symbol in the sampled address space (0/0 when
+  // unresolved); lets opannotate-style tools bucket samples *within* a
+  // method body.
+  hw::Address symbol_base = 0;
+  std::uint64_t symbol_size = 0;
+};
+
+class Resolver {
+ public:
+  /// `vm_aware` selects VIProf behaviour; false reproduces stock OProfile.
+  Resolver(const os::Machine& machine, const RegistrationTable& table, bool vm_aware);
+
+  /// Reads RVM.map and all epoch code maps from the VFS. Must be called
+  /// before resolve(); safe to call with no registrations.
+  void load();
+
+  Resolution resolve(const LoggedSample& sample) const;
+  Resolution resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                        std::uint64_t epoch) const;
+
+  const CodeMapIndex* code_maps(hw::Pid pid) const;
+  std::uint64_t jit_resolved() const { return jit_resolved_; }
+  std::uint64_t jit_unresolved() const { return jit_unresolved_; }
+  std::uint64_t backward_steps() const { return backward_steps_; }
+
+ private:
+  const os::Machine* machine_;
+  const RegistrationTable* table_;
+  bool vm_aware_;
+  bool loaded_ = false;
+
+  // Per registered VM: parsed boot map (+ its display label) and the
+  // epoch code-map index.
+  std::unordered_map<hw::Pid, os::SymbolTable> boot_maps_;
+  std::unordered_map<hw::Pid, std::string> boot_labels_;
+  std::unordered_map<hw::Pid, CodeMapIndex> jit_maps_;
+
+  mutable std::uint64_t jit_resolved_ = 0;
+  mutable std::uint64_t jit_unresolved_ = 0;
+  mutable std::uint64_t backward_steps_ = 0;
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,58 @@
+// The sample record that crosses the NMI → daemon boundary.
+//
+// Matches what OProfile's kernel module captures per counter overflow, plus
+// VIProf's epoch-marker records: when the VM agent writes a code map at an
+// epoch boundary it enqueues a marker into the same stream, so the daemon
+// learns epoch transitions *in order* with the samples they delimit.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cpu.hpp"
+#include "hw/event.hpp"
+#include "hw/types.hpp"
+
+namespace viprof::core {
+
+enum class RecordKind : std::uint8_t {
+  kSample,       // counter overflow: pc + event
+  kEpochMarker,  // VM agent closed an epoch (code map written)
+};
+
+struct Sample {
+  RecordKind kind = RecordKind::kSample;
+  hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
+  hw::Address pc = 0;
+  hw::Address caller_pc = 0;
+  hw::CpuMode mode = hw::CpuMode::kUser;
+  hw::Pid pid = 0;
+  std::uint64_t cycle = 0;
+  std::uint64_t epoch = 0;  // marker records: the epoch that just closed
+
+  static Sample from_context(const hw::SampleContext& sc) {
+    Sample s;
+    s.kind = RecordKind::kSample;
+    s.event = sc.event;
+    s.pc = sc.pc;
+    s.caller_pc = sc.caller_pc;
+    s.mode = sc.mode;
+    s.pid = sc.pid;
+    s.cycle = sc.cycle;
+    return s;
+  }
+
+  /// Markers carry the VM's pid: epochs are per-VM, and with multiple
+  /// concurrently profiled stacks (the Xen extension) the daemon must not
+  /// let one guest's collections advance another guest's epoch counter.
+  static Sample epoch_marker(hw::Pid vm_pid, std::uint64_t closed_epoch,
+                             std::uint64_t cycle) {
+    Sample s;
+    s.kind = RecordKind::kEpochMarker;
+    s.pid = vm_pid;
+    s.epoch = closed_epoch;
+    s.cycle = cycle;
+    return s;
+  }
+};
+
+}  // namespace viprof::core

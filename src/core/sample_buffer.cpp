@@ -1,0 +1,45 @@
+#include "core/sample_buffer.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace viprof::core {
+
+SampleBuffer::SampleBuffer(std::size_t capacity) {
+  VIPROF_CHECK(capacity >= 2);
+  const std::size_t rounded = std::bit_ceil(capacity);
+  slots_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+bool SampleBuffer::push(const Sample& sample) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head > mask_) {  // full
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[tail & mask_] = sample;
+  tail_.store(tail + 1, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<Sample> SampleBuffer::pop() {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return std::nullopt;
+  Sample s = slots_[head & mask_];
+  head_.store(head + 1, std::memory_order_release);
+  popped_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SampleBuffer::size() const {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(tail - head);
+}
+
+}  // namespace viprof::core

@@ -1,0 +1,56 @@
+// Lock-free single-producer/single-consumer ring buffer for samples.
+//
+// Sits on OProfile's NMI-handler → daemon boundary: the producer runs in
+// (simulated) NMI context and must never block or allocate; the consumer is
+// the user-level daemon. Implemented with acquire/release atomics so it is
+// also correct under real concurrent threads (exercised by the test suite),
+// even though the simulator itself drives it single-threaded.
+//
+// Capacity is rounded up to a power of two. When the ring is full the
+// producer *drops* the sample and counts it — exactly what OProfile does
+// (the "overflow" statistics in /dev/oprofile) — because stalling an NMI
+// handler is not an option.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/sample.hpp"
+
+namespace viprof::core {
+
+class SampleBuffer {
+ public:
+  explicit SampleBuffer(std::size_t capacity);
+
+  SampleBuffer(const SampleBuffer&) = delete;
+  SampleBuffer& operator=(const SampleBuffer&) = delete;
+
+  /// Producer side (NMI context). Returns false (and counts a drop) when full.
+  bool push(const Sample& sample);
+
+  /// Consumer side (daemon). Returns nullopt when empty.
+  std::optional<Sample> pop();
+
+  /// Consumer-side view of the backlog (approximate under concurrency).
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  std::uint64_t popped() const { return popped_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<Sample> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next pop index
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next push index
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace viprof::core

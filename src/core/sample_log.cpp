@@ -1,0 +1,68 @@
+#include "core/sample_log.hpp"
+
+#include <cstdio>
+
+namespace viprof::core {
+
+std::string SampleLogWriter::path_for(const std::string& dir, hw::EventKind event) {
+  return dir + "/" + hw::to_string(event) + ".samples";
+}
+
+void SampleLogWriter::append(hw::EventKind event, const LoggedSample& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%llx %llx %c %u %llu %llu\n",
+                static_cast<unsigned long long>(s.pc),
+                static_cast<unsigned long long>(s.caller_pc),
+                s.mode == hw::CpuMode::kKernel
+                    ? 'k'
+                    : (s.mode == hw::CpuMode::kHypervisor ? 'h' : 'u'),
+                s.pid,
+                static_cast<unsigned long long>(s.epoch),
+                static_cast<unsigned long long>(s.cycle));
+  pending_[hw::event_index(event)] += buf;
+  ++written_[hw::event_index(event)];
+}
+
+void SampleLogWriter::flush() {
+  for (std::size_t i = 0; i < hw::kEventKindCount; ++i) {
+    if (pending_[i].empty()) continue;
+    vfs_->append(path_for(dir_, static_cast<hw::EventKind>(i)), pending_[i]);
+    pending_[i].clear();
+  }
+}
+
+std::vector<LoggedSample> SampleLogReader::read(const os::Vfs& vfs,
+                                                const std::string& dir,
+                                                hw::EventKind event) {
+  std::vector<LoggedSample> out;
+  const auto contents = vfs.read(SampleLogWriter::path_for(dir, event));
+  if (!contents) return out;
+  const char* p = contents->c_str();
+  while (*p) {
+    LoggedSample s;
+    unsigned long long pc = 0;
+    unsigned long long caller = 0;
+    char mode = 'u';
+    unsigned pid = 0;
+    unsigned long long epoch = 0;
+    unsigned long long cycle = 0;
+    int consumed = 0;
+    if (std::sscanf(p, "%llx %llx %c %u %llu %llu\n%n", &pc, &caller, &mode, &pid,
+                    &epoch, &cycle, &consumed) != 6) {
+      break;
+    }
+    s.pc = pc;
+    s.caller_pc = caller;
+    s.mode = mode == 'k' ? hw::CpuMode::kKernel
+             : mode == 'h' ? hw::CpuMode::kHypervisor
+                           : hw::CpuMode::kUser;
+    s.pid = pid;
+    s.epoch = epoch;
+    s.cycle = cycle;
+    out.push_back(s);
+    p += consumed;
+  }
+  return out;
+}
+
+}  // namespace viprof::core

@@ -1,0 +1,58 @@
+// On-"disk" sample files: the daemon's output, the post-processor's input.
+//
+// One file per hardware event, mirroring OProfile's per-event sample files.
+// Records carry the epoch assigned at logging time so post-processing can
+// select the right code map; everything else (image, symbol) is resolved
+// offline — the paper's "delay most of the work to the offline profile
+// analysis stage" design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/event.hpp"
+#include "hw/types.hpp"
+#include "os/vfs.hpp"
+
+namespace viprof::core {
+
+struct LoggedSample {
+  hw::Address pc = 0;
+  hw::Address caller_pc = 0;
+  hw::CpuMode mode = hw::CpuMode::kUser;
+  hw::Pid pid = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t cycle = 0;
+};
+
+class SampleLogWriter {
+ public:
+  SampleLogWriter(os::Vfs& vfs, std::string dir) : vfs_(&vfs), dir_(std::move(dir)) {}
+
+  void append(hw::EventKind event, const LoggedSample& sample);
+
+  /// Writes buffered lines out to the VFS (daemon does this per drain).
+  void flush();
+
+  std::uint64_t written(hw::EventKind event) const {
+    return written_[hw::event_index(event)];
+  }
+
+  static std::string path_for(const std::string& dir, hw::EventKind event);
+
+ private:
+  os::Vfs* vfs_;
+  std::string dir_;
+  std::string pending_[hw::kEventKindCount];
+  std::uint64_t written_[hw::kEventKindCount] = {};
+};
+
+class SampleLogReader {
+ public:
+  /// All samples of `event` under `dir`; empty if the file does not exist.
+  static std::vector<LoggedSample> read(const os::Vfs& vfs, const std::string& dir,
+                                        hw::EventKind event);
+};
+
+}  // namespace viprof::core

@@ -1,0 +1,113 @@
+#include "core/session.hpp"
+
+#include "core/archive.hpp"
+#include "support/check.hpp"
+
+namespace viprof::core {
+
+ProfilingSession::ProfilingSession(os::Machine& machine, jvm::Vm& vm,
+                                   const SessionConfig& config)
+    : machine_(&machine), vm_(&vm), config_(config) {}
+
+ProfilingSession::~ProfilingSession() {
+  // Leave no dangling handler on the shared CPU.
+  machine_->cpu().set_nmi_handler(nullptr);
+}
+
+void ProfilingSession::attach() {
+  VIPROF_CHECK(!attached_);
+  attached_ = true;
+
+  if (config_.mode == ProfilingMode::kBase) {
+    machine_->cpu().counters().set_enabled(false);
+    return;
+  }
+
+  machine_->cpu().counters().set_enabled(true);
+  machine_->cpu().counters().configure(config_.counters);
+  machine_->cpu().set_max_skid(config_.pc_skid);
+  machine_->cpu().set_profiler_context(
+      machine_->kernel().context("oprofile_nmi_handler", 0));
+
+  buffer_ = std::make_unique<SampleBuffer>(config_.buffer_capacity);
+  machine_->cpu().set_nmi_handler([this](const hw::SampleContext& sc) -> hw::Cycles {
+    buffer_->push(Sample::from_context(sc));
+    return config_.nmi_cost;
+  });
+
+  DaemonConfig dcfg = config_.daemon;
+  dcfg.vm_aware = config_.mode == ProfilingMode::kViprof;
+  daemon_ = std::make_unique<Daemon>(*machine_, *buffer_, table_, dcfg);
+  vm_->add_service(daemon_.get());
+
+  if (config_.mode == ProfilingMode::kViprof) {
+    agent_ = std::make_unique<VmAgent>(*machine_, *buffer_, table_, config_.agent);
+    vm_->add_listener(agent_.get());
+  }
+}
+
+SessionResult ProfilingSession::run() {
+  VIPROF_CHECK(attached_);
+  VIPROF_CHECK(!ran_);
+  ran_ = true;
+
+  SessionResult result;
+  const std::uint64_t nmi_before = machine_->cpu().nmi_count();
+  const hw::Cycles nmi_cycles_before = machine_->cpu().nmi_overhead_cycles();
+
+  result.vm = vm_->run();
+  result.cycles = result.vm.cycles;
+
+  if (daemon_) {
+    daemon_->final_flush();
+    result.daemon = daemon_->stats();
+  }
+  if (agent_) result.agent = agent_->stats();
+  if (buffer_) result.samples_dropped = buffer_->dropped();
+  result.nmi_count = machine_->cpu().nmi_count() - nmi_before;
+  result.nmi_cycles = machine_->cpu().nmi_overhead_cycles() - nmi_cycles_before;
+  return result;
+}
+
+void ProfilingSession::export_archive(const std::string& prefix) {
+  write_archive(*machine_, table_, machine_->vfs(), prefix);
+}
+
+Resolver& ProfilingSession::resolver() {
+  if (!resolver_) {
+    resolver_ = std::make_unique<Resolver>(
+        *machine_, table_, config_.mode == ProfilingMode::kViprof);
+    resolver_->load();
+  }
+  return *resolver_;
+}
+
+Profile ProfilingSession::build_profile(const std::vector<hw::EventKind>& events) {
+  Profile profile;
+  if (config_.mode == ProfilingMode::kBase || !daemon_) return profile;
+  Resolver& r = resolver();
+  for (hw::EventKind event : events) {
+    for (const LoggedSample& s :
+         SampleLogReader::read(machine_->vfs(), daemon_->sample_dir(), event)) {
+      profile.add(event, r.resolve(s));
+    }
+  }
+  return profile;
+}
+
+CallGraph ProfilingSession::build_callgraph(hw::EventKind event) {
+  CallGraph graph(resolver());
+  if (config_.mode == ProfilingMode::kBase || !daemon_) return graph;
+  for (const LoggedSample& s :
+       SampleLogReader::read(machine_->vfs(), daemon_->sample_dir(), event)) {
+    graph.add(s);
+  }
+  return graph;
+}
+
+std::string ProfilingSession::report_text(const std::vector<hw::EventKind>& events,
+                                          std::size_t top_n) {
+  return build_profile(events).render(events, top_n);
+}
+
+}  // namespace viprof::core

@@ -1,0 +1,115 @@
+// Profiling session drivers: wires counters, NMI handler, daemon and VM
+// agent around a VM run, then exposes the offline post-processing step.
+//
+// Three modes reproduce the paper's experimental arms:
+//   kBase     — counters off, no daemon, no agent (Fig. 3 base times);
+//   kOprofile — stock OProfile: sampling + daemon, JIT code is anonymous;
+//   kViprof   — OProfile + VM registration + agent + epoch code maps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/callgraph.hpp"
+#include "core/daemon.hpp"
+#include "core/registration.hpp"
+#include "core/report.hpp"
+#include "core/resolver.hpp"
+#include "core/sample_buffer.hpp"
+#include "jvm/vm.hpp"
+#include "os/machine.hpp"
+
+namespace viprof::core {
+
+enum class ProfilingMode : std::uint8_t { kBase, kOprofile, kViprof };
+
+inline const char* to_string(ProfilingMode mode) {
+  switch (mode) {
+    case ProfilingMode::kBase:     return "base";
+    case ProfilingMode::kOprofile: return "oprofile";
+    case ProfilingMode::kViprof:   return "viprof";
+  }
+  return "?";
+}
+
+struct SessionConfig {
+  ProfilingMode mode = ProfilingMode::kViprof;
+
+  /// Events and sampling periods. Default matches the paper's Fig. 1 run:
+  /// time (cycles) at the median 90K period plus L2 misses.
+  std::vector<hw::CounterConfig> counters = {
+      {hw::EventKind::kGlobalPowerEvents, 90'000, true},
+      {hw::EventKind::kBsqCacheReference, 1'000, true},
+  };
+
+  hw::Cycles nmi_cost = 2'200;       // kernel-half cost per sample
+  std::size_t buffer_capacity = 64 * 1024;
+  std::uint32_t pc_skid = 0;         // optional hardware skid, bytes
+
+  DaemonConfig daemon;
+  AgentConfig agent;
+};
+
+struct SessionResult {
+  jvm::RunStats vm;
+  hw::Cycles cycles = 0;          // measured run cycles (the Fig. 2 metric)
+  std::uint64_t nmi_count = 0;
+  hw::Cycles nmi_cycles = 0;
+  std::uint64_t samples_dropped = 0;
+  DaemonStats daemon;
+  AgentStats agent;
+};
+
+class ProfilingSession {
+ public:
+  /// Construct *before* vm.setup(): the agent must observe on_vm_start.
+  ProfilingSession(os::Machine& machine, jvm::Vm& vm, const SessionConfig& config);
+  ~ProfilingSession();
+
+  ProfilingSession(const ProfilingSession&) = delete;
+  ProfilingSession& operator=(const ProfilingSession&) = delete;
+
+  /// Installs counters/handler and registers daemon + agent with the VM.
+  void attach();
+
+  /// Runs the program (vm.setup must have been called) and flushes logs.
+  SessionResult run();
+
+  // --- Offline post-processing --------------------------------------------
+  /// Aggregated profile over the given events (empty in base mode).
+  Profile build_profile(const std::vector<hw::EventKind>& events);
+
+  /// Cross-layer call graph from the samples of `event`.
+  CallGraph build_callgraph(hw::EventKind event);
+
+  /// Fig. 1-style text report.
+  std::string report_text(const std::vector<hw::EventKind>& events, std::size_t top_n);
+
+  /// Writes the offline-resolution archive (manifest + everything the
+  /// ArchiveResolver needs) into the machine's VFS under `prefix`.
+  void export_archive(const std::string& prefix = "archive");
+
+  const SessionConfig& config() const { return config_; }
+  const RegistrationTable& registrations() const { return table_; }
+  const Daemon* daemon() const { return daemon_.get(); }
+  const VmAgent* agent() const { return agent_.get(); }
+  SampleBuffer* buffer() { return buffer_.get(); }
+  Resolver& resolver();
+
+ private:
+  os::Machine* machine_;
+  jvm::Vm* vm_;
+  SessionConfig config_;
+  RegistrationTable table_;
+  std::unique_ptr<SampleBuffer> buffer_;
+  std::unique_ptr<Daemon> daemon_;
+  std::unique_ptr<VmAgent> agent_;
+  std::unique_ptr<Resolver> resolver_;
+  bool attached_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace viprof::core

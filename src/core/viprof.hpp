@@ -1,0 +1,25 @@
+// Umbrella header: the VIProf public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   os::Machine machine;
+//   jvm::Vm vm(machine, vm_config);
+//   core::SessionConfig cfg;                 // mode, events, periods
+//   core::ProfilingSession session(machine, vm, cfg);
+//   session.attach();                        // before vm.setup()
+//   vm.setup(program);
+//   core::SessionResult result = session.run();
+//   std::cout << session.report_text({kGlobalPowerEvents, kBsqCacheReference}, 20);
+#pragma once
+
+#include "core/agent.hpp"
+#include "core/callgraph.hpp"
+#include "core/code_map.hpp"
+#include "core/daemon.hpp"
+#include "core/registration.hpp"
+#include "core/report.hpp"
+#include "core/resolver.hpp"
+#include "core/sample.hpp"
+#include "core/sample_buffer.hpp"
+#include "core/sample_log.hpp"
+#include "core/session.hpp"

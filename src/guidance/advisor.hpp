@@ -1,0 +1,64 @@
+// Profile-guided cross-layer optimisation advisor — the purpose VIProf was
+// built for (paper Section 1: "employ VIProf profiles to guide online
+// optimization of programs and their execution environments"; Section 5:
+// "profile-guided optimizations across multiple layers of the execution
+// stack"). Implemented here as the paper's future work.
+//
+// The advisor consumes a unified VIProf profile and emits actionable,
+// layer-specific recommendations:
+//   * application/VM layer: hot JIT methods worth compiling at the top
+//     tier immediately (skipping the adaptive ladder's warm-up);
+//   * OS layer: kernel routines hot enough to justify workload-specific
+//     specialisation (the VIVA Linux-customisation line of work);
+// plus the per-layer time breakdown that justifies them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace viprof::guidance {
+
+struct AdvisorConfig {
+  double hot_method_threshold = 0.02;   // min time fraction to flag a method
+  double kernel_threshold = 0.015;      // min time fraction to flag a routine
+  std::size_t max_methods = 12;
+  std::size_t max_kernel = 4;
+};
+
+struct MethodAdvice {
+  std::string qualified_name;
+  double time_frac = 0.0;
+};
+
+struct KernelAdvice {
+  std::string routine;
+  double time_frac = 0.0;
+};
+
+struct Advice {
+  std::vector<MethodAdvice> hot_methods;
+  std::vector<KernelAdvice> kernel_hotspots;
+  double jit_frac = 0.0;
+  double vm_frac = 0.0;
+  double native_frac = 0.0;
+  double kernel_frac = 0.0;
+
+  bool empty() const { return hot_methods.empty() && kernel_hotspots.empty(); }
+  std::string render() const;
+};
+
+class Advisor {
+ public:
+  explicit Advisor(const AdvisorConfig& config = {}) : config_(config) {}
+
+  /// Analyses a unified profile over `event` (typically time).
+  Advice analyze(const core::Profile& profile, hw::EventKind event) const;
+
+ private:
+  AdvisorConfig config_;
+};
+
+}  // namespace viprof::guidance

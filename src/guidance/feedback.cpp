@@ -1,0 +1,24 @@
+#include "guidance/feedback.hpp"
+
+namespace viprof::guidance {
+
+FeedbackReport apply_advice(const Advice& advice, jvm::Vm& vm, os::Machine& machine,
+                            const FeedbackConfig& config) {
+  FeedbackReport report;
+  if (config.apply_vm_advice && !advice.hot_methods.empty()) {
+    std::vector<std::string> names;
+    names.reserve(advice.hot_methods.size());
+    for (const MethodAdvice& m : advice.hot_methods) names.push_back(m.qualified_name);
+    vm.set_aggressive_methods(names);
+    report.methods_boosted = names.size();
+  }
+  if (config.apply_kernel_advice) {
+    for (const KernelAdvice& k : advice.kernel_hotspots) {
+      machine.kernel().specialize(k.routine, config.kernel_cpi_scale);
+      ++report.routines_specialized;
+    }
+  }
+  return report;
+}
+
+}  // namespace viprof::guidance

@@ -1,0 +1,32 @@
+// Applies cross-layer advice to a fresh execution environment: the VM is
+// told to compile the flagged methods at the top tier immediately, and the
+// kernel's flagged routines are specialised (CPI-scaled fast paths). This
+// closes the loop the paper's VIVA project sketches: profile once, adapt
+// the *whole stack*, run faster.
+#pragma once
+
+#include "guidance/advisor.hpp"
+#include "jvm/vm.hpp"
+#include "os/machine.hpp"
+
+namespace viprof::guidance {
+
+struct FeedbackConfig {
+  /// CPI scale applied to specialised kernel routines (a trimmed fast
+  /// path; the VIVA kernel-customisation papers report 10-40% on hot
+  /// syscall paths).
+  double kernel_cpi_scale = 0.72;
+  bool apply_vm_advice = true;
+  bool apply_kernel_advice = true;
+};
+
+struct FeedbackReport {
+  std::size_t methods_boosted = 0;
+  std::size_t routines_specialized = 0;
+};
+
+/// Applies `advice` to `vm` (after setup) and `machine`'s kernel.
+FeedbackReport apply_advice(const Advice& advice, jvm::Vm& vm, os::Machine& machine,
+                            const FeedbackConfig& config = {});
+
+}  // namespace viprof::guidance

@@ -1,0 +1,43 @@
+#include "hw/access_pattern.hpp"
+
+#include <algorithm>
+
+namespace viprof::hw {
+
+SampledAccesses AccessSampler::sample(const AccessPattern& p, std::uint64_t ops,
+                                      CacheModel& cache) {
+  SampledAccesses out;
+  if (ops == 0 || p.accesses_per_op <= 0.0) return out;
+  out.accesses = static_cast<double>(ops) * p.accesses_per_op;
+
+  const std::uint64_t ws = std::max<std::uint64_t>(p.working_set, p.stride);
+  std::uint32_t probes = kProbesPerChunk;
+  // Never probe more than the chunk's scaled access count.
+  if (out.accesses < probes) probes = std::max(1u, static_cast<std::uint32_t>(out.accesses));
+
+  std::uint32_t l1_miss = 0;
+  std::uint32_t l2_miss = 0;
+  for (std::uint32_t i = 0; i < probes; ++i) {
+    Address addr;
+    if (rng_.chance(p.hot_frac)) {
+      const Address hot = p.hot_base != 0 ? p.hot_base : p.base;
+      addr = hot + rng_.below(std::max<std::uint64_t>(p.hot_bytes, 64));
+    } else if (rng_.chance(p.random_frac)) {
+      addr = p.base + rng_.below(ws);
+    } else {
+      cursor_ = (cursor_ + p.stride) % ws;
+      addr = p.base + cursor_;
+    }
+    const AccessResult r = cache.access(addr);
+    if (!r.l1_hit) {
+      ++l1_miss;
+      if (!r.l2_hit) ++l2_miss;
+    }
+  }
+  const double scale = out.accesses / static_cast<double>(probes);
+  out.l1_misses = static_cast<double>(l1_miss) * scale;
+  out.l2_misses = static_cast<double>(l2_miss) * scale;
+  return out;
+}
+
+}  // namespace viprof::hw

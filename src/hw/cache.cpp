@@ -1,0 +1,66 @@
+#include "hw/cache.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace viprof::hw {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config) : config_(config) {
+  VIPROF_CHECK(config.line_bytes > 0 && std::has_single_bit(config.line_bytes));
+  VIPROF_CHECK(config.ways > 0);
+  VIPROF_CHECK(config.size_bytes % (static_cast<std::uint64_t>(config.line_bytes) * config.ways) == 0);
+  set_count_ = config.size_bytes / (static_cast<std::uint64_t>(config.line_bytes) * config.ways);
+  VIPROF_CHECK(set_count_ > 0 && std::has_single_bit(set_count_));
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  ways_.resize(set_count_ * config.ways);
+}
+
+bool CacheLevel::access(Address address) {
+  const std::uint64_t line = address >> line_shift_;
+  const std::uint64_t set = line & (set_count_ - 1);
+  const std::uint64_t tag = line >> std::countr_zero(set_count_);
+  Way* base = &ways_[set * config_.ways];
+  ++stamp_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = stamp_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  return false;
+}
+
+void CacheLevel::flush() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+CacheModel::CacheModel(const CacheModelConfig& config) : l1_(config.l1), l2_(config.l2) {}
+
+AccessResult CacheModel::access(Address address) {
+  ++accesses_;
+  AccessResult result;
+  result.l1_hit = l1_.access(address);
+  if (!result.l1_hit) result.l2_hit = l2_.access(address);
+  return result;
+}
+
+void CacheModel::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+}  // namespace viprof::hw

@@ -1,0 +1,83 @@
+// Set-associative cache hierarchy model (L1D + unified L2, LRU replacement).
+//
+// The simulator does not execute real loads; workloads describe their memory
+// behaviour as access streams (see access_pattern.hpp) which are pushed
+// through this model to derive L2 miss events — the paper's BSQ Dmiss column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace viprof::hw {
+
+struct CacheLevelConfig {
+  std::uint64_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+};
+
+/// One level of cache: physically indexed, LRU within a set.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheLevelConfig& config);
+
+  /// Returns true on hit; on miss the line is filled (allocate-on-miss).
+  bool access(Address address);
+
+  /// Invalidate everything (e.g. on address-space switch if desired).
+  void flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t sets() const { return set_count_; }
+  const CacheLevelConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-touch stamp
+    bool valid = false;
+  };
+
+  CacheLevelConfig config_;
+  std::uint64_t set_count_;
+  std::uint32_t line_shift_;
+  std::vector<Way> ways_;  // set-major layout: set * ways + way
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+struct CacheModelConfig {
+  CacheLevelConfig l1{16 * 1024, 64, 4};       // P4-ish 16KB L1D
+  CacheLevelConfig l2{2 * 1024 * 1024, 64, 8}; // 2MB unified L2 (Xeon Irwindale)
+};
+
+struct AccessResult {
+  bool l1_hit = false;
+  bool l2_hit = false;  // meaningful only when !l1_hit
+};
+
+/// Two-level hierarchy; an L1 miss probes L2; an L2 miss counts as a memory
+/// reference miss (the event the paper samples).
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheModelConfig& config = {});
+
+  AccessResult access(Address address);
+
+  std::uint64_t l1_misses() const { return l1_.misses(); }
+  std::uint64_t l2_misses() const { return l2_.misses(); }
+  std::uint64_t accesses() const { return accesses_; }
+
+  void flush();
+
+ private:
+  CacheLevel l1_;
+  CacheLevel l2_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace viprof::hw

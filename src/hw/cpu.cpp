@@ -1,0 +1,118 @@
+#include "hw/cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace viprof::hw {
+
+Cpu::Cpu(std::uint64_t seed) : rng_(seed) {
+  profiler_ctx_.mode = CpuMode::kKernel;
+}
+
+Address Cpu::pick_pc(const ExecContext& ctx) {
+  const std::uint64_t size = std::max<std::uint64_t>(ctx.code_size, 1);
+  std::uint64_t offset = rng_.below(size) & ~3ULL;  // instruction-aligned
+  if (max_skid_ > 0) {
+    offset += rng_.below(max_skid_ + 1);
+    if (offset >= size) offset = size - 1;
+  }
+  return ctx.code_base + offset;
+}
+
+void Cpu::advance(Cycles cycles, const ChunkEvents& events) {
+  VIPROF_CHECK(cycles > 0 || events.instructions == 0);
+  const Cycles start = clock_;
+
+  struct Pending {
+    EventKind kind;
+    Cycles at;  // absolute overflow cycle
+  };
+  std::vector<Pending> pending;
+
+  auto add_kind = [&](EventKind kind, std::uint64_t count, std::uint64_t span) {
+    if (count == 0) return;
+    scratch_.clear();
+    counters_.add(kind, count, scratch_);
+    for (const Overflow& o : scratch_) {
+      // Map the offset within the batch onto a cycle within the chunk.
+      const Cycles at =
+          start + (span == 0 ? cycles
+                             : (o.offset * cycles) / std::max<std::uint64_t>(span, 1));
+      pending.push_back(Pending{kind, std::min<Cycles>(at, start + cycles)});
+    }
+  };
+
+  auto drain_accum = [](double& accum, double add) -> std::uint64_t {
+    accum += add;
+    if (accum < 1.0) return 0;
+    const double whole = std::floor(accum);
+    accum -= whole;
+    return static_cast<std::uint64_t>(whole);
+  };
+
+  add_kind(EventKind::kGlobalPowerEvents, cycles, cycles);
+  add_kind(EventKind::kInstrRetired, events.instructions, events.instructions);
+  add_kind(EventKind::kBsqCacheReference, drain_accum(l2_accum_, events.l2_misses),
+           cycles);
+  add_kind(EventKind::kItlbMiss, drain_accum(itlb_accum_, events.itlb_misses), cycles);
+  add_kind(EventKind::kBranchMispredict,
+           drain_accum(branch_accum_, events.branch_mispredicts), cycles);
+
+  clock_ = start + cycles;
+
+  if (pending.empty()) return;
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) { return a.at < b.at; });
+  for (const Pending& p : pending) {
+    SampleContext sc;
+    sc.event = p.kind;
+    sc.pc = pick_pc(ctx_);
+    sc.caller_pc = ctx_.caller_pc;
+    sc.mode = ctx_.mode;
+    sc.pid = ctx_.pid;
+    sc.cycle = p.at;
+    deliver(sc);
+  }
+}
+
+void Cpu::deliver(const SampleContext& sc) {
+  ++nmi_count_;
+  if (!nmi_handler_) return;
+  const Cycles cost = nmi_handler_(sc);
+  if (cost > 0) charge_handler_cost(cost);
+}
+
+void Cpu::charge_handler_cost(Cycles cost) {
+  // The handler's cycles are real time: they advance the clock and keep the
+  // counters counting. Overflows that fire during a handler are delivered
+  // right after it returns (NMIs are masked while one is in flight), with a
+  // PC inside the profiler's own kernel code. Each such delivery may itself
+  // cost cycles; the loop converges because handler cost << sampling period.
+  Cycles remaining = cost;
+  int guard = 0;
+  while (remaining > 0) {
+    VIPROF_CHECK(++guard < 64);  // period must exceed handler cost
+    nmi_overhead_ += remaining;
+    scratch_.clear();
+    counters_.add(EventKind::kGlobalPowerEvents, remaining, scratch_);
+    const Cycles start = clock_;
+    clock_ += remaining;
+    Cycles follow_on = 0;
+    for (const Overflow& o : scratch_) {
+      SampleContext sc;
+      sc.event = EventKind::kGlobalPowerEvents;
+      sc.pc = pick_pc(profiler_ctx_);
+      sc.caller_pc = profiler_ctx_.caller_pc;
+      sc.mode = profiler_ctx_.mode;
+      sc.pid = profiler_ctx_.pid;
+      sc.cycle = start + o.offset;
+      ++nmi_count_;
+      if (nmi_handler_) follow_on += nmi_handler_(sc);
+    }
+    remaining = follow_on;
+  }
+}
+
+}  // namespace viprof::hw

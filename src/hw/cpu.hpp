@@ -1,0 +1,108 @@
+// Simulated CPU: virtual cycle clock, executing-context tracking, and the
+// counter-overflow → NMI delivery path that OProfile's kernel half hangs off.
+//
+// The machine advances in *chunks*: the VM/OS declares "the next N abstract
+// instructions execute inside this code body, costing C cycles, generating
+// these auxiliary events", and the CPU distributes the events across the
+// chunk, firing an NMI at the exact cycle each programmed counter overflows.
+// The NMI handler's own cost is charged back to the clock *and* to the
+// counters (a real HPC keeps counting during the handler), attributed to the
+// profiler's kernel code — so heavy sampling visibly profiles itself, exactly
+// as OProfile does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/event.hpp"
+#include "hw/perf_counter.hpp"
+#include "hw/types.hpp"
+#include "support/rng.hpp"
+
+namespace viprof::hw {
+
+/// What the profiler observes at counter overflow.
+struct SampleContext {
+  EventKind event = EventKind::kGlobalPowerEvents;
+  Address pc = 0;
+  Address caller_pc = 0;  // return address one frame up (0 = none/unknown)
+  CpuMode mode = CpuMode::kUser;
+  Pid pid = 0;
+  Cycles cycle = 0;  // absolute cycle at which the overflow fired
+};
+
+/// The NMI handler consumes the sample and returns its own cost in cycles.
+using NmiHandler = std::function<Cycles(const SampleContext&)>;
+
+/// Code body currently executing (used to synthesise sample PCs).
+/// `caller_pc` is the return address on the stack when this body was
+/// entered; the profiler's call-graph mode records it alongside the PC
+/// (OProfile's one-level stack unwind).
+struct ExecContext {
+  Address code_base = 0;
+  std::uint64_t code_size = 1;
+  CpuMode mode = CpuMode::kUser;
+  Pid pid = 0;
+  Address caller_pc = 0;
+};
+
+/// Auxiliary event counts for one chunk (fractional: the access sampler
+/// produces scaled estimates; the CPU carries remainders across chunks).
+struct ChunkEvents {
+  std::uint64_t instructions = 0;
+  double l2_misses = 0.0;
+  double itlb_misses = 0.0;
+  double branch_mispredicts = 0.0;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(std::uint64_t seed = 0x1cebabe);
+
+  Cycles now() const { return clock_; }
+  PerfCounterUnit& counters() { return counters_; }
+  const PerfCounterUnit& counters() const { return counters_; }
+
+  void set_nmi_handler(NmiHandler handler) { nmi_handler_ = std::move(handler); }
+
+  /// Code the NMI handler itself executes in (kernel); samples that fire
+  /// while charging handler cost land here.
+  void set_profiler_context(const ExecContext& ctx) { profiler_ctx_ = ctx; }
+
+  void set_context(const ExecContext& ctx) { ctx_ = ctx; }
+  const ExecContext& context() const { return ctx_; }
+
+  /// Maximum PC skid in bytes (hardware samples land a little late); 0 = exact.
+  void set_max_skid(std::uint32_t bytes) { max_skid_ = bytes; }
+
+  /// Execute one chunk in the current context.
+  void advance(Cycles cycles, const ChunkEvents& events);
+
+  /// Cycles consumed by NMI handlers so far (the profiling overhead that
+  /// the overhead benchmarks measure, alongside daemon/agent costs).
+  Cycles nmi_overhead_cycles() const { return nmi_overhead_; }
+  std::uint64_t nmi_count() const { return nmi_count_; }
+
+ private:
+  Address pick_pc(const ExecContext& ctx);
+  void deliver(const SampleContext& sc);
+  void charge_handler_cost(Cycles cost);
+
+  PerfCounterUnit counters_;
+  NmiHandler nmi_handler_;
+  ExecContext ctx_;
+  ExecContext profiler_ctx_;
+  support::Xoshiro256 rng_;
+  Cycles clock_ = 0;
+  Cycles nmi_overhead_ = 0;
+  std::uint64_t nmi_count_ = 0;
+  std::uint32_t max_skid_ = 0;
+  // Fractional event remainders carried across chunks.
+  double l2_accum_ = 0.0;
+  double itlb_accum_ = 0.0;
+  double branch_accum_ = 0.0;
+  std::vector<Overflow> scratch_;  // reused per advance() to avoid allocation
+};
+
+}  // namespace viprof::hw

@@ -1,0 +1,42 @@
+// Hardware performance event kinds.
+//
+// Named after the Pentium 4 events the paper profiles: GLOBAL_POWER_EVENTS
+// approximates elapsed (unhalted) cycles, i.e. "time"; BSQ_CACHE_REFERENCE
+// configured for L2 data read/write misses is the paper's "Dmiss" column.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace viprof::hw {
+
+enum class EventKind : std::uint8_t {
+  kGlobalPowerEvents,  // unhalted cycles ("time")
+  kBsqCacheReference,  // L2 cache misses ("Dmiss")
+  kInstrRetired,       // retired instructions
+  kItlbMiss,           // instruction TLB misses
+  kBranchMispredict,   // mispredicted branches
+};
+
+inline constexpr std::size_t kEventKindCount = 5;
+
+inline constexpr std::array<EventKind, kEventKindCount> kAllEventKinds = {
+    EventKind::kGlobalPowerEvents, EventKind::kBsqCacheReference,
+    EventKind::kInstrRetired, EventKind::kItlbMiss, EventKind::kBranchMispredict};
+
+inline const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGlobalPowerEvents: return "GLOBAL_POWER_EVENTS";
+    case EventKind::kBsqCacheReference: return "BSQ_CACHE_REFERENCE";
+    case EventKind::kInstrRetired:      return "INSTR_RETIRED";
+    case EventKind::kItlbMiss:          return "ITLB_MISS";
+    case EventKind::kBranchMispredict:  return "BRANCH_MISPREDICT";
+  }
+  return "UNKNOWN_EVENT";
+}
+
+inline constexpr std::size_t event_index(EventKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace viprof::hw

@@ -1,0 +1,41 @@
+#include "hw/perf_counter.hpp"
+
+#include "support/check.hpp"
+
+namespace viprof::hw {
+
+void PerfCounterUnit::configure(const std::vector<CounterConfig>& configs) {
+  counters_.clear();
+  for (auto& t : totals_) t = 0;
+  for (auto& t : overflow_counts_) t = 0;
+  for (const auto& cfg : configs) {
+    VIPROF_CHECK(cfg.period > 0);
+    counters_.push_back(Counter{cfg, cfg.period});
+  }
+}
+
+bool PerfCounterUnit::watches(EventKind kind) const {
+  if (!unit_enabled_) return false;
+  for (const auto& c : counters_)
+    if (c.config.enabled && c.config.kind == kind) return true;
+  return false;
+}
+
+void PerfCounterUnit::add(EventKind kind, std::uint64_t count, std::vector<Overflow>& out) {
+  if (count == 0) return;
+  totals_[event_index(kind)] += count;
+  if (!unit_enabled_) return;
+  for (auto& c : counters_) {
+    if (!c.config.enabled || c.config.kind != kind) continue;
+    std::uint64_t consumed = 0;
+    while (count - consumed >= c.remaining) {
+      consumed += c.remaining;
+      out.push_back(Overflow{kind, consumed});
+      ++overflow_counts_[event_index(kind)];
+      c.remaining = c.config.period;
+    }
+    c.remaining -= count - consumed;
+  }
+}
+
+}  // namespace viprof::hw

@@ -1,0 +1,63 @@
+// Simulated hardware performance counters.
+//
+// Each counter is programmed with an event kind and a sampling period
+// ("reset value" in OProfile terms). When `period` events have been counted
+// the counter overflows; the overflow position within the added batch is
+// reported so the CPU can reconstruct the exact cycle and PC of the sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/event.hpp"
+
+namespace viprof::hw {
+
+struct CounterConfig {
+  EventKind kind = EventKind::kGlobalPowerEvents;
+  std::uint64_t period = 90'000;  // events per sample; paper sweeps 45K/90K/450K
+  bool enabled = true;
+};
+
+/// One overflow produced while adding a batch of events: `offset` events of
+/// the batch had been consumed when the counter wrapped (1-based: the
+/// overflow fires *on* the offset-th event).
+struct Overflow {
+  EventKind kind;
+  std::uint64_t offset;
+};
+
+class PerfCounterUnit {
+ public:
+  /// Programs the unit; replaces any previous configuration.
+  void configure(const std::vector<CounterConfig>& configs);
+
+  /// True if some enabled counter watches `kind`.
+  bool watches(EventKind kind) const;
+
+  /// Counts `count` events of `kind`; appends any overflows to `out`
+  /// (offsets are relative to this batch, strictly increasing).
+  void add(EventKind kind, std::uint64_t count, std::vector<Overflow>& out);
+
+  /// Total events observed per kind since configure().
+  std::uint64_t total(EventKind kind) const { return totals_[event_index(kind)]; }
+
+  /// Total overflows (== samples requested) per kind since configure().
+  std::uint64_t overflows(EventKind kind) const { return overflow_counts_[event_index(kind)]; }
+
+  void set_enabled(bool enabled) { unit_enabled_ = enabled; }
+  bool enabled() const { return unit_enabled_; }
+
+ private:
+  struct Counter {
+    CounterConfig config;
+    std::uint64_t remaining = 0;  // events until next overflow
+  };
+
+  std::vector<Counter> counters_;
+  std::uint64_t totals_[kEventKindCount] = {};
+  std::uint64_t overflow_counts_[kEventKindCount] = {};
+  bool unit_enabled_ = true;
+};
+
+}  // namespace viprof::hw

@@ -1,0 +1,30 @@
+// Fundamental simulated-hardware types shared across the stack.
+#pragma once
+
+#include <cstdint>
+
+namespace viprof::hw {
+
+using Address = std::uint64_t;
+using Cycles = std::uint64_t;
+using Pid = std::uint32_t;
+
+/// Processor privilege mode at the time of a sample; OProfile separates
+/// user-space from kernel-space hits, and the XenoProf extension adds the
+/// hypervisor ring (paper Section 5 future work, implemented here).
+enum class CpuMode : std::uint8_t {
+  kUser,
+  kKernel,
+  kHypervisor,
+};
+
+inline const char* to_string(CpuMode mode) {
+  switch (mode) {
+    case CpuMode::kUser:       return "user";
+    case CpuMode::kKernel:     return "kernel";
+    case CpuMode::kHypervisor: return "hypervisor";
+  }
+  return "?";
+}
+
+}  // namespace viprof::hw

@@ -1,0 +1,190 @@
+#include "jvm/boot_image.hpp"
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace viprof::jvm {
+
+namespace {
+constexpr std::uint64_t kFillerSymbolSize = 4096;
+constexpr std::size_t kFillerSymbols = 256;
+}  // namespace
+
+BootImage::BootImage(os::ImageRegistry& registry, os::Vfs& vfs,
+                     const std::string& map_path, VmFlavor flavor)
+    : map_path_(map_path) {
+  if (flavor == VmFlavor::kClr) {
+    // CLR 1.x/2.0-era internals: JIT in clrjit, GC/loader/threading in
+    // mscorwks. Same services, different runtime.
+    add(VmService::kBaselineCompiler, "clrjit!Compiler::compCompile",
+        24'576, 0.45, 1.3, 96 * 1024, 0.35);
+    add(VmService::kBaselineCompiler, "clrjit!CodeGen::genGenerateCode",
+        16'384, 0.30, 1.1, 32 * 1024, 0.15);
+    add(VmService::kBaselineCompiler, "clrjit!Compiler::lvaMarkLocalVars",
+        4'096, 0.25, 1.2, 16 * 1024, 0.30);
+
+    add(VmService::kOptCompiler, "clrjit!Compiler::optOptimizeLoops",
+        49'152, 0.35, 1.5, 256 * 1024, 0.45);
+    add(VmService::kOptCompiler, "clrjit!Compiler::fgInline",
+        12'288, 0.30, 1.6, 128 * 1024, 0.50);
+    add(VmService::kOptCompiler, "clrjit!Compiler::optCSE",
+        16'384, 0.35, 1.4, 96 * 1024, 0.35);
+
+    add(VmService::kGc, "mscorwks!WKS::gc_heap::mark_phase",
+        8'192, 0.35, 1.9, 8 * 1024 * 1024, 0.80);
+    add(VmService::kGc, "mscorwks!WKS::gc_heap::plan_phase",
+        6'144, 0.30, 1.8, 8 * 1024 * 1024, 0.70);
+    add(VmService::kGc, "mscorwks!WKS::gc_heap::relocate_phase",
+        6'144, 0.35, 1.9, 8 * 1024 * 1024, 0.75);
+
+    add(VmService::kClassLoader, "mscorwks!MethodTableBuilder::BuildMethodTable",
+        12'288, 0.60, 1.4, 128 * 1024, 0.40);
+    add(VmService::kClassLoader, "mscorwks!ClassLoader::LoadTypeHandle",
+        8'192, 0.40, 1.4, 64 * 1024, 0.40);
+
+    add(VmService::kGlue, "mscorwks!ThreadNative::Sleep",
+        4'096, 0.40, 1.2, 16 * 1024, 0.20);
+    add(VmService::kGlue, "mscorwks!Thread::DoAppropriateWait",
+        1'024, 0.35, 1.1, 4 * 1024, 0.10);
+    add(VmService::kGlue, "System.Collections.ArrayList.TrimToSize",
+        2'048, 0.25, 1.3, 64 * 1024, 0.25);
+
+    add_filler(kFillerSymbols);
+    size_ = cursor_;
+    os::Image& img =
+        registry.create("CLR.native.image", os::ImageKind::kBootImage, size_);
+    image_ = img.id();
+    finalize(img, vfs);
+    return;
+  }
+
+  // Service routine catalogue. Names follow Jikes RVM 2.4.x conventions and
+  // include every VM-internal symbol visible in the paper's Fig. 1.
+  add(VmService::kBaselineCompiler, "com.ibm.jikesrvm.VM_BaselineCompiler.compile",
+      24'576, 0.45, 1.3, 96 * 1024, 0.35);
+  add(VmService::kBaselineCompiler, "com.ibm.jikesrvm.VM_Assembler.emit",
+      16'384, 0.30, 1.1, 32 * 1024, 0.15);
+  add(VmService::kBaselineCompiler,
+      "com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength",
+      4'096, 0.15, 1.2, 16 * 1024, 0.30);
+  add(VmService::kBaselineCompiler,
+      "com.ibm.jikesrvm.VM_BaselineGCMapIterator.setupIterator",
+      4'096, 0.10, 1.3, 24 * 1024, 0.40);
+
+  add(VmService::kOptCompiler, "com.ibm.jikesrvm.opt.VM_OptimizingCompiler.optimize",
+      49'152, 0.28, 1.5, 256 * 1024, 0.45);
+  add(VmService::kOptCompiler,
+      "com.ibm.jikesrvm.opt.VM_OptCompiledMethod.createCodePatchMaps",
+      12'288, 0.18, 1.6, 128 * 1024, 0.50);
+  add(VmService::kOptCompiler,
+      "com.ibm.jikesrvm.opt.VM_OptMachineCodeMap.getMethodForMCOffset",
+      6'144, 0.14, 1.4, 64 * 1024, 0.45);
+  add(VmService::kOptCompiler, "com.ibm.jikesrvm.classloader.VM_NormalMethod.hasArrayRead",
+      4'096, 0.14, 1.2, 32 * 1024, 0.30);
+  add(VmService::kOptCompiler,
+      "com.ibm.jikesrvm.classloader.VM_NormalMethod.finalizeOsrSpecialization",
+      6'144, 0.12, 1.4, 48 * 1024, 0.40);
+  add(VmService::kOptCompiler, "com.ibm.jikesrvm.opt.ir.VM_IR.simplify",
+      16'384, 0.14, 1.4, 96 * 1024, 0.35);
+
+  add(VmService::kGc, "com.ibm.jikesrvm.mm.mmtk.VM_CopySpace.copyObject",
+      8'192, 0.35, 1.8, 8 * 1024 * 1024, 0.70);
+  add(VmService::kGc, "com.ibm.jikesrvm.mm.mmtk.VM_Scanning.scanObject",
+      6'144, 0.25, 1.9, 8 * 1024 * 1024, 0.80);
+  add(VmService::kGc,
+      "com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills",
+      4'096, 0.20, 1.7, 2 * 1024 * 1024, 0.60);
+  add(VmService::kGc, "com.ibm.jikesrvm.mm.mmtk.VM_TraceLocal.traceObject",
+      6'144, 0.20, 1.9, 8 * 1024 * 1024, 0.75);
+
+  add(VmService::kClassLoader, "com.ibm.jikesrvm.classloader.VM_ClassLoader.loadClass",
+      12'288, 0.60, 1.4, 128 * 1024, 0.40);
+  add(VmService::kClassLoader, "com.ibm.jikesrvm.classloader.VM_Class.resolve",
+      8'192, 0.40, 1.4, 64 * 1024, 0.40);
+
+  add(VmService::kGlue, "com.ibm.jikesrvm.MainThread.run",
+      4'096, 0.50, 1.2, 16 * 1024, 0.20);
+  add(VmService::kGlue, "com.ibm.jikesrvm.scheduler.VM_Thread.yieldpoint",
+      1'024, 0.30, 1.1, 4 * 1024, 0.10);
+  add(VmService::kGlue, "java.util.Vector.trimToSize",
+      2'048, 0.20, 1.3, 64 * 1024, 0.25);
+
+  add_filler(kFillerSymbols);
+  size_ = cursor_;
+
+  os::Image& img = registry.create("RVM.code.image", os::ImageKind::kBootImage, size_);
+  image_ = img.id();
+  finalize(img, vfs);
+}
+
+void BootImage::finalize(os::Image& img, os::Vfs& vfs) {
+  std::string map;
+  for (const auto& per_service : by_service_) {
+    for (const BootRoutine& r : per_service) {
+      img.symbols().add(r.name, r.offset, r.size);
+      map += support::hex(r.offset) + " " + std::to_string(r.size) + " " + r.name + "\n";
+      ++total_symbols_;
+    }
+  }
+  for (const auto& [name, extent] : filler_) {
+    img.symbols().add(name, extent.first, extent.second);
+    map += support::hex(extent.first) + " " + std::to_string(extent.second) + " " + name + "\n";
+    ++total_symbols_;
+  }
+  vfs.write(map_path_, std::move(map));
+}
+
+void BootImage::add(VmService service, std::string name, std::uint64_t code_size,
+                    double weight, double cpi, std::uint64_t working_set,
+                    double random_frac) {
+  BootRoutine r;
+  r.name = std::move(name);
+  r.offset = cursor_;
+  r.size = code_size;
+  r.weight = weight;
+  r.cpi = cpi;
+  r.working_set = working_set;
+  r.random_frac = random_frac;
+  r.accesses_per_op = 0.5;
+  cursor_ += code_size;
+  by_service_[static_cast<std::size_t>(service)].push_back(std::move(r));
+}
+
+void BootImage::add_filler(std::size_t count) {
+  // Plausible VM-internal names that pad the image to a realistic symbol
+  // density; they receive no execution but make map search non-trivial.
+  static const char* kStems[] = {
+      "com.ibm.jikesrvm.runtime.VM_Runtime",   "com.ibm.jikesrvm.VM_Magic",
+      "com.ibm.jikesrvm.classloader.VM_Array", "com.ibm.jikesrvm.opt.ir.VM_BURS",
+      "com.ibm.jikesrvm.scheduler.VM_Lock",    "java.lang.String",
+      "java.util.HashMap",                     "com.ibm.jikesrvm.VM_Reflection",
+  };
+  static const char* kLeaves[] = {"resolve", "invoke", "barrier", "copyTo",
+                                  "hashCode", "alloc",  "enter",   "exit"};
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = std::string(kStems[i % std::size(kStems)]) + "$" +
+                       std::to_string(i / std::size(kStems)) + "." +
+                       kLeaves[(i / 3) % std::size(kLeaves)];
+    filler_.emplace_back(std::move(name), std::make_pair(cursor_, kFillerSymbolSize));
+    cursor_ += kFillerSymbolSize;
+  }
+}
+
+const std::vector<BootRoutine>& BootImage::routines(VmService service) const {
+  return by_service_[static_cast<std::size_t>(service)];
+}
+
+const BootRoutine& BootImage::pick(VmService service, support::Xoshiro256& rng) const {
+  const auto& rs = routines(service);
+  VIPROF_CHECK(!rs.empty());
+  double total = 0.0;
+  for (const auto& r : rs) total += r.weight;
+  double x = rng.uniform() * total;
+  for (const auto& r : rs) {
+    if (x < r.weight) return r;
+    x -= r.weight;
+  }
+  return rs.back();
+}
+
+}  // namespace viprof::jvm

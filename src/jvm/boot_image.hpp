@@ -1,0 +1,82 @@
+// The JVM boot image: the VM's own runtime code (compiler, GC, class loader,
+// scheduler glue), pre-compiled into a single opaque image — Jikes RVM's
+// `RVM.code.image`. Stock OProfile sees it as a symbol-less blob; VIProf
+// reads the accompanying `RVM.map` produced at build time and attributes
+// samples to VM-internal Java methods (paper Section 3.2).
+//
+// The VM "executes" internal services (JIT compiles, collections, class
+// loading, thread glue) by advancing the CPU inside these routines, so
+// profiles naturally surface VM internals next to application methods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/access_pattern.hpp"
+#include "jvm/program.hpp"
+#include "os/image.hpp"
+#include "os/vfs.hpp"
+#include "support/rng.hpp"
+
+namespace viprof::jvm {
+
+/// VM-internal activities that execute inside the boot image.
+enum class VmService : std::uint8_t {
+  kBaselineCompiler,
+  kOptCompiler,
+  kGc,
+  kClassLoader,
+  kGlue,  // main loop, yieldpoints, misc class library
+};
+inline constexpr std::size_t kVmServiceCount = 5;
+
+struct BootRoutine {
+  std::string name;       // fully qualified Java method name
+  std::uint64_t offset;   // within the boot image
+  std::uint64_t size;     // code bytes
+  double weight;          // share of its service's cycles
+  double cpi;
+  std::uint64_t working_set;  // data footprint (GC routines get the heap)
+  double random_frac;
+  double accesses_per_op;
+};
+
+class BootImage {
+ public:
+  /// Builds the image, registers it with `registry`, and writes the
+  /// symbol map into the vfs at `map_path` (build products, per the Jikes
+  /// build flow). The flavor selects the runtime's identity: Jikes RVM's
+  /// `RVM.code.image` or a CLR's `CLR.native.image` with clrjit/mscorwks
+  /// internals — the profiler machinery is identical for both.
+  BootImage(os::ImageRegistry& registry, os::Vfs& vfs, const std::string& map_path,
+            VmFlavor flavor = VmFlavor::kJikesRvm);
+
+  os::ImageId image() const { return image_; }
+  std::uint64_t size() const { return size_; }
+  const std::string& map_path() const { return map_path_; }
+
+  const std::vector<BootRoutine>& routines(VmService service) const;
+
+  /// Weighted pick of a routine for a service.
+  const BootRoutine& pick(VmService service, support::Xoshiro256& rng) const;
+
+  /// Every symbol (service routines + filler), offset-ordered.
+  std::size_t symbol_count() const { return total_symbols_; }
+
+ private:
+  void add(VmService service, std::string name, std::uint64_t code_size, double weight,
+           double cpi, std::uint64_t working_set, double random_frac);
+  void add_filler(std::size_t count);
+  void finalize(os::Image& img, os::Vfs& vfs);
+
+  os::ImageId image_ = os::kInvalidImage;
+  std::string map_path_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t size_ = 0;
+  std::size_t total_symbols_ = 0;
+  std::vector<BootRoutine> by_service_[kVmServiceCount];
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>> filler_;
+};
+
+}  // namespace viprof::jvm

@@ -1,0 +1,116 @@
+#include "jvm/heap.hpp"
+
+#include "support/check.hpp"
+
+namespace viprof::jvm {
+
+namespace {
+constexpr std::uint64_t kCodeAlign = 16;
+
+std::uint64_t align_up(std::uint64_t v) { return (v + kCodeAlign - 1) & ~(kCodeAlign - 1); }
+}  // namespace
+
+Heap::Heap(hw::Address base, const HeapConfig& config) : base_(base), config_(config) {
+  VIPROF_CHECK(config.code_semi_bytes > 0);
+  VIPROF_CHECK(2 * config.code_semi_bytes + config.mature_code_bytes <= config.heap_bytes);
+}
+
+hw::Address Heap::semispace_base(std::uint32_t which) const {
+  return base_ + static_cast<std::uint64_t>(which) * config_.code_semi_bytes;
+}
+
+hw::Address Heap::data_base() const {
+  return base_ + 2 * config_.code_semi_bytes + config_.mature_code_bytes;
+}
+
+std::uint64_t Heap::data_bytes() const {
+  return config_.heap_bytes - (2 * config_.code_semi_bytes + config_.mature_code_bytes);
+}
+
+CodeObject& Heap::alloc_code(MethodId method, std::uint64_t size, OptLevel level) {
+  const std::uint64_t aligned = align_up(size);
+  VIPROF_CHECK(semi_cursor_ + aligned <= config_.code_semi_bytes);
+  CodeObject obj;
+  obj.id = static_cast<CodeId>(code_.size());
+  obj.method = method;
+  obj.address = semispace_base(active_semi_) + semi_cursor_;
+  obj.size = size;
+  obj.level = level;
+  obj.epoch_compiled = epoch_;
+  semi_cursor_ += aligned;
+  code_.push_back(obj);
+  return code_.back();
+}
+
+void Heap::kill_code(CodeId id) { code(id).dead = true; }
+
+void Heap::alloc_data(std::uint64_t bytes) { data_since_gc_ += bytes; }
+
+bool Heap::gc_needed() const {
+  // Either the data nursery budget is exhausted or the code semispace is
+  // nearly full (keep 1/8 headroom so the next compile always fits).
+  return data_since_gc_ >= config_.nursery_data_bytes ||
+         semi_cursor_ >= config_.code_semi_bytes - config_.code_semi_bytes / 8;
+}
+
+GcStats Heap::collect(const MoveCallback& on_move) {
+  GcStats stats;
+  stats.epoch = epoch_;
+
+  const std::uint32_t to_space = active_semi_ ^ 1u;
+  std::uint64_t to_cursor = 0;
+
+  for (CodeObject& obj : code_) {
+    if (obj.dead || obj.in_mature) continue;
+    const hw::Address old_address = obj.address;
+    ++obj.survivals;
+    if (obj.survivals >= config_.mature_age) {
+      VIPROF_CHECK(mature_cursor_ + align_up(obj.size) <= config_.mature_code_bytes);
+      obj.address = base_ + 2 * config_.code_semi_bytes + mature_cursor_;
+      mature_cursor_ += align_up(obj.size);
+      obj.in_mature = true;
+      ++stats.code_promoted;
+    } else {
+      obj.address = semispace_base(to_space) + to_cursor;
+      to_cursor += align_up(obj.size);
+    }
+    ++stats.code_moved;
+    stats.live_bytes += obj.size;
+    if (on_move) on_move(obj, old_address);
+  }
+
+  for (CodeObject& obj : code_) {
+    if (obj.dead && !obj.reclaimed) {
+      obj.reclaimed = true;  // a dead nursery body is simply not copied
+      ++stats.code_reclaimed;
+    }
+  }
+
+  stats.live_bytes +=
+      static_cast<std::uint64_t>(static_cast<double>(data_since_gc_) * config_.data_survival);
+
+  active_semi_ = to_space;
+  semi_cursor_ = to_cursor;
+  data_since_gc_ = 0;
+  ++epoch_;
+  return stats;
+}
+
+const CodeObject& Heap::code(CodeId id) const {
+  VIPROF_CHECK(id < code_.size());
+  return code_[id];
+}
+
+CodeObject& Heap::code(CodeId id) {
+  VIPROF_CHECK(id < code_.size());
+  return code_[id];
+}
+
+std::uint64_t Heap::nursery_code_bytes() const {
+  std::uint64_t total = 0;
+  for (const CodeObject& obj : code_)
+    if (!obj.dead && !obj.in_mature) total += align_up(obj.size);
+  return total;
+}
+
+}  // namespace viprof::jvm

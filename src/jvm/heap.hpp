@@ -1,0 +1,114 @@
+// GC-managed JVM heap with *code and data interwound*, as in Jikes RVM.
+//
+// Code bodies are allocated in a copying nursery (two semispaces); each
+// collection copies live bodies to the other semispace — i.e. moves them —
+// until a body has survived `mature_age` collections, after which it is
+// promoted to a mature region and stops moving (the paper notes that mature
+// code reduces runtime profiling work). Data allocation is tracked by volume
+// only: it fills the nursery and triggers collections, and a configurable
+// fraction survives, driving GC cost.
+//
+// Each collection closes one *execution epoch* — the unit VIProf's code maps
+// are keyed by.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "jvm/method.hpp"
+
+namespace viprof::jvm {
+
+using CodeId = std::uint32_t;
+inline constexpr CodeId kInvalidCode = ~0u;
+
+struct CodeObject {
+  CodeId id = kInvalidCode;
+  MethodId method = kInvalidMethod;
+  hw::Address address = 0;
+  std::uint64_t size = 0;
+  OptLevel level = OptLevel::kBaseline;
+  std::uint64_t epoch_compiled = 0;
+  std::uint32_t survivals = 0;
+  bool in_mature = false;
+  bool dead = false;       // superseded by recompilation; reclaimed at next GC
+  bool reclaimed = false;  // space already recycled (dead before last GC)
+};
+
+struct HeapConfig {
+  std::uint64_t heap_bytes = 64ull << 20;
+  std::uint64_t code_semi_bytes = 8ull << 20;   // two of these, then mature
+  std::uint64_t mature_code_bytes = 16ull << 20;
+  std::uint64_t nursery_data_bytes = 8ull << 20;  // data budget per epoch
+  double data_survival = 0.15;   // fraction of nursery data that is live at GC
+  std::uint32_t mature_age = 3;  // survivals before promotion (stops moving)
+};
+
+struct GcStats {
+  std::uint64_t epoch = 0;          // epoch just closed
+  std::uint64_t code_moved = 0;     // bodies copied to the other semispace
+  std::uint64_t code_promoted = 0;  // bodies promoted to mature
+  std::uint64_t code_reclaimed = 0; // dead bodies dropped
+  std::uint64_t live_bytes = 0;     // data+code copied (drives GC cost)
+};
+
+class Heap {
+ public:
+  /// `base` is where the heap's anon mapping starts in the process space.
+  Heap(hw::Address base, const HeapConfig& config);
+
+  hw::Address base() const { return base_; }
+  hw::Address end() const { return base_ + config_.heap_bytes; }
+  bool contains(hw::Address a) const { return a >= base_ && a < end(); }
+  const HeapConfig& config() const { return config_; }
+
+  /// Data region base — methods' access patterns point here.
+  hw::Address data_base() const;
+  std::uint64_t data_bytes() const;
+
+  /// Current execution epoch (== number of collections completed).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Allocates a code body in the nursery; may require a GC first
+  /// (gc_needed() turns true when the semispace would overflow).
+  CodeObject& alloc_code(MethodId method, std::uint64_t size, OptLevel level);
+
+  /// Marks a body dead (superseded); space reclaimed at the next GC.
+  void kill_code(CodeId id);
+
+  /// Records `bytes` of data allocation.
+  void alloc_data(std::uint64_t bytes);
+
+  bool gc_needed() const;
+
+  /// One copying collection. `on_move` fires for every body whose address
+  /// changed (after the move). Closes the current epoch.
+  using MoveCallback = std::function<void(const CodeObject& moved, hw::Address old_address)>;
+  GcStats collect(const MoveCallback& on_move);
+
+  const CodeObject& code(CodeId id) const;
+  CodeObject& code(CodeId id);
+  const std::vector<CodeObject>& all_code() const { return code_; }
+
+  /// Live (non-dead) code bytes currently in the nursery semispace.
+  std::uint64_t nursery_code_bytes() const;
+  std::uint64_t mature_code_bytes_used() const { return mature_cursor_; }
+  std::uint64_t data_allocated_since_gc() const { return data_since_gc_; }
+  std::uint64_t total_collections() const { return epoch_; }
+
+ private:
+  hw::Address semispace_base(std::uint32_t which) const;
+
+  hw::Address base_;
+  HeapConfig config_;
+  std::uint32_t active_semi_ = 0;        // 0 or 1
+  std::uint64_t semi_cursor_ = 0;        // bump pointer within active semispace
+  std::uint64_t mature_cursor_ = 0;      // bump pointer within mature region
+  std::uint64_t data_since_gc_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<CodeObject> code_;         // CodeId-indexed, never shrinks
+};
+
+}  // namespace viprof::jvm

@@ -1,0 +1,78 @@
+// VM instrumentation hooks — the seam VIProf's VM agent plugs into.
+//
+// The paper's agent is "a library with several hooks in the VM's code":
+// instructions added to compile/recompile bodies, a flag in the GC move
+// path, and map writes at epoch boundaries. Each hook returns the cycle
+// cost of its own work; the VM charges that cost on the simulated CPU in
+// the agent's code (so agent overhead is visible in profiles and in the
+// Fig. 2 slowdown numbers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/cpu.hpp"
+#include "hw/types.hpp"
+#include "jvm/boot_image.hpp"
+#include "jvm/heap.hpp"
+#include "jvm/method.hpp"
+
+namespace viprof::jvm {
+
+struct VmStartInfo {
+  hw::Pid pid = 0;
+  hw::Address heap_lo = 0;
+  hw::Address heap_hi = 0;
+  const BootImage* boot = nullptr;
+  hw::Address boot_base = 0;      // where the boot image is mapped
+  const Heap* heap = nullptr;     // for the agent's "VM probing routines"
+};
+
+class VmEventListener {
+ public:
+  virtual ~VmEventListener() = default;
+
+  virtual hw::Cycles on_vm_start(const VmStartInfo&) { return 0; }
+
+  /// After a (re)compile: the new body is live at `code.address`.
+  virtual hw::Cycles on_method_compiled(const MethodInfo& method, const CodeObject& code) {
+    (void)method; (void)code;
+    return 0;
+  }
+
+  /// After each application method invocation completes `ops` abstract
+  /// instructions of JIT-code work. Used by instrumentation-based profilers
+  /// (the Vertical Profiling comparator); VIProf leaves it free.
+  virtual hw::Cycles on_invocation(const MethodInfo& method, std::uint64_t ops) {
+    (void)method; (void)ops;
+    return 0;
+  }
+
+  /// During GC, after a body moved from `old_address` to `code.address`.
+  /// Runs inside the collector — keep it cheap (the paper flags, not logs).
+  virtual hw::Cycles on_method_moved(const MethodInfo& method, hw::Address old_address,
+                                     const CodeObject& code) {
+    (void)method; (void)old_address; (void)code;
+    return 0;
+  }
+
+  /// Epoch `epoch` is ending: just before GC launch, or at VM shutdown
+  /// (`final_epoch`). This is where VIProf writes the partial code map.
+  virtual hw::Cycles on_epoch_end(std::uint64_t epoch, bool final_epoch) {
+    (void)epoch; (void)final_epoch;
+    return 0;
+  }
+
+  virtual hw::Cycles on_gc_end(std::uint64_t new_epoch) {
+    (void)new_epoch;
+    return 0;
+  }
+
+  virtual hw::Cycles on_vm_shutdown() { return 0; }
+
+  /// Code the hook bodies execute in; hook costs are charged there.
+  /// Null = charge inside the VM boot image (inlined instrumentation).
+  virtual const hw::ExecContext* agent_context() const { return nullptr; }
+};
+
+}  // namespace viprof::jvm

@@ -1,0 +1,33 @@
+#include "jvm/jit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace viprof::jvm {
+
+std::uint64_t JitCompiler::code_size_for(const MethodInfo& method, OptLevel level) const {
+  const double expanded =
+      static_cast<double>(method.bytecode_size) * config_.expansion[static_cast<std::size_t>(level)];
+  return std::max<std::uint64_t>(64, static_cast<std::uint64_t>(expanded));
+}
+
+hw::Cycles JitCompiler::compile_cost_for(const MethodInfo& method, OptLevel level) const {
+  const double cost = static_cast<double>(method.bytecode_size) *
+                      config_.compile_cost[static_cast<std::size_t>(level)];
+  return std::max<hw::Cycles>(1'000, static_cast<hw::Cycles>(cost));
+}
+
+CompileOutcome JitCompiler::compile(const MethodInfo& method, OptLevel level,
+                                    CodeId previous) {
+  if (previous != kInvalidCode) {
+    VIPROF_CHECK(heap_->code(previous).method == method.id);
+    heap_->kill_code(previous);
+  }
+  CodeObject& body = heap_->alloc_code(method.id, code_size_for(method, level), level);
+  ++compiles_[static_cast<std::size_t>(level)];
+  return CompileOutcome{body.id, compile_cost_for(method, level)};
+}
+
+}  // namespace viprof::jvm

@@ -1,0 +1,80 @@
+// JIT compiler and adaptive recompilation policy, Jikes-RVM style.
+//
+// There is no interpreter: a method is baseline-compiled on first invocation
+// and recompiled at increasing opt levels once it has accumulated enough
+// execution. Compilation allocates the machine-code body in the GC-managed
+// heap (so it will move) and costs cycles that the VM executes inside the
+// boot image's compiler methods — which is why the paper's Fig. 1 shows
+// opt-compiler internals (`VM_OptCompiledMethod.createCodePatchMaps` etc.)
+// near the top of the profile.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/types.hpp"
+#include "jvm/heap.hpp"
+#include "jvm/method.hpp"
+
+namespace viprof::jvm {
+
+struct JitConfig {
+  // Machine-code bytes per bytecode byte, per tier.
+  double expansion[kOptLevelCount] = {6.0, 8.0, 10.0, 11.0};
+  // Compile cost in cycles per bytecode byte, per tier. Scaled down with
+  // the workload time dilation (workloads/common.hpp) so compilation's
+  // *share* of execution matches a real adaptive JVM rather than dominating
+  // the shortened runs.
+  double compile_cost[kOptLevelCount] = {8.0, 60.0, 180.0, 450.0};
+  // Execution speedup: CPI multiplier relative to the method's base CPI.
+  double cpi_scale[kOptLevelCount] = {1.0, 0.62, 0.47, 0.38};
+};
+
+struct CompileOutcome {
+  CodeId code = kInvalidCode;
+  hw::Cycles cost = 0;  // compiler cycles, to be executed in boot-image code
+};
+
+class JitCompiler {
+ public:
+  JitCompiler(Heap& heap, const JitConfig& config = {}) : heap_(&heap), config_(config) {}
+
+  const JitConfig& config() const { return config_; }
+
+  std::uint64_t code_size_for(const MethodInfo& method, OptLevel level) const;
+  hw::Cycles compile_cost_for(const MethodInfo& method, OptLevel level) const;
+  double cpi_scale(OptLevel level) const {
+    return config_.cpi_scale[static_cast<std::size_t>(level)];
+  }
+
+  /// Compiles `method` at `level`; if `previous` is valid the old body is
+  /// killed (recompilation). The caller charges `cost` to the right code.
+  CompileOutcome compile(const MethodInfo& method, OptLevel level,
+                         CodeId previous = kInvalidCode);
+
+  std::uint64_t compiles_at(OptLevel level) const {
+    return compiles_[static_cast<std::size_t>(level)];
+  }
+
+ private:
+  Heap* heap_;
+  JitConfig config_;
+  std::uint64_t compiles_[kOptLevelCount] = {};
+};
+
+/// Accumulated-work recompilation triggers (abstract instructions executed
+/// in the method). Coarse model of Jikes' cost-benefit adaptive system.
+struct RecompilePolicy {
+  std::uint64_t opt0_ops = 300'000;
+  std::uint64_t opt1_ops = 3'000'000;
+  std::uint64_t opt2_ops = 20'000'000;
+
+  /// Level the method *should* be at given accumulated ops.
+  OptLevel target_level(std::uint64_t accumulated_ops) const {
+    if (accumulated_ops >= opt2_ops) return OptLevel::kOpt2;
+    if (accumulated_ops >= opt1_ops) return OptLevel::kOpt1;
+    if (accumulated_ops >= opt0_ops) return OptLevel::kOpt0;
+    return OptLevel::kBaseline;
+  }
+};
+
+}  // namespace viprof::jvm

@@ -1,0 +1,84 @@
+// Static description of Java methods as the JVM simulator sees them.
+//
+// The simulator does not interpret real bytecode; a method is characterised
+// by its size, execution rate, data locality, allocation behaviour and the
+// native / kernel work it triggers — enough to reproduce where cycles and
+// cache misses land across the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace viprof::jvm {
+
+using MethodId = std::uint32_t;
+inline constexpr MethodId kInvalidMethod = ~0u;
+
+/// Jikes-style compilation tiers: no interpreter — every method is baseline-
+/// compiled on first invocation and may be recompiled at opt levels.
+enum class OptLevel : std::uint8_t { kBaseline, kOpt0, kOpt1, kOpt2 };
+inline constexpr std::size_t kOptLevelCount = 4;
+
+inline const char* to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::kBaseline: return "base";
+    case OptLevel::kOpt0:     return "O0";
+    case OptLevel::kOpt1:     return "O1";
+    case OptLevel::kOpt2:     return "O2";
+  }
+  return "?";
+}
+
+/// Work a method triggers outside JIT code: calls into native libraries
+/// (libc & friends) or system calls. `frac_ops` of the method's abstract
+/// instructions execute in the target instead of in JIT code.
+struct OutCall {
+  enum class Kind : std::uint8_t { kNative, kSyscall };
+  Kind kind = Kind::kNative;
+  std::string library;  // native: library name ("libc-2.3.2.so"); unused for syscalls
+  std::string symbol;   // native symbol ("memset") or kernel routine ("sys_write")
+  double frac_ops = 0.0;
+};
+
+struct MethodInfo {
+  MethodId id = kInvalidMethod;
+  std::string klass;      // "edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner"
+  std::string name;       // "parseLine"
+  std::string descriptor; // "(Ljava/lang/String;)V" — kept short in workloads
+
+  std::uint64_t bytecode_size = 200;  // drives compile cost & code size
+  double base_cpi = 1.0;              // cycles/op at baseline, before misses
+  double weight = 1.0;                // relative share of app invocations
+  std::uint64_t ops_per_invocation = 20'000;
+  double alloc_bytes_per_op = 0.2;    // nursery pressure
+
+  // Data locality of the method's heap accesses.
+  std::uint64_t working_set = 32 * 1024;
+  std::uint32_t stride = 64;
+  double random_frac = 0.2;
+  double accesses_per_op = 0.4;
+
+  std::vector<OutCall> outcalls;
+
+  /// "klass.name" — the form the paper's Fig. 1 prints for JIT.App symbols.
+  std::string qualified_name() const { return klass + "." + name; }
+};
+
+/// A native library the program links against.
+struct NativeSymbolSpec {
+  std::string name;
+  std::uint64_t code_size = 2048;
+  double cpi = 1.0;
+  std::uint64_t working_set = 64 * 1024;
+  double random_frac = 0.1;
+  double accesses_per_op = 0.5;
+};
+
+struct NativeLibrarySpec {
+  std::string name;             // "libc-2.3.2.so"
+  bool stripped = false;        // "(no symbols)" in reports, like libxul in Fig. 1
+  std::vector<NativeSymbolSpec> symbols;
+};
+
+}  // namespace viprof::jvm

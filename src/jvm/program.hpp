@@ -1,0 +1,36 @@
+// A complete Java program specification: the unit the workloads module
+// produces and the VM executes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/method.hpp"
+
+namespace viprof::jvm {
+
+/// Which managed runtime hosts the program. The paper argues VIProf's
+/// mechanism (registration + agent hooks + epoch maps) is VM-agnostic —
+/// "general enough to support ... multiple Java virtual machines as well as
+/// Microsoft .Net common language runtimes"; the CLR flavor demonstrates it:
+/// same profiler, different runtime identity and internal-service symbols.
+enum class VmFlavor : std::uint8_t { kJikesRvm, kClr };
+
+struct JavaProgramSpec {
+  std::string name;                       // "dacapo.ps"
+  VmFlavor flavor = VmFlavor::kJikesRvm;  // hosting runtime
+  std::vector<MethodInfo> methods;        // application methods
+  std::vector<NativeLibrarySpec> libraries;
+  std::uint64_t total_app_ops = 50'000'000;  // run length in abstract instructions
+
+  /// Fraction of overall execution spent in VM glue (thread scheduler /
+  /// yieldpoints / main loop) — shows up as boot-image time in profiles.
+  double vm_glue_frac = 0.02;
+
+  /// Invocation-order temporal skew: a phase-local subset of methods is
+  /// preferred, re-drawn every `phase_ops` instructions. 0 disables phases.
+  std::uint64_t phase_ops = 0;
+};
+
+}  // namespace viprof::jvm

@@ -1,0 +1,474 @@
+#include "jvm/vm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace viprof::jvm {
+
+namespace {
+
+constexpr hw::Cycles kGcBaseCost = 200'000;  // root scan, space flip
+constexpr double kGcCyclesPerLiveByte = 0.5;
+constexpr std::uint64_t kClassLoadOpsPerBytecode = 30;
+
+std::uint64_t stable_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Vm::Vm(os::Machine& machine, const VmConfig& config)
+    : machine_(&machine), config_(config), rng_(config.seed) {}
+
+Vm::~Vm() = default;
+
+void Vm::add_listener(VmEventListener* listener) { listeners_.push_back(listener); }
+void Vm::add_service(os::BackgroundService* service) { services_.push_back(service); }
+
+Heap& Vm::heap() { VIPROF_CHECK(heap_); return *heap_; }
+const Heap& Vm::heap() const { VIPROF_CHECK(heap_); return *heap_; }
+const BootImage& Vm::boot() const { VIPROF_CHECK(boot_); return *boot_; }
+hw::Pid Vm::pid() const { VIPROF_CHECK(process_); return process_->pid(); }
+const JitCompiler& Vm::jit() const { VIPROF_CHECK(jit_); return *jit_; }
+
+const MethodInfo& Vm::method(MethodId id) const {
+  VIPROF_CHECK(id < program_.methods.size());
+  return program_.methods[id];
+}
+
+CodeId Vm::current_code(MethodId id) const {
+  VIPROF_CHECK(id < runtime_.size());
+  return runtime_[id].code;
+}
+
+void Vm::setup(const JavaProgramSpec& program) {
+  VIPROF_CHECK(!setup_done_);
+  program_ = program;
+  VIPROF_CHECK(!program_.methods.empty());
+  for (MethodId i = 0; i < program_.methods.size(); ++i) {
+    VIPROF_CHECK(program_.methods[i].id == i);  // ids must be dense
+  }
+
+  const bool clr = program_.flavor == VmFlavor::kClr;
+  const char* host_name = clr ? "clrhost" : "jikesrvm";
+  process_ = &machine_->spawn(host_name);
+
+  // The small C bootstrap executable that loads the boot image (paper §3.2:
+  // "compiled into an object file and no additional work is needed").
+  os::Image& exec = machine_->registry().create(host_name, os::ImageKind::kExecutable,
+                                                96 * 1024);
+  exec.symbols().add("main", 0, 4096);
+  exec.symbols().add(clr ? "CorExeMain" : "createVM", 4096, 8192);
+  exec.symbols().add("sysCall_bridge", 12288, 4096);
+  machine_->loader().load_executable(*process_, exec.id());
+
+  // Native libraries from the program spec.
+  for (const NativeLibrarySpec& lib : program_.libraries) {
+    std::uint64_t cursor = 0;
+    os::Image* img = nullptr;
+    {
+      std::uint64_t total = 0;
+      for (const auto& s : lib.symbols) total += s.code_size;
+      img = &machine_->registry().create(lib.name, os::ImageKind::kSharedLib,
+                                         std::max<std::uint64_t>(total, 4096), lib.stripped);
+    }
+    const os::Vma vma = machine_->loader().load_library(*process_, img->id());
+    for (const NativeSymbolSpec& s : lib.symbols) {
+      img->symbols().add(s.name, cursor, s.code_size);
+      NativeTarget target;
+      target.context = hw::ExecContext{vma.start + cursor, s.code_size,
+                                       hw::CpuMode::kUser, process_->pid()};
+      target.cpi = s.cpi;
+      target.pattern.base = vma.start + img->size() + (cursor << 4);
+      target.pattern.working_set = s.working_set;
+      target.pattern.stride = 64;
+      target.pattern.random_frac = s.random_frac;
+      target.pattern.accesses_per_op = s.accesses_per_op;
+      // Natives with ~1 access/op (memset, blitters) are streaming code;
+      // they really do walk memory rather than sit in a hot region.
+      target.pattern.hot_frac = s.accesses_per_op >= 0.9 ? 0.25 : 0.70;
+      // hot_base is filled in once the heap exists (below).
+      natives_.emplace_back(lib.name + "/" + s.name, target);
+      cursor += s.code_size;
+    }
+  }
+
+  // Boot image and heap.
+  boot_ = std::make_unique<BootImage>(machine_->registry(), machine_->vfs(),
+                                      clr ? "CLR.map" : "RVM.map", program_.flavor);
+  boot_base_ = machine_->loader().map_at_anon_slot(*process_, boot_->image()).start;
+
+  const os::Vma heap_vma =
+      machine_->loader().map_anon(*process_, config_.heap.heap_bytes);
+  heap_ = std::make_unique<Heap>(heap_vma.start, config_.heap);
+  jit_ = std::make_unique<JitCompiler>(*heap_, config_.jit);
+  for (auto& [key, target] : natives_) target.pattern.hot_base = stack_hot_base();
+
+  runtime_.resize(program_.methods.size());
+  cumulative_weight_.resize(program_.methods.size());
+  double acc = 0.0;
+  for (MethodId i = 0; i < program_.methods.size(); ++i) {
+    acc += std::max(program_.methods[i].weight, 1e-9);
+    cumulative_weight_[i] = acc;
+    runtime_[i].pattern = pattern_for_method(program_.methods[i]);
+  }
+
+  VmStartInfo info;
+  info.pid = process_->pid();
+  info.heap_lo = heap_->base();
+  info.heap_hi = heap_->end();
+  info.boot = boot_.get();
+  info.boot_base = boot_base_;
+  info.heap = heap_.get();
+  hw::Cycles cost = 0;
+  for (VmEventListener* l : listeners_) cost += l->on_vm_start(info);
+  charge_listeners(cost);
+
+  setup_done_ = true;
+}
+
+hw::AccessPattern Vm::pattern_for_method(const MethodInfo& m) const {
+  hw::AccessPattern p;
+  const std::uint64_t data_span = heap_->data_bytes();
+  const std::uint64_t ws = std::min<std::uint64_t>(m.working_set, data_span / 2);
+  p.base = heap_->data_base() + stable_hash(m.id * 2654435761ULL) % (data_span - ws);
+  p.working_set = ws;
+  p.stride = m.stride;
+  p.random_frac = m.random_frac;
+  p.accesses_per_op = m.accesses_per_op;
+  p.hot_base = stack_hot_base();
+  return p;
+}
+
+const Vm::NativeTarget& Vm::native_target(const std::string& lib,
+                                          const std::string& symbol) const {
+  const std::string key = lib + "/" + symbol;
+  for (const auto& [k, target] : natives_)
+    if (k == key) return target;
+  VIPROF_CHECK(false && "unknown native target");
+  __builtin_unreachable();
+}
+
+void Vm::exec_chunk(const hw::ExecContext& ctx, std::uint64_t ops, double cpi,
+                    const hw::AccessPattern& pattern) {
+  if (ops == 0) return;
+  const hw::SampledAccesses acc =
+      machine_->sampler().sample(pattern, ops, machine_->cache());
+  const double cycles_f = static_cast<double>(ops) * cpi +
+                          acc.l1_misses * config_.l1_miss_penalty +
+                          acc.l2_misses * config_.l2_miss_penalty;
+  hw::ChunkEvents events;
+  events.instructions = ops;
+  events.l2_misses = acc.l2_misses;
+  events.branch_mispredicts = static_cast<double>(ops) * config_.branch_mispredict_rate;
+  machine_->cpu().set_context(ctx);
+  machine_->cpu().advance(std::max<hw::Cycles>(1, static_cast<hw::Cycles>(cycles_f)),
+                          events);
+  if (!in_service_) run_background_services();
+}
+
+void Vm::run_background_services() {
+  in_service_ = true;
+  for (os::BackgroundService* service : services_) {
+    int guard = 0;
+    while (auto work = service->next_work(machine_->cpu().now())) {
+      VIPROF_CHECK(++guard < 10'000);
+      const hw::Cycles before = machine_->cpu().now();
+      // Service chunks carry their full cost in `cycles`; they bypass the
+      // cache sampler (the daemon's own misses are folded into that cost)
+      // but still generate instruction/miss events so heavy profiling can
+      // sample the profiler itself.
+      hw::ChunkEvents events;
+      events.instructions = work->ops;
+      events.l2_misses = static_cast<double>(work->cycles) *
+                         work->pattern.accesses_per_op * 0.002;
+      machine_->cpu().set_context(work->context);
+      if (work->cycles > 0) machine_->cpu().advance(work->cycles, events);
+      stats_.service_cycles += machine_->cpu().now() - before;
+    }
+  }
+  in_service_ = false;
+}
+
+hw::Cycles Vm::charge_listeners(hw::Cycles cost_sum) {
+  if (cost_sum == 0) return 0;
+  // Hook bodies execute either in the agent's own library or inlined in the
+  // VM; pick the first listener-provided context, else boot-image glue.
+  const hw::ExecContext* ctx = nullptr;
+  for (VmEventListener* l : listeners_) {
+    if ((ctx = l->agent_context()) != nullptr) break;
+  }
+  hw::ExecContext where;
+  if (ctx != nullptr) {
+    where = *ctx;
+    where.pid = process_->pid();
+  } else {
+    const BootRoutine& glue = boot_->routines(VmService::kGlue).front();
+    where = hw::ExecContext{boot_base_ + glue.offset, glue.size, hw::CpuMode::kUser,
+                            process_->pid()};
+  }
+  // Hook costs are fully specified in cycles; bypass the cache sampler so
+  // an attached profiler perturbs *time*, not the workload's miss stream
+  // (keeps base vs profiled runs exactly comparable, as on real hardware
+  // where the agent's footprint is negligible next to the heap).
+  hw::ChunkEvents events;
+  events.instructions = std::max<std::uint64_t>(1, cost_sum / 2);
+  machine_->cpu().set_context(where);
+  machine_->cpu().advance(cost_sum, events);
+  stats_.agent_cycles += cost_sum;
+  if (!in_service_) run_background_services();
+  return cost_sum;
+}
+
+void Vm::exec_service(VmService service, hw::Cycles budget) {
+  const hw::Cycles start = machine_->cpu().now();
+  while (machine_->cpu().now() - start < budget) {
+    const BootRoutine& r = boot_->pick(service, rng_);
+    hw::ExecContext ctx{boot_base_ + r.offset, r.size, hw::CpuMode::kUser,
+                        process_->pid()};
+    hw::AccessPattern p;
+    p.base = heap_->data_base() + (stable_hash(r.offset) % heap_->data_bytes()) / 2;
+    p.working_set = std::min<std::uint64_t>(r.working_set, heap_->data_bytes() / 2);
+    p.stride = 64;
+    p.random_frac = r.random_frac;
+    p.accesses_per_op = r.accesses_per_op;
+    // The collector genuinely walks the heap; compilers/class loaders work
+    // over method-sized IR with decent locality.
+    p.hot_frac = service == VmService::kGc ? 0.30 : 0.80;
+    p.hot_base = stack_hot_base();
+    const hw::Cycles remaining = budget - (machine_->cpu().now() - start);
+    const auto ops = std::max<std::uint64_t>(
+        64, std::min<std::uint64_t>(config_.chunk_ops,
+                                    static_cast<std::uint64_t>(
+                                        static_cast<double>(remaining) / r.cpi)));
+    exec_chunk(ctx, ops, r.cpi, p);
+    stats_.vm_ops += ops;
+  }
+}
+
+void Vm::compile_method(MethodId id, OptLevel level) {
+  MethodRuntime& rt = runtime_[id];
+  const MethodInfo& info = method(id);
+
+  if (!rt.klass_loaded) {
+    // First touch of the method: charge class loading / resolution.
+    exec_service(VmService::kClassLoader,
+                 info.bytecode_size * kClassLoadOpsPerBytecode / 10);
+    rt.klass_loaded = true;
+  }
+
+  const CompileOutcome outcome = jit_->compile(info, level, rt.code);
+  exec_service(level == OptLevel::kBaseline ? VmService::kBaselineCompiler
+                                            : VmService::kOptCompiler,
+               outcome.cost);
+  rt.code = outcome.code;
+  rt.level = level;
+  ++stats_.compiles[static_cast<std::size_t>(level)];
+
+  hw::Cycles cost = 0;
+  for (VmEventListener* l : listeners_)
+    cost += l->on_method_compiled(info, heap_->code(outcome.code));
+  charge_listeners(cost);
+
+  if (heap_->gc_needed()) do_gc();
+}
+
+void Vm::force_compile(MethodId id, OptLevel level) { compile_method(id, level); }
+
+void Vm::set_aggressive_methods(const std::vector<std::string>& qualified_names) {
+  aggressive_.clear();
+  for (const std::string& name : qualified_names) {
+    for (const MethodInfo& m : program_.methods) {
+      if (m.qualified_name() == name) aggressive_.push_back(m.id);
+    }
+  }
+}
+
+void Vm::do_gc() {
+  const std::uint64_t closing_epoch = heap_->epoch();
+  hw::Cycles cost = 0;
+  for (VmEventListener* l : listeners_) cost += l->on_epoch_end(closing_epoch, false);
+  charge_listeners(cost);
+
+  hw::Cycles move_cost = 0;
+  const GcStats gc = heap_->collect([&](const CodeObject& moved, hw::Address old_address) {
+    for (VmEventListener* l : listeners_)
+      move_cost += l->on_method_moved(method(moved.method), old_address, moved);
+  });
+  ++stats_.collections;
+
+  // The collector's own execution: copy/scan work proportional to live bytes.
+  exec_service(VmService::kGc,
+               kGcBaseCost + static_cast<hw::Cycles>(
+                                 static_cast<double>(gc.live_bytes) * kGcCyclesPerLiveByte));
+  charge_listeners(move_cost);
+
+  hw::Cycles end_cost = 0;
+  for (VmEventListener* l : listeners_) end_cost += l->on_gc_end(heap_->epoch());
+  charge_listeners(end_cost);
+}
+
+void Vm::force_gc() { do_gc(); }
+
+void Vm::maybe_glue(std::uint64_t ops_just_executed) {
+  if (program_.vm_glue_frac <= 0.0) return;
+  glue_debt_ops_ += ops_just_executed;
+  const auto threshold = static_cast<std::uint64_t>(
+      static_cast<double>(config_.chunk_ops) / std::max(program_.vm_glue_frac, 1e-6));
+  if (glue_debt_ops_ < threshold) return;
+  const auto glue_ops = static_cast<std::uint64_t>(
+      static_cast<double>(glue_debt_ops_) * program_.vm_glue_frac);
+  glue_debt_ops_ = 0;
+  exec_service(VmService::kGlue, static_cast<hw::Cycles>(static_cast<double>(glue_ops) * 1.2));
+}
+
+MethodId Vm::pick_method() {
+  // Phase behaviour (paper's motivation for *dynamic* re-optimisation):
+  // a rotating quarter of the methods receives 70% of invocations for
+  // `phase_ops` instructions, then the hot set is re-drawn.
+  if (program_.phase_ops > 0) {
+    if (stats_.app_ops >= next_phase_at_ops_) {
+      phase_set_.clear();
+      const std::size_t n = std::max<std::size_t>(1, program_.methods.size() / 4);
+      for (std::size_t i = 0; i < n; ++i)
+        phase_set_.push_back(static_cast<MethodId>(rng_.below(program_.methods.size())));
+      next_phase_at_ops_ = stats_.app_ops + program_.phase_ops;
+    }
+    if (!phase_set_.empty() && rng_.chance(0.7)) {
+      return phase_set_[rng_.below(phase_set_.size())];
+    }
+  }
+  const double total = cumulative_weight_.back();
+  const double x = rng_.uniform() * total;
+  const auto it = std::lower_bound(cumulative_weight_.begin(), cumulative_weight_.end(), x);
+  return static_cast<MethodId>(it - cumulative_weight_.begin());
+}
+
+void Vm::invoke(MethodId id) {
+  MethodRuntime& rt = runtime_[id];
+  const MethodInfo& info = method(id);
+
+  if (rt.code == kInvalidCode) {
+    const bool aggressive =
+        std::find(aggressive_.begin(), aggressive_.end(), id) != aggressive_.end();
+    compile_method(id, aggressive ? OptLevel::kOpt2 : OptLevel::kBaseline);
+    if (aggressive) rt.accumulated_ops = config_.recompile.opt2_ops;
+  } else {
+    const OptLevel target = config_.recompile.target_level(rt.accumulated_ops);
+    if (static_cast<int>(target) > static_cast<int>(rt.level)) {
+      compile_method(id, target);
+    }
+  }
+
+  ++rt.invocations;
+  ++stats_.invocations;
+
+  const std::uint64_t total_ops = info.ops_per_invocation;
+  double outcall_frac = 0.0;
+  for (const OutCall& oc : info.outcalls) outcall_frac += oc.frac_ops;
+  VIPROF_CHECK(outcall_frac < 0.95);
+  const auto app_ops = static_cast<std::uint64_t>(
+      static_cast<double>(total_ops) * (1.0 - outcall_frac));
+
+  // JIT-code portion, chunked; allocation accrues with execution.
+  const double cpi = info.base_cpi * jit_->cpi_scale(rt.level);
+  std::uint64_t remaining = app_ops;
+  while (remaining > 0) {
+    const std::uint64_t ops = std::min<std::uint64_t>(config_.chunk_ops, remaining);
+    remaining -= ops;
+    const CodeObject& body = heap_->code(rt.code);
+    hw::ExecContext ctx{body.address, body.size, hw::CpuMode::kUser, process_->pid()};
+    exec_chunk(ctx, ops, cpi, rt.pattern);
+    stats_.app_ops += ops;
+    heap_->alloc_data(static_cast<std::uint64_t>(
+        static_cast<double>(ops) * info.alloc_bytes_per_op));
+    if (heap_->gc_needed()) do_gc();
+  }
+  rt.accumulated_ops += app_ops;
+  maybe_glue(app_ops);
+
+  // Inline-instrumentation hooks (vertical profiling). Costs are small and
+  // frequent, so they accrue as a debt and are charged in batches.
+  hw::Cycles instr_cost = 0;
+  for (VmEventListener* l : listeners_) instr_cost += l->on_invocation(info, app_ops);
+  if (instr_cost > 0) {
+    instr_debt_ += instr_cost;
+    if (instr_debt_ >= 20'000) {
+      charge_listeners(instr_debt_);
+      instr_debt_ = 0;
+    }
+  }
+
+  // Out-of-JIT portions: native library calls and system calls. The return
+  // address into the calling JIT body rides along for call-graph profiling.
+  const hw::Address caller_pc = heap_->code(rt.code).address + heap_->code(rt.code).size / 2;
+  for (const OutCall& oc : info.outcalls) {
+    auto ops_left = static_cast<std::uint64_t>(
+        static_cast<double>(total_ops) * oc.frac_ops);
+    if (oc.kind == OutCall::Kind::kNative) {
+      const NativeTarget& target = native_target(oc.library, oc.symbol);
+      hw::ExecContext ctx = target.context;
+      ctx.caller_pc = caller_pc;
+      while (ops_left > 0) {
+        const std::uint64_t ops = std::min<std::uint64_t>(config_.chunk_ops, ops_left);
+        ops_left -= ops;
+        exec_chunk(ctx, ops, target.cpi, target.pattern);
+        stats_.native_ops += ops;
+      }
+    } else {
+      const os::KernelRoutine& kr = machine_->kernel().routine(oc.symbol);
+      hw::ExecContext ctx = machine_->kernel().context(oc.symbol, process_->pid());
+      ctx.caller_pc = caller_pc;
+      while (ops_left > 0) {
+        const std::uint64_t ops = std::min<std::uint64_t>(config_.chunk_ops, ops_left);
+        ops_left -= ops;
+        exec_chunk(ctx, ops, kr.cpi, kr.pattern);
+        stats_.kernel_ops += ops;
+      }
+    }
+  }
+}
+
+bool Vm::step(std::uint64_t max_app_ops) {
+  VIPROF_CHECK(setup_done_);
+  if (!running_) {
+    stats_ = RunStats{};
+    run_start_ = machine_->cpu().now();
+    running_ = true;
+  }
+  const std::uint64_t target =
+      std::min(program_.total_app_ops,
+               stats_.app_ops + std::max<std::uint64_t>(max_app_ops, 1));
+  while (stats_.app_ops < target) {
+    invoke(pick_method());
+  }
+  return stats_.app_ops < program_.total_app_ops;
+}
+
+RunStats Vm::finish() {
+  VIPROF_CHECK(running_);
+  // Final epoch closes at shutdown: the agent writes the last code map.
+  hw::Cycles cost = 0;
+  for (VmEventListener* l : listeners_) cost += l->on_epoch_end(heap_->epoch(), true);
+  for (VmEventListener* l : listeners_) cost += l->on_vm_shutdown();
+  charge_listeners(cost);
+
+  for (std::size_t i = 0; i < kOptLevelCount; ++i)
+    stats_.compiles[i] = jit_->compiles_at(static_cast<OptLevel>(i));
+  stats_.cycles = machine_->cpu().now() - run_start_;
+  running_ = false;
+  return stats_;
+}
+
+RunStats Vm::run() {
+  while (step(~0ull / 2)) {
+  }
+  return finish();
+}
+
+}  // namespace viprof::jvm

@@ -1,0 +1,179 @@
+// The JVM simulator: executes a JavaProgramSpec on a Machine, driving the
+// CPU through JIT code, native libraries, kernel paths and VM-internal
+// services, with Jikes-style adaptive recompilation and a moving GC.
+//
+// The VM is the *profiled subject*; it knows nothing about VIProf beyond
+// the VmEventListener seam. Registered background services (the profiler
+// daemon) are polled between execution chunks, modelling a single-core
+// machine where the daemon steals time from the workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/access_pattern.hpp"
+#include "hw/cpu.hpp"
+#include "jvm/boot_image.hpp"
+#include "jvm/heap.hpp"
+#include "jvm/hooks.hpp"
+#include "jvm/jit.hpp"
+#include "jvm/method.hpp"
+#include "jvm/program.hpp"
+#include "os/machine.hpp"
+#include "os/service.hpp"
+
+namespace viprof::jvm {
+
+struct VmConfig {
+  std::uint64_t seed = 1;
+  HeapConfig heap;
+  JitConfig jit;
+  RecompilePolicy recompile;
+  std::uint64_t chunk_ops = 4'000;  // abstract instructions per CPU chunk
+  double l1_miss_penalty = 8.0;     // cycles
+  double l2_miss_penalty = 150.0;   // cycles
+  double branch_mispredict_rate = 0.004;  // per op
+};
+
+struct RunStats {
+  hw::Cycles cycles = 0;  // wall cycles for the run (includes profiling costs)
+  std::uint64_t app_ops = 0;
+  std::uint64_t native_ops = 0;
+  std::uint64_t kernel_ops = 0;
+  std::uint64_t vm_ops = 0;  // boot-image service work
+  std::uint64_t invocations = 0;
+  std::uint64_t collections = 0;
+  std::uint64_t compiles[kOptLevelCount] = {};
+  hw::Cycles agent_cycles = 0;   // charged through VmEventListener hooks
+  hw::Cycles service_cycles = 0; // background daemons
+};
+
+class Vm {
+ public:
+  Vm(os::Machine& machine, const VmConfig& config);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  /// Must be called before run(); loads images, maps heap + boot image,
+  /// builds per-method runtime state, fires on_vm_start.
+  void setup(const JavaProgramSpec& program);
+
+  void add_listener(VmEventListener* listener);
+  void add_service(os::BackgroundService* service);
+
+  /// Executes the program to completion. setup() must have been called.
+  RunStats run();
+
+  /// Incremental execution (multi-stack scheduling): executes until at
+  /// least `max_app_ops` further application ops ran or the program
+  /// completed. Returns true while work remains. The first step() begins
+  /// the run; call finish() once it returns false.
+  bool step(std::uint64_t max_app_ops);
+
+  /// Fires the shutdown hooks (final epoch map) and returns the run stats.
+  RunStats finish();
+
+  /// True once step()/run() has started and finish() has not been called.
+  bool running() const { return running_; }
+
+  /// Application ops executed so far in the current run.
+  std::uint64_t app_ops_done() const { return stats_.app_ops; }
+
+  /// Live view of the current run's statistics (valid while running()).
+  const RunStats& stats_so_far() const { return stats_; }
+
+  // --- Introspection (tests, benches) -------------------------------------
+  Heap& heap();
+  const Heap& heap() const;
+  const BootImage& boot() const;
+  hw::Address boot_base() const { return boot_base_; }
+  hw::Pid pid() const;
+  const JitCompiler& jit() const;
+  const JavaProgramSpec& program() const { return program_; }
+  const MethodInfo& method(MethodId id) const;
+
+  /// Current compiled body of a method (kInvalidCode before first call).
+  CodeId current_code(MethodId id) const;
+
+  /// Forces a collection now (tests and the epoch ablation use this).
+  void force_gc();
+
+  /// Forces (re)compilation of a method at a level (tests).
+  void force_compile(MethodId id, OptLevel level);
+
+  /// Profile-guided feedback (the paper's cross-layer optimisation goal):
+  /// methods named here skip the adaptive ladder and compile straight at
+  /// the top tier on first touch. Call after setup(), before run().
+  void set_aggressive_methods(const std::vector<std::string>& qualified_names);
+
+ private:
+  struct MethodRuntime {
+    CodeId code = kInvalidCode;
+    OptLevel level = OptLevel::kBaseline;
+    std::uint64_t invocations = 0;
+    std::uint64_t accumulated_ops = 0;
+    hw::AccessPattern pattern;
+    bool klass_loaded = false;
+  };
+
+  struct NativeTarget {
+    hw::ExecContext context;
+    double cpi = 1.0;
+    hw::AccessPattern pattern;
+  };
+
+  void exec_chunk(const hw::ExecContext& ctx, std::uint64_t ops, double cpi,
+                  const hw::AccessPattern& pattern);
+  void exec_service(VmService service, hw::Cycles budget);
+  void run_background_services();
+  hw::Cycles charge_listeners(hw::Cycles cost_sum);
+  void compile_method(MethodId id, OptLevel level);
+  void invoke(MethodId id);
+  void do_gc();
+  void maybe_glue(std::uint64_t ops_just_executed);
+  MethodId pick_method();
+  const NativeTarget& native_target(const std::string& lib, const std::string& symbol) const;
+  hw::AccessPattern pattern_for_method(const MethodInfo& m) const;
+
+  /// The process's shared cache-hot region (thread stack + hottest objects).
+  hw::Address stack_hot_base() const { return heap_->end() - 16 * 1024; }
+
+  os::Machine* machine_;
+  VmConfig config_;
+  JavaProgramSpec program_;
+  support::Xoshiro256 rng_;
+
+  os::Process* process_ = nullptr;
+  std::unique_ptr<BootImage> boot_;
+  hw::Address boot_base_ = 0;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<JitCompiler> jit_;
+
+  std::vector<MethodRuntime> runtime_;
+  std::vector<double> cumulative_weight_;
+  std::vector<std::pair<std::string, NativeTarget>> natives_;  // "lib/sym" -> target
+
+  std::vector<VmEventListener*> listeners_;
+  std::vector<os::BackgroundService*> services_;
+  bool in_service_ = false;
+
+  RunStats stats_;
+  std::uint64_t glue_debt_ops_ = 0;
+  hw::Cycles instr_debt_ = 0;  // batched on_invocation hook costs
+  bool setup_done_ = false;
+  bool running_ = false;
+  hw::Cycles run_start_ = 0;
+
+  // Phase behaviour: a rotating subset of methods is temporally "hot".
+  std::vector<MethodId> phase_set_;
+  std::uint64_t next_phase_at_ops_ = 0;
+
+  // Profile-guided feedback: first-touch top-tier compilation targets.
+  std::vector<MethodId> aggressive_;
+};
+
+}  // namespace viprof::jvm

@@ -1,0 +1,43 @@
+#include "os/address_space.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace viprof::os {
+
+Vma AddressSpace::map(hw::Address start, std::uint64_t size, ImageId image,
+                             std::uint64_t file_offset) {
+  VIPROF_CHECK(size > 0);
+  Vma vma{start, start + size, image, file_offset};
+  auto it = std::lower_bound(vmas_.begin(), vmas_.end(), vma.start,
+                             [](const Vma& v, hw::Address s) { return v.start < s; });
+  if (it != vmas_.begin()) VIPROF_CHECK(std::prev(it)->end <= vma.start);
+  if (it != vmas_.end()) VIPROF_CHECK(vma.end <= it->start);
+  it = vmas_.insert(it, vma);
+  return *it;
+}
+
+void AddressSpace::unmap(hw::Address start) {
+  auto it = std::lower_bound(vmas_.begin(), vmas_.end(), start,
+                             [](const Vma& v, hw::Address s) { return v.start < s; });
+  VIPROF_CHECK(it != vmas_.end() && it->start == start);
+  vmas_.erase(it);
+}
+
+std::optional<Vma> AddressSpace::find(hw::Address address) const {
+  auto it = std::upper_bound(vmas_.begin(), vmas_.end(), address,
+                             [](hw::Address a, const Vma& v) { return a < v.start; });
+  if (it == vmas_.begin()) return std::nullopt;
+  --it;
+  if (it->contains(address)) return *it;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> AddressSpace::image_offset(hw::Address pc) const {
+  const auto vma = find(pc);
+  if (!vma) return std::nullopt;
+  return vma->file_offset + (pc - vma->start);
+}
+
+}  // namespace viprof::os

@@ -1,0 +1,48 @@
+// Per-process virtual address space: an ordered set of VMAs mapping address
+// ranges to images. This is the structure OProfile's kernel half walks to
+// turn a sampled PC into (image, offset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "os/image.hpp"
+
+namespace viprof::os {
+
+struct Vma {
+  hw::Address start = 0;
+  hw::Address end = 0;  // exclusive
+  ImageId image = kInvalidImage;
+  std::uint64_t file_offset = 0;  // image offset corresponding to `start`
+
+  bool contains(hw::Address a) const { return a >= start && a < end; }
+  std::uint64_t size() const { return end - start; }
+};
+
+class AddressSpace {
+ public:
+  /// Maps [start, start+size) to `image` at `file_offset`.
+  /// The range must not overlap an existing mapping. Returns a *copy* of
+  /// the new VMA: the internal vector may relocate on later mappings.
+  Vma map(hw::Address start, std::uint64_t size, ImageId image,
+          std::uint64_t file_offset = 0);
+
+  /// Removes the mapping that starts exactly at `start` (must exist).
+  void unmap(hw::Address start);
+
+  /// VMA containing `address`, if mapped.
+  std::optional<Vma> find(hw::Address address) const;
+
+  /// Image offset for a PC: VMA file_offset + (pc - VMA start).
+  std::optional<std::uint64_t> image_offset(hw::Address pc) const;
+
+  const std::vector<Vma>& vmas() const { return vmas_; }
+
+ private:
+  std::vector<Vma> vmas_;  // kept sorted by start
+};
+
+}  // namespace viprof::os

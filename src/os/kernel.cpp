@@ -1,0 +1,86 @@
+#include "os/kernel.hpp"
+
+#include "support/check.hpp"
+
+namespace viprof::os {
+
+namespace {
+// Kernel data region (above the code) used as the base for routine
+// access patterns.
+constexpr std::uint64_t kKernelDataOffset = 0x0100'0000;
+}  // namespace
+
+Kernel::Kernel(ImageRegistry& registry) : registry_(&registry) {
+  // Routine catalogue: name, code size, CPI, data working set, random frac.
+  // The set mirrors what a JVM-hosted workload touches: syscall paths,
+  // memory management, the scheduler/timer, and the profiler's own module.
+  add_routine("schedule", 4096, 1.6, 32 * 1024, 0.30);
+  add_routine("timer_interrupt", 1024, 1.3, 4 * 1024, 0.10);
+  add_routine("do_page_fault", 2048, 1.8, 64 * 1024, 0.50);
+  add_routine("handle_mm_fault", 3072, 1.9, 128 * 1024, 0.60);
+  add_routine("sys_read", 2048, 1.5, 64 * 1024, 0.40);
+  add_routine("sys_write", 2048, 1.5, 64 * 1024, 0.40);
+  add_routine("sys_futex", 1536, 1.4, 8 * 1024, 0.20);
+  add_routine("sys_gettimeofday", 512, 1.1, 1024, 0.05);
+  add_routine("do_softirq", 1536, 1.4, 16 * 1024, 0.25);
+  add_routine("copy_to_user", 1024, 1.2, 256 * 1024, 0.05);
+  add_routine("copy_from_user", 1024, 1.2, 256 * 1024, 0.05);
+  add_routine("kmalloc", 1280, 1.5, 32 * 1024, 0.35);
+  add_routine("kfree", 1024, 1.4, 32 * 1024, 0.35);
+  // Profiler kernel half (OProfile module): NMI handler + buffer sync.
+  add_routine("oprofile_nmi_handler", 768, 1.2, 2 * 1024, 0.05);
+  add_routine("oprofile_buffer_sync", 1024, 1.3, 16 * 1024, 0.10);
+
+  Image& img = registry.create("vmlinux", ImageKind::kKernel, cursor_);
+  image_ = img.id();
+  size_ = cursor_;
+  for (const auto& r : routines_) {
+    img.symbols().add(r.name, r.base - Loader::kKernelBase, r.size);
+  }
+}
+
+void Kernel::add_routine(std::string name, std::uint64_t code_size, double cpi,
+                         std::uint64_t working_set, double random_frac) {
+  KernelRoutine r;
+  r.name = std::move(name);
+  r.base = Loader::kKernelBase + cursor_;
+  r.size = code_size;
+  r.cpi = cpi;
+  r.pattern.base = Loader::kKernelBase + kKernelDataOffset + cursor_ * 16;
+  r.pattern.working_set = working_set;
+  r.pattern.stride = 64;
+  r.pattern.random_frac = random_frac;
+  r.pattern.accesses_per_op = 0.45;
+  cursor_ += code_size;
+  routines_.push_back(std::move(r));
+}
+
+const KernelRoutine& Kernel::routine(const std::string& name) const {
+  for (const auto& r : routines_)
+    if (r.name == name) return r;
+  VIPROF_CHECK(false && "unknown kernel routine");
+  __builtin_unreachable();
+}
+
+hw::ExecContext Kernel::context(const std::string& name, hw::Pid pid) const {
+  const KernelRoutine& r = routine(name);
+  return hw::ExecContext{r.base, r.size, hw::CpuMode::kKernel, pid};
+}
+
+std::uint64_t Kernel::offset_of(hw::Address pc) const {
+  VIPROF_CHECK(contains(pc));
+  return pc - base();
+}
+
+void Kernel::specialize(const std::string& name, double cpi_scale) {
+  VIPROF_CHECK(cpi_scale > 0.0);
+  for (auto& r : routines_) {
+    if (r.name == name) {
+      r.cpi *= cpi_scale;
+      return;
+    }
+  }
+  VIPROF_CHECK(false && "unknown kernel routine");
+}
+
+}  // namespace viprof::os

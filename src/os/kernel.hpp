@@ -1,0 +1,67 @@
+// Simulated kernel: the vmlinux image mapped at the canonical kernel base,
+// a catalogue of kernel entry points workloads can "execute" (syscalls, page
+// faults, scheduler, softirq), and the profiler's kernel-side symbols (NMI
+// handler, buffer sync) so that profiling overhead is attributable in
+// profiles just as with the real OProfile module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/access_pattern.hpp"
+#include "hw/cpu.hpp"
+#include "hw/types.hpp"
+#include "os/image.hpp"
+#include "os/loader.hpp"
+
+namespace viprof::os {
+
+/// One kernel routine the simulation can execute: where it lives (for PC
+/// attribution) and how it behaves (cycles-per-op, data locality).
+struct KernelRoutine {
+  std::string name;
+  hw::Address base = 0;      // absolute address of the routine
+  std::uint64_t size = 0;    // code bytes
+  double cpi = 1.4;          // cycles per abstract instruction
+  hw::AccessPattern pattern; // data-access behaviour
+};
+
+class Kernel {
+ public:
+  /// Builds the kernel image with a standard symbol set and registers it.
+  explicit Kernel(ImageRegistry& registry);
+
+  ImageId image() const { return image_; }
+  hw::Address base() const { return Loader::kKernelBase; }
+  std::uint64_t size() const { return size_; }
+  bool contains(hw::Address pc) const {
+    return pc >= base() && pc < base() + size_;
+  }
+
+  /// Routine by name; aborts if unknown (the symbol set is fixed at build).
+  const KernelRoutine& routine(const std::string& name) const;
+
+  /// Execution context for a routine, for Cpu::set_context.
+  hw::ExecContext context(const std::string& name, hw::Pid pid) const;
+
+  /// Image offset of an absolute kernel PC.
+  std::uint64_t offset_of(hw::Address pc) const;
+
+  /// Kernel specialisation (the VIVA cross-layer optimisation the paper's
+  /// profiles are meant to guide): scales a routine's CPI, modelling a
+  /// trimmed fast path compiled for the current workload. `cpi_scale` < 1
+  /// speeds the routine up.
+  void specialize(const std::string& name, double cpi_scale);
+
+ private:
+  void add_routine(std::string name, std::uint64_t code_size, double cpi,
+                   std::uint64_t working_set, double random_frac);
+
+  ImageRegistry* registry_;
+  ImageId image_ = kInvalidImage;
+  std::uint64_t size_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::vector<KernelRoutine> routines_;
+};
+
+}  // namespace viprof::os

@@ -1,0 +1,35 @@
+#include "os/loader.hpp"
+
+#include "support/check.hpp"
+
+namespace viprof::os {
+
+Vma Loader::load_executable(Process& process, ImageId image) {
+  const Image& img = registry_->get(image);
+  VIPROF_CHECK(img.kind() == ImageKind::kExecutable);
+  return process.address_space().map(kExecBase, page_align(img.size()), image);
+}
+
+Vma Loader::load_library(Process& process, ImageId image) {
+  const Image& img = registry_->get(image);
+  VIPROF_CHECK(img.kind() == ImageKind::kSharedLib);
+  const hw::Address base = next_lib_;
+  next_lib_ += page_align(img.size()) + kPageSize;  // guard page between libs
+  return process.address_space().map(base, page_align(img.size()), image);
+}
+
+Vma Loader::map_anon(Process& process, std::uint64_t size) {
+  Image& img = registry_->create("anon", ImageKind::kAnon, page_align(size));
+  const hw::Address base = next_anon_;
+  next_anon_ += page_align(size) + kPageSize;
+  return process.address_space().map(base, page_align(size), img.id());
+}
+
+Vma Loader::map_at_anon_slot(Process& process, ImageId image) {
+  const Image& img = registry_->get(image);
+  const hw::Address base = next_anon_;
+  next_anon_ += page_align(img.size()) + kPageSize;
+  return process.address_space().map(base, page_align(img.size()), image);
+}
+
+}  // namespace viprof::os

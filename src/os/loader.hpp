@@ -1,0 +1,50 @@
+// Deterministic program loader: lays out executables, shared libraries and
+// anonymous mappings in a process address space at the conventional ia32
+// addresses (exec low, libraries in the 0x40000000 region, anon/heap above,
+// kernel at 0xc0000000 — matching the ranges visible in the paper's Fig. 1,
+// e.g. "anon (range:0x62785000-...)").
+#pragma once
+
+#include <cstdint>
+
+#include "os/address_space.hpp"
+#include "os/image.hpp"
+#include "os/process.hpp"
+
+namespace viprof::os {
+
+class Loader {
+ public:
+  static constexpr hw::Address kExecBase = 0x0804'8000;
+  static constexpr hw::Address kLibBase = 0x4000'0000;
+  static constexpr hw::Address kAnonBase = 0x6000'0000;
+  static constexpr hw::Address kKernelBase = 0xc000'0000;
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  explicit Loader(ImageRegistry& registry) : registry_(&registry) {}
+
+  /// Maps the main executable at the canonical base.
+  Vma load_executable(Process& process, ImageId image);
+
+  /// Maps a shared library at the next page-aligned library slot.
+  Vma load_library(Process& process, ImageId image);
+
+  /// Creates an anonymous mapping (JIT heap etc.): a fresh kAnon image is
+  /// registered so the mapping has an identity in profile output.
+  Vma map_anon(Process& process, std::uint64_t size);
+
+  /// Maps an already-registered image (e.g. a JVM boot image) at the next
+  /// anon slot; used for regions that carry their own identity.
+  Vma map_at_anon_slot(Process& process, ImageId image);
+
+  static std::uint64_t page_align(std::uint64_t size) {
+    return (size + kPageSize - 1) & ~(kPageSize - 1);
+  }
+
+ private:
+  ImageRegistry* registry_;
+  hw::Address next_lib_ = kLibBase;
+  hw::Address next_anon_ = kAnonBase;
+};
+
+}  // namespace viprof::os

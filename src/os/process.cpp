@@ -1,0 +1,3 @@
+#include "os/process.hpp"
+
+// Process is currently header-only; this TU anchors the library target.

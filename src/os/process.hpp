@@ -1,0 +1,27 @@
+// A simulated user process: pid, name, and its virtual address space.
+#pragma once
+
+#include <string>
+
+#include "hw/types.hpp"
+#include "os/address_space.hpp"
+
+namespace viprof::os {
+
+class Process {
+ public:
+  Process(hw::Pid pid, std::string name) : pid_(pid), name_(std::move(name)) {}
+
+  hw::Pid pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+
+  AddressSpace& address_space() { return space_; }
+  const AddressSpace& address_space() const { return space_; }
+
+ private:
+  hw::Pid pid_;
+  std::string name_;
+  AddressSpace space_;
+};
+
+}  // namespace viprof::os

@@ -1,0 +1,34 @@
+// Background services: user-level daemons that steal CPU time from the
+// foreground workload on our single-core machine (the paper's testbed is a
+// single-core Pentium 4). The VM polls registered services between execution
+// chunks and runs whatever work they request; the OProfile/VIProf daemon is
+// implemented as one of these, so its overhead flows through the same cycle
+// accounting as everything else.
+#pragma once
+
+#include <optional>
+
+#include "hw/access_pattern.hpp"
+#include "hw/cpu.hpp"
+
+namespace viprof::os {
+
+/// One slice of daemon work: where it executes, what it costs, how it
+/// touches memory.
+struct WorkChunk {
+  hw::ExecContext context;
+  hw::Cycles cycles = 0;
+  std::uint64_t ops = 0;
+  hw::AccessPattern pattern;
+};
+
+class BackgroundService {
+ public:
+  virtual ~BackgroundService() = default;
+
+  /// Next chunk the service wants to run, or nullopt if it is idle.
+  /// Called repeatedly until idle, so a service can drain a backlog.
+  virtual std::optional<WorkChunk> next_work(hw::Cycles now) = 0;
+};
+
+}  // namespace viprof::os

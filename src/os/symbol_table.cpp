@@ -1,0 +1,40 @@
+#include "os/symbol_table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace viprof::os {
+
+void SymbolTable::add(std::string name, std::uint64_t offset, std::uint64_t size) {
+  symbols_.push_back(Symbol{std::move(name), offset, size});
+  sorted_ = false;
+}
+
+void SymbolTable::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(symbols_.begin(), symbols_.end(),
+            [](const Symbol& a, const Symbol& b) { return a.offset < b.offset; });
+  for (std::size_t i = 1; i < symbols_.size(); ++i) {
+    VIPROF_CHECK(symbols_[i - 1].offset + symbols_[i - 1].size <= symbols_[i].offset);
+  }
+  sorted_ = true;
+}
+
+std::optional<Symbol> SymbolTable::find(std::uint64_t offset) const {
+  ensure_sorted();
+  auto it = std::upper_bound(
+      symbols_.begin(), symbols_.end(), offset,
+      [](std::uint64_t off, const Symbol& s) { return off < s.offset; });
+  if (it == symbols_.begin()) return std::nullopt;
+  --it;
+  if (offset < it->offset + it->size) return *it;
+  return std::nullopt;
+}
+
+const std::vector<Symbol>& SymbolTable::ordered() const {
+  ensure_sorted();
+  return symbols_;
+}
+
+}  // namespace viprof::os

@@ -1,0 +1,42 @@
+// Symbol tables for binary images: name + offset + size, offset-ordered,
+// binary-search lookup (the core of OProfile's PC → method attribution).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace viprof::os {
+
+struct Symbol {
+  std::string name;
+  std::uint64_t offset = 0;  // from image base
+  std::uint64_t size = 0;
+};
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Adds a symbol; offsets may arrive unordered, the table sorts lazily.
+  void add(std::string name, std::uint64_t offset, std::uint64_t size);
+
+  /// Symbol covering `offset`, if any. Symbols must not overlap (checked
+  /// at first lookup after mutation).
+  std::optional<Symbol> find(std::uint64_t offset) const;
+
+  std::size_t size() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+
+  /// Offset-ordered view (forces the sort).
+  const std::vector<Symbol>& ordered() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<Symbol> symbols_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace viprof::os

@@ -1,0 +1,61 @@
+#include "os/vfs.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace viprof::os {
+
+namespace fs = std::filesystem;
+
+void Vfs::write(const std::string& path, std::string contents) {
+  bytes_written_ += contents.size();
+  files_[path] = std::move(contents);
+}
+
+void Vfs::append(const std::string& path, const std::string& contents) {
+  bytes_written_ += contents.size();
+  files_[path] += contents;
+}
+
+bool Vfs::exists(const std::string& path) const { return files_.count(path) != 0; }
+
+void Vfs::remove(const std::string& path) { files_.erase(path); }
+
+std::optional<std::string> Vfs::read(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Vfs::export_to_directory(const std::string& host_dir,
+                              const std::string& prefix) const {
+  for (const auto& [path, contents] : files_) {
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    const fs::path target = fs::path(host_dir) / path;
+    fs::create_directories(target.parent_path());
+    std::ofstream out(target, std::ios::binary);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+}
+
+void Vfs::import_from_directory(const std::string& host_dir) {
+  const fs::path root(host_dir);
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    write(fs::relative(entry.path(), root).generic_string(), std::move(contents));
+  }
+}
+
+std::vector<std::string> Vfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace viprof::os

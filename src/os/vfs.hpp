@@ -1,0 +1,49 @@
+// Tiny in-memory virtual filesystem.
+//
+// The real VIProf writes sample files, JIT code maps and RVM.map to disk and
+// reads them back in the post-processing tools. Routing that traffic through
+// an in-memory VFS keeps the whole pipeline hermetic and testable while
+// preserving the architectural boundary: the daemon and the post-processing
+// tools communicate *only* through files, never shared memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace viprof::os {
+
+class Vfs {
+ public:
+  void write(const std::string& path, std::string contents);
+  void append(const std::string& path, const std::string& contents);
+  bool exists(const std::string& path) const;
+  void remove(const std::string& path);
+
+  /// Contents, or nullopt if the file does not exist.
+  std::optional<std::string> read(const std::string& path) const;
+
+  /// Paths with the given prefix, lexicographically ordered.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  std::size_t file_count() const { return files_.size(); }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Materialises the VFS (or the subtree under `prefix`) into a host
+  /// directory; used by the CLI tools to hand sessions to offline
+  /// post-processing, mirroring OProfile's on-disk sample tree.
+  void export_to_directory(const std::string& host_dir,
+                           const std::string& prefix = "") const;
+
+  /// Loads every regular file under `host_dir` into the VFS (paths are
+  /// relative to `host_dir`).
+  void import_from_directory(const std::string& host_dir);
+
+ private:
+  std::map<std::string, std::string> files_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace viprof::os

@@ -1,0 +1,23 @@
+// Lightweight invariant checking used across the simulator.
+//
+// VIPROF_CHECK is active in all build types: the simulator's value rests on
+// its internal consistency (sample conservation, address-map invariants), so
+// violations must abort loudly rather than corrupt results silently.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace viprof::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "VIPROF_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace viprof::support
+
+#define VIPROF_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::viprof::support::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

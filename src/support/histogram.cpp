@@ -1,0 +1,62 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace viprof::support {
+
+Histogram::Histogram(double lo, double width, std::size_t count)
+    : lo_(lo), width_(width), buckets_(count, 0) {
+  VIPROF_CHECK(width > 0.0);
+  VIPROF_CHECK(count > 0);
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  total_ += weight;
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  if (idx >= buckets_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  buckets_[idx] += weight;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t acc = underflow_;
+  if (acc >= target) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    acc += buckets_[i];
+    if (acc >= target) return lo_ + (static_cast<double>(i) + 0.5) * width_;
+  }
+  return lo_ + static_cast<double>(buckets_.size()) * width_;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  std::string out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double edge = lo_ + static_cast<double>(i) * width_;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out += pad_left(fixed(edge, 1), 12);
+    out += " | ";
+    out += std::string(bar, '#');
+    out += ' ';
+    out += std::to_string(buckets_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace viprof::support

@@ -1,0 +1,40 @@
+// Fixed-bucket histogram for distribution bookkeeping in the simulator
+// (e.g. sample inter-arrival cycles, epoch map sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace viprof::support {
+
+class Histogram {
+ public:
+  /// Buckets: [lo, lo+width), [lo+width, lo+2*width), ... `count` buckets,
+  /// plus underflow and overflow buckets.
+  Histogram(double lo, double width, std::size_t count);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Value below which `q` (0..1) of the mass lies (bucket-midpoint estimate).
+  double quantile(double q) const;
+
+  /// Compact ASCII rendering for debug output.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace viprof::support

@@ -1,0 +1,127 @@
+// Deterministic pseudo-random generators.
+//
+// All randomness in the simulator flows through these; a run is fully
+// reproducible from its seed. SplitMix64 is used to derive stream seeds,
+// Xoshiro256** is the workhorse generator (fast, good statistical quality,
+// trivially copyable so simulation state can be snapshotted).
+#pragma once
+
+#include <cstdint>
+
+namespace viprof::support {
+
+/// SplitMix64: seed expander. Given one 64-bit seed, produces a stream of
+/// well-mixed values; primarily used to seed independent Xoshiro streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: main generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Approximately normal via sum of uniforms (Irwin-Hall, 12 terms);
+  /// adequate for simulation jitter, avoids transcendental calls.
+  double normal(double mean, double stddev) noexcept {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return mean + (acc - 6.0) * stddev;
+  }
+
+  /// Zipf-like skewed pick in [0, n): rank r chosen with weight 1/(r+1)^s,
+  /// via inverse-CDF over a coarse approximation. Used for hot-method skew.
+  std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+inline std::uint64_t Xoshiro256::zipf(std::uint64_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  // Rejection-free approximate inversion (Gray et al. style) for s != 1 is
+  // overkill here; use the standard approximation for s in (0, ~3].
+  const double u = uniform();
+  if (s <= 0.0) return below(n);
+  // Inverse CDF of the continuous analogue x^(-s) on [1, n+1).
+  const double one_minus_s = 1.0 - s;
+  double x;
+  if (one_minus_s > 1e-9 || one_minus_s < -1e-9) {
+    const double nn = static_cast<double>(n) + 1.0;
+    double t = u * (__builtin_pow(nn, one_minus_s) - 1.0) + 1.0;
+    x = __builtin_pow(t, 1.0 / one_minus_s);
+  } else {
+    const double nn = static_cast<double>(n) + 1.0;
+    x = __builtin_exp(u * __builtin_log(nn));
+  }
+  auto r = static_cast<std::uint64_t>(x) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace viprof::support

@@ -1,0 +1,53 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace viprof::support {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double trimmed_mean_drop_extremes(std::vector<double> xs) {
+  if (xs.size() < 3) return mean(xs);
+  std::sort(xs.begin(), xs.end());
+  double acc = 0.0;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) acc += xs[i];
+  return acc / static_cast<double>(xs.size() - 2);
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    VIPROF_CHECK(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace viprof::support

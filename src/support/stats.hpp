@@ -1,0 +1,23 @@
+// Statistics helpers implementing the paper's measurement methodology:
+// "run the benchmark 10 times, eliminate the fastest and slowest run, then
+// average the remaining 8" (Section 4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace viprof::support {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+/// Trimmed mean per the paper: drop the single smallest and single largest
+/// value, average the rest. Requires at least 3 samples; with fewer, falls
+/// back to the plain mean.
+double trimmed_mean_drop_extremes(std::vector<double> xs);
+
+/// Geometric mean (useful for slowdown ratios). Values must be positive.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace viprof::support

@@ -1,0 +1,91 @@
+#include "vertical/vertical_profiler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/format.hpp"
+
+namespace viprof::vertical {
+
+VerticalProfiler::VerticalProfiler(os::Machine& machine, const VerticalConfig& config)
+    : machine_(&machine), config_(config) {}
+
+hw::Cycles VerticalProfiler::on_vm_start(const jvm::VmStartInfo& info) {
+  (void)info;
+  return 1'500;  // monitor registry initialisation
+}
+
+hw::Cycles VerticalProfiler::on_invocation(const jvm::MethodInfo& method,
+                                           std::uint64_t ops) {
+  auto& m = metrics_[method.id];
+  if (m.name.empty()) m.name = method.qualified_name();
+  ++m.invocations;
+  m.ops += ops;
+  ++stats_.invocations_recorded;
+  ++since_flush_;
+
+  hw::Cycles cost =
+      static_cast<hw::Cycles>(static_cast<double>(ops) * config_.per_op_cost);
+  if (since_flush_ >= config_.flush_every_invocations) {
+    flush();
+    cost += config_.flush_base;
+  }
+  stats_.cost_cycles += cost;
+  return cost;
+}
+
+hw::Cycles VerticalProfiler::on_method_compiled(const jvm::MethodInfo& method,
+                                                const jvm::CodeObject& code) {
+  trace_pending_ += "C " + method.qualified_name() + " " +
+                    support::hex(code.address) + " " + std::to_string(code.size) + "\n";
+  ++stats_.compiles_recorded;
+  stats_.cost_cycles += config_.per_compile_cost;
+  return config_.per_compile_cost;
+}
+
+hw::Cycles VerticalProfiler::on_gc_end(std::uint64_t new_epoch) {
+  trace_pending_ += "G " + std::to_string(new_epoch) + "\n";
+  ++stats_.gcs_recorded;
+  stats_.cost_cycles += config_.per_gc_cost;
+  return config_.per_gc_cost;
+}
+
+hw::Cycles VerticalProfiler::on_vm_shutdown() {
+  flush();
+  return config_.flush_base;
+}
+
+void VerticalProfiler::flush() {
+  if (!trace_pending_.empty()) {
+    machine_->vfs().append(config_.trace_path, trace_pending_);
+    trace_pending_.clear();
+  }
+  since_flush_ = 0;
+  ++stats_.flushes;
+}
+
+std::string VerticalProfiler::report(std::size_t top_n) const {
+  std::vector<const PerMethod*> rows;
+  rows.reserve(metrics_.size());
+  std::uint64_t total_ops = 0;
+  for (const auto& [id, m] : metrics_) {
+    rows.push_back(&m);
+    total_ops += m.ops;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PerMethod* a, const PerMethod* b) { return a->ops > b->ops; });
+
+  support::TextTable table({"Ops %", "Invocations", "Method"});
+  std::size_t emitted = 0;
+  for (const PerMethod* m : rows) {
+    if (emitted >= top_n) break;
+    const double pct =
+        total_ops ? 100.0 * static_cast<double>(m->ops) / static_cast<double>(total_ops)
+                  : 0.0;
+    table.add_row({support::fixed(pct, 2), std::to_string(m->invocations), m->name});
+    ++emitted;
+  }
+  return table.render();
+}
+
+}  // namespace viprof::vertical

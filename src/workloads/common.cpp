@@ -1,0 +1,85 @@
+#include "workloads/common.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "workloads/dacapo.hpp"
+#include "workloads/jvm98.hpp"
+#include "workloads/pseudojbb.hpp"
+
+namespace viprof::workloads {
+
+jvm::NativeLibrarySpec libc_spec() {
+  jvm::NativeLibrarySpec libc;
+  libc.name = "libc-2.3.2.so";  // Debian sarge's glibc (paper's testbed)
+  libc.symbols = {
+      {"memset", 2048, 0.7, 256 * 1024, 0.02, 1.0},
+      {"memcpy", 3072, 0.75, 256 * 1024, 0.02, 1.0},
+      {"strcmp", 1024, 0.9, 64 * 1024, 0.10, 0.8},
+      {"malloc", 4096, 1.3, 256 * 1024, 0.40, 0.6},
+      {"free", 2048, 1.2, 256 * 1024, 0.40, 0.5},
+      {"read", 1024, 1.1, 128 * 1024, 0.15, 0.7},
+      {"write", 1024, 1.1, 128 * 1024, 0.15, 0.7},
+      {"gettimeofday", 512, 0.9, 4 * 1024, 0.05, 0.3},
+  };
+  return libc;
+}
+
+void append_methods(std::vector<jvm::MethodInfo>& methods, const MethodPopulation& pop) {
+  static const char* kKlassLeaves[] = {"Parser", "Lexer",   "Builder", "Visitor",
+                                       "Table",  "Index",   "Encoder", "Decoder",
+                                       "Engine", "Manager", "Node",    "Buffer"};
+  static const char* kMethodNames[] = {"process", "scan",  "emit",    "resolve",
+                                       "lookup",  "apply", "compute", "update",
+                                       "insert",  "match", "reduce",  "walk"};
+  support::Xoshiro256 rng(pop.seed);
+  auto in_range = [&](std::uint64_t lo, std::uint64_t hi) { return rng.range(lo, hi); };
+  auto in_range_d = [&](double lo, double hi) { return lo + rng.uniform() * (hi - lo); };
+
+  for (std::size_t i = 0; i < pop.count; ++i) {
+    jvm::MethodInfo m;
+    m.klass = pop.package + "." + kKlassLeaves[i % std::size(kKlassLeaves)] +
+              std::to_string(i / std::size(kKlassLeaves));
+    m.name = kMethodNames[(i * 7) % std::size(kMethodNames)];
+    m.descriptor = "()V";
+    m.bytecode_size = in_range(pop.bytecode_lo, pop.bytecode_hi);
+    m.base_cpi = in_range_d(pop.cpi_lo, pop.cpi_hi);
+    // Zipf-like skew over the population order: early methods are hot.
+    m.weight = 1.0 / __builtin_pow(static_cast<double>(i + 1), pop.zipf_s);
+    m.ops_per_invocation = in_range(pop.ops_lo, pop.ops_hi);
+    m.alloc_bytes_per_op = in_range_d(pop.alloc_lo, pop.alloc_hi);
+    m.working_set = in_range(pop.ws_lo, pop.ws_hi);
+    m.stride = rng.chance(0.5) ? 64 : 128;
+    m.random_frac = in_range_d(pop.random_frac_lo, pop.random_frac_hi);
+    m.accesses_per_op = in_range_d(0.25, 0.45);
+    methods.push_back(std::move(m));
+  }
+}
+
+void finalize_ids(jvm::JavaProgramSpec& program) {
+  for (std::size_t i = 0; i < program.methods.size(); ++i) {
+    program.methods[i].id = static_cast<jvm::MethodId>(i);
+  }
+}
+
+std::uint64_t ops_for_seconds(double seconds, double cycles_per_op) {
+  VIPROF_CHECK(seconds > 0.0 && cycles_per_op > 0.0);
+  return static_cast<std::uint64_t>(seconds * kCyclesPerSecond / cycles_per_op);
+}
+
+std::vector<Workload> figure2_suite() {
+  std::vector<Workload> suite;
+  suite.push_back(make_pseudojbb());
+  suite.push_back(make_jvm98());
+  suite.push_back(make_dacapo("antlr"));
+  suite.push_back(make_dacapo("bloat"));
+  suite.push_back(make_dacapo("fop"));
+  suite.push_back(make_dacapo("hsqldb"));
+  suite.push_back(make_dacapo("pmd"));
+  suite.push_back(make_dacapo("xalan"));
+  suite.push_back(make_dacapo("ps"));
+  return suite;
+}
+
+}  // namespace viprof::workloads

@@ -1,0 +1,68 @@
+// Workload infrastructure: the bundle of (program spec, VM configuration)
+// that models one of the paper's benchmarks, plus shared building blocks
+// (standard native libraries, synthetic method generation) and the virtual
+// time calibration.
+//
+// Time calibration: the paper's testbed is a 3.4 GHz Pentium 4; simulating
+// 3.4e9 cycles per benchmark-second is intractable, so the simulator runs
+// with a fixed 1:170 time dilation — one *reported* benchmark second equals
+// kCyclesPerSecond virtual cycles. Sampling periods (45K/90K/450K cycles)
+// are kept at the paper's values, so per-reported-second sample counts are
+// 1/170th of the real system's; all overhead ratios (the Fig. 2 metric) are
+// dilation-invariant because every profiling cost is expressed in the same
+// virtual cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/method.hpp"
+#include "jvm/program.hpp"
+#include "jvm/vm.hpp"
+
+namespace viprof::workloads {
+
+/// Virtual cycles per reported benchmark second (see header comment).
+inline constexpr double kCyclesPerSecond = 2.0e7;
+
+struct Workload {
+  std::string name;                 // Fig. 2/3 row label
+  jvm::JavaProgramSpec program;
+  jvm::VmConfig vm;                 // heap sizing / thresholds tuned per benchmark
+  double paper_base_seconds = 0.0;  // Fig. 3 reference value
+};
+
+/// libc with the symbols our programs call (memset prominently — Fig. 1).
+jvm::NativeLibrarySpec libc_spec();
+
+/// Parameters for synthetic method population generation.
+struct MethodPopulation {
+  std::string package;          // klass prefix
+  std::size_t count = 200;
+  std::uint64_t seed = 42;
+  std::uint64_t bytecode_lo = 80, bytecode_hi = 1'200;
+  std::uint64_t ops_lo = 8'000, ops_hi = 40'000;
+  double zipf_s = 1.1;          // weight skew: rank-r weight ~ 1/(r+1)^s
+  double cpi_lo = 0.9, cpi_hi = 1.6;
+  std::uint64_t ws_lo = 8 * 1024, ws_hi = 256 * 1024;
+  double random_frac_lo = 0.05, random_frac_hi = 0.35;
+  double alloc_lo = 0.05, alloc_hi = 0.6;  // bytes per op
+};
+
+/// Appends `pop.count` synthetic methods to `methods` (ids assigned densely
+/// continuing from the current size).
+void append_methods(std::vector<jvm::MethodInfo>& methods, const MethodPopulation& pop);
+
+/// Assigns dense ids; call after all methods are appended.
+void finalize_ids(jvm::JavaProgramSpec& program);
+
+/// total_app_ops for a target base runtime given a measured calibration
+/// factor (cycles per app op for this workload, from the calibration bench).
+std::uint64_t ops_for_seconds(double seconds, double cycles_per_op);
+
+/// All Fig. 2 workloads in paper order: pseudojbb, JVM98, antlr, bloat,
+/// fop, hsqldb, pmd, xalan, ps.
+std::vector<Workload> figure2_suite();
+
+}  // namespace viprof::workloads

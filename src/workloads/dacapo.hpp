@@ -1,0 +1,28 @@
+// DaCapo benchmark models (paper uses the `large` inputs of antlr, bloat,
+// fop, hsqldb, pmd, xalan, ps).
+//
+// Each model is calibrated on two axes:
+//   * base runtime — Fig. 3 seconds at the workload calibration constant;
+//   * profiling-relevant character — number of methods that get compiled,
+//     allocation rate (GC/epoch frequency), promotion age (how long code
+//     keeps moving), native/kernel fractions.
+// antlr is the paper's worst case for VIProf: short run, thousands of cold
+// methods compiled throughout, frequent collections — so code maps are
+// written often and amortise poorly (>10% slowdown at the 90K rate).
+#pragma once
+
+#include <string>
+
+#include "workloads/common.hpp"
+
+namespace viprof::workloads {
+
+/// DaCapo input sizes. The paper evaluates `large`; the smaller inputs
+/// scale the run length (and therefore GC/compile amortisation) the way
+/// the real harness's -s flag does.
+enum class DacapoSize { kSmall, kDefault, kLarge };
+
+/// One of: antlr, bloat, fop, hsqldb, pmd, xalan, ps.
+Workload make_dacapo(const std::string& name, DacapoSize size = DacapoSize::kLarge);
+
+}  // namespace viprof::workloads

@@ -1,0 +1,45 @@
+#include "workloads/generator.hpp"
+
+namespace viprof::workloads {
+
+Workload make_synthetic(const GeneratorOptions& options) {
+  Workload w;
+  w.name = options.name;
+  w.paper_base_seconds = 0.0;  // not a paper benchmark
+
+  w.program.name = options.name;
+  w.program.flavor = options.flavor;
+  w.program.libraries.push_back(libc_spec());
+  w.program.vm_glue_frac = options.vm_glue_frac;
+
+  MethodPopulation pop;
+  pop.package = "synthetic." + options.name;
+  pop.count = options.methods;
+  pop.seed = options.seed;
+  pop.zipf_s = options.zipf;
+  pop.alloc_lo = options.alloc_intensity * 0.5;
+  pop.alloc_hi = options.alloc_intensity * 1.5;
+  append_methods(w.program.methods, pop);
+
+  if (!w.program.methods.empty() &&
+      (options.native_frac > 0.0 || options.syscall_frac > 0.0)) {
+    auto& hottest = w.program.methods.front();
+    if (options.native_frac > 0.0) {
+      hottest.outcalls.push_back(
+          {jvm::OutCall::Kind::kNative, "libc-2.3.2.so", "memset", options.native_frac});
+    }
+    if (options.syscall_frac > 0.0) {
+      hottest.outcalls.push_back(
+          {jvm::OutCall::Kind::kSyscall, "", "sys_write", options.syscall_frac});
+    }
+  }
+  finalize_ids(w.program);
+
+  w.program.total_app_ops = options.total_app_ops;
+  w.vm.seed = options.seed ^ 0x5eed;
+  w.vm.heap.nursery_data_bytes = options.nursery_bytes;
+  w.vm.heap.mature_age = options.mature_age;
+  return w;
+}
+
+}  // namespace viprof::workloads

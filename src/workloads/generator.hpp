@@ -1,0 +1,30 @@
+// Parameterised synthetic workload generator, used by tests, ablation
+// benches and the examples: a single knob set producing a well-formed
+// Workload whose GC/compile/sample behaviour is predictable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/common.hpp"
+
+namespace viprof::workloads {
+
+struct GeneratorOptions {
+  std::string name = "synthetic";
+  std::uint64_t seed = 7;
+  std::size_t methods = 64;
+  double zipf = 1.0;
+  std::uint64_t total_app_ops = 20'000'000;
+  double alloc_intensity = 0.4;    // bytes per op (mid of the range)
+  std::uint64_t nursery_bytes = 2ull << 20;
+  std::uint32_t mature_age = 3;
+  double native_frac = 0.05;       // memset share on the hottest method
+  double syscall_frac = 0.02;      // sys_write share on the hottest method
+  double vm_glue_frac = 0.02;
+  jvm::VmFlavor flavor = jvm::VmFlavor::kJikesRvm;  // hosting runtime
+};
+
+Workload make_synthetic(const GeneratorOptions& options = {});
+
+}  // namespace viprof::workloads

@@ -1,0 +1,65 @@
+#include "workloads/jvm98.hpp"
+
+namespace viprof::workloads {
+
+namespace {
+
+struct SubBench {
+  const char* package;
+  std::size_t methods;
+  double zipf;
+  double alloc_lo, alloc_hi;
+  std::uint64_t ws_hi;
+};
+
+// The seven JVM98 programs, roughly in their published character:
+// compress/mpegaudio are tight loops on small hot sets; db/jack allocate
+// heavily; javac has the widest code base.
+constexpr SubBench kSubBenches[] = {
+    {"spec.benchmarks._201_compress", 40, 1.6, 0.02, 0.10, 64 * 1024},
+    {"spec.benchmarks._202_jess", 110, 1.1, 0.25, 0.55, 128 * 1024},
+    {"spec.benchmarks._209_db", 60, 1.4, 0.40, 0.80, 1024 * 1024},
+    {"spec.benchmarks._213_javac", 260, 0.8, 0.25, 0.55, 256 * 1024},
+    {"spec.benchmarks._222_mpegaudio", 70, 1.5, 0.03, 0.12, 96 * 1024},
+    {"spec.benchmarks._227_mtrt", 90, 1.2, 0.20, 0.45, 512 * 1024},
+    {"spec.benchmarks._228_jack", 130, 1.0, 0.30, 0.60, 128 * 1024},
+};
+
+}  // namespace
+
+Workload make_jvm98() {
+  Workload w;
+  w.name = "JVM98";
+  w.paper_base_seconds = 5.74;  // Fig. 3: JVM98 (average)
+
+  w.program.name = "specjvm98";
+  w.program.libraries.push_back(libc_spec());
+  w.program.vm_glue_frac = 0.02;
+  // The harness runs the programs back to back: phase behaviour.
+  w.program.phase_ops = 12'000'000;
+
+  std::uint64_t seed = 0x98;
+  for (const SubBench& sb : kSubBenches) {
+    MethodPopulation pop;
+    pop.package = sb.package;
+    pop.count = sb.methods;
+    pop.seed = seed++;
+    pop.zipf_s = sb.zipf;
+    pop.ops_lo = 6'000;
+    pop.ops_hi = 26'000;
+    pop.alloc_lo = sb.alloc_lo;
+    pop.alloc_hi = sb.alloc_hi;
+    pop.ws_hi = sb.ws_hi;
+    append_methods(w.program.methods, pop);
+  }
+  finalize_ids(w.program);
+
+  w.program.total_app_ops = ops_for_seconds(5.74, 8.17);
+
+  w.vm.seed = 0x98 ^ 0x5eed;
+  w.vm.heap.nursery_data_bytes = 4ull << 20;
+  w.vm.heap.mature_age = 4;
+  return w;
+}
+
+}  // namespace viprof::workloads

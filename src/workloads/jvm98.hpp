@@ -1,0 +1,12 @@
+// SPEC JVM98 model: the paper reports JVM98 as a single composite entry
+// (input size 100); we model it as one program containing the seven
+// benchmark packages with their characteristic mixes.
+#pragma once
+
+#include "workloads/common.hpp"
+
+namespace viprof::workloads {
+
+Workload make_jvm98();
+
+}  // namespace viprof::workloads

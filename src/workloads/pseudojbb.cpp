@@ -1,0 +1,83 @@
+#include "workloads/pseudojbb.hpp"
+
+namespace viprof::workloads {
+
+namespace {
+
+// The five TPC-C-style transaction types JBB executes, with their published
+// mix. Each becomes a hot method; the per-warehouse working set is the
+// warehouse's object tree.
+struct Txn {
+  const char* name;
+  double mix;
+  std::uint64_t ops;
+  double alloc;
+};
+
+constexpr Txn kTxns[] = {
+    {"processNewOrder", 0.433, 26'000, 0.45},
+    {"processPayment", 0.433, 18'000, 0.30},
+    {"processOrderStatus", 0.043, 12'000, 0.15},
+    {"processDelivery", 0.043, 22'000, 0.35},
+    {"processStockLevel", 0.043, 20'000, 0.20},
+};
+
+}  // namespace
+
+Workload make_pseudojbb(const PseudoJbbOptions& options) {
+  Workload w;
+  w.name = "pseudojbb";
+  w.paper_base_seconds = 31.0;  // Fig. 3
+
+  w.program.name = "pseudojbb";
+  w.program.libraries.push_back(libc_spec());
+  w.program.vm_glue_frac = 0.025;  // JBB's own driver loop
+
+  for (const Txn& t : kTxns) {
+    jvm::MethodInfo m;
+    m.klass = "spec.jbb.TransactionManager";
+    m.name = t.name;
+    m.bytecode_size = 1'400;
+    m.base_cpi = 1.15;
+    m.weight = t.mix * 100.0;
+    m.ops_per_invocation = t.ops;
+    m.alloc_bytes_per_op = t.alloc;
+    // Warehouse tree: working set grows with warehouse count.
+    m.working_set = static_cast<std::uint64_t>(options.warehouses) * 384 * 1024;
+    m.random_frac = 0.35;  // pointer chasing through the object tree
+    m.accesses_per_op = 0.5;
+    m.outcalls = {
+        {jvm::OutCall::Kind::kSyscall, "", "sys_futex", 0.015},
+        {jvm::OutCall::Kind::kSyscall, "", "sys_gettimeofday", 0.01},
+        {jvm::OutCall::Kind::kNative, "libc-2.3.2.so", "memcpy", 0.03},
+    };
+    w.program.methods.push_back(std::move(m));
+  }
+
+  // Supporting cast: districts, items, B-trees, reporting.
+  MethodPopulation pop;
+  pop.package = "spec.jbb.infra";
+  pop.count = 240;
+  pop.seed = 0x1bb;
+  pop.zipf_s = 1.3;
+  pop.ops_lo = 6'000;
+  pop.ops_hi = 20'000;
+  pop.alloc_lo = 0.10;
+  pop.alloc_hi = 0.45;
+  pop.ws_hi = 1024 * 1024;
+  append_methods(w.program.methods, pop);
+  finalize_ids(w.program);
+
+  // Scale run length with the configured transaction volume (the paper's
+  // 3 warehouses x 100K transactions is the 31 s Fig. 3 configuration).
+  const double scale = static_cast<double>(options.transactions) / 100'000.0 *
+                       static_cast<double>(options.warehouses) / 3.0;
+  w.program.total_app_ops = ops_for_seconds(31.0 * scale, 3.02);
+
+  w.vm.seed = 0x1bb ^ 0x5eed;
+  w.vm.heap.nursery_data_bytes = 10ull << 20;
+  w.vm.heap.mature_age = 3;
+  return w;
+}
+
+}  // namespace viprof::workloads

@@ -1,0 +1,18 @@
+// SPEC pseudoJBB model: JBB2000 with a fixed transaction count (3 warehouses
+// x 100K transactions in the paper) so execution time is directly
+// measurable. Long-running server workload: a small hot transaction core,
+// steady allocation, futex/syscall traffic.
+#pragma once
+
+#include "workloads/common.hpp"
+
+namespace viprof::workloads {
+
+struct PseudoJbbOptions {
+  std::uint32_t warehouses = 3;
+  std::uint64_t transactions = 100'000;
+};
+
+Workload make_pseudojbb(const PseudoJbbOptions& options = {});
+
+}  // namespace viprof::workloads

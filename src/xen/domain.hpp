@@ -1,0 +1,31 @@
+// A Xen domain: one guest software stack (guest OS + JVM + application)
+// running on the shared machine under the hypervisor's scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "jvm/vm.hpp"
+
+namespace viprof::xen {
+
+using DomainId = std::uint16_t;
+
+struct Domain {
+  Domain() = default;
+  Domain(DomainId id_, std::string name_, jvm::Vm* vm_, std::uint32_t weight_ = 256)
+      : id(id_), name(std::move(name_)), vm(vm_), weight(weight_) {}
+
+  DomainId id = 0;
+  std::string name;       // "dom1-jbb"
+  jvm::Vm* vm = nullptr;  // the guest's stack (owned by the caller)
+  std::uint32_t weight = 256;  // credit-scheduler weight (Xen default)
+
+  // Filled by the scheduler.
+  bool finished = false;
+  jvm::RunStats stats;
+  std::uint64_t slices = 0;
+  std::uint64_t last_kernel_ops = 0;  // for the paravirt tax delta
+};
+
+}  // namespace viprof::xen

@@ -1,0 +1,113 @@
+#include "xen/hypervisor.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace viprof::xen {
+
+namespace {
+constexpr std::uint64_t kXenDataOffset = 0x0080'0000;
+}
+
+Hypervisor::Hypervisor(os::Machine& machine, const HypervisorConfig& config)
+    : machine_(&machine), config_(config) {
+  // Routine catalogue, mirroring xen-syms of the 3.0 era.
+  add_routine("hypercall_entry", 1024, 1.2, 4 * 1024, 0.05);
+  add_routine("do_mmu_update", 4096, 1.8, 256 * 1024, 0.55);
+  add_routine("do_update_va_mapping", 2048, 1.7, 128 * 1024, 0.50);
+  add_routine("shadow_page_fault", 6144, 1.9, 512 * 1024, 0.60);
+  add_routine("evtchn_send", 1536, 1.3, 16 * 1024, 0.20);
+  add_routine("evtchn_do_upcall", 1536, 1.3, 16 * 1024, 0.20);
+  add_routine("csched_schedule", 4096, 1.5, 64 * 1024, 0.35);
+  add_routine("vcpu_context_switch", 2048, 1.4, 32 * 1024, 0.25);
+  add_routine("do_iret", 512, 1.1, 2 * 1024, 0.05);
+  add_routine("timer_softirq", 1024, 1.3, 8 * 1024, 0.15);
+  add_routine("xenoprof_nmi_handler", 1024, 1.2, 4 * 1024, 0.05);
+  add_routine("xenoprof_buffer_flush", 1536, 1.3, 32 * 1024, 0.15);
+  size_ = cursor_;
+
+  os::Image& img = machine.registry().create("xen-syms", os::ImageKind::kKernel, size_);
+  image_ = img.id();
+  for (const auto& r : routines_) img.symbols().add(r.name, r.base - kXenBase, r.size);
+
+  machine.set_hypervisor({image_, kXenBase, size_});
+}
+
+void Hypervisor::add_routine(std::string name, std::uint64_t code_size, double cpi,
+                             std::uint64_t working_set, double random_frac) {
+  HypervisorRoutine r;
+  r.name = std::move(name);
+  r.base = kXenBase + cursor_;
+  r.size = code_size;
+  r.cpi = cpi;
+  r.pattern.base = kXenBase + kXenDataOffset + cursor_ * 8;
+  r.pattern.working_set = working_set;
+  r.pattern.stride = 64;
+  r.pattern.random_frac = random_frac;
+  r.pattern.accesses_per_op = 0.4;
+  r.pattern.hot_frac = 0.75;
+  cursor_ += code_size;
+  routines_.push_back(std::move(r));
+}
+
+const HypervisorRoutine& Hypervisor::routine(const std::string& name) const {
+  for (const auto& r : routines_)
+    if (r.name == name) return r;
+  VIPROF_CHECK(false && "unknown hypervisor routine");
+  __builtin_unreachable();
+}
+
+hw::ExecContext Hypervisor::context(const std::string& name,
+                                    hw::Pid current_guest_pid) const {
+  const HypervisorRoutine& r = routine(name);
+  return hw::ExecContext{r.base, r.size, hw::CpuMode::kHypervisor, current_guest_pid};
+}
+
+const HypervisorRoutine& Hypervisor::pick(Activity activity, std::uint64_t salt) const {
+  // Deterministic weighted rotation per activity (no shared RNG: the
+  // hypervisor must not perturb guest-visible randomness).
+  pick_state_ = pick_state_ * 6364136223846793005ULL + salt + 1;
+  const std::uint64_t r = (pick_state_ >> 33) % 100;
+  auto by_name = [this](const char* name) -> const HypervisorRoutine& {
+    return routine(name);
+  };
+  switch (activity) {
+    case Activity::kHypercall:
+      if (r < 30) return by_name("hypercall_entry");
+      if (r < 65) return by_name("do_mmu_update");
+      if (r < 85) return by_name("do_update_va_mapping");
+      return by_name("do_iret");
+    case Activity::kShadowPt:
+      if (r < 70) return by_name("shadow_page_fault");
+      return by_name("do_mmu_update");
+    case Activity::kSchedule:
+      if (r < 45) return by_name("csched_schedule");
+      if (r < 80) return by_name("vcpu_context_switch");
+      if (r < 90) return by_name("timer_softirq");
+      return by_name("evtchn_do_upcall");
+    case Activity::kXenoprof:
+      if (r < 70) return by_name("xenoprof_nmi_handler");
+      return by_name("xenoprof_buffer_flush");
+  }
+  return routines_.front();
+}
+
+void Hypervisor::exec(Activity activity, hw::Cycles cycles, hw::Pid guest_pid) {
+  hw::Cycles remaining = cycles;
+  while (remaining > 0) {
+    const HypervisorRoutine& r = pick(activity, remaining);
+    const hw::Cycles slice = std::min<hw::Cycles>(remaining, 4'000);
+    hw::ChunkEvents events;
+    events.instructions = static_cast<std::uint64_t>(
+        static_cast<double>(slice) / std::max(r.cpi, 0.1));
+    events.l2_misses = static_cast<double>(slice) * 0.0015;
+    machine_->cpu().set_context(
+        hw::ExecContext{r.base, r.size, hw::CpuMode::kHypervisor, guest_pid});
+    machine_->cpu().advance(slice, events);
+    cycles_executed_ += slice;
+    remaining -= slice;
+  }
+}
+
+}  // namespace viprof::xen

@@ -1,0 +1,89 @@
+// Simulated Xen hypervisor — the paper's Section 5 extension ("we plan to
+// integrate Xen virtualization extensions into VIProf to integrate profiling
+// of the Xen layer (via XenoProf) as well as multiple concurrently executing
+// software stacks"), implemented here.
+//
+// The hypervisor owns the top of the address space (ia32 Xen reserves the
+// region above the kernel), exposes a routine catalogue like the kernel's
+// (hypercalls, shadow page-table maintenance, the credit scheduler, event
+// channels, and XenoProf's own sampling half), and models the paravirtual
+// tax: a fraction of every guest's kernel work re-enters the hypervisor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/access_pattern.hpp"
+#include "hw/cpu.hpp"
+#include "os/image.hpp"
+#include "os/machine.hpp"
+
+namespace viprof::xen {
+
+struct HypervisorRoutine {
+  std::string name;
+  hw::Address base = 0;
+  std::uint64_t size = 0;
+  double cpi = 1.5;
+  hw::AccessPattern pattern;
+};
+
+struct HypervisorConfig {
+  /// Hypervisor ops executed per guest-kernel op (shadow page tables,
+  /// interrupt virtualisation, hypercall servicing).
+  double paravirt_tax = 0.18;
+  /// Cycles for a VCPU context switch (save/restore + TLB effects).
+  hw::Cycles context_switch_cost = 24'000;
+  /// Cycles per scheduler tick (credit accounting).
+  hw::Cycles tick_cost = 3'000;
+};
+
+class Hypervisor {
+ public:
+  static constexpr hw::Address kXenBase = 0xfc00'0000;  // ia32 Xen slot
+
+  /// Builds the xen-syms image, registers it with the machine's registry
+  /// and announces the hypervisor range to the machine (so the profiler's
+  /// classification and resolution see it).
+  Hypervisor(os::Machine& machine, const HypervisorConfig& config = {});
+
+  const HypervisorConfig& config() const { return config_; }
+  os::ImageId image() const { return image_; }
+  hw::Address base() const { return kXenBase; }
+  std::uint64_t size() const { return size_; }
+  bool contains(hw::Address pc) const { return pc >= base() && pc < base() + size_; }
+
+  const HypervisorRoutine& routine(const std::string& name) const;
+
+  /// Execution context for a routine; hypervisor work runs in ring -1.
+  hw::ExecContext context(const std::string& name, hw::Pid current_guest_pid) const;
+
+  /// Executes `cycles` of hypervisor work spread over the weighted routine
+  /// mix for one activity; drives the machine's CPU directly.
+  enum class Activity : std::uint8_t {
+    kHypercall,   // guest-triggered entry + servicing
+    kShadowPt,    // page-table maintenance
+    kSchedule,    // credit scheduler + context switch
+    kXenoprof,    // sampling infrastructure
+  };
+  void exec(Activity activity, hw::Cycles cycles, hw::Pid guest_pid);
+
+  hw::Cycles cycles_executed() const { return cycles_executed_; }
+
+ private:
+  void add_routine(std::string name, std::uint64_t code_size, double cpi,
+                   std::uint64_t working_set, double random_frac);
+  const HypervisorRoutine& pick(Activity activity, std::uint64_t salt) const;
+
+  os::Machine* machine_;
+  HypervisorConfig config_;
+  os::ImageId image_ = os::kInvalidImage;
+  std::uint64_t size_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::vector<HypervisorRoutine> routines_;
+  hw::Cycles cycles_executed_ = 0;
+  mutable std::uint64_t pick_state_ = 0x9e37;
+};
+
+}  // namespace viprof::xen

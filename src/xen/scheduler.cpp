@@ -1,0 +1,88 @@
+#include "xen/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace viprof::xen {
+
+Domain* CreditScheduler::next_runnable() {
+  Domain* best = nullptr;
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    Domain* d = domains_[i];
+    if (d->finished) continue;
+    if (best == nullptr || credit_[i] > credit_[best_index]) {
+      best = d;
+      best_index = i;
+    }
+  }
+  if (best != nullptr) {
+    // Burn a slice of credit; everyone else accrues.
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      if (domains_[i] == best) {
+        credit_[i] -= 1'000;
+      } else if (!domains_[i]->finished) {
+        credit_[i] += domains_[i]->weight;
+      }
+    }
+  }
+  return best;
+}
+
+SchedulerStats CreditScheduler::run_all() {
+  VIPROF_CHECK(!domains_.empty());
+  credit_.assign(domains_.size(), 0);
+  for (std::size_t i = 0; i < domains_.size(); ++i)
+    credit_[i] = domains_[i]->weight;
+
+  SchedulerStats stats;
+  const hw::Cycles start = machine_->cpu().now();
+  const hw::Cycles hyp_start = hypervisor_->cycles_executed();
+  Domain* previous = nullptr;
+
+  while (Domain* d = next_runnable()) {
+    VIPROF_CHECK(d->vm != nullptr);
+
+    // Scheduler tick; a VCPU switch costs extra when the domain changes.
+    hw::Cycles sched = hypervisor_->config().tick_cost;
+    if (d != previous) {
+      sched += hypervisor_->config().context_switch_cost;
+      ++stats.context_switches;
+      // A domain switch trashes the guest-visible cache state.
+      machine_->cache().flush();
+    }
+    hypervisor_->exec(Hypervisor::Activity::kSchedule, sched, d->vm->pid());
+    previous = d;
+
+    const bool more = d->vm->step(config_.slice_app_ops);
+    ++d->slices;
+    ++stats.slices;
+
+    // Paravirtual tax: the guest kernel work of this slice re-enters the
+    // hypervisor (shadow page tables, hypercall servicing).
+    const std::uint64_t kernel_ops = d->vm->stats_so_far().kernel_ops;
+    const std::uint64_t delta = kernel_ops - d->last_kernel_ops;
+    d->last_kernel_ops = kernel_ops;
+    if (delta > 0) {
+      const auto tax = static_cast<hw::Cycles>(
+          static_cast<double>(delta) * hypervisor_->config().paravirt_tax *
+          config_.kernel_op_cycles);
+      if (tax > 0) {
+        hypervisor_->exec(Hypervisor::Activity::kHypercall, tax / 2, d->vm->pid());
+        hypervisor_->exec(Hypervisor::Activity::kShadowPt, tax - tax / 2, d->vm->pid());
+      }
+    }
+
+    if (!more) {
+      d->stats = d->vm->finish();
+      d->finished = true;
+    }
+  }
+
+  stats.total_cycles = machine_->cpu().now() - start;
+  stats.hypervisor_cycles = hypervisor_->cycles_executed() - hyp_start;
+  return stats;
+}
+
+}  // namespace viprof::xen

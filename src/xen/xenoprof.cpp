@@ -1,0 +1,95 @@
+#include "xen/xenoprof.hpp"
+
+#include "core/archive.hpp"
+#include "support/check.hpp"
+
+namespace viprof::xen {
+
+XenoProfSession::XenoProfSession(os::Machine& machine, Hypervisor& hypervisor,
+                                 const XenoProfConfig& config)
+    : machine_(&machine), hypervisor_(&hypervisor), config_(config) {
+  buffer_ = std::make_unique<core::SampleBuffer>(config_.buffer_capacity);
+  core::DaemonConfig dcfg = config_.daemon;
+  dcfg.vm_aware = true;
+  daemon_ = std::make_unique<core::Daemon>(machine, *buffer_, table_, dcfg);
+}
+
+XenoProfSession::~XenoProfSession() { machine_->cpu().set_nmi_handler(nullptr); }
+
+void XenoProfSession::attach_guest(Domain& domain) {
+  VIPROF_CHECK(domain.vm != nullptr);
+  agents_.push_back(
+      std::make_unique<core::VmAgent>(*machine_, *buffer_, table_, config_.agent));
+  domain.vm->add_listener(agents_.back().get());
+  domain.vm->add_service(daemon_.get());
+}
+
+void XenoProfSession::start() {
+  VIPROF_CHECK(!started_);
+  started_ = true;
+  machine_->cpu().counters().set_enabled(true);
+  machine_->cpu().counters().configure(config_.counters);
+  // Samples captured in the hypervisor's sampling half; self-samples point
+  // at xenoprof_nmi_handler in ring -1.
+  machine_->cpu().set_profiler_context(hypervisor_->context("xenoprof_nmi_handler", 0));
+  machine_->cpu().set_nmi_handler([this](const hw::SampleContext& sc) -> hw::Cycles {
+    buffer_->push(core::Sample::from_context(sc));
+    return config_.nmi_cost;
+  });
+}
+
+XenoProfResult XenoProfSession::stop_and_flush() {
+  XenoProfResult result;
+  daemon_->final_flush();
+  result.samples = machine_->cpu().nmi_count();
+  result.dropped = buffer_->dropped();
+  result.daemon = daemon_->stats();
+  machine_->cpu().set_nmi_handler(nullptr);
+  return result;
+}
+
+void XenoProfSession::export_archive(const std::string& prefix) {
+  core::write_archive(*machine_, table_, machine_->vfs(), prefix);
+}
+
+core::Resolver& XenoProfSession::resolver() {
+  if (!resolver_) {
+    resolver_ = std::make_unique<core::Resolver>(*machine_, table_, true);
+    resolver_->load();
+  }
+  return *resolver_;
+}
+
+core::Profile XenoProfSession::domain_profile(const Domain& domain,
+                                              const std::vector<hw::EventKind>& events) {
+  core::Profile profile;
+  core::Resolver& r = resolver();
+  const hw::Pid pid = domain.vm->pid();
+  for (hw::EventKind event : events) {
+    for (const core::LoggedSample& s : core::SampleLogReader::read(
+             machine_->vfs(), daemon_->sample_dir(), event)) {
+      // XenoProf's per-domain routing: samples carry the pid of the guest
+      // that occupied the CPU, including hypervisor-ring samples taken on
+      // its behalf.
+      if (s.pid != pid) continue;
+      profile.add(event, r.resolve(s));
+    }
+  }
+  return profile;
+}
+
+core::Profile XenoProfSession::hypervisor_profile(
+    const std::vector<hw::EventKind>& events) {
+  core::Profile profile;
+  core::Resolver& r = resolver();
+  for (hw::EventKind event : events) {
+    for (const core::LoggedSample& s : core::SampleLogReader::read(
+             machine_->vfs(), daemon_->sample_dir(), event)) {
+      const core::Resolution res = r.resolve(s);
+      if (res.domain == core::SampleDomain::kHypervisor) profile.add(event, res);
+    }
+  }
+  return profile;
+}
+
+}  // namespace viprof::xen

@@ -1,0 +1,87 @@
+// XenoProf-style system-wide profiling session for virtualized stacks.
+//
+// Extends the VIProf pipeline one layer down: the performance counters are
+// virtualised by the hypervisor, whose NMI handler (xenoprof_nmi_handler)
+// captures samples for *whichever domain is running* and routes them into
+// the shared stream. Each guest runs a full VIProf stack (VM agent + epoch
+// code maps); one dom0 daemon drains everything. Post-processing produces
+// per-domain profiles — including the hypervisor cycles each domain caused —
+// and a hypervisor-only profile, all at function granularity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/viprof.hpp"
+#include "xen/domain.hpp"
+#include "xen/hypervisor.hpp"
+
+namespace viprof::xen {
+
+struct XenoProfConfig {
+  std::vector<hw::CounterConfig> counters = {
+      {hw::EventKind::kGlobalPowerEvents, 90'000, true},
+      {hw::EventKind::kBsqCacheReference, 1'400, true},
+  };
+  hw::Cycles nmi_cost = 1'800;  // hypervisor half is leaner than a kernel module
+  std::size_t buffer_capacity = 64 * 1024;
+  core::DaemonConfig daemon;
+  core::AgentConfig agent;
+};
+
+struct XenoProfResult {
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  core::DaemonStats daemon;
+};
+
+class XenoProfSession {
+ public:
+  XenoProfSession(os::Machine& machine, Hypervisor& hypervisor,
+                  const XenoProfConfig& config = {});
+  ~XenoProfSession();
+
+  XenoProfSession(const XenoProfSession&) = delete;
+  XenoProfSession& operator=(const XenoProfSession&) = delete;
+
+  /// Registers a guest: attaches a VIProf VM agent and the shared dom0
+  /// daemon to its VM. Call before the guest's vm->setup().
+  void attach_guest(Domain& domain);
+
+  /// Programs the virtualised counters and installs the hypervisor NMI
+  /// handler. Call once before scheduling begins.
+  void start();
+
+  /// Drains outstanding samples after all domains completed.
+  XenoProfResult stop_and_flush();
+
+  /// Profile of one domain: samples taken while it occupied the CPU, at
+  /// every layer — its JIT code, its VM runtime, guest kernel, and the
+  /// hypervisor work it caused.
+  core::Profile domain_profile(const Domain& domain,
+                               const std::vector<hw::EventKind>& events);
+
+  /// Hypervisor-only rows, aggregated over all domains.
+  core::Profile hypervisor_profile(const std::vector<hw::EventKind>& events);
+
+  core::Resolver& resolver();
+
+  /// Offline-resolution archive (see core/archive.hpp).
+  void export_archive(const std::string& prefix = "archive");
+  const core::RegistrationTable& registrations() const { return table_; }
+  core::SampleBuffer* buffer() { return buffer_.get(); }
+
+ private:
+  os::Machine* machine_;
+  Hypervisor* hypervisor_;
+  XenoProfConfig config_;
+  core::RegistrationTable table_;
+  std::unique_ptr<core::SampleBuffer> buffer_;
+  std::unique_ptr<core::Daemon> daemon_;
+  std::vector<std::unique_ptr<core::VmAgent>> agents_;
+  std::unique_ptr<core::Resolver> resolver_;
+  bool started_ = false;
+};
+
+}  // namespace viprof::xen

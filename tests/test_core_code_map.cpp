@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/code_map.hpp"
+
+namespace viprof::core {
+namespace {
+
+CodeMapFile map_of(std::uint64_t epoch,
+                   std::vector<std::tuple<hw::Address, std::uint64_t, std::string>> rows) {
+  CodeMapFile file;
+  file.epoch = epoch;
+  for (auto& [addr, size, sym] : rows) file.entries.push_back({addr, size, sym});
+  return file;
+}
+
+TEST(CodeMapFile, SerializeParseRoundTrip) {
+  const CodeMapFile original =
+      map_of(3, {{0x1000, 256, "a.b.c"}, {0x2000, 512, "d.e.f"}});
+  const auto parsed = CodeMapFile::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->epoch, 3u);
+  ASSERT_EQ(parsed->entries.size(), 2u);
+  EXPECT_EQ(parsed->entries[0].address, 0x1000u);
+  EXPECT_EQ(parsed->entries[0].size, 256u);
+  EXPECT_EQ(parsed->entries[0].symbol, "a.b.c");
+  EXPECT_EQ(parsed->entries[1].symbol, "d.e.f");
+}
+
+TEST(CodeMapFile, EmptyMapRoundTrips) {
+  const auto parsed = CodeMapFile::parse(map_of(9, {}).serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->epoch, 9u);
+  EXPECT_TRUE(parsed->entries.empty());
+}
+
+TEST(CodeMapFile, MalformedHeaderRejected) {
+  EXPECT_FALSE(CodeMapFile::parse("").has_value());
+  EXPECT_FALSE(CodeMapFile::parse("bogus 3\n").has_value());
+  EXPECT_FALSE(CodeMapFile::parse("epoch notanumber\n").has_value());
+}
+
+TEST(CodeMapFile, MalformedEntryRejected) {
+  EXPECT_FALSE(CodeMapFile::parse("epoch 1\n0x10\n").has_value());
+}
+
+TEST(CodeMapFile, PathOrdersByEpoch) {
+  const std::string p1 = CodeMapFile::path_for("jit_maps", 100, 1);
+  const std::string p10 = CodeMapFile::path_for("jit_maps", 100, 10);
+  const std::string p2 = CodeMapFile::path_for("jit_maps", 100, 2);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p10);  // zero padding keeps numeric order
+}
+
+TEST(CodeMapIndex, ResolveInOwnEpoch) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x1000, 100, "m0"}}));
+  const auto hit = index.resolve(0x1010, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->symbol, "m0");
+  EXPECT_EQ(hit->found_in_epoch, 0u);
+  EXPECT_EQ(hit->maps_searched, 1u);
+}
+
+TEST(CodeMapIndex, BackwardSearchFindsOlderOccupant) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x1000, 100, "old"}}));
+  index.add(map_of(1, {{0x9000, 100, "unrelated"}}));
+  index.add(map_of(2, {{0x8000, 100, "another"}}));
+  // Sample in epoch 2 at an address only map 0 covers: "the method was
+  // neither compiled nor moved during this particular epoch".
+  const auto hit = index.resolve(0x1050, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->symbol, "old");
+  EXPECT_EQ(hit->found_in_epoch, 0u);
+  EXPECT_EQ(hit->maps_searched, 3u);
+}
+
+TEST(CodeMapIndex, NewestOccupantWins) {
+  CodeMapIndex index;
+  // The same address range is recycled across epochs.
+  index.add(map_of(0, {{0x1000, 100, "first"}}));
+  index.add(map_of(3, {{0x1000, 100, "second"}}));
+  EXPECT_EQ(index.resolve(0x1000, 5)->symbol, "second");
+  EXPECT_EQ(index.resolve(0x1000, 2)->symbol, "first");  // before the recycle
+}
+
+TEST(CodeMapIndex, FutureEpochMapsInvisible) {
+  CodeMapIndex index;
+  index.add(map_of(4, {{0x1000, 100, "later"}}));
+  EXPECT_FALSE(index.resolve(0x1000, 3).has_value());
+  EXPECT_TRUE(index.resolve(0x1000, 4).has_value());
+}
+
+TEST(CodeMapIndex, MissReturnsNothing) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x1000, 100, "m"}}));
+  EXPECT_FALSE(index.resolve(0x5000, 0).has_value());
+  EXPECT_FALSE(index.resolve(0x1100, 0).has_value());  // one past the end
+}
+
+TEST(CodeMapIndex, SparseEpochsSkipped) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x1000, 100, "m"}}));
+  index.add(map_of(7, {{0x2000, 100, "n"}}));
+  const auto hit = index.resolve(0x1000, 9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->symbol, "m");
+  EXPECT_EQ(hit->maps_searched, 2u);  // only two maps exist
+  EXPECT_EQ(index.max_epoch(), 7u);
+}
+
+TEST(CodeMapIndex, LoadFromVfs) {
+  os::Vfs vfs;
+  vfs.write(CodeMapFile::path_for("jit_maps", 42, 0),
+            map_of(0, {{0x1000, 100, "a"}}).serialize());
+  vfs.write(CodeMapFile::path_for("jit_maps", 42, 1),
+            map_of(1, {{0x2000, 100, "b"}}).serialize());
+  // Another pid's maps must not leak in.
+  vfs.write(CodeMapFile::path_for("jit_maps", 43, 0),
+            map_of(0, {{0x3000, 100, "c"}}).serialize());
+  CodeMapIndex index;
+  index.load(vfs, "jit_maps", 42);
+  EXPECT_EQ(index.map_count(), 2u);
+  EXPECT_EQ(index.total_entries(), 2u);
+  EXPECT_TRUE(index.resolve(0x2000, 1).has_value());
+  EXPECT_FALSE(index.resolve(0x3000, 1).has_value());
+}
+
+TEST(CodeMapIndex, EntriesSortedEvenIfWrittenUnsorted) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x3000, 100, "c"}, {0x1000, 100, "a"}, {0x2000, 100, "b"}}));
+  EXPECT_EQ(index.resolve(0x1000, 0)->symbol, "a");
+  EXPECT_EQ(index.resolve(0x2050, 0)->symbol, "b");
+  EXPECT_EQ(index.resolve(0x3050, 0)->symbol, "c");
+}
+
+}  // namespace
+}  // namespace viprof::core

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/daemon.hpp"
+#include "core/sample_log.hpp"
+#include "os/loader.hpp"
+
+namespace viprof::core {
+namespace {
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A profiled "JVM" process with one mapped library and one anon heap.
+    os::Process& proc = machine_.spawn("jikesrvm");
+    pid_ = proc.pid();
+    os::Image& lib =
+        machine_.registry().create("libc-2.3.2.so", os::ImageKind::kSharedLib, 64 * 1024);
+    lib.symbols().add("memset", 0, 4096);
+    lib_base_ = machine_.loader().load_library(proc, lib.id()).start;
+    heap_base_ = machine_.loader().map_anon(proc, 4 << 20).start;
+
+    VmRegistration reg;
+    reg.pid = pid_;
+    reg.heap_lo = heap_base_;
+    reg.heap_hi = heap_base_ + (4 << 20);
+    table_.add(reg);
+
+    config_.drain_watermark = 4;
+    config_.batch = 64;
+    buffer_ = std::make_unique<SampleBuffer>(1024);
+  }
+
+  Daemon make_daemon(bool vm_aware) {
+    DaemonConfig c = config_;
+    c.vm_aware = vm_aware;
+    return Daemon(machine_, *buffer_, table_, c);
+  }
+
+  Sample sample_at(hw::Address pc, hw::CpuMode mode = hw::CpuMode::kUser) {
+    Sample s;
+    s.pc = pc;
+    s.mode = mode;
+    s.pid = pid_;
+    return s;
+  }
+
+  void drain_all(Daemon& daemon) {
+    while (daemon.next_work(machine_.cpu().now()).has_value()) {
+    }
+    daemon.final_flush();
+  }
+
+  os::Machine machine_;
+  RegistrationTable table_;
+  DaemonConfig config_;
+  std::unique_ptr<SampleBuffer> buffer_;
+  hw::Pid pid_ = 0;
+  hw::Address lib_base_ = 0;
+  hw::Address heap_base_ = 0;
+};
+
+TEST_F(DaemonTest, IdleWhenBufferEmpty) {
+  Daemon daemon = make_daemon(true);
+  EXPECT_FALSE(daemon.next_work(1'000'000).has_value());
+}
+
+TEST_F(DaemonTest, WaitsForWatermark) {
+  Daemon daemon = make_daemon(true);
+  buffer_->push(sample_at(lib_base_));
+  EXPECT_FALSE(daemon.next_work(100).has_value());  // 1 < watermark 4, period young
+  buffer_->push(sample_at(lib_base_));
+  buffer_->push(sample_at(lib_base_));
+  buffer_->push(sample_at(lib_base_));
+  EXPECT_TRUE(daemon.next_work(100).has_value());
+}
+
+TEST_F(DaemonTest, PeriodTriggersEvenBelowWatermark) {
+  Daemon daemon = make_daemon(true);
+  buffer_->push(sample_at(lib_base_));
+  EXPECT_TRUE(daemon.next_work(config_.drain_period + 1).has_value());
+}
+
+TEST_F(DaemonTest, ClassifiesKernelImageJitAnon) {
+  Daemon daemon = make_daemon(true);
+  buffer_->push(sample_at(os::Loader::kKernelBase + 0x100, hw::CpuMode::kKernel));
+  buffer_->push(sample_at(lib_base_ + 100));    // image
+  buffer_->push(sample_at(heap_base_ + 100));   // registered heap -> jit
+  buffer_->push(sample_at(0x7fff'0000));        // unmapped -> anon path
+  drain_all(daemon);
+  EXPECT_EQ(daemon.stats().kernel_samples, 1u);
+  EXPECT_EQ(daemon.stats().image_samples, 1u);
+  EXPECT_EQ(daemon.stats().jit_samples, 1u);
+  EXPECT_EQ(daemon.stats().anon_samples, 1u);
+}
+
+TEST_F(DaemonTest, VmUnawareTreatsHeapAsAnon) {
+  Daemon daemon = make_daemon(false);
+  buffer_->push(sample_at(heap_base_ + 100));
+  drain_all(daemon);
+  EXPECT_EQ(daemon.stats().jit_samples, 0u);
+  EXPECT_EQ(daemon.stats().anon_samples, 1u);
+}
+
+TEST_F(DaemonTest, EpochMarkersAdvanceTagging) {
+  Daemon daemon = make_daemon(true);
+  buffer_->push(sample_at(heap_base_ + 0x10));
+  buffer_->push(Sample::epoch_marker(pid_, 0, 100));
+  buffer_->push(sample_at(heap_base_ + 0x20));
+  buffer_->push(Sample::epoch_marker(pid_, 1, 200));
+  buffer_->push(sample_at(heap_base_ + 0x30));
+  drain_all(daemon);
+  EXPECT_EQ(daemon.current_epoch(pid_), 2u);
+  EXPECT_EQ(daemon.stats().epoch_markers, 2u);
+
+  const auto logged = SampleLogReader::read(machine_.vfs(), daemon.sample_dir(),
+                                            hw::EventKind::kGlobalPowerEvents);
+  ASSERT_EQ(logged.size(), 3u);
+  EXPECT_EQ(logged[0].epoch, 0u);
+  EXPECT_EQ(logged[1].epoch, 1u);
+  EXPECT_EQ(logged[2].epoch, 2u);
+}
+
+TEST_F(DaemonTest, WorkChunkCostReflectsClassification) {
+  Daemon daemon = make_daemon(true);
+  for (int i = 0; i < 4; ++i) buffer_->push(sample_at(heap_base_));
+  const auto work = daemon.next_work(0);
+  ASSERT_TRUE(work.has_value());
+  EXPECT_EQ(work->cycles, config_.wakeup_cost + 4 * config_.per_sample_jit);
+  EXPECT_GT(work->ops, 0u);
+}
+
+TEST_F(DaemonTest, AnonPathCostsMoreThanJitPath) {
+  Daemon viprof = make_daemon(true);
+  for (int i = 0; i < 4; ++i) buffer_->push(sample_at(heap_base_));
+  const auto jit_work = viprof.next_work(0);
+
+  Daemon oprof = make_daemon(false);
+  for (int i = 0; i < 4; ++i) buffer_->push(sample_at(heap_base_));
+  const auto anon_work = oprof.next_work(0);
+
+  ASSERT_TRUE(jit_work && anon_work);
+  EXPECT_GT(anon_work->cycles, jit_work->cycles);
+}
+
+TEST_F(DaemonTest, BatchLimitsPerChunkWork) {
+  config_.batch = 8;
+  Daemon daemon = make_daemon(true);
+  for (int i = 0; i < 20; ++i) buffer_->push(sample_at(lib_base_));
+  daemon.next_work(0);
+  EXPECT_EQ(daemon.stats().drained, 8u);
+  daemon.next_work(0);
+  daemon.next_work(0);
+  EXPECT_EQ(daemon.stats().drained, 20u);
+}
+
+TEST_F(DaemonTest, FinalFlushDrainsEverything) {
+  Daemon daemon = make_daemon(true);
+  for (int i = 0; i < 3; ++i) buffer_->push(sample_at(lib_base_));  // below watermark
+  daemon.final_flush();
+  EXPECT_TRUE(buffer_->empty());
+  EXPECT_EQ(daemon.stats().drained, 3u);
+  const auto logged = SampleLogReader::read(machine_.vfs(), daemon.sample_dir(),
+                                            hw::EventKind::kGlobalPowerEvents);
+  EXPECT_EQ(logged.size(), 3u);
+}
+
+TEST_F(DaemonTest, DaemonHasItsOwnProcessIdentity) {
+  Daemon daemon = make_daemon(true);
+  (void)daemon;
+  EXPECT_NE(machine_.registry().find_by_name("oprofiled"), nullptr);
+}
+
+TEST_F(DaemonTest, BootImageSamplesAreImageClass) {
+  os::Image& boot =
+      machine_.registry().create("RVM.code.image", os::ImageKind::kBootImage, 1 << 20);
+  os::Process* proc = machine_.find_process(pid_);
+  const hw::Address boot_base =
+      machine_.loader().map_at_anon_slot(*proc, boot.id()).start;
+  Daemon daemon = make_daemon(true);
+  buffer_->push(sample_at(boot_base + 0x40));
+  drain_all(daemon);
+  EXPECT_EQ(daemon.stats().image_samples, 1u);
+  EXPECT_EQ(daemon.stats().anon_samples, 0u);
+}
+
+}  // namespace
+}  // namespace viprof::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace viprof::core {
+namespace {
+
+Resolution res(const std::string& image, const std::string& symbol,
+               SampleDomain domain = SampleDomain::kImage) {
+  Resolution r;
+  r.image = image;
+  r.symbol = symbol;
+  r.domain = domain;
+  return r;
+}
+
+constexpr auto kTime = hw::EventKind::kGlobalPowerEvents;
+constexpr auto kDmiss = hw::EventKind::kBsqCacheReference;
+
+TEST(Profile, AggregatesByImageAndSymbol) {
+  Profile p;
+  p.add(kTime, res("libc", "memset"));
+  p.add(kTime, res("libc", "memset"));
+  p.add(kTime, res("libc", "memcpy"));
+  EXPECT_EQ(p.row_count(), 2u);
+  EXPECT_EQ(p.total(kTime), 3u);
+  EXPECT_EQ(p.find("libc", "memset")->count(kTime), 2u);
+}
+
+TEST(Profile, SameSymbolDifferentImageSeparate) {
+  Profile p;
+  p.add(kTime, res("liba", "(no symbols)"));
+  p.add(kTime, res("libb", "(no symbols)"));
+  EXPECT_EQ(p.row_count(), 2u);
+}
+
+TEST(Profile, PercentAgainstEventTotal) {
+  Profile p;
+  p.add(kTime, res("a", "x"), 30);
+  p.add(kTime, res("b", "y"), 70);
+  p.add(kDmiss, res("a", "x"), 1);
+  EXPECT_DOUBLE_EQ(p.percent(*p.find("a", "x"), kTime), 30.0);
+  EXPECT_DOUBLE_EQ(p.percent(*p.find("b", "y"), kTime), 70.0);
+  EXPECT_DOUBLE_EQ(p.percent(*p.find("a", "x"), kDmiss), 100.0);
+  EXPECT_DOUBLE_EQ(p.percent(*p.find("b", "y"), kDmiss), 0.0);
+}
+
+TEST(Profile, PercentZeroTotalIsZero) {
+  Profile p;
+  p.add(kTime, res("a", "x"));
+  EXPECT_DOUBLE_EQ(p.percent(*p.find("a", "x"), kDmiss), 0.0);
+}
+
+TEST(Profile, RankedSortsByPrimaryEvent) {
+  Profile p;
+  p.add(kTime, res("a", "cold"), 1);
+  p.add(kTime, res("b", "hot"), 10);
+  p.add(kTime, res("c", "warm"), 5);
+  const auto rows = p.ranked(kTime);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].symbol, "hot");
+  EXPECT_EQ(rows[1].symbol, "warm");
+  EXPECT_EQ(rows[2].symbol, "cold");
+}
+
+TEST(Profile, DomainTotals) {
+  Profile p;
+  p.add(kTime, res("JIT.App", "m1", SampleDomain::kJit), 5);
+  p.add(kTime, res("JIT.App", "m2", SampleDomain::kJit), 3);
+  p.add(kTime, res("vmlinux", "sys_read", SampleDomain::kKernel), 2);
+  EXPECT_EQ(p.domain_total(SampleDomain::kJit, kTime), 8u);
+  EXPECT_EQ(p.domain_total(SampleDomain::kKernel, kTime), 2u);
+  EXPECT_EQ(p.domain_total(SampleDomain::kAnon, kTime), 0u);
+}
+
+TEST(Profile, RenderFig1Shape) {
+  Profile p;
+  p.add(kTime, res("RVM.map", "com.ibm.jikesrvm.MainThread.run"), 13);
+  p.add(kDmiss, res("RVM.map", "com.ibm.jikesrvm.MainThread.run"), 1);
+  p.add(kTime, res("libc-2.3.2.so", "memset"), 7);
+  const std::string out = p.render({kTime, kDmiss}, 10);
+  EXPECT_NE(out.find("Time %"), std::string::npos);
+  EXPECT_NE(out.find("Dmiss %"), std::string::npos);
+  EXPECT_NE(out.find("Image name"), std::string::npos);
+  EXPECT_NE(out.find("Symbol name"), std::string::npos);
+  EXPECT_NE(out.find("65.0000"), std::string::npos);  // 13/20 of time
+  EXPECT_NE(out.find("com.ibm.jikesrvm.MainThread.run"), std::string::npos);
+  // Top row is the time-dominant one.
+  EXPECT_LT(out.find("MainThread"), out.find("memset"));
+}
+
+TEST(Profile, RenderHonoursTopN) {
+  Profile p;
+  for (int i = 0; i < 20; ++i)
+    p.add(kTime, res("img", "sym" + std::to_string(i)), 20 - i);
+  const std::string out = p.render({kTime}, 5);
+  EXPECT_NE(out.find("sym0"), std::string::npos);
+  EXPECT_NE(out.find("sym4"), std::string::npos);
+  EXPECT_EQ(out.find("sym5"), std::string::npos);
+}
+
+TEST(Profile, EventColumnTitles) {
+  EXPECT_STREQ(event_column_title(kTime), "Time %");
+  EXPECT_STREQ(event_column_title(kDmiss), "Dmiss %");
+}
+
+TEST(Profile, WeightedAdds) {
+  Profile p;
+  p.add(kTime, res("a", "x"), 100);
+  EXPECT_EQ(p.total(kTime), 100u);
+  EXPECT_EQ(p.find("a", "x")->count(kTime), 100u);
+}
+
+}  // namespace
+}  // namespace viprof::core

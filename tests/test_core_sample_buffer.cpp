@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/sample_buffer.hpp"
+
+namespace viprof::core {
+namespace {
+
+Sample sample_with_pc(std::uint64_t pc) {
+  Sample s;
+  s.pc = pc;
+  return s;
+}
+
+TEST(SampleBuffer, FifoOrder) {
+  SampleBuffer buffer(8);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(buffer.push(sample_with_pc(i)));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto s = buffer.pop();
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->pc, i);
+  }
+  EXPECT_FALSE(buffer.pop().has_value());
+}
+
+TEST(SampleBuffer, CapacityRoundedToPowerOfTwo) {
+  SampleBuffer buffer(100);
+  EXPECT_EQ(buffer.capacity(), 128u);
+}
+
+TEST(SampleBuffer, DropsWhenFull) {
+  SampleBuffer buffer(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(buffer.push(sample_with_pc(i)));
+  EXPECT_FALSE(buffer.push(sample_with_pc(99)));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  // Oldest samples intact.
+  EXPECT_EQ(buffer.pop()->pc, 0u);
+}
+
+TEST(SampleBuffer, ReusableAfterDrain) {
+  SampleBuffer buffer(4);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(buffer.push(sample_with_pc(i)));
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(buffer.pop().has_value());
+  }
+  EXPECT_EQ(buffer.pushed(), 40u);
+  EXPECT_EQ(buffer.popped(), 40u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(SampleBuffer, SizeTracksBacklog) {
+  SampleBuffer buffer(8);
+  EXPECT_TRUE(buffer.empty());
+  buffer.push(sample_with_pc(1));
+  buffer.push(sample_with_pc(2));
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.pop();
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(SampleBuffer, MarkerRecordsSurviveRoundTrip) {
+  SampleBuffer buffer(8);
+  buffer.push(Sample::epoch_marker(55, 7, 12345));
+  const auto s = buffer.pop();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->kind, RecordKind::kEpochMarker);
+  EXPECT_EQ(s->pid, 55u);
+  EXPECT_EQ(s->epoch, 7u);
+  EXPECT_EQ(s->cycle, 12345u);
+}
+
+// Concurrency: one real producer thread, one real consumer thread. The
+// consumer must observe exactly the produced sequence (no loss except
+// explicit drops, no reordering, no duplication).
+TEST(SampleBuffer, SpscThreadsPreserveSequence) {
+  SampleBuffer buffer(1024);
+  constexpr std::uint64_t kCount = 200'000;
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> received;
+  received.reserve(kCount);
+
+  std::thread consumer([&] {
+    while (true) {
+      if (auto s = buffer.pop()) {
+        received.push_back(s->pc);
+      } else if (done.load(std::memory_order_acquire) && buffer.empty()) {
+        break;
+      }
+    }
+  });
+
+  std::uint64_t produced = 0;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!buffer.push(sample_with_pc(i))) {
+      // Full: spin until the consumer catches up (bounded in practice).
+      std::this_thread::yield();
+    }
+    ++produced;
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  ASSERT_EQ(received.size(), produced);
+  for (std::uint64_t i = 0; i < received.size(); ++i) ASSERT_EQ(received[i], i);
+}
+
+TEST(SampleBuffer, SpscWithDropsNeverReorders) {
+  SampleBuffer buffer(64);
+  constexpr std::uint64_t kCount = 100'000;
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> received;
+
+  std::thread consumer([&] {
+    while (true) {
+      if (auto s = buffer.pop()) {
+        received.push_back(s->pc);
+      } else if (done.load(std::memory_order_acquire) && buffer.empty()) {
+        break;
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount; ++i) buffer.push(sample_with_pc(i));  // may drop
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  // Received values strictly increasing (subsequence of the produced stream).
+  for (std::size_t i = 1; i < received.size(); ++i)
+    ASSERT_LT(received[i - 1], received[i]);
+  EXPECT_EQ(received.size() + buffer.dropped(), kCount);
+}
+
+}  // namespace
+}  // namespace viprof::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/sample_log.hpp"
+
+namespace viprof::core {
+namespace {
+
+LoggedSample make_sample(hw::Address pc, std::uint64_t epoch) {
+  LoggedSample s;
+  s.pc = pc;
+  s.caller_pc = pc + 0x10;
+  s.mode = hw::CpuMode::kUser;
+  s.pid = 101;
+  s.epoch = epoch;
+  s.cycle = 777;
+  return s;
+}
+
+TEST(SampleLog, RoundTrip) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "samples");
+  writer.append(hw::EventKind::kGlobalPowerEvents, make_sample(0x1234, 2));
+  writer.append(hw::EventKind::kGlobalPowerEvents, make_sample(0xc0001000, 3));
+  writer.flush();
+
+  const auto read =
+      SampleLogReader::read(vfs, "samples", hw::EventKind::kGlobalPowerEvents);
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0].pc, 0x1234u);
+  EXPECT_EQ(read[0].caller_pc, 0x1244u);
+  EXPECT_EQ(read[0].pid, 101u);
+  EXPECT_EQ(read[0].epoch, 2u);
+  EXPECT_EQ(read[0].cycle, 777u);
+  EXPECT_EQ(read[1].pc, 0xc0001000u);
+  EXPECT_EQ(read[1].epoch, 3u);
+}
+
+TEST(SampleLog, KernelModePreserved) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  LoggedSample s = make_sample(0xc000'0000, 0);
+  s.mode = hw::CpuMode::kKernel;
+  writer.append(hw::EventKind::kBsqCacheReference, s);
+  writer.flush();
+  const auto read = SampleLogReader::read(vfs, "s", hw::EventKind::kBsqCacheReference);
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0].mode, hw::CpuMode::kKernel);
+}
+
+TEST(SampleLog, EventsGoToSeparateFiles) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  writer.append(hw::EventKind::kGlobalPowerEvents, make_sample(1, 0));
+  writer.append(hw::EventKind::kBsqCacheReference, make_sample(2, 0));
+  writer.flush();
+  EXPECT_EQ(SampleLogReader::read(vfs, "s", hw::EventKind::kGlobalPowerEvents).size(), 1u);
+  EXPECT_EQ(SampleLogReader::read(vfs, "s", hw::EventKind::kBsqCacheReference).size(), 1u);
+  EXPECT_TRUE(SampleLogReader::read(vfs, "s", hw::EventKind::kItlbMiss).empty());
+}
+
+TEST(SampleLog, NothingWrittenBeforeFlush) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  writer.append(hw::EventKind::kGlobalPowerEvents, make_sample(1, 0));
+  EXPECT_TRUE(SampleLogReader::read(vfs, "s", hw::EventKind::kGlobalPowerEvents).empty());
+  writer.flush();
+  EXPECT_EQ(SampleLogReader::read(vfs, "s", hw::EventKind::kGlobalPowerEvents).size(), 1u);
+}
+
+TEST(SampleLog, FlushAppendsAcrossBatches) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i)
+      writer.append(hw::EventKind::kGlobalPowerEvents, make_sample(i, 0));
+    writer.flush();
+  }
+  EXPECT_EQ(SampleLogReader::read(vfs, "s", hw::EventKind::kGlobalPowerEvents).size(), 30u);
+  EXPECT_EQ(writer.written(hw::EventKind::kGlobalPowerEvents), 30u);
+}
+
+TEST(SampleLog, MissingDirectoryReadsEmpty) {
+  os::Vfs vfs;
+  EXPECT_TRUE(SampleLogReader::read(vfs, "absent", hw::EventKind::kGlobalPowerEvents).empty());
+}
+
+}  // namespace
+}  // namespace viprof::core

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/viprof.hpp"
+#include "guidance/feedback.hpp"
+#include "workloads/generator.hpp"
+
+namespace viprof::guidance {
+namespace {
+
+constexpr auto kTime = hw::EventKind::kGlobalPowerEvents;
+
+core::Resolution row(const std::string& image, const std::string& symbol,
+                     core::SampleDomain domain) {
+  core::Resolution r;
+  r.image = image;
+  r.symbol = symbol;
+  r.domain = domain;
+  return r;
+}
+
+TEST(Advisor, EmptyProfileGivesEmptyAdvice) {
+  core::Profile profile;
+  const Advice advice = Advisor().analyze(profile, kTime);
+  EXPECT_TRUE(advice.empty());
+  EXPECT_EQ(advice.jit_frac, 0.0);
+}
+
+TEST(Advisor, FlagsHotJitMethodsAboveThreshold) {
+  core::Profile profile;
+  profile.add(kTime, row("JIT.App", "app.Hot.run", core::SampleDomain::kJit), 50);
+  profile.add(kTime, row("JIT.App", "app.Cold.run", core::SampleDomain::kJit), 1);
+  profile.add(kTime, row("libc", "memset", core::SampleDomain::kImage), 49);
+  const Advice advice = Advisor().analyze(profile, kTime);
+  ASSERT_EQ(advice.hot_methods.size(), 1u);
+  EXPECT_EQ(advice.hot_methods[0].qualified_name, "app.Hot.run");
+  EXPECT_NEAR(advice.hot_methods[0].time_frac, 0.5, 1e-9);
+  EXPECT_NEAR(advice.jit_frac, 0.51, 1e-9);
+  EXPECT_NEAR(advice.native_frac, 0.49, 1e-9);
+}
+
+TEST(Advisor, FlagsKernelHotspotsButNeverTheProfiler) {
+  core::Profile profile;
+  profile.add(kTime, row("vmlinux", "sys_write", core::SampleDomain::kKernel), 10);
+  profile.add(kTime, row("vmlinux", "oprofile_nmi_handler", core::SampleDomain::kKernel),
+              20);
+  profile.add(kTime, row("JIT.App", "a.b", core::SampleDomain::kJit), 70);
+  const Advice advice = Advisor().analyze(profile, kTime);
+  ASSERT_EQ(advice.kernel_hotspots.size(), 1u);
+  EXPECT_EQ(advice.kernel_hotspots[0].routine, "sys_write");
+}
+
+TEST(Advisor, SkipsUnknownJitBucket) {
+  core::Profile profile;
+  profile.add(kTime, row("JIT.App", "(unknown JIT code)", core::SampleDomain::kJit), 100);
+  const Advice advice = Advisor().analyze(profile, kTime);
+  EXPECT_TRUE(advice.hot_methods.empty());
+}
+
+TEST(Advisor, RespectsLimits) {
+  AdvisorConfig config;
+  config.max_methods = 2;
+  core::Profile profile;
+  for (int i = 0; i < 6; ++i) {
+    profile.add(kTime, row("JIT.App", "m" + std::to_string(i), core::SampleDomain::kJit),
+                10);
+  }
+  const Advice advice = Advisor(config).analyze(profile, kTime);
+  EXPECT_EQ(advice.hot_methods.size(), 2u);
+}
+
+TEST(Advisor, RenderMentionsEverything) {
+  core::Profile profile;
+  profile.add(kTime, row("JIT.App", "pkg.M.f", core::SampleDomain::kJit), 80);
+  profile.add(kTime, row("vmlinux", "sys_futex", core::SampleDomain::kKernel), 20);
+  const std::string out = Advisor().analyze(profile, kTime).render();
+  EXPECT_NE(out.find("pkg.M.f"), std::string::npos);
+  EXPECT_NE(out.find("sys_futex"), std::string::npos);
+  EXPECT_NE(out.find("layer breakdown"), std::string::npos);
+}
+
+TEST(Feedback, AggressiveMethodsCompileAtTopTierImmediately) {
+  os::Machine machine;
+  workloads::GeneratorOptions opt;
+  opt.name = "fb";
+  opt.seed = 8;
+  opt.methods = 8;
+  opt.total_app_ops = 400'000;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+  jvm::Vm vm(machine, w.vm);
+  vm.setup(w.program);
+
+  Advice advice;
+  advice.hot_methods.push_back({w.program.methods[0].qualified_name(), 0.5});
+  const FeedbackReport report = apply_advice(advice, vm, machine);
+  EXPECT_EQ(report.methods_boosted, 1u);
+
+  vm.run();
+  const jvm::CodeId code = vm.current_code(0);
+  ASSERT_NE(code, jvm::kInvalidCode);
+  EXPECT_EQ(vm.heap().code(code).level, jvm::OptLevel::kOpt2);
+}
+
+TEST(Feedback, KernelSpecializationReducesCpi) {
+  os::Machine machine;
+  const double before = machine.kernel().routine("sys_write").cpi;
+  Advice advice;
+  advice.kernel_hotspots.push_back({"sys_write", 0.1});
+  jvm::Vm vm(machine, {});  // kernel advice needs no VM state
+  FeedbackConfig config;
+  config.apply_vm_advice = false;
+  const FeedbackReport report = apply_advice(advice, vm, machine, config);
+  EXPECT_EQ(report.routines_specialized, 1u);
+  EXPECT_LT(machine.kernel().routine("sys_write").cpi, before);
+}
+
+TEST(Feedback, GuidedRunBeatsBaselineOnSkewedWorkload) {
+  workloads::GeneratorOptions opt;
+  opt.name = "skew";
+  opt.seed = 91;
+  opt.methods = 32;
+  opt.zipf = 1.6;
+  opt.total_app_ops = 20'000'000;
+  opt.syscall_frac = 0.06;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+
+  // Profiling pass.
+  Advice advice;
+  {
+    os::MachineConfig mcfg;
+    mcfg.seed = 0xfeedb;
+    os::Machine machine(mcfg);
+    jvm::Vm vm(machine, w.vm);
+    core::SessionConfig config;
+    config.mode = core::ProfilingMode::kViprof;
+    core::ProfilingSession session(machine, vm, config);
+    session.attach();
+    vm.setup(w.program);
+    session.run();
+    advice = Advisor().analyze(session.build_profile({kTime}), kTime);
+  }
+  ASSERT_FALSE(advice.hot_methods.empty());
+
+  auto timed_run = [&](bool guided) {
+    os::MachineConfig mcfg;
+    mcfg.seed = 0xfeedb;
+    os::Machine machine(mcfg);
+    jvm::Vm vm(machine, w.vm);
+    vm.setup(w.program);
+    if (guided) apply_advice(advice, vm, machine);
+    return vm.run().cycles;
+  };
+  const hw::Cycles base = timed_run(false);
+  const hw::Cycles guided = timed_run(true);
+  EXPECT_LT(guided, base);
+}
+
+}  // namespace
+}  // namespace viprof::guidance

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "hw/access_pattern.hpp"
+
+namespace viprof::hw {
+namespace {
+
+TEST(AccessSampler, ZeroOpsProducesNothing) {
+  AccessSampler sampler(1);
+  CacheModel cache;
+  AccessPattern p;
+  const SampledAccesses out = sampler.sample(p, 0, cache);
+  EXPECT_EQ(out.accesses, 0.0);
+  EXPECT_EQ(cache.accesses(), 0u);
+}
+
+TEST(AccessSampler, AccessesScaleWithOps) {
+  AccessSampler sampler(1);
+  CacheModel cache;
+  AccessPattern p;
+  p.accesses_per_op = 0.5;
+  const SampledAccesses out = sampler.sample(p, 10'000, cache);
+  EXPECT_DOUBLE_EQ(out.accesses, 5'000.0);
+  // But only kProbesPerChunk real cache probes were issued.
+  EXPECT_EQ(cache.accesses(), AccessSampler::kProbesPerChunk);
+}
+
+TEST(AccessSampler, MissesNeverExceedAccesses) {
+  AccessSampler sampler(2);
+  CacheModel cache;
+  AccessPattern p;
+  p.working_set = 8 * 1024 * 1024;  // guaranteed misses
+  p.random_frac = 1.0;
+  p.hot_frac = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const SampledAccesses out = sampler.sample(p, 4'000, cache);
+    EXPECT_LE(out.l2_misses, out.l1_misses + 1e-9);
+    EXPECT_LE(out.l1_misses, out.accesses + 1e-9);
+  }
+}
+
+TEST(AccessSampler, HotRegionStaysResident) {
+  AccessSampler sampler(3);
+  CacheModel cache;
+  AccessPattern p;
+  p.base = 0x1000'0000;
+  p.working_set = 16 * 1024 * 1024;
+  p.hot_frac = 1.0;  // every access in the hot 2KB
+  double misses = 0.0;
+  for (int i = 0; i < 100; ++i) misses = sampler.sample(p, 4'000, cache).l1_misses;
+  EXPECT_EQ(misses, 0.0);  // warmed up: 2KB lives in L1
+}
+
+TEST(AccessSampler, ColdRandomWalkMisses) {
+  AccessSampler sampler(4);
+  CacheModel cache;
+  AccessPattern p;
+  p.base = 0x2000'0000;
+  p.working_set = 64 * 1024 * 1024;  // far beyond L2
+  p.random_frac = 1.0;
+  p.hot_frac = 0.0;
+  double total_l2 = 0.0;
+  for (int i = 0; i < 20; ++i) total_l2 += sampler.sample(p, 4'000, cache).l2_misses;
+  EXPECT_GT(total_l2, 0.0);
+}
+
+TEST(AccessSampler, HotBaseRedirectsHotAccesses) {
+  AccessSampler sampler(5);
+  CacheModel cache;
+  AccessPattern a, b;
+  a.base = 0x1000'0000;
+  b.base = 0x7000'0000;
+  a.hot_base = b.hot_base = 0x5000'0000;  // shared stack
+  a.hot_frac = b.hot_frac = 1.0;
+  for (int i = 0; i < 50; ++i) sampler.sample(a, 4'000, cache);
+  // Pattern b's hot region is the same memory: immediately warm.
+  const SampledAccesses out = sampler.sample(b, 4'000, cache);
+  EXPECT_EQ(out.l1_misses, 0.0);
+}
+
+TEST(AccessSampler, DeterministicForSeed) {
+  AccessSampler s1(9), s2(9);
+  CacheModel c1, c2;
+  AccessPattern p;
+  p.working_set = 512 * 1024;
+  p.random_frac = 0.4;
+  p.hot_frac = 0.5;
+  for (int i = 0; i < 30; ++i) {
+    const auto a = s1.sample(p, 4'000, c1);
+    const auto b = s2.sample(p, 4'000, c2);
+    EXPECT_DOUBLE_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_DOUBLE_EQ(a.l2_misses, b.l2_misses);
+  }
+}
+
+TEST(AccessSampler, FewOpsFewProbes) {
+  AccessSampler sampler(6);
+  CacheModel cache;
+  AccessPattern p;
+  p.accesses_per_op = 0.5;
+  sampler.sample(p, 4, cache);  // 2 scaled accesses -> at most 2 probes
+  EXPECT_LE(cache.accesses(), 2u);
+}
+
+}  // namespace
+}  // namespace viprof::hw

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "hw/cache.hpp"
+
+namespace viprof::hw {
+namespace {
+
+CacheLevelConfig tiny_config() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return CacheLevelConfig{512, 64, 2};
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel cache(tiny_config());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1030));  // same line (64B granularity)
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheLevel, DifferentLinesMissSeparately) {
+  CacheLevel cache(tiny_config());
+  EXPECT_FALSE(cache.access(0x0));
+  EXPECT_FALSE(cache.access(0x40));
+  EXPECT_TRUE(cache.access(0x0));
+  EXPECT_TRUE(cache.access(0x40));
+}
+
+TEST(CacheLevel, AssociativityConflictEvictsLru) {
+  CacheLevel cache(tiny_config());  // 4 sets, 2 ways
+  // Three addresses mapping to set 0: line numbers 0, 4, 8.
+  const Address a = 0 * 64, b = 4 * 64, c = 8 * 64;
+  cache.access(a);  // miss, set0 = {a}
+  cache.access(b);  // miss, set0 = {a, b}
+  cache.access(a);  // hit, a is MRU
+  cache.access(c);  // miss, evicts b (LRU)
+  EXPECT_TRUE(cache.access(a));
+  EXPECT_FALSE(cache.access(b));  // was evicted (and now refilled over c)
+}
+
+TEST(CacheLevel, WaysAreFilledBeforeEviction) {
+  CacheLevel cache(CacheLevelConfig{1024, 64, 4});  // 4 sets x 4 ways
+  const Address set_stride = 4 * 64;
+  for (int i = 0; i < 4; ++i) cache.access(i * set_stride);  // fill set 0
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(cache.access(i * set_stride));
+}
+
+TEST(CacheLevel, FlushInvalidatesEverything) {
+  CacheLevel cache(tiny_config());
+  cache.access(0x0);
+  cache.access(0x40);
+  cache.flush();
+  EXPECT_FALSE(cache.access(0x0));
+  EXPECT_FALSE(cache.access(0x40));
+}
+
+TEST(CacheLevel, SetCountComputed) {
+  CacheLevel cache(CacheLevelConfig{16 * 1024, 64, 4});
+  EXPECT_EQ(cache.sets(), 64u);  // 16K / (64 * 4)
+}
+
+TEST(CacheModel, L1MissCanHitL2) {
+  CacheModelConfig config;
+  config.l1 = tiny_config();
+  config.l2 = CacheLevelConfig{4096, 64, 4};
+  CacheModel model(config);
+  model.access(0x0);  // cold: misses both
+  // Evict line 0 from tiny L1 by filling its set.
+  model.access(4 * 64);
+  model.access(8 * 64);
+  const AccessResult r = model.access(0x0);
+  EXPECT_FALSE(r.l1_hit);
+  EXPECT_TRUE(r.l2_hit);  // still resident in the larger L2
+}
+
+TEST(CacheModel, CountsAccessesAndMisses) {
+  CacheModel model;
+  for (int i = 0; i < 100; ++i) model.access(i * 64);
+  EXPECT_EQ(model.accesses(), 100u);
+  EXPECT_EQ(model.l1_misses(), 100u);
+  EXPECT_EQ(model.l2_misses(), 100u);
+  for (int i = 0; i < 100; ++i) model.access(i * 64);
+  EXPECT_EQ(model.l1_misses(), 100u);  // all hits second time
+}
+
+TEST(CacheModel, SequentialWorkingSetBiggerThanL1FitsL2) {
+  CacheModel model;  // 16KB L1 / 2MB L2 defaults
+  const int lines = 1024;  // 64KB: exceeds L1, fits L2
+  for (int round = 0; round < 2; ++round)
+    for (int i = 0; i < lines; ++i) model.access(i * 64);
+  // Second round: L1 thrashing continues, L2 absorbs everything.
+  EXPECT_EQ(model.l2_misses(), static_cast<std::uint64_t>(lines));
+  EXPECT_GT(model.l1_misses(), static_cast<std::uint64_t>(lines));
+}
+
+// Parametrised LRU stress: any power-of-two way count preserves the
+// invariant that a just-touched line is never the next victim.
+class CacheWaysTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheWaysTest, MruLineSurvivesConflict) {
+  const std::uint32_t ways = GetParam();
+  CacheLevel cache(CacheLevelConfig{64ull * ways * 4, 64, ways});  // 4 sets
+  const Address set_stride = 4 * 64;
+  for (std::uint32_t i = 0; i < ways; ++i) cache.access(i * set_stride);
+  cache.access(0);  // make line 0 MRU
+  cache.access(ways * set_stride);  // one conflict eviction
+  EXPECT_TRUE(cache.access(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheWaysTest, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace viprof::hw

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cpu.hpp"
+
+namespace viprof::hw {
+namespace {
+
+ExecContext user_ctx(Address base = 0x1000, std::uint64_t size = 0x1000) {
+  return ExecContext{base, size, CpuMode::kUser, 42, 0};
+}
+
+TEST(Cpu, ClockAdvances) {
+  Cpu cpu;
+  cpu.set_context(user_ctx());
+  cpu.advance(1'000, {});
+  cpu.advance(2'000, {});
+  EXPECT_EQ(cpu.now(), 3'000u);
+}
+
+TEST(Cpu, NoHandlerNoCrashOnOverflow) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 100, true}});
+  cpu.set_context(user_ctx());
+  cpu.advance(1'000, {});
+  EXPECT_EQ(cpu.nmi_count(), 10u);
+}
+
+TEST(Cpu, SampleLandsInsideContext) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 500, true}});
+  const ExecContext ctx = user_ctx(0x40'0000, 0x2000);
+  cpu.set_context(ctx);
+  std::vector<SampleContext> samples;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    samples.push_back(sc);
+    return 0;
+  });
+  cpu.advance(5'000, {});
+  ASSERT_EQ(samples.size(), 10u);
+  for (const auto& sc : samples) {
+    EXPECT_GE(sc.pc, ctx.code_base);
+    EXPECT_LT(sc.pc, ctx.code_base + ctx.code_size);
+    EXPECT_EQ(sc.mode, CpuMode::kUser);
+    EXPECT_EQ(sc.pid, 42u);
+  }
+}
+
+TEST(Cpu, OverflowCycleIsExact) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 1'000, true}});
+  cpu.set_context(user_ctx());
+  std::vector<Cycles> at;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    at.push_back(sc.cycle);
+    return 0;
+  });
+  // Three chunks of 700: overflows at cycle 1000 (in chunk 2) and 2000 (chunk 3).
+  cpu.advance(700, {});
+  cpu.advance(700, {});
+  cpu.advance(700, {});
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 1'000u);
+  EXPECT_EQ(at[1], 2'000u);
+}
+
+TEST(Cpu, HandlerCostChargedToClockAndOverheadCounter) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 100, true}});
+  cpu.set_context(user_ctx());
+  cpu.set_nmi_handler([](const SampleContext&) -> Cycles { return 30; });
+  cpu.advance(100, {});
+  EXPECT_EQ(cpu.now(), 130u);  // 100 workload + 30 handler
+  EXPECT_EQ(cpu.nmi_overhead_cycles(), 30u);
+  EXPECT_EQ(cpu.nmi_count(), 1u);
+}
+
+TEST(Cpu, HandlerCyclesKeepCounting) {
+  // Handler cost itself eventually overflows the counter: the profiler
+  // samples its own handler (as OProfile does under aggressive rates).
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 100, true}});
+  const ExecContext prof{0xc00'0000, 0x100, CpuMode::kKernel, 0, 0};
+  cpu.set_profiler_context(prof);
+  cpu.set_context(user_ctx());
+  std::vector<SampleContext> samples;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    samples.push_back(sc);
+    return 60;  // more than half the period
+  });
+  cpu.advance(200, {});  // overflows at 100 and 200; handler cycles add 120 more
+  // 200 workload + >=120 handler cycles => at least one self-sample.
+  bool saw_profiler_pc = false;
+  for (const auto& sc : samples) {
+    if (sc.pc >= prof.code_base && sc.pc < prof.code_base + prof.code_size) {
+      saw_profiler_pc = true;
+      EXPECT_EQ(sc.mode, CpuMode::kKernel);
+    }
+  }
+  EXPECT_TRUE(saw_profiler_pc);
+  EXPECT_GE(cpu.now(), 200u + 120u);
+}
+
+TEST(Cpu, FractionalEventsAccumulateAcrossChunks) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kBsqCacheReference, 1, true}});
+  cpu.set_context(user_ctx());
+  int fired = 0;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    if (sc.event == EventKind::kBsqCacheReference) ++fired;
+    return 0;
+  });
+  ChunkEvents ev;
+  ev.l2_misses = 0.25;
+  for (int i = 0; i < 8; ++i) cpu.advance(100, ev);  // 2.0 misses total
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Cpu, InstructionEventsMapToChunk) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kInstrRetired, 1'000, true}});
+  cpu.set_context(user_ctx());
+  int fired = 0;
+  cpu.set_nmi_handler([&](const SampleContext&) -> Cycles {
+    ++fired;
+    return 0;
+  });
+  ChunkEvents ev;
+  ev.instructions = 500;
+  cpu.advance(600, ev);
+  cpu.advance(600, ev);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Cpu, SkidStaysInsideBody) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 50, true}});
+  cpu.set_max_skid(4096);  // larger than the body
+  const ExecContext ctx = user_ctx(0x5000, 256);
+  cpu.set_context(ctx);
+  std::vector<Address> pcs;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    pcs.push_back(sc.pc);
+    return 0;
+  });
+  cpu.advance(5'000, {});
+  ASSERT_FALSE(pcs.empty());
+  for (Address pc : pcs) {
+    EXPECT_GE(pc, ctx.code_base);
+    EXPECT_LT(pc, ctx.code_base + ctx.code_size);
+  }
+}
+
+TEST(Cpu, CallerPcPropagates) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 10, true}});
+  ExecContext ctx = user_ctx();
+  ctx.caller_pc = 0xdeadbeef;
+  cpu.set_context(ctx);
+  Address seen = 0;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    seen = sc.caller_pc;
+    return 0;
+  });
+  cpu.advance(10, {});
+  EXPECT_EQ(seen, 0xdeadbeefu);
+}
+
+TEST(Cpu, MultiEventOverflowsOrderedByCycle) {
+  Cpu cpu;
+  cpu.counters().configure({{EventKind::kGlobalPowerEvents, 100, true},
+                            {EventKind::kInstrRetired, 40, true}});
+  cpu.set_context(user_ctx());
+  std::vector<Cycles> order;
+  cpu.set_nmi_handler([&](const SampleContext& sc) -> Cycles {
+    order.push_back(sc.cycle);
+    return 0;
+  });
+  ChunkEvents ev;
+  ev.instructions = 100;
+  cpu.advance(200, ev);
+  for (std::size_t i = 1; i < order.size(); ++i) EXPECT_LE(order[i - 1], order[i]);
+  EXPECT_EQ(order.size(), 4u);  // 2 cycle overflows + 2 instr overflows
+}
+
+}  // namespace
+}  // namespace viprof::hw

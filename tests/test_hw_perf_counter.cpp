@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "hw/perf_counter.hpp"
+
+namespace viprof::hw {
+namespace {
+
+TEST(PerfCounter, NoOverflowBelowPeriod) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 100, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 99, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(unit.total(EventKind::kGlobalPowerEvents), 99u);
+}
+
+TEST(PerfCounter, OverflowAtExactPeriod) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 100, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 100, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, 100u);  // fired on the 100th event
+  EXPECT_EQ(out[0].kind, EventKind::kGlobalPowerEvents);
+}
+
+TEST(PerfCounter, MultipleOverflowsInOneBatch) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 35, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].offset, 10u);
+  EXPECT_EQ(out[1].offset, 20u);
+  EXPECT_EQ(out[2].offset, 30u);
+  // Remaining 5 counted toward the next overflow.
+  out.clear();
+  unit.add(EventKind::kGlobalPowerEvents, 5, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, 5u);
+}
+
+TEST(PerfCounter, StateCarriesAcrossAdds) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kBsqCacheReference, 100, true}});
+  std::vector<Overflow> out;
+  for (int i = 0; i < 9; ++i) unit.add(EventKind::kBsqCacheReference, 10, out);
+  EXPECT_TRUE(out.empty());
+  unit.add(EventKind::kBsqCacheReference, 10, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, 10u);
+}
+
+TEST(PerfCounter, IndependentCountersPerEvent) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, true},
+                  {EventKind::kBsqCacheReference, 3, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 9, out);
+  unit.add(EventKind::kBsqCacheReference, 9, out);
+  ASSERT_EQ(out.size(), 3u);  // only the cache counter fired (3 times)
+  for (const auto& o : out) EXPECT_EQ(o.kind, EventKind::kBsqCacheReference);
+}
+
+TEST(PerfCounter, UnwatchedEventsStillCounted) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kItlbMiss, 1000, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(unit.total(EventKind::kItlbMiss), 1000u);
+  EXPECT_FALSE(unit.watches(EventKind::kItlbMiss));
+  EXPECT_TRUE(unit.watches(EventKind::kGlobalPowerEvents));
+}
+
+TEST(PerfCounter, DisabledUnitCountsButNeverOverflows) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, true}});
+  unit.set_enabled(false);
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 1000, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(unit.watches(EventKind::kGlobalPowerEvents));
+  EXPECT_EQ(unit.total(EventKind::kGlobalPowerEvents), 1000u);
+}
+
+TEST(PerfCounter, DisabledCounterIgnored) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, false}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 100, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PerfCounter, ReconfigureResetsState) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 9, out);
+  unit.configure({{EventKind::kGlobalPowerEvents, 10, true}});
+  unit.add(EventKind::kGlobalPowerEvents, 9, out);
+  EXPECT_TRUE(out.empty());  // remaining reset to full period
+  EXPECT_EQ(unit.total(EventKind::kGlobalPowerEvents), 9u);  // totals reset too
+}
+
+TEST(PerfCounter, OverflowCountStat) {
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, 7, true}});
+  std::vector<Overflow> out;
+  unit.add(EventKind::kGlobalPowerEvents, 700, out);
+  EXPECT_EQ(unit.overflows(EventKind::kGlobalPowerEvents), 100u);
+}
+
+// Property sweep: for any period and any chunking of N events, the number
+// of overflows is floor(N / period) and offsets are strictly increasing.
+class PerfCounterPeriodTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PerfCounterPeriodTest, OverflowCountMatchesFloorDivision) {
+  const std::uint64_t period = GetParam();
+  PerfCounterUnit unit;
+  unit.configure({{EventKind::kGlobalPowerEvents, period, true}});
+  std::vector<Overflow> out;
+  const std::uint64_t total = 10 * period + period / 2;
+  // Add in awkward chunk sizes.
+  std::uint64_t added = 0;
+  std::uint64_t chunk = 1;
+  while (added < total) {
+    const std::uint64_t n = std::min(chunk, total - added);
+    std::vector<Overflow> batch;
+    unit.add(EventKind::kGlobalPowerEvents, n, batch);
+    for (std::size_t i = 1; i < batch.size(); ++i)
+      EXPECT_LT(batch[i - 1].offset, batch[i].offset);
+    out.insert(out.end(), batch.begin(), batch.end());
+    added += n;
+    chunk = chunk * 3 + 1;
+  }
+  EXPECT_EQ(out.size(), total / period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PerfCounterPeriodTest,
+                         ::testing::Values(1, 2, 3, 7, 45'000, 90'000, 450'000));
+
+}  // namespace
+}  // namespace viprof::hw

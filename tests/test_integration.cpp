@@ -1,0 +1,242 @@
+// End-to-end invariants over full profiling sessions: conservation of
+// samples, resolvability of every logged record, overhead ordering across
+// sampling rates, and the VIProf-vs-OProfile visibility contrast — the
+// system-level claims of the paper.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/viprof.hpp"
+#include "workloads/generator.hpp"
+
+namespace viprof {
+namespace {
+
+struct SessionRun {
+  std::unique_ptr<os::Machine> machine;
+  std::unique_ptr<jvm::Vm> vm;
+  std::unique_ptr<core::ProfilingSession> session;
+  core::SessionResult result;
+};
+
+SessionRun run_session(core::ProfilingMode mode, std::uint64_t period,
+                       std::uint64_t machine_seed = 0xabc,
+                       std::uint64_t ops = 4'000'000) {
+  SessionRun run;
+  os::MachineConfig mcfg;
+  mcfg.seed = machine_seed;
+  run.machine = std::make_unique<os::Machine>(mcfg);
+
+  workloads::GeneratorOptions opt;
+  opt.name = "integ";
+  opt.seed = 3;
+  opt.methods = 24;
+  opt.total_app_ops = ops;
+  opt.alloc_intensity = 0.6;
+  opt.nursery_bytes = 512 * 1024;
+  opt.native_frac = 0.08;
+  opt.syscall_frac = 0.04;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+
+  run.vm = std::make_unique<jvm::Vm>(*run.machine, w.vm);
+  core::SessionConfig config;
+  config.mode = mode;
+  if (period > 0) {
+    config.counters = {{hw::EventKind::kGlobalPowerEvents, period, true},
+                       {hw::EventKind::kBsqCacheReference, period / 64, true}};
+  }
+  run.session = std::make_unique<core::ProfilingSession>(*run.machine, *run.vm, config);
+  run.session->attach();
+  run.vm->setup(w.program);
+  run.result = run.session->run();
+  return run;
+}
+
+TEST(Integration, EverySampleIsLoggedOrDropped) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 90'000);
+  std::uint64_t logged = 0;
+  for (hw::EventKind e : hw::kAllEventKinds) {
+    logged += core::SampleLogReader::read(run.machine->vfs(),
+                                          run.session->daemon()->sample_dir(), e)
+                  .size();
+  }
+  EXPECT_EQ(logged + run.result.samples_dropped, run.result.nmi_count);
+}
+
+TEST(Integration, EveryLoggedSampleResolves) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  core::Resolver& resolver = run.session->resolver();
+  std::uint64_t unknown_domain = 0;
+  std::uint64_t total = 0;
+  for (hw::EventKind e : hw::kAllEventKinds) {
+    for (const core::LoggedSample& s : core::SampleLogReader::read(
+             run.machine->vfs(), run.session->daemon()->sample_dir(), e)) {
+      const core::Resolution res = resolver.resolve(s);
+      ++total;
+      EXPECT_FALSE(res.image.empty());
+      EXPECT_FALSE(res.symbol.empty());
+      if (res.domain == core::SampleDomain::kUnknown) ++unknown_domain;
+    }
+  }
+  EXPECT_GT(total, 100u);
+  EXPECT_EQ(unknown_domain, 0u);
+}
+
+TEST(Integration, ViprofAttributesJitThatOprofileCannot) {
+  SessionRun viprof = run_session(core::ProfilingMode::kViprof, 90'000, 0x111);
+  SessionRun oprof = run_session(core::ProfilingMode::kOprofile, 90'000, 0x111);
+
+  const core::Profile vp =
+      viprof.session->build_profile({hw::EventKind::kGlobalPowerEvents});
+  const core::Profile op =
+      oprof.session->build_profile({hw::EventKind::kGlobalPowerEvents});
+
+  constexpr auto kTime = hw::EventKind::kGlobalPowerEvents;
+  // The same workload: VIProf sees JIT methods, OProfile sees anon.
+  EXPECT_GT(vp.domain_total(core::SampleDomain::kJit, kTime), 0u);
+  EXPECT_EQ(vp.domain_total(core::SampleDomain::kAnon, kTime), 0u);
+  EXPECT_EQ(op.domain_total(core::SampleDomain::kJit, kTime), 0u);
+  EXPECT_GT(op.domain_total(core::SampleDomain::kAnon, kTime), 0u);
+  // Both see kernel + native symbols identically (OProfile's strength kept).
+  EXPECT_GT(vp.domain_total(core::SampleDomain::kKernel, kTime), 0u);
+  EXPECT_GT(op.domain_total(core::SampleDomain::kKernel, kTime), 0u);
+}
+
+TEST(Integration, JitResolutionRateIsHigh) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  run.session->build_profile({hw::EventKind::kGlobalPowerEvents});
+  const core::Resolver& r = run.session->resolver();
+  const std::uint64_t total = r.jit_resolved() + r.jit_unresolved();
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(r.jit_resolved()) / static_cast<double>(total), 0.99);
+}
+
+TEST(Integration, OverheadOrderedBySamplingRate) {
+  const hw::Cycles base =
+      run_session(core::ProfilingMode::kBase, 0, 0x7).result.cycles;
+  const hw::Cycles c45 =
+      run_session(core::ProfilingMode::kViprof, 45'000, 0x7).result.cycles;
+  const hw::Cycles c90 =
+      run_session(core::ProfilingMode::kViprof, 90'000, 0x7).result.cycles;
+  const hw::Cycles c450 =
+      run_session(core::ProfilingMode::kViprof, 450'000, 0x7).result.cycles;
+  EXPECT_GT(c45, c90);
+  EXPECT_GT(c90, c450);
+  EXPECT_GT(c450, base);
+}
+
+TEST(Integration, EpochTagsMatchCollectionCount) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  std::uint64_t max_epoch = 0;
+  for (const core::LoggedSample& s : core::SampleLogReader::read(
+           run.machine->vfs(), run.session->daemon()->sample_dir(),
+           hw::EventKind::kGlobalPowerEvents)) {
+    max_epoch = std::max(max_epoch, s.epoch);
+  }
+  EXPECT_LE(max_epoch, run.result.vm.collections);
+  EXPECT_GT(run.result.vm.collections, 0u);
+}
+
+TEST(Integration, EpochsMonotonePerPidInLogOrder) {
+  // Epochs are tracked per VM (pid): each pid's tag sequence is monotone;
+  // the daemon's own samples and kernel samples of other pids stay at 0.
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  std::map<hw::Pid, std::uint64_t> prev;
+  for (const core::LoggedSample& s : core::SampleLogReader::read(
+           run.machine->vfs(), run.session->daemon()->sample_dir(),
+           hw::EventKind::kGlobalPowerEvents)) {
+    EXPECT_GE(s.epoch, prev[s.pid]);
+    prev[s.pid] = s.epoch;
+  }
+  EXPECT_GT(prev.size(), 0u);
+}
+
+TEST(Integration, DaemonStealsMeasurableCpu) {
+  SessionRun run = run_session(core::ProfilingMode::kOprofile, 45'000);
+  EXPECT_GT(run.result.vm.service_cycles, 0u);
+  EXPECT_GT(run.result.daemon.wakeups, 0u);
+  // Daemon cost is bounded by its accounted cycles (plus chunk rounding).
+  EXPECT_GE(run.result.vm.service_cycles, run.result.daemon.cost_cycles);
+}
+
+TEST(Integration, ProfilerVisibleInOwnProfileUnderHeavySampling) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 10'000);
+  const core::Profile profile =
+      run.session->build_profile({hw::EventKind::kGlobalPowerEvents});
+  const core::ProfileRow* nmi = profile.find("vmlinux", "oprofile_nmi_handler");
+  ASSERT_NE(nmi, nullptr);
+  EXPECT_GT(nmi->count(hw::EventKind::kGlobalPowerEvents), 0u);
+  const core::ProfileRow* daemon = profile.find("oprofiled", "opd_process_samples");
+  ASSERT_NE(daemon, nullptr);
+}
+
+TEST(Integration, MultipleEventsLoggedIndependently) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 90'000);
+  const auto time_samples = core::SampleLogReader::read(
+      run.machine->vfs(), run.session->daemon()->sample_dir(),
+      hw::EventKind::kGlobalPowerEvents);
+  const auto miss_samples = core::SampleLogReader::read(
+      run.machine->vfs(), run.session->daemon()->sample_dir(),
+      hw::EventKind::kBsqCacheReference);
+  EXPECT_GT(time_samples.size(), 0u);
+  EXPECT_GT(miss_samples.size(), 0u);
+}
+
+TEST(Integration, AllFiveEventKindsFlowEndToEnd) {
+  SessionRun run;
+  os::MachineConfig mcfg;
+  mcfg.seed = 0x5e5;
+  run.machine = std::make_unique<os::Machine>(mcfg);
+  workloads::GeneratorOptions opt;
+  opt.name = "integ";
+  opt.seed = 3;
+  opt.methods = 24;
+  opt.total_app_ops = 4'000'000;
+  opt.alloc_intensity = 0.6;
+  opt.nursery_bytes = 512 * 1024;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+  run.vm = std::make_unique<jvm::Vm>(*run.machine, w.vm);
+  core::SessionConfig config;
+  config.mode = core::ProfilingMode::kViprof;
+  config.counters = {
+      {hw::EventKind::kGlobalPowerEvents, 90'000, true},
+      {hw::EventKind::kBsqCacheReference, 1'000, true},
+      {hw::EventKind::kInstrRetired, 50'000, true},
+      {hw::EventKind::kItlbMiss, 50, true},
+      {hw::EventKind::kBranchMispredict, 1'000, true},
+  };
+  run.session = std::make_unique<core::ProfilingSession>(*run.machine, *run.vm, config);
+  run.session->attach();
+  run.vm->setup(w.program);
+  run.result = run.session->run();
+
+  const core::Profile profile = run.session->build_profile(
+      {hw::EventKind::kGlobalPowerEvents, hw::EventKind::kBsqCacheReference,
+       hw::EventKind::kInstrRetired, hw::EventKind::kBranchMispredict});
+  EXPECT_GT(profile.total(hw::EventKind::kGlobalPowerEvents), 0u);
+  EXPECT_GT(profile.total(hw::EventKind::kBsqCacheReference), 0u);
+  EXPECT_GT(profile.total(hw::EventKind::kInstrRetired), 0u);
+  EXPECT_GT(profile.total(hw::EventKind::kBranchMispredict), 0u);
+  // A four-column Fig. 1-style render works too.
+  const std::string out = profile.render(
+      {hw::EventKind::kGlobalPowerEvents, hw::EventKind::kBsqCacheReference,
+       hw::EventKind::kInstrRetired, hw::EventKind::kBranchMispredict},
+      5);
+  EXPECT_NE(out.find("Instr %"), std::string::npos);
+  EXPECT_NE(out.find("BrMiss %"), std::string::npos);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  const core::SessionResult a =
+      run_session(core::ProfilingMode::kViprof, 90'000, 0x42).result;
+  const core::SessionResult b =
+      run_session(core::ProfilingMode::kViprof, 90'000, 0x42).result;
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.nmi_count, b.nmi_count);
+  EXPECT_EQ(a.daemon.drained, b.daemon.drained);
+  EXPECT_EQ(a.agent.map_entries_written, b.agent.map_entries_written);
+}
+
+}  // namespace
+}  // namespace viprof

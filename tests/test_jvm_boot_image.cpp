@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include "jvm/boot_image.hpp"
+#include "support/rng.hpp"
+
+namespace viprof::jvm {
+namespace {
+
+TEST(BootImage, RegistersImageAndWritesMap) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "RVM.map");
+  EXPECT_NE(boot.image(), os::kInvalidImage);
+  EXPECT_EQ(registry.get(boot.image()).name(), "RVM.code.image");
+  EXPECT_EQ(registry.get(boot.image()).kind(), os::ImageKind::kBootImage);
+  ASSERT_TRUE(vfs.exists("RVM.map"));
+  // Map lines == symbol count.
+  const std::string map = *vfs.read("RVM.map");
+  std::size_t lines = 0;
+  for (char c : map)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, boot.symbol_count());
+}
+
+TEST(BootImage, Fig1SymbolsPresent) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "RVM.map");
+  const std::string map = *vfs.read("RVM.map");
+  for (const char* sym :
+       {"com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength",
+        "com.ibm.jikesrvm.classloader.VM_NormalMethod.hasArrayRead",
+        "com.ibm.jikesrvm.opt.VM_OptCompiledMethod.createCodePatchMaps",
+        "com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills",
+        "com.ibm.jikesrvm.MainThread.run",
+        "com.ibm.jikesrvm.classloader.VM_NormalMethod.finalizeOsrSpecialization",
+        "com.ibm.jikesrvm.opt.VM_OptMachineCodeMap.getMethodForMCOffset",
+        "java.util.Vector.trimToSize"}) {
+    EXPECT_NE(map.find(sym), std::string::npos) << sym;
+  }
+}
+
+TEST(BootImage, EveryServiceHasRoutines) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "RVM.map");
+  for (std::size_t s = 0; s < kVmServiceCount; ++s) {
+    EXPECT_FALSE(boot.routines(static_cast<VmService>(s)).empty());
+  }
+}
+
+TEST(BootImage, RoutinesWithinImage) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "RVM.map");
+  for (std::size_t s = 0; s < kVmServiceCount; ++s) {
+    for (const BootRoutine& r : boot.routines(static_cast<VmService>(s))) {
+      EXPECT_LE(r.offset + r.size, boot.size());
+    }
+  }
+}
+
+TEST(BootImage, SymbolsResolvableThroughImage) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "RVM.map");
+  const os::Image& img = registry.get(boot.image());
+  const BootRoutine& r = boot.routines(VmService::kGc).front();
+  const auto sym = img.symbols().find(r.offset + r.size / 2);
+  ASSERT_TRUE(sym.has_value());
+  EXPECT_EQ(sym->name, r.name);
+}
+
+TEST(BootImage, WeightedPickRespectsWeights) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "RVM.map");
+  support::Xoshiro256 rng(11);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20'000; ++i) counts[boot.pick(VmService::kGc, rng).name]++;
+  // copyObject (weight .35) should dominate checkForMissedSpills (.20).
+  EXPECT_GT(counts["com.ibm.jikesrvm.mm.mmtk.VM_CopySpace.copyObject"],
+            counts["com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills"]);
+  // Every routine of the service gets picked at least once.
+  EXPECT_EQ(counts.size(), boot.routines(VmService::kGc).size());
+}
+
+TEST(BootImage, MapParsesBackIntoSymbolTable) {
+  os::ImageRegistry registry;
+  os::Vfs vfs;
+  BootImage boot(registry, vfs, "bootdir/RVM.map");
+  EXPECT_EQ(boot.map_path(), "bootdir/RVM.map");
+  EXPECT_TRUE(vfs.exists("bootdir/RVM.map"));
+  EXPECT_GT(boot.symbol_count(), 250u);  // named + filler population
+}
+
+}  // namespace
+}  // namespace viprof::jvm

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "jvm/heap.hpp"
+
+namespace viprof::jvm {
+namespace {
+
+HeapConfig small_config() {
+  HeapConfig c;
+  c.heap_bytes = 8ull << 20;
+  c.code_semi_bytes = 1ull << 20;
+  c.mature_code_bytes = 2ull << 20;
+  c.nursery_data_bytes = 1ull << 20;
+  c.mature_age = 3;
+  return c;
+}
+
+TEST(Heap, CodeAllocationInsideHeap) {
+  Heap heap(0x6000'0000, small_config());
+  const CodeObject& obj = heap.alloc_code(1, 4096, OptLevel::kBaseline);
+  EXPECT_TRUE(heap.contains(obj.address));
+  EXPECT_TRUE(heap.contains(obj.address + obj.size - 1));
+  EXPECT_EQ(obj.method, 1u);
+  EXPECT_EQ(obj.level, OptLevel::kBaseline);
+  EXPECT_EQ(obj.epoch_compiled, 0u);
+}
+
+TEST(Heap, AllocationsDoNotOverlap) {
+  Heap heap(0x6000'0000, small_config());
+  const auto a = heap.alloc_code(1, 1000, OptLevel::kBaseline).address;
+  const auto b = heap.alloc_code(2, 1000, OptLevel::kBaseline).address;
+  EXPECT_GE(b, a + 1000);
+}
+
+TEST(Heap, DataAllocationTriggersGcNeed) {
+  Heap heap(0x6000'0000, small_config());
+  EXPECT_FALSE(heap.gc_needed());
+  heap.alloc_data((1ull << 20) - 1);
+  EXPECT_FALSE(heap.gc_needed());
+  heap.alloc_data(1);
+  EXPECT_TRUE(heap.gc_needed());
+}
+
+TEST(Heap, CollectMovesLiveCode) {
+  Heap heap(0x6000'0000, small_config());
+  const CodeId id = heap.alloc_code(1, 4096, OptLevel::kBaseline).id;
+  const hw::Address before = heap.code(id).address;
+  hw::Address observed_old = 0;
+  const GcStats stats = heap.collect(
+      [&](const CodeObject& moved, hw::Address old) {
+        EXPECT_EQ(moved.id, id);
+        observed_old = old;
+      });
+  EXPECT_EQ(stats.code_moved, 1u);
+  EXPECT_EQ(observed_old, before);
+  EXPECT_NE(heap.code(id).address, before);
+  EXPECT_TRUE(heap.contains(heap.code(id).address));
+}
+
+TEST(Heap, EpochIncrementsPerCollection) {
+  Heap heap(0x6000'0000, small_config());
+  EXPECT_EQ(heap.epoch(), 0u);
+  heap.collect(nullptr);
+  heap.collect(nullptr);
+  EXPECT_EQ(heap.epoch(), 2u);
+}
+
+TEST(Heap, PromotionAtMatureAgeStopsMoves) {
+  Heap heap(0x6000'0000, small_config());  // mature_age = 3
+  const CodeId id = heap.alloc_code(1, 4096, OptLevel::kBaseline).id;
+  std::vector<hw::Address> addresses{heap.code(id).address};
+  for (int gc = 0; gc < 6; ++gc) {
+    heap.collect(nullptr);
+    addresses.push_back(heap.code(id).address);
+  }
+  // Moves on GCs 1..3 (promoted on the 3rd), then stable.
+  EXPECT_NE(addresses[0], addresses[1]);
+  EXPECT_NE(addresses[1], addresses[2]);
+  EXPECT_NE(addresses[2], addresses[3]);
+  EXPECT_EQ(addresses[3], addresses[4]);
+  EXPECT_EQ(addresses[4], addresses[5]);
+  EXPECT_TRUE(heap.code(id).in_mature);
+}
+
+TEST(Heap, PromotedCodeInMatureRegion) {
+  HeapConfig c = small_config();
+  Heap heap(0x6000'0000, c);
+  const CodeId id = heap.alloc_code(1, 4096, OptLevel::kBaseline).id;
+  for (int gc = 0; gc < 4; ++gc) heap.collect(nullptr);
+  const hw::Address mature_lo = 0x6000'0000 + 2 * c.code_semi_bytes;
+  const hw::Address mature_hi = mature_lo + c.mature_code_bytes;
+  EXPECT_GE(heap.code(id).address, mature_lo);
+  EXPECT_LT(heap.code(id).address, mature_hi);
+}
+
+TEST(Heap, DeadCodeNotMovedAndReclaimedOnce) {
+  Heap heap(0x6000'0000, small_config());
+  const CodeId id = heap.alloc_code(1, 4096, OptLevel::kBaseline).id;
+  heap.kill_code(id);
+  int moves = 0;
+  GcStats s1 = heap.collect([&](const CodeObject&, hw::Address) { ++moves; });
+  EXPECT_EQ(moves, 0);
+  EXPECT_EQ(s1.code_reclaimed, 1u);
+  GcStats s2 = heap.collect(nullptr);
+  EXPECT_EQ(s2.code_reclaimed, 0u);  // not double counted
+}
+
+TEST(Heap, SemispaceSpaceReusedAfterCollect) {
+  HeapConfig c = small_config();
+  Heap heap(0x6000'0000, c);
+  // Fill most of a semispace with dead bodies.
+  for (int i = 0; i < 100; ++i) {
+    const CodeId id = heap.alloc_code(i, 8'000, OptLevel::kBaseline).id;
+    heap.kill_code(id);
+  }
+  const std::uint64_t before = heap.nursery_code_bytes();
+  EXPECT_EQ(before, 0u);  // all dead
+  heap.collect(nullptr);
+  // After collection the new semispace is empty; allocation restarts cleanly.
+  const CodeObject& fresh = heap.alloc_code(200, 4096, OptLevel::kBaseline);
+  EXPECT_TRUE(heap.contains(fresh.address));
+}
+
+TEST(Heap, LiveBytesIncludeSurvivingData) {
+  HeapConfig c = small_config();
+  c.data_survival = 0.5;
+  Heap heap(0x6000'0000, c);
+  heap.alloc_data(1'000'000);
+  const GcStats stats = heap.collect(nullptr);
+  EXPECT_GE(stats.live_bytes, 500'000u);
+  EXPECT_EQ(heap.data_allocated_since_gc(), 0u);  // reset
+}
+
+TEST(Heap, AddressesUniqueAmongLiveBodies) {
+  Heap heap(0x6000'0000, small_config());
+  for (int i = 0; i < 50; ++i) heap.alloc_code(i, 1000 + i * 16, OptLevel::kBaseline);
+  for (int gc = 0; gc < 5; ++gc) {
+    heap.collect(nullptr);
+    std::map<hw::Address, hw::Address> ranges;  // start -> end
+    for (const CodeObject& obj : heap.all_code()) {
+      if (obj.dead) continue;
+      ranges[obj.address] = obj.address + obj.size;
+    }
+    hw::Address prev_end = 0;
+    for (const auto& [start, end] : ranges) {
+      EXPECT_GE(start, prev_end);
+      prev_end = end;
+    }
+  }
+}
+
+TEST(Heap, DataRegionDisjointFromCodeRegions) {
+  HeapConfig c = small_config();
+  Heap heap(0x6000'0000, c);
+  EXPECT_GE(heap.data_base(),
+            0x6000'0000 + 2 * c.code_semi_bytes + c.mature_code_bytes);
+  EXPECT_GT(heap.data_bytes(), 0u);
+  EXPECT_LE(heap.data_base() + heap.data_bytes(), heap.end());
+}
+
+TEST(Heap, GcNeededWhenCodeSemispaceNearlyFull) {
+  HeapConfig c = small_config();  // 1MB semispace, 1/8 headroom
+  Heap heap(0x6000'0000, c);
+  heap.alloc_code(0, 900 * 1024, OptLevel::kBaseline);
+  EXPECT_TRUE(heap.gc_needed());
+}
+
+}  // namespace
+}  // namespace viprof::jvm

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "jvm/jit.hpp"
+
+namespace viprof::jvm {
+namespace {
+
+MethodInfo method_of(std::uint64_t bytecode) {
+  MethodInfo m;
+  m.id = 0;
+  m.klass = "Test";
+  m.name = "m";
+  m.bytecode_size = bytecode;
+  return m;
+}
+
+HeapConfig heap_config() {
+  HeapConfig c;
+  c.heap_bytes = 8ull << 20;
+  c.code_semi_bytes = 1ull << 20;
+  c.mature_code_bytes = 2ull << 20;
+  return c;
+}
+
+TEST(Jit, CodeSizeGrowsWithTier) {
+  Heap heap(0x1000'0000, heap_config());
+  JitCompiler jit(heap);
+  const MethodInfo m = method_of(500);
+  std::uint64_t prev = 0;
+  for (auto level : {OptLevel::kBaseline, OptLevel::kOpt0, OptLevel::kOpt1, OptLevel::kOpt2}) {
+    const std::uint64_t size = jit.code_size_for(m, level);
+    EXPECT_GT(size, prev);
+    prev = size;
+  }
+}
+
+TEST(Jit, CompileCostGrowsWithTier) {
+  Heap heap(0x1000'0000, heap_config());
+  JitCompiler jit(heap);
+  const MethodInfo m = method_of(500);
+  hw::Cycles prev = 0;
+  for (auto level : {OptLevel::kBaseline, OptLevel::kOpt0, OptLevel::kOpt1, OptLevel::kOpt2}) {
+    const hw::Cycles cost = jit.compile_cost_for(m, level);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(Jit, CpiImprovesWithTier) {
+  Heap heap(0x1000'0000, heap_config());
+  JitCompiler jit(heap);
+  EXPECT_EQ(jit.cpi_scale(OptLevel::kBaseline), 1.0);
+  EXPECT_LT(jit.cpi_scale(OptLevel::kOpt0), 1.0);
+  EXPECT_LT(jit.cpi_scale(OptLevel::kOpt1), jit.cpi_scale(OptLevel::kOpt0));
+  EXPECT_LT(jit.cpi_scale(OptLevel::kOpt2), jit.cpi_scale(OptLevel::kOpt1));
+}
+
+TEST(Jit, MinimumSizeAndCostFloors) {
+  Heap heap(0x1000'0000, heap_config());
+  JitCompiler jit(heap);
+  const MethodInfo tiny = method_of(1);
+  EXPECT_GE(jit.code_size_for(tiny, OptLevel::kBaseline), 64u);
+  EXPECT_GE(jit.compile_cost_for(tiny, OptLevel::kBaseline), 1'000u);
+}
+
+TEST(Jit, CompileAllocatesBodyInHeap) {
+  Heap heap(0x1000'0000, heap_config());
+  JitCompiler jit(heap);
+  const MethodInfo m = method_of(300);
+  const CompileOutcome out = jit.compile(m, OptLevel::kBaseline);
+  ASSERT_NE(out.code, kInvalidCode);
+  EXPECT_TRUE(heap.contains(heap.code(out.code).address));
+  EXPECT_GT(out.cost, 0u);
+  EXPECT_EQ(jit.compiles_at(OptLevel::kBaseline), 1u);
+}
+
+TEST(Jit, RecompileKillsOldBody) {
+  Heap heap(0x1000'0000, heap_config());
+  JitCompiler jit(heap);
+  const MethodInfo m = method_of(300);
+  const CompileOutcome base = jit.compile(m, OptLevel::kBaseline);
+  const CompileOutcome opt = jit.compile(m, OptLevel::kOpt1, base.code);
+  EXPECT_TRUE(heap.code(base.code).dead);
+  EXPECT_FALSE(heap.code(opt.code).dead);
+  EXPECT_EQ(heap.code(opt.code).level, OptLevel::kOpt1);
+  EXPECT_NE(heap.code(opt.code).address, heap.code(base.code).address);
+}
+
+TEST(RecompilePolicy, ThresholdsSelectLevels) {
+  RecompilePolicy policy;  // 300K / 3M / 20M
+  EXPECT_EQ(policy.target_level(0), OptLevel::kBaseline);
+  EXPECT_EQ(policy.target_level(299'999), OptLevel::kBaseline);
+  EXPECT_EQ(policy.target_level(300'000), OptLevel::kOpt0);
+  EXPECT_EQ(policy.target_level(2'999'999), OptLevel::kOpt0);
+  EXPECT_EQ(policy.target_level(3'000'000), OptLevel::kOpt1);
+  EXPECT_EQ(policy.target_level(20'000'000), OptLevel::kOpt2);
+  EXPECT_EQ(policy.target_level(~0ull), OptLevel::kOpt2);
+}
+
+TEST(RecompilePolicy, CustomThresholds) {
+  RecompilePolicy policy{10, 20, 30};
+  EXPECT_EQ(policy.target_level(9), OptLevel::kBaseline);
+  EXPECT_EQ(policy.target_level(15), OptLevel::kOpt0);
+  EXPECT_EQ(policy.target_level(25), OptLevel::kOpt1);
+  EXPECT_EQ(policy.target_level(35), OptLevel::kOpt2);
+}
+
+}  // namespace
+}  // namespace viprof::jvm

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jvm/vm.hpp"
+#include "workloads/generator.hpp"
+
+namespace viprof::jvm {
+namespace {
+
+workloads::Workload tiny_workload(std::uint64_t ops = 2'000'000) {
+  workloads::GeneratorOptions opt;
+  opt.name = "vmtest";
+  opt.seed = 21;
+  opt.methods = 12;
+  opt.total_app_ops = ops;
+  opt.alloc_intensity = 0.6;
+  opt.nursery_bytes = 512 * 1024;
+  return workloads::make_synthetic(opt);
+}
+
+TEST(Vm, SetupLoadsImagesAndHeap) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload();
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  EXPECT_NE(machine.registry().find_by_name("jikesrvm"), nullptr);
+  EXPECT_NE(machine.registry().find_by_name("libc-2.3.2.so"), nullptr);
+  EXPECT_NE(machine.registry().find_by_name("RVM.code.image"), nullptr);
+  EXPECT_GT(vm.heap().data_bytes(), 0u);
+  EXPECT_TRUE(machine.vfs().exists("RVM.map"));
+  // The heap anon mapping exists in the process space.
+  const os::Process* proc = machine.find_process(vm.pid());
+  ASSERT_NE(proc, nullptr);
+  EXPECT_TRUE(proc->address_space().find(vm.heap().base()).has_value());
+}
+
+TEST(Vm, RunExecutesRequestedOps) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload(1'500'000);
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GE(stats.app_ops, 1'500'000u);
+  EXPECT_GT(stats.invocations, 0u);
+  EXPECT_GT(stats.cycles, stats.app_ops);  // cpi > 1 with misses
+  EXPECT_EQ(machine.cpu().now(), stats.cycles);  // run started at cycle 0
+}
+
+TEST(Vm, MethodsBaselineCompiledOnFirstUse) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload();
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GT(stats.compiles[0], 0u);
+  EXPECT_LE(stats.compiles[0], w.program.methods.size());
+}
+
+TEST(Vm, HotMethodsGetRecompiled) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload(6'000'000);
+  w.vm.recompile = RecompilePolicy{50'000, 200'000, 1'000'000};
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GT(stats.compiles[1] + stats.compiles[2] + stats.compiles[3], 0u);
+}
+
+TEST(Vm, AllocationDrivesCollections) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload(3'000'000);
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GT(stats.collections, 0u);
+  EXPECT_EQ(stats.collections, vm.heap().epoch());
+}
+
+struct RecordingListener : VmEventListener {
+  std::vector<std::string> events;
+  hw::Cycles on_vm_start(const VmStartInfo& info) override {
+    EXPECT_NE(info.heap, nullptr);
+    EXPECT_LT(info.heap_lo, info.heap_hi);
+    events.push_back("start");
+    return 0;
+  }
+  hw::Cycles on_method_compiled(const MethodInfo&, const CodeObject&) override {
+    events.push_back("compile");
+    return 0;
+  }
+  hw::Cycles on_method_moved(const MethodInfo&, hw::Address, const CodeObject&) override {
+    events.push_back("move");
+    return 0;
+  }
+  hw::Cycles on_epoch_end(std::uint64_t, bool final_epoch) override {
+    events.push_back(final_epoch ? "final-epoch" : "epoch");
+    return 0;
+  }
+  hw::Cycles on_gc_end(std::uint64_t) override {
+    events.push_back("gc-end");
+    return 0;
+  }
+  hw::Cycles on_vm_shutdown() override {
+    events.push_back("shutdown");
+    return 0;
+  }
+};
+
+TEST(Vm, ListenerSeesLifecycleInOrder) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload(2'000'000);
+  Vm vm(machine, w.vm);
+  RecordingListener listener;
+  vm.add_listener(&listener);
+  vm.setup(w.program);
+  vm.run();
+  ASSERT_FALSE(listener.events.empty());
+  EXPECT_EQ(listener.events.front(), "start");
+  // Epoch-end precedes each gc-end; final epoch then shutdown at the end.
+  EXPECT_EQ(listener.events.back(), "shutdown");
+  EXPECT_EQ(listener.events[listener.events.size() - 2], "final-epoch");
+  bool saw_epoch = false;
+  for (std::size_t i = 0; i < listener.events.size(); ++i) {
+    if (listener.events[i] == "gc-end") {
+      ASSERT_TRUE(saw_epoch);  // some "epoch" must precede the first gc-end
+    }
+    if (listener.events[i] == "epoch") saw_epoch = true;
+  }
+}
+
+TEST(Vm, ListenerCostChargedToClock) {
+  workloads::Workload w = tiny_workload(500'000);
+
+  os::Machine plain_machine;
+  Vm plain(plain_machine, w.vm);
+  plain.setup(w.program);
+  const hw::Cycles base = plain.run().cycles;
+
+  struct CostlyListener : VmEventListener {
+    hw::Cycles on_method_compiled(const MethodInfo&, const CodeObject&) override {
+      return 100'000;
+    }
+  } costly;
+  os::Machine machine;
+  Vm vm(machine, w.vm);
+  vm.add_listener(&costly);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GT(stats.agent_cycles, 0u);
+  EXPECT_GT(stats.cycles, base);
+}
+
+TEST(Vm, ForceGcMovesCode) {
+  os::Machine machine;
+  workloads::Workload w = tiny_workload();
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  vm.force_compile(0, OptLevel::kBaseline);
+  const CodeId code = vm.current_code(0);
+  const hw::Address before = vm.heap().code(code).address;
+  vm.force_gc();
+  EXPECT_NE(vm.heap().code(code).address, before);
+}
+
+TEST(Vm, OutcallsExecuteNativeAndKernelOps) {
+  os::Machine machine;
+  workloads::GeneratorOptions opt;
+  opt.name = "outcalls";
+  opt.methods = 4;
+  opt.total_app_ops = 1'000'000;
+  opt.native_frac = 0.2;
+  opt.syscall_frac = 0.1;
+  workloads::Workload w = workloads::make_synthetic(opt);
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GT(stats.native_ops, 0u);
+  EXPECT_GT(stats.kernel_ops, 0u);
+}
+
+TEST(Vm, GlueFractionProducesVmOps) {
+  os::Machine machine;
+  workloads::GeneratorOptions opt;
+  opt.name = "glue";
+  opt.methods = 4;
+  opt.total_app_ops = 2'000'000;
+  opt.vm_glue_frac = 0.05;
+  workloads::Workload w = workloads::make_synthetic(opt);
+  Vm vm(machine, w.vm);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_GT(stats.vm_ops, 0u);
+}
+
+TEST(Vm, DeterministicForIdenticalSeeds) {
+  workloads::Workload w = tiny_workload(1'000'000);
+  os::MachineConfig mcfg;
+  mcfg.seed = 99;
+  os::Machine m1(mcfg), m2(mcfg);
+  Vm v1(m1, w.vm), v2(m2, w.vm);
+  v1.setup(w.program);
+  v2.setup(w.program);
+  EXPECT_EQ(v1.run().cycles, v2.run().cycles);
+}
+
+TEST(Vm, BackgroundServiceStealsCpu) {
+  struct FixedService : os::BackgroundService {
+    int remaining = 5;
+    std::optional<os::WorkChunk> next_work(hw::Cycles) override {
+      if (remaining == 0) return std::nullopt;
+      --remaining;
+      os::WorkChunk chunk;
+      chunk.context = hw::ExecContext{0x9000, 0x100, hw::CpuMode::kUser, 99, 0};
+      chunk.cycles = 50'000;
+      chunk.ops = 10'000;
+      return chunk;
+    }
+  };
+  workloads::Workload w = tiny_workload(300'000);
+  os::Machine machine;
+  Vm vm(machine, w.vm);
+  FixedService service;
+  vm.add_service(&service);
+  vm.setup(w.program);
+  const RunStats stats = vm.run();
+  EXPECT_EQ(service.remaining, 0);
+  EXPECT_GE(stats.service_cycles, 5u * 50'000u);
+}
+
+}  // namespace
+}  // namespace viprof::jvm

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "os/address_space.hpp"
+
+namespace viprof::os {
+namespace {
+
+TEST(AddressSpace, MapAndFind) {
+  AddressSpace space;
+  space.map(0x1000, 0x1000, 7);
+  const auto vma = space.find(0x1800);
+  ASSERT_TRUE(vma.has_value());
+  EXPECT_EQ(vma->image, 7u);
+  EXPECT_EQ(vma->start, 0x1000u);
+  EXPECT_EQ(vma->end, 0x2000u);
+}
+
+TEST(AddressSpace, FindOutsideReturnsNothing) {
+  AddressSpace space;
+  space.map(0x1000, 0x1000, 1);
+  EXPECT_FALSE(space.find(0xfff).has_value());
+  EXPECT_FALSE(space.find(0x2000).has_value());  // end is exclusive
+  EXPECT_TRUE(space.find(0x1fff).has_value());
+}
+
+TEST(AddressSpace, MultipleMappingsSorted) {
+  AddressSpace space;
+  space.map(0x8000, 0x1000, 3);
+  space.map(0x1000, 0x1000, 1);
+  space.map(0x4000, 0x1000, 2);
+  EXPECT_EQ(space.find(0x1100)->image, 1u);
+  EXPECT_EQ(space.find(0x4100)->image, 2u);
+  EXPECT_EQ(space.find(0x8100)->image, 3u);
+  ASSERT_EQ(space.vmas().size(), 3u);
+  EXPECT_LT(space.vmas()[0].start, space.vmas()[1].start);
+  EXPECT_LT(space.vmas()[1].start, space.vmas()[2].start);
+}
+
+TEST(AddressSpace, ImageOffsetAccountsForFileOffset) {
+  AddressSpace space;
+  space.map(0x10000, 0x1000, 5, /*file_offset=*/0x400);
+  const auto off = space.image_offset(0x10010);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, 0x410u);
+}
+
+TEST(AddressSpace, UnmapRemovesMapping) {
+  AddressSpace space;
+  space.map(0x1000, 0x1000, 1);
+  space.map(0x3000, 0x1000, 2);
+  space.unmap(0x1000);
+  EXPECT_FALSE(space.find(0x1500).has_value());
+  EXPECT_TRUE(space.find(0x3500).has_value());
+}
+
+TEST(AddressSpace, RemapAfterUnmap) {
+  AddressSpace space;
+  space.map(0x1000, 0x1000, 1);
+  space.unmap(0x1000);
+  space.map(0x1000, 0x2000, 9);
+  EXPECT_EQ(space.find(0x2800)->image, 9u);
+}
+
+TEST(AddressSpaceDeathTest, OverlapRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  AddressSpace space;
+  space.map(0x1000, 0x1000, 1);
+  EXPECT_DEATH(space.map(0x1800, 0x1000, 2), "VIPROF_CHECK");
+  EXPECT_DEATH(space.map(0x0800, 0x1000, 2), "VIPROF_CHECK");
+}
+
+TEST(AddressSpace, AdjacentMappingsAllowed) {
+  AddressSpace space;
+  space.map(0x1000, 0x1000, 1);
+  space.map(0x2000, 0x1000, 2);  // touches but does not overlap
+  EXPECT_EQ(space.find(0x1fff)->image, 1u);
+  EXPECT_EQ(space.find(0x2000)->image, 2u);
+}
+
+}  // namespace
+}  // namespace viprof::os

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "os/kernel.hpp"
+
+namespace viprof::os {
+namespace {
+
+TEST(Kernel, MappedAtCanonicalBase) {
+  ImageRegistry registry;
+  Kernel kernel(registry);
+  EXPECT_EQ(kernel.base(), Loader::kKernelBase);
+  EXPECT_GT(kernel.size(), 0u);
+  EXPECT_TRUE(kernel.contains(kernel.base()));
+  EXPECT_TRUE(kernel.contains(kernel.base() + kernel.size() - 1));
+  EXPECT_FALSE(kernel.contains(kernel.base() + kernel.size()));
+  EXPECT_FALSE(kernel.contains(0x1000));
+}
+
+TEST(Kernel, StandardRoutinesExist) {
+  ImageRegistry registry;
+  Kernel kernel(registry);
+  for (const char* name : {"schedule", "sys_read", "sys_write", "sys_futex",
+                           "do_page_fault", "oprofile_nmi_handler",
+                           "oprofile_buffer_sync", "sys_gettimeofday"}) {
+    const KernelRoutine& r = kernel.routine(name);
+    EXPECT_EQ(r.name, name);
+    EXPECT_GT(r.size, 0u);
+    EXPECT_TRUE(kernel.contains(r.base));
+  }
+}
+
+TEST(Kernel, ContextIsKernelMode) {
+  ImageRegistry registry;
+  Kernel kernel(registry);
+  const hw::ExecContext ctx = kernel.context("sys_write", 42);
+  EXPECT_EQ(ctx.mode, hw::CpuMode::kKernel);
+  EXPECT_EQ(ctx.pid, 42u);
+  EXPECT_TRUE(kernel.contains(ctx.code_base));
+}
+
+TEST(Kernel, SymbolsResolveThroughImage) {
+  ImageRegistry registry;
+  Kernel kernel(registry);
+  const Image& img = registry.get(kernel.image());
+  EXPECT_EQ(img.name(), "vmlinux");
+  EXPECT_EQ(img.kind(), ImageKind::kKernel);
+  const KernelRoutine& r = kernel.routine("do_page_fault");
+  const auto sym = img.symbols().find(kernel.offset_of(r.base + 10));
+  ASSERT_TRUE(sym.has_value());
+  EXPECT_EQ(sym->name, "do_page_fault");
+}
+
+TEST(Kernel, RoutinesDoNotOverlap) {
+  ImageRegistry registry;
+  Kernel kernel(registry);
+  const Image& img = registry.get(kernel.image());
+  // ordered() checks the non-overlap invariant internally.
+  EXPECT_GE(img.symbols().ordered().size(), 10u);
+}
+
+TEST(KernelDeathTest, UnknownRoutineAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ImageRegistry registry;
+  Kernel kernel(registry);
+  EXPECT_DEATH((void)kernel.routine("sys_does_not_exist"), "VIPROF_CHECK");
+}
+
+}  // namespace
+}  // namespace viprof::os

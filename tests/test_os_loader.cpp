@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "os/loader.hpp"
+
+namespace viprof::os {
+namespace {
+
+TEST(Loader, ExecutableAtCanonicalBase) {
+  ImageRegistry registry;
+  Image& exec = registry.create("app", ImageKind::kExecutable, 10'000);
+  Process proc(1, "app");
+  Loader loader(registry);
+  const Vma vma = loader.load_executable(proc, exec.id());
+  EXPECT_EQ(vma.start, Loader::kExecBase);
+  EXPECT_EQ(vma.size(), Loader::page_align(10'000));
+}
+
+TEST(Loader, LibrariesPackWithGuardPages) {
+  ImageRegistry registry;
+  Image& a = registry.create("liba.so", ImageKind::kSharedLib, 4096);
+  Image& b = registry.create("libb.so", ImageKind::kSharedLib, 4096);
+  Process proc(1, "app");
+  Loader loader(registry);
+  const Vma va = loader.load_library(proc, a.id());
+  const Vma vb = loader.load_library(proc, b.id());
+  EXPECT_EQ(va.start, Loader::kLibBase);
+  EXPECT_GT(vb.start, va.end);  // guard page between
+  EXPECT_FALSE(proc.address_space().find(va.end).has_value());
+}
+
+TEST(Loader, AnonMappingsGetFreshImages) {
+  ImageRegistry registry;
+  Process proc(1, "jvm");
+  Loader loader(registry);
+  const Vma v1 = loader.map_anon(proc, 1 << 20);
+  const Vma v2 = loader.map_anon(proc, 1 << 20);
+  EXPECT_NE(v1.image, v2.image);
+  EXPECT_EQ(registry.get(v1.image).kind(), ImageKind::kAnon);
+  EXPECT_GE(v1.start, Loader::kAnonBase);
+  EXPECT_GT(v2.start, v1.end);
+}
+
+TEST(Loader, MapAtAnonSlotKeepsImageIdentity) {
+  ImageRegistry registry;
+  Image& boot = registry.create("RVM.code.image", ImageKind::kBootImage, 8 << 20);
+  Process proc(1, "jvm");
+  Loader loader(registry);
+  const Vma vma = loader.map_at_anon_slot(proc, boot.id());
+  EXPECT_EQ(vma.image, boot.id());
+  EXPECT_EQ(proc.address_space().find(vma.start + 100)->image, boot.id());
+}
+
+TEST(Loader, PageAlign) {
+  EXPECT_EQ(Loader::page_align(0), 0u);
+  EXPECT_EQ(Loader::page_align(1), 4096u);
+  EXPECT_EQ(Loader::page_align(4096), 4096u);
+  EXPECT_EQ(Loader::page_align(4097), 8192u);
+}
+
+TEST(ImageRegistry, LookupByIdAndName) {
+  ImageRegistry registry;
+  Image& a = registry.create("one", ImageKind::kSharedLib, 100);
+  registry.create("two", ImageKind::kSharedLib, 100);
+  EXPECT_EQ(registry.get(a.id()).name(), "one");
+  EXPECT_NE(registry.find_by_name("two"), nullptr);
+  EXPECT_EQ(registry.find_by_name("three"), nullptr);
+  EXPECT_EQ(registry.count(), 2u);
+}
+
+TEST(ImageRegistry, StrippedFlag) {
+  ImageRegistry registry;
+  Image& s = registry.create("libxul.so.0d", ImageKind::kSharedLib, 100, true);
+  EXPECT_TRUE(s.stripped());
+  Image& n = registry.create("libc.so", ImageKind::kSharedLib, 100);
+  EXPECT_FALSE(n.stripped());
+}
+
+}  // namespace
+}  // namespace viprof::os

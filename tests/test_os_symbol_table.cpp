@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "os/symbol_table.hpp"
+
+namespace viprof::os {
+namespace {
+
+TEST(SymbolTable, FindInsideSymbol) {
+  SymbolTable t;
+  t.add("foo", 0x100, 0x50);
+  t.add("bar", 0x200, 0x10);
+  const auto hit = t.find(0x120);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "foo");
+}
+
+TEST(SymbolTable, BoundariesAreHalfOpen) {
+  SymbolTable t;
+  t.add("foo", 0x100, 0x50);
+  EXPECT_TRUE(t.find(0x100).has_value());   // first byte
+  EXPECT_TRUE(t.find(0x14f).has_value());   // last byte
+  EXPECT_FALSE(t.find(0x150).has_value());  // one past the end
+  EXPECT_FALSE(t.find(0xff).has_value());   // one before
+}
+
+TEST(SymbolTable, GapsReturnNothing) {
+  SymbolTable t;
+  t.add("a", 0x0, 0x10);
+  t.add("b", 0x100, 0x10);
+  EXPECT_FALSE(t.find(0x50).has_value());
+}
+
+TEST(SymbolTable, UnorderedInsertIsSorted) {
+  SymbolTable t;
+  t.add("late", 0x900, 0x10);
+  t.add("early", 0x100, 0x10);
+  t.add("middle", 0x500, 0x10);
+  EXPECT_EQ(t.find(0x905)->name, "late");
+  EXPECT_EQ(t.find(0x105)->name, "early");
+  EXPECT_EQ(t.find(0x505)->name, "middle");
+  const auto& ordered = t.ordered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0].name, "early");
+  EXPECT_EQ(ordered[2].name, "late");
+}
+
+TEST(SymbolTable, EmptyTable) {
+  SymbolTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.find(0).has_value());
+}
+
+TEST(SymbolTable, AdjacentSymbolsResolveCorrectly) {
+  SymbolTable t;
+  t.add("a", 0x0, 0x100);
+  t.add("b", 0x100, 0x100);
+  EXPECT_EQ(t.find(0xff)->name, "a");
+  EXPECT_EQ(t.find(0x100)->name, "b");
+}
+
+TEST(SymbolTableDeathTest, OverlappingSymbolsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SymbolTable t;
+  t.add("a", 0x0, 0x100);
+  t.add("b", 0x80, 0x100);  // overlaps a
+  EXPECT_DEATH((void)t.find(0x10), "VIPROF_CHECK");
+}
+
+}  // namespace
+}  // namespace viprof::os

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "os/vfs.hpp"
+
+namespace viprof::os {
+namespace {
+
+TEST(Vfs, WriteAndRead) {
+  Vfs vfs;
+  vfs.write("/a/b.txt", "hello");
+  const auto contents = vfs.read("/a/b.txt");
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(*contents, "hello");
+}
+
+TEST(Vfs, MissingFile) {
+  Vfs vfs;
+  EXPECT_FALSE(vfs.read("/nope").has_value());
+  EXPECT_FALSE(vfs.exists("/nope"));
+}
+
+TEST(Vfs, OverwriteReplaces) {
+  Vfs vfs;
+  vfs.write("/f", "one");
+  vfs.write("/f", "two");
+  EXPECT_EQ(*vfs.read("/f"), "two");
+  EXPECT_EQ(vfs.file_count(), 1u);
+}
+
+TEST(Vfs, AppendConcatenatesAndCreates) {
+  Vfs vfs;
+  vfs.append("/log", "a");
+  vfs.append("/log", "b");
+  EXPECT_EQ(*vfs.read("/log"), "ab");
+}
+
+TEST(Vfs, ListByPrefixSorted) {
+  Vfs vfs;
+  vfs.write("/maps/2", "");
+  vfs.write("/maps/1", "");
+  vfs.write("/maps/10", "");
+  vfs.write("/other", "");
+  const auto files = vfs.list("/maps/");
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "/maps/1");
+  EXPECT_EQ(files[1], "/maps/10");  // lexicographic
+  EXPECT_EQ(files[2], "/maps/2");
+}
+
+TEST(Vfs, ListEmptyPrefixReturnsAll) {
+  Vfs vfs;
+  vfs.write("/x", "");
+  vfs.write("/y", "");
+  EXPECT_EQ(vfs.list("").size(), 2u);
+}
+
+TEST(Vfs, RemoveDeletes) {
+  Vfs vfs;
+  vfs.write("/f", "x");
+  vfs.remove("/f");
+  EXPECT_FALSE(vfs.exists("/f"));
+  vfs.remove("/f");  // idempotent
+}
+
+TEST(Vfs, BytesWrittenAccumulates) {
+  Vfs vfs;
+  vfs.write("/a", "1234");
+  vfs.append("/a", "56");
+  EXPECT_EQ(vfs.bytes_written(), 6u);
+}
+
+}  // namespace
+}  // namespace viprof::os

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "support/format.hpp"
+
+namespace viprof::support {
+namespace {
+
+TEST(Fixed, RoundsToRequestedDecimals) {
+  EXPECT_EQ(fixed(3.14159, 4), "3.1416");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.0, 0), "3");
+  EXPECT_EQ(fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Hex, Formats) {
+  EXPECT_EQ(hex(0), "0x0");
+  EXPECT_EQ(hex(255), "0xff");
+  EXPECT_EQ(hex(0x62785000ull), "0x62785000");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"N %", "Name"});
+  t.add_row({"1.5", "alpha"});
+  t.add_row({"100.25", "b"});
+  const std::string out = t.render();
+  // Numeric column right-aligned to the widest cell (6 chars).
+  EXPECT_NE(out.find("   1.5"), std::string::npos);
+  EXPECT_NE(out.find("100.25"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"1"});  // missing cells become empty
+  const std::string out = t.render();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(TextTable, LastColumnNotPadded) {
+  TextTable t({"A", "Symbol"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "a.very.long.symbol.name"});
+  for (const auto& line : {t.render()}) {
+    // No trailing spaces after the short symbol.
+    EXPECT_EQ(line.find("x "), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace viprof::support

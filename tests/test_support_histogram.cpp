@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "support/histogram.hpp"
+
+namespace viprof::support {
+namespace {
+
+TEST(Histogram, BucketsValues) {
+  Histogram h(0.0, 10.0, 5);  // [0,10) [10,20) ... [40,50)
+  h.add(5.0);
+  h.add(15.0);
+  h.add(15.5);
+  h.add(49.9);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(10.0, 5.0, 2);  // [10,15) [15,20)
+  h.add(9.9);
+  h.add(20.0);
+  h.add(12.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.5, 10);
+  h.add(2.5, 5);
+  EXPECT_EQ(h.bucket(0), 10u);
+  EXPECT_EQ(h.bucket(2), 5u);
+  EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  const double q25 = h.quantile(0.25);
+  const double q50 = h.quantile(0.50);
+  const double q90 = h.quantile(0.90);
+  EXPECT_LT(q25, q50);
+  EXPECT_LT(q50, q90);
+  EXPECT_NEAR(q50, 50.0, 2.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('2'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viprof::support

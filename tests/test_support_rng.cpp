@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace viprof::support {
+namespace {
+
+TEST(SplitMix64, DeterministicFromSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicFromSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowZeroReturnsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(77);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(31);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 20'000.0, 0.25, 0.02);
+}
+
+TEST(Xoshiro256, NormalMeanAndSpread) {
+  Xoshiro256 rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Xoshiro256, ZipfSkewsTowardLowRanks) {
+  Xoshiro256 rng(29);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  // Every rank reachable.
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Xoshiro256, ZipfBoundsRespected) {
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.zipf(7, 0.9), 7u);
+  EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+  EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+}
+
+TEST(Xoshiro256, ZipfZeroSkewIsUniformish) {
+  Xoshiro256 rng(43);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c / 40'000.0, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace viprof::support

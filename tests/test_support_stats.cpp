@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace viprof::support {
+namespace {
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stddev, Basic) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.001);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+// The paper's methodology: 10 runs, drop fastest and slowest, average 8.
+TEST(TrimmedMean, PaperMethodology) {
+  std::vector<double> runs = {10.0, 11.0, 10.5, 10.2, 10.8,
+                              10.1, 10.9, 10.3, 50.0, 1.0};
+  // Drops 1.0 and 50.0; averages the remaining 8.
+  const double expected =
+      (10.0 + 11.0 + 10.5 + 10.2 + 10.8 + 10.1 + 10.9 + 10.3) / 8.0;
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes(runs), expected);
+}
+
+TEST(TrimmedMean, OutliersDoNotShiftResult) {
+  std::vector<double> clean = {10.0, 10.0, 10.0, 10.0, 10.0};
+  std::vector<double> noisy = {10.0, 10.0, 10.0, 0.001, 9999.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes(clean), 10.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes(noisy), 10.0);
+}
+
+TEST(TrimmedMean, SmallSamplesFallBackToMean) {
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({}), 0.0);
+}
+
+TEST(TrimmedMean, ExactlyThreeKeepsMiddle) {
+  EXPECT_DOUBLE_EQ(trimmed_mean_drop_extremes({1.0, 100.0, 7.0}), 7.0);
+}
+
+TEST(Geomean, Basic) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Geomean, SlowdownRatios) {
+  // Geomean of slowdowns is scale-invariant: 1.05 and 1/1.05 cancel.
+  EXPECT_NEAR(geomean({1.05, 1.0 / 1.05}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace viprof::support

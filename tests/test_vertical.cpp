@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "jvm/vm.hpp"
+#include "vertical/vertical_profiler.hpp"
+#include "workloads/generator.hpp"
+
+namespace viprof::vertical {
+namespace {
+
+workloads::Workload workload(std::uint64_t ops = 2'000'000) {
+  workloads::GeneratorOptions opt;
+  opt.name = "vert";
+  opt.seed = 13;
+  opt.methods = 8;
+  opt.total_app_ops = ops;
+  opt.alloc_intensity = 0.5;
+  opt.nursery_bytes = 512 * 1024;
+  return workloads::make_synthetic(opt);
+}
+
+TEST(VerticalProfiler, RecordsInvocationsAndCompiles) {
+  os::Machine machine;
+  const workloads::Workload w = workload();
+  jvm::Vm vm(machine, w.vm);
+  VerticalProfiler profiler(machine);
+  vm.add_listener(&profiler);
+  vm.setup(w.program);
+  const jvm::RunStats stats = vm.run();
+  EXPECT_EQ(profiler.stats().invocations_recorded, stats.invocations);
+  EXPECT_GT(profiler.stats().compiles_recorded, 0u);
+  EXPECT_EQ(profiler.stats().gcs_recorded, stats.collections);
+}
+
+TEST(VerticalProfiler, ChargesOverhead) {
+  const workloads::Workload w = workload();
+  os::MachineConfig mcfg;
+  mcfg.seed = 7;
+
+  os::Machine base_machine(mcfg);
+  jvm::Vm base_vm(base_machine, w.vm);
+  base_vm.setup(w.program);
+  const hw::Cycles base = base_vm.run().cycles;
+
+  os::Machine prof_machine(mcfg);
+  jvm::Vm prof_vm(prof_machine, w.vm);
+  VerticalProfiler profiler(prof_machine);
+  prof_vm.add_listener(&profiler);
+  prof_vm.setup(w.program);
+  const hw::Cycles profiled = prof_vm.run().cycles;
+
+  EXPECT_GT(profiled, base);
+  EXPECT_GT(profiler.stats().cost_cycles, 0u);
+  // Rough band: instrumentation should cost whole percents, not 10x.
+  EXPECT_LT(static_cast<double>(profiled) / base, 1.5);
+}
+
+TEST(VerticalProfiler, WritesTraceToVfs) {
+  os::Machine machine;
+  const workloads::Workload w = workload();
+  jvm::Vm vm(machine, w.vm);
+  VerticalProfiler profiler(machine);
+  vm.add_listener(&profiler);
+  vm.setup(w.program);
+  vm.run();
+  const auto trace = machine.vfs().read("vertical/trace.log");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_NE(trace->find("C synthetic.vert"), std::string::npos);  // compile records
+  EXPECT_NE(trace->find("G "), std::string::npos);                // gc records
+}
+
+TEST(VerticalProfiler, ReportRanksMethodsByOps) {
+  os::Machine machine;
+  const workloads::Workload w = workload();
+  jvm::Vm vm(machine, w.vm);
+  VerticalProfiler profiler(machine);
+  vm.add_listener(&profiler);
+  vm.setup(w.program);
+  vm.run();
+  const std::string report = profiler.report(5);
+  EXPECT_NE(report.find("Ops %"), std::string::npos);
+  EXPECT_NE(report.find("synthetic.vert"), std::string::npos);
+}
+
+TEST(VerticalProfiler, NoOsVisibility) {
+  // Vertical profiling sees VM/app events only: its report never contains
+  // kernel or native-library names (the limitation the paper stresses).
+  os::Machine machine;
+  workloads::GeneratorOptions opt;
+  opt.name = "vertos";
+  opt.methods = 4;
+  opt.total_app_ops = 1'000'000;
+  opt.native_frac = 0.2;
+  opt.syscall_frac = 0.1;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+  jvm::Vm vm(machine, w.vm);
+  VerticalProfiler profiler(machine);
+  vm.add_listener(&profiler);
+  vm.setup(w.program);
+  vm.run();
+  const std::string report = profiler.report(100);
+  EXPECT_EQ(report.find("memset"), std::string::npos);
+  EXPECT_EQ(report.find("vmlinux"), std::string::npos);
+  EXPECT_EQ(report.find("sys_write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viprof::vertical

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/common.hpp"
+#include "workloads/dacapo.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/jvm98.hpp"
+#include "workloads/pseudojbb.hpp"
+
+namespace viprof::workloads {
+namespace {
+
+void check_well_formed(const Workload& w) {
+  SCOPED_TRACE(w.name);
+  ASSERT_FALSE(w.program.methods.empty());
+  for (std::size_t i = 0; i < w.program.methods.size(); ++i) {
+    const jvm::MethodInfo& m = w.program.methods[i];
+    EXPECT_EQ(m.id, i);  // dense ids, required by the VM
+    EXPECT_GT(m.bytecode_size, 0u);
+    EXPECT_GT(m.ops_per_invocation, 0u);
+    EXPECT_GT(m.weight, 0.0);
+    double outcalls = 0.0;
+    for (const auto& oc : m.outcalls) outcalls += oc.frac_ops;
+    EXPECT_LT(outcalls, 0.95);
+  }
+  EXPECT_GT(w.program.total_app_ops, 0u);
+  // Every native outcall target must exist in some declared library.
+  std::set<std::string> symbols;
+  for (const auto& lib : w.program.libraries)
+    for (const auto& s : lib.symbols) symbols.insert(lib.name + "/" + s.name);
+  for (const auto& m : w.program.methods) {
+    for (const auto& oc : m.outcalls) {
+      if (oc.kind == jvm::OutCall::Kind::kNative) {
+        EXPECT_TRUE(symbols.count(oc.library + "/" + oc.symbol))
+            << oc.library << "/" << oc.symbol;
+      }
+    }
+  }
+}
+
+TEST(Workloads, Figure2SuiteMatchesPaperOrder) {
+  const auto suite = figure2_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  const char* expected[] = {"pseudojbb", "JVM98", "antlr", "bloat", "fop",
+                            "hsqldb", "pmd", "xalan", "ps"};
+  for (std::size_t i = 0; i < suite.size(); ++i) EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(Workloads, AllSuiteWorkloadsWellFormed) {
+  for (const Workload& w : figure2_suite()) check_well_formed(w);
+}
+
+TEST(Workloads, PaperBaseSecondsMatchFigure3) {
+  const auto suite = figure2_suite();
+  EXPECT_DOUBLE_EQ(suite[0].paper_base_seconds, 31.0);   // pseudojbb
+  EXPECT_DOUBLE_EQ(suite[1].paper_base_seconds, 5.74);   // JVM98
+  EXPECT_DOUBLE_EQ(suite[2].paper_base_seconds, 8.7);    // antlr
+  EXPECT_DOUBLE_EQ(suite[3].paper_base_seconds, 28.5);   // bloat
+  EXPECT_DOUBLE_EQ(suite[4].paper_base_seconds, 3.2);    // fop
+  EXPECT_DOUBLE_EQ(suite[5].paper_base_seconds, 43.0);   // hsqldb
+  EXPECT_DOUBLE_EQ(suite[6].paper_base_seconds, 16.3);   // pmd
+  EXPECT_DOUBLE_EQ(suite[7].paper_base_seconds, 22.2);   // xalan
+}
+
+TEST(Workloads, PsCarriesFig1Symbols) {
+  const Workload ps = make_dacapo("ps");
+  bool parse_line = false;
+  for (const auto& m : ps.program.methods) {
+    if (m.qualified_name() ==
+        "edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine") {
+      parse_line = true;
+      EXPECT_FALSE(m.outcalls.empty());
+    }
+  }
+  EXPECT_TRUE(parse_line);
+  bool libfb = false, libxul_stripped = false;
+  for (const auto& lib : ps.program.libraries) {
+    if (lib.name == "libfb.so") libfb = true;
+    if (lib.name == "libxul.so.0d") libxul_stripped = lib.stripped;
+  }
+  EXPECT_TRUE(libfb);
+  EXPECT_TRUE(libxul_stripped);
+}
+
+TEST(Workloads, DacapoSizesScaleRunLength) {
+  const Workload small = make_dacapo("fop", DacapoSize::kSmall);
+  const Workload dflt = make_dacapo("fop", DacapoSize::kDefault);
+  const Workload large = make_dacapo("fop", DacapoSize::kLarge);
+  EXPECT_LT(small.program.total_app_ops, dflt.program.total_app_ops);
+  EXPECT_LT(dflt.program.total_app_ops, large.program.total_app_ops);
+  // Same program character (methods identical), different run length.
+  EXPECT_EQ(small.program.methods.size(), large.program.methods.size());
+  // Only the large input corresponds to a Fig. 3 row.
+  EXPECT_EQ(small.paper_base_seconds, 0.0);
+  EXPECT_GT(large.paper_base_seconds, 0.0);
+}
+
+TEST(Workloads, AntlrIsColdCodeHeavy) {
+  const Workload antlr = make_dacapo("antlr");
+  const Workload hsqldb = make_dacapo("hsqldb");
+  EXPECT_GT(antlr.program.methods.size(), 4 * hsqldb.program.methods.size());
+  EXPECT_LT(antlr.vm.heap.nursery_data_bytes, hsqldb.vm.heap.nursery_data_bytes);
+  EXPECT_GT(antlr.vm.heap.mature_age, hsqldb.vm.heap.mature_age);
+}
+
+TEST(Workloads, Jvm98HasAllSevenPackages) {
+  const Workload w = make_jvm98();
+  std::set<std::string> packages;
+  for (const auto& m : w.program.methods) {
+    packages.insert(m.klass.substr(0, m.klass.find(".benchmarks.") + 20));
+  }
+  std::set<std::string> distinct;
+  for (const auto& m : w.program.methods) {
+    const auto pos = m.klass.find('_');
+    if (pos != std::string::npos) distinct.insert(m.klass.substr(pos, 4));
+  }
+  EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(Workloads, PseudoJbbScalesWithTransactions) {
+  const Workload small = make_pseudojbb({3, 50'000});
+  const Workload large = make_pseudojbb({3, 200'000});
+  EXPECT_LT(small.program.total_app_ops, large.program.total_app_ops);
+  EXPECT_NEAR(static_cast<double>(large.program.total_app_ops) /
+                  static_cast<double>(small.program.total_app_ops),
+              4.0, 0.01);
+}
+
+TEST(Workloads, GeneratorHonoursOptions) {
+  GeneratorOptions opt;
+  opt.methods = 33;
+  opt.total_app_ops = 123'456;
+  opt.nursery_bytes = 1 << 20;
+  opt.mature_age = 7;
+  opt.native_frac = 0.1;
+  const Workload w = make_synthetic(opt);
+  EXPECT_EQ(w.program.methods.size(), 33u);
+  EXPECT_EQ(w.program.total_app_ops, 123'456u);
+  EXPECT_EQ(w.vm.heap.nursery_data_bytes, 1u << 20);
+  EXPECT_EQ(w.vm.heap.mature_age, 7u);
+  EXPECT_FALSE(w.program.methods.front().outcalls.empty());
+  check_well_formed(w);
+}
+
+TEST(Workloads, GeneratorDeterministicPerSeed) {
+  const Workload a = make_synthetic({.seed = 4}), b = make_synthetic({.seed = 4});
+  ASSERT_EQ(a.program.methods.size(), b.program.methods.size());
+  for (std::size_t i = 0; i < a.program.methods.size(); ++i) {
+    EXPECT_EQ(a.program.methods[i].qualified_name(),
+              b.program.methods[i].qualified_name());
+    EXPECT_EQ(a.program.methods[i].ops_per_invocation,
+              b.program.methods[i].ops_per_invocation);
+  }
+}
+
+TEST(Workloads, OpsForSecondsInvertsCalibration) {
+  EXPECT_EQ(ops_for_seconds(1.0, 2.0), static_cast<std::uint64_t>(kCyclesPerSecond / 2));
+  EXPECT_EQ(ops_for_seconds(10.0, 4.0),
+            static_cast<std::uint64_t>(10.0 * kCyclesPerSecond / 4));
+}
+
+TEST(Workloads, ZipfWeightsDecreasing) {
+  std::vector<jvm::MethodInfo> methods;
+  MethodPopulation pop;
+  pop.count = 10;
+  pop.zipf_s = 1.0;
+  append_methods(methods, pop);
+  for (std::size_t i = 1; i < methods.size(); ++i)
+    EXPECT_GT(methods[i - 1].weight, methods[i].weight);
+}
+
+}  // namespace
+}  // namespace viprof::workloads

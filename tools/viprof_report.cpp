@@ -1,0 +1,92 @@
+// viprof_report — offline post-processing over an exported session
+// directory (the opreport analogue). Works purely from files: the archive
+// manifest, RVM.map, the epoch code maps and the per-event sample logs.
+//
+//   viprof_report --in /tmp/session [--top 20] [--oprofile-view]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/annotate.hpp"
+#include "core/archive.hpp"
+#include "core/report.hpp"
+#include "core/sample_log.hpp"
+#include "os/vfs.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: viprof_report --in DIR [--top N] [--oprofile-view]\n"
+               "                     [--annotate IMAGE:SYMBOL]\n"
+               "  --oprofile-view resolves as stock OProfile would\n"
+               "  (anon ranges, opaque boot image) for comparison.\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace viprof;
+
+  std::string in_dir;
+  std::string annotate_target;
+  std::size_t top = 20;
+  bool vm_aware = true;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--in")) in_dir = need("--in");
+    else if (!std::strcmp(argv[i], "--top")) top = std::strtoull(need("--top"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--oprofile-view")) vm_aware = false;
+    else if (!std::strcmp(argv[i], "--annotate")) annotate_target = need("--annotate");
+    else usage();
+  }
+  if (in_dir.empty()) usage();
+
+  os::Vfs vfs;
+  vfs.import_from_directory(in_dir);
+  const core::ArchiveResolver resolver(vfs, "archive", vm_aware);
+
+  core::Profile profile;
+  const std::vector<hw::EventKind> events = {hw::EventKind::kGlobalPowerEvents,
+                                             hw::EventKind::kBsqCacheReference};
+  std::uint64_t total = 0;
+  for (hw::EventKind event : events) {
+    for (const core::LoggedSample& s :
+         core::SampleLogReader::read(vfs, "samples", event)) {
+      profile.add(event, resolver.resolve(s));
+      ++total;
+    }
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "no samples under %s/samples\n", in_dir.c_str());
+    return 1;
+  }
+
+  std::printf("%llu samples, %zu images, %zu processes (%s view)\n\n",
+              static_cast<unsigned long long>(total), resolver.image_count(),
+              resolver.process_count(), vm_aware ? "VIProf" : "stock OProfile");
+  std::printf("%s", profile.render(events, top).c_str());
+
+  if (!annotate_target.empty()) {
+    const auto colon = annotate_target.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--annotate wants IMAGE:SYMBOL\n");
+      return 2;
+    }
+    const auto samples =
+        core::SampleLogReader::read(vfs, "samples", hw::EventKind::kGlobalPowerEvents);
+    const core::Annotation ann = core::annotate(
+        samples, [&](const core::LoggedSample& s) { return resolver.resolve(s); },
+        annotate_target.substr(0, colon), annotate_target.substr(colon + 1));
+    std::printf("\n-- annotation (time samples) --\n%s", ann.render().c_str());
+  }
+  return 0;
+}

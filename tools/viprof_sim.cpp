@@ -1,0 +1,128 @@
+// viprof_sim — run a profiled workload and optionally export the session
+// for offline post-processing (the opcontrol/oparchive half of the tool
+// pair; see viprof_report for the opreport half).
+//
+//   viprof_sim --workload ps --mode viprof --period 90000 --top 15
+//   viprof_sim --workload pseudojbb --mode viprof --out /tmp/session
+//   viprof_report --in /tmp/session --top 20
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/viprof.hpp"
+#include "workloads/common.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace viprof;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: viprof_sim [--workload NAME] [--mode base|oprofile|viprof]\n"
+               "                  [--period CYCLES] [--top N] [--seed N]\n"
+               "                  [--callgraph] [--out DIR]\n"
+               "workloads: pseudojbb JVM98 antlr bloat fop hsqldb pmd xalan ps\n"
+               "           synthetic (default)\n");
+  std::exit(2);
+}
+
+workloads::Workload find_workload(const std::string& name) {
+  if (name == "synthetic") {
+    workloads::GeneratorOptions opt;
+    opt.name = "synthetic";
+    opt.total_app_ops = 30'000'000;
+    opt.nursery_bytes = 2ull << 20;
+    opt.native_frac = 0.08;
+    opt.syscall_frac = 0.04;
+    return workloads::make_synthetic(opt);
+  }
+  for (workloads::Workload& w : workloads::figure2_suite()) {
+    if (w.name == name) return w;
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "synthetic";
+  std::string mode_name = "viprof";
+  std::uint64_t period = 90'000;
+  std::size_t top = 15;
+  std::uint64_t seed = 0x2007;
+  bool callgraph = false;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) workload_name = need("--workload");
+    else if (!std::strcmp(argv[i], "--mode")) mode_name = need("--mode");
+    else if (!std::strcmp(argv[i], "--period")) period = std::strtoull(need("--period"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--top")) top = std::strtoull(need("--top"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--callgraph")) callgraph = true;
+    else if (!std::strcmp(argv[i], "--out")) out_dir = need("--out");
+    else usage();
+  }
+
+  core::ProfilingMode mode;
+  if (mode_name == "base") mode = core::ProfilingMode::kBase;
+  else if (mode_name == "oprofile") mode = core::ProfilingMode::kOprofile;
+  else if (mode_name == "viprof") mode = core::ProfilingMode::kViprof;
+  else usage(), mode = core::ProfilingMode::kBase;
+
+  const workloads::Workload w = find_workload(workload_name);
+
+  os::MachineConfig mcfg;
+  mcfg.seed = seed;
+  os::Machine machine(mcfg);
+  jvm::Vm vm(machine, w.vm);
+  core::SessionConfig config;
+  config.mode = mode;
+  config.counters = {
+      {hw::EventKind::kGlobalPowerEvents, period, true},
+      {hw::EventKind::kBsqCacheReference, std::max<std::uint64_t>(period / 64, 200), true},
+  };
+  core::ProfilingSession session(machine, vm, config);
+  session.attach();
+  vm.setup(w.program);
+  const core::SessionResult result = session.run();
+
+  std::printf("workload %s under %s: %.2f virtual s, %llu samples, %llu epochs\n",
+              w.name.c_str(), mode_name.c_str(),
+              static_cast<double>(result.cycles) / workloads::kCyclesPerSecond,
+              static_cast<unsigned long long>(result.nmi_count),
+              static_cast<unsigned long long>(result.vm.collections));
+
+  if (mode != core::ProfilingMode::kBase) {
+    std::printf("\n%s\n",
+                session
+                    .report_text({hw::EventKind::kGlobalPowerEvents,
+                                  hw::EventKind::kBsqCacheReference},
+                                 top)
+                    .c_str());
+    if (callgraph) {
+      std::printf("-- call graph --\n%s\n",
+                  session.build_callgraph(hw::EventKind::kGlobalPowerEvents)
+                      .render(top)
+                      .c_str());
+    }
+  }
+
+  if (!out_dir.empty()) {
+    session.export_archive();
+    machine.vfs().export_to_directory(out_dir);
+    std::printf("session exported to %s (post-process with viprof_report)\n",
+                out_dir.c_str());
+  }
+  return 0;
+}
