@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_viprof_sim "/root/repo/build/tools/viprof_sim" "--workload" "synthetic" "--mode" "viprof" "--top" "5" "--out" "/root/repo/build/tools/smoke_session")
+set_tests_properties(tool_viprof_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_viprof_report "/root/repo/build/tools/viprof_report" "--in" "/root/repo/build/tools/smoke_session" "--top" "5")
+set_tests_properties(tool_viprof_report PROPERTIES  DEPENDS "tool_viprof_sim" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
