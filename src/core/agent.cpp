@@ -70,6 +70,19 @@ hw::Cycles VmAgent::on_method_moved(const jvm::MethodInfo& method,
 
 hw::Cycles VmAgent::on_epoch_end(std::uint64_t epoch, bool final_epoch) {
   (void)final_epoch;
+  if (!dead_ && config_.fault != nullptr &&
+      config_.fault->should_kill(support::FaultComponent::kAgent,
+                                 machine_->cpu().now())) {
+    dead_ = true;
+  }
+  if (dead_) {
+    // The agent died: no map, no epoch marker. The daemon keeps logging
+    // with the last delivered epoch, and post-processing sends every
+    // sample of an epoch without a map to an explicit unresolved bin —
+    // degraded, counted, never misattributed.
+    ++stats_.killed_epochs;
+    return 0;
+  }
   return write_map(epoch);
 }
 
@@ -110,20 +123,59 @@ hw::Cycles VmAgent::write_map(std::uint64_t epoch) {
     file.entries.reserve(pending_.size());
     for (jvm::CodeId id : pending_) emit(id);
   }
-  machine_->vfs().write(CodeMapFile::path_for(config_.map_dir, pid_, epoch),
-                        file.serialize());
-
-  // Notify the daemon through the ordered sample stream: samples enqueued
-  // after this marker belong to the next epoch.
-  buffer_->push(Sample::epoch_marker(pid_, epoch, machine_->cpu().now()));
-
-  const hw::Cycles cost =
+  const std::string path = CodeMapFile::path_for(config_.map_dir, pid_, epoch);
+  const std::string blob = file.serialize();
+  hw::Cycles cost =
       config_.map_write_base +
       config_.map_write_per_entry * static_cast<hw::Cycles>(file.entries.size());
-  ++stats_.maps_written;
-  stats_.map_entries_written += file.entries.size();
+
+  os::IoStatus st = machine_->vfs().write(path, blob);
+  if (st == os::IoStatus::kIoError || st == os::IoStatus::kNoSpace) {
+    ++stats_.map_write_errors;
+    for (std::size_t attempt = 0; attempt < config_.map_write_retries &&
+                                  (st == os::IoStatus::kIoError ||
+                                   st == os::IoStatus::kNoSpace);
+         ++attempt) {
+      cost += config_.map_retry_cost;
+      ++stats_.map_write_retries;
+      st = machine_->vfs().write(path, blob);
+    }
+  }
+  switch (st) {
+    case os::IoStatus::kOk:
+      ++stats_.maps_written;
+      stats_.map_entries_written += file.entries.size();
+      break;
+    case os::IoStatus::kTorn:
+      // A prefix landed; the checksum trailer is gone, so the reader will
+      // mark the map truncated and salvage the verifiable entries.
+      ++stats_.maps_torn;
+      ++stats_.maps_written;
+      stats_.map_entries_written += file.entries.size();
+      break;
+    case os::IoStatus::kIoError:
+    case os::IoStatus::kNoSpace:
+      // The epoch closes without a map; its samples will land in the
+      // unresolved.missing_map bin. Counted here, never silent.
+      ++stats_.maps_dropped;
+      break;
+  }
+
+  // Notify the daemon through the ordered sample stream: samples enqueued
+  // after this marker belong to the next epoch. Sent even when the map
+  // write failed: advancing the epoch keeps later samples out of *older*
+  // maps (stale attribution); the lost map's own epoch degrades to an
+  // explicit unresolved bin instead.
+  buffer_->push(Sample::epoch_marker(pid_, epoch, machine_->cpu().now()));
+
   stats_.cost_cycles += cost;
 
+  if (st == os::IoStatus::kIoError || st == os::IoStatus::kNoSpace) {
+    // Keep the code buffer: the entries ride along into the next epoch's
+    // map, so the method bodies are not lost forever — only the dropped
+    // epoch itself degrades to unresolved.
+    return cost;
+  }
   pending_.clear();
   pending_set_.clear();
   return cost;

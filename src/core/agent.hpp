@@ -24,6 +24,7 @@
 #include "core/sample_buffer.hpp"
 #include "jvm/hooks.hpp"
 #include "os/machine.hpp"
+#include "support/fault.hpp"
 
 namespace viprof::core {
 
@@ -45,7 +46,16 @@ struct AgentConfig {
   hw::Cycles map_write_per_entry = 600;
   hw::Cycles registration_cost = 2'000;  // one-time VM registration
 
+  /// Failed map writes: bounded retries, each charged inside the epoch
+  /// boundary (the VM is already paused for GC, so retries must stay cheap
+  /// and bounded — instrumentation cost is bounded even on failure paths).
+  std::size_t map_write_retries = 2;
+  hw::Cycles map_retry_cost = 8'000;
+
   std::string map_dir = "jit_maps";
+
+  /// Optional fault injector; also consulted for scheduled agent kills.
+  support::FaultInjector* fault = nullptr;
 };
 
 struct AgentStats {
@@ -55,6 +65,13 @@ struct AgentStats {
   std::uint64_t maps_written = 0;
   std::uint64_t map_entries_written = 0;
   hw::Cycles cost_cycles = 0;
+
+  // Failure accounting.
+  std::uint64_t map_write_errors = 0;  // rejected writes (before any retry)
+  std::uint64_t map_write_retries = 0;
+  std::uint64_t maps_torn = 0;     // map landed torn (reader will salvage)
+  std::uint64_t maps_dropped = 0;  // all retries failed; epoch has no map
+  std::uint64_t killed_epochs = 0; // epoch boundaries after the agent died
 };
 
 class VmAgent : public jvm::VmEventListener {
@@ -73,6 +90,10 @@ class VmAgent : public jvm::VmEventListener {
   const AgentStats& stats() const { return stats_; }
   const AgentConfig& config() const { return config_; }
 
+  /// True once a scheduled kill fired: the library is gone from the VM
+  /// process — no further maps are written and no markers are enqueued.
+  bool killed() const { return dead_; }
+
  private:
   hw::Cycles write_map(std::uint64_t epoch);
 
@@ -84,6 +105,7 @@ class VmAgent : public jvm::VmEventListener {
 
   const jvm::Heap* heap_ = nullptr;
   hw::Pid pid_ = 0;
+  bool dead_ = false;
   hw::ExecContext context_{};  // inside libviprofagent.so
 
   // Code buffer: bodies compiled since the last map write, plus bodies the

@@ -9,8 +9,30 @@
 
 namespace viprof::core {
 
+namespace {
+
+// Parses one "addr size symbol" entry line; false on any malformation.
+bool parse_entry_line(const std::string& line, CodeMapEntry& entry) {
+  unsigned long long addr = 0;
+  unsigned long long size = 0;
+  char symbol[512];
+  char extra = 0;
+  if (std::sscanf(line.c_str(), "%llx %llu %511s %c", &addr, &size, symbol,
+                  &extra) != 3) {
+    return false;
+  }
+  entry.address = addr;
+  entry.size = size;
+  entry.symbol = symbol;
+  return true;
+}
+
+}  // namespace
+
 std::string CodeMapFile::serialize() const {
-  std::string out = "epoch " + std::to_string(epoch) + "\n";
+  std::string out = "epoch " + std::to_string(epoch) + " entries " +
+                    std::to_string(entries.size()) + "\n";
+  if (truncated) out += "truncated\n";
   for (const CodeMapEntry& e : entries) {
     out += support::hex(e.address);
     out += ' ';
@@ -19,32 +41,91 @@ std::string CodeMapFile::serialize() const {
     out += e.symbol;
     out += '\n';
   }
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "crc %08x\n", support::fnv1a(out));
+  out += trailer;
   return out;
 }
 
 std::optional<CodeMapFile> CodeMapFile::parse(const std::string& contents) {
-  std::istringstream in(contents);
-  std::string word;
-  CodeMapFile file;
-  if (!(in >> word) || word != "epoch") return std::nullopt;
-  if (!(in >> file.epoch)) return std::nullopt;
-  std::string line;
-  std::getline(in, line);  // consume rest of header line
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    CodeMapEntry e;
-    unsigned long long addr = 0;
-    unsigned long long size = 0;
-    char symbol[512];
-    if (std::sscanf(line.c_str(), "%llx %llu %511s", &addr, &size, symbol) != 3) {
-      return std::nullopt;
-    }
-    e.address = addr;
-    e.size = size;
-    e.symbol = symbol;
-    file.entries.push_back(std::move(e));
+  const Recovery r = salvage(contents, 0);
+  if (!r.intact && !(r.header_ok && r.file.truncated &&
+                     r.file.entries.size() == r.entries_expected)) {
+    // Strict parse accepts only fully verified files; a `truncated` marker
+    // written by fsck is fine as long as the file itself checks out.
+    return std::nullopt;
   }
-  return file;
+  return r.file;
+}
+
+CodeMapFile::Recovery CodeMapFile::salvage(const std::string& contents,
+                                           std::uint64_t epoch_hint) {
+  Recovery r;
+  r.file.epoch = epoch_hint;
+  r.file.truncated = true;  // until proven intact
+
+  std::istringstream in(contents);
+  std::string line;
+
+  // Header: "epoch N entries M".
+  if (!std::getline(in, line)) return r;
+  {
+    unsigned long long epoch = 0, expected = 0;
+    char extra = 0;
+    if (std::sscanf(line.c_str(), "epoch %llu entries %llu %c", &epoch, &expected,
+                    &extra) != 2) {
+      return r;  // header unreadable: epoch_hint stands, nothing salvageable
+    }
+    r.header_ok = true;
+    r.file.epoch = epoch;
+    r.entries_expected = expected;
+  }
+
+  bool marked_truncated = false;
+  bool saw_crc = false;
+  std::uint32_t crc_read = 0;
+  std::size_t crc_covers = 0;  // bytes of `contents` the trailer checksums
+
+  std::size_t consumed = line.size() + 1;
+  bool damaged = false;
+  while (std::getline(in, line)) {
+    if (in.eof()) {
+      // Unterminated final line: a tear mid-line can leave a prefix that
+      // still parses — e.g. a chopped symbol name — so nothing short of a
+      // newline-terminated line is trusted.
+      damaged = true;
+      break;
+    }
+    if (line == "truncated") {
+      marked_truncated = true;
+      consumed += line.size() + 1;
+      continue;
+    }
+    unsigned crc = 0;
+    char extra = 0;
+    if (std::sscanf(line.c_str(), "crc %8x %c", &crc, &extra) == 1) {
+      saw_crc = true;
+      crc_read = crc;
+      crc_covers = consumed;
+      consumed += line.size() + 1;
+      break;  // trailer is the last line; anything after it is damage
+    }
+    CodeMapEntry e;
+    if (!parse_entry_line(line, e)) {
+      damaged = true;
+      break;  // stop at the first bad entry: everything after is suspect
+    }
+    r.file.entries.push_back(std::move(e));
+    consumed += line.size() + 1;
+  }
+
+  const bool crc_ok =
+      saw_crc && crc_covers <= contents.size() &&
+      support::fnv1a(contents.data(), crc_covers) == crc_read;
+  r.intact = !damaged && crc_ok && r.file.entries.size() == r.entries_expected &&
+             consumed >= contents.size();
+  r.file.truncated = marked_truncated || !r.intact;
+  return r;
 }
 
 std::string CodeMapFile::path_for(const std::string& dir, hw::Pid pid,
@@ -56,26 +137,64 @@ std::string CodeMapFile::path_for(const std::string& dir, hw::Pid pid,
   return dir + buf;
 }
 
-void CodeMapIndex::load(const os::Vfs& vfs, const std::string& dir, hw::Pid pid) {
+std::optional<std::uint64_t> CodeMapFile::epoch_from_path(const std::string& path) {
+  const auto dot = path.rfind("map.");
+  if (dot == std::string::npos) return std::nullopt;
+  const std::string digits = path.substr(dot + 4);
+  if (digits.empty()) return std::nullopt;
+  unsigned long long epoch = 0;
+  char extra = 0;
+  if (std::sscanf(digits.c_str(), "%llu%c", &epoch, &extra) != 1) return std::nullopt;
+  return epoch;
+}
+
+CodeMapIndex::LoadStats CodeMapIndex::load(const os::Vfs& vfs, const std::string& dir,
+                                           hw::Pid pid) {
+  LoadStats stats;
   const std::string prefix = dir + "/" + std::to_string(pid) + "/map.";
   for (const std::string& path : vfs.list(prefix)) {
     const auto contents = vfs.read(path);
     VIPROF_CHECK(contents.has_value());
-    auto file = CodeMapFile::parse(*contents);
-    VIPROF_CHECK(file.has_value());
-    add(std::move(*file));
+    // The file name carries the epoch, so even a fully corrupt file still
+    // registers its epoch as truncated — the resolver must know the epoch
+    // existed and is unaccounted for.
+    const auto hint = CodeMapFile::epoch_from_path(path);
+    const CodeMapFile::Recovery r =
+        CodeMapFile::salvage(*contents, hint.value_or(0));
+    ++stats.maps_loaded;
+    if (r.file.truncated) {
+      ++stats.maps_truncated;
+      stats.entries_salvaged += r.file.entries.size();
+    } else {
+      ++stats.maps_intact;
+    }
+    stats.entries_loaded += r.file.entries.size();
+    add(r.file);
   }
+  return stats;
 }
 
 void CodeMapIndex::add(CodeMapFile file) {
-  auto& entries = maps_[file.epoch];
-  VIPROF_CHECK(entries.empty());  // one map per epoch
-  entries = std::move(file.entries);
-  std::sort(entries.begin(), entries.end(),
+  auto& map = maps_[file.epoch];
+  VIPROF_CHECK(map.entries.empty() && !map.truncated);  // one map per epoch
+  map.entries = std::move(file.entries);
+  map.truncated = file.truncated;
+  std::sort(map.entries.begin(), map.entries.end(),
             [](const CodeMapEntry& a, const CodeMapEntry& b) {
               return a.address < b.address;
             });
-  total_entries_ += entries.size();
+  total_entries_ += map.entries.size();
+  if (map.truncated) ++truncated_count_;
+}
+
+const CodeMapEntry* CodeMapIndex::find_in(const EpochMap& map, hw::Address pc) const {
+  auto e = std::upper_bound(map.entries.begin(), map.entries.end(), pc,
+                            [](hw::Address a, const CodeMapEntry& m) {
+                              return a < m.address;
+                            });
+  if (e == map.entries.begin()) return nullptr;
+  --e;
+  return e->contains(pc) ? &*e : nullptr;
 }
 
 std::optional<CodeMapIndex::Hit> CodeMapIndex::resolve(hw::Address pc,
@@ -86,19 +205,46 @@ std::optional<CodeMapIndex::Hit> CodeMapIndex::resolve(hw::Address pc,
   while (it != maps_.begin()) {
     --it;
     ++searched;
-    const auto& entries = it->second;
-    auto e = std::upper_bound(entries.begin(), entries.end(), pc,
-                              [](hw::Address a, const CodeMapEntry& m) {
-                                return a < m.address;
-                              });
-    if (e != entries.begin()) {
-      --e;
-      if (e->contains(pc)) {
-        return Hit{e->symbol, it->first, searched, e->address, e->size};
-      }
+    if (const CodeMapEntry* e = find_in(it->second, pc)) {
+      return Hit{e->symbol, it->first, searched, e->address, e->size};
     }
   }
   return std::nullopt;
+}
+
+CodeMapIndex::Lookup CodeMapIndex::lookup(hw::Address pc, std::uint64_t epoch) const {
+  Lookup out;
+  if (maps_.empty()) {
+    out.miss = JitLookupMiss::kNoMaps;
+    return out;
+  }
+  std::uint32_t searched = 0;
+  for (std::uint64_t e = epoch;; --e) {
+    auto it = maps_.find(e);
+    if (it == maps_.end()) {
+      // This epoch's map was lost. Some method may have been compiled or
+      // moved here; falling through to an older map could resurrect a
+      // stale placement, so the sample is explicitly unresolvable.
+      out.miss = JitLookupMiss::kMissingEpochMap;
+      return out;
+    }
+    ++searched;
+    if (const CodeMapEntry* entry = find_in(it->second, pc)) {
+      // A salvaged entry carries a verified checksum, so a hit is a hit
+      // even inside a truncated map.
+      out.hit = Hit{entry->symbol, e, searched, entry->address, entry->size};
+      return out;
+    }
+    if (it->second.truncated) {
+      // Absence from a truncated map proves nothing — the entry covering
+      // `pc` may be among the lost lines.
+      out.miss = JitLookupMiss::kTruncatedMap;
+      return out;
+    }
+    if (e == 0) break;
+  }
+  out.miss = JitLookupMiss::kNotFound;
+  return out;
 }
 
 std::uint64_t CodeMapIndex::max_epoch() const {

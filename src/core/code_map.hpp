@@ -7,6 +7,14 @@
 // maps until it finds the first map containing an address range that covers
 // the PC — guaranteeing attribution to "the most recently compiled — or
 // moved — method to occupy that address space".
+//
+// Crash consistency: the file format carries an entry count in the header
+// and an FNV-1a checksum trailer. A map that lost its tail (the VM died
+// mid-write, the disk tore the page) is detected, a verified prefix of its
+// entries is salvaged, and the map is marked *truncated*. The backward
+// search refuses to step past a missing or truncated map it cannot decide
+// on — such samples become explicit `unresolved.*` outcomes instead of
+// being silently attributed to a stale neighbour.
 #pragma once
 
 #include <cstdint>
@@ -31,20 +39,72 @@ struct CodeMapEntry {
 /// One epoch's map: serialisation to/from the VFS file format.
 struct CodeMapFile {
   std::uint64_t epoch = 0;
+  /// Known-incomplete map: a salvaged prefix of a damaged file (set by
+  /// salvage(), preserved across re-serialisation so a recovered tree
+  /// stays honest about what it lost).
+  bool truncated = false;
   std::vector<CodeMapEntry> entries;
 
   std::string serialize() const;
+
+  /// Strict parse: header, declared entry count and checksum trailer must
+  /// all verify. nullopt on any damage (use salvage() to recover).
   static std::optional<CodeMapFile> parse(const std::string& contents);
+
+  /// Tolerant parse for damaged files: recovers the longest verifiable
+  /// prefix of entries. `epoch_hint` (from the file name) is used when the
+  /// header itself is unreadable. (Defined after the class: it embeds one.)
+  struct Recovery;
+  static Recovery salvage(const std::string& contents, std::uint64_t epoch_hint);
 
   /// Conventional path for the map of `epoch` under `dir`.
   static std::string path_for(const std::string& dir, hw::Pid pid, std::uint64_t epoch);
+
+  /// Epoch encoded in a path_for-style file name, or nullopt.
+  static std::optional<std::uint64_t> epoch_from_path(const std::string& path);
 };
+
+struct CodeMapFile::Recovery {
+  bool intact = false;     // full parse with matching count and checksum
+  bool header_ok = false;  // the epoch header line was readable
+  std::uint64_t entries_expected = 0;  // from the header; 0 if unreadable
+  CodeMapFile file;                    // truncated flag set when !intact
+};
+
+/// Why a strict JIT lookup produced no symbol.
+enum class JitLookupMiss : std::uint8_t {
+  kNone,            // hit
+  kNoMaps,          // no maps loaded at all
+  kNotFound,        // every map down to epoch 0 intact, pc in none of them
+  kMissingEpochMap, // an epoch on the search path has no map (lost write)
+  kTruncatedMap,    // an epoch on the search path has only a salvaged prefix
+};
+
+inline const char* to_string(JitLookupMiss m) {
+  switch (m) {
+    case JitLookupMiss::kNone:            return "hit";
+    case JitLookupMiss::kNoMaps:          return "no-maps";
+    case JitLookupMiss::kNotFound:        return "not-found";
+    case JitLookupMiss::kMissingEpochMap: return "missing-map";
+    case JitLookupMiss::kTruncatedMap:    return "truncated-map";
+  }
+  return "?";
+}
 
 /// The post-processing index over all epoch maps of one VM.
 class CodeMapIndex {
  public:
-  /// Loads every map file under `dir` for `pid` from the VFS.
-  void load(const os::Vfs& vfs, const std::string& dir, hw::Pid pid);
+  struct LoadStats {
+    std::uint64_t maps_loaded = 0;     // files found (intact or salvaged)
+    std::uint64_t maps_intact = 0;
+    std::uint64_t maps_truncated = 0;  // damaged: prefix salvaged
+    std::uint64_t entries_loaded = 0;
+    std::uint64_t entries_salvaged = 0;  // entries recovered from damaged maps
+  };
+
+  /// Loads every map file under `dir` for `pid` from the VFS, salvaging
+  /// damaged files instead of aborting on them.
+  LoadStats load(const os::Vfs& vfs, const std::string& dir, hw::Pid pid);
 
   /// Adds one parsed map (tests construct indices directly).
   void add(CodeMapFile file);
@@ -57,19 +117,46 @@ class CodeMapIndex {
     std::uint64_t size = 0;
   };
 
-  /// Backward search from `epoch` down to 0.
+  /// Backward search from `epoch` down to 0 over whatever maps exist;
+  /// ignores gaps and truncation. This is the paper's original algorithm —
+  /// post-processing uses lookup() below, which refuses to guess.
   std::optional<Hit> resolve(hw::Address pc, std::uint64_t epoch) const;
+
+  /// Crash-aware backward search: walks epochs `epoch`, `epoch`-1, ... 0
+  /// contiguously. A missing or truncated map that does not contain `pc`
+  /// stops the walk with an explicit miss reason, because an older map
+  /// could attribute the sample to a method that had since been recompiled
+  /// or moved — the one lie VIProf must never tell.
+  struct Lookup {
+    std::optional<Hit> hit;
+    JitLookupMiss miss = JitLookupMiss::kNone;
+  };
+  Lookup lookup(hw::Address pc, std::uint64_t epoch) const;
+
+  /// True if `epoch` has a loaded map that is marked truncated.
+  bool epoch_truncated(std::uint64_t epoch) const {
+    auto it = maps_.find(epoch);
+    return it != maps_.end() && it->second.truncated;
+  }
 
   std::size_t map_count() const { return maps_.size(); }
   std::uint64_t total_entries() const { return total_entries_; }
+  std::uint64_t truncated_count() const { return truncated_count_; }
 
   /// Highest epoch with a loaded map.
   std::uint64_t max_epoch() const;
 
  private:
-  // epoch -> address-sorted entries.
-  std::map<std::uint64_t, std::vector<CodeMapEntry>> maps_;
+  struct EpochMap {
+    std::vector<CodeMapEntry> entries;  // address-sorted
+    bool truncated = false;
+  };
+
+  const CodeMapEntry* find_in(const EpochMap& map, hw::Address pc) const;
+
+  std::map<std::uint64_t, EpochMap> maps_;
   std::uint64_t total_entries_ = 0;
+  std::uint64_t truncated_count_ = 0;
 };
 
 }  // namespace viprof::core

@@ -26,9 +26,16 @@ Daemon::Daemon(os::Machine& machine, SampleBuffer& buffer, const RegistrationTab
   pattern_.stride = 64;
   pattern_.random_frac = 0.2;
   pattern_.accesses_per_op = 0.5;
+  log_.set_spill_capacity(config_.spill_capacity_bytes);
 }
 
 std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
+  if (!dead_ && config_.fault != nullptr &&
+      config_.fault->should_kill(support::FaultComponent::kDaemon, now)) {
+    crash(now);
+  }
+  if (dead_) return std::nullopt;
+
   const std::size_t backlog = buffer_->size();
   if (backlog == 0) return std::nullopt;
   const bool period_hit = now - last_drain_ >= config_.drain_period;
@@ -43,7 +50,7 @@ std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
     cost += process(*sample);
     ++processed;
   }
-  log_.flush();
+  cost += flush_logs();
   if (buffer_->empty()) last_drain_ = now;
   stats_.cost_cycles += cost;
 
@@ -55,9 +62,48 @@ std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
   return chunk;
 }
 
+hw::Cycles Daemon::flush_logs() {
+  LogFlushResult res = log_.flush();
+  stats_.flush_write_errors += res.write_errors;
+  stats_.flush_torn_writes += res.torn_writes;
+  stats_.spill_dropped_records += res.records_dropped;
+
+  hw::Cycles retry_cost = 0;
+  hw::Cycles backoff = config_.flush_retry_cost;
+  for (std::size_t attempt = 0; !res.fully_flushed && attempt < config_.flush_retries;
+       ++attempt) {
+    // The daemon sleeps out the backoff and re-issues the write; both the
+    // wait and the rewrite are charged as daemon time.
+    retry_cost += backoff;
+    backoff *= 2;
+    ++stats_.flush_retries;
+    res = log_.flush();
+    stats_.flush_write_errors += res.write_errors;
+    stats_.flush_torn_writes += res.torn_writes;
+    stats_.spill_dropped_records += res.records_dropped;
+  }
+  return retry_cost;
+}
+
 void Daemon::final_flush() {
+  if (dead_) return;  // a crashed daemon drains nothing
   while (const auto sample = buffer_->pop()) process(*sample);
-  log_.flush();
+  flush_logs();
+}
+
+void Daemon::crash(hw::Cycles now) {
+  if (dead_) return;
+  dead_ = true;
+  ++stats_.crashes;
+  stats_.crash_lost_records += log_.discard_pending();
+  last_drain_ = now;
+}
+
+void Daemon::restart(hw::Cycles now) {
+  if (!dead_) return;
+  dead_ = false;
+  ++stats_.restarts;
+  last_drain_ = now;
 }
 
 hw::Cycles Daemon::process(const Sample& sample) {

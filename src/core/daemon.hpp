@@ -24,6 +24,7 @@
 #include "core/sample_log.hpp"
 #include "os/machine.hpp"
 #include "os/service.hpp"
+#include "support/fault.hpp"
 
 namespace viprof::core {
 
@@ -40,8 +41,17 @@ struct DaemonConfig {
   hw::Cycles drain_period = 3'000'000;   // ... or at this interval (buffer watershed)
   std::size_t batch = 128;               // samples per scheduling chunk
 
+  /// Failed log writes: immediate in-chunk retries, exponential cost.
+  std::size_t flush_retries = 3;
+  hw::Cycles flush_retry_cost = 60'000;  // first retry; doubles per attempt
+  /// Bound on the in-memory spill buffer holding unflushable batches.
+  std::size_t spill_capacity_bytes = 256 * 1024;
+
   /// false = stock OProfile daemon (no registration table consulted).
   bool vm_aware = true;
+
+  /// Optional fault injector; also consulted for scheduled daemon kills.
+  support::FaultInjector* fault = nullptr;
 };
 
 struct DaemonStats {
@@ -54,6 +64,15 @@ struct DaemonStats {
   std::uint64_t epoch_markers = 0;
   std::uint64_t wakeups = 0;
   hw::Cycles cost_cycles = 0;
+
+  // Failure accounting: every lost record is counted somewhere below.
+  std::uint64_t flush_write_errors = 0;   // rejected appends (batch spilled)
+  std::uint64_t flush_torn_writes = 0;    // appends that landed torn
+  std::uint64_t flush_retries = 0;        // in-chunk retry attempts
+  std::uint64_t spill_dropped_records = 0;  // spill overflow drops
+  std::uint64_t crash_lost_records = 0;   // pending records lost to a crash
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
 };
 
 class Daemon : public os::BackgroundService {
@@ -65,8 +84,21 @@ class Daemon : public os::BackgroundService {
   std::optional<os::WorkChunk> next_work(hw::Cycles now) override;
 
   /// End-of-session drain of everything left in the buffer (the daemon
-  /// outlives the benchmark; this work is not part of measured time).
+  /// outlives the benchmark; this work is not part of measured time). A
+  /// crashed daemon does nothing here — its backlog stays in the buffer,
+  /// visible to the session as `samples_left_in_buffer`.
   void final_flush();
+
+  /// Simulated SIGKILL: unflushed batches are lost (counted), and the
+  /// daemon stops draining until restart(). Idempotent.
+  void crash(hw::Cycles now);
+
+  /// Brings a crashed daemon back (a fresh oprofiled process attaching to
+  /// the same buffer and sample tree). Sequence numbers continue from the
+  /// pre-crash namespace, so readers see the crash loss as a sequence gap.
+  void restart(hw::Cycles now);
+
+  bool killed() const { return dead_; }
 
   const DaemonStats& stats() const { return stats_; }
   const std::string& sample_dir() const { return config_.sample_dir; }
@@ -81,6 +113,10 @@ class Daemon : public os::BackgroundService {
   /// Classifies + logs one record; returns its processing cost.
   hw::Cycles process(const Sample& sample);
 
+  /// flush() with bounded retry-with-backoff; returns the cycles charged
+  /// for retries and accumulates failure stats.
+  hw::Cycles flush_logs();
+
   os::Machine* machine_;
   SampleBuffer* buffer_;
   const RegistrationTable* table_;
@@ -89,6 +125,7 @@ class Daemon : public os::BackgroundService {
   SampleLogWriter log_;
   std::unordered_map<hw::Pid, std::uint64_t> epoch_by_pid_;
   hw::Cycles last_drain_ = 0;
+  bool dead_ = false;
   hw::ExecContext context_{};   // oprofiled's code
   hw::AccessPattern pattern_{}; // oprofiled's data behaviour
 };

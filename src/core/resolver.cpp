@@ -144,19 +144,33 @@ Resolution Resolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
           out.domain = SampleDomain::kJit;
           out.image = "JIT.App";
           auto jm = jit_maps_.find(reg->pid);
-          if (jm != jit_maps_.end()) {
-            if (const auto hit = jm->second.resolve(pc, epoch)) {
-              out.symbol = hit->symbol;
-              out.maps_searched = hit->maps_searched;
-              out.symbol_base = hit->address;
-              out.symbol_size = hit->size;
-              backward_steps_ += hit->maps_searched;
-              ++jit_resolved_;
-              return out;
-            }
+          const CodeMapIndex::Lookup lk =
+              jm != jit_maps_.end() ? jm->second.lookup(pc, epoch)
+                                    : CodeMapIndex::Lookup{std::nullopt,
+                                                           JitLookupMiss::kNoMaps};
+          if (lk.hit) {
+            out.symbol = lk.hit->symbol;
+            out.maps_searched = lk.hit->maps_searched;
+            out.symbol_base = lk.hit->address;
+            out.symbol_size = lk.hit->size;
+            backward_steps_ += lk.hit->maps_searched;
+            ++jit_resolved_;
+            return out;
           }
           ++jit_unresolved_;
-          out.symbol = "(unknown JIT code)";
+          switch (lk.miss) {
+            case JitLookupMiss::kMissingEpochMap:
+              ++unresolved_missing_map_;
+              out.symbol = kUnresolvedMissingMap;
+              break;
+            case JitLookupMiss::kTruncatedMap:
+              ++unresolved_truncated_map_;
+              out.symbol = kUnresolvedTruncatedMap;
+              break;
+            default:
+              out.symbol = kUnknownJit;
+              break;
+          }
           return out;
         }
       }

@@ -78,6 +78,12 @@ class Resolver {
   std::uint64_t jit_unresolved() const { return jit_unresolved_; }
   std::uint64_t backward_steps() const { return backward_steps_; }
 
+  /// Degradation accounting: JIT samples whose epoch map was lost or
+  /// salvaged-incomplete. These land in the `unresolved.missing_map` /
+  /// `unresolved.truncated_map` bins — counted, never misattributed.
+  std::uint64_t unresolved_missing_map() const { return unresolved_missing_map_; }
+  std::uint64_t unresolved_truncated_map() const { return unresolved_truncated_map_; }
+
  private:
   const os::Machine* machine_;
   const RegistrationTable* table_;
@@ -93,6 +99,15 @@ class Resolver {
   mutable std::uint64_t jit_resolved_ = 0;
   mutable std::uint64_t jit_unresolved_ = 0;
   mutable std::uint64_t backward_steps_ = 0;
+  mutable std::uint64_t unresolved_missing_map_ = 0;
+  mutable std::uint64_t unresolved_truncated_map_ = 0;
 };
+
+/// Symbol names of the explicit degradation bins. A sample is *never*
+/// silently attributed to a neighbouring method when its epoch map is
+/// damaged; it lands in one of these instead.
+inline constexpr const char* kUnresolvedMissingMap = "unresolved.missing_map";
+inline constexpr const char* kUnresolvedTruncatedMap = "unresolved.truncated_map";
+inline constexpr const char* kUnknownJit = "(unknown JIT code)";
 
 }  // namespace viprof::core

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/format.hpp"
+
 namespace viprof::core {
 
 std::string SampleLogWriter::path_for(const std::string& dir, hw::EventKind event) {
@@ -9,48 +11,156 @@ std::string SampleLogWriter::path_for(const std::string& dir, hw::EventKind even
 }
 
 void SampleLogWriter::append(hw::EventKind event, const LoggedSample& s) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "%llx %llx %c %u %llu %llu\n",
-                static_cast<unsigned long long>(s.pc),
-                static_cast<unsigned long long>(s.caller_pc),
-                s.mode == hw::CpuMode::kKernel
-                    ? 'k'
-                    : (s.mode == hw::CpuMode::kHypervisor ? 'h' : 'u'),
-                s.pid,
-                static_cast<unsigned long long>(s.epoch),
-                static_cast<unsigned long long>(s.cycle));
-  pending_[hw::event_index(event)] += buf;
-  ++written_[hw::event_index(event)];
+  const std::size_t i = hw::event_index(event);
+  char buf[192];
+  const int body = std::snprintf(
+      buf, sizeof buf, "%llu %llx %llx %c %u %llu %llu",
+      static_cast<unsigned long long>(next_seq_[i]++),
+      static_cast<unsigned long long>(s.pc),
+      static_cast<unsigned long long>(s.caller_pc),
+      s.mode == hw::CpuMode::kKernel
+          ? 'k'
+          : (s.mode == hw::CpuMode::kHypervisor ? 'h' : 'u'),
+      s.pid,
+      static_cast<unsigned long long>(s.epoch),
+      static_cast<unsigned long long>(s.cycle));
+  const std::uint32_t crc = support::fnv1a(buf, static_cast<std::size_t>(body));
+  std::snprintf(buf + body, sizeof buf - static_cast<std::size_t>(body), " %08x\n",
+                crc);
+  pending_[i] += buf;
+  ++pending_records_[i];
+  ++written_[i];
 }
 
-void SampleLogWriter::flush() {
+LogFlushResult SampleLogWriter::flush() {
+  LogFlushResult result;
   for (std::size_t i = 0; i < hw::kEventKindCount; ++i) {
     if (pending_[i].empty()) continue;
-    vfs_->append(path_for(dir_, static_cast<hw::EventKind>(i)), pending_[i]);
-    pending_[i].clear();
+    const os::IoStatus status =
+        vfs_->append(path_for(dir_, static_cast<hw::EventKind>(i)), pending_[i]);
+    switch (status) {
+      case os::IoStatus::kOk:
+        pending_[i].clear();
+        pending_records_[i] = 0;
+        break;
+      case os::IoStatus::kTorn:
+        // A prefix landed; the writer (like a real daemon after a crashed
+        // write) believes the batch is out. The reader's framing detects
+        // and salvages around the tear.
+        ++result.torn_writes;
+        pending_[i].clear();
+        pending_records_[i] = 0;
+        break;
+      case os::IoStatus::kIoError:
+      case os::IoStatus::kNoSpace: {
+        // Spill: keep the batch for a later retry, bounded. Drop whole
+        // oldest records (never partial lines) beyond the bound so the
+        // spill itself can never produce a torn record.
+        ++result.write_errors;
+        result.fully_flushed = false;
+        while (pending_[i].size() > spill_capacity_ && pending_records_[i] > 0) {
+          const std::size_t nl = pending_[i].find('\n');
+          const std::size_t cut = nl == std::string::npos ? pending_[i].size() : nl + 1;
+          result.bytes_dropped += cut;
+          pending_[i].erase(0, cut);
+          --pending_records_[i];
+          ++result.records_dropped;
+          ++spill_dropped_;
+        }
+        break;
+      }
+    }
   }
+  return result;
+}
+
+std::uint64_t SampleLogWriter::discard_pending() {
+  std::uint64_t lost = 0;
+  for (std::size_t i = 0; i < hw::kEventKindCount; ++i) {
+    lost += pending_records_[i];
+    pending_[i].clear();
+    pending_records_[i] = 0;
+  }
+  return lost;
+}
+
+std::size_t SampleLogWriter::pending_bytes() const {
+  std::size_t total = 0;
+  for (const std::string& p : pending_) total += p.size();
+  return total;
 }
 
 std::vector<LoggedSample> SampleLogReader::read(const os::Vfs& vfs,
                                                 const std::string& dir,
                                                 hw::EventKind event) {
+  SampleLogReadStatus status;
+  return read_checked(vfs, dir, event, status);
+}
+
+std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
+                                                        const std::string& dir,
+                                                        hw::EventKind event,
+                                                        SampleLogReadStatus& status) {
+  status = SampleLogReadStatus{};
   std::vector<LoggedSample> out;
   const auto contents = vfs.read(SampleLogWriter::path_for(dir, event));
-  if (!contents) return out;
-  const char* p = contents->c_str();
-  while (*p) {
-    LoggedSample s;
-    unsigned long long pc = 0;
-    unsigned long long caller = 0;
+  if (!contents) {
+    status.missing = true;
+    return out;
+  }
+
+  std::uint64_t next_expected = 0;
+  std::size_t pos = 0;
+  const std::string& text = *contents;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    const bool unterminated = nl == std::string::npos;
+    if (unterminated) nl = text.size();
+    const std::size_t len = nl - pos;
+
+    // Verify the frame: "<seq> <pc> <caller> <mode> <pid> <epoch> <cycle> <crc>"
+    // where <crc> is FNV-1a over everything before its separating space.
+    bool ok = !unterminated && len >= 10;
+    unsigned long long seq = 0, pc = 0, caller = 0, epoch = 0, cycle = 0;
+    unsigned pid = 0, crc_read = 0;
     char mode = 'u';
-    unsigned pid = 0;
-    unsigned long long epoch = 0;
-    unsigned long long cycle = 0;
-    int consumed = 0;
-    if (std::sscanf(p, "%llx %llx %c %u %llu %llu\n%n", &pc, &caller, &mode, &pid,
-                    &epoch, &cycle, &consumed) != 6) {
-      break;
+    if (ok) {
+      const std::size_t last_space = text.rfind(' ', nl - 1);
+      ok = last_space != std::string::npos && last_space > pos &&
+           nl - last_space - 1 == 8;
+      if (ok) {
+        const std::string body = text.substr(pos, last_space - pos);
+        char extra = 0;
+        ok = std::sscanf(body.c_str(), "%llu %llx %llx %c %u %llu %llu %c", &seq,
+                         &pc, &caller, &mode, &pid, &epoch, &cycle, &extra) == 7 &&
+             std::sscanf(text.c_str() + last_space + 1, "%8x", &crc_read) == 1 &&
+             support::fnv1a(body) == crc_read;
+      }
     }
+
+    if (!ok) {
+      // Torn or overwritten bytes: resynchronise at the next newline. The
+      // checksum makes accepting a *wrong* record vanishingly unlikely, so
+      // skipping is safe — the damage is counted, never mis-parsed.
+      status.corrupt = true;
+      ++status.discarded_lines;
+      status.discarded_bytes += len + (unterminated ? 0 : 1);
+      pos = nl + (unterminated ? 0 : 1);
+      if (unterminated) break;
+      continue;
+    }
+
+    if (seq < next_expected) {
+      // A replayed batch that had partially landed: drop the duplicate.
+      ++status.duplicate_records;
+      pos = nl + 1;
+      continue;
+    }
+    if (seq > next_expected) status.missing_records += seq - next_expected;
+    next_expected = seq + 1;
+    status.max_seq = seq;
+
+    LoggedSample s;
     s.pc = pc;
     s.caller_pc = caller;
     s.mode = mode == 'k' ? hw::CpuMode::kKernel
@@ -60,8 +170,11 @@ std::vector<LoggedSample> SampleLogReader::read(const os::Vfs& vfs,
     s.epoch = epoch;
     s.cycle = cycle;
     out.push_back(s);
-    p += consumed;
+    ++status.valid;
+    pos = nl + 1;
   }
+
+  if (status.corrupt) status.salvaged = status.valid;
   return out;
 }
 

@@ -5,6 +5,14 @@
 // select the right code map; everything else (image, symbol) is resolved
 // offline — the paper's "delay most of the work to the offline profile
 // analysis stage" design.
+//
+// Crash-consistent framing: every record carries a per-file sequence number
+// and an FNV-1a checksum. A reader never trusts a line it cannot verify —
+// torn or corrupted regions are skipped and *counted* (salvage), sequence
+// gaps reveal records that were dropped or lost in a crash, and duplicate
+// sequence numbers (a re-tried batch that half-landed) are discarded. The
+// writer keeps failed batches in a bounded in-memory spill buffer so a
+// transient write error loses nothing; overflow drops are counted too.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,15 @@ struct LoggedSample {
   std::uint64_t cycle = 0;
 };
 
+/// Outcome of one flush() call over all per-event files.
+struct LogFlushResult {
+  std::uint64_t write_errors = 0;     // appends rejected (batch retained)
+  std::uint64_t torn_writes = 0;      // appends that landed torn
+  std::uint64_t records_dropped = 0;  // spill-buffer overflow drops
+  std::uint64_t bytes_dropped = 0;
+  bool fully_flushed = true;          // false while a batch is spilled
+};
+
 class SampleLogWriter {
  public:
   SampleLogWriter(os::Vfs& vfs, std::string dir) : vfs_(&vfs), dir_(std::move(dir)) {}
@@ -33,11 +50,28 @@ class SampleLogWriter {
   void append(hw::EventKind event, const LoggedSample& sample);
 
   /// Writes buffered lines out to the VFS (daemon does this per drain).
-  void flush();
+  /// Batches whose append fails are retained in the spill buffer, bounded
+  /// by `spill_capacity_bytes`; the oldest records are dropped (and
+  /// counted) on overflow. Safe to call again to retry a spilled batch.
+  LogFlushResult flush();
+
+  /// Crash: the in-memory spill/pending buffer is lost. Returns the number
+  /// of records discarded; their sequence numbers stay consumed, so readers
+  /// see the loss as a sequence gap.
+  std::uint64_t discard_pending();
+
+  /// Bytes currently buffered (pending + spilled) across all events.
+  std::size_t pending_bytes() const;
+
+  /// Spill-buffer bound; flush() drops the oldest records beyond it.
+  void set_spill_capacity(std::size_t bytes) { spill_capacity_ = bytes; }
 
   std::uint64_t written(hw::EventKind event) const {
     return written_[hw::event_index(event)];
   }
+
+  /// Records dropped from the spill buffer so far (all events).
+  std::uint64_t spill_dropped() const { return spill_dropped_; }
 
   static std::string path_for(const std::string& dir, hw::EventKind event);
 
@@ -45,14 +79,43 @@ class SampleLogWriter {
   os::Vfs* vfs_;
   std::string dir_;
   std::string pending_[hw::kEventKindCount];
+  std::uint64_t pending_records_[hw::kEventKindCount] = {};
+  std::uint64_t next_seq_[hw::kEventKindCount] = {};
   std::uint64_t written_[hw::kEventKindCount] = {};
+  std::uint64_t spill_dropped_ = 0;
+  std::size_t spill_capacity_ = 256 * 1024;
+};
+
+/// What the reader found in one sample file. `missing`, "empty" (valid == 0
+/// with neither missing nor corrupt) and `corrupt` are distinct outcomes.
+struct SampleLogReadStatus {
+  bool missing = false;   // file does not exist
+  bool corrupt = false;   // framing damage found (torn/overwritten bytes)
+  std::uint64_t valid = 0;              // records returned to the caller
+  std::uint64_t salvaged = 0;           // valid records from a damaged file
+  std::uint64_t discarded_lines = 0;    // unparseable / checksum-mismatch lines
+  std::uint64_t discarded_bytes = 0;
+  std::uint64_t duplicate_records = 0;  // sequence numbers seen twice
+  std::uint64_t missing_records = 0;    // inferred from sequence gaps
+  std::uint64_t max_seq = 0;            // highest verified sequence number
+
+  bool empty() const { return !missing && !corrupt && valid == 0; }
+  bool clean() const { return !missing && !corrupt; }
 };
 
 class SampleLogReader {
  public:
-  /// All samples of `event` under `dir`; empty if the file does not exist.
+  /// All verifiable samples of `event` under `dir`; empty if the file does
+  /// not exist. Convenience wrapper over read_checked.
   static std::vector<LoggedSample> read(const os::Vfs& vfs, const std::string& dir,
                                         hw::EventKind event);
+
+  /// Salvaging read: verifies framing record by record, skips (and counts)
+  /// damage, and reports exactly what was recovered, lost and discarded.
+  static std::vector<LoggedSample> read_checked(const os::Vfs& vfs,
+                                                const std::string& dir,
+                                                hw::EventKind event,
+                                                SampleLogReadStatus& status);
 };
 
 }  // namespace viprof::core

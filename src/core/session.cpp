@@ -10,13 +10,20 @@ ProfilingSession::ProfilingSession(os::Machine& machine, jvm::Vm& vm,
     : machine_(&machine), vm_(&vm), config_(config) {}
 
 ProfilingSession::~ProfilingSession() {
-  // Leave no dangling handler on the shared CPU.
+  // Leave no dangling handler on the shared CPU, nor a dangling injector
+  // on the shared VFS.
   machine_->cpu().set_nmi_handler(nullptr);
+  if (config_.fault != nullptr &&
+      machine_->vfs().fault_injector() == config_.fault) {
+    machine_->vfs().set_fault_injector(nullptr);
+  }
 }
 
 void ProfilingSession::attach() {
   VIPROF_CHECK(!attached_);
   attached_ = true;
+
+  if (config_.fault != nullptr) machine_->vfs().set_fault_injector(config_.fault);
 
   if (config_.mode == ProfilingMode::kBase) {
     machine_->cpu().counters().set_enabled(false);
@@ -37,11 +44,14 @@ void ProfilingSession::attach() {
 
   DaemonConfig dcfg = config_.daemon;
   dcfg.vm_aware = config_.mode == ProfilingMode::kViprof;
+  dcfg.fault = config_.fault;
   daemon_ = std::make_unique<Daemon>(*machine_, *buffer_, table_, dcfg);
   vm_->add_service(daemon_.get());
 
   if (config_.mode == ProfilingMode::kViprof) {
-    agent_ = std::make_unique<VmAgent>(*machine_, *buffer_, table_, config_.agent);
+    AgentConfig acfg = config_.agent;
+    acfg.fault = config_.fault;
+    agent_ = std::make_unique<VmAgent>(*machine_, *buffer_, table_, acfg);
     vm_->add_listener(agent_.get());
   }
 }
@@ -49,13 +59,24 @@ void ProfilingSession::attach() {
 SessionResult ProfilingSession::run() {
   VIPROF_CHECK(attached_);
   VIPROF_CHECK(!ran_);
+
+  const std::uint64_t nmi_before = machine_->cpu().nmi_count();
+  const hw::Cycles nmi_cycles_before = machine_->cpu().nmi_overhead_cycles();
+  while (vm_->step(~0ull / 2)) {
+  }
+  SessionResult result = finish_run();
+  result.nmi_count = machine_->cpu().nmi_count() - nmi_before;
+  result.nmi_cycles = machine_->cpu().nmi_overhead_cycles() - nmi_cycles_before;
+  return result;
+}
+
+SessionResult ProfilingSession::finish_run() {
+  VIPROF_CHECK(attached_);
+  VIPROF_CHECK(!ran_);
   ran_ = true;
 
   SessionResult result;
-  const std::uint64_t nmi_before = machine_->cpu().nmi_count();
-  const hw::Cycles nmi_cycles_before = machine_->cpu().nmi_overhead_cycles();
-
-  result.vm = vm_->run();
+  result.vm = vm_->finish();
   result.cycles = result.vm.cycles;
 
   if (daemon_) {
@@ -63,10 +84,18 @@ SessionResult ProfilingSession::run() {
     result.daemon = daemon_->stats();
   }
   if (agent_) result.agent = agent_->stats();
-  if (buffer_) result.samples_dropped = buffer_->dropped();
-  result.nmi_count = machine_->cpu().nmi_count() - nmi_before;
-  result.nmi_cycles = machine_->cpu().nmi_overhead_cycles() - nmi_cycles_before;
+  if (buffer_) {
+    result.samples_dropped = buffer_->dropped();
+    result.samples_left_in_buffer = buffer_->size();
+  }
+  result.nmi_count = machine_->cpu().nmi_count();
+  result.nmi_cycles = machine_->cpu().nmi_overhead_cycles();
   return result;
+}
+
+void ProfilingSession::restart_daemon() {
+  VIPROF_CHECK(daemon_ != nullptr);
+  daemon_->restart(machine_->cpu().now());
 }
 
 void ProfilingSession::export_archive(const std::string& prefix) {

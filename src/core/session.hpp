@@ -49,6 +49,11 @@ struct SessionConfig {
   std::size_t buffer_capacity = 64 * 1024;
   std::uint32_t pc_skid = 0;         // optional hardware skid, bytes
 
+  /// Optional fault injector: attach() installs it into the machine's VFS
+  /// and hands it to the daemon and agent (write faults, scheduled kills).
+  /// Not owned; must outlive the session.
+  support::FaultInjector* fault = nullptr;
+
   DaemonConfig daemon;
   AgentConfig agent;
 };
@@ -59,6 +64,8 @@ struct SessionResult {
   std::uint64_t nmi_count = 0;
   hw::Cycles nmi_cycles = 0;
   std::uint64_t samples_dropped = 0;
+  /// Backlog a crashed daemon never drained (0 in healthy runs).
+  std::uint64_t samples_left_in_buffer = 0;
   DaemonStats daemon;
   AgentStats agent;
 };
@@ -77,6 +84,15 @@ class ProfilingSession {
 
   /// Runs the program (vm.setup must have been called) and flushes logs.
   SessionResult run();
+
+  /// Step-mode counterpart of run(): the caller drives vm.step() itself
+  /// (crash/restart scenarios need control mid-run) and then calls this to
+  /// fire vm.finish(), final-flush the daemon and assemble the result.
+  SessionResult finish_run();
+
+  /// Brings a crashed daemon back (see Daemon::restart). The restarted
+  /// daemon reattaches to the same buffer and sample tree.
+  void restart_daemon();
 
   // --- Offline post-processing --------------------------------------------
   /// Aggregated profile over the given events (empty in base mode).

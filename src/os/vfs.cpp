@@ -3,18 +3,48 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/fault.hpp"
+
 namespace viprof::os {
 
 namespace fs = std::filesystem;
 
-void Vfs::write(const std::string& path, std::string contents) {
-  bytes_written_ += contents.size();
-  files_[path] = std::move(contents);
+namespace {
+
+IoStatus consult(support::FaultInjector* fault, const std::string& path,
+                 std::size_t size, std::size_t& kept) {
+  kept = size;
+  if (fault == nullptr) return IoStatus::kOk;
+  const auto outcome = fault->on_write(path, size);
+  using Result = support::FaultInjector::WriteOutcome::Result;
+  switch (outcome.result) {
+    case Result::kOk:      return IoStatus::kOk;
+    case Result::kError:   kept = 0; return IoStatus::kIoError;
+    case Result::kNoSpace: kept = 0; return IoStatus::kNoSpace;
+    case Result::kTorn:    kept = outcome.kept_bytes; return IoStatus::kTorn;
+  }
+  return IoStatus::kOk;
 }
 
-void Vfs::append(const std::string& path, const std::string& contents) {
+}  // namespace
+
+IoStatus Vfs::write(const std::string& path, std::string contents) {
+  std::size_t kept = 0;
+  const IoStatus status = consult(fault_, path, contents.size(), kept);
+  if (status == IoStatus::kIoError || status == IoStatus::kNoSpace) return status;
+  if (status == IoStatus::kTorn) contents.resize(kept);
   bytes_written_ += contents.size();
-  files_[path] += contents;
+  files_[path] = std::move(contents);
+  return status;
+}
+
+IoStatus Vfs::append(const std::string& path, const std::string& contents) {
+  std::size_t kept = 0;
+  const IoStatus status = consult(fault_, path, contents.size(), kept);
+  if (status == IoStatus::kIoError || status == IoStatus::kNoSpace) return status;
+  bytes_written_ += kept;
+  files_[path].append(contents, 0, kept);
+  return status;
 }
 
 bool Vfs::exists(const std::string& path) const { return files_.count(path) != 0; }

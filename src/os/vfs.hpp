@@ -5,6 +5,12 @@
 // an in-memory VFS keeps the whole pipeline hermetic and testable while
 // preserving the architectural boundary: the daemon and the post-processing
 // tools communicate *only* through files, never shared memory.
+//
+// Writes can fail: when a support::FaultInjector is installed every
+// write/append consults it and may be rejected (EIO/ENOSPC) or torn (only a
+// prefix of the bytes lands). Callers that must not lose data check the
+// returned IoStatus and retry/spill; readers are expected to tolerate torn
+// files (see SampleLogReader and CodeMapFile::salvage).
 #pragma once
 
 #include <cstdint>
@@ -13,12 +19,33 @@
 #include <string>
 #include <vector>
 
+namespace viprof::support {
+class FaultInjector;
+}
+
 namespace viprof::os {
+
+enum class IoStatus : std::uint8_t {
+  kOk,
+  kIoError,  // nothing written
+  kTorn,     // a prefix was written, the rest lost
+  kNoSpace,  // nothing written; retrying will not help
+};
+
+inline const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:      return "ok";
+    case IoStatus::kIoError: return "io-error";
+    case IoStatus::kTorn:    return "torn";
+    case IoStatus::kNoSpace: return "no-space";
+  }
+  return "?";
+}
 
 class Vfs {
  public:
-  void write(const std::string& path, std::string contents);
-  void append(const std::string& path, const std::string& contents);
+  IoStatus write(const std::string& path, std::string contents);
+  IoStatus append(const std::string& path, const std::string& contents);
   bool exists(const std::string& path) const;
   void remove(const std::string& path);
 
@@ -30,6 +57,11 @@ class Vfs {
 
   std::size_t file_count() const { return files_.size(); }
   std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Installs (or, with nullptr, removes) the fault injector consulted on
+  /// every write. The injector is not owned.
+  void set_fault_injector(support::FaultInjector* injector) { fault_ = injector; }
+  support::FaultInjector* fault_injector() const { return fault_; }
 
   /// Materialises the VFS (or the subtree under `prefix`) into a host
   /// directory; used by the CLI tools to hand sessions to offline
@@ -44,6 +76,7 @@ class Vfs {
  private:
   std::map<std::string, std::string> files_;
   std::uint64_t bytes_written_ = 0;
+  support::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace viprof::os

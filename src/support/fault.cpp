@@ -1,0 +1,58 @@
+#include "support/fault.hpp"
+
+namespace viprof::support {
+
+FaultInjector::WriteOutcome FaultInjector::on_write(const std::string& path,
+                                                    std::size_t size) {
+  ++stats_.writes_seen;
+
+  // Disk-full is checked first: once the device is out of space no rule can
+  // make the write succeed, and partial writes still consume capacity.
+  if (bytes_accepted_ + size > capacity_bytes_) {
+    ++stats_.enospc_errors;
+    return {WriteOutcome::Result::kNoSpace, 0};
+  }
+
+  for (ArmedRule& armed : rules_) {
+    const FaultRule& rule = armed.rule;
+    if (path.compare(0, rule.path_prefix.size(), rule.path_prefix) != 0) continue;
+    const std::uint64_t match = armed.matched++;
+    if (match < rule.skip || armed.fired >= rule.count) continue;
+    if (rule.probability < 1.0 && !rng_.chance(rule.probability)) continue;
+    ++armed.fired;
+    switch (rule.kind) {
+      case FaultKind::kWriteError:
+        ++stats_.write_errors;
+        return {WriteOutcome::Result::kError, 0};
+      case FaultKind::kTornWrite: {
+        ++stats_.torn_writes;
+        double frac = rule.torn_keep_frac;
+        if (frac < 0.0) frac = 0.0;
+        if (frac > 1.0) frac = 1.0;
+        const auto kept = static_cast<std::size_t>(static_cast<double>(size) * frac);
+        bytes_accepted_ += kept;
+        return {WriteOutcome::Result::kTorn, kept};
+      }
+      case FaultKind::kNoSpace:
+        ++stats_.enospc_errors;
+        return {WriteOutcome::Result::kNoSpace, 0};
+    }
+  }
+
+  bytes_accepted_ += size;
+  return {WriteOutcome::Result::kOk, size};
+}
+
+void FaultInjector::schedule_kill(FaultComponent component, std::uint64_t at_cycle) {
+  kill_at_[static_cast<std::size_t>(component)] = at_cycle;
+}
+
+bool FaultInjector::should_kill(FaultComponent component, std::uint64_t now) {
+  std::uint64_t& at = kill_at_[static_cast<std::size_t>(component)];
+  if (now < at) return false;
+  at = ~0ull;  // one-shot: a restarted component is not instantly re-killed
+  ++stats_.kills;
+  return true;
+}
+
+}  // namespace viprof::support

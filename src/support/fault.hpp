@@ -1,0 +1,98 @@
+// Deterministic fault injection for the storage and process layers.
+//
+// Production tracing systems treat lost and torn events as first-class,
+// counted outcomes; to test that the whole VIProf stack degrades gracefully
+// the simulator needs a way to *cause* those outcomes on demand and
+// reproducibly. The FaultInjector is consulted by the Vfs on every write and
+// by the daemon/agent on their scheduling paths. Faults are driven either by
+// explicit rules (fail the Nth write whose path matches a prefix) or by a
+// seeded probability, so a failing run is replayable from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace viprof::support {
+
+enum class FaultKind : std::uint8_t {
+  kWriteError,  // the write is rejected outright (EIO)
+  kTornWrite,   // only a prefix of the bytes reaches storage
+  kNoSpace,     // ENOSPC: rejected, and retrying will not help
+};
+
+/// Simulated processes the injector can kill at a chosen cycle.
+enum class FaultComponent : std::uint8_t { kDaemon, kAgent };
+inline constexpr std::size_t kFaultComponentCount = 2;
+
+/// One injection rule. A write matches when its path starts with
+/// `path_prefix`; the first `skip` matching writes pass through, then up to
+/// `count` faults of `kind` fire, each with `probability` (a seeded coin,
+/// so < 1.0 is still deterministic).
+struct FaultRule {
+  std::string path_prefix;
+  FaultKind kind = FaultKind::kWriteError;
+  std::uint64_t skip = 0;
+  std::uint64_t count = ~0ull;
+  double probability = 1.0;
+  double torn_keep_frac = 0.5;  // kTornWrite: fraction of bytes that land
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xfa017) : rng_(seed) {}
+
+  void add_rule(const FaultRule& rule) { rules_.push_back({rule, 0, 0}); }
+
+  /// ENOSPC model: total bytes the "disk" accepts before every further
+  /// write fails with kNoSpace. ~0 (default) = unlimited.
+  void set_capacity_bytes(std::uint64_t cap) { capacity_bytes_ = cap; }
+
+  struct WriteOutcome {
+    enum class Result : std::uint8_t { kOk, kError, kTorn, kNoSpace };
+    Result result = Result::kOk;
+    std::size_t kept_bytes = 0;  // kTorn: prefix length that landed
+  };
+
+  /// Consulted by the Vfs for every write/append of `size` bytes to `path`.
+  WriteOutcome on_write(const std::string& path, std::size_t size);
+
+  /// Schedules `component` to die at simulated cycle `at_cycle` (one-shot).
+  void schedule_kill(FaultComponent component, std::uint64_t at_cycle);
+
+  /// True once `now` has reached the scheduled kill; consumes the schedule
+  /// so a later restart of the component is not instantly re-killed.
+  bool should_kill(FaultComponent component, std::uint64_t now);
+
+  struct Stats {
+    std::uint64_t writes_seen = 0;
+    std::uint64_t write_errors = 0;
+    std::uint64_t torn_writes = 0;
+    std::uint64_t enospc_errors = 0;
+    std::uint64_t kills = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Injected faults so far (all kinds).
+  std::uint64_t faults_injected() const {
+    return stats_.write_errors + stats_.torn_writes + stats_.enospc_errors;
+  }
+
+ private:
+  struct ArmedRule {
+    FaultRule rule;
+    std::uint64_t matched = 0;
+    std::uint64_t fired = 0;
+  };
+
+  std::vector<ArmedRule> rules_;
+  Xoshiro256 rng_;
+  std::uint64_t capacity_bytes_ = ~0ull;
+  std::uint64_t bytes_accepted_ = 0;
+  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull};
+  Stats stats_;
+};
+
+}  // namespace viprof::support

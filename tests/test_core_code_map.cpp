@@ -126,6 +126,121 @@ TEST(CodeMapIndex, LoadFromVfs) {
   EXPECT_FALSE(index.resolve(0x3000, 1).has_value());
 }
 
+// --- Damage detection, salvage and the crash-aware lookup -----------------
+
+TEST(CodeMapFile, TornFileRejectedByStrictParseButSalvaged) {
+  const CodeMapFile original = map_of(
+      5, {{0x1000, 100, "a"}, {0x2000, 100, "b"}, {0x3000, 100, "c"}});
+  std::string torn = original.serialize();
+  torn.resize(torn.size() / 2);  // lose the tail: entries + crc trailer
+
+  EXPECT_FALSE(CodeMapFile::parse(torn).has_value());
+  const auto r = CodeMapFile::salvage(torn, 99);
+  EXPECT_FALSE(r.intact);
+  EXPECT_TRUE(r.header_ok);
+  EXPECT_EQ(r.file.epoch, 5u);  // header survived: hint not needed
+  EXPECT_EQ(r.entries_expected, 3u);
+  EXPECT_TRUE(r.file.truncated);
+  EXPECT_LT(r.file.entries.size(), 3u);  // a verified prefix only
+  for (const CodeMapEntry& e : r.file.entries) EXPECT_FALSE(e.symbol.empty());
+}
+
+TEST(CodeMapFile, HeaderlessDamageFallsBackToEpochHint) {
+  const auto r = CodeMapFile::salvage("garbage\nmore garbage\n", 7);
+  EXPECT_FALSE(r.intact);
+  EXPECT_FALSE(r.header_ok);
+  EXPECT_EQ(r.file.epoch, 7u);
+  EXPECT_TRUE(r.file.truncated);
+  EXPECT_TRUE(r.file.entries.empty());
+}
+
+TEST(CodeMapFile, IntactFileSurvivesSalvageUnchanged) {
+  const CodeMapFile original = map_of(2, {{0x1000, 100, "a"}});
+  const auto r = CodeMapFile::salvage(original.serialize(), 0);
+  EXPECT_TRUE(r.intact);
+  EXPECT_FALSE(r.file.truncated);
+  EXPECT_EQ(r.file.entries.size(), 1u);
+}
+
+TEST(CodeMapFile, TruncatedMarkerRoundTripsThroughReserialization) {
+  // fsck re-serialises a salvaged map; the marker must survive so the
+  // recovered tree stays honest about what it lost.
+  CodeMapFile file = map_of(4, {{0x1000, 100, "a"}});
+  file.truncated = true;
+  const auto parsed = CodeMapFile::parse(file.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->truncated);
+  CodeMapIndex index;
+  index.add(*parsed);
+  EXPECT_TRUE(index.epoch_truncated(4));
+}
+
+TEST(CodeMapFile, EpochFromPath) {
+  EXPECT_EQ(CodeMapFile::epoch_from_path(CodeMapFile::path_for("jit_maps", 42, 17)),
+            17u);
+  EXPECT_EQ(CodeMapFile::epoch_from_path("map.00000003"), 3u);
+  EXPECT_FALSE(CodeMapFile::epoch_from_path("RVM.map").has_value());
+  EXPECT_FALSE(CodeMapFile::epoch_from_path("map.notanumber").has_value());
+}
+
+TEST(CodeMapIndex, LoadSalvagesDamagedFilesAndCountsThem) {
+  os::Vfs vfs;
+  vfs.write(CodeMapFile::path_for("jit_maps", 42, 0),
+            map_of(0, {{0x1000, 100, "a"}}).serialize());
+  std::string torn =
+      map_of(1, {{0x2000, 100, "b"}, {0x3000, 100, "c"}}).serialize();
+  torn.resize(torn.size() - 18);  // lose the crc trailer and part of "c"
+  vfs.write(CodeMapFile::path_for("jit_maps", 42, 1), torn);
+
+  CodeMapIndex index;
+  const auto stats = index.load(vfs, "jit_maps", 42);
+  EXPECT_EQ(stats.maps_loaded, 2u);
+  EXPECT_EQ(stats.maps_intact, 1u);
+  EXPECT_EQ(stats.maps_truncated, 1u);
+  EXPECT_TRUE(index.epoch_truncated(1));
+  EXPECT_EQ(index.truncated_count(), 1u);
+}
+
+TEST(CodeMapIndex, LookupRefusesToCrossMissingEpoch) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x1000, 100, "old"}}));
+  index.add(map_of(2, {{0x9000, 100, "other"}}));  // epoch 1's map was lost
+  // The lax resolve guesses "old"; the crash-aware lookup refuses.
+  EXPECT_EQ(index.resolve(0x1000, 2)->symbol, "old");
+  const auto lk = index.lookup(0x1000, 2);
+  EXPECT_FALSE(lk.hit.has_value());
+  EXPECT_EQ(lk.miss, JitLookupMiss::kMissingEpochMap);
+  // Below the gap the walk is contiguous and still works.
+  EXPECT_EQ(index.lookup(0x1000, 0).hit->symbol, "old");
+}
+
+TEST(CodeMapIndex, LookupRefusesToCrossTruncatedEpoch) {
+  CodeMapIndex index;
+  index.add(map_of(0, {{0x1000, 100, "old"}}));
+  CodeMapFile damaged = map_of(1, {{0x5000, 100, "salvaged"}});
+  damaged.truncated = true;
+  index.add(damaged);
+
+  // A hit inside the salvaged prefix is trusted (entries are checksummed)...
+  EXPECT_EQ(index.lookup(0x5000, 1).hit->symbol, "salvaged");
+  // ...but absence proves nothing: the walk stops instead of guessing "old".
+  const auto lk = index.lookup(0x1000, 1);
+  EXPECT_FALSE(lk.hit.has_value());
+  EXPECT_EQ(lk.miss, JitLookupMiss::kTruncatedMap);
+}
+
+TEST(CodeMapIndex, LookupMissKinds) {
+  CodeMapIndex empty;
+  EXPECT_EQ(empty.lookup(0x1000, 3).miss, JitLookupMiss::kNoMaps);
+
+  CodeMapIndex intact;
+  intact.add(map_of(0, {{0x1000, 100, "a"}}));
+  intact.add(map_of(1, {{0x2000, 100, "b"}}));
+  const auto lk = intact.lookup(0x7777, 1);  // all maps intact, pc nowhere
+  EXPECT_EQ(lk.miss, JitLookupMiss::kNotFound);
+  EXPECT_EQ(intact.lookup(0x1000, 1).hit->maps_searched, 2u);
+}
+
 TEST(CodeMapIndex, EntriesSortedEvenIfWrittenUnsorted) {
   CodeMapIndex index;
   index.add(map_of(0, {{0x3000, 100, "c"}, {0x1000, 100, "a"}, {0x2000, 100, "b"}}));

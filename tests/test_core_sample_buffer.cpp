@@ -133,5 +133,37 @@ TEST(SampleBuffer, SpscWithDropsNeverReorders) {
   EXPECT_EQ(received.size() + buffer.dropped(), kCount);
 }
 
+// Counter-conservation stress under real contention: a tiny ring hammered
+// at full speed from both sides, repeatedly. pushed == popped + dropped +
+// backlog must hold at every quiescent point. Build with
+// -DVIPROF_SANITIZE=thread to run this under TSan.
+TEST(SampleBuffer, SpscStressConservesCounters) {
+  constexpr std::uint64_t kPerRound = 50'000;
+  for (int round = 0; round < 4; ++round) {
+    SampleBuffer buffer(16);  // tiny: maximal head/tail contention + drops
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> consumed{0};
+
+    std::thread consumer([&] {
+      while (true) {
+        if (buffer.pop()) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (done.load(std::memory_order_acquire) && buffer.empty()) {
+          break;
+        }
+      }
+    });
+
+    for (std::uint64_t i = 0; i < kPerRound; ++i) buffer.push(sample_with_pc(i));
+    done.store(true, std::memory_order_release);
+    consumer.join();
+
+    EXPECT_EQ(buffer.pushed() + buffer.dropped(), kPerRound);
+    EXPECT_EQ(buffer.popped(), consumed.load());
+    EXPECT_EQ(buffer.pushed(), buffer.popped() + buffer.size());
+    EXPECT_GT(buffer.dropped(), 0u);  // the tiny ring must have overflowed
+  }
+}
+
 }  // namespace
 }  // namespace viprof::core

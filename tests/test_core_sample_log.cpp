@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sample_log.hpp"
+#include "support/fault.hpp"
 
 namespace viprof::core {
 namespace {
@@ -82,6 +83,162 @@ TEST(SampleLog, FlushAppendsAcrossBatches) {
 TEST(SampleLog, MissingDirectoryReadsEmpty) {
   os::Vfs vfs;
   EXPECT_TRUE(SampleLogReader::read(vfs, "absent", hw::EventKind::kGlobalPowerEvents).empty());
+}
+
+// --- read_checked: missing vs empty vs corrupt are distinct outcomes ------
+
+constexpr auto kEv = hw::EventKind::kGlobalPowerEvents;
+
+TEST(SampleLog, StatusDistinguishesMissingFromEmpty) {
+  os::Vfs vfs;
+  SampleLogReadStatus st;
+  SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_TRUE(st.missing);
+  EXPECT_FALSE(st.empty());
+
+  vfs.write(SampleLogWriter::path_for("s", kEv), "");
+  SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_FALSE(st.missing);
+  EXPECT_FALSE(st.corrupt);
+  EXPECT_TRUE(st.empty());
+  EXPECT_TRUE(st.clean());
+}
+
+TEST(SampleLog, StatusFlagsGarbageAsCorruptNotEmpty) {
+  os::Vfs vfs;
+  vfs.write(SampleLogWriter::path_for("s", kEv), "this is not a sample log\n");
+  SampleLogReadStatus st;
+  const auto read = SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_TRUE(read.empty());
+  EXPECT_TRUE(st.corrupt);
+  EXPECT_FALSE(st.empty());
+  EXPECT_EQ(st.discarded_lines, 1u);
+  EXPECT_EQ(st.valid, 0u);
+}
+
+TEST(SampleLog, TruncatedTailIsSalvagedAndCounted) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  for (int i = 0; i < 10; ++i) writer.append(kEv, make_sample(0x1000 + i, 1));
+  writer.flush();
+  const std::string path = SampleLogWriter::path_for("s", kEv);
+  std::string contents = *vfs.read(path);
+  contents.resize(contents.size() - 15);  // tear mid-way through the last line
+  vfs.remove(path);
+  vfs.write(path, contents);
+
+  SampleLogReadStatus st;
+  const auto read = SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_EQ(read.size(), 9u);
+  EXPECT_TRUE(st.corrupt);
+  EXPECT_EQ(st.salvaged, 9u);
+  EXPECT_EQ(st.discarded_lines, 1u);
+  EXPECT_GT(st.discarded_bytes, 0u);
+  for (std::size_t i = 0; i < read.size(); ++i) EXPECT_EQ(read[i].pc, 0x1000 + i);
+}
+
+TEST(SampleLog, MidFileDamageResynchronisesAtNextRecord) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  for (int i = 0; i < 6; ++i) writer.append(kEv, make_sample(0x2000 + i, 1));
+  writer.flush();
+  const std::string path = SampleLogWriter::path_for("s", kEv);
+  std::string contents = *vfs.read(path);
+  // Overwrite a byte in the middle of record 2's body: its checksum fails,
+  // but records on either side must still verify independently.
+  const std::size_t second_line = contents.find('\n', contents.find('\n') + 1) + 1;
+  contents[second_line + 3] = '#';
+  vfs.remove(path);
+  vfs.write(path, contents);
+
+  SampleLogReadStatus st;
+  const auto read = SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_EQ(read.size(), 5u);
+  EXPECT_TRUE(st.corrupt);
+  EXPECT_EQ(st.discarded_lines, 1u);
+  EXPECT_EQ(st.missing_records, 1u);  // the damaged record shows as a seq gap
+  for (const LoggedSample& s : read) EXPECT_NE(s.pc, 0x2002u);
+}
+
+TEST(SampleLog, DuplicateSequenceNumbersAreDropped) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  for (int i = 0; i < 3; ++i) writer.append(kEv, make_sample(0x3000 + i, 1));
+  writer.flush();
+  const std::string path = SampleLogWriter::path_for("s", kEv);
+  // A replayed batch that had already landed: append the same bytes again.
+  const std::string contents = *vfs.read(path);
+  vfs.append(path, contents);
+
+  SampleLogReadStatus st;
+  const auto read = SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_EQ(read.size(), 3u);  // each record delivered exactly once
+  EXPECT_EQ(st.duplicate_records, 3u);
+  EXPECT_FALSE(st.corrupt);  // duplicates are well-framed, not damage
+}
+
+TEST(SampleLog, WriteErrorSpillsAndRetrySucceeds) {
+  os::Vfs vfs;
+  support::FaultInjector fi;
+  fi.add_rule({"s/", support::FaultKind::kWriteError, 0, 1, 1.0, 0.5});
+  vfs.set_fault_injector(&fi);
+
+  SampleLogWriter writer(vfs, "s");
+  for (int i = 0; i < 4; ++i) writer.append(kEv, make_sample(0x4000 + i, 1));
+  LogFlushResult first = writer.flush();
+  EXPECT_EQ(first.write_errors, 1u);
+  EXPECT_FALSE(first.fully_flushed);
+  EXPECT_GT(writer.pending_bytes(), 0u);
+
+  LogFlushResult second = writer.flush();  // rule exhausted: this one lands
+  EXPECT_TRUE(second.fully_flushed);
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+
+  SampleLogReadStatus st;
+  const auto read = SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_EQ(read.size(), 4u);
+  EXPECT_TRUE(st.clean());
+  EXPECT_EQ(st.missing_records, 0u);
+}
+
+TEST(SampleLog, SpillOverflowDropsOldestWholeRecords) {
+  os::Vfs vfs;
+  support::FaultInjector fi;
+  fi.add_rule({"s/", support::FaultKind::kWriteError, 0, ~0ull, 1.0, 0.5});
+  vfs.set_fault_injector(&fi);
+
+  SampleLogWriter writer(vfs, "s");
+  writer.set_spill_capacity(120);  // roughly two records
+  for (int i = 0; i < 6; ++i) writer.append(kEv, make_sample(0x5000 + i, 1));
+  const LogFlushResult r = writer.flush();
+  EXPECT_GT(r.records_dropped, 0u);
+  EXPECT_EQ(r.records_dropped, writer.spill_dropped());
+  EXPECT_LE(writer.pending_bytes(), 120u + 64u);  // bounded (one record slack)
+
+  // When the disk heals, the survivors land; the reader sees the drops as a
+  // leading sequence gap — counted, not silent.
+  vfs.set_fault_injector(nullptr);
+  writer.flush();
+  SampleLogReadStatus st;
+  const auto read = SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_EQ(read.size() + r.records_dropped, 6u);
+  EXPECT_EQ(st.missing_records, r.records_dropped);
+}
+
+TEST(SampleLog, DiscardPendingCountsAndConsumesSequence) {
+  os::Vfs vfs;
+  SampleLogWriter writer(vfs, "s");
+  writer.append(kEv, make_sample(1, 0));
+  writer.append(kEv, make_sample(2, 0));
+  EXPECT_EQ(writer.discard_pending(), 2u);
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+  // Sequence numbers stay consumed: post-crash records reveal the loss.
+  writer.append(kEv, make_sample(3, 0));
+  writer.flush();
+  SampleLogReadStatus st;
+  SampleLogReader::read_checked(vfs, "s", kEv, st);
+  EXPECT_EQ(st.valid, 1u);
+  EXPECT_EQ(st.missing_records, 2u);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
 #include "os/vfs.hpp"
 
 namespace viprof::os {
@@ -67,6 +70,82 @@ TEST(Vfs, BytesWrittenAccumulates) {
   vfs.write("/a", "1234");
   vfs.append("/a", "56");
   EXPECT_EQ(vfs.bytes_written(), 6u);
+}
+
+// --- Host-directory export/import round trips -----------------------------
+
+/// Fresh temp dir per test, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* tag)
+      : path(std::filesystem::temp_directory_path() /
+             (std::string("viprof_vfs_test_") + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(Vfs, ExportImportRoundTripPreservesEverything) {
+  TempDir dir("roundtrip");
+  Vfs vfs;
+  vfs.write("samples/GLOBAL_POWER_EVENTS.samples", "1 2 3\n4 5 6\n");
+  vfs.write("jit_maps/101/map.00000000", "epoch 0 entries 0\n");
+  vfs.write("archive/manifest", std::string("binary\x00\x01\x02 bytes\n", 16));
+  vfs.write("empty.file", "");
+  vfs.export_to_directory(dir.path.string());
+
+  Vfs back;
+  back.import_from_directory(dir.path.string());
+  EXPECT_EQ(back.file_count(), vfs.file_count());
+  for (const std::string& path : vfs.list("")) {
+    ASSERT_TRUE(back.exists(path)) << path;
+    EXPECT_EQ(*back.read(path), *vfs.read(path)) << path;
+  }
+}
+
+TEST(Vfs, ExportEmptyFileMaterialisesOnDisk) {
+  TempDir dir("empty");
+  Vfs vfs;
+  vfs.write("dir/empty", "");
+  vfs.export_to_directory(dir.path.string());
+  EXPECT_TRUE(std::filesystem::is_regular_file(dir.path / "dir/empty"));
+  EXPECT_EQ(std::filesystem::file_size(dir.path / "dir/empty"), 0u);
+
+  Vfs back;
+  back.import_from_directory(dir.path.string());
+  ASSERT_TRUE(back.exists("dir/empty"));
+  EXPECT_EQ(*back.read("dir/empty"), "");
+}
+
+TEST(Vfs, ExportPrefixFilterSelectsSubtree) {
+  TempDir dir("prefix");
+  Vfs vfs;
+  vfs.write("samples/a", "A");
+  vfs.write("samples/b", "B");
+  vfs.write("jit_maps/m", "M");
+  vfs.export_to_directory(dir.path.string(), "samples/");
+
+  Vfs back;
+  back.import_from_directory(dir.path.string());
+  EXPECT_EQ(back.file_count(), 2u);
+  EXPECT_TRUE(back.exists("samples/a"));
+  EXPECT_TRUE(back.exists("samples/b"));
+  EXPECT_FALSE(back.exists("jit_maps/m"));
+}
+
+TEST(Vfs, ImportIntoPopulatedVfsOverwritesCollidingPaths) {
+  TempDir dir("overwrite");
+  Vfs src;
+  src.write("f", "new");
+  src.export_to_directory(dir.path.string());
+
+  Vfs dst;
+  dst.write("f", "old");
+  dst.write("untouched", "keep");
+  dst.import_from_directory(dir.path.string());
+  EXPECT_EQ(*dst.read("f"), "new");
+  EXPECT_EQ(*dst.read("untouched"), "keep");
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// FaultInjector unit tests: rule matching, skip/count windows, seeded
+// determinism, the ENOSPC capacity model and one-shot kill schedules.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "os/vfs.hpp"
+
+namespace viprof::support {
+namespace {
+
+using Result = FaultInjector::WriteOutcome::Result;
+
+TEST(FaultInjector, NoRulesPassesEverythingThrough) {
+  FaultInjector fi;
+  for (int i = 0; i < 100; ++i) {
+    const auto out = fi.on_write("samples/x", 64);
+    EXPECT_EQ(out.result, Result::kOk);
+    EXPECT_EQ(out.kept_bytes, 64u);
+  }
+  EXPECT_EQ(fi.stats().writes_seen, 100u);
+  EXPECT_EQ(fi.faults_injected(), 0u);
+}
+
+TEST(FaultInjector, RuleMatchesOnPathPrefixOnly) {
+  FaultInjector fi;
+  fi.add_rule({"samples/", FaultKind::kWriteError, 0, ~0ull, 1.0, 0.5});
+  EXPECT_EQ(fi.on_write("jit_maps/101/map.00000001", 128).result, Result::kOk);
+  EXPECT_EQ(fi.on_write("samples/GLOBAL_POWER_EVENTS.samples", 128).result,
+            Result::kError);
+  EXPECT_EQ(fi.stats().write_errors, 1u);
+}
+
+TEST(FaultInjector, SkipAndCountBoundTheFaultWindow) {
+  FaultInjector fi;
+  // Pass 2 writes through, then fail exactly 3, then pass again.
+  fi.add_rule({"f", FaultKind::kWriteError, 2, 3, 1.0, 0.5});
+  int errors = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fi.on_write("f", 8).result == Result::kError) ++errors;
+  }
+  EXPECT_EQ(errors, 3);
+  EXPECT_EQ(fi.on_write("f", 8).result, Result::kOk);
+}
+
+TEST(FaultInjector, TornWriteKeepsTheConfiguredPrefix) {
+  FaultInjector fi;
+  fi.add_rule({"f", FaultKind::kTornWrite, 0, 1, 1.0, 0.25});
+  const auto out = fi.on_write("f", 100);
+  EXPECT_EQ(out.result, Result::kTorn);
+  EXPECT_EQ(out.kept_bytes, 25u);
+  EXPECT_EQ(fi.stats().torn_writes, 1u);
+}
+
+TEST(FaultInjector, ProbabilisticRuleIsDeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultInjector fi(seed);
+    fi.add_rule({"f", FaultKind::kWriteError, 0, ~0ull, 0.3, 0.5});
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i)
+      pattern.push_back(fi.on_write("f", 8).result == Result::kError);
+    return pattern;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+  // Roughly 30% of writes fail; allow generous slack.
+  const auto p = run(42);
+  const auto fails = std::count(p.begin(), p.end(), true);
+  EXPECT_GT(fails, 30);
+  EXPECT_LT(fails, 90);
+}
+
+TEST(FaultInjector, CapacityModelsEnospc) {
+  FaultInjector fi;
+  fi.set_capacity_bytes(100);
+  EXPECT_EQ(fi.on_write("f", 60).result, Result::kOk);
+  EXPECT_EQ(fi.on_write("f", 60).result, Result::kNoSpace);  // would exceed
+  EXPECT_EQ(fi.on_write("f", 40).result, Result::kOk);       // still fits
+  EXPECT_EQ(fi.on_write("f", 1).result, Result::kNoSpace);   // full now
+  EXPECT_EQ(fi.stats().enospc_errors, 2u);
+}
+
+TEST(FaultInjector, KillScheduleIsOneShot) {
+  FaultInjector fi;
+  fi.schedule_kill(FaultComponent::kDaemon, 1'000);
+  EXPECT_FALSE(fi.should_kill(FaultComponent::kDaemon, 999));
+  EXPECT_FALSE(fi.should_kill(FaultComponent::kAgent, 5'000));  // other component
+  EXPECT_TRUE(fi.should_kill(FaultComponent::kDaemon, 1'000));
+  // Consumed: a restarted daemon is not instantly re-killed.
+  EXPECT_FALSE(fi.should_kill(FaultComponent::kDaemon, 2'000));
+  EXPECT_EQ(fi.stats().kills, 1u);
+}
+
+TEST(FaultInjector, VfsRoutesWritesThroughInjector) {
+  os::Vfs vfs;
+  FaultInjector fi;
+  fi.add_rule({"bad/", FaultKind::kWriteError, 0, ~0ull, 1.0, 0.5});
+  fi.add_rule({"torn/", FaultKind::kTornWrite, 0, ~0ull, 1.0, 0.5});
+  vfs.set_fault_injector(&fi);
+
+  EXPECT_EQ(vfs.write("ok/file", "0123456789"), os::IoStatus::kOk);
+  EXPECT_EQ(vfs.write("bad/file", "0123456789"), os::IoStatus::kIoError);
+  EXPECT_FALSE(vfs.exists("bad/file"));
+  EXPECT_EQ(vfs.append("torn/file", "0123456789"), os::IoStatus::kTorn);
+  EXPECT_EQ(vfs.read("torn/file")->size(), 5u);
+
+  vfs.set_fault_injector(nullptr);
+  EXPECT_EQ(vfs.write("bad/file", "x"), os::IoStatus::kOk);
+}
+
+TEST(FaultInjector, VfsEnospcLeavesFileUntouched) {
+  os::Vfs vfs;
+  FaultInjector fi;
+  fi.set_capacity_bytes(10);
+  vfs.set_fault_injector(&fi);
+  EXPECT_EQ(vfs.append("f", "12345"), os::IoStatus::kOk);
+  EXPECT_EQ(vfs.append("f", "1234567890"), os::IoStatus::kNoSpace);
+  EXPECT_EQ(*vfs.read("f"), "12345");
+}
+
+}  // namespace
+}  // namespace viprof::support
