@@ -39,15 +39,19 @@ int main() {
                             "VIProf 90K", "VIProf 450K", "Vertical"});
   double sums[kArmCount] = {};
   int rows = 0;
+  std::vector<bench::BenchRecord> records;
 
   for (const workloads::Workload& w : workloads::figure2_suite()) {
-    const double base = bench::measure_seconds(w, bench::Arm::kBase, 0);
+    bench::BenchRecord base_record = bench::measure(w, bench::Arm::kBase, 0);
+    const double base = base_record.seconds;
+    records.push_back(std::move(base_record));
     std::vector<std::string> cells{w.name, support::fixed(base, 2)};
     for (int a = 0; a < kArmCount; ++a) {
-      const double secs = bench::measure_seconds(w, arms[a].arm, arms[a].period);
-      const double slowdown = secs / base;
+      bench::BenchRecord record = bench::measure(w, arms[a].arm, arms[a].period);
+      const double slowdown = record.seconds / base;
       sums[a] += slowdown;
       cells.push_back(support::fixed(slowdown, 3));
+      records.push_back(std::move(record));
     }
     ++rows;
     table.add_row(std::move(cells));
@@ -65,5 +69,6 @@ int main() {
               (sums[2] / rows - 1) * 100);
   std::printf("  Vertical prof.: %+.1f%%   (paper cites ~7%%, VM+app layers only)\n",
               (sums[4] / rows - 1) * 100);
+  bench::write_bench_json("fig2_overhead", records);
   return 0;
 }

@@ -20,8 +20,11 @@ int main() {
   double measured_sum = 0.0;
   double paper_sum = 0.0;
   int paper_rows = 0;
+  std::vector<bench::BenchRecord> records;
   for (const workloads::Workload& w : workloads::figure2_suite()) {
-    const double secs = bench::measure_seconds(w, bench::Arm::kBase, 0);
+    bench::BenchRecord record = bench::measure(w, bench::Arm::kBase, 0);
+    const double secs = record.seconds;
+    records.push_back(std::move(record));
     measured_sum += secs;
     std::string paper = "n/a";
     std::string ratio = "n/a";
@@ -37,5 +40,6 @@ int main() {
   table.add_row({"Average", support::fixed(measured_sum / 9.0, 2),
                  support::fixed(paper_sum / paper_rows, 2), ""});
   std::printf("%s\n", table.render().c_str());
+  bench::write_bench_json("fig3_base_times", records);
   return 0;
 }

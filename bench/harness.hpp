@@ -12,13 +12,16 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/viprof.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 #include "vertical/vertical_profiler.hpp"
 #include "workloads/common.hpp"
 
@@ -44,6 +47,8 @@ inline const char* to_string(Arm arm) {
 struct RunOutcome {
   hw::Cycles cycles = 0;
   core::SessionResult session;
+  /// Registry snapshot taken after the run, before the machine dies.
+  support::TelemetrySnapshot telemetry;
 };
 
 inline std::uint64_t mix_seed(const std::string& name, Arm arm, std::uint64_t period,
@@ -105,6 +110,7 @@ inline RunOutcome run_once(const workloads::Workload& workload, Arm arm,
   RunOutcome outcome;
   outcome.session = session.run();
   outcome.cycles = outcome.session.cycles;
+  outcome.telemetry = machine.telemetry().snapshot();
   return outcome;
 }
 
@@ -113,26 +119,92 @@ inline int runs_per_config() {
   return (quick != nullptr && quick[0] == '1') ? 4 : 10;
 }
 
-/// Measured seconds for one (workload, arm, period): paper methodology plus
-/// the modelled noise/alignment factors.
-inline double measure_seconds(const workloads::Workload& workload, Arm arm,
-                              std::uint64_t period) {
+/// One measured configuration, machine-readable: what the BENCH_*.json CI
+/// trajectory files carry per benchmark.
+struct BenchRecord {
+  std::string name;        // "<workload>.<arm>[.<period>]"
+  int iterations = 0;      // runs contributing to the mean
+  double seconds = 0.0;    // trimmed-mean virtual seconds
+  double ns_per_op = 0.0;  // seconds normalised by the workload's app ops
+  support::TelemetrySnapshot telemetry;  // registry snapshot of the final run
+};
+
+/// Full measurement of one (workload, arm, period): paper methodology plus
+/// the modelled noise/alignment factors, with the telemetry of the last run
+/// attached for the machine-readable output.
+inline BenchRecord measure(const workloads::Workload& workload, Arm arm,
+                           std::uint64_t period) {
   const int runs = runs_per_config();
   // Alignment bias: fixed per configuration, ~N(0, 0.8%).
   support::Xoshiro256 align_rng(mix_seed(workload.name, arm, period, 0xa119));
   const double alignment = arm == Arm::kBase ? 0.0 : align_rng.normal(0.0, 0.008);
 
+  BenchRecord record;
+  record.name = workload.name + std::string(".") + to_string(arm);
+  if (period > 0) record.name += "." + std::to_string(period);
+  record.iterations = runs;
+
+  std::uint64_t last_app_ops = 0;
   std::vector<double> seconds;
   seconds.reserve(runs);
   for (int run = 0; run < runs; ++run) {
-    const RunOutcome outcome = run_once(workload, arm, period, run);
+    RunOutcome outcome = run_once(workload, arm, period, run);
     support::Xoshiro256 noise_rng(mix_seed(workload.name, arm, period, 1000 + run));
     const double noise = noise_rng.normal(0.0, 0.003);
     const double secs = static_cast<double>(outcome.cycles) /
                         workloads::kCyclesPerSecond * (1.0 + alignment + noise);
     seconds.push_back(secs);
+    last_app_ops = outcome.session.vm.app_ops;
+    if (run == runs - 1) record.telemetry = std::move(outcome.telemetry);
   }
-  return support::trimmed_mean_drop_extremes(std::move(seconds));
+  record.seconds = support::trimmed_mean_drop_extremes(std::move(seconds));
+  if (last_app_ops > 0) {
+    record.ns_per_op = record.seconds * 1e9 / static_cast<double>(last_app_ops);
+  }
+  return record;
+}
+
+/// Measured seconds for one (workload, arm, period).
+inline double measure_seconds(const workloads::Workload& workload, Arm arm,
+                              std::uint64_t period) {
+  return measure(workload, arm, period).seconds;
+}
+
+/// Serialises records as the BENCH_*.json schema: one object per measured
+/// configuration with the telemetry snapshot embedded verbatim.
+inline std::string bench_json(const std::string& bench_name,
+                              const std::vector<BenchRecord>& records) {
+  std::string out = "{\n\"bench\": \"" + bench_name + "\",\n\"results\": [";
+  bool first = true;
+  for (const BenchRecord& r : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"name\": \"%s\", \"iterations\": %d, \"seconds\": %.6f, "
+                  "\"ns_per_op\": %.3f, \"telemetry\": ",
+                  r.name.c_str(), r.iterations, r.seconds, r.ns_per_op);
+    out += head;
+    out += r.telemetry.to_json();
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+/// Writes BENCH_<name>.json next to the running binary (the CI trajectory
+/// artifact). Failure to write is reported, never fatal: the human-readable
+/// tables on stdout remain the primary output.
+inline void write_bench_json(const std::string& bench_name,
+                             const std::vector<BenchRecord>& records) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << bench_json(bench_name, records);
+  std::printf("machine-readable results written to %s\n", path.c_str());
 }
 
 }  // namespace viprof::bench

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 CI pipeline.
+#
+# 1. Configure + build the default (RelWithDebInfo) tree.
+# 2. Run the whole ctest suite — this includes the `faults` and `telemetry`
+#    labels — and then each of those labels once more by name, so a label
+#    that silently lost its tests fails the pipeline.
+# 3. Rebuild one sanitizer configuration (VIPROF_SANITIZE=thread by default;
+#    set VIPROF_SANITIZE=address to switch) and run the concurrency-sensitive
+#    labelled suites under it.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]     (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+SANITIZER="${VIPROF_SANITIZE:-thread}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_label() {  # run_label <build-dir> <label>
+  local count
+  count="$(ctest --test-dir "$1" -L "$2" -N | sed -n 's/^Total Tests: //p')"
+  if [ "${count:-0}" -eq 0 ]; then
+    echo "ci.sh: label '$2' matches no tests in $1" >&2
+    exit 1
+  fi
+  ctest --test-dir "$1" -L "$2" --output-on-failure -j "$JOBS"
+}
+
+echo "=== [1/3] tier-1 build + full test suite ($PREFIX) ==="
+cmake -B "$PREFIX" -S . >/dev/null
+cmake --build "$PREFIX" -j "$JOBS"
+ctest --test-dir "$PREFIX" --output-on-failure -j "$JOBS"
+run_label "$PREFIX" faults
+run_label "$PREFIX" telemetry
+
+echo "=== [2/3] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
+SAN_DIR="$PREFIX-$SANITIZER"
+cmake -B "$SAN_DIR" -S . -DVIPROF_SANITIZE="$SANITIZER" >/dev/null
+cmake --build "$SAN_DIR" -j "$JOBS"
+
+echo "=== [3/3] labelled suites under $SANITIZER sanitizer ==="
+run_label "$SAN_DIR" faults
+run_label "$SAN_DIR" telemetry
+
+echo "ci.sh: all green"

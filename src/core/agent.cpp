@@ -6,7 +6,17 @@ namespace viprof::core {
 
 VmAgent::VmAgent(os::Machine& machine, SampleBuffer& buffer, RegistrationTable& table,
                  const AgentConfig& config)
-    : machine_(&machine), buffer_(&buffer), table_(&table), config_(config) {}
+    : machine_(&machine), buffer_(&buffer), table_(&table), config_(config) {
+  support::Telemetry& tele = machine_->telemetry();
+  tele_compiles_ = &tele.counter("agent.compiles_logged");
+  tele_moves_ = &tele.counter("agent.moves_flagged");
+  tele_maps_written_ = &tele.counter("agent.maps_written");
+  tele_map_entries_ = &tele.counter("agent.map_entries");
+  tele_maps_dropped_ = &tele.counter("agent.maps_dropped");
+  tele_map_errors_ = &tele.counter("agent.map_write_errors");
+  tele_map_cost_ = &tele.histogram("agent.map_write.cost_cycles", 0, 50'000, 32);
+  tele_map_entries_hist_ = &tele.histogram("agent.map_write.entries", 0, 16, 32);
+}
 
 hw::Cycles VmAgent::on_vm_start(const jvm::VmStartInfo& info) {
   heap_ = info.heap;
@@ -45,6 +55,7 @@ hw::Cycles VmAgent::on_method_compiled(const jvm::MethodInfo& method,
   signatures_[code.id] = method.qualified_name();
   if (pending_set_.insert(code.id).second) pending_.push_back(code.id);
   ++stats_.compiles_logged;
+  tele_compiles_->inc();
   stats_.cost_cycles += config_.compile_hook_cost;
   return config_.compile_hook_cost;
 }
@@ -64,6 +75,7 @@ hw::Cycles VmAgent::on_method_moved(const jvm::MethodInfo& method,
     return config_.move_log_cost;
   }
   ++stats_.moves_flagged;
+  tele_moves_->inc();
   stats_.cost_cycles += config_.move_flag_cost;
   return config_.move_flag_cost;
 }
@@ -132,6 +144,7 @@ hw::Cycles VmAgent::write_map(std::uint64_t epoch) {
   os::IoStatus st = machine_->vfs().write(path, blob);
   if (st == os::IoStatus::kIoError || st == os::IoStatus::kNoSpace) {
     ++stats_.map_write_errors;
+    tele_map_errors_->inc();
     for (std::size_t attempt = 0; attempt < config_.map_write_retries &&
                                   (st == os::IoStatus::kIoError ||
                                    st == os::IoStatus::kNoSpace);
@@ -145,6 +158,8 @@ hw::Cycles VmAgent::write_map(std::uint64_t epoch) {
     case os::IoStatus::kOk:
       ++stats_.maps_written;
       stats_.map_entries_written += file.entries.size();
+      tele_maps_written_->inc();
+      tele_map_entries_->inc(file.entries.size());
       break;
     case os::IoStatus::kTorn:
       // A prefix landed; the checksum trailer is gone, so the reader will
@@ -152,14 +167,24 @@ hw::Cycles VmAgent::write_map(std::uint64_t epoch) {
       ++stats_.maps_torn;
       ++stats_.maps_written;
       stats_.map_entries_written += file.entries.size();
+      tele_maps_written_->inc();
+      tele_map_entries_->inc(file.entries.size());
       break;
     case os::IoStatus::kIoError:
     case os::IoStatus::kNoSpace:
       // The epoch closes without a map; its samples will land in the
       // unresolved.missing_map bin. Counted here, never silent.
       ++stats_.maps_dropped;
+      tele_maps_dropped_->inc();
       break;
   }
+  tele_map_cost_->add(static_cast<double>(cost));
+  tele_map_entries_hist_->add(static_cast<double>(file.entries.size()));
+  // GC-epoch span marker: the map write happens inside the epoch boundary,
+  // while the VM is paused for collection. `arg` carries the closing epoch.
+  const hw::Cycles map_begin = machine_->cpu().now();
+  machine_->telemetry().spans().record("agent.map_write", "gc", map_begin,
+                                       map_begin + cost, epoch);
 
   // Notify the daemon through the ordered sample stream: samples enqueued
   // after this marker belong to the next epoch. Sent even when the map

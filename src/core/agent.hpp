@@ -25,6 +25,7 @@
 #include "jvm/hooks.hpp"
 #include "os/machine.hpp"
 #include "support/fault.hpp"
+#include "support/telemetry.hpp"
 
 namespace viprof::core {
 
@@ -113,6 +114,16 @@ class VmAgent : public jvm::VmEventListener {
   std::vector<jvm::CodeId> pending_;
   std::unordered_set<jvm::CodeId> pending_set_;
   std::unordered_map<jvm::CodeId, std::string> signatures_;
+
+  // Self-telemetry handles (agent.* namespace, DESIGN.md §8).
+  support::Counter* tele_compiles_ = nullptr;
+  support::Counter* tele_moves_ = nullptr;
+  support::Counter* tele_maps_written_ = nullptr;
+  support::Counter* tele_map_entries_ = nullptr;
+  support::Counter* tele_maps_dropped_ = nullptr;
+  support::Counter* tele_map_errors_ = nullptr;
+  support::LatencyHistogram* tele_map_cost_ = nullptr;     // cycles per map write
+  support::LatencyHistogram* tele_map_entries_hist_ = nullptr;  // entries per map
 };
 
 }  // namespace viprof::core

@@ -27,6 +27,21 @@ Daemon::Daemon(os::Machine& machine, SampleBuffer& buffer, const RegistrationTab
   pattern_.random_frac = 0.2;
   pattern_.accesses_per_op = 0.5;
   log_.set_spill_capacity(config_.spill_capacity_bytes);
+
+  support::Telemetry& tele = machine_->telemetry();
+  tele_drained_ = &tele.counter("daemon.drained");
+  tele_wakeups_ = &tele.counter("daemon.wakeups");
+  tele_flushes_ = &tele.counter("daemon.flushes");
+  tele_jit_samples_ = &tele.counter("daemon.samples.jit");
+  tele_epoch_markers_ = &tele.counter("daemon.epoch_markers");
+  tele_flush_errors_ = &tele.counter("daemon.flush.write_errors");
+  tele_flush_torn_ = &tele.counter("daemon.flush.torn_writes");
+  tele_flush_retries_ = &tele.counter("daemon.flush.retries");
+  tele_spill_dropped_ = &tele.counter("daemon.spill.dropped_records");
+  tele_crashes_ = &tele.counter("daemon.crashes");
+  tele_backlog_ = &tele.histogram("daemon.drain.backlog", 0, 64, 64);
+  tele_drain_cost_ = &tele.histogram("daemon.drain.cost_cycles", 0, 25'000, 64);
+  tele_flush_cost_ = &tele.histogram("daemon.flush.retry_cycles", 0, 50'000, 32);
 }
 
 std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
@@ -43,6 +58,8 @@ std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
 
   hw::Cycles cost = config_.wakeup_cost;
   ++stats_.wakeups;
+  tele_wakeups_->inc();
+  tele_backlog_->add(static_cast<double>(backlog));
   std::size_t processed = 0;
   while (processed < config_.batch) {
     const auto sample = buffer_->pop();
@@ -53,6 +70,9 @@ std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
   cost += flush_logs();
   if (buffer_->empty()) last_drain_ = now;
   stats_.cost_cycles += cost;
+  tele_drained_->inc(processed);
+  tele_drain_cost_->add(static_cast<double>(cost));
+  machine_->telemetry().spans().record("daemon.drain", "daemon", now, now + cost);
 
   os::WorkChunk chunk;
   chunk.context = context_;
@@ -63,10 +83,17 @@ std::optional<os::WorkChunk> Daemon::next_work(hw::Cycles now) {
 }
 
 hw::Cycles Daemon::flush_logs() {
+  auto account = [this](const LogFlushResult& res) {
+    stats_.flush_write_errors += res.write_errors;
+    stats_.flush_torn_writes += res.torn_writes;
+    stats_.spill_dropped_records += res.records_dropped;
+    tele_flush_errors_->inc(res.write_errors);
+    tele_flush_torn_->inc(res.torn_writes);
+    tele_spill_dropped_->inc(res.records_dropped);
+  };
+  tele_flushes_->inc();
   LogFlushResult res = log_.flush();
-  stats_.flush_write_errors += res.write_errors;
-  stats_.flush_torn_writes += res.torn_writes;
-  stats_.spill_dropped_records += res.records_dropped;
+  account(res);
 
   hw::Cycles retry_cost = 0;
   hw::Cycles backoff = config_.flush_retry_cost;
@@ -77,11 +104,11 @@ hw::Cycles Daemon::flush_logs() {
     retry_cost += backoff;
     backoff *= 2;
     ++stats_.flush_retries;
+    tele_flush_retries_->inc();
     res = log_.flush();
-    stats_.flush_write_errors += res.write_errors;
-    stats_.flush_torn_writes += res.torn_writes;
-    stats_.spill_dropped_records += res.records_dropped;
+    account(res);
   }
+  if (retry_cost > 0) tele_flush_cost_->add(static_cast<double>(retry_cost));
   return retry_cost;
 }
 
@@ -95,6 +122,8 @@ void Daemon::crash(hw::Cycles now) {
   if (dead_) return;
   dead_ = true;
   ++stats_.crashes;
+  tele_crashes_->inc();
+  machine_->telemetry().spans().instant("daemon.crash", "daemon", now);
   stats_.crash_lost_records += log_.discard_pending();
   last_drain_ = now;
 }
@@ -110,6 +139,7 @@ hw::Cycles Daemon::process(const Sample& sample) {
   ++stats_.drained;
   if (sample.kind == RecordKind::kEpochMarker) {
     ++stats_.epoch_markers;
+    tele_epoch_markers_->inc();
     // Epoch `sample.epoch` of this VM closed; its subsequent samples belong
     // to the next one. Other VMs' epoch counters are untouched.
     epoch_by_pid_[sample.pid] = sample.epoch + 1;
@@ -152,6 +182,7 @@ hw::Cycles Daemon::process(const Sample& sample) {
                table_->find_heap(sample.pid, sample.pc) != nullptr) {
       // VIProf path: the registered-heap check replaces the anon machinery.
       ++stats_.jit_samples;
+      tele_jit_samples_->inc();
       cost = config_.per_sample_jit;
     } else {
       ++stats_.anon_samples;

@@ -25,6 +25,7 @@
 #include "os/machine.hpp"
 #include "os/service.hpp"
 #include "support/fault.hpp"
+#include "support/telemetry.hpp"
 
 namespace viprof::core {
 
@@ -128,6 +129,22 @@ class Daemon : public os::BackgroundService {
   bool dead_ = false;
   hw::ExecContext context_{};   // oprofiled's code
   hw::AccessPattern pattern_{}; // oprofiled's data behaviour
+
+  // Self-telemetry handles (daemon.* namespace, DESIGN.md §8). Registered
+  // once at construction; increments are lock-free on the drain path.
+  support::Counter* tele_drained_ = nullptr;
+  support::Counter* tele_wakeups_ = nullptr;
+  support::Counter* tele_flushes_ = nullptr;
+  support::Counter* tele_jit_samples_ = nullptr;
+  support::Counter* tele_epoch_markers_ = nullptr;
+  support::Counter* tele_flush_errors_ = nullptr;
+  support::Counter* tele_flush_torn_ = nullptr;
+  support::Counter* tele_flush_retries_ = nullptr;
+  support::Counter* tele_spill_dropped_ = nullptr;
+  support::Counter* tele_crashes_ = nullptr;
+  support::LatencyHistogram* tele_backlog_ = nullptr;     // samples at wakeup
+  support::LatencyHistogram* tele_drain_cost_ = nullptr;  // cycles per drain
+  support::LatencyHistogram* tele_flush_cost_ = nullptr;  // retry cycles per flush
 };
 
 }  // namespace viprof::core

@@ -32,7 +32,14 @@ os::SymbolTable parse_rvm_map(const std::string& contents) {
 
 Resolver::Resolver(const os::Machine& machine, const RegistrationTable& table,
                    bool vm_aware)
-    : machine_(&machine), table_(&table), vm_aware_(vm_aware) {}
+    : machine_(&machine), table_(&table), vm_aware_(vm_aware) {
+  support::Telemetry& tele = machine_->telemetry();
+  tele_jit_resolved_ = &tele.counter("resolver.jit.resolved");
+  tele_jit_unresolved_ = &tele.counter("resolver.jit.unresolved");
+  tele_missing_map_ = &tele.counter("resolver.unresolved.missing_map");
+  tele_truncated_map_ = &tele.counter("resolver.unresolved.truncated_map");
+  tele_walkback_ = &tele.histogram("resolver.walkback.depth", 0, 1, 32);
+}
 
 void Resolver::load() {
   if (!vm_aware_) {
@@ -155,16 +162,21 @@ Resolution Resolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
             out.symbol_size = lk.hit->size;
             backward_steps_ += lk.hit->maps_searched;
             ++jit_resolved_;
+            tele_jit_resolved_->inc();
+            tele_walkback_->add(static_cast<double>(lk.hit->maps_searched));
             return out;
           }
           ++jit_unresolved_;
+          tele_jit_unresolved_->inc();
           switch (lk.miss) {
             case JitLookupMiss::kMissingEpochMap:
               ++unresolved_missing_map_;
+              tele_missing_map_->inc();
               out.symbol = kUnresolvedMissingMap;
               break;
             case JitLookupMiss::kTruncatedMap:
               ++unresolved_truncated_map_;
+              tele_truncated_map_->inc();
               out.symbol = kUnresolvedTruncatedMap;
               break;
             default:

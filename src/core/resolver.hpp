@@ -21,6 +21,7 @@
 #include "core/registration.hpp"
 #include "core/sample_log.hpp"
 #include "os/machine.hpp"
+#include "support/telemetry.hpp"
 
 namespace viprof::core {
 
@@ -101,6 +102,16 @@ class Resolver {
   mutable std::uint64_t backward_steps_ = 0;
   mutable std::uint64_t unresolved_missing_map_ = 0;
   mutable std::uint64_t unresolved_truncated_map_ = 0;
+
+  // Self-telemetry handles (resolver.* namespace, DESIGN.md §8). The
+  // registry is reachable through the const machine because telemetry is a
+  // mutable member — resolution is logically const, instrumentation is not
+  // part of the observable profile.
+  support::Counter* tele_jit_resolved_ = nullptr;
+  support::Counter* tele_jit_unresolved_ = nullptr;
+  support::Counter* tele_missing_map_ = nullptr;
+  support::Counter* tele_truncated_map_ = nullptr;
+  support::LatencyHistogram* tele_walkback_ = nullptr;  // maps searched per hit
 };
 
 /// Symbol names of the explicit degradation bins. A sample is *never*

@@ -23,6 +23,11 @@ bool SampleBuffer::push(const Sample& sample) {
   slots_[tail & mask_] = sample;
   tail_.store(tail + 1, std::memory_order_release);
   pushed_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t occupancy = tail + 1 - head;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (occupancy > peak &&
+         !peak_.compare_exchange_weak(peak, occupancy, std::memory_order_relaxed)) {
+  }
   return true;
 }
 

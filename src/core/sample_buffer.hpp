@@ -43,6 +43,11 @@ class SampleBuffer {
   std::uint64_t popped() const { return popped_.load(std::memory_order_relaxed); }
   std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
+  /// High-water mark of the backlog (occupancy just after the fullest
+  /// push). Maintained producer-side, so NMI context pays one relaxed
+  /// CAS-max; telemetry reads it at session end.
+  std::uint64_t peak_occupancy() const { return peak_.load(std::memory_order_relaxed); }
+
  private:
   std::vector<Sample> slots_;
   std::size_t mask_;
@@ -51,6 +56,7 @@ class SampleBuffer {
   alignas(64) std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> popped_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> peak_{0};
 };
 
 }  // namespace viprof::core

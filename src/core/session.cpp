@@ -11,11 +11,13 @@ ProfilingSession::ProfilingSession(os::Machine& machine, jvm::Vm& vm,
 
 ProfilingSession::~ProfilingSession() {
   // Leave no dangling handler on the shared CPU, nor a dangling injector
-  // on the shared VFS.
+  // on the shared VFS. The injector's telemetry handles point into this
+  // machine's registry, so detach them too.
   machine_->cpu().set_nmi_handler(nullptr);
   if (config_.fault != nullptr &&
       machine_->vfs().fault_injector() == config_.fault) {
     machine_->vfs().set_fault_injector(nullptr);
+    config_.fault->bind_telemetry(nullptr);
   }
 }
 
@@ -37,8 +39,15 @@ void ProfilingSession::attach() {
       machine_->kernel().context("oprofile_nmi_handler", 0));
 
   buffer_ = std::make_unique<SampleBuffer>(config_.buffer_capacity);
+  tele_nmi_delivered_ = &machine_->telemetry().counter("os.nmi.delivered");
+  tele_nmi_dropped_ = &machine_->telemetry().counter("os.nmi.dropped");
   machine_->cpu().set_nmi_handler([this](const hw::SampleContext& sc) -> hw::Cycles {
-    buffer_->push(Sample::from_context(sc));
+    // NMI context: two relaxed counter increments on top of the ring push.
+    if (buffer_->push(Sample::from_context(sc))) {
+      tele_nmi_delivered_->inc();
+    } else {
+      tele_nmi_dropped_->inc();
+    }
     return config_.nmi_cost;
   });
 
@@ -90,6 +99,28 @@ SessionResult ProfilingSession::finish_run() {
   }
   result.nmi_count = machine_->cpu().nmi_count();
   result.nmi_cycles = machine_->cpu().nmi_overhead_cycles();
+
+  // Self-overhead accounting (DESIGN.md §8.3): profiler cycles are the sum
+  // of the kernel half (NMI handler), the agent hooks charged inside the VM,
+  // and the daemon's background chunks. `cycles` already *includes* all of
+  // them, so overhead relative to the undisturbed run is prof/(total-prof).
+  support::Telemetry& tele = machine_->telemetry();
+  const hw::Cycles prof_cycles =
+      result.nmi_cycles + result.vm.agent_cycles + result.vm.service_cycles;
+  tele.gauge("profiler.cycles.nmi").set(static_cast<double>(result.nmi_cycles));
+  tele.gauge("profiler.cycles.agent").set(static_cast<double>(result.vm.agent_cycles));
+  tele.gauge("profiler.cycles.daemon").set(static_cast<double>(result.vm.service_cycles));
+  tele.gauge("profiler.cycles.total").set(static_cast<double>(result.cycles));
+  if (result.cycles > prof_cycles) {
+    tele.gauge("profiler.overhead_pct")
+        .set(100.0 * static_cast<double>(prof_cycles) /
+             static_cast<double>(result.cycles - prof_cycles));
+  }
+  if (buffer_) {
+    tele.gauge("core.buffer.peak_occupancy")
+        .set(static_cast<double>(buffer_->peak_occupancy()));
+    tele.gauge("core.buffer.dropped").set(static_cast<double>(buffer_->dropped()));
+  }
   return result;
 }
 
@@ -100,6 +131,22 @@ void ProfilingSession::restart_daemon() {
 
 void ProfilingSession::export_archive(const std::string& prefix) {
   write_archive(*machine_, table_, machine_->vfs(), prefix);
+  export_telemetry(prefix + "/telemetry");
+}
+
+void ProfilingSession::export_telemetry(const std::string& prefix) {
+  support::Telemetry& tele = machine_->telemetry();
+  const support::TelemetrySnapshot snap = tele.snapshot();
+  // Snapshot export happens offline, after the measured run; bypass the
+  // fault injector so a dying disk cannot destroy the telemetry about it.
+  support::FaultInjector* fault = machine_->vfs().fault_injector();
+  if (fault != nullptr) machine_->vfs().set_fault_injector(nullptr);
+  machine_->vfs().write(prefix + "/metrics.json", snap.to_json());
+  machine_->vfs().write(prefix + "/metrics.txt", snap.render_text());
+  const double cycles_per_us = machine_->config().clock_ghz * 1000.0;
+  machine_->vfs().write(prefix + "/trace.json",
+                        tele.spans().to_chrome_json(cycles_per_us));
+  if (fault != nullptr) machine_->vfs().set_fault_injector(fault);
 }
 
 Resolver& ProfilingSession::resolver() {

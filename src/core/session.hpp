@@ -105,8 +105,15 @@ class ProfilingSession {
   std::string report_text(const std::vector<hw::EventKind>& events, std::size_t top_n);
 
   /// Writes the offline-resolution archive (manifest + everything the
-  /// ArchiveResolver needs) into the machine's VFS under `prefix`.
+  /// ArchiveResolver needs) into the machine's VFS under `prefix`. Also
+  /// drops a telemetry snapshot under `prefix`/telemetry.
   void export_archive(const std::string& prefix = "archive");
+
+  /// Writes the self-telemetry snapshot into the VFS under `prefix`:
+  ///   <prefix>/metrics.json  — registry snapshot (viprof_stat input)
+  ///   <prefix>/metrics.txt   — human-readable registry dump
+  ///   <prefix>/trace.json    — Chrome-trace-format span log
+  void export_telemetry(const std::string& prefix = "telemetry");
 
   const SessionConfig& config() const { return config_; }
   const RegistrationTable& registrations() const { return table_; }
@@ -126,6 +133,10 @@ class ProfilingSession {
   std::unique_ptr<Resolver> resolver_;
   bool attached_ = false;
   bool ran_ = false;
+
+  // Self-telemetry handles (os.nmi.* / profiler.* namespaces, DESIGN.md §8).
+  support::Counter* tele_nmi_delivered_ = nullptr;
+  support::Counter* tele_nmi_dropped_ = nullptr;
 };
 
 }  // namespace viprof::core

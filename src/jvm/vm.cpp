@@ -291,6 +291,7 @@ void Vm::set_aggressive_methods(const std::vector<std::string>& qualified_names)
 
 void Vm::do_gc() {
   const std::uint64_t closing_epoch = heap_->epoch();
+  const hw::Cycles gc_begin = machine_->cpu().now();
   hw::Cycles cost = 0;
   for (VmEventListener* l : listeners_) cost += l->on_epoch_end(closing_epoch, false);
   charge_listeners(cost);
@@ -311,6 +312,11 @@ void Vm::do_gc() {
   hw::Cycles end_cost = 0;
   for (VmEventListener* l : listeners_) end_cost += l->on_gc_end(heap_->epoch());
   charge_listeners(end_cost);
+
+  // GC-epoch span marker: brackets the whole epoch boundary (agent map
+  // write, collection, post-GC hooks). `arg` carries the epoch that closed.
+  machine_->telemetry().spans().record("jvm.gc", "gc", gc_begin,
+                                       machine_->cpu().now(), closing_epoch);
 }
 
 void Vm::force_gc() { do_gc(); }

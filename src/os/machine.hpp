@@ -17,6 +17,7 @@
 #include "os/loader.hpp"
 #include "os/process.hpp"
 #include "os/vfs.hpp"
+#include "support/telemetry.hpp"
 
 namespace viprof::os {
 
@@ -33,7 +34,9 @@ class Machine {
         kernel_(registry_),
         cpu_(config.seed),
         cache_(config.cache),
-        sampler_(config.seed ^ 0xacce55) {}
+        sampler_(config.seed ^ 0xacce55) {
+    vfs_.set_telemetry(&telemetry_);
+  }
 
   const MachineConfig& config() const { return config_; }
 
@@ -45,6 +48,12 @@ class Machine {
   const Kernel& kernel() const { return kernel_; }
   hw::Cpu& cpu() { return cpu_; }
   const hw::Cpu& cpu() const { return cpu_; }
+
+  /// Self-telemetry hub (metrics + trace spans) for everything running on
+  /// this machine. Mutable through const access: recording observations
+  /// does not change simulated behaviour, and read-only components (the
+  /// offline Resolver) must still be able to count their own work.
+  support::Telemetry& telemetry() const { return telemetry_; }
   hw::CacheModel& cache() { return cache_; }
   hw::AccessSampler& sampler() { return sampler_; }
   Loader& loader() { return loader_; }
@@ -89,6 +98,7 @@ class Machine {
 
  private:
   MachineConfig config_;
+  mutable support::Telemetry telemetry_;
   ImageRegistry registry_;
   Vfs vfs_;
   Kernel kernel_;

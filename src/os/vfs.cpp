@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "support/fault.hpp"
+#include "support/telemetry.hpp"
 
 namespace viprof::os {
 
@@ -28,21 +29,39 @@ IoStatus consult(support::FaultInjector* fault, const std::string& path,
 
 }  // namespace
 
+void Vfs::set_fault_injector(support::FaultInjector* injector) {
+  fault_ = injector;
+  // The injector reports injected faults into the same registry; counting
+  // lives there (fault.*), never here, so a fault is counted exactly once.
+  if (fault_ != nullptr) fault_->bind_telemetry(telemetry_);
+}
+
+void Vfs::set_telemetry(support::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  ctr_writes_ = telemetry ? &telemetry->counter("vfs.writes") : nullptr;
+  ctr_bytes_ = telemetry ? &telemetry->counter("vfs.bytes_written") : nullptr;
+  if (fault_ != nullptr) fault_->bind_telemetry(telemetry_);
+}
+
 IoStatus Vfs::write(const std::string& path, std::string contents) {
   std::size_t kept = 0;
+  if (ctr_writes_ != nullptr) ctr_writes_->inc();
   const IoStatus status = consult(fault_, path, contents.size(), kept);
   if (status == IoStatus::kIoError || status == IoStatus::kNoSpace) return status;
   if (status == IoStatus::kTorn) contents.resize(kept);
   bytes_written_ += contents.size();
+  if (ctr_bytes_ != nullptr) ctr_bytes_->inc(contents.size());
   files_[path] = std::move(contents);
   return status;
 }
 
 IoStatus Vfs::append(const std::string& path, const std::string& contents) {
   std::size_t kept = 0;
+  if (ctr_writes_ != nullptr) ctr_writes_->inc();
   const IoStatus status = consult(fault_, path, contents.size(), kept);
   if (status == IoStatus::kIoError || status == IoStatus::kNoSpace) return status;
   bytes_written_ += kept;
+  if (ctr_bytes_ != nullptr) ctr_bytes_->inc(kept);
   files_[path].append(contents, 0, kept);
   return status;
 }

@@ -20,7 +20,9 @@
 #include <vector>
 
 namespace viprof::support {
+class Counter;
 class FaultInjector;
+class Telemetry;
 }
 
 namespace viprof::os {
@@ -60,8 +62,15 @@ class Vfs {
 
   /// Installs (or, with nullptr, removes) the fault injector consulted on
   /// every write. The injector is not owned.
-  void set_fault_injector(support::FaultInjector* injector) { fault_ = injector; }
+  void set_fault_injector(support::FaultInjector* injector);
   support::FaultInjector* fault_injector() const { return fault_; }
+
+  /// Wires the vfs.* registry counters (write/byte traffic). Write *fault*
+  /// outcomes are deliberately not counted here: the FaultInjector owns the
+  /// fault.* namespace, so each injected fault is counted exactly once (see
+  /// DESIGN.md §8). Installing a fault injector re-binds it to the same
+  /// registry. Not owned; nullptr detaches.
+  void set_telemetry(support::Telemetry* telemetry);
 
   /// Materialises the VFS (or the subtree under `prefix`) into a host
   /// directory; used by the CLI tools to hand sessions to offline
@@ -77,6 +86,9 @@ class Vfs {
   std::map<std::string, std::string> files_;
   std::uint64_t bytes_written_ = 0;
   support::FaultInjector* fault_ = nullptr;
+  support::Telemetry* telemetry_ = nullptr;
+  support::Counter* ctr_writes_ = nullptr;   // vfs.writes
+  support::Counter* ctr_bytes_ = nullptr;    // vfs.bytes_written
 };
 
 }  // namespace viprof::os

@@ -1,15 +1,37 @@
 #include "support/fault.hpp"
 
+#include "support/telemetry.hpp"
+
 namespace viprof::support {
+
+void FaultInjector::bind_telemetry(Telemetry* telemetry) {
+  if (telemetry == telemetry_) return;
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    ctr_writes_seen_ = ctr_write_errors_ = ctr_torn_writes_ = ctr_enospc_ =
+        ctr_kills_ = nullptr;
+    return;
+  }
+  // The registry counts faults injected *while bound* (i.e. observed by
+  // this machine); no replay of earlier counts, so a re-bound injector can
+  // never double-count a fault.
+  ctr_writes_seen_ = &telemetry->counter("fault.writes_seen");
+  ctr_write_errors_ = &telemetry->counter("fault.write_errors");
+  ctr_torn_writes_ = &telemetry->counter("fault.torn_writes");
+  ctr_enospc_ = &telemetry->counter("fault.enospc_errors");
+  ctr_kills_ = &telemetry->counter("fault.kills");
+}
 
 FaultInjector::WriteOutcome FaultInjector::on_write(const std::string& path,
                                                     std::size_t size) {
   ++stats_.writes_seen;
+  if (ctr_writes_seen_ != nullptr) ctr_writes_seen_->inc();
 
   // Disk-full is checked first: once the device is out of space no rule can
   // make the write succeed, and partial writes still consume capacity.
   if (bytes_accepted_ + size > capacity_bytes_) {
     ++stats_.enospc_errors;
+    if (ctr_enospc_ != nullptr) ctr_enospc_->inc();
     return {WriteOutcome::Result::kNoSpace, 0};
   }
 
@@ -23,9 +45,11 @@ FaultInjector::WriteOutcome FaultInjector::on_write(const std::string& path,
     switch (rule.kind) {
       case FaultKind::kWriteError:
         ++stats_.write_errors;
+        if (ctr_write_errors_ != nullptr) ctr_write_errors_->inc();
         return {WriteOutcome::Result::kError, 0};
       case FaultKind::kTornWrite: {
         ++stats_.torn_writes;
+        if (ctr_torn_writes_ != nullptr) ctr_torn_writes_->inc();
         double frac = rule.torn_keep_frac;
         if (frac < 0.0) frac = 0.0;
         if (frac > 1.0) frac = 1.0;
@@ -35,6 +59,7 @@ FaultInjector::WriteOutcome FaultInjector::on_write(const std::string& path,
       }
       case FaultKind::kNoSpace:
         ++stats_.enospc_errors;
+        if (ctr_enospc_ != nullptr) ctr_enospc_->inc();
         return {WriteOutcome::Result::kNoSpace, 0};
     }
   }
@@ -52,6 +77,7 @@ bool FaultInjector::should_kill(FaultComponent component, std::uint64_t now) {
   if (now < at) return false;
   at = ~0ull;  // one-shot: a restarted component is not instantly re-killed
   ++stats_.kills;
+  if (ctr_kills_ != nullptr) ctr_kills_->inc();
   return true;
 }
 

@@ -17,6 +17,9 @@
 
 namespace viprof::support {
 
+class Telemetry;
+class Counter;
+
 enum class FaultKind : std::uint8_t {
   kWriteError,  // the write is rejected outright (EIO)
   kTornWrite,   // only a prefix of the bytes reaches storage
@@ -75,6 +78,14 @@ class FaultInjector {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Mirrors the injector's counts into a Telemetry registry under the
+  /// `fault.*` namespace. The injector is the *only* writer of those
+  /// counters — the Vfs and the components it damages keep their own
+  /// per-layer views (daemon.flush.*, agent.map.*) but never re-count a
+  /// fault into fault.*, so each injected fault appears exactly once
+  /// there. Re-binding to the same registry is a no-op; nullptr detaches.
+  void bind_telemetry(Telemetry* telemetry);
+
   /// Injected faults so far (all kinds).
   std::uint64_t faults_injected() const {
     return stats_.write_errors + stats_.torn_writes + stats_.enospc_errors;
@@ -93,6 +104,12 @@ class FaultInjector {
   std::uint64_t bytes_accepted_ = 0;
   std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull};
   Stats stats_;
+  Telemetry* telemetry_ = nullptr;
+  Counter* ctr_writes_seen_ = nullptr;
+  Counter* ctr_write_errors_ = nullptr;
+  Counter* ctr_torn_writes_ = nullptr;
+  Counter* ctr_enospc_ = nullptr;
+  Counter* ctr_kills_ = nullptr;
 };
 
 }  // namespace viprof::support

@@ -21,6 +21,8 @@ class Histogram {
   std::uint64_t overflow() const { return overflow_; }
   std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
   std::size_t bucket_count() const { return buckets_.size(); }
+  double lo() const { return lo_; }
+  double bucket_width() const { return width_; }
 
   /// Value below which `q` (0..1) of the mass lies (bucket-midpoint estimate).
   double quantile(double q) const;

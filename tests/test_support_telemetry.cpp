@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/telemetry.hpp"
+
+namespace viprof::support {
+namespace {
+
+// --- Registry basics --------------------------------------------------------
+
+TEST(Telemetry, RegistrationIsIdempotent) {
+  Telemetry tele;
+  Counter& a = tele.counter("daemon.drained");
+  Counter& b = tele.counter("daemon.drained");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  LatencyHistogram& h1 = tele.histogram("daemon.drain.backlog", 0, 10, 8);
+  LatencyHistogram& h2 = tele.histogram("daemon.drain.backlog", 99, 99, 1);
+  EXPECT_EQ(&h1, &h2);  // later bucket parameters are ignored
+}
+
+TEST(Telemetry, GaugeLastWriteWins) {
+  Telemetry tele;
+  Gauge& g = tele.gauge("profiler.overhead_pct");
+  g.set(4.5);
+  g.set(5.25);
+  EXPECT_DOUBLE_EQ(g.value(), 5.25);
+  EXPECT_DOUBLE_EQ(tele.snapshot().gauge("profiler.overhead_pct"), 5.25);
+}
+
+TEST(Telemetry, SnapshotCapturesAllKinds) {
+  Telemetry tele;
+  tele.counter("a.count").inc(7);
+  tele.gauge("b.gauge").set(-1.5);
+  tele.histogram("c.hist", 0, 1, 4).add(2.0);
+  const TelemetrySnapshot snap = tele.snapshot();
+  EXPECT_EQ(snap.counter("a.count"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauge("b.gauge"), -1.5);
+  ASSERT_EQ(snap.histograms.count("c.hist"), 1u);
+  EXPECT_EQ(snap.histograms.at("c.hist").count, 1u);
+  EXPECT_EQ(snap.counter("missing"), 0u);  // absent names read as zero
+}
+
+// --- Registry concurrency: a daemon thread and an agent thread hammer the
+// same registry; registration races and handle increments must both be safe
+// and lossless (the NMI-path contract).
+
+TEST(Telemetry, ConcurrentCountersAreLossless) {
+  Telemetry tele;
+  constexpr int kPerThread = 50'000;
+  auto worker = [&tele](const char* own_metric) {
+    Counter& own = tele.counter(own_metric);
+    Counter& shared = tele.counter("shared.total");
+    LatencyHistogram& hist = tele.histogram("shared.latency", 0, 100, 16);
+    for (int i = 0; i < kPerThread; ++i) {
+      own.inc();
+      shared.inc();
+      if (i % 64 == 0) hist.add(static_cast<double>(i % 1000));
+    }
+  };
+  std::thread daemon(worker, "daemon.drained");
+  std::thread agent(worker, "agent.compiles_logged");
+  daemon.join();
+  agent.join();
+
+  const TelemetrySnapshot snap = tele.snapshot();
+  EXPECT_EQ(snap.counter("daemon.drained"), static_cast<std::uint64_t>(kPerThread));
+  EXPECT_EQ(snap.counter("agent.compiles_logged"),
+            static_cast<std::uint64_t>(kPerThread));
+  EXPECT_EQ(snap.counter("shared.total"), static_cast<std::uint64_t>(2 * kPerThread));
+  EXPECT_EQ(snap.histograms.at("shared.latency").count,
+            2u * ((kPerThread + 63) / 64));
+}
+
+// --- Histogram percentile edge cases ---------------------------------------
+
+TEST(LatencyHistogramTest, EmptySummaryIsAllZero) {
+  LatencyHistogram h(0, 10, 8);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleReportsThatSample) {
+  LatencyHistogram h(0, 10, 8);
+  h.add(37.0);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 37.0);
+  EXPECT_DOUBLE_EQ(s.max, 37.0);
+  // Every percentile of a one-sample distribution is the sample itself, not
+  // a bucket midpoint.
+  EXPECT_DOUBLE_EQ(s.p50, 37.0);
+  EXPECT_DOUBLE_EQ(s.p90, 37.0);
+  EXPECT_DOUBLE_EQ(s.p99, 37.0);
+}
+
+TEST(LatencyHistogramTest, SaturatingValuesClampToObservedMax) {
+  LatencyHistogram h(0, 10, 4);  // covers [0, 40); everything else overflows
+  for (int i = 0; i < 100; ++i) h.add(1e9);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  // The whole mass sits in the overflow bucket: percentiles saturate at the
+  // exact max instead of inventing an in-range midpoint.
+  EXPECT_DOUBLE_EQ(s.p50, 1e9);
+  EXPECT_DOUBLE_EQ(s.p99, 1e9);
+  EXPECT_DOUBLE_EQ(s.max, 1e9);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndClamped) {
+  LatencyHistogram h(0, 10, 10);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  const HistogramSummary s = h.summary();
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_NEAR(s.p50, 50.0, 5.0);  // bucket-midpoint estimate stays close
+  EXPECT_NEAR(s.p90, 90.0, 5.0);
+}
+
+// --- Span ring --------------------------------------------------------------
+
+TEST(SpanTracerTest, OverflowDropsOldestWholeSpans) {
+  SpanTracer tracer(4);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    tracer.record("span", "test", i * 100, i * 100 + 50);
+  }
+  EXPECT_EQ(tracer.recorded(), 7u);
+  EXPECT_EQ(tracer.dropped(), 3u);  // the 3 oldest whole spans overwritten
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Survivors are the newest four, oldest first, each intact begin/end pair.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].begin_cycle, (i + 3) * 100);
+    EXPECT_EQ(spans[i].end_cycle, (i + 3) * 100 + 50);
+  }
+}
+
+TEST(SpanTracerTest, InstantAndArgSpans) {
+  SpanTracer tracer(8);
+  tracer.record("jvm.gc", "gc", 100, 900, /*arg=*/3);
+  tracer.instant("daemon.crash", "daemon", 500);
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].arg, 3u);
+  EXPECT_FALSE(spans[0].instant);
+  EXPECT_TRUE(spans[1].instant);
+  EXPECT_EQ(spans[1].arg, SpanTracer::kNoArg);
+}
+
+TEST(SpanTracerTest, ChromeTraceJsonIsWellFormed) {
+  SpanTracer tracer(16);
+  tracer.record("daemon.drain", "daemon", 3400, 6800);
+  tracer.record("agent.map_write", "gc", 10'000, 20'000, /*arg=*/2);
+  tracer.instant("daemon.crash", "daemon", 30'000);
+  const std::string json = tracer.to_chrome_json(3400.0);
+  EXPECT_TRUE(json_well_formed(json));
+  // Chrome trace format essentials: the traceEvents array, complete-span
+  // and instant phases, and the epoch argument.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos);  // 3400 cycles = 1 µs
+}
+
+TEST(SpanTracerTest, EmptyTraceIsWellFormed) {
+  SpanTracer tracer(4);
+  EXPECT_TRUE(json_well_formed(tracer.to_chrome_json(3400.0)));
+}
+
+// --- Snapshot serialisation -------------------------------------------------
+
+TEST(TelemetrySnapshotTest, JsonRoundTrip) {
+  Telemetry tele;
+  tele.counter("daemon.drained").inc(123);
+  tele.gauge("profiler.overhead_pct").set(4.875);
+  LatencyHistogram& h = tele.histogram("resolver.walkback.depth", 0, 1, 8);
+  h.add(0);
+  h.add(1);
+  h.add(5);
+  const TelemetrySnapshot snap = tele.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_TRUE(json_well_formed(json));
+  const auto loaded = TelemetrySnapshot::from_json(json);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->counters, snap.counters);
+  EXPECT_EQ(loaded->gauges, snap.gauges);
+  ASSERT_EQ(loaded->histograms.size(), 1u);
+  const HistogramSummary& hs = loaded->histograms.at("resolver.walkback.depth");
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_DOUBLE_EQ(hs.min, 0.0);
+  EXPECT_DOUBLE_EQ(hs.max, 5.0);
+}
+
+TEST(TelemetrySnapshotTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(TelemetrySnapshot::from_json("").has_value());
+  EXPECT_FALSE(TelemetrySnapshot::from_json("{").has_value());
+  EXPECT_FALSE(TelemetrySnapshot::from_json("[1,2]").has_value());
+  EXPECT_FALSE(TelemetrySnapshot::from_json("{\"counters\": {\"x\": \"nan\"}}")
+                   .has_value());
+  EXPECT_FALSE(TelemetrySnapshot::from_json("{} trailing").has_value());
+}
+
+TEST(TelemetrySnapshotTest, RenderTextFiltersByPrefix) {
+  Telemetry tele;
+  tele.counter("daemon.drained").inc(5);
+  tele.counter("agent.maps_written").inc(2);
+  const TelemetrySnapshot snap = tele.snapshot();
+  const std::string all = snap.render_text();
+  EXPECT_NE(all.find("daemon.drained"), std::string::npos);
+  EXPECT_NE(all.find("agent.maps_written"), std::string::npos);
+  const std::string only_daemon = snap.render_text("daemon.");
+  EXPECT_NE(only_daemon.find("daemon.drained"), std::string::npos);
+  EXPECT_EQ(only_daemon.find("agent.maps_written"), std::string::npos);
+}
+
+TEST(TelemetrySnapshotTest, DiffShowsOnlyChangedMetrics) {
+  Telemetry tele;
+  Counter& changed = tele.counter("daemon.drained");
+  tele.counter("daemon.crashes");  // stays zero
+  changed.inc(10);
+  const TelemetrySnapshot before = tele.snapshot();
+  changed.inc(5);
+  tele.gauge("profiler.overhead_pct").set(4.5);
+  const TelemetrySnapshot after = tele.snapshot();
+
+  const std::string diff = TelemetrySnapshot::render_diff(before, after);
+  EXPECT_NE(diff.find("daemon.drained"), std::string::npos);
+  EXPECT_NE(diff.find("+5"), std::string::npos);
+  EXPECT_NE(diff.find("profiler.overhead_pct"), std::string::npos);
+  EXPECT_EQ(diff.find("daemon.crashes"), std::string::npos);
+
+  EXPECT_EQ(TelemetrySnapshot::render_diff(after, after), "(no differences)\n");
+}
+
+}  // namespace
+}  // namespace viprof::support

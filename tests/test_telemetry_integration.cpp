@@ -1,0 +1,193 @@
+// End-to-end checks of the self-telemetry subsystem (DESIGN.md §8): a full
+// session populates every layer's metrics, the exported snapshot and Chrome
+// trace are well-formed, the overhead gauge agrees with an externally
+// measured base-vs-viprof comparison, and injected faults are counted
+// exactly once in the fault.* namespace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/viprof.hpp"
+#include "support/telemetry.hpp"
+#include "workloads/generator.hpp"
+
+namespace viprof {
+namespace {
+
+struct SessionRun {
+  std::unique_ptr<os::Machine> machine;
+  std::unique_ptr<jvm::Vm> vm;
+  std::unique_ptr<core::ProfilingSession> session;
+  core::SessionResult result;
+};
+
+SessionRun run_session(core::ProfilingMode mode, std::uint64_t period,
+                       std::uint64_t machine_seed = 0x7e1e,
+                       support::FaultInjector* fault = nullptr) {
+  SessionRun run;
+  os::MachineConfig mcfg;
+  mcfg.seed = machine_seed;
+  run.machine = std::make_unique<os::Machine>(mcfg);
+
+  workloads::GeneratorOptions opt;
+  opt.name = "tele";
+  opt.seed = 5;
+  opt.methods = 24;
+  opt.total_app_ops = 4'000'000;
+  opt.alloc_intensity = 0.6;
+  opt.nursery_bytes = 512 * 1024;
+  opt.native_frac = 0.08;
+  opt.syscall_frac = 0.04;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+
+  run.vm = std::make_unique<jvm::Vm>(*run.machine, w.vm);
+  core::SessionConfig config;
+  config.mode = mode;
+  config.fault = fault;
+  if (period > 0) {
+    config.counters = {{hw::EventKind::kGlobalPowerEvents, period, true},
+                       {hw::EventKind::kBsqCacheReference, period / 64, true}};
+  }
+  run.session = std::make_unique<core::ProfilingSession>(*run.machine, *run.vm, config);
+  run.session->attach();
+  run.vm->setup(w.program);
+  run.result = run.session->run();
+  return run;
+}
+
+TEST(TelemetryIntegration, EveryLayerReportsNonZeroMetrics) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  // Resolution populates the resolver.* counters.
+  run.session->build_profile({hw::EventKind::kGlobalPowerEvents});
+  const support::TelemetrySnapshot snap = run.machine->telemetry().snapshot();
+
+  // Kernel/NMI layer: every NMI either delivered a sample or dropped one.
+  EXPECT_EQ(snap.counter("os.nmi.delivered") + snap.counter("os.nmi.dropped"),
+            run.result.nmi_count);
+  EXPECT_GT(snap.gauge("core.buffer.peak_occupancy"), 0.0);
+  // Daemon layer. daemon.drained counts in-run drains only (the end-of-run
+  // final_flush is outside measured time), so it is bounded by the total.
+  EXPECT_GT(snap.counter("daemon.wakeups"), 0u);
+  EXPECT_GT(snap.counter("daemon.flushes"), 0u);
+  EXPECT_GT(snap.counter("daemon.samples.jit"), 0u);
+  EXPECT_GT(snap.counter("daemon.drained"), 0u);
+  EXPECT_LE(snap.counter("daemon.drained"), run.result.daemon.drained);
+  // Agent layer.
+  EXPECT_EQ(snap.counter("agent.maps_written"), run.result.agent.maps_written);
+  EXPECT_GT(snap.counter("agent.maps_written"), 0u);
+  EXPECT_GT(snap.counter("agent.compiles_logged"), 0u);
+  // Resolver layer.
+  EXPECT_GT(snap.counter("resolver.jit.resolved"), 0u);
+  ASSERT_EQ(snap.histograms.count("resolver.walkback.depth"), 1u);
+  EXPECT_GT(snap.histograms.at("resolver.walkback.depth").count, 0u);
+  // VFS layer.
+  EXPECT_GT(snap.counter("vfs.writes"), 0u);
+  // Overhead accounting.
+  EXPECT_GT(snap.gauge("profiler.cycles.nmi"), 0.0);
+  EXPECT_GT(snap.gauge("profiler.cycles.daemon"), 0.0);
+  EXPECT_GT(snap.gauge("profiler.cycles.agent"), 0.0);
+  EXPECT_GT(snap.gauge("profiler.overhead_pct"), 0.0);
+}
+
+TEST(TelemetryIntegration, SpansCoverDrainGcAndMapWrites) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  const auto spans = run.machine->telemetry().spans().spans();
+  ASSERT_FALSE(spans.empty());
+  bool saw_drain = false, saw_gc = false, saw_map = false;
+  for (const support::Span& s : spans) {
+    const std::string name = s.name;
+    if (name == "daemon.drain") saw_drain = true;
+    if (name == "jvm.gc") {
+      saw_gc = true;
+      EXPECT_NE(s.arg, support::SpanTracer::kNoArg);  // carries the epoch
+    }
+    if (name == "agent.map_write") saw_map = true;
+    EXPECT_GE(s.end_cycle, s.begin_cycle);
+  }
+  EXPECT_TRUE(saw_drain);
+  EXPECT_TRUE(saw_gc);
+  EXPECT_TRUE(saw_map);
+}
+
+TEST(TelemetryIntegration, ExportedSnapshotAndTraceAreWellFormed) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000);
+  run.session->export_archive();
+  const os::Vfs& vfs = run.machine->vfs();
+
+  const auto metrics = vfs.read("archive/telemetry/metrics.json");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_TRUE(support::json_well_formed(*metrics));
+  const auto loaded = support::TelemetrySnapshot::from_json(*metrics);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_GT(loaded->counter("daemon.flushes"), 0u);
+  EXPECT_GT(loaded->counter("agent.maps_written"), 0u);
+  EXPECT_GT(loaded->gauge("profiler.overhead_pct"), 0.0);
+
+  const auto trace = vfs.read("archive/telemetry/trace.json");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_TRUE(support::json_well_formed(*trace));
+  EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace->find("jvm.gc"), std::string::npos);
+
+  EXPECT_TRUE(vfs.read("archive/telemetry/metrics.txt").has_value());
+}
+
+TEST(TelemetryIntegration, OverheadGaugeMatchesExternalMeasurement) {
+  // The acceptance check for the overhead accounting: the gauge computed
+  // from internal cycle attribution must agree (±1 pp) with the Fig. 2
+  // methodology — the same workload run with and without the profiler.
+  SessionRun base = run_session(core::ProfilingMode::kBase, 0, 0x0dda);
+  SessionRun viprof = run_session(core::ProfilingMode::kViprof, 90'000, 0x0dda);
+
+  const double external =
+      100.0 *
+      (static_cast<double>(viprof.result.cycles) - static_cast<double>(base.result.cycles)) /
+      static_cast<double>(base.result.cycles);
+  const double internal =
+      viprof.machine->telemetry().snapshot().gauge("profiler.overhead_pct");
+  EXPECT_GT(internal, 0.0);
+  EXPECT_NEAR(internal, external, 1.0);
+}
+
+TEST(TelemetryIntegration, InjectedFaultsCountedExactlyOnce) {
+  support::FaultInjector fault(0xfa17);
+  support::FaultRule rule;
+  rule.path_prefix = "samples/";
+  rule.kind = support::FaultKind::kWriteError;
+  rule.skip = 2;
+  rule.count = 5;
+  fault.add_rule(rule);
+
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 45'000, 0xfa, &fault);
+  const support::TelemetrySnapshot snap = run.machine->telemetry().snapshot();
+
+  // The injector is the only writer of fault.*: the registry view equals
+  // the injector's own stats exactly — nothing double-counts through the
+  // VFS or the retrying components.
+  EXPECT_EQ(snap.counter("fault.write_errors"), fault.stats().write_errors);
+  EXPECT_EQ(snap.counter("fault.writes_seen"), fault.stats().writes_seen);
+  EXPECT_EQ(snap.counter("fault.torn_writes"), fault.stats().torn_writes);
+  EXPECT_EQ(fault.stats().write_errors, 5u);
+  // The daemon observed the same faults from its side (retries), but in its
+  // own namespace; vfs.writes counts attempts, not faults.
+  EXPECT_GT(snap.counter("daemon.flush.write_errors") +
+                snap.counter("daemon.flush.retries"),
+            0u);
+}
+
+TEST(TelemetryIntegration, SnapshotDiffTracksSecondRunOnSameMachine) {
+  SessionRun run = run_session(core::ProfilingMode::kViprof, 90'000);
+  const support::TelemetrySnapshot before = run.machine->telemetry().snapshot();
+  const support::TelemetrySnapshot after_same = run.machine->telemetry().snapshot();
+  EXPECT_EQ(support::TelemetrySnapshot::render_diff(before, after_same),
+            "(no differences)\n");
+  run.machine->telemetry().counter("daemon.drained").inc(1);
+  const support::TelemetrySnapshot after = run.machine->telemetry().snapshot();
+  const std::string diff = support::TelemetrySnapshot::render_diff(before, after);
+  EXPECT_NE(diff.find("daemon.drained"), std::string::npos);
+  EXPECT_NE(diff.find("+1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viprof

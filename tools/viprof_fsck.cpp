@@ -1,44 +1,41 @@
 // viprof_fsck — integrity checker and recovery tool for an exported
 // session directory (the e2fsck analogue for a sample tree).
 //
-//   viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet]
+//   viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet] [--metrics]
 //
-// Scans every per-event sample log (record framing: sequence numbers +
-// checksums) and every epoch code map (entry count + checksum trailer),
-// reports exactly what is intact, salvageable and lost, and — with --out —
-// emits the recoverable subset: sample logs re-framed from their verified
-// records, damaged code maps rewritten as their salvaged prefix with the
-// `truncated` marker preserved, everything else copied verbatim.
+// Thin CLI over core::fsck_tree: scans every per-event sample log (record
+// framing: sequence numbers + checksums) and every epoch code map (entry
+// count + checksum trailer), reports findings through the self-telemetry
+// registry (fsck.* counters; --metrics dumps them), and — with --out —
+// emits the recoverable subset.
 //
-// Exit status: 0 when the tree is clean, 1 when corruption was found
-// (whether or not a recovery tree was written), 2 on usage errors.
+// Exit status mirrors the verdict:
+//   0  clean          every artifact verified end to end
+//   1  salvaged       damage found; every damaged artifact partly recovered
+//   2  unrecoverable  some artifact yielded nothing usable
+//   3  usage errors
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
-#include <vector>
 
-#include "core/code_map.hpp"
-#include "core/sample_log.hpp"
-#include "hw/event.hpp"
+#include "core/fsck.hpp"
 #include "os/vfs.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
                "usage: viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet]\n"
+               "                   [--metrics]\n"
                "  --in DIR        exported session directory to check\n"
                "  --out DIR       write the recoverable subset here\n"
                "  --samples NAME  sample subtree inside DIR (default: samples)\n"
-               "  --quiet         only print the final verdict\n");
-  std::exit(2);
-}
-
-std::string basename_of(const std::string& path) {
-  const auto slash = path.rfind('/');
-  return slash == std::string::npos ? path : path.substr(slash + 1);
+               "  --quiet         only print the final verdict\n"
+               "  --metrics       dump the fsck.* telemetry registry after the scan\n");
+  std::exit(viprof::core::kFsckExitUsage);
 }
 
 }  // namespace
@@ -48,8 +45,9 @@ int main(int argc, char** argv) {
 
   std::string in_dir;
   std::string out_dir;
-  std::string samples_dir = "samples";
+  core::FsckOptions opts;
   bool quiet = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -60,113 +58,34 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--in")) in_dir = need("--in");
     else if (!std::strcmp(argv[i], "--out")) out_dir = need("--out");
-    else if (!std::strcmp(argv[i], "--samples")) samples_dir = need("--samples");
+    else if (!std::strcmp(argv[i], "--samples")) opts.samples_dir = need("--samples");
     else if (!std::strcmp(argv[i], "--quiet")) quiet = true;
+    else if (!std::strcmp(argv[i], "--metrics")) metrics = true;
     else usage();
   }
   if (in_dir.empty()) usage();
   if (!std::filesystem::is_directory(in_dir)) {
     std::fprintf(stderr, "viprof_fsck: %s is not a directory\n", in_dir.c_str());
-    return 2;
+    return core::kFsckExitUsage;
   }
 
   os::Vfs vfs;
   vfs.import_from_directory(in_dir);
   if (vfs.file_count() == 0) {
     std::fprintf(stderr, "viprof_fsck: nothing under %s\n", in_dir.c_str());
-    return 2;
+    return core::kFsckExitUsage;
   }
 
   os::Vfs out;
-  bool corrupt = false;
-  std::uint64_t total_valid = 0, total_salvaged = 0, total_discarded = 0;
-  std::uint64_t total_missing = 0, total_duplicates = 0;
+  opts.write_recovery = !out_dir.empty();
+  opts.verbose = !quiet;
+  support::Telemetry telemetry;
+  const core::FsckReport report = core::fsck_tree(vfs, &out, telemetry, opts);
 
-  // --- Sample logs: one file per event, verified record by record ---------
-  core::SampleLogWriter rewriter(out, samples_dir);
-  std::vector<std::string> rewritten_paths;
-  for (hw::EventKind event : hw::kAllEventKinds) {
-    core::SampleLogReadStatus st;
-    const auto samples = core::SampleLogReader::read_checked(vfs, samples_dir, event, st);
-    if (st.missing) continue;
-    const std::string path = core::SampleLogWriter::path_for(samples_dir, event);
-    rewritten_paths.push_back(path);
-    total_valid += st.valid;
-    total_salvaged += st.salvaged;
-    total_discarded += st.discarded_lines;
-    total_missing += st.missing_records;
-    total_duplicates += st.duplicate_records;
-    if (!st.clean()) corrupt = true;
-    if (!quiet) {
-      std::printf("%-60s %s: %llu valid", path.c_str(),
-                  st.clean() ? "clean" : "CORRUPT",
-                  static_cast<unsigned long long>(st.valid));
-      if (!st.clean())
-        std::printf(", %llu salvaged, %llu line(s) discarded (%llu bytes)",
-                    static_cast<unsigned long long>(st.salvaged),
-                    static_cast<unsigned long long>(st.discarded_lines),
-                    static_cast<unsigned long long>(st.discarded_bytes));
-      if (st.missing_records)
-        std::printf(", %llu missing (sequence gaps)",
-                    static_cast<unsigned long long>(st.missing_records));
-      if (st.duplicate_records)
-        std::printf(", %llu duplicate(s) dropped",
-                    static_cast<unsigned long long>(st.duplicate_records));
-      std::printf("\n");
-    }
-    if (!out_dir.empty()) {
-      for (const core::LoggedSample& s : samples) rewriter.append(event, s);
-    }
-  }
-  if (!out_dir.empty()) rewriter.flush();
-
-  // --- Epoch code maps: entry count + checksum trailer --------------------
-  std::uint64_t maps_intact = 0, maps_truncated = 0, entries_salvaged = 0;
-  for (const std::string& path : vfs.list("")) {
-    if (basename_of(path).rfind("map.", 0) != 0) continue;
-    const auto contents = vfs.read(path);
-    const auto epoch_hint = core::CodeMapFile::epoch_from_path(path);
-    const core::CodeMapFile::Recovery rec =
-        core::CodeMapFile::salvage(*contents, epoch_hint.value_or(0));
-    if (rec.intact) {
-      ++maps_intact;
-    } else {
-      ++maps_truncated;
-      entries_salvaged += rec.file.entries.size();
-      corrupt = true;
-      if (!quiet)
-        std::printf("%-60s CORRUPT: salvaged %zu of %llu entries (epoch %llu%s)\n",
-                    path.c_str(), rec.file.entries.size(),
-                    static_cast<unsigned long long>(rec.entries_expected),
-                    static_cast<unsigned long long>(rec.file.epoch),
-                    rec.header_ok ? "" : ", epoch from file name");
-    }
-    if (!out_dir.empty()) out.write(path, rec.file.serialize());
-  }
-
-  // --- Everything else (manifest, RVM.map, reports) copies verbatim -------
-  if (!out_dir.empty()) {
-    for (const std::string& path : vfs.list("")) {
-      if (out.exists(path)) continue;  // already rewritten above
-      bool handled = false;
-      for (const std::string& p : rewritten_paths) handled = handled || p == path;
-      if (!handled) out.write(path, *vfs.read(path));
-    }
-    out.export_to_directory(out_dir);
-  }
-
-  std::printf("%s: %llu valid sample(s) (%llu salvaged), %llu discarded, "
-              "%llu missing, %llu duplicate(s); %llu map(s) intact, %llu truncated "
-              "(%llu entries salvaged)%s\n",
-              corrupt ? "CORRUPTION FOUND" : "clean",
-              static_cast<unsigned long long>(total_valid),
-              static_cast<unsigned long long>(total_salvaged),
-              static_cast<unsigned long long>(total_discarded),
-              static_cast<unsigned long long>(total_missing),
-              static_cast<unsigned long long>(total_duplicates),
-              static_cast<unsigned long long>(maps_intact),
-              static_cast<unsigned long long>(maps_truncated),
-              static_cast<unsigned long long>(entries_salvaged),
+  if (!quiet && !report.details.empty()) std::fputs(report.details.c_str(), stdout);
+  if (opts.write_recovery) out.export_to_directory(out_dir);
+  std::printf("%s%s\n", report.summary.c_str(),
               out_dir.empty() ? "" : (", recovery tree written to " + out_dir).c_str());
-  return corrupt ? 1 : 0;
+  if (metrics) std::fputs(report.metrics.render_text("fsck.").c_str(), stdout);
+  return static_cast<int>(report.verdict);
 }

@@ -1,0 +1,140 @@
+// viprof_stat — dump, diff and snapshot the profiler's own telemetry
+// registry from an exported session tree (the vmstat/opcontrol --status
+// analogue for the profiler's self-observability layer, DESIGN.md §8).
+//
+//   viprof_stat dump --in DIR|FILE [--json] [--prefix P]
+//   viprof_stat diff --before DIR|FILE --after DIR|FILE [--prefix P]
+//   viprof_stat snapshot --in DIR|FILE --out FILE
+//
+// DIR|FILE is either a metrics.json written by Session::export_telemetry or
+// an exported session directory (the telemetry subtree is located inside).
+// `dump` renders the registry as fixed-width tables (--json re-emits
+// canonical JSON instead); `diff` prints metric-by-metric deltas between
+// two snapshots (CI trajectory checks); `snapshot` copies a validated,
+// canonicalised snapshot to FILE for later diffing.
+//
+// Exit status: 0 on success, 1 when `diff` found differences, 2 on usage or
+// load errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/telemetry.hpp"
+
+namespace {
+
+using viprof::support::TelemetrySnapshot;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: viprof_stat dump --in DIR|FILE [--json] [--prefix P]\n"
+               "       viprof_stat diff --before DIR|FILE --after DIR|FILE [--prefix P]\n"
+               "       viprof_stat snapshot --in DIR|FILE --out FILE\n"
+               "DIR|FILE: a metrics.json, or an exported session directory\n"
+               "containing one (archive/telemetry/metrics.json).\n");
+  std::exit(2);
+}
+
+/// A metrics.json path: the argument itself, or the conventional locations
+/// inside an exported session directory.
+std::string locate_metrics(const std::string& arg) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(arg)) return arg;
+  for (const char* sub :
+       {"/archive/telemetry/metrics.json", "/telemetry/metrics.json", "/metrics.json"}) {
+    if (fs::is_regular_file(arg + sub)) return arg + sub;
+  }
+  return arg;  // fall through to the load error below
+}
+
+TelemetrySnapshot load_or_die(const std::string& arg) {
+  const std::string path = locate_metrics(arg);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "viprof_stat: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  auto snap = TelemetrySnapshot::from_json(contents.str());
+  if (!snap) {
+    std::fprintf(stderr, "viprof_stat: %s is not a telemetry snapshot\n", path.c_str());
+    std::exit(2);
+  }
+  return *std::move(snap);
+}
+
+/// Restricts a snapshot to metrics whose name starts with `prefix`.
+TelemetrySnapshot filtered(TelemetrySnapshot snap, const std::string& prefix) {
+  if (prefix.empty()) return snap;
+  auto keep = [&prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
+  std::erase_if(snap.counters, [&](const auto& kv) { return !keep(kv.first); });
+  std::erase_if(snap.gauges, [&](const auto& kv) { return !keep(kv.first); });
+  std::erase_if(snap.histograms, [&](const auto& kv) { return !keep(kv.first); });
+  return snap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+
+  std::string in_arg, before_arg, after_arg, out_path, prefix;
+  bool as_json = false;
+  for (int i = 2; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--in")) in_arg = need("--in");
+    else if (!std::strcmp(argv[i], "--before")) before_arg = need("--before");
+    else if (!std::strcmp(argv[i], "--after")) after_arg = need("--after");
+    else if (!std::strcmp(argv[i], "--out")) out_path = need("--out");
+    else if (!std::strcmp(argv[i], "--prefix")) prefix = need("--prefix");
+    else if (!std::strcmp(argv[i], "--json")) as_json = true;
+    else usage();
+  }
+
+  if (cmd == "dump") {
+    if (in_arg.empty()) usage();
+    const TelemetrySnapshot snap = filtered(load_or_die(in_arg), prefix);
+    if (as_json) std::fputs(snap.to_json().c_str(), stdout);
+    else std::fputs(snap.render_text().c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    if (before_arg.empty() || after_arg.empty()) usage();
+    const TelemetrySnapshot before = filtered(load_or_die(before_arg), prefix);
+    const TelemetrySnapshot after = filtered(load_or_die(after_arg), prefix);
+    const std::string diff = TelemetrySnapshot::render_diff(before, after);
+    std::fputs(diff.c_str(), stdout);
+    return diff == "(no differences)\n" ? 0 : 1;
+  }
+
+  if (cmd == "snapshot") {
+    if (in_arg.empty() || out_path.empty()) usage();
+    const TelemetrySnapshot snap = load_or_die(in_arg);
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "viprof_stat: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << snap.to_json();
+    std::printf("snapshot written to %s\n", out_path.c_str());
+    return 0;
+  }
+
+  usage();
+  return 2;
+}
