@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_epoch_maps.dir/abl_epoch_maps.cpp.o"
+  "CMakeFiles/abl_epoch_maps.dir/abl_epoch_maps.cpp.o.d"
+  "abl_epoch_maps"
+  "abl_epoch_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_epoch_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gc_flagging.dir/abl_gc_flagging.cpp.o"
+  "CMakeFiles/abl_gc_flagging.dir/abl_gc_flagging.cpp.o.d"
+  "abl_gc_flagging"
+  "abl_gc_flagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gc_flagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

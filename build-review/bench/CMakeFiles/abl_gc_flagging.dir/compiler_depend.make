@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_gc_flagging.
+# This may be replaced when dependencies are built.

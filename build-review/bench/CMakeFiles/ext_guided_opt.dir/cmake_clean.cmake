@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_guided_opt.dir/ext_guided_opt.cpp.o"
+  "CMakeFiles/ext_guided_opt.dir/ext_guided_opt.cpp.o.d"
+  "ext_guided_opt"
+  "ext_guided_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_guided_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

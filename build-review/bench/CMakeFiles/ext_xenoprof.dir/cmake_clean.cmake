@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_xenoprof.dir/ext_xenoprof.cpp.o"
+  "CMakeFiles/ext_xenoprof.dir/ext_xenoprof.cpp.o.d"
+  "ext_xenoprof"
+  "ext_xenoprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_xenoprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

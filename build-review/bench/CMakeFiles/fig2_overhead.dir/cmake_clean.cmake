@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_overhead.dir/fig2_overhead.cpp.o"
+  "CMakeFiles/fig2_overhead.dir/fig2_overhead.cpp.o.d"
+  "fig2_overhead"
+  "fig2_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

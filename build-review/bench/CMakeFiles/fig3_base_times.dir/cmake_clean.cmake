@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_base_times.dir/fig3_base_times.cpp.o"
+  "CMakeFiles/fig3_base_times.dir/fig3_base_times.cpp.o.d"
+  "fig3_base_times"
+  "fig3_base_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_base_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

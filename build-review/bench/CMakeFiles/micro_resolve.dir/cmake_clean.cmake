@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_resolve.dir/micro_resolve.cpp.o"
+  "CMakeFiles/micro_resolve.dir/micro_resolve.cpp.o.d"
+  "micro_resolve"
+  "micro_resolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_resolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

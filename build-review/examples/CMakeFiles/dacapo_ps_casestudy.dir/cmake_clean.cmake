@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacapo_ps_casestudy.dir/dacapo_ps_casestudy.cpp.o"
+  "CMakeFiles/dacapo_ps_casestudy.dir/dacapo_ps_casestudy.cpp.o.d"
+  "dacapo_ps_casestudy"
+  "dacapo_ps_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacapo_ps_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_sweep.dir/overhead_sweep.cpp.o"
+  "CMakeFiles/overhead_sweep.dir/overhead_sweep.cpp.o.d"
+  "overhead_sweep"
+  "overhead_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_guided_opt.dir/profile_guided_opt.cpp.o"
+  "CMakeFiles/profile_guided_opt.dir/profile_guided_opt.cpp.o.d"
+  "profile_guided_opt"
+  "profile_guided_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_guided_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

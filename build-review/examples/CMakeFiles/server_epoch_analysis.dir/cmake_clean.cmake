@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_epoch_analysis.dir/server_epoch_analysis.cpp.o"
+  "CMakeFiles/server_epoch_analysis.dir/server_epoch_analysis.cpp.o.d"
+  "server_epoch_analysis"
+  "server_epoch_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_epoch_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

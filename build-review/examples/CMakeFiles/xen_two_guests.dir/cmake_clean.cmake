@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xen_two_guests.dir/xen_two_guests.cpp.o"
+  "CMakeFiles/xen_two_guests.dir/xen_two_guests.cpp.o.d"
+  "xen_two_guests"
+  "xen_two_guests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xen_two_guests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

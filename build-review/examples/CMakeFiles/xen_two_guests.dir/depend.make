@@ -1,0 +1,2 @@
+# Empty dependencies file for xen_two_guests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/viprof_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/annotate.cpp" "src/core/CMakeFiles/viprof_core.dir/annotate.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/annotate.cpp.o.d"
+  "/root/repo/src/core/archive.cpp" "src/core/CMakeFiles/viprof_core.dir/archive.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/archive.cpp.o.d"
+  "/root/repo/src/core/callgraph.cpp" "src/core/CMakeFiles/viprof_core.dir/callgraph.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/callgraph.cpp.o.d"
+  "/root/repo/src/core/code_map.cpp" "src/core/CMakeFiles/viprof_core.dir/code_map.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/code_map.cpp.o.d"
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/viprof_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/fsck.cpp" "src/core/CMakeFiles/viprof_core.dir/fsck.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/fsck.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/viprof_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/resolver.cpp" "src/core/CMakeFiles/viprof_core.dir/resolver.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/resolver.cpp.o.d"
+  "/root/repo/src/core/sample_buffer.cpp" "src/core/CMakeFiles/viprof_core.dir/sample_buffer.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/sample_buffer.cpp.o.d"
+  "/root/repo/src/core/sample_log.cpp" "src/core/CMakeFiles/viprof_core.dir/sample_log.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/sample_log.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/viprof_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/viprof_core.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/jvm/CMakeFiles/viprof_jvm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/viprof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/viprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

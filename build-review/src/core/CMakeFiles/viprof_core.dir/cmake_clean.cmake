@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_core.dir/agent.cpp.o"
+  "CMakeFiles/viprof_core.dir/agent.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/annotate.cpp.o"
+  "CMakeFiles/viprof_core.dir/annotate.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/archive.cpp.o"
+  "CMakeFiles/viprof_core.dir/archive.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/callgraph.cpp.o"
+  "CMakeFiles/viprof_core.dir/callgraph.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/code_map.cpp.o"
+  "CMakeFiles/viprof_core.dir/code_map.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/daemon.cpp.o"
+  "CMakeFiles/viprof_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/fsck.cpp.o"
+  "CMakeFiles/viprof_core.dir/fsck.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/report.cpp.o"
+  "CMakeFiles/viprof_core.dir/report.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/resolver.cpp.o"
+  "CMakeFiles/viprof_core.dir/resolver.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/sample_buffer.cpp.o"
+  "CMakeFiles/viprof_core.dir/sample_buffer.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/sample_log.cpp.o"
+  "CMakeFiles/viprof_core.dir/sample_log.cpp.o.d"
+  "CMakeFiles/viprof_core.dir/session.cpp.o"
+  "CMakeFiles/viprof_core.dir/session.cpp.o.d"
+  "libviprof_core.a"
+  "libviprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_guidance.dir/advisor.cpp.o"
+  "CMakeFiles/viprof_guidance.dir/advisor.cpp.o.d"
+  "CMakeFiles/viprof_guidance.dir/feedback.cpp.o"
+  "CMakeFiles/viprof_guidance.dir/feedback.cpp.o.d"
+  "libviprof_guidance.a"
+  "libviprof_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/access_pattern.cpp" "src/hw/CMakeFiles/viprof_hw.dir/access_pattern.cpp.o" "gcc" "src/hw/CMakeFiles/viprof_hw.dir/access_pattern.cpp.o.d"
+  "/root/repo/src/hw/cache.cpp" "src/hw/CMakeFiles/viprof_hw.dir/cache.cpp.o" "gcc" "src/hw/CMakeFiles/viprof_hw.dir/cache.cpp.o.d"
+  "/root/repo/src/hw/cpu.cpp" "src/hw/CMakeFiles/viprof_hw.dir/cpu.cpp.o" "gcc" "src/hw/CMakeFiles/viprof_hw.dir/cpu.cpp.o.d"
+  "/root/repo/src/hw/perf_counter.cpp" "src/hw/CMakeFiles/viprof_hw.dir/perf_counter.cpp.o" "gcc" "src/hw/CMakeFiles/viprof_hw.dir/perf_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

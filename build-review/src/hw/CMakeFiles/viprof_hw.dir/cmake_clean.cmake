@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_hw.dir/access_pattern.cpp.o"
+  "CMakeFiles/viprof_hw.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/viprof_hw.dir/cache.cpp.o"
+  "CMakeFiles/viprof_hw.dir/cache.cpp.o.d"
+  "CMakeFiles/viprof_hw.dir/cpu.cpp.o"
+  "CMakeFiles/viprof_hw.dir/cpu.cpp.o.d"
+  "CMakeFiles/viprof_hw.dir/perf_counter.cpp.o"
+  "CMakeFiles/viprof_hw.dir/perf_counter.cpp.o.d"
+  "libviprof_hw.a"
+  "libviprof_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

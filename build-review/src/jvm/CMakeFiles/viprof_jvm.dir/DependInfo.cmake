@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/boot_image.cpp" "src/jvm/CMakeFiles/viprof_jvm.dir/boot_image.cpp.o" "gcc" "src/jvm/CMakeFiles/viprof_jvm.dir/boot_image.cpp.o.d"
+  "/root/repo/src/jvm/heap.cpp" "src/jvm/CMakeFiles/viprof_jvm.dir/heap.cpp.o" "gcc" "src/jvm/CMakeFiles/viprof_jvm.dir/heap.cpp.o.d"
+  "/root/repo/src/jvm/jit.cpp" "src/jvm/CMakeFiles/viprof_jvm.dir/jit.cpp.o" "gcc" "src/jvm/CMakeFiles/viprof_jvm.dir/jit.cpp.o.d"
+  "/root/repo/src/jvm/vm.cpp" "src/jvm/CMakeFiles/viprof_jvm.dir/vm.cpp.o" "gcc" "src/jvm/CMakeFiles/viprof_jvm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/os/CMakeFiles/viprof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/viprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

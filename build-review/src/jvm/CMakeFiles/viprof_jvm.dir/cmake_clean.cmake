@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_jvm.dir/boot_image.cpp.o"
+  "CMakeFiles/viprof_jvm.dir/boot_image.cpp.o.d"
+  "CMakeFiles/viprof_jvm.dir/heap.cpp.o"
+  "CMakeFiles/viprof_jvm.dir/heap.cpp.o.d"
+  "CMakeFiles/viprof_jvm.dir/jit.cpp.o"
+  "CMakeFiles/viprof_jvm.dir/jit.cpp.o.d"
+  "CMakeFiles/viprof_jvm.dir/vm.cpp.o"
+  "CMakeFiles/viprof_jvm.dir/vm.cpp.o.d"
+  "libviprof_jvm.a"
+  "libviprof_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

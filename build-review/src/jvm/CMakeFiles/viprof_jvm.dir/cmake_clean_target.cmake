@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libviprof_jvm.a"
+)

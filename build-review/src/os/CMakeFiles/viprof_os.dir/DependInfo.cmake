@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cpp" "src/os/CMakeFiles/viprof_os.dir/address_space.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/address_space.cpp.o.d"
+  "/root/repo/src/os/image.cpp" "src/os/CMakeFiles/viprof_os.dir/image.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/image.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/viprof_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/loader.cpp" "src/os/CMakeFiles/viprof_os.dir/loader.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/loader.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/viprof_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/process.cpp.o.d"
+  "/root/repo/src/os/symbol_table.cpp" "src/os/CMakeFiles/viprof_os.dir/symbol_table.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/symbol_table.cpp.o.d"
+  "/root/repo/src/os/vfs.cpp" "src/os/CMakeFiles/viprof_os.dir/vfs.cpp.o" "gcc" "src/os/CMakeFiles/viprof_os.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hw/CMakeFiles/viprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

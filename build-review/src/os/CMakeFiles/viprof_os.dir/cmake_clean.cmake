@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_os.dir/address_space.cpp.o"
+  "CMakeFiles/viprof_os.dir/address_space.cpp.o.d"
+  "CMakeFiles/viprof_os.dir/image.cpp.o"
+  "CMakeFiles/viprof_os.dir/image.cpp.o.d"
+  "CMakeFiles/viprof_os.dir/kernel.cpp.o"
+  "CMakeFiles/viprof_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/viprof_os.dir/loader.cpp.o"
+  "CMakeFiles/viprof_os.dir/loader.cpp.o.d"
+  "CMakeFiles/viprof_os.dir/process.cpp.o"
+  "CMakeFiles/viprof_os.dir/process.cpp.o.d"
+  "CMakeFiles/viprof_os.dir/symbol_table.cpp.o"
+  "CMakeFiles/viprof_os.dir/symbol_table.cpp.o.d"
+  "CMakeFiles/viprof_os.dir/vfs.cpp.o"
+  "CMakeFiles/viprof_os.dir/vfs.cpp.o.d"
+  "libviprof_os.a"
+  "libviprof_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/fault.cpp" "src/support/CMakeFiles/viprof_support.dir/fault.cpp.o" "gcc" "src/support/CMakeFiles/viprof_support.dir/fault.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/support/CMakeFiles/viprof_support.dir/format.cpp.o" "gcc" "src/support/CMakeFiles/viprof_support.dir/format.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/support/CMakeFiles/viprof_support.dir/histogram.cpp.o" "gcc" "src/support/CMakeFiles/viprof_support.dir/histogram.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/viprof_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/viprof_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/telemetry.cpp" "src/support/CMakeFiles/viprof_support.dir/telemetry.cpp.o" "gcc" "src/support/CMakeFiles/viprof_support.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_support.dir/fault.cpp.o"
+  "CMakeFiles/viprof_support.dir/fault.cpp.o.d"
+  "CMakeFiles/viprof_support.dir/format.cpp.o"
+  "CMakeFiles/viprof_support.dir/format.cpp.o.d"
+  "CMakeFiles/viprof_support.dir/histogram.cpp.o"
+  "CMakeFiles/viprof_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/viprof_support.dir/stats.cpp.o"
+  "CMakeFiles/viprof_support.dir/stats.cpp.o.d"
+  "CMakeFiles/viprof_support.dir/telemetry.cpp.o"
+  "CMakeFiles/viprof_support.dir/telemetry.cpp.o.d"
+  "libviprof_support.a"
+  "libviprof_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_vertical.dir/vertical_profiler.cpp.o"
+  "CMakeFiles/viprof_vertical.dir/vertical_profiler.cpp.o.d"
+  "libviprof_vertical.a"
+  "libviprof_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/viprof_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/viprof_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/dacapo.cpp" "src/workloads/CMakeFiles/viprof_workloads.dir/dacapo.cpp.o" "gcc" "src/workloads/CMakeFiles/viprof_workloads.dir/dacapo.cpp.o.d"
+  "/root/repo/src/workloads/generator.cpp" "src/workloads/CMakeFiles/viprof_workloads.dir/generator.cpp.o" "gcc" "src/workloads/CMakeFiles/viprof_workloads.dir/generator.cpp.o.d"
+  "/root/repo/src/workloads/jvm98.cpp" "src/workloads/CMakeFiles/viprof_workloads.dir/jvm98.cpp.o" "gcc" "src/workloads/CMakeFiles/viprof_workloads.dir/jvm98.cpp.o.d"
+  "/root/repo/src/workloads/pseudojbb.cpp" "src/workloads/CMakeFiles/viprof_workloads.dir/pseudojbb.cpp.o" "gcc" "src/workloads/CMakeFiles/viprof_workloads.dir/pseudojbb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/jvm/CMakeFiles/viprof_jvm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/viprof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/viprof_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_workloads.dir/common.cpp.o"
+  "CMakeFiles/viprof_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/viprof_workloads.dir/dacapo.cpp.o"
+  "CMakeFiles/viprof_workloads.dir/dacapo.cpp.o.d"
+  "CMakeFiles/viprof_workloads.dir/generator.cpp.o"
+  "CMakeFiles/viprof_workloads.dir/generator.cpp.o.d"
+  "CMakeFiles/viprof_workloads.dir/jvm98.cpp.o"
+  "CMakeFiles/viprof_workloads.dir/jvm98.cpp.o.d"
+  "CMakeFiles/viprof_workloads.dir/pseudojbb.cpp.o"
+  "CMakeFiles/viprof_workloads.dir/pseudojbb.cpp.o.d"
+  "libviprof_workloads.a"
+  "libviprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_xen.dir/hypervisor.cpp.o"
+  "CMakeFiles/viprof_xen.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/viprof_xen.dir/scheduler.cpp.o"
+  "CMakeFiles/viprof_xen.dir/scheduler.cpp.o.d"
+  "CMakeFiles/viprof_xen.dir/xenoprof.cpp.o"
+  "CMakeFiles/viprof_xen.dir/xenoprof.cpp.o.d"
+  "libviprof_xen.a"
+  "libviprof_xen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

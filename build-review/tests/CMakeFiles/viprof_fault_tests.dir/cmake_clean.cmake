@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_fault_tests.dir/test_core_fsck.cpp.o"
+  "CMakeFiles/viprof_fault_tests.dir/test_core_fsck.cpp.o.d"
+  "CMakeFiles/viprof_fault_tests.dir/test_crash_recovery.cpp.o"
+  "CMakeFiles/viprof_fault_tests.dir/test_crash_recovery.cpp.o.d"
+  "CMakeFiles/viprof_fault_tests.dir/test_failure_injection.cpp.o"
+  "CMakeFiles/viprof_fault_tests.dir/test_failure_injection.cpp.o.d"
+  "CMakeFiles/viprof_fault_tests.dir/test_support_fault.cpp.o"
+  "CMakeFiles/viprof_fault_tests.dir/test_support_fault.cpp.o.d"
+  "viprof_fault_tests"
+  "viprof_fault_tests.pdb"
+  "viprof_fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

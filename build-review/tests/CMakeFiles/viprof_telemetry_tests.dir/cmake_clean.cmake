@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_telemetry_tests.dir/test_support_telemetry.cpp.o"
+  "CMakeFiles/viprof_telemetry_tests.dir/test_support_telemetry.cpp.o.d"
+  "CMakeFiles/viprof_telemetry_tests.dir/test_telemetry_integration.cpp.o"
+  "CMakeFiles/viprof_telemetry_tests.dir/test_telemetry_integration.cpp.o.d"
+  "viprof_telemetry_tests"
+  "viprof_telemetry_tests.pdb"
+  "viprof_telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

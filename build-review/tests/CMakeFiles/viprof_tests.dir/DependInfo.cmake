@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_clr_flavor.cpp" "tests/CMakeFiles/viprof_tests.dir/test_clr_flavor.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_clr_flavor.cpp.o.d"
+  "/root/repo/tests/test_core_agent.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_agent.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_agent.cpp.o.d"
+  "/root/repo/tests/test_core_annotate.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_annotate.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_annotate.cpp.o.d"
+  "/root/repo/tests/test_core_archive.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_archive.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_archive.cpp.o.d"
+  "/root/repo/tests/test_core_callgraph.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_callgraph.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_callgraph.cpp.o.d"
+  "/root/repo/tests/test_core_code_map.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_code_map.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_code_map.cpp.o.d"
+  "/root/repo/tests/test_core_daemon.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_daemon.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_daemon.cpp.o.d"
+  "/root/repo/tests/test_core_report.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_report.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_report.cpp.o.d"
+  "/root/repo/tests/test_core_resolver.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_resolver.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_resolver.cpp.o.d"
+  "/root/repo/tests/test_core_sample_buffer.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_sample_buffer.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_sample_buffer.cpp.o.d"
+  "/root/repo/tests/test_core_sample_log.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_sample_log.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_sample_log.cpp.o.d"
+  "/root/repo/tests/test_core_session.cpp" "tests/CMakeFiles/viprof_tests.dir/test_core_session.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_core_session.cpp.o.d"
+  "/root/repo/tests/test_guidance.cpp" "tests/CMakeFiles/viprof_tests.dir/test_guidance.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_guidance.cpp.o.d"
+  "/root/repo/tests/test_hw_access_pattern.cpp" "tests/CMakeFiles/viprof_tests.dir/test_hw_access_pattern.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_hw_access_pattern.cpp.o.d"
+  "/root/repo/tests/test_hw_cache.cpp" "tests/CMakeFiles/viprof_tests.dir/test_hw_cache.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_hw_cache.cpp.o.d"
+  "/root/repo/tests/test_hw_cpu.cpp" "tests/CMakeFiles/viprof_tests.dir/test_hw_cpu.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_hw_cpu.cpp.o.d"
+  "/root/repo/tests/test_hw_perf_counter.cpp" "tests/CMakeFiles/viprof_tests.dir/test_hw_perf_counter.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_hw_perf_counter.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/viprof_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_jvm_boot_image.cpp" "tests/CMakeFiles/viprof_tests.dir/test_jvm_boot_image.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_jvm_boot_image.cpp.o.d"
+  "/root/repo/tests/test_jvm_heap.cpp" "tests/CMakeFiles/viprof_tests.dir/test_jvm_heap.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_jvm_heap.cpp.o.d"
+  "/root/repo/tests/test_jvm_jit.cpp" "tests/CMakeFiles/viprof_tests.dir/test_jvm_jit.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_jvm_jit.cpp.o.d"
+  "/root/repo/tests/test_jvm_vm.cpp" "tests/CMakeFiles/viprof_tests.dir/test_jvm_vm.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_jvm_vm.cpp.o.d"
+  "/root/repo/tests/test_os_address_space.cpp" "tests/CMakeFiles/viprof_tests.dir/test_os_address_space.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_os_address_space.cpp.o.d"
+  "/root/repo/tests/test_os_kernel.cpp" "tests/CMakeFiles/viprof_tests.dir/test_os_kernel.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_os_kernel.cpp.o.d"
+  "/root/repo/tests/test_os_loader.cpp" "tests/CMakeFiles/viprof_tests.dir/test_os_loader.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_os_loader.cpp.o.d"
+  "/root/repo/tests/test_os_symbol_table.cpp" "tests/CMakeFiles/viprof_tests.dir/test_os_symbol_table.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_os_symbol_table.cpp.o.d"
+  "/root/repo/tests/test_os_vfs.cpp" "tests/CMakeFiles/viprof_tests.dir/test_os_vfs.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_os_vfs.cpp.o.d"
+  "/root/repo/tests/test_property_epochs.cpp" "tests/CMakeFiles/viprof_tests.dir/test_property_epochs.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_property_epochs.cpp.o.d"
+  "/root/repo/tests/test_support_format.cpp" "tests/CMakeFiles/viprof_tests.dir/test_support_format.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_support_format.cpp.o.d"
+  "/root/repo/tests/test_support_histogram.cpp" "tests/CMakeFiles/viprof_tests.dir/test_support_histogram.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_support_histogram.cpp.o.d"
+  "/root/repo/tests/test_support_rng.cpp" "tests/CMakeFiles/viprof_tests.dir/test_support_rng.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_support_rng.cpp.o.d"
+  "/root/repo/tests/test_support_stats.cpp" "tests/CMakeFiles/viprof_tests.dir/test_support_stats.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_support_stats.cpp.o.d"
+  "/root/repo/tests/test_vertical.cpp" "tests/CMakeFiles/viprof_tests.dir/test_vertical.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_vertical.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/viprof_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_xen.cpp" "tests/CMakeFiles/viprof_tests.dir/test_xen.cpp.o" "gcc" "tests/CMakeFiles/viprof_tests.dir/test_xen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/viprof_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/viprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vertical/CMakeFiles/viprof_vertical.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xen/CMakeFiles/viprof_xen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/guidance/CMakeFiles/viprof_guidance.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/jvm/CMakeFiles/viprof_jvm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/viprof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/viprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/viprof_fsck.cpp" "tools/CMakeFiles/viprof_fsck.dir/viprof_fsck.cpp.o" "gcc" "tools/CMakeFiles/viprof_fsck.dir/viprof_fsck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/viprof_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/jvm/CMakeFiles/viprof_jvm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/viprof_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/viprof_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/viprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_fsck.dir/viprof_fsck.cpp.o"
+  "CMakeFiles/viprof_fsck.dir/viprof_fsck.cpp.o.d"
+  "viprof_fsck"
+  "viprof_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_report.dir/viprof_report.cpp.o"
+  "CMakeFiles/viprof_report.dir/viprof_report.cpp.o.d"
+  "viprof_report"
+  "viprof_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_sim.dir/viprof_sim.cpp.o"
+  "CMakeFiles/viprof_sim.dir/viprof_sim.cpp.o.d"
+  "viprof_sim"
+  "viprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viprof_stat.dir/viprof_stat.cpp.o"
+  "CMakeFiles/viprof_stat.dir/viprof_stat.cpp.o.d"
+  "viprof_stat"
+  "viprof_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viprof_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_viprof_sim "/root/repo/build-review/tools/viprof_sim" "--workload" "synthetic" "--mode" "viprof" "--top" "5" "--out" "/root/repo/build-review/tools/smoke_session")
+set_tests_properties(tool_viprof_sim PROPERTIES  FIXTURES_SETUP "smoke_session" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_viprof_report "/root/repo/build-review/tools/viprof_report" "--in" "/root/repo/build-review/tools/smoke_session" "--top" "5")
+set_tests_properties(tool_viprof_report PROPERTIES  FIXTURES_REQUIRED "smoke_session" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_viprof_stat_dump "/root/repo/build-review/tools/viprof_stat" "dump" "--in" "/root/repo/build-review/tools/smoke_session")
+set_tests_properties(tool_viprof_stat_dump PROPERTIES  FIXTURES_REQUIRED "smoke_session" LABELS "telemetry" PASS_REGULAR_EXPRESSION "profiler.overhead_pct" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_viprof_stat_diff "/root/repo/build-review/tools/viprof_stat" "diff" "--before" "/root/repo/build-review/tools/smoke_session" "--after" "/root/repo/build-review/tools/smoke_session")
+set_tests_properties(tool_viprof_stat_diff PROPERTIES  FIXTURES_REQUIRED "smoke_session" LABELS "telemetry" PASS_REGULAR_EXPRESSION "no differences" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_viprof_fsck "/root/repo/build-review/tools/viprof_fsck" "--in" "/root/repo/build-review/tools/smoke_session")
+set_tests_properties(tool_viprof_fsck PROPERTIES  FIXTURES_REQUIRED "smoke_session" LABELS "faults" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_viprof_fsck_recover "/root/repo/build-review/tools/viprof_fsck" "--in" "/root/repo/build-review/tools/smoke_session" "--out" "/root/repo/build-review/tools/smoke_session_recovered" "--quiet")
+set_tests_properties(tool_viprof_fsck_recover PROPERTIES  FIXTURES_REQUIRED "smoke_session" LABELS "faults" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
