@@ -1,12 +1,31 @@
 // ABL4 microbenchmarks: offline resolution throughput — epoch code-map
-// backward search as a function of map count and churn, and RVM.map
-// parsing. These are the post-processing costs the paper deliberately
+// search (flattened index vs the legacy backward walk), RVM.map parsing,
+// and an end-to-end resolve+aggregate pipeline measurement over a logged
+// session. These are the post-processing costs the paper deliberately
 // accepts to keep the online path cheap.
+//
+// Emits BENCH_resolve.json (harness schema) with the e2e throughput at
+// 1/2/4 worker threads; the renders are checked byte-identical across
+// thread counts before anything is written.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/harness.hpp"
 #include "core/code_map.hpp"
+#include "core/resolve_pipeline.hpp"
+#include "core/resolver.hpp"
+#include "core/rvm_map.hpp"
+#include "core/sample_log.hpp"
+#include "jvm/boot_image.hpp"
+#include "os/loader.hpp"
+#include "support/format.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -58,10 +77,25 @@ void BM_CodeMapResolveBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_CodeMapResolveBackward)->Arg(4)->Arg(32)->Arg(256);
 
+void BM_CodeMapResolveBackwardWalk(benchmark::State& state) {
+  // The pre-flattening implementation, kept as the equivalence oracle:
+  // walks maps newest-to-oldest per query. Same workload as ...Backward,
+  // so the two series read as before/after.
+  const auto epochs = static_cast<std::uint64_t>(state.range(0));
+  core::CodeMapIndex index = build_index(epochs, 64);
+  support::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const std::uint64_t pc = 0x6000'0000 + rng.below(64 * epochs) * 0x1000 + 16;
+    benchmark::DoNotOptimize(index.resolve_walkback(pc, epochs - 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodeMapResolveBackwardWalk)->Arg(4)->Arg(32)->Arg(256);
+
 void BM_CodeMapResolveMiss(benchmark::State& state) {
   core::CodeMapIndex index = build_index(static_cast<std::uint64_t>(state.range(0)), 64);
   for (auto _ : state) {
-    // Unmapped PC: worst case, walks every map.
+    // Unmapped PC: worst case for the walk, one probe for the flat index.
     benchmark::DoNotOptimize(index.resolve(0x9999'0000, ~0ull));
   }
 }
@@ -91,9 +125,194 @@ void BM_CodeMapParse(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::CodeMapFile::parse(blob));
   }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * blob.size()));
 }
 BENCHMARK(BM_CodeMapParse);
 
+void BM_RvmMapParse(benchmark::State& state) {
+  // Boot-map format as BootImage emits it: "<hex-offset> <size> <name>\n".
+  std::string blob;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    blob += support::hex(static_cast<std::uint64_t>(i) * 0x400) + " 1024 " +
+            "com.ibm.jikesrvm.classloader.VM_Klass" + std::to_string(i) + ".method\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::parse_rvm_map(blob));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * blob.size()));
+}
+BENCHMARK(BM_RvmMapParse)->Arg(256)->Arg(4096);
+
+// --- End-to-end resolve+aggregate throughput -------------------------------
+//
+// Builds a full resolver scenario (kernel, executable, libraries, boot
+// image, churning JIT epochs), logs a session's worth of samples through
+// the crash-consistent sample log, then measures build_profile-equivalent
+// aggregation (read once, resolve every sample, hash-aggregate) at 1, 2
+// and 4 worker threads. Renders must be byte-identical across counts.
+
+struct E2eScenario {
+  os::Machine machine;
+  core::RegistrationTable table;
+  std::unique_ptr<jvm::BootImage> boot;
+  hw::Pid pid = 0;
+  hw::Address exec_base = 0;
+  hw::Address libc_base = 0;
+  hw::Address boot_base = 0;
+  hw::Address heap_base = 0;
+  std::vector<core::LoggedSample> samples;
+};
+
+constexpr std::uint64_t kEpochs = 48;
+constexpr std::uint64_t kMethods = 512;  // JIT method slots in the heap
+
+std::unique_ptr<E2eScenario> build_scenario(std::size_t sample_count) {
+  auto sc = std::make_unique<E2eScenario>();
+  os::Process& proc = sc->machine.spawn("jikesrvm");
+  sc->pid = proc.pid();
+
+  os::Image& exec =
+      sc->machine.registry().create("jikesrvm", os::ImageKind::kExecutable, 32 * 1024);
+  exec.symbols().add("main", 0, 4096);
+  exec.symbols().add("boot", 4096, 4096);
+  sc->exec_base = sc->machine.loader().load_executable(proc, exec.id()).start;
+
+  os::Image& libc =
+      sc->machine.registry().create("libc-2.3.2.so", os::ImageKind::kSharedLib, 64 * 1024);
+  libc.symbols().add("memset", 0x1000, 0x800);
+  libc.symbols().add("memcpy", 0x1800, 0x800);
+  sc->libc_base = sc->machine.loader().load_library(proc, libc.id()).start;
+
+  sc->boot = std::make_unique<jvm::BootImage>(sc->machine.registry(),
+                                              sc->machine.vfs(), "RVM.map");
+  sc->boot_base = sc->machine.loader().map_at_anon_slot(proc, sc->boot->image()).start;
+  sc->heap_base = sc->machine.loader().map_anon(proc, 8 << 20).start;
+
+  core::VmRegistration reg;
+  reg.pid = sc->pid;
+  reg.heap_lo = sc->heap_base;
+  reg.heap_hi = sc->heap_base + (8 << 20);
+  reg.boot_base = sc->boot_base;
+  reg.boot_size = sc->boot->size();
+  reg.boot_map_path = "RVM.map";
+  reg.jit_map_dir = "jit_maps";
+  sc->table.add(reg);
+
+  // Churning epoch maps: each epoch (re)places a rotating slice of the
+  // method population, so resolution has to attribute against the newest
+  // placement at-or-below the sample's epoch.
+  for (std::uint64_t e = 0; e < kEpochs; ++e) {
+    core::CodeMapFile file;
+    file.epoch = e;
+    for (std::uint64_t i = 0; i < 96; ++i) {
+      const std::uint64_t m = (e * 37 + i * 5) % kMethods;
+      core::CodeMapEntry entry;
+      entry.address = sc->heap_base + m * 0x1000 + (e % 4) * 0x80;
+      entry.size = 0x800;
+      entry.symbol = "app.K" + std::to_string(m / 16) + ".m" + std::to_string(m);
+      file.entries.push_back(std::move(entry));
+    }
+    sc->machine.vfs().write(core::CodeMapFile::path_for("jit_maps", sc->pid, e),
+                            file.serialize());
+  }
+
+  // Log the samples through the real writer/reader so the measured input
+  // is exactly what a session leaves on disk.
+  const hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
+  core::SampleLogWriter writer(sc->machine.vfs(), "bench_samples");
+  support::Xoshiro256 rng(0xe2e);
+  const hw::Address kernel_pc = sc->machine.kernel().routine("sys_read").base + 8;
+  for (std::size_t n = 0; n < sample_count; ++n) {
+    core::LoggedSample s;
+    s.pid = sc->pid;
+    s.epoch = rng.below(kEpochs);
+    s.cycle = n;
+    s.caller_pc = sc->exec_base + 16;
+    const std::uint64_t kind = rng.below(100);
+    if (kind < 70) {
+      // JIT heap: random method slot, random offset — misses included.
+      s.pc = sc->heap_base + rng.below(kMethods) * 0x1000 + rng.below(0x1000);
+    } else if (kind < 80) {
+      s.pc = sc->boot_base + rng.below(sc->boot->size());
+    } else if (kind < 90) {
+      s.pc = (kind & 1) ? sc->exec_base + rng.below(8 * 1024)
+                        : sc->libc_base + 0x1000 + rng.below(0x1000);
+    } else {
+      s.pc = kernel_pc;
+      s.mode = hw::CpuMode::kKernel;
+    }
+    writer.append(event, s);
+    if ((n & 0xfff) == 0xfff) writer.flush();
+  }
+  writer.flush();
+  sc->samples = core::SampleLogReader::read(sc->machine.vfs(), "bench_samples", event);
+  return sc;
+}
+
+bool run_e2e() {
+  const char* quick = std::getenv("VIPROF_QUICK");
+  const bool is_quick = quick != nullptr && quick[0] == '1';
+  const std::size_t sample_count = is_quick ? 20'000 : 100'000;
+  const int reps = is_quick ? 2 : 3;
+  const hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
+
+  std::printf("\n-- e2e resolve+aggregate (%zu samples, %u hardware threads) --\n",
+              sample_count, std::thread::hardware_concurrency());
+  std::unique_ptr<E2eScenario> sc = build_scenario(sample_count);
+
+  core::Resolver resolver(sc->machine, sc->table, /*vm_aware=*/true);
+  resolver.load();
+  const auto resolve_fn = [&resolver](const core::LoggedSample& s,
+                                      core::ResolveStats& stats) {
+    return resolver.resolve(s, stats);
+  };
+
+  std::vector<bench::BenchRecord> records;
+  std::string baseline_render;
+  double baseline_secs = 0.0;
+  bool identical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    core::ResolvePipeline pipeline(core::PipelineConfig{threads});
+    double best_secs = 0.0;
+    std::string render;
+    for (int rep = 0; rep < reps; ++rep) {
+      core::Profile profile;
+      const auto start = std::chrono::steady_clock::now();
+      pipeline.aggregate_profile(sc->samples, event, resolve_fn, profile);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (rep == 0 || elapsed.count() < best_secs) best_secs = elapsed.count();
+      render = profile.render({event}, 30);
+    }
+    if (threads == 1) {
+      baseline_render = render;
+      baseline_secs = best_secs;
+    } else if (render != baseline_render) {
+      std::fprintf(stderr, "FAIL: %zu-thread render differs from 1-thread\n", threads);
+      identical = false;
+    }
+    const double rate = static_cast<double>(sc->samples.size()) / best_secs;
+    std::printf("  threads=%zu  %9.0f samples/sec  (%.3fs, speedup %.2fx)\n", threads,
+                rate, best_secs, baseline_secs / best_secs);
+    bench::BenchRecord record;
+    record.name = "e2e_resolve_aggregate.t" + std::to_string(threads);
+    record.iterations = reps;
+    record.seconds = best_secs;
+    record.ns_per_op = best_secs * 1e9 / static_cast<double>(sc->samples.size());
+    records.push_back(std::move(record));
+  }
+  if (!identical) return false;
+  std::printf("  renders byte-identical across thread counts\n");
+  bench::write_bench_json("resolve", records);
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_e2e() ? 0 : 1;
+}

@@ -2,10 +2,12 @@
 # Tier-1 CI pipeline.
 #
 # 1. Configure + build the default (RelWithDebInfo) tree.
-# 2. Run the whole ctest suite — this includes the `faults` and `telemetry`
-#    labels — and then each of those labels once more by name, so a label
-#    that silently lost its tests fails the pipeline.
-# 3. Rebuild one sanitizer configuration (VIPROF_SANITIZE=thread by default;
+# 2. Run the whole ctest suite — this includes the `faults`, `telemetry`
+#    and `resolve` labels — and then each of those labels once more by
+#    name, so a label that silently lost its tests fails the pipeline.
+# 3. Smoke-run the resolution benchmark (VIPROF_QUICK) and check that it
+#    leaves a non-empty BENCH_resolve.json behind.
+# 4. Rebuild one sanitizer configuration (VIPROF_SANITIZE=thread by default;
 #    set VIPROF_SANITIZE=address to switch) and run the concurrency-sensitive
 #    labelled suites under it.
 #
@@ -27,20 +29,29 @@ run_label() {  # run_label <build-dir> <label>
   ctest --test-dir "$1" -L "$2" --output-on-failure -j "$JOBS"
 }
 
-echo "=== [1/3] tier-1 build + full test suite ($PREFIX) ==="
+echo "=== [1/4] tier-1 build + full test suite ($PREFIX) ==="
 cmake -B "$PREFIX" -S . >/dev/null
 cmake --build "$PREFIX" -j "$JOBS"
 ctest --test-dir "$PREFIX" --output-on-failure -j "$JOBS"
 run_label "$PREFIX" faults
 run_label "$PREFIX" telemetry
+run_label "$PREFIX" resolve
 
-echo "=== [2/3] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
+echo "=== [2/4] resolution benchmark smoke (BENCH_resolve.json) ==="
+(cd "$PREFIX" &&
+ rm -f BENCH_resolve.json &&
+ VIPROF_QUICK=1 ./bench/micro_resolve \
+   --benchmark_filter='BM_CodeMapResolveBackward|BM_RvmMapParse' &&
+ test -s BENCH_resolve.json)
+
+echo "=== [3/4] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
 SAN_DIR="$PREFIX-$SANITIZER"
 cmake -B "$SAN_DIR" -S . -DVIPROF_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$SAN_DIR" -j "$JOBS"
 
-echo "=== [3/3] labelled suites under $SANITIZER sanitizer ==="
+echo "=== [4/4] labelled suites under $SANITIZER sanitizer ==="
 run_label "$SAN_DIR" faults
 run_label "$SAN_DIR" telemetry
+run_label "$SAN_DIR" resolve
 
 echo "ci.sh: all green"

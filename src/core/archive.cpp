@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/rvm_map.hpp"
 #include "support/check.hpp"
 #include "support/format.hpp"
 
@@ -32,21 +33,6 @@ os::ImageKind kind_from(const std::string& code) {
   if (code == "kernel") return os::ImageKind::kKernel;
   if (code == "boot") return os::ImageKind::kBootImage;
   return os::ImageKind::kAnon;
-}
-
-os::SymbolTable parse_rvm_map(const std::string& contents) {
-  os::SymbolTable table;
-  std::istringstream in(contents);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    unsigned long long offset = 0, size = 0;
-    char name[512];
-    if (std::sscanf(line.c_str(), "%llx %llu %511s", &offset, &size, name) == 3) {
-      table.add(name, offset, size);
-    }
-  }
-  return table;
 }
 
 }  // namespace

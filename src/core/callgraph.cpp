@@ -6,6 +6,26 @@
 
 namespace viprof::core {
 
+CallArc& CallGraph::arc_for(const CallArc& like) {
+  std::string key;
+  key.reserve(like.caller_image.size() + like.caller_symbol.size() +
+              like.callee_image.size() + like.callee_symbol.size() + 3);
+  key += like.caller_image;
+  key += '\0';
+  key += like.caller_symbol;
+  key += '\0';
+  key += like.callee_image;
+  key += '\0';
+  key += like.callee_symbol;
+  const auto [it, inserted] = index_.try_emplace(std::move(key), arcs_.size());
+  if (inserted) {
+    CallArc arc = like;
+    arc.count = 0;
+    arcs_.push_back(std::move(arc));
+  }
+  return arcs_[it->second];
+}
+
 void CallGraph::add(const LoggedSample& sample) {
   if (sample.caller_pc == 0) return;
   ++samples_;
@@ -13,22 +33,21 @@ void CallGraph::add(const LoggedSample& sample) {
   // The caller is user code in the same process (one-level unwind).
   const Resolution caller =
       resolver_->resolve_pc(sample.caller_pc, hw::CpuMode::kUser, sample.pid, sample.epoch);
-  for (CallArc& arc : arcs_) {
-    if (arc.caller_symbol == caller.symbol && arc.callee_symbol == callee.symbol &&
-        arc.caller_image == caller.image && arc.callee_image == callee.image) {
-      ++arc.count;
-      return;
-    }
+  CallArc like;
+  like.caller_image = caller.image;
+  like.caller_symbol = caller.symbol;
+  like.callee_image = callee.image;
+  like.callee_symbol = callee.symbol;
+  like.caller_domain = caller.domain;
+  like.callee_domain = callee.domain;
+  ++arc_for(like).count;
+}
+
+void CallGraph::merge(const CallGraph& other) {
+  samples_ += other.samples_;
+  for (const CallArc& src : other.arcs_) {
+    arc_for(src).count += src.count;
   }
-  CallArc arc;
-  arc.caller_image = caller.image;
-  arc.caller_symbol = caller.symbol;
-  arc.callee_image = callee.image;
-  arc.callee_symbol = callee.symbol;
-  arc.caller_domain = caller.domain;
-  arc.callee_domain = callee.domain;
-  arc.count = 1;
-  arcs_.push_back(std::move(arc));
 }
 
 std::vector<CallArc> CallGraph::ranked() const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/resolver.hpp"
@@ -35,8 +36,15 @@ class CallGraph {
  public:
   explicit CallGraph(const Resolver& resolver) : resolver_(&resolver) {}
 
+  const Resolver& resolver() const { return *resolver_; }
+
   /// Accounts one sample; samples without a caller PC are ignored.
   void add(const LoggedSample& sample);
+
+  /// Adds every arc (and the sample count) of `other` into this graph.
+  /// Shard-order merging reproduces the serial arc order, as with
+  /// Profile::merge.
+  void merge(const CallGraph& other);
 
   /// Arcs sorted by count (descending).
   std::vector<CallArc> ranked() const;
@@ -50,8 +58,12 @@ class CallGraph {
   std::string render(std::size_t top_n) const;
 
  private:
+  CallArc& arc_for(const CallArc& like);
+
   const Resolver* resolver_;
   std::vector<CallArc> arcs_;
+  /// NUL-joined endpoint names -> index into arcs_.
+  std::unordered_map<std::string, std::size_t> index_;
   std::uint64_t samples_ = 0;
 };
 

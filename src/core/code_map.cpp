@@ -2,28 +2,53 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <sstream>
 
 #include "support/check.hpp"
 #include "support/format.hpp"
+#include "support/str_scan.hpp"
 
 namespace viprof::core {
 
 namespace {
 
-// Parses one "addr size symbol" entry line; false on any malformation.
-bool parse_entry_line(const std::string& line, CodeMapEntry& entry) {
-  unsigned long long addr = 0;
-  unsigned long long size = 0;
-  char symbol[512];
-  char extra = 0;
-  if (std::sscanf(line.c_str(), "%llx %llu %511s %c", &addr, &size, symbol,
-                  &extra) != 3) {
+// Parses one "addr size symbol" entry line; false on any malformation
+// (including a symbol longer than the 511-char on-disk limit, or trailing
+// junk after the symbol).
+bool parse_entry_line(std::string_view line, CodeMapEntry& entry) {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  std::string_view symbol;
+  if (!support::scan_hex64(line, addr) || !support::scan_u64(line, size) ||
+      !support::scan_token(line, symbol) || symbol.size() > 511 ||
+      !support::at_end(line)) {
     return false;
   }
   entry.address = addr;
   entry.size = size;
-  entry.symbol = symbol;
+  entry.symbol = std::string(symbol);
+  return true;
+}
+
+// Header "epoch N entries M" with nothing after M.
+bool parse_header_line(std::string_view line, std::uint64_t& epoch,
+                       std::uint64_t& expected) {
+  if (!support::scan_lit(line, "epoch") || !support::scan_u64(line, epoch)) {
+    return false;
+  }
+  support::skip_ws(line);
+  return support::scan_lit(line, "entries") && support::scan_u64(line, expected) &&
+         support::at_end(line);
+}
+
+// Trailer "crc XXXXXXXX" (at most 8 hex digits) with nothing after.
+bool parse_crc_line(std::string_view line, std::uint32_t& crc) {
+  std::uint64_t value = 0;
+  if (!support::scan_lit(line, "crc") ||
+      !support::scan_hex64(line, value, /*max_digits=*/8) ||
+      !support::at_end(line)) {
+    return false;
+  }
+  crc = static_cast<std::uint32_t>(value);
   return true;
 }
 
@@ -64,22 +89,27 @@ CodeMapFile::Recovery CodeMapFile::salvage(const std::string& contents,
   r.file.epoch = epoch_hint;
   r.file.truncated = true;  // until proven intact
 
-  std::istringstream in(contents);
-  std::string line;
+  support::LineCursor cursor(contents);
+  std::string_view line;
 
-  // Header: "epoch N entries M".
-  if (!std::getline(in, line)) return r;
+  // Header: "epoch N entries M". A header that is the *whole* file (no
+  // trailing newline) is still readable — the epoch is trustworthy even
+  // though the file as a whole cannot be.
+  const bool header_unterminated = !cursor.next(line);
+  if (header_unterminated) {
+    if (cursor.tail().empty()) return r;  // empty file
+    line = cursor.tail();
+  }
   {
-    unsigned long long epoch = 0, expected = 0;
-    char extra = 0;
-    if (std::sscanf(line.c_str(), "epoch %llu entries %llu %c", &epoch, &expected,
-                    &extra) != 2) {
+    std::uint64_t epoch = 0, expected = 0;
+    if (!parse_header_line(line, epoch, expected)) {
       return r;  // header unreadable: epoch_hint stands, nothing salvageable
     }
     r.header_ok = true;
     r.file.epoch = epoch;
     r.entries_expected = expected;
   }
+  if (header_unterminated) return r;
 
   bool marked_truncated = false;
   bool saw_crc = false;
@@ -88,24 +118,14 @@ CodeMapFile::Recovery CodeMapFile::salvage(const std::string& contents,
 
   std::size_t consumed = line.size() + 1;
   bool damaged = false;
-  while (std::getline(in, line)) {
-    if (in.eof()) {
-      // Unterminated final line: a tear mid-line can leave a prefix that
-      // still parses — e.g. a chopped symbol name — so nothing short of a
-      // newline-terminated line is trusted.
-      damaged = true;
-      break;
-    }
+  while (cursor.next(line)) {
     if (line == "truncated") {
       marked_truncated = true;
       consumed += line.size() + 1;
       continue;
     }
-    unsigned crc = 0;
-    char extra = 0;
-    if (std::sscanf(line.c_str(), "crc %8x %c", &crc, &extra) == 1) {
+    if (parse_crc_line(line, crc_read)) {
       saw_crc = true;
-      crc_read = crc;
       crc_covers = consumed;
       consumed += line.size() + 1;
       break;  // trailer is the last line; anything after it is damage
@@ -117,6 +137,12 @@ CodeMapFile::Recovery CodeMapFile::salvage(const std::string& contents,
     }
     r.file.entries.push_back(std::move(e));
     consumed += line.size() + 1;
+  }
+  if (!damaged && !saw_crc && !cursor.tail().empty()) {
+    // Unterminated final line: a tear mid-line can leave a prefix that
+    // still parses — e.g. a chopped symbol name — so nothing short of a
+    // newline-terminated line is trusted.
+    damaged = true;
   }
 
   const bool crc_ok =
@@ -148,6 +174,30 @@ std::optional<std::uint64_t> CodeMapFile::epoch_from_path(const std::string& pat
   return epoch;
 }
 
+CodeMapIndex::CodeMapIndex(CodeMapIndex&& other) noexcept {
+  *this = std::move(other);
+}
+
+CodeMapIndex& CodeMapIndex::operator=(CodeMapIndex&& other) noexcept {
+  if (this != &other) {
+    // Moves require exclusive access to both sides (no concurrent queries),
+    // like any other mutation; no locking needed.
+    maps_ = std::move(other.maps_);
+    total_entries_ = other.total_entries_;
+    truncated_count_ = other.truncated_count_;
+    bounds_ = std::move(other.bounds_);
+    slot_of_ = std::move(other.slot_of_);
+    versions_ = std::move(other.versions_);
+    epochs_ = std::move(other.epochs_);
+    trunc_epochs_ = std::move(other.trunc_epochs_);
+    gap_below_ = std::move(other.gap_below_);
+    flat_ready_.store(other.flat_ready_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.flat_ready_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 CodeMapIndex::LoadStats CodeMapIndex::load(const os::Vfs& vfs, const std::string& dir,
                                            hw::Pid pid) {
   LoadStats stats;
@@ -171,20 +221,41 @@ CodeMapIndex::LoadStats CodeMapIndex::load(const os::Vfs& vfs, const std::string
     stats.entries_loaded += r.file.entries.size();
     add(r.file);
   }
+  prepare();
   return stats;
 }
 
 void CodeMapIndex::add(CodeMapFile file) {
-  auto& map = maps_[file.epoch];
-  VIPROF_CHECK(map.entries.empty() && !map.truncated);  // one map per epoch
-  map.entries = std::move(file.entries);
-  map.truncated = file.truncated;
+  flat_ready_.store(false, std::memory_order_release);
+  auto it = maps_.find(file.epoch);
+  if (it == maps_.end()) {
+    EpochMap map;
+    map.entries = std::move(file.entries);
+    map.truncated = file.truncated;
+    std::sort(map.entries.begin(), map.entries.end(),
+              [](const CodeMapEntry& a, const CodeMapEntry& b) {
+                return a.address < b.address;
+              });
+    total_entries_ += map.entries.size();
+    if (map.truncated) ++truncated_count_;
+    maps_.emplace(file.epoch, std::move(map));
+    return;
+  }
+  // Epoch collision: two files claimed this epoch (typically two damaged
+  // files salvaged under the same file-name hint). Merge the entries and
+  // mark the epoch truncated — which file's entries are authoritative is
+  // unknowable, so absence from the union must not prove anything.
+  EpochMap& map = it->second;
+  total_entries_ += file.entries.size();
+  map.entries.insert(map.entries.end(),
+                     std::make_move_iterator(file.entries.begin()),
+                     std::make_move_iterator(file.entries.end()));
   std::sort(map.entries.begin(), map.entries.end(),
             [](const CodeMapEntry& a, const CodeMapEntry& b) {
               return a.address < b.address;
             });
-  total_entries_ += map.entries.size();
-  if (map.truncated) ++truncated_count_;
+  if (!map.truncated) ++truncated_count_;
+  map.truncated = true;
 }
 
 const CodeMapEntry* CodeMapIndex::find_in(const EpochMap& map, hw::Address pc) const {
@@ -197,8 +268,173 @@ const CodeMapEntry* CodeMapIndex::find_in(const EpochMap& map, hw::Address pc) c
   return e->contains(pc) ? &*e : nullptr;
 }
 
+void CodeMapIndex::prepare() const {
+  if (flat_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(flat_mu_);
+  if (flat_ready_.load(std::memory_order_relaxed)) return;
+  build_flat();
+  flat_ready_.store(true, std::memory_order_release);
+}
+
+void CodeMapIndex::build_flat() const {
+  bounds_.clear();
+  slot_of_.clear();
+  versions_.clear();
+  epochs_.clear();
+  trunc_epochs_.clear();
+  gap_below_.clear();
+
+  epochs_.reserve(maps_.size());
+  for (const auto& [epoch, map] : maps_) {
+    epochs_.push_back(epoch);
+    if (map.truncated) trunc_epochs_.push_back(epoch);
+  }
+
+  gap_below_.reserve(epochs_.size());
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    if (i == 0) {
+      gap_below_.push_back(epochs_[0] > 0 ? epochs_[0] - 1 : kNoGap);
+    } else if (epochs_[i - 1] + 1 == epochs_[i]) {
+      gap_below_.push_back(gap_below_[i - 1]);  // contiguous: inherit
+    } else {
+      gap_below_.push_back(epochs_[i] - 1);
+    }
+  }
+
+  // The effective coverage of one epoch map mirrors find_in() exactly: the
+  // segment of sorted entry i is [addr_i, min(addr_i + size_i, addr_{i+1}))
+  // — a predecessor probe never sees past the next entry's start, so an
+  // overlapped prefix stays a hole (exposing older epochs), duplicates
+  // yield empty segments, and address+size overflow means no coverage.
+  const auto each_segment = [](const EpochMap& map, const auto& fn) {
+    const auto& es = map.entries;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      const hw::Address lo = es[i].address;
+      hw::Address hi = lo + es[i].size;
+      if (hi <= lo) continue;  // zero size, or wrapped: contains() never true
+      if (i + 1 < es.size() && es[i + 1].address < hi) hi = es[i + 1].address;
+      if (hi <= lo) continue;
+      fn(lo, hi, &es[i]);
+    }
+  };
+
+  for (const auto& [epoch, map] : maps_) {
+    each_segment(map, [this](hw::Address lo, hw::Address hi, const CodeMapEntry*) {
+      bounds_.push_back(lo);
+      bounds_.push_back(hi);
+    });
+  }
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+
+  const std::size_t slots = bounds_.empty() ? 0 : bounds_.size() - 1;
+  std::vector<std::vector<Version>> per_slot(slots);
+  std::uint32_t ord = 0;
+  for (const auto& [epoch, map] : maps_) {
+    const std::uint64_t e = epoch;
+    each_segment(map, [&](hw::Address lo, hw::Address hi, const CodeMapEntry* entry) {
+      const std::size_t j0 = static_cast<std::size_t>(
+          std::lower_bound(bounds_.begin(), bounds_.end(), lo) - bounds_.begin());
+      const std::size_t j1 = static_cast<std::size_t>(
+          std::lower_bound(bounds_.begin(), bounds_.end(), hi) - bounds_.begin());
+      for (std::size_t j = j0; j < j1; ++j) {
+        per_slot[j].push_back(Version{e, ord, entry});
+      }
+    });
+    ++ord;
+  }
+
+  slot_of_.reserve(slots + 1);
+  slot_of_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& vs : per_slot) total += vs.size();
+  versions_.reserve(total);
+  for (auto& vs : per_slot) {
+    versions_.insert(versions_.end(), vs.begin(), vs.end());
+    slot_of_.push_back(versions_.size());
+  }
+}
+
+const CodeMapIndex::Version* CodeMapIndex::flat_find(hw::Address pc,
+                                                     std::uint64_t epoch) const {
+  if (bounds_.size() < 2 || pc < bounds_.front() || pc >= bounds_.back()) {
+    return nullptr;
+  }
+  const std::size_t j = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), pc) - bounds_.begin() - 1);
+  const auto begin = versions_.begin() + static_cast<std::ptrdiff_t>(slot_of_[j]);
+  const auto end = versions_.begin() + static_cast<std::ptrdiff_t>(slot_of_[j + 1]);
+  const auto it = std::upper_bound(
+      begin, end, epoch,
+      [](std::uint64_t q, const Version& v) { return q < v.epoch; });
+  if (it == begin) return nullptr;  // interval unoccupied at or before `epoch`
+  return &*(it - 1);
+}
+
 std::optional<CodeMapIndex::Hit> CodeMapIndex::resolve(hw::Address pc,
                                                        std::uint64_t epoch) const {
+  prepare();
+  const Version* v = flat_find(pc, epoch);
+  if (v == nullptr) return std::nullopt;
+  // The lax walk visits every loaded map from the newest at or below
+  // `epoch` down to the hit, so the reported depth is an ord distance.
+  const auto top = std::upper_bound(epochs_.begin(), epochs_.end(), epoch);
+  const auto top_ord = static_cast<std::uint32_t>(top - epochs_.begin() - 1);
+  return Hit{v->entry->symbol, v->epoch, top_ord - v->ord + 1, v->entry->address,
+             v->entry->size};
+}
+
+CodeMapIndex::Lookup CodeMapIndex::lookup(hw::Address pc, std::uint64_t epoch) const {
+  Lookup out;
+  if (maps_.empty()) {
+    out.miss = JitLookupMiss::kNoMaps;
+    return out;
+  }
+  prepare();
+
+  // Newest loaded epoch at or below the query epoch, if any.
+  const auto top = std::upper_bound(epochs_.begin(), epochs_.end(), epoch);
+  // Newest *missing* integer epoch <= query: the query epoch itself when it
+  // has no map, else the precomputed gap below the walk's entry point.
+  std::uint64_t gap = kNoGap;
+  if (top == epochs_.begin()) {
+    gap = epoch;  // nothing loaded at or below the query epoch
+  } else {
+    const std::size_t top_idx = static_cast<std::size_t>(top - epochs_.begin() - 1);
+    gap = epochs_[top_idx] == epoch ? gap_below_[top_idx] : epoch;
+  }
+  // Newest truncated epoch <= query.
+  const auto tt = std::upper_bound(trunc_epochs_.begin(), trunc_epochs_.end(), epoch);
+  const bool has_trunc = tt != trunc_epochs_.begin();
+  const std::uint64_t trunc = has_trunc ? *(tt - 1) : 0;
+
+  const Version* v = flat_find(pc, epoch);
+  // The walk stops at whichever poison epoch it meets first (the highest
+  // one) on the way down from `epoch` — but only if that is *above* the
+  // hit; a hit inside a truncated map is still a hit (verified checksum).
+  const std::uint64_t floor = v != nullptr ? v->epoch : 0;
+  const bool gap_aborts = gap != kNoGap && (v == nullptr || gap > floor);
+  const bool trunc_aborts = has_trunc && (v == nullptr || trunc > floor);
+  if (!gap_aborts && !trunc_aborts) {
+    if (v != nullptr) {
+      // All integer epochs in [hit, query] have maps (no gap above the
+      // hit), so the walk depth is the plain epoch distance.
+      out.hit = Hit{v->entry->symbol, v->epoch,
+                    static_cast<std::uint32_t>(epoch - v->epoch + 1),
+                    v->entry->address, v->entry->size};
+    } else {
+      out.miss = JitLookupMiss::kNotFound;  // reached epoch 0 intact
+    }
+    return out;
+  }
+  out.miss = (gap_aborts && (!trunc_aborts || gap > trunc))
+                 ? JitLookupMiss::kMissingEpochMap
+                 : JitLookupMiss::kTruncatedMap;
+  return out;
+}
+
+std::optional<CodeMapIndex::Hit> CodeMapIndex::resolve_walkback(
+    hw::Address pc, std::uint64_t epoch) const {
   std::uint32_t searched = 0;
   // Iterate epochs <= `epoch` from newest to oldest.
   auto it = maps_.upper_bound(epoch);
@@ -212,7 +448,8 @@ std::optional<CodeMapIndex::Hit> CodeMapIndex::resolve(hw::Address pc,
   return std::nullopt;
 }
 
-CodeMapIndex::Lookup CodeMapIndex::lookup(hw::Address pc, std::uint64_t epoch) const {
+CodeMapIndex::Lookup CodeMapIndex::lookup_walkback(hw::Address pc,
+                                                   std::uint64_t epoch) const {
   Lookup out;
   if (maps_.empty()) {
     out.miss = JitLookupMiss::kNoMaps;

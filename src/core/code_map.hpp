@@ -15,10 +15,21 @@
 // search refuses to step past a missing or truncated map it cannot decide
 // on — such samples become explicit `unresolved.*` outcomes instead of
 // being silently attributed to a stale neighbour.
+//
+// Query cost (DESIGN.md §9): the literal per-sample backward walk is
+// O(epochs · log entries). The index therefore flattens the maps once per
+// load into a merged interval view — every address range annotated with the
+// epochs at which its occupant changed — so resolve()/lookup() are a single
+// O(log n) probe. Gap and truncation positions are precomputed alongside,
+// keeping kMissingEpochMap/kTruncatedMap outcomes bit-identical to the
+// walk; resolve_walkback()/lookup_walkback() keep the original algorithms
+// as the property-test oracle.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -92,8 +103,19 @@ inline const char* to_string(JitLookupMiss m) {
 }
 
 /// The post-processing index over all epoch maps of one VM.
+///
+/// Thread-safety contract: after the flattened view is built (prepare(), or
+/// lazily on first query), any number of threads may call the const query
+/// methods concurrently. add() and load() are exclusive — they must not
+/// race with queries or each other.
 class CodeMapIndex {
  public:
+  CodeMapIndex() = default;
+  CodeMapIndex(CodeMapIndex&& other) noexcept;
+  CodeMapIndex& operator=(CodeMapIndex&& other) noexcept;
+  CodeMapIndex(const CodeMapIndex&) = delete;
+  CodeMapIndex& operator=(const CodeMapIndex&) = delete;
+
   struct LoadStats {
     std::uint64_t maps_loaded = 0;     // files found (intact or salvaged)
     std::uint64_t maps_intact = 0;
@@ -103,10 +125,14 @@ class CodeMapIndex {
   };
 
   /// Loads every map file under `dir` for `pid` from the VFS, salvaging
-  /// damaged files instead of aborting on them.
+  /// damaged files instead of aborting on them. Builds the flattened view.
   LoadStats load(const os::Vfs& vfs, const std::string& dir, hw::Pid pid);
 
-  /// Adds one parsed map (tests construct indices directly).
+  /// Adds one parsed map (tests construct indices directly). Two files
+  /// claiming the same epoch — e.g. two unreadable-header files salvaged
+  /// under the same file-name hint — are *merged* and the epoch marked
+  /// truncated: with provenance ambiguous, absence from the merged map must
+  /// not prove anything.
   void add(CodeMapFile file);
 
   struct Hit {
@@ -133,6 +159,17 @@ class CodeMapIndex {
   };
   Lookup lookup(hw::Address pc, std::uint64_t epoch) const;
 
+  /// Literal epoch-by-epoch implementations of resolve()/lookup(), kept as
+  /// the equivalence oracle for the flattened view (and for benchmarking
+  /// the flattening win). Same results, O(epochs · log n) per call.
+  std::optional<Hit> resolve_walkback(hw::Address pc, std::uint64_t epoch) const;
+  Lookup lookup_walkback(hw::Address pc, std::uint64_t epoch) const;
+
+  /// Builds the flattened view now (idempotent, thread-safe). Queries call
+  /// it lazily; load() calls it eagerly so post-processing threads never
+  /// contend on the build.
+  void prepare() const;
+
   /// True if `epoch` has a loaded map that is marked truncated.
   bool epoch_truncated(std::uint64_t epoch) const {
     auto it = maps_.find(epoch);
@@ -152,11 +189,39 @@ class CodeMapIndex {
     bool truncated = false;
   };
 
+  /// One occupant change of an elementary address interval: from `epoch`
+  /// on (until a newer version of the same interval), samples in the
+  /// interval attribute to `entry`.
+  struct Version {
+    std::uint64_t epoch = 0;
+    std::uint32_t ord = 0;  // index of `epoch` among loaded map epochs
+    const CodeMapEntry* entry = nullptr;
+  };
+
   const CodeMapEntry* find_in(const EpochMap& map, hw::Address pc) const;
+  void build_flat() const;
+  /// Newest occupant of `pc` among maps with epoch <= `epoch`, or nullptr.
+  const Version* flat_find(hw::Address pc, std::uint64_t epoch) const;
 
   std::map<std::uint64_t, EpochMap> maps_;
   std::uint64_t total_entries_ = 0;
   std::uint64_t truncated_count_ = 0;
+
+  // ---- Flattened view (derived; rebuilt after add(), shared by readers).
+  // Entry pointers reference maps_ node storage, which is stable under
+  // std::map moves, so a prepared index can be moved without rebuilding.
+  static constexpr std::uint64_t kNoGap = ~0ull;  // epochs are < 2^64-1 here
+
+  mutable std::atomic<bool> flat_ready_{false};
+  mutable std::mutex flat_mu_;
+  mutable std::vector<hw::Address> bounds_;   // elementary interval borders
+  mutable std::vector<std::size_t> slot_of_;  // CSR offsets into versions_
+  mutable std::vector<Version> versions_;     // per interval, epoch-ascending
+  mutable std::vector<std::uint64_t> epochs_;        // sorted map epochs
+  mutable std::vector<std::uint64_t> trunc_epochs_;  // sorted truncated epochs
+  /// Per loaded epoch: newest integer epoch <= it with *no* map (kNoGap if
+  /// the maps run contiguously down to 0).
+  mutable std::vector<std::uint64_t> gap_below_;
 };
 
 }  // namespace viprof::core

@@ -17,20 +17,37 @@ const char* event_column_title(hw::EventKind event) {
   return "?";
 }
 
+ProfileRow& Profile::row_for(const std::string& image, const std::string& symbol,
+                             SampleDomain domain) {
+  std::string key;
+  key.reserve(image.size() + symbol.size() + 1);
+  key += image;
+  key += '\0';
+  key += symbol;
+  const auto [it, inserted] = index_.try_emplace(std::move(key), rows_.size());
+  if (inserted) {
+    ProfileRow row;
+    row.image = image;
+    row.symbol = symbol;
+    row.domain = domain;
+    rows_.push_back(std::move(row));
+  }
+  return rows_[it->second];
+}
+
 void Profile::add(hw::EventKind event, const Resolution& res, std::uint64_t count) {
   totals_[hw::event_index(event)] += count;
-  for (ProfileRow& row : rows_) {
-    if (row.image == res.image && row.symbol == res.symbol) {
-      row.counts[hw::event_index(event)] += count;
-      return;
+  row_for(res.image, res.symbol, res.domain).counts[hw::event_index(event)] += count;
+}
+
+void Profile::merge(const Profile& other) {
+  for (std::size_t i = 0; i < hw::kEventKindCount; ++i) totals_[i] += other.totals_[i];
+  for (const ProfileRow& src : other.rows_) {
+    ProfileRow& dst = row_for(src.image, src.symbol, src.domain);
+    for (std::size_t i = 0; i < hw::kEventKindCount; ++i) {
+      dst.counts[i] += src.counts[i];
     }
   }
-  ProfileRow row;
-  row.image = res.image;
-  row.symbol = res.symbol;
-  row.domain = res.domain;
-  row.counts[hw::event_index(event)] = count;
-  rows_.push_back(std::move(row));
 }
 
 double Profile::percent(const ProfileRow& row, hw::EventKind event) const {
@@ -57,9 +74,13 @@ std::uint64_t Profile::domain_total(SampleDomain domain, hw::EventKind event) co
 
 const ProfileRow* Profile::find(const std::string& image,
                                 const std::string& symbol) const {
-  for (const ProfileRow& row : rows_)
-    if (row.image == image && row.symbol == symbol) return &row;
-  return nullptr;
+  std::string key;
+  key.reserve(image.size() + symbol.size() + 1);
+  key += image;
+  key += '\0';
+  key += symbol;
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &rows_[it->second];
 }
 
 std::string Profile::render(const std::vector<hw::EventKind>& events,

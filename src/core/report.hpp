@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/resolver.hpp"
@@ -30,9 +31,19 @@ struct ProfileRow {
 /// Column header the paper uses for each event.
 const char* event_column_title(hw::EventKind event);
 
+/// Aggregation is hash-based: rows are interned in an unordered_map keyed
+/// on (image, symbol), so add() is O(1) amortised instead of a linear row
+/// scan, while rows_ preserves first-insertion order — ranked() and
+/// render() output is unchanged.
 class Profile {
  public:
   void add(hw::EventKind event, const Resolution& res, std::uint64_t count = 1);
+
+  /// Adds every row and total of `other` into this profile. Merging
+  /// per-shard profiles in shard order reproduces the serial profile
+  /// exactly (row order included): a row's first-occurrence shard is the
+  /// shard of its globally first sample.
+  void merge(const Profile& other);
 
   std::uint64_t total(hw::EventKind event) const {
     return totals_[hw::event_index(event)];
@@ -57,7 +68,12 @@ class Profile {
   const std::vector<ProfileRow>& rows() const { return rows_; }
 
  private:
+  ProfileRow& row_for(const std::string& image, const std::string& symbol,
+                      SampleDomain domain);
+
   std::vector<ProfileRow> rows_;
+  /// "image\0symbol" -> index into rows_ (symbols never contain NUL).
+  std::unordered_map<std::string, std::size_t> index_;
   std::uint64_t totals_[hw::kEventKindCount] = {};
 };
 

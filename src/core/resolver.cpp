@@ -1,8 +1,6 @@
 #include "core/resolver.hpp"
 
-#include <cstdio>
-#include <sstream>
-
+#include "core/rvm_map.hpp"
 #include "support/check.hpp"
 #include "support/format.hpp"
 
@@ -11,22 +9,6 @@ namespace viprof::core {
 namespace {
 
 constexpr const char* kNoSymbols = "(no symbols)";
-
-os::SymbolTable parse_rvm_map(const std::string& contents) {
-  os::SymbolTable table;
-  std::istringstream in(contents);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    unsigned long long offset = 0;
-    unsigned long long size = 0;
-    char name[512];
-    if (std::sscanf(line.c_str(), "%llx %llu %511s", &offset, &size, name) == 3) {
-      table.add(name, offset, size);
-    }
-  }
-  return table;
-}
 
 }  // namespace
 
@@ -72,8 +54,30 @@ Resolution Resolver::resolve(const LoggedSample& s) const {
   return resolve_pc(s.pc, s.mode, s.pid, s.epoch);
 }
 
+Resolution Resolver::resolve(const LoggedSample& s, ResolveStats& stats) const {
+  return resolve_pc(s.pc, s.mode, s.pid, s.epoch, stats);
+}
+
 Resolution Resolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
                                 std::uint64_t epoch) const {
+  ResolveStats stats;
+  Resolution out = resolve_pc(pc, mode, pid, epoch, stats);
+  fold(stats);
+  return out;
+}
+
+void Resolver::fold(const ResolveStats& stats) const {
+  jit_resolved_.fetch_add(stats.jit_resolved, std::memory_order_relaxed);
+  jit_unresolved_.fetch_add(stats.jit_unresolved, std::memory_order_relaxed);
+  backward_steps_.fetch_add(stats.backward_steps, std::memory_order_relaxed);
+  unresolved_missing_map_.fetch_add(stats.unresolved_missing_map,
+                                    std::memory_order_relaxed);
+  unresolved_truncated_map_.fetch_add(stats.unresolved_truncated_map,
+                                      std::memory_order_relaxed);
+}
+
+Resolution Resolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                                std::uint64_t epoch, ResolveStats& stats) const {
   VIPROF_CHECK(loaded_);
   Resolution out;
 
@@ -160,22 +164,22 @@ Resolution Resolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
             out.maps_searched = lk.hit->maps_searched;
             out.symbol_base = lk.hit->address;
             out.symbol_size = lk.hit->size;
-            backward_steps_ += lk.hit->maps_searched;
-            ++jit_resolved_;
+            stats.backward_steps += lk.hit->maps_searched;
+            ++stats.jit_resolved;
             tele_jit_resolved_->inc();
             tele_walkback_->add(static_cast<double>(lk.hit->maps_searched));
             return out;
           }
-          ++jit_unresolved_;
+          ++stats.jit_unresolved;
           tele_jit_unresolved_->inc();
           switch (lk.miss) {
             case JitLookupMiss::kMissingEpochMap:
-              ++unresolved_missing_map_;
+              ++stats.unresolved_missing_map;
               tele_missing_map_->inc();
               out.symbol = kUnresolvedMissingMap;
               break;
             case JitLookupMiss::kTruncatedMap:
-              ++unresolved_truncated_map_;
+              ++stats.unresolved_truncated_map;
               tele_truncated_map_->inc();
               out.symbol = kUnresolvedTruncatedMap;
               break;

@@ -12,6 +12,7 @@
 //     stock OProfile reports "anon (range:...)".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -61,10 +62,58 @@ struct Resolution {
   std::uint64_t symbol_size = 0;
 };
 
+/// Resolution outcome tallies. The parallel pipeline gives each shard its
+/// own ResolveStats and folds them into the resolver afterwards, so worker
+/// threads never contend on shared counters.
+struct ResolveStats {
+  std::uint64_t jit_resolved = 0;
+  std::uint64_t jit_unresolved = 0;
+  std::uint64_t backward_steps = 0;
+  std::uint64_t unresolved_missing_map = 0;
+  std::uint64_t unresolved_truncated_map = 0;
+
+  void merge(const ResolveStats& o) {
+    jit_resolved += o.jit_resolved;
+    jit_unresolved += o.jit_unresolved;
+    backward_steps += o.backward_steps;
+    unresolved_missing_map += o.unresolved_missing_map;
+    unresolved_truncated_map += o.unresolved_truncated_map;
+  }
+};
+
+/// Thread-safety contract (DESIGN.md §9): after load(), the stats-taking
+/// resolve()/resolve_pc() overloads are safe to call from any number of
+/// threads concurrently — they mutate nothing but the caller's ResolveStats
+/// and the (atomic/mutexed) telemetry handles. The stats-less overloads and
+/// fold() are also thread-safe; the tallies behind the accessors are
+/// atomics. load() itself is exclusive.
 class Resolver {
  public:
   /// `vm_aware` selects VIProf behaviour; false reproduces stock OProfile.
   Resolver(const os::Machine& machine, const RegistrationTable& table, bool vm_aware);
+
+  /// Movable (the atomic tallies transfer by value); moves are exclusive,
+  /// like any mutation under the thread-safety contract above.
+  Resolver(Resolver&& other) noexcept
+      : machine_(other.machine_),
+        table_(other.table_),
+        vm_aware_(other.vm_aware_),
+        loaded_(other.loaded_),
+        boot_maps_(std::move(other.boot_maps_)),
+        boot_labels_(std::move(other.boot_labels_)),
+        jit_maps_(std::move(other.jit_maps_)),
+        jit_resolved_(other.jit_resolved_.load(std::memory_order_relaxed)),
+        jit_unresolved_(other.jit_unresolved_.load(std::memory_order_relaxed)),
+        backward_steps_(other.backward_steps_.load(std::memory_order_relaxed)),
+        unresolved_missing_map_(
+            other.unresolved_missing_map_.load(std::memory_order_relaxed)),
+        unresolved_truncated_map_(
+            other.unresolved_truncated_map_.load(std::memory_order_relaxed)),
+        tele_jit_resolved_(other.tele_jit_resolved_),
+        tele_jit_unresolved_(other.tele_jit_unresolved_),
+        tele_missing_map_(other.tele_missing_map_),
+        tele_truncated_map_(other.tele_truncated_map_),
+        tele_walkback_(other.tele_walkback_) {}
 
   /// Reads RVM.map and all epoch code maps from the VFS. Must be called
   /// before resolve(); safe to call with no registrations.
@@ -74,16 +123,36 @@ class Resolver {
   Resolution resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
                         std::uint64_t epoch) const;
 
+  /// Pure-with-respect-to-the-resolver variants: outcome tallies go into
+  /// `stats` instead of the internal counters. Callers that want the
+  /// accessors below to reflect their work fold() the stats back in.
+  Resolution resolve(const LoggedSample& sample, ResolveStats& stats) const;
+  Resolution resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                        std::uint64_t epoch, ResolveStats& stats) const;
+
+  /// Adds shard tallies into the internal counters.
+  void fold(const ResolveStats& stats) const;
+
   const CodeMapIndex* code_maps(hw::Pid pid) const;
-  std::uint64_t jit_resolved() const { return jit_resolved_; }
-  std::uint64_t jit_unresolved() const { return jit_unresolved_; }
-  std::uint64_t backward_steps() const { return backward_steps_; }
+  std::uint64_t jit_resolved() const {
+    return jit_resolved_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t jit_unresolved() const {
+    return jit_unresolved_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t backward_steps() const {
+    return backward_steps_.load(std::memory_order_relaxed);
+  }
 
   /// Degradation accounting: JIT samples whose epoch map was lost or
   /// salvaged-incomplete. These land in the `unresolved.missing_map` /
   /// `unresolved.truncated_map` bins — counted, never misattributed.
-  std::uint64_t unresolved_missing_map() const { return unresolved_missing_map_; }
-  std::uint64_t unresolved_truncated_map() const { return unresolved_truncated_map_; }
+  std::uint64_t unresolved_missing_map() const {
+    return unresolved_missing_map_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t unresolved_truncated_map() const {
+    return unresolved_truncated_map_.load(std::memory_order_relaxed);
+  }
 
  private:
   const os::Machine* machine_;
@@ -97,11 +166,11 @@ class Resolver {
   std::unordered_map<hw::Pid, std::string> boot_labels_;
   std::unordered_map<hw::Pid, CodeMapIndex> jit_maps_;
 
-  mutable std::uint64_t jit_resolved_ = 0;
-  mutable std::uint64_t jit_unresolved_ = 0;
-  mutable std::uint64_t backward_steps_ = 0;
-  mutable std::uint64_t unresolved_missing_map_ = 0;
-  mutable std::uint64_t unresolved_truncated_map_ = 0;
+  mutable std::atomic<std::uint64_t> jit_resolved_{0};
+  mutable std::atomic<std::uint64_t> jit_unresolved_{0};
+  mutable std::atomic<std::uint64_t> backward_steps_{0};
+  mutable std::atomic<std::uint64_t> unresolved_missing_map_{0};
+  mutable std::atomic<std::uint64_t> unresolved_truncated_map_{0};
 
   // Self-telemetry handles (resolver.* namespace, DESIGN.md §8). The
   // registry is reachable through the const machine because telemetry is a

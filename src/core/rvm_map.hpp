@@ -1,0 +1,19 @@
+// Jikes-style boot-image method map ("RVM.map") parsing, shared by the
+// live Resolver and the offline ArchiveResolver.
+//
+// Each line is "offset-hex size-dec symbol"; anything else (comments, blank
+// lines, junk) is skipped, matching the tolerance of the real tool, which
+// must digest maps produced by several RVM builds. The file is scanned in a
+// single pass (support/str_scan.hpp) — this parse is on the post-processing
+// startup path and is measured by micro_resolve's BM_RvmMapParse.
+#pragma once
+
+#include <string>
+
+#include "os/symbol_table.hpp"
+
+namespace viprof::core {
+
+os::SymbolTable parse_rvm_map(const std::string& contents);
+
+}  // namespace viprof::core

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include "core/archive.hpp"
+#include "core/resolve_pipeline.hpp"
 #include "support/check.hpp"
 
 namespace viprof::core {
@@ -83,6 +84,7 @@ SessionResult ProfilingSession::finish_run() {
   VIPROF_CHECK(attached_);
   VIPROF_CHECK(!ran_);
   ran_ = true;
+  sample_cache_.clear();  // the final flush below appends to the logs
 
   SessionResult result;
   result.vm = vm_->finish();
@@ -126,6 +128,7 @@ SessionResult ProfilingSession::finish_run() {
 
 void ProfilingSession::restart_daemon() {
   VIPROF_CHECK(daemon_ != nullptr);
+  sample_cache_.clear();  // the revived daemon will write more samples
   daemon_->restart(machine_->cpu().now());
 }
 
@@ -158,15 +161,31 @@ Resolver& ProfilingSession::resolver() {
   return *resolver_;
 }
 
+const std::vector<LoggedSample>& ProfilingSession::logged_samples(hw::EventKind event) {
+  VIPROF_CHECK(daemon_ != nullptr);
+  const std::size_t idx = hw::event_index(event);
+  auto it = sample_cache_.find(idx);
+  if (it == sample_cache_.end()) {
+    it = sample_cache_
+             .emplace(idx, SampleLogReader::read(machine_->vfs(),
+                                                 daemon_->sample_dir(), event))
+             .first;
+  }
+  return it->second;
+}
+
 Profile ProfilingSession::build_profile(const std::vector<hw::EventKind>& events) {
   Profile profile;
   if (config_.mode == ProfilingMode::kBase || !daemon_) return profile;
   Resolver& r = resolver();
+  ResolvePipeline pipeline(PipelineConfig{config_.resolve_threads});
   for (hw::EventKind event : events) {
-    for (const LoggedSample& s :
-         SampleLogReader::read(machine_->vfs(), daemon_->sample_dir(), event)) {
-      profile.add(event, r.resolve(s));
-    }
+    const ResolveStats stats = pipeline.aggregate_profile(
+        logged_samples(event), event,
+        [&r](const LoggedSample& s, ResolveStats& st) { return r.resolve(s, st); },
+        profile);
+    // Keep the resolver's outcome accessors meaningful, as in the serial path.
+    r.fold(stats);
   }
   return profile;
 }
@@ -174,10 +193,8 @@ Profile ProfilingSession::build_profile(const std::vector<hw::EventKind>& events
 CallGraph ProfilingSession::build_callgraph(hw::EventKind event) {
   CallGraph graph(resolver());
   if (config_.mode == ProfilingMode::kBase || !daemon_) return graph;
-  for (const LoggedSample& s :
-       SampleLogReader::read(machine_->vfs(), daemon_->sample_dir(), event)) {
-    graph.add(s);
-  }
+  ResolvePipeline pipeline(PipelineConfig{config_.resolve_threads});
+  pipeline.aggregate_callgraph(logged_samples(event), graph);
   return graph;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/agent.hpp"
@@ -53,6 +54,12 @@ struct SessionConfig {
   /// and hands it to the daemon and agent (write faults, scheduled kills).
   /// Not owned; must outlive the session.
   support::FaultInjector* fault = nullptr;
+
+  /// Host worker threads for offline post-processing (build_profile /
+  /// build_callgraph): 1 = serial, 0 = one per hardware thread. Output is
+  /// byte-identical for any value; only the online path is simulated, so
+  /// this does not disturb the measured run.
+  std::size_t resolve_threads = 1;
 
   DaemonConfig daemon;
   AgentConfig agent;
@@ -104,6 +111,12 @@ class ProfilingSession {
   /// Fig. 1-style text report.
   std::string report_text(const std::vector<hw::EventKind>& events, std::size_t top_n);
 
+  /// The verified samples of `event`, read from the daemon's log once and
+  /// cached — repeated build_profile/build_callgraph/report_text calls no
+  /// longer re-read and re-verify the log per event. Invalidated when the
+  /// daemon may write again (finish_run, restart_daemon).
+  const std::vector<LoggedSample>& logged_samples(hw::EventKind event);
+
   /// Writes the offline-resolution archive (manifest + everything the
   /// ArchiveResolver needs) into the machine's VFS under `prefix`. Also
   /// drops a telemetry snapshot under `prefix`/telemetry.
@@ -131,6 +144,8 @@ class ProfilingSession {
   std::unique_ptr<Daemon> daemon_;
   std::unique_ptr<VmAgent> agent_;
   std::unique_ptr<Resolver> resolver_;
+  /// Per-event sample cache for post-processing, keyed by event index.
+  std::unordered_map<std::size_t, std::vector<LoggedSample>> sample_cache_;
   bool attached_ = false;
   bool ran_ = false;
 

@@ -2,7 +2,9 @@
 // binary-search lookup (the core of OProfile's PC → method attribution).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,9 +17,16 @@ struct Symbol {
   std::uint64_t size = 0;
 };
 
+/// Thread-safety: find()/ordered() may be called concurrently from any
+/// number of threads (the parallel resolution pipeline does); the lazy
+/// sort happens once under a lock. add() and moves are exclusive.
 class SymbolTable {
  public:
   SymbolTable() = default;
+  SymbolTable(SymbolTable&& other) noexcept { *this = std::move(other); }
+  SymbolTable& operator=(SymbolTable&& other) noexcept;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
 
   /// Adds a symbol; offsets may arrive unordered, the table sorts lazily.
   void add(std::string name, std::uint64_t offset, std::uint64_t size);
@@ -36,7 +45,8 @@ class SymbolTable {
   void ensure_sorted() const;
 
   mutable std::vector<Symbol> symbols_;
-  mutable bool sorted_ = true;
+  mutable std::atomic<bool> sorted_{true};
+  mutable std::mutex sort_mu_;
 };
 
 }  // namespace viprof::os

@@ -1,0 +1,55 @@
+// Minimal fixed-size worker pool for the offline post-processing path.
+//
+// The online sampling side of VIProf never touches this: NMI handlers and
+// the daemon run on the simulated machine. Post-processing (resolve +
+// aggregate over millions of logged samples) is ordinary host code and can
+// use host threads; this pool exists so the resolution pipeline does not
+// pay thread spawn cost per shard.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace viprof::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw — there is no result channel;
+  /// communicate through captured state.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, count) across the pool and waits for all of
+  /// them. body must be safe to call concurrently with distinct i.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // queue became non-empty / stopping
+  std::condition_variable idle_cv_;   // a task finished; wait_idle re-checks
+  std::size_t active_ = 0;            // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace viprof::support

@@ -330,6 +330,39 @@ TEST(CrashRecovery, ChaosRunCompletesWithFullLedger) {
   assert_no_misattribution(run);
 }
 
+TEST(CrashRecovery, CollidingEpochHintsMergeInsteadOfAborting) {
+  // Two map files whose names both decode to epoch 3: a corrupt leftover
+  // ("map.00000003", header unreadable — salvaged empty under the name
+  // hint) next to an unpadded but intact "map.3". load() used to die on
+  // the second add() for the same epoch; the collision must instead merge
+  // the entries and mark the epoch truncated — provenance is ambiguous,
+  // so absence from the merged map proves nothing.
+  os::Vfs vfs;
+  vfs.write("jit_maps/9/map.00000003", "@@@ header destroyed by a torn write\n");
+  core::CodeMapFile intact;
+  intact.epoch = 3;
+  intact.entries.push_back({0x6000, 128, "ghost.A"});
+  vfs.write("jit_maps/9/map.3", intact.serialize());
+
+  core::CodeMapIndex index;
+  const auto stats = index.load(vfs, "jit_maps", 9);
+  EXPECT_EQ(stats.maps_loaded, 2u);
+  EXPECT_EQ(stats.maps_intact, 1u);
+  EXPECT_EQ(stats.maps_truncated, 1u);
+  EXPECT_EQ(index.map_count(), 1u);  // merged into one epoch-3 map
+  EXPECT_TRUE(index.epoch_truncated(3));
+  EXPECT_EQ(index.truncated_count(), 1u);
+  EXPECT_EQ(index.total_entries(), stats.entries_loaded);
+
+  // Entries from the intact file still resolve; the truncated marking
+  // stops lookup() from treating the merged map as exhaustive.
+  const auto hit = index.resolve(0x6000 + 8, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->symbol, "ghost.A");
+  const auto miss = index.lookup(0x5000, 3);
+  EXPECT_EQ(miss.miss, core::JitLookupMiss::kTruncatedMap);
+}
+
 TEST(CrashRecovery, ChaosRunIsDeterministicUnderSeed) {
   auto ledger = [] {
     core::SessionConfig config = base_config();

@@ -1,0 +1,151 @@
+// Property test for the flattened epoch index (DESIGN.md §9): on randomized
+// map populations — gaps, truncation, churn, overlapping and degenerate
+// entries — the O(log n) flattened resolve()/lookup() must agree exactly
+// with the original per-query backward walk, kept as resolve_walkback() /
+// lookup_walkback().
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/code_map.hpp"
+#include "support/rng.hpp"
+
+namespace viprof::core {
+namespace {
+
+bool same_hit(const std::optional<CodeMapIndex::Hit>& a,
+              const std::optional<CodeMapIndex::Hit>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->symbol == b->symbol && a->found_in_epoch == b->found_in_epoch &&
+         a->maps_searched == b->maps_searched && a->address == b->address &&
+         a->size == b->size;
+}
+
+std::string describe(const std::optional<CodeMapIndex::Hit>& h) {
+  if (!h.has_value()) return "(miss)";
+  return h->symbol + " @" + std::to_string(h->address) + "+" +
+         std::to_string(h->size) + " epoch=" + std::to_string(h->found_in_epoch) +
+         " searched=" + std::to_string(h->maps_searched);
+}
+
+// One randomized index: epochs in [0, max_epochs) each present with ~75%
+// probability, ~20% of present maps truncated, entries drawn from a small
+// address window so placements collide and shadow each other across epochs.
+CodeMapIndex random_index(support::Xoshiro256& rng, std::uint64_t max_epochs) {
+  CodeMapIndex index;
+  const hw::Address base = 0x7000'0000;
+  for (std::uint64_t e = 0; e < max_epochs; ++e) {
+    if (rng.below(100) < 25) continue;  // missing epoch (lost map write)
+    CodeMapFile file;
+    file.epoch = e;
+    file.truncated = rng.below(100) < 20;
+    const std::uint64_t entries = 1 + rng.below(24);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      CodeMapEntry entry;
+      entry.address = base + rng.below(96) * 0x100;
+      // Mix of sizes: empty bodies, small bodies, bodies overlapping the
+      // next slot — the walk resolves overlaps by sorted-predecessor probe
+      // and the flat view must reproduce that choice.
+      const std::uint64_t kind = rng.below(10);
+      if (kind == 0) entry.size = 0;
+      else if (kind < 8) entry.size = 0x40 + rng.below(0x100);
+      else entry.size = 0x200 + rng.below(0x400);
+      entry.symbol = "e" + std::to_string(e) + "_i" + std::to_string(i);
+      file.entries.push_back(std::move(entry));
+    }
+    // Occasionally an entry at the very top of the address space, where
+    // address + size can wrap: such an entry must cover nothing.
+    if (rng.below(100) < 10) {
+      file.entries.push_back({~0ull - rng.below(0x40), 0x100, "wrap_e" + std::to_string(e)});
+    }
+    index.add(std::move(file));
+  }
+  return index;
+}
+
+class FlatIndexPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatIndexPropertyTest, FlattenedQueriesMatchBackwardWalk) {
+  support::Xoshiro256 rng(GetParam());
+  const std::uint64_t max_epochs = 2 + rng.below(14);
+  CodeMapIndex index = random_index(rng, max_epochs);
+  if (index.map_count() == 0) {
+    // Degenerate draw: both paths must report kNoMaps.
+    const auto lk = index.lookup(0x7000'0000, 3);
+    EXPECT_EQ(lk.miss, JitLookupMiss::kNoMaps);
+    EXPECT_EQ(index.lookup_walkback(0x7000'0000, 3).miss, JitLookupMiss::kNoMaps);
+    return;
+  }
+
+  const hw::Address base = 0x7000'0000;
+  for (int probe = 0; probe < 2000; ++probe) {
+    // PCs concentrated on the populated window plus occasional outliers
+    // (below, far above, near the wrap entries).
+    hw::Address pc;
+    const std::uint64_t where = rng.below(20);
+    if (where == 0) pc = base - 1 - rng.below(0x1000);
+    else if (where == 1) pc = base + 0x10'0000 + rng.below(0x1000);
+    else if (where == 2) pc = ~0ull - rng.below(0x80);
+    else pc = base + rng.below(96 * 0x100 + 0x400);
+    // Query epochs: in range, at the edges, and above the newest map.
+    const std::uint64_t epoch = rng.below(max_epochs + 3);
+
+    const auto flat = index.resolve(pc, epoch);
+    const auto walk = index.resolve_walkback(pc, epoch);
+    ASSERT_TRUE(same_hit(flat, walk))
+        << "resolve pc=" << pc << " epoch=" << epoch << " seed=" << GetParam()
+        << "\n  flat: " << describe(flat) << "\n  walk: " << describe(walk);
+
+    const auto flat_lk = index.lookup(pc, epoch);
+    const auto walk_lk = index.lookup_walkback(pc, epoch);
+    ASSERT_EQ(flat_lk.miss, walk_lk.miss)
+        << "lookup pc=" << pc << " epoch=" << epoch << " seed=" << GetParam()
+        << " flat=" << to_string(flat_lk.miss) << " walk=" << to_string(walk_lk.miss);
+    ASSERT_TRUE(same_hit(flat_lk.hit, walk_lk.hit))
+        << "lookup pc=" << pc << " epoch=" << epoch << " seed=" << GetParam()
+        << "\n  flat: " << describe(flat_lk.hit)
+        << "\n  walk: " << describe(walk_lk.hit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatIndexPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(FlatIndexTest, AddAfterPrepareInvalidatesTheFlattenedView) {
+  CodeMapIndex index;
+  CodeMapFile f0;
+  f0.epoch = 0;
+  f0.entries.push_back({0x1000, 0x100, "old"});
+  index.add(std::move(f0));
+  EXPECT_EQ(index.resolve(0x1040, 5)->symbol, "old");  // builds the flat view
+
+  CodeMapFile f3;
+  f3.epoch = 3;
+  f3.entries.push_back({0x1000, 0x100, "new"});
+  index.add(std::move(f3));  // must invalidate and rebuild on next query
+  EXPECT_EQ(index.resolve(0x1040, 5)->symbol, "new");
+  EXPECT_EQ(index.resolve(0x1040, 2)->symbol, "old");
+}
+
+TEST(FlatIndexTest, MovedIndexKeepsAnswering) {
+  CodeMapIndex index;
+  CodeMapFile f;
+  f.epoch = 2;
+  f.entries.push_back({0x2000, 0x80, "sym"});
+  index.add(std::move(f));
+  index.prepare();
+
+  CodeMapIndex moved(std::move(index));
+  ASSERT_TRUE(moved.resolve(0x2010, 2).has_value());
+  EXPECT_EQ(moved.resolve(0x2010, 2)->symbol, "sym");
+
+  CodeMapIndex assigned;
+  assigned = std::move(moved);
+  ASSERT_TRUE(assigned.resolve(0x2010, 2).has_value());
+  EXPECT_EQ(assigned.resolve(0x2010, 2)->symbol, "sym");
+}
+
+}  // namespace
+}  // namespace viprof::core

@@ -2,7 +2,7 @@
 // directory (the opreport analogue). Works purely from files: the archive
 // manifest, RVM.map, the epoch code maps and the per-event sample logs.
 //
-//   viprof_report --in /tmp/session [--top 20] [--oprofile-view]
+//   viprof_report --in /tmp/session [--top 20] [--threads N] [--oprofile-view]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +11,7 @@
 #include "core/annotate.hpp"
 #include "core/archive.hpp"
 #include "core/report.hpp"
+#include "core/resolve_pipeline.hpp"
 #include "core/sample_log.hpp"
 #include "os/vfs.hpp"
 
@@ -18,8 +19,10 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: viprof_report --in DIR [--top N] [--oprofile-view]\n"
-               "                     [--annotate IMAGE:SYMBOL]\n"
+               "usage: viprof_report --in DIR [--top N] [--threads N]\n"
+               "                     [--oprofile-view] [--annotate IMAGE:SYMBOL]\n"
+               "  --threads N resolves samples on N worker threads\n"
+               "  (0 = one per hardware thread); output is identical.\n"
                "  --oprofile-view resolves as stock OProfile would\n"
                "  (anon ranges, opaque boot image) for comparison.\n");
   std::exit(2);
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   std::string in_dir;
   std::string annotate_target;
   std::size_t top = 20;
+  std::size_t threads = 1;
   bool vm_aware = true;
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--in")) in_dir = need("--in");
     else if (!std::strcmp(argv[i], "--top")) top = std::strtoull(need("--top"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--threads")) threads = std::strtoull(need("--threads"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--oprofile-view")) vm_aware = false;
     else if (!std::strcmp(argv[i], "--annotate")) annotate_target = need("--annotate");
     else usage();
@@ -57,13 +62,21 @@ int main(int argc, char** argv) {
   core::Profile profile;
   const std::vector<hw::EventKind> events = {hw::EventKind::kGlobalPowerEvents,
                                              hw::EventKind::kBsqCacheReference};
+  // The ArchiveResolver keeps no outcome tallies; the pipeline's per-shard
+  // stats are discarded.
+  core::ResolvePipeline pipeline(core::PipelineConfig{threads});
+  const auto resolve_fn = [&resolver](const core::LoggedSample& s,
+                                      core::ResolveStats&) {
+    return resolver.resolve(s);
+  };
+  std::vector<core::LoggedSample> time_samples;  // kept for --annotate
   std::uint64_t total = 0;
   for (hw::EventKind event : events) {
-    for (const core::LoggedSample& s :
-         core::SampleLogReader::read(vfs, "samples", event)) {
-      profile.add(event, resolver.resolve(s));
-      ++total;
-    }
+    std::vector<core::LoggedSample> samples =
+        core::SampleLogReader::read(vfs, "samples", event);
+    total += samples.size();
+    pipeline.aggregate_profile(samples, event, resolve_fn, profile);
+    if (event == hw::EventKind::kGlobalPowerEvents) time_samples = std::move(samples);
   }
   if (total == 0) {
     std::fprintf(stderr, "no samples under %s/samples\n", in_dir.c_str());
@@ -81,10 +94,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--annotate wants IMAGE:SYMBOL\n");
       return 2;
     }
-    const auto samples =
-        core::SampleLogReader::read(vfs, "samples", hw::EventKind::kGlobalPowerEvents);
+    // Reuse the already-read time samples instead of re-reading the log.
     const core::Annotation ann = core::annotate(
-        samples, [&](const core::LoggedSample& s) { return resolver.resolve(s); },
+        time_samples, [&](const core::LoggedSample& s) { return resolver.resolve(s); },
         annotate_target.substr(0, colon), annotate_target.substr(colon + 1));
     std::printf("\n-- annotation (time samples) --\n%s", ann.render().c_str());
   }
