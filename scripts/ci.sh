@@ -2,11 +2,13 @@
 # Tier-1 CI pipeline.
 #
 # 1. Configure + build the default (RelWithDebInfo) tree.
-# 2. Run the whole ctest suite — this includes the `faults`, `telemetry`
-#    and `resolve` labels — and then each of those labels once more by
-#    name, so a label that silently lost its tests fails the pipeline.
-# 3. Smoke-run the resolution benchmark (VIPROF_QUICK) and check that it
-#    leaves a non-empty BENCH_resolve.json behind.
+# 2. Run the whole ctest suite — this includes the `faults`, `telemetry`,
+#    `resolve` and `service` labels — and then each of those labels once
+#    more by name, so a label that silently lost its tests fails the
+#    pipeline.
+# 3. Smoke-run the resolution and service benchmarks (VIPROF_QUICK) and
+#    check that they leave non-empty BENCH_resolve.json / BENCH_service.json
+#    behind.
 # 4. Rebuild one sanitizer configuration (VIPROF_SANITIZE=thread by default;
 #    set VIPROF_SANITIZE=address to switch) and run the concurrency-sensitive
 #    labelled suites under it.
@@ -36,13 +38,16 @@ ctest --test-dir "$PREFIX" --output-on-failure -j "$JOBS"
 run_label "$PREFIX" faults
 run_label "$PREFIX" telemetry
 run_label "$PREFIX" resolve
+run_label "$PREFIX" service
 
-echo "=== [2/4] resolution benchmark smoke (BENCH_resolve.json) ==="
+echo "=== [2/4] benchmark smoke (BENCH_resolve.json, BENCH_service.json) ==="
 (cd "$PREFIX" &&
- rm -f BENCH_resolve.json &&
+ rm -f BENCH_resolve.json BENCH_service.json &&
  VIPROF_QUICK=1 ./bench/micro_resolve \
    --benchmark_filter='BM_CodeMapResolveBackward|BM_RvmMapParse' &&
- test -s BENCH_resolve.json)
+ test -s BENCH_resolve.json &&
+ VIPROF_QUICK=1 ./bench/micro_service &&
+ test -s BENCH_service.json)
 
 echo "=== [3/4] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
 SAN_DIR="$PREFIX-$SANITIZER"
@@ -53,5 +58,6 @@ echo "=== [4/4] labelled suites under $SANITIZER sanitizer ==="
 run_label "$SAN_DIR" faults
 run_label "$SAN_DIR" telemetry
 run_label "$SAN_DIR" resolve
+run_label "$SAN_DIR" service
 
 echo "ci.sh: all green"

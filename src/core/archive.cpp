@@ -77,7 +77,7 @@ void write_archive(const os::Machine& machine, const RegistrationTable& table,
 }
 
 ArchiveResolver::ArchiveResolver(const os::Vfs& vfs, const std::string& prefix,
-                                 bool vm_aware)
+                                 bool vm_aware, bool load_jit_maps)
     : vm_aware_(vm_aware) {
   const auto manifest = vfs.read(manifest_path(prefix));
   VIPROF_CHECK(manifest.has_value());
@@ -160,7 +160,7 @@ ArchiveResolver::ArchiveResolver(const os::Vfs& vfs, const std::string& prefix,
                                          : reg.boot_map_path.substr(slash + 1);
         }
       }
-      if (!reg.jit_map_dir.empty()) {
+      if (load_jit_maps && !reg.jit_map_dir.empty()) {
         CodeMapIndex index;
         index.load(vfs, reg.jit_map_dir, reg.pid);
         jit_maps_[reg.pid] = std::move(index);
@@ -181,11 +181,22 @@ const ArchiveResolver::ArchivedVma* ArchiveResolver::find_vma(
 }
 
 Resolution ArchiveResolver::resolve(const LoggedSample& s) const {
-  return resolve_pc(s.pc, s.mode, s.pid, s.epoch);
+  return resolve_pc(s.pc, s.mode, s.pid, s.epoch, nullptr);
+}
+
+Resolution ArchiveResolver::resolve(const LoggedSample& s,
+                                    const JitIndexSource* jit) const {
+  return resolve_pc(s.pc, s.mode, s.pid, s.epoch, jit);
 }
 
 Resolution ArchiveResolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
                                        std::uint64_t epoch) const {
+  return resolve_pc(pc, mode, pid, epoch, nullptr);
+}
+
+Resolution ArchiveResolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                                       std::uint64_t epoch,
+                                       const JitIndexSource* jit) const {
   VIPROF_CHECK(loaded_);
   Resolution out;
 
@@ -259,11 +270,17 @@ Resolution ArchiveResolver::resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid
           if (reg.pid != pid || !reg.heap_contains(pc)) continue;
           out.domain = SampleDomain::kJit;
           out.image = "JIT.App";
-          auto jm = jit_maps_.find(pid);
+          const CodeMapIndex* index = nullptr;
+          if (jit != nullptr) {
+            index = jit->index_for(pid, epoch);
+          } else {
+            auto jm = jit_maps_.find(pid);
+            if (jm != jit_maps_.end()) index = &jm->second;
+          }
           const CodeMapIndex::Lookup lk =
-              jm != jit_maps_.end() ? jm->second.lookup(pc, epoch)
-                                    : CodeMapIndex::Lookup{std::nullopt,
-                                                           JitLookupMiss::kNoMaps};
+              index != nullptr ? index->lookup(pc, epoch)
+                               : CodeMapIndex::Lookup{std::nullopt,
+                                                      JitLookupMiss::kNoMaps};
           if (lk.hit) {
             out.symbol = lk.hit->symbol;
             out.maps_searched = lk.hit->maps_searched;

@@ -30,17 +30,46 @@ namespace viprof::core {
 void write_archive(const os::Machine& machine, const RegistrationTable& table,
                    os::Vfs& vfs, const std::string& prefix);
 
+/// Pluggable provider of epoch code-map indexes, consulted on the JIT
+/// resolution path in place of the resolver's internally loaded maps. The
+/// continuous-profiling service supplies one per ingest batch: its indexes
+/// live in a shared LRU cache keyed by (vm, epoch-ceiling) and are pinned
+/// for the batch's lifetime, so a load-everything-up-front resolver would
+/// be both stale (maps keep streaming in) and unbounded.
+///
+/// index_for() may return nullptr (no maps known for that pid yet); the
+/// caller then takes the same path as an empty internal index, binning the
+/// sample as unresolved rather than misattributing it.
+class JitIndexSource {
+ public:
+  virtual ~JitIndexSource() = default;
+  virtual const CodeMapIndex* index_for(hw::Pid pid, std::uint64_t epoch) const = 0;
+};
+
 /// Offline resolver: same attribution rules as core::Resolver, driven only
 /// by files (the archive manifest plus the maps referenced from it).
 class ArchiveResolver {
  public:
   /// Loads the manifest written by write_archive(); `vm_aware` selects
   /// VIProf vs stock-OProfile behaviour, as with the live resolver.
-  ArchiveResolver(const os::Vfs& vfs, const std::string& prefix, bool vm_aware);
+  /// `load_jit_maps = false` skips loading the epoch code maps — for
+  /// callers that resolve through an external JitIndexSource instead.
+  ArchiveResolver(const os::Vfs& vfs, const std::string& prefix, bool vm_aware,
+                  bool load_jit_maps = true);
 
   Resolution resolve(const LoggedSample& sample) const;
   Resolution resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
                         std::uint64_t epoch) const;
+
+  /// As above, but JIT-heap PCs resolve through `jit` instead of the
+  /// internally loaded maps; nullptr falls back to the internal maps.
+  /// Byte-identical to the plain overloads when `jit` serves the same
+  /// index contents.
+  Resolution resolve(const LoggedSample& sample, const JitIndexSource* jit) const;
+  Resolution resolve_pc(hw::Address pc, hw::CpuMode mode, hw::Pid pid,
+                        std::uint64_t epoch, const JitIndexSource* jit) const;
+
+  const std::vector<VmRegistration>& registrations() const { return registrations_; }
 
   std::size_t image_count() const { return images_.size(); }
   std::size_t process_count() const { return processes_.size(); }

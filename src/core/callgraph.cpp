@@ -28,11 +28,15 @@ CallArc& CallGraph::arc_for(const CallArc& like) {
 
 void CallGraph::add(const LoggedSample& sample) {
   if (sample.caller_pc == 0) return;
-  ++samples_;
   const Resolution callee = resolver_->resolve(sample);
   // The caller is user code in the same process (one-level unwind).
   const Resolution caller =
       resolver_->resolve_pc(sample.caller_pc, hw::CpuMode::kUser, sample.pid, sample.epoch);
+  add_resolved(caller, callee);
+}
+
+void CallGraph::add_resolved(const Resolution& caller, const Resolution& callee) {
+  ++samples_;
   CallArc like;
   like.caller_image = caller.image;
   like.caller_symbol = caller.symbol;

@@ -34,12 +34,23 @@ struct CallArc {
 
 class CallGraph {
  public:
+  /// A graph fed through add_resolved() only — the profile service resolves
+  /// both endpoints itself (its resolver choice varies per batch) and hands
+  /// this graph finished Resolutions.
+  CallGraph() = default;
+
   explicit CallGraph(const Resolver& resolver) : resolver_(&resolver) {}
 
   const Resolver& resolver() const { return *resolver_; }
 
   /// Accounts one sample; samples without a caller PC are ignored.
+  /// Requires the resolver-taking constructor.
   void add(const LoggedSample& sample);
+
+  /// Accounts one already-resolved (caller → callee) pair; works on
+  /// resolver-less graphs. Callers skip samples without a caller PC to
+  /// match add()'s accounting.
+  void add_resolved(const Resolution& caller, const Resolution& callee);
 
   /// Adds every arc (and the sample count) of `other` into this graph.
   /// Shard-order merging reproduces the serial arc order, as with
@@ -60,7 +71,7 @@ class CallGraph {
  private:
   CallArc& arc_for(const CallArc& like);
 
-  const Resolver* resolver_;
+  const Resolver* resolver_ = nullptr;
   std::vector<CallArc> arcs_;
   /// NUL-joined endpoint names -> index into arcs_.
   std::unordered_map<std::string, std::size_t> index_;

@@ -30,10 +30,65 @@ struct VmRegistration {
   }
 };
 
+/// Outcome of RegistrationTable::add. Anything but kOk leaves the table
+/// unchanged; the caller decides whether that is fatal (the daemon logs and
+/// drops, the profile server reports it back over the wire).
+enum class RegisterStatus : std::uint8_t {
+  kOk,
+  kDuplicatePid,  // pid already registered; remove() first to re-register
+  kBadRange,      // heap_lo >= heap_hi (an empty heap registers nothing)
+  kOverlap,       // the VM's own heap and boot image ranges intersect
+};
+
+inline const char* to_string(RegisterStatus s) {
+  switch (s) {
+    case RegisterStatus::kOk: return "ok";
+    case RegisterStatus::kDuplicatePid: return "duplicate-pid";
+    case RegisterStatus::kBadRange: return "bad-range";
+    case RegisterStatus::kOverlap: return "overlap";
+  }
+  return "?";
+}
+
 class RegistrationTable {
  public:
-  void add(const VmRegistration& reg) { regs_.push_back(reg); }
-  void clear() { regs_.clear(); }
+  /// Validates and inserts. Rejected registrations do not change the table
+  /// or its version. Ranges of *different* pids may overlap freely — each
+  /// pid is its own address space — but one VM's heap must not intersect
+  /// its own boot image, or samples in the intersection would be
+  /// double-claimable.
+  RegisterStatus add(const VmRegistration& reg) {
+    if (reg.heap_lo >= reg.heap_hi) return RegisterStatus::kBadRange;
+    if (find_pid(reg.pid) != nullptr) return RegisterStatus::kDuplicatePid;
+    if (reg.boot_size > 0 && reg.heap_lo < reg.boot_base + reg.boot_size &&
+        reg.boot_base < reg.heap_hi)
+      return RegisterStatus::kOverlap;
+    regs_.push_back(reg);
+    ++version_;
+    return RegisterStatus::kOk;
+  }
+
+  /// Deregisters `pid`; false when it was not registered. After removal the
+  /// same pid may register again (restart / re-exec of the VM).
+  bool remove(hw::Pid pid) {
+    for (auto it = regs_.begin(); it != regs_.end(); ++it) {
+      if (it->pid == pid) {
+        regs_.erase(it);
+        ++version_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() {
+    if (!regs_.empty()) ++version_;
+    regs_.clear();
+  }
+
+  /// Bumped by every successful mutation; lets readers that cache derived
+  /// state (the service's code-map cache, resolvers) detect churn cheaply.
+  std::uint64_t version() const { return version_; }
 
   /// Registration whose heap (or boot image) covers `pc` for `pid`.
   const VmRegistration* find_heap(hw::Pid pid, hw::Address pc) const {
@@ -53,6 +108,7 @@ class RegistrationTable {
 
  private:
   std::vector<VmRegistration> regs_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace viprof::core

@@ -97,24 +97,11 @@ std::vector<LoggedSample> SampleLogReader::read(const os::Vfs& vfs,
   return read_checked(vfs, dir, event, status);
 }
 
-std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
-                                                        const std::string& dir,
-                                                        hw::EventKind event,
-                                                        SampleLogReadStatus& status) {
-  status = SampleLogReadStatus{};
-  std::vector<LoggedSample> out;
-  const auto contents = vfs.read(SampleLogWriter::path_for(dir, event));
-  if (!contents) {
-    status.missing = true;
-    return out;
-  }
-
-  std::uint64_t next_expected = 0;
+void SampleStreamParser::parse(std::string_view text, std::vector<LoggedSample>& out) {
   std::size_t pos = 0;
-  const std::string& text = *contents;
   while (pos < text.size()) {
     std::size_t nl = text.find('\n', pos);
-    const bool unterminated = nl == std::string::npos;
+    const bool unterminated = nl == std::string_view::npos;
     if (unterminated) nl = text.size();
     const std::size_t len = nl - pos;
 
@@ -126,14 +113,15 @@ std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
     char mode = 'u';
     if (ok) {
       const std::size_t last_space = text.rfind(' ', nl - 1);
-      ok = last_space != std::string::npos && last_space > pos &&
+      ok = last_space != std::string_view::npos && last_space > pos &&
            nl - last_space - 1 == 8;
       if (ok) {
-        const std::string body = text.substr(pos, last_space - pos);
+        const std::string body(text.substr(pos, last_space - pos));
+        const std::string crc_text(text.substr(last_space + 1, 8));
         char extra = 0;
         ok = std::sscanf(body.c_str(), "%llu %llx %llx %c %u %llu %llu %c", &seq,
                          &pc, &caller, &mode, &pid, &epoch, &cycle, &extra) == 7 &&
-             std::sscanf(text.c_str() + last_space + 1, "%8x", &crc_read) == 1 &&
+             std::sscanf(crc_text.c_str(), "%8x", &crc_read) == 1 &&
              support::fnv1a(body) == crc_read;
       }
     }
@@ -142,23 +130,23 @@ std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
       // Torn or overwritten bytes: resynchronise at the next newline. The
       // checksum makes accepting a *wrong* record vanishingly unlikely, so
       // skipping is safe — the damage is counted, never mis-parsed.
-      status.corrupt = true;
-      ++status.discarded_lines;
-      status.discarded_bytes += len + (unterminated ? 0 : 1);
+      status_.corrupt = true;
+      ++status_.discarded_lines;
+      status_.discarded_bytes += len + (unterminated ? 0 : 1);
       pos = nl + (unterminated ? 0 : 1);
       if (unterminated) break;
       continue;
     }
 
-    if (seq < next_expected) {
+    if (seq < next_expected_) {
       // A replayed batch that had partially landed: drop the duplicate.
-      ++status.duplicate_records;
+      ++status_.duplicate_records;
       pos = nl + 1;
       continue;
     }
-    if (seq > next_expected) status.missing_records += seq - next_expected;
-    next_expected = seq + 1;
-    status.max_seq = seq;
+    if (seq > next_expected_) status_.missing_records += seq - next_expected_;
+    next_expected_ = seq + 1;
+    status_.max_seq = seq;
 
     LoggedSample s;
     s.pc = pc;
@@ -170,11 +158,27 @@ std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
     s.epoch = epoch;
     s.cycle = cycle;
     out.push_back(s);
-    ++status.valid;
+    ++status_.valid;
     pos = nl + 1;
   }
 
-  if (status.corrupt) status.salvaged = status.valid;
+  if (status_.corrupt) status_.salvaged = status_.valid;
+}
+
+std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
+                                                        const std::string& dir,
+                                                        hw::EventKind event,
+                                                        SampleLogReadStatus& status) {
+  status = SampleLogReadStatus{};
+  std::vector<LoggedSample> out;
+  const auto contents = vfs.read(SampleLogWriter::path_for(dir, event));
+  if (!contents) {
+    status.missing = true;
+    return out;
+  }
+  SampleStreamParser parser;
+  parser.parse(*contents, out);
+  status = parser.status();
   return out;
 }
 

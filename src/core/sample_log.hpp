@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/event.hpp"
@@ -101,6 +102,33 @@ struct SampleLogReadStatus {
 
   bool empty() const { return !missing && !corrupt && valid == 0; }
   bool clean() const { return !missing && !corrupt; }
+};
+
+/// Incremental parser over the sample-log line format, sharing
+/// read_checked()'s exact verification and sequence accounting. Feed it
+/// chunks of log text — the whole file (read_checked does) or one streamed
+/// wire batch at a time (the profile service does) — and it accumulates
+/// verified samples plus a running SampleLogReadStatus across calls, so a
+/// stream parsed batch-by-batch reports byte-identical salvage/gap/dup
+/// counts to the same bytes read as one file.
+///
+/// Each chunk should end on a line boundary; a trailing unterminated line
+/// is treated as damage (counted, discarded), exactly as at end-of-file.
+class SampleStreamParser {
+ public:
+  /// Parses every line in `text`, appending verified samples to `out`.
+  void parse(std::string_view text, std::vector<LoggedSample>& out);
+
+  /// Accumulated status. `salvaged` is maintained (= valid when damage was
+  /// seen); `missing` stays false — only file readers can observe it.
+  const SampleLogReadStatus& status() const { return status_; }
+
+  /// Next sequence number the stream should carry (dedup watermark).
+  std::uint64_t next_expected() const { return next_expected_; }
+
+ private:
+  SampleLogReadStatus status_;
+  std::uint64_t next_expected_ = 0;
 };
 
 class SampleLogReader {

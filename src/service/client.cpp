@@ -1,0 +1,154 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/code_map.hpp"
+#include "core/sample_log.hpp"
+
+namespace viprof::service {
+
+namespace {
+
+constexpr const char* kManifestPath = "archive/manifest";
+
+/// pid (token 4) and epoch (token 5) of one raw sample-log line; the
+/// client only peeks at these two fields to drive map announcement — the
+/// server does the real verification.
+bool peek_pid_epoch(const std::string& line, hw::Pid& pid, std::uint64_t& epoch) {
+  unsigned long long seq, pc, caller, e, cycle;
+  unsigned p;
+  char mode;
+  if (std::sscanf(line.c_str(), "%llu %llx %llx %c %u %llu %llu", &seq, &pc, &caller,
+                  &mode, &p, &e, &cycle) != 7)
+    return false;
+  pid = p;
+  epoch = e;
+  return true;
+}
+
+}  // namespace
+
+ReplayClient::ReplayClient(const os::Vfs& world, std::string session_id, Transport& out,
+                           ReplayOptions options)
+    : world_(world), session_id_(std::move(session_id)), out_(out), options_(options) {}
+
+bool ReplayClient::send(FrameType type, const std::string& payload) {
+  if (disconnected_) return false;
+  if (options_.fault != nullptr &&
+      options_.fault->should_kill(support::FaultComponent::kClient, frames_sent_)) {
+    disconnected_ = true;
+    return false;
+  }
+  if (!out_.send(encode_frame(type, payload))) {
+    disconnected_ = true;
+    return false;
+  }
+  ++frames_sent_;
+  return true;
+}
+
+bool ReplayClient::send_file(const std::string& path) {
+  const auto bytes = world_.read(path);
+  if (!bytes) return true;  // nothing recorded under that path
+  return send(FrameType::kFile, path + "\n" + *bytes);
+}
+
+bool ReplayClient::announce_maps(const std::map<hw::Pid, std::uint64_t>& needed) {
+  for (VmInfo& vm : vms_) {
+    const auto it = needed.find(vm.pid);
+    if (it == needed.end()) continue;
+    while (!vm.pending_maps.empty() && vm.pending_maps.front().first <= it->second) {
+      if (!send_file(vm.pending_maps.front().second)) return false;
+      vm.pending_maps.erase(vm.pending_maps.begin());
+    }
+  }
+  return true;
+}
+
+bool ReplayClient::stream_event_log(hw::EventKind event) {
+  const auto raw = world_.read(core::SampleLogWriter::path_for("samples", event));
+  if (!raw) return true;  // event not recorded
+
+  const std::string header_prefix =
+      "batch " + std::string(hw::to_string(event)) + " ";
+  std::string body;
+  std::size_t body_lines = 0;
+  std::map<hw::Pid, std::uint64_t> needed;  // per-pid max epoch in this batch
+
+  auto flush = [&]() -> bool {
+    if (body_lines == 0) return true;
+    if (!announce_maps(needed)) return false;
+    if (!send(FrameType::kSampleBatch,
+              header_prefix + std::to_string(body_lines) + "\n" + body))
+      return false;
+    ++batches_sent_;
+    records_sent_ += body_lines;
+    body.clear();
+    body_lines = 0;
+    needed.clear();
+    return true;
+  };
+
+  std::istringstream in(*raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    hw::Pid pid = 0;
+    std::uint64_t epoch = 0;
+    if (peek_pid_epoch(line, pid, epoch)) {
+      auto [it, inserted] = needed.emplace(pid, epoch);
+      if (!inserted) it->second = std::max(it->second, epoch);
+    }
+    body += line;
+    body += '\n';
+    if (++body_lines >= options_.batch_records && !flush()) return false;
+  }
+  return flush();
+}
+
+bool ReplayClient::run() {
+  if (!send(FrameType::kHello, session_id_)) return false;
+  if (!send(FrameType::kOpenSession, session_id_)) return false;
+
+  const auto manifest = world_.read(kManifestPath);
+  if (manifest) {
+    // Registrations first (live table), then the manifest itself (the
+    // resolver world), then the boot maps it references.
+    std::istringstream in(*manifest);
+    std::string line;
+    std::vector<std::string> boot_maps;
+    while (std::getline(in, line)) {
+      if (line.rfind("reg ", 0) != 0) continue;
+      if (!send(FrameType::kRegisterVm, line)) return false;
+
+      std::istringstream ls(line);
+      std::string tag, lo, hi, boot, map_path, jit_dir;
+      std::uint64_t boot_size;
+      VmInfo vm;
+      ls >> tag >> vm.pid >> lo >> hi >> boot >> boot_size >> map_path >> jit_dir;
+      if (ls.fail()) continue;
+      if (map_path != "-") boot_maps.push_back(map_path);
+      if (jit_dir != "-") {
+        vm.jit_map_dir = jit_dir;
+        const std::string prefix = jit_dir + "/" + std::to_string(vm.pid) + "/";
+        for (const std::string& path : world_.list(prefix)) {
+          const auto epoch = core::CodeMapFile::epoch_from_path(path);
+          if (epoch) vm.pending_maps.emplace_back(*epoch, path);
+        }
+        std::sort(vm.pending_maps.begin(), vm.pending_maps.end());
+      }
+      vms_.push_back(std::move(vm));
+    }
+    if (!send_file(kManifestPath)) return false;
+    for (const std::string& path : boot_maps)
+      if (!send_file(path)) return false;
+  }
+
+  for (hw::EventKind event : hw::kAllEventKinds)
+    if (!stream_event_log(event)) return false;
+
+  return send(FrameType::kEndStream, "");
+}
+
+}  // namespace viprof::service

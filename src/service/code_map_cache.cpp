@@ -1,0 +1,43 @@
+#include "service/code_map_cache.hpp"
+
+namespace viprof::service {
+
+CodeMapCache::IndexPtr CodeMapCache::get(const std::string& session, hw::Pid pid,
+                                         std::uint64_t ceiling,
+                                         const Builder& build) {
+  const std::string key =
+      session + "/" + std::to_string(pid) + "@" + std::to_string(ceiling);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (IndexPtr* hit = cache_.get(key)) return *hit;
+  auto index = std::make_shared<core::CodeMapIndex>(build());
+  index->prepare();  // workers only run const queries afterwards
+  return cache_.put(key, std::move(index));
+}
+
+void CodeMapCache::publish(support::Telemetry& telemetry) {
+  std::uint64_t h, m, e;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h = cache_.hits();
+    m = cache_.misses();
+    e = cache_.evictions();
+  }
+  telemetry.gauge("service.code_map_cache.hits").set(static_cast<double>(h));
+  telemetry.gauge("service.code_map_cache.misses").set(static_cast<double>(m));
+  telemetry.gauge("service.code_map_cache.evictions").set(static_cast<double>(e));
+}
+
+std::uint64_t CodeMapCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.hits();
+}
+std::uint64_t CodeMapCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.misses();
+}
+std::uint64_t CodeMapCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.evictions();
+}
+
+}  // namespace viprof::service

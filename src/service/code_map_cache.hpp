@@ -1,0 +1,51 @@
+// Shared LRU cache of prepared CodeMapIndex instances.
+//
+// Ingest workers resolve sample batches against the epoch code maps known
+// at the batch's enqueue time. Rebuilding an index per batch would be
+// O(maps) every few hundred samples; keeping every (vm, epoch-ceiling)
+// generation forever would grow without bound on an always-on server. The
+// cache holds the hot generations, keyed "session/pid@ceiling", and hands
+// out shared_ptr pins — a worker mid-batch keeps its index alive even if
+// the cache evicts that generation under it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/code_map.hpp"
+#include "support/lru_cache.hpp"
+#include "support/telemetry.hpp"
+
+namespace viprof::service {
+
+class CodeMapCache {
+ public:
+  using IndexPtr = std::shared_ptr<const core::CodeMapIndex>;
+  using Builder = std::function<core::CodeMapIndex()>;
+
+  explicit CodeMapCache(std::size_t capacity) : cache_(capacity) {}
+
+  /// Index for `pid` of `session` at epoch ceiling `ceiling`; `build` runs
+  /// (under the cache lock, so concurrent misses on one key build once) on
+  /// a miss. The returned pin stays valid across later evictions.
+  IndexPtr get(const std::string& session, hw::Pid pid, std::uint64_t ceiling,
+               const Builder& build);
+
+  /// Mirrors hit/miss/eviction counts into `telemetry` under
+  /// service.code_map_cache.*; call after a batch (cheap, lock + 3 stores).
+  void publish(support::Telemetry& telemetry);
+
+  std::size_t capacity() const { return cache_.capacity(); }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  mutable std::mutex mu_;
+  support::LruCache<std::string, IndexPtr> cache_;
+};
+
+}  // namespace viprof::service

@@ -1,0 +1,213 @@
+#include "service/query.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/format.hpp"
+
+namespace viprof::service {
+
+namespace {
+
+constexpr const char* kHeader = "viprof-snapshot v1";
+
+std::optional<core::SampleDomain> domain_from(const std::string& name) {
+  using D = core::SampleDomain;
+  for (D d : {D::kHypervisor, D::kKernel, D::kImage, D::kBoot, D::kJit, D::kAnon,
+              D::kUnknown}) {
+    if (name == core::to_string(d)) return d;
+  }
+  return std::nullopt;
+}
+
+void append_counts_and_names(std::string& out, const core::ProfileRow& row) {
+  for (std::size_t e = 0; e < hw::kEventKindCount; ++e)
+    out += " " + std::to_string(row.counts[e]);
+  out += "\t" + row.image + "\t" + row.symbol + "\n";
+}
+
+/// "<domain> c0 .. c4\t<image>\t<symbol>" → one add() per event with count.
+bool parse_row_into(const std::string& fields, core::Profile& profile) {
+  const std::size_t tab1 = fields.find('\t');
+  if (tab1 == std::string::npos) return false;
+  const std::size_t tab2 = fields.find('\t', tab1 + 1);
+  if (tab2 == std::string::npos) return false;
+
+  std::uint64_t counts[hw::kEventKindCount] = {};
+  char domain_buf[16] = {};
+  unsigned long long c[hw::kEventKindCount] = {};
+  const std::string head = fields.substr(0, tab1);
+  if (std::sscanf(head.c_str(), "%15s %llu %llu %llu %llu %llu", domain_buf, &c[0],
+                  &c[1], &c[2], &c[3], &c[4]) != 6)
+    return false;
+  for (std::size_t e = 0; e < hw::kEventKindCount; ++e) counts[e] = c[e];
+
+  const auto domain = domain_from(domain_buf);
+  if (!domain) return false;
+
+  core::Resolution res;
+  res.image = fields.substr(tab1 + 1, tab2 - tab1 - 1);
+  res.symbol = fields.substr(tab2 + 1);
+  res.domain = *domain;
+  bool added = false;
+  for (std::size_t e = 0; e < hw::kEventKindCount; ++e) {
+    if (counts[e] == 0) continue;
+    profile.add(static_cast<hw::EventKind>(e), res, counts[e]);
+    added = true;
+  }
+  // A zero-count row cannot exist in a real profile; treat it as damage.
+  return added;
+}
+
+}  // namespace
+
+std::string ServiceSnapshot::serialize() const {
+  std::string out = std::string(kHeader) + "\n";
+  for (const SessionSnapshot& s : sessions) {
+    out += "session " + s.id + "\n";
+    for (const core::ProfileRow& row : s.profile.rows()) {
+      out += "row " + std::string(core::to_string(row.domain));
+      append_counts_and_names(out, row);
+    }
+    for (const auto& [epoch, profile] : s.epochs) {
+      for (const core::ProfileRow& row : profile.rows()) {
+        out += "erow " + std::to_string(epoch) + " " +
+               std::string(core::to_string(row.domain));
+        append_counts_and_names(out, row);
+      }
+    }
+    out += "end\n";
+  }
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "crc %08x\n", support::fnv1a(out));
+  out += crc;
+  return out;
+}
+
+std::optional<ServiceSnapshot> ServiceSnapshot::parse(const std::string& text) {
+  // Split off and verify the trailer first: everything before the final
+  // "crc " line is checksummed.
+  const std::size_t crc_at = text.rfind("crc ");
+  if (crc_at == std::string::npos || (crc_at != 0 && text[crc_at - 1] != '\n'))
+    return std::nullopt;
+  unsigned crc_read = 0;
+  if (std::sscanf(text.c_str() + crc_at + 4, "%8x", &crc_read) != 1) return std::nullopt;
+  if (support::fnv1a(text.data(), crc_at) != crc_read) return std::nullopt;
+
+  ServiceSnapshot snap;
+  SessionSnapshot* current = nullptr;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < crc_at) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos || nl > crc_at) nl = crc_at;
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeader) return std::nullopt;
+      saw_header = true;
+    } else if (line.rfind("session ", 0) == 0) {
+      snap.sessions.push_back(SessionSnapshot{});
+      current = &snap.sessions.back();
+      current->id = line.substr(8);
+    } else if (line == "end") {
+      current = nullptr;
+    } else if (line.rfind("row ", 0) == 0) {
+      if (current == nullptr) return std::nullopt;
+      if (!parse_row_into(line.substr(4), current->profile)) return std::nullopt;
+    } else if (line.rfind("erow ", 0) == 0) {
+      if (current == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const unsigned long long epoch = std::strtoull(line.c_str() + 5, &end, 10);
+      if (end == nullptr || *end != ' ') return std::nullopt;
+      const std::string rest(end + 1);
+      if (!parse_row_into(rest, current->epochs[epoch])) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) return std::nullopt;
+  return snap;
+}
+
+const SessionSnapshot* ServiceSnapshot::find(const std::string& id) const {
+  for (const SessionSnapshot& s : sessions)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+core::Profile ServiceSnapshot::merged() const {
+  core::Profile out;
+  for (const SessionSnapshot& s : sessions) out.merge(s.profile);
+  return out;
+}
+
+core::Profile profile_since(const SessionSnapshot& s, std::uint64_t since) {
+  core::Profile out;
+  for (const auto& [epoch, profile] : s.epochs)
+    if (epoch >= since) out.merge(profile);
+  return out;
+}
+
+std::string render_sessions(const ServiceSnapshot& snap) {
+  support::TextTable table({"Session", "Rows", "Time", "Dmiss"});
+  for (const SessionSnapshot& s : snap.sessions) {
+    table.add_row({s.id, std::to_string(s.profile.row_count()),
+                   std::to_string(s.profile.total(hw::EventKind::kGlobalPowerEvents)),
+                   std::to_string(s.profile.total(hw::EventKind::kBsqCacheReference))});
+  }
+  return table.render();
+}
+
+std::string render_diff(const ServiceSnapshot& before, const ServiceSnapshot& after,
+                        const std::string& session, hw::EventKind event,
+                        std::size_t top_n) {
+  core::Profile a, b;
+  if (session.empty()) {
+    a = before.merged();
+    b = after.merged();
+  } else {
+    if (const SessionSnapshot* s = before.find(session)) a = s->profile;
+    if (const SessionSnapshot* s = after.find(session)) b = s->profile;
+  }
+
+  struct Mover {
+    std::int64_t delta;
+    std::uint64_t from, to;
+    const core::ProfileRow* row;
+  };
+  std::vector<Mover> movers;
+  for (const core::ProfileRow& row : b.rows()) {
+    const core::ProfileRow* prev = a.find(row.image, row.symbol);
+    const std::uint64_t from = prev ? prev->count(event) : 0;
+    const std::uint64_t to = row.count(event);
+    if (from != to)
+      movers.push_back({static_cast<std::int64_t>(to) - static_cast<std::int64_t>(from),
+                        from, to, &row});
+  }
+  for (const core::ProfileRow& row : a.rows()) {
+    if (b.find(row.image, row.symbol) != nullptr) continue;
+    const std::uint64_t from = row.count(event);
+    if (from != 0)
+      movers.push_back({-static_cast<std::int64_t>(from), from, 0, &row});
+  }
+  std::stable_sort(movers.begin(), movers.end(), [](const Mover& x, const Mover& y) {
+    const std::int64_t ax = x.delta < 0 ? -x.delta : x.delta;
+    const std::int64_t ay = y.delta < 0 ? -y.delta : y.delta;
+    return ax > ay;
+  });
+
+  support::TextTable table({"Delta", "Before", "After", "Image", "Symbol"});
+  std::size_t emitted = 0;
+  for (const Mover& m : movers) {
+    if (emitted++ >= top_n) break;
+    table.add_row({(m.delta > 0 ? "+" : "") + std::to_string(m.delta),
+                   std::to_string(m.from), std::to_string(m.to), m.row->image,
+                   m.row->symbol});
+  }
+  return table.render();
+}
+
+}  // namespace viprof::service

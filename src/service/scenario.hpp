@@ -1,0 +1,56 @@
+// Deterministic recorded multi-VM session for service tests and benches.
+//
+// record_scenario() builds a machine with `vms` managed runtimes (each
+// with its own heap, registration and churning epoch code maps, sharing
+// one boot image), logs per-event samples through the crash-consistent
+// sample log, and archives the resolution world — leaving the machine's
+// VFS in exactly the layout offline viprof_report consumes:
+//
+//   archive/manifest
+//   RVM.map
+//   jit_maps/<pid>/map.<epoch>
+//   samples/<EVENT>.samples
+//
+// offline_render() then runs the viprof_report aggregation over such a
+// world: it is the byte-identity oracle the online server is checked
+// against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registration.hpp"
+#include "jvm/boot_image.hpp"
+#include "os/machine.hpp"
+
+namespace viprof::service {
+
+struct ScenarioConfig {
+  std::size_t vms = 2;
+  std::size_t samples_per_event = 4000;
+  std::uint64_t epochs = 16;      // code-map generations per VM
+  std::uint64_t methods = 128;    // JIT method slots per VM heap
+  std::uint64_t seed = 0x5e55;
+};
+
+struct RecordedScenario {
+  os::Machine machine;
+  core::RegistrationTable table;
+  std::unique_ptr<jvm::BootImage> boot;
+  std::vector<hw::Pid> pids;
+
+  os::Vfs& vfs() { return machine.vfs(); }
+  const os::Vfs& vfs() const { return machine.vfs(); }
+};
+
+std::unique_ptr<RecordedScenario> record_scenario(const ScenarioConfig& config = {});
+
+/// The offline viprof_report aggregation (ArchiveResolver + resolve
+/// pipeline at `threads` workers) rendered over `events` — the oracle the
+/// online aggregate must match byte for byte.
+std::string offline_render(const os::Vfs& world, const std::vector<hw::EventKind>& events,
+                           std::size_t top, std::size_t threads = 1);
+
+}  // namespace viprof::service

@@ -1,0 +1,501 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "core/code_map.hpp"
+#include "service/query.hpp"
+#include "support/format.hpp"
+
+namespace viprof::service {
+
+namespace {
+
+/// The canonical report events (what viprof_report prints).
+const std::vector<hw::EventKind> kReportEvents = {hw::EventKind::kGlobalPowerEvents,
+                                                  hw::EventKind::kBsqCacheReference};
+
+std::optional<hw::EventKind> event_from(const std::string& name) {
+  for (hw::EventKind e : hw::kAllEventKinds)
+    if (name == hw::to_string(e)) return e;
+  if (name == "time") return hw::EventKind::kGlobalPowerEvents;
+  if (name == "dmiss") return hw::EventKind::kBsqCacheReference;
+  return std::nullopt;
+}
+
+/// "reg <pid> <heap_lo> <heap_hi> <boot_base> <boot_size> <map|-> <dir|->",
+/// hex ranges — the archive manifest line format.
+std::optional<core::VmRegistration> parse_reg_line(const std::string& line) {
+  std::istringstream ls(line);
+  std::string tag, lo_hex, hi_hex, boot_hex, map_path, jit_dir;
+  core::VmRegistration reg;
+  ls >> tag >> reg.pid >> lo_hex >> hi_hex >> boot_hex >> reg.boot_size >> map_path >>
+      jit_dir;
+  if (ls.fail() || tag != "reg") return std::nullopt;
+  try {
+    reg.heap_lo = std::stoull(lo_hex, nullptr, 16);
+    reg.heap_hi = std::stoull(hi_hex, nullptr, 16);
+    reg.boot_base = std::stoull(boot_hex, nullptr, 16);
+  } catch (...) {
+    return std::nullopt;
+  }
+  reg.boot_map_path = map_path == "-" ? "" : map_path;
+  reg.jit_map_dir = jit_dir == "-" ? "" : jit_dir;
+  return reg;
+}
+
+/// The per-batch view of the shared code-map cache: shared_ptr pins built
+/// once per batch, so eviction under a running worker is harmless.
+class PinnedJitSource final : public core::JitIndexSource {
+ public:
+  const core::CodeMapIndex* index_for(hw::Pid pid, std::uint64_t) const override {
+    auto it = pins_.find(pid);
+    return it == pins_.end() ? nullptr : it->second.get();
+  }
+
+  std::map<hw::Pid, CodeMapCache::IndexPtr> pins_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- connection
+
+bool ServerConnection::send(const std::string& bytes) {
+  if (closed_) return false;
+  return wire_->send(bytes);
+}
+
+void ServerConnection::deliver(const char* data, std::size_t size) {
+  decoder_.feed(data, size);
+  Frame frame;
+  while (decoder_.next(frame)) server_->dispatch(*this, std::move(frame));
+  const std::uint64_t torn = decoder_.torn_frames();
+  if (torn > reported_torn_) {
+    const std::uint64_t delta = torn - reported_torn_;
+    reported_torn_ = torn;
+    server_->telemetry_.counter("service.frames.torn").inc(delta);
+    if (session_) session_->count_torn_frames(delta);
+  }
+}
+
+void ServerConnection::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (wire_) wire_->close();
+  // A disconnect mid-frame leaves undecodable bytes behind: that is a torn
+  // frame the decoder never got to finish. Count it.
+  if (decoder_.buffered_bytes() > 0) {
+    server_->telemetry_.counter("service.frames.torn").inc();
+    if (session_) session_->count_torn_frames(1);
+  }
+  if (session_ && !session_->ended())
+    server_->telemetry_.counter("service.disconnects").inc();
+}
+
+std::optional<Frame> ServerConnection::next_reply() {
+  std::lock_guard<std::mutex> lock(reply_mu_);
+  if (reply_read_ >= replies_.size()) return std::nullopt;
+  return replies_[reply_read_++];
+}
+
+// -------------------------------------------------------------------- server
+
+ProfileServer::ProfileServer(const ServerConfig& config)
+    : config_(config),
+      cache_(config.code_map_cache_capacity),
+      pool_(config.ingest_threads == 0 ? 1 : config.ingest_threads) {
+  telemetry_.gauge("service.ingest_threads").set(static_cast<double>(pool_.size()));
+}
+
+ProfileServer::~ProfileServer() {
+  // Unblock any receiver stuck in backpressure, then let the pool join.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto& [id, session] : sessions_) session->queue_.close();
+}
+
+std::unique_ptr<ServerConnection> ProfileServer::connect(const std::string& client_name) {
+  std::unique_ptr<ServerConnection> conn(new ServerConnection(this, client_name));
+  ServerConnection* raw = conn.get();
+  conn->wire_ = std::make_unique<LoopbackTransport>(
+      client_name, [raw](const char* data, std::size_t size) { raw->deliver(data, size); },
+      /*on_close=*/nullptr, config_.fault);
+  telemetry_.counter("service.connections").inc();
+  return conn;
+}
+
+std::shared_ptr<ServerSession> ProfileServer::open_session(const std::string& id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(id, std::make_shared<ServerSession>(id, config_.queue_capacity))
+             .first;
+    telemetry_.gauge("service.sessions").set(static_cast<double>(sessions_.size()));
+  }
+  return it->second;
+}
+
+void ProfileServer::reply(ServerConnection& conn, FrameType type, std::string text) {
+  std::lock_guard<std::mutex> lock(conn.reply_mu_);
+  conn.replies_.push_back(Frame{type, std::move(text)});
+}
+
+void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
+  telemetry_.counter("service.frames").inc();
+  switch (frame.type) {
+    case FrameType::kHello:
+      reply(conn, FrameType::kReply, "hello " + frame.payload);
+      return;
+    case FrameType::kOpenSession:
+      if (frame.payload.empty()) {
+        reply(conn, FrameType::kError, "open-session: empty id");
+        return;
+      }
+      conn.session_ = open_session(frame.payload);
+      reply(conn, FrameType::kReply, "ok session " + frame.payload);
+      return;
+    case FrameType::kRegisterVm: {
+      if (!conn.session_) {
+        reply(conn, FrameType::kError, "register-vm: no session open");
+        return;
+      }
+      const auto reg = parse_reg_line(frame.payload);
+      if (!reg) {
+        reply(conn, FrameType::kError, "register-vm: unparseable: " + frame.payload);
+        return;
+      }
+      const core::RegisterStatus status = conn.session_->register_vm(*reg);
+      if (status == core::RegisterStatus::kOk) {
+        reply(conn, FrameType::kReply, "ok register " + std::to_string(reg->pid));
+      } else {
+        telemetry_.counter("service.registrations.rejected").inc();
+        reply(conn, FrameType::kError,
+              "register " + std::to_string(reg->pid) + ": " + core::to_string(status));
+      }
+      return;
+    }
+    case FrameType::kFile: {
+      if (!conn.session_) {
+        reply(conn, FrameType::kError, "file: no session open");
+        return;
+      }
+      const std::size_t nl = frame.payload.find('\n');
+      if (nl == std::string::npos || nl == 0) {
+        reply(conn, FrameType::kError, "file: missing path header");
+        return;
+      }
+      telemetry_.counter("service.files").inc();
+      conn.session_->store_file(frame.payload.substr(0, nl),
+                                frame.payload.substr(nl + 1));
+      return;
+    }
+    case FrameType::kSampleBatch:
+      if (!conn.session_) {
+        reply(conn, FrameType::kError, "batch: no session open");
+        return;
+      }
+      handle_batch(conn, frame.payload);
+      return;
+    case FrameType::kEndStream: {
+      if (!conn.session_) {
+        reply(conn, FrameType::kError, "end-stream: no session open");
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn.session_->agg_mu_);
+        conn.session_->stats_.ended = true;
+      }
+      reply(conn, FrameType::kReply, "ok end");
+      return;
+    }
+    case FrameType::kQuery: {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::string result = query(frame.payload);
+      const auto t1 = std::chrono::steady_clock::now();
+      telemetry_
+          .histogram("service.query.latency_us", 0.0, 50.0, 64)
+          .add(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      reply(conn, FrameType::kReply, std::move(result));
+      return;
+    }
+    case FrameType::kReply:
+    case FrameType::kError:
+      reply(conn, FrameType::kError, "unexpected frame type on server");
+      return;
+  }
+}
+
+void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payload) {
+  std::shared_ptr<ServerSession> session = conn.session_;
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string::npos) {
+    reply(conn, FrameType::kError, "batch: missing header");
+    return;
+  }
+  char event_name[64] = {};
+  unsigned long long declared = 0;
+  const std::string header = payload.substr(0, nl);
+  if (std::sscanf(header.c_str(), "batch %63s %llu", event_name, &declared) != 2) {
+    reply(conn, FrameType::kError, "batch: bad header: " + header);
+    return;
+  }
+  const auto event = event_from(event_name);
+  if (!event) {
+    reply(conn, FrameType::kError, "batch: unknown event: " + std::string(event_name));
+    return;
+  }
+
+  Batch batch;
+  batch.event = *event;
+  bool enqueued = false;
+  std::uint64_t record_count = 0;
+  {
+    // Serial per-session parse: stream order and the per-event sequence
+    // watermark are what make the online aggregate deterministic.
+    std::lock_guard<std::mutex> lock(session->ingest_mu_);
+    session->parsers_[hw::event_index(*event)].parse(
+        std::string_view(payload).substr(nl + 1), batch.samples);
+    batch.ceilings = session->ceilings_;
+    record_count = batch.samples.size();
+
+    bool forced_overflow = false;
+    if (config_.fault != nullptr) {
+      const auto outcome =
+          config_.fault->on_write("service/queue/" + session->id(), record_count);
+      forced_overflow =
+          outcome.result != support::FaultInjector::WriteOutcome::Result::kOk;
+    }
+    if (!forced_overflow) {
+      batch.apply_seq = session->next_enqueue_seq_;
+      if (config_.policy == OverloadPolicy::kBackpressure)
+        enqueued = session->queue_.push(std::move(batch));
+      else
+        enqueued = session->queue_.try_push(std::move(batch));
+      if (enqueued) ++session->next_enqueue_seq_;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(session->agg_mu_);
+    ++session->stats_.frames;
+    if (enqueued) {
+      ++session->stats_.batches_enqueued;
+    } else {
+      ++session->stats_.batches_dropped;
+      session->stats_.records_dropped += record_count;
+    }
+  }
+  if (enqueued) {
+    telemetry_.counter("service.batches").inc();
+    telemetry_.histogram("service.ingest.batch_records", 0.0, 64.0, 32)
+        .add(static_cast<double>(record_count));
+    pool_.submit([this, session] { process_one(session); });
+  } else {
+    telemetry_.counter("service.batches.dropped").inc();
+    telemetry_.counter("service.records.dropped").inc(record_count);
+  }
+}
+
+void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
+  std::optional<Batch> item = session->queue_.pop();
+  if (!item) return;  // closed during shutdown
+  Batch& batch = *item;
+
+  BatchResult result;
+  result.event = batch.event;
+  result.records = batch.samples.size();
+
+  const core::ArchiveResolver* resolver = session->resolver();
+  if (resolver == nullptr) {
+    // No archive manifest streamed yet: the batch cannot be attributed.
+    // Apply an empty result so the sequence keeps flowing, and count it.
+    telemetry_.counter("service.batches.unresolvable").inc();
+    result.records = 0;
+    session->apply(batch.apply_seq, std::move(result));
+    return;
+  }
+
+  // Pin the code-map index generation each registered VM had at enqueue.
+  PinnedJitSource jit;
+  for (const auto& [pid, ceiling] : batch.ceilings) {
+    const core::VmRegistration* reg = nullptr;
+    for (const core::VmRegistration& r : resolver->registrations())
+      if (r.pid == pid) { reg = &r; break; }
+    if (reg == nullptr || reg->jit_map_dir.empty()) continue;
+    const std::string dir = reg->jit_map_dir;
+    jit.pins_[pid] = cache_.get(
+        session->id(), pid, ceiling, [session, dir, pid = pid]() {
+          std::lock_guard<std::mutex> lock(session->world_mu_);
+          core::CodeMapIndex index;
+          index.load(session->world_, dir, pid);
+          return index;
+        });
+  }
+
+  for (const core::LoggedSample& sample : batch.samples) {
+    const core::Resolution res = resolver->resolve(sample, &jit);
+    result.partial.add(batch.event, res);
+    result.epoch_partial[sample.epoch].add(batch.event, res);
+    if (sample.caller_pc != 0) {
+      const core::Resolution caller = resolver->resolve_pc(
+          sample.caller_pc, hw::CpuMode::kUser, sample.pid, sample.epoch, &jit);
+      result.arcs.emplace_back(caller, res);
+    }
+  }
+  telemetry_.counter("service.records").inc(result.records);
+  session->apply(batch.apply_seq, std::move(result));
+  cache_.publish(telemetry_);
+}
+
+void ProfileServer::drain() { pool_.wait_idle(); }
+
+std::vector<std::string> ProfileServer::session_ids() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+std::shared_ptr<ServerSession> ProfileServer::session(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::string ProfileServer::session_report(const std::string& id, std::size_t top,
+                                          const std::vector<hw::EventKind>& events) {
+  std::shared_ptr<ServerSession> s = session(id);
+  if (!s) return "error: no such session: " + id + "\n";
+  return s->merged_profile().render(events, top);
+}
+
+std::string ProfileServer::query(const std::string& text) {
+  telemetry_.counter("service.queries").inc();
+  std::istringstream in(text);
+  std::string verb;
+  in >> verb;
+
+  // Shared trailing options.
+  auto scan_options = [&in](std::string& session_id, std::string& event_name,
+                            std::size_t& top) {
+    std::string word;
+    while (in >> word) {
+      if (word == "--session") in >> session_id;
+      else if (word == "--event") in >> event_name;
+      else if (word == "--top") in >> top;
+    }
+  };
+
+  if (verb == "sessions") {
+    support::TextTable table(
+        {"Session", "Records", "Batches", "Dropped", "Torn", "VMs", "State"});
+    for (const std::string& id : session_ids()) {
+      std::shared_ptr<ServerSession> s = session(id);
+      if (!s) continue;
+      const SessionStats st = s->stats();
+      table.add_row({id, std::to_string(st.records_ingested),
+                     std::to_string(st.batches_applied),
+                     std::to_string(st.batches_dropped), std::to_string(st.torn_frames),
+                     std::to_string(st.registrations),
+                     st.ended ? "ended" : "streaming"});
+    }
+    return table.render();
+  }
+  if (verb == "top") {
+    std::size_t top = 20;
+    in >> top;
+    std::string session_id, event_name;
+    scan_options(session_id, event_name, top);
+    std::vector<hw::EventKind> events = kReportEvents;
+    if (!event_name.empty()) {
+      const auto e = event_from(event_name);
+      if (!e) return "error: unknown event: " + event_name + "\n";
+      events = {*e};
+    }
+    core::Profile merged;
+    if (session_id.empty()) {
+      for (const std::string& id : session_ids()) {
+        std::shared_ptr<ServerSession> s = session(id);
+        if (s) merged.merge(s->merged_profile());
+      }
+    } else {
+      std::shared_ptr<ServerSession> s = session(session_id);
+      if (!s) return "error: no such session: " + session_id + "\n";
+      merged = s->merged_profile();
+    }
+    return merged.render(events, top);
+  }
+  if (verb == "since-epoch") {
+    std::uint64_t since = 0;
+    in >> since;
+    std::size_t top = 20;
+    std::string session_id, event_name;
+    scan_options(session_id, event_name, top);
+    core::Profile merged;
+    if (session_id.empty()) {
+      for (const std::string& id : session_ids()) {
+        std::shared_ptr<ServerSession> s = session(id);
+        if (s) merged.merge(s->profile_since_epoch(since));
+      }
+    } else {
+      std::shared_ptr<ServerSession> s = session(session_id);
+      if (!s) return "error: no such session: " + session_id + "\n";
+      merged = s->profile_since_epoch(since);
+    }
+    return merged.render(kReportEvents, top);
+  }
+  if (verb == "arcs") {
+    std::size_t top = 20;
+    in >> top;
+    std::string session_id, event_name;
+    scan_options(session_id, event_name, top);
+    support::TextTable table({"Samples", "Caller", "->", "Callee"});
+    std::size_t emitted = 0;
+    for (const std::string& id : session_ids()) {
+      if (!session_id.empty() && id != session_id) continue;
+      std::shared_ptr<ServerSession> s = session(id);
+      if (!s) continue;
+      for (const core::CallArc& arc : s->ranked_arcs()) {
+        if (emitted >= top) break;
+        table.add_row({std::to_string(arc.count),
+                       arc.caller_image + ":" + arc.caller_symbol, "->",
+                       arc.callee_image + ":" + arc.callee_symbol});
+        ++emitted;
+      }
+    }
+    return table.render();
+  }
+  if (verb == "snapshot") return snapshot();
+  return "error: unknown query: " + text + "\n";
+}
+
+std::string ProfileServer::snapshot() {
+  ServiceSnapshot snap;
+  for (const std::string& id : session_ids()) {
+    std::shared_ptr<ServerSession> s = session(id);
+    if (!s) continue;
+    SessionSnapshot out;
+    out.id = id;
+    out.profile = s->merged_profile();
+    out.epochs = s->epoch_profiles();
+    snap.sessions.push_back(std::move(out));
+  }
+  return snap.serialize();
+}
+
+bool ProfileServer::export_state(const std::string& dir, std::size_t top) {
+  const std::vector<std::string> ids = session_ids();
+  if (ids.empty()) return false;
+  os::Vfs out;
+  for (const std::string& id : ids) {
+    out.write(id + "/profile.txt", session_report(id, top, kReportEvents));
+  }
+  out.write("service.snap", snapshot());
+  out.write("metrics.json", telemetry_.snapshot().to_json());
+  out.export_to_directory(dir);
+  return true;
+}
+
+}  // namespace viprof::service

@@ -1,0 +1,150 @@
+// The continuous-profiling server.
+//
+// A long-running process (simulated in-process here) that accepts many
+// concurrent client connections, each streaming one profiling session:
+// archive world files, VM registrations, and checksummed sample batches.
+// Ingest is staged: the receiver (the client's own thread, via the
+// loopback transport) verifies framing, parses batches serially per
+// session — preserving the stream's sample order and sequence-number
+// accounting — and enqueues them on the session's bounded queue; a shared
+// ThreadPool resolves batches concurrently through the LRU code-map cache;
+// a per-session reorder buffer applies results in enqueue order. The
+// online aggregate is therefore byte-identical to offline viprof_report
+// over the same logs, at any thread count (DESIGN.md §10).
+//
+// Overload: with kBackpressure a full queue blocks the sender (slow server
+// slows its clients); with kDropNewest the batch is dropped and *counted*
+// — never silently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/code_map_cache.hpp"
+#include "service/session.hpp"
+#include "service/transport.hpp"
+#include "service/wire.hpp"
+#include "support/fault.hpp"
+#include "support/telemetry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace viprof::service {
+
+enum class OverloadPolicy : std::uint8_t {
+  kBackpressure,  // block the sender until the queue has room
+  kDropNewest,    // refuse the batch, count the drop
+};
+
+struct ServerConfig {
+  std::size_t ingest_threads = 2;
+  std::size_t queue_capacity = 64;  // batches buffered per session
+  OverloadPolicy policy = OverloadPolicy::kBackpressure;
+  std::size_t code_map_cache_capacity = 8;
+  support::FaultInjector* fault = nullptr;  // wire + queue fault points
+};
+
+class ProfileServer;
+
+/// Client end of a loopback connection. send() dispatches frames into the
+/// server on the calling thread; server replies are polled via
+/// next_reply(). One connection serves one session at a time.
+class ServerConnection final : public Transport {
+ public:
+  ~ServerConnection() override { close(); }
+
+  bool send(const std::string& bytes) override;
+  void close() override;
+  bool is_closed() const override { return closed_; }
+
+  /// Oldest unread kReply/kError frame from the server, if any.
+  std::optional<Frame> next_reply();
+
+  /// Wire damage observed by this connection's decoder.
+  std::uint64_t torn_frames() const { return decoder_.torn_frames(); }
+  std::uint64_t skipped_bytes() const { return decoder_.skipped_bytes(); }
+
+ private:
+  friend class ProfileServer;
+  ServerConnection(ProfileServer* server, std::string name)
+      : server_(server), name_(std::move(name)) {}
+
+  void deliver(const char* data, std::size_t size);
+
+  ProfileServer* server_;
+  const std::string name_;
+  std::unique_ptr<LoopbackTransport> wire_;
+  FrameDecoder decoder_;
+  std::uint64_t reported_torn_ = 0;  // decoder torn count already counted
+  std::shared_ptr<ServerSession> session_;
+  std::mutex reply_mu_;
+  std::vector<Frame> replies_;
+  std::size_t reply_read_ = 0;
+  bool closed_ = false;
+};
+
+class ProfileServer {
+ public:
+  explicit ProfileServer(const ServerConfig& config = {});
+  ~ProfileServer();
+
+  ProfileServer(const ProfileServer&) = delete;
+  ProfileServer& operator=(const ProfileServer&) = delete;
+
+  /// Opens a loopback connection named `client_name` (fault path
+  /// "wire/<client_name>").
+  std::unique_ptr<ServerConnection> connect(const std::string& client_name);
+
+  /// Blocks until every enqueued batch has been resolved and applied.
+  void drain();
+
+  /// Online query API; the same strings arrive as kQuery frames.
+  ///   sessions
+  ///   top N [--session S] [--event time|dmiss]
+  ///   since-epoch K [--session S] [--top N]
+  ///   arcs N [--session S]
+  ///   snapshot
+  std::string query(const std::string& text);
+
+  /// viprof-snapshot v1 text over all sessions (see service/query.hpp).
+  std::string snapshot();
+
+  /// Writes <dir>/<session>/profile.txt, <dir>/service.snap and
+  /// <dir>/metrics.json. False when there are no sessions to export.
+  bool export_state(const std::string& dir, std::size_t top = 20);
+
+  std::vector<std::string> session_ids() const;
+  std::shared_ptr<ServerSession> session(const std::string& id) const;
+
+  /// Rendered top-`top` report of one session over `events` — the
+  /// byte-identity anchor against offline viprof_report.
+  std::string session_report(const std::string& id, std::size_t top,
+                             const std::vector<hw::EventKind>& events);
+
+  support::Telemetry& telemetry() { return telemetry_; }
+  CodeMapCache& code_map_cache() { return cache_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  friend class ServerConnection;
+
+  void dispatch(ServerConnection& conn, Frame frame);
+  void handle_batch(ServerConnection& conn, const std::string& payload);
+  void process_one(std::shared_ptr<ServerSession> session);
+  std::shared_ptr<ServerSession> open_session(const std::string& id);
+  void reply(ServerConnection& conn, FrameType type, std::string text);
+
+  ServerConfig config_;
+  support::Telemetry telemetry_;
+  CodeMapCache cache_;
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<ServerSession>> sessions_;
+  // The pool is declared last so its destructor (which joins workers that
+  // may still touch sessions/cache/telemetry) runs first.
+  support::ThreadPool pool_;
+};
+
+}  // namespace viprof::service

@@ -1,0 +1,116 @@
+#include "service/session.hpp"
+
+#include <optional>
+
+#include "core/code_map.hpp"
+
+namespace viprof::service {
+
+namespace {
+
+/// "<dir>/<pid>/map.<epoch>" → pid, from the second-to-last component.
+std::optional<hw::Pid> pid_from_map_path(const std::string& path) {
+  const std::size_t last = path.rfind('/');
+  if (last == std::string::npos || last == 0) return std::nullopt;
+  const std::size_t prev = path.rfind('/', last - 1);
+  const std::size_t begin = prev == std::string::npos ? 0 : prev + 1;
+  if (begin >= last) return std::nullopt;
+  hw::Pid pid = 0;
+  for (std::size_t i = begin; i < last; ++i) {
+    if (path[i] < '0' || path[i] > '9') return std::nullopt;
+    pid = pid * 10 + static_cast<hw::Pid>(path[i] - '0');
+  }
+  return pid;
+}
+
+}  // namespace
+
+core::RegisterStatus ServerSession::register_vm(const core::VmRegistration& reg) {
+  core::RegisterStatus status;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    status = table_.add(reg);
+  }
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  if (status == core::RegisterStatus::kOk)
+    ++stats_.registrations;
+  else
+    ++stats_.registrations_rejected;
+  return status;
+}
+
+bool ServerSession::deregister_vm(hw::Pid pid) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return table_.remove(pid);
+}
+
+std::uint64_t ServerSession::registration_version() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return table_.version();
+}
+
+void ServerSession::store_file(const std::string& path, std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(world_mu_);
+    world_.write(path, std::move(bytes));
+  }
+  const auto epoch = core::CodeMapFile::epoch_from_path(path);
+  const auto pid = epoch ? pid_from_map_path(path) : std::nullopt;
+  if (epoch && pid) {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    auto [it, inserted] = ceilings_.try_emplace(*pid, *epoch);
+    if (!inserted && *epoch > it->second) it->second = *epoch;
+  }
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  ++stats_.files;
+}
+
+const core::ArchiveResolver* ServerSession::resolver() {
+  std::lock_guard<std::mutex> lock(world_mu_);
+  if (!resolver_ && world_.exists("archive/manifest")) {
+    resolver_ = std::make_unique<core::ArchiveResolver>(
+        world_, "archive", /*vm_aware=*/true, /*load_jit_maps=*/false);
+  }
+  return resolver_.get();
+}
+
+core::Profile ServerSession::merged_profile() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  core::Profile merged;
+  for (hw::EventKind event : hw::kAllEventKinds)
+    merged.merge(event_profiles_[hw::event_index(event)]);
+  return merged;
+}
+
+core::Profile ServerSession::profile_since_epoch(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  core::Profile merged;
+  for (const auto& [epoch, profile] : epoch_profiles_)
+    if (epoch >= since) merged.merge(profile);
+  return merged;
+}
+
+std::vector<core::CallArc> ServerSession::ranked_arcs() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return graph_.ranked();
+}
+
+void ServerSession::apply(std::uint64_t apply_seq, BatchResult result) {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  reorder_.emplace(apply_seq, std::move(result));
+  while (true) {
+    auto it = reorder_.find(next_apply_seq_);
+    if (it == reorder_.end()) break;
+    BatchResult& r = it->second;
+    event_profiles_[hw::event_index(r.event)].merge(r.partial);
+    for (auto& [epoch, partial] : r.epoch_partial) epoch_profiles_[epoch].merge(partial);
+    for (const auto& [caller, callee] : r.arcs) graph_.add_resolved(caller, callee);
+    stats_.records_ingested += r.records;
+    ++stats_.batches_applied;
+    reorder_.erase(it);
+    ++next_apply_seq_;
+  }
+  applied_cv_.notify_all();
+}
+
+}  // namespace viprof::service

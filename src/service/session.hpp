@@ -1,0 +1,165 @@
+// Server-side state of one streamed profiling session.
+//
+// A session is one client's world: the files it streamed in (archive
+// manifest, boot maps, epoch code maps) in a private VFS, its registration
+// table, the per-event stream parsers with their sequence watermarks, a
+// bounded batch queue toward the ingest workers, and the rolling
+// aggregates. Three locks, never nested with each other:
+//   ingest_mu_  — parsers, epoch ceilings, enqueue sequencing (receiver)
+//   world_mu_   — the VFS and the lazily built resolver (receiver + workers)
+//   agg_mu_     — aggregates, reorder buffer, stats (workers + queries)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/archive.hpp"
+#include "core/callgraph.hpp"
+#include "core/registration.hpp"
+#include "core/report.hpp"
+#include "core/sample_log.hpp"
+#include "support/bounded_queue.hpp"
+
+namespace viprof::service {
+
+/// One parsed sample batch queued for ingest. `ceilings` snapshots, per
+/// pid, the highest code-map epoch announced before this batch — the
+/// worker resolves against exactly that generation of the map index.
+struct Batch {
+  hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
+  std::vector<core::LoggedSample> samples;
+  std::uint64_t apply_seq = 0;
+  std::map<hw::Pid, std::uint64_t> ceilings;
+};
+
+/// A worker's resolved batch, waiting in the reorder buffer. Applying
+/// results in apply_seq order makes the rolling aggregate independent of
+/// worker scheduling — the online/offline identity hinges on it.
+struct BatchResult {
+  hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
+  core::Profile partial;
+  std::map<std::uint64_t, core::Profile> epoch_partial;
+  std::vector<std::pair<core::Resolution, core::Resolution>> arcs;  // caller, callee
+  std::uint64_t records = 0;
+};
+
+struct SessionStats {
+  std::uint64_t frames = 0;
+  std::uint64_t torn_frames = 0;      // wire framing damage (decoder skips)
+  std::uint64_t files = 0;
+  std::uint64_t batches_enqueued = 0;
+  std::uint64_t batches_applied = 0;
+  std::uint64_t batches_dropped = 0;  // overload drops (kDropNewest / fault)
+  std::uint64_t records_ingested = 0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t registrations = 0;
+  std::uint64_t registrations_rejected = 0;
+  bool ended = false;
+};
+
+class ProfileServer;
+
+class ServerSession {
+ public:
+  ServerSession(std::string id, std::size_t queue_capacity)
+      : id_(std::move(id)), queue_(queue_capacity) {}
+
+  const std::string& id() const { return id_; }
+
+  SessionStats stats() const {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    return stats_;
+  }
+
+  /// Registered VMs (wire kRegisterVm frames), with hardening semantics.
+  core::RegisterStatus register_vm(const core::VmRegistration& reg);
+  bool deregister_vm(hw::Pid pid);
+  std::uint64_t registration_version() const;
+
+  /// Stores a streamed file in the session world; code-map paths bump the
+  /// owning pid's epoch ceiling.
+  void store_file(const std::string& path, std::string bytes);
+
+  /// The session's resolver, built from the streamed archive manifest on
+  /// first use (jit maps stay external — workers resolve through the
+  /// shared cache). nullptr until the manifest has been streamed.
+  const core::ArchiveResolver* resolver();
+
+  /// Combined rolling profile, per-event profiles merged in canonical
+  /// event order (matches offline single-profile aggregation row order).
+  core::Profile merged_profile() const;
+
+  /// Merge of the per-epoch profiles with epoch >= `since`.
+  core::Profile profile_since_epoch(std::uint64_t since) const;
+
+  /// Rolling cross-layer call graph (arc list copy).
+  std::vector<core::CallArc> ranked_arcs() const;
+
+  /// Copies of the per-epoch profiles (snapshot serialisation).
+  std::map<std::uint64_t, core::Profile> epoch_profiles() const {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    return epoch_profiles_;
+  }
+
+  std::uint64_t ingested_records() const {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    return stats_.records_ingested;
+  }
+
+  /// Wire-level damage charged to this session (decoder skips, mid-frame
+  /// disconnects).
+  void count_torn_frames(std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    stats_.torn_frames += n;
+  }
+
+  bool ended() const {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    return stats_.ended;
+  }
+
+ private:
+  friend class ProfileServer;
+
+  /// Applies `result` and any consecutively ready successors, in
+  /// apply_seq order. Called by workers under no other lock.
+  void apply(std::uint64_t apply_seq, BatchResult result);
+
+  const std::string id_;
+
+  // ---- receiver side (ingest_mu_)
+  mutable std::mutex ingest_mu_;
+  core::SampleStreamParser parsers_[hw::kEventKindCount];
+  std::map<hw::Pid, std::uint64_t> ceilings_;
+  std::uint64_t next_enqueue_seq_ = 0;
+
+  // ---- streamed world (world_mu_)
+  mutable std::mutex world_mu_;
+  os::Vfs world_;
+  std::unique_ptr<core::ArchiveResolver> resolver_;
+
+  // ---- registrations (own lock; consulted from receiver and queries)
+  mutable std::mutex reg_mu_;
+  core::RegistrationTable table_;
+
+  // ---- ingest queue (self-locked)
+  support::BoundedQueue<Batch> queue_;
+
+  // ---- aggregates (agg_mu_)
+  mutable std::mutex agg_mu_;
+  std::condition_variable applied_cv_;
+  std::map<std::uint64_t, BatchResult> reorder_;
+  std::uint64_t next_apply_seq_ = 0;
+  core::Profile event_profiles_[hw::kEventKindCount];
+  std::map<std::uint64_t, core::Profile> epoch_profiles_;
+  core::CallGraph graph_;
+  SessionStats stats_;
+};
+
+}  // namespace viprof::service

@@ -1,0 +1,90 @@
+// Transport abstraction between profiling clients and the profile server.
+//
+// The simulated environment has no sockets; what the service needs from a
+// transport is only "an ordered, possibly-damaged byte stream with a
+// close". Transport is that contract, and LoopbackTransport is the
+// in-process implementation: send() delivers bytes synchronously into a
+// sink (the server's per-connection frame decoder), after consulting the
+// fault injector under the "wire/<name>" path — so torn and lost frames
+// are injectable on the wire exactly as torn writes are on the VFS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/fault.hpp"
+
+namespace viprof::service {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `bytes` toward the peer. Returns false once closed. Delivery
+  /// may be damaged (torn/lost) — receivers must verify framing.
+  virtual bool send(const std::string& bytes) = 0;
+
+  virtual void close() = 0;
+  virtual bool is_closed() const = 0;
+};
+
+/// In-process transport: bytes sent are handed to `sink` on the sender's
+/// thread. `on_close` fires exactly once, on the first close().
+class LoopbackTransport final : public Transport {
+ public:
+  using Sink = std::function<void(const char* data, std::size_t size)>;
+  using CloseHook = std::function<void()>;
+
+  LoopbackTransport(std::string name, Sink sink, CloseHook on_close,
+                    support::FaultInjector* fault)
+      : name_("wire/" + std::move(name)),
+        sink_(std::move(sink)),
+        on_close_(std::move(on_close)),
+        fault_(fault) {}
+
+  ~LoopbackTransport() override { close(); }
+
+  bool send(const std::string& bytes) override {
+    if (closed_) return false;
+    std::size_t deliver = bytes.size();
+    if (fault_ != nullptr) {
+      const auto outcome = fault_->on_write(name_, bytes.size());
+      using R = support::FaultInjector::WriteOutcome::Result;
+      switch (outcome.result) {
+        case R::kOk: break;
+        case R::kTorn: deliver = outcome.kept_bytes; break;
+        case R::kError:
+        case R::kNoSpace: deliver = 0; break;  // the frame is lost entirely
+      }
+      if (deliver < bytes.size()) {
+        ++torn_sends_;
+        lost_bytes_ += bytes.size() - deliver;
+      }
+    }
+    if (deliver > 0) sink_(bytes.data(), deliver);
+    return true;
+  }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    if (on_close_) on_close_();
+  }
+
+  bool is_closed() const override { return closed_; }
+
+  std::uint64_t torn_sends() const { return torn_sends_; }
+  std::uint64_t lost_bytes() const { return lost_bytes_; }
+
+ private:
+  std::string name_;
+  Sink sink_;
+  CloseHook on_close_;
+  support::FaultInjector* fault_;
+  bool closed_ = false;
+  std::uint64_t torn_sends_ = 0;
+  std::uint64_t lost_bytes_ = 0;
+};
+
+}  // namespace viprof::service

@@ -1,0 +1,97 @@
+#include "service/wire.hpp"
+
+#include "support/format.hpp"
+
+namespace viprof::service {
+
+namespace {
+
+constexpr char kMagic0 = 'V';
+constexpr char kMagic1 = 'F';
+
+// A frame longer than this is treated as damage rather than waited for: a
+// corrupted length field must not make the decoder buffer forever.
+constexpr std::size_t kMaxPayload = 64 * 1024 * 1024;
+
+std::uint32_t read_u32le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void append_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);  // reserved
+  append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  append_u32le(out, support::fnv1a(out.data(), out.size()));
+  return out;
+}
+
+void FrameDecoder::skip_damage(std::size_t min_drop) {
+  // Resynchronise at the next magic marker. A trailing lone 'V' is kept —
+  // its 'F' may simply not have arrived yet.
+  std::size_t resync = buffer_.size();
+  for (std::size_t i = min_drop; i < buffer_.size(); ++i) {
+    if (buffer_[i] != kMagic0) continue;
+    if (i + 1 < buffer_.size() && buffer_[i + 1] != kMagic1) continue;
+    resync = i;
+    break;
+  }
+  ++torn_frames_;
+  skipped_bytes_ += resync;
+  buffer_.erase(0, resync);
+}
+
+bool FrameDecoder::next(Frame& out) {
+  for (;;) {
+    if (buffer_.size() < kFrameHeaderBytes) return false;
+    if (buffer_[0] != kMagic0 || buffer_[1] != kMagic1 ||
+        !valid_type(static_cast<std::uint8_t>(buffer_[2])) || buffer_[3] != 0) {
+      skip_damage(1);
+      continue;
+    }
+    const std::size_t length = read_u32le(buffer_.data() + 4);
+    if (length > kMaxPayload) {
+      skip_damage(1);
+      continue;
+    }
+    const std::size_t total = kFrameHeaderBytes + length + kFrameTrailerBytes;
+    if (buffer_.size() < total) return false;  // frame still in flight
+    const std::uint32_t crc_read = read_u32le(buffer_.data() + kFrameHeaderBytes + length);
+    const std::uint32_t crc_calc =
+        support::fnv1a(buffer_.data(), kFrameHeaderBytes + length);
+    if (crc_read != crc_calc) {
+      // A tear inside the frame body: the header looked fine, the bytes
+      // did not. Skip past the bogus magic and rescan — anything that was
+      // a real frame boundary inside survives the rescan.
+      skip_damage(1);
+      continue;
+    }
+    out.type = static_cast<FrameType>(buffer_[2]);
+    out.payload.assign(buffer_, kFrameHeaderBytes, length);
+    buffer_.erase(0, total);
+    return true;
+  }
+}
+
+}  // namespace viprof::service

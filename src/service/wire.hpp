@@ -1,0 +1,91 @@
+// Wire framing for the continuous-profiling service.
+//
+// Clients stream frames to the profile server: session control, VM
+// registrations, code-map files, sample batches and queries. Framing
+// extends the PR 1 crash-consistency discipline from files to the wire —
+// every frame is length-prefixed and FNV-1a-checksummed, and the decoder
+// never trusts bytes it cannot verify: a damaged frame is skipped by
+// resynchronising on the next magic marker, with the tear and the skipped
+// bytes *counted*, exactly as the sample-log reader salvages a torn file.
+//
+// Frame layout (little-endian):
+//   offset 0  'V' 'F'        magic
+//   offset 2  u8  type       FrameType
+//   offset 3  u8  reserved   0
+//   offset 4  u32 length     payload byte count
+//   offset 8  payload
+//   offset 8+length u32 crc  FNV-1a over header + payload
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace viprof::service {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,        // "client <name>"
+  kOpenSession = 2,  // "session <id>"
+  kRegisterVm = 3,   // one manifest "reg ..." line (archive format)
+  kFile = 4,         // "<path>\n" + raw file bytes (code maps, boot maps, manifest)
+  kSampleBatch = 5,  // "batch <EVENT> <line_count>\n" + raw sample-log lines
+  kEndStream = 6,    // client is done; payload empty
+  kQuery = 7,        // query text ("top 10", "sessions", ...)
+  kReply = 8,        // server reply text
+  kError = 9,        // server-side rejection text
+};
+
+inline const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kOpenSession: return "open-session";
+    case FrameType::kRegisterVm: return "register-vm";
+    case FrameType::kFile: return "file";
+    case FrameType::kSampleBatch: return "sample-batch";
+    case FrameType::kEndStream: return "end-stream";
+    case FrameType::kQuery: return "query";
+    case FrameType::kReply: return "reply";
+    case FrameType::kError: return "error";
+  }
+  return "?";
+}
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 8;   // magic+type+reserved+len
+inline constexpr std::size_t kFrameTrailerBytes = 4;  // crc
+
+/// Serialises one frame (header + payload + checksum).
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// Streaming decoder. feed() raw bytes in any chunking; next() yields
+/// verified frames in order. Damage (bad magic, bad checksum, impossible
+/// length) is skipped by scanning forward for the next magic marker.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t size) { buffer_.append(data, size); }
+  void feed(const std::string& bytes) { buffer_ += bytes; }
+
+  /// True when a complete verified frame was extracted into `out`.
+  bool next(Frame& out);
+
+  /// Frames discarded for framing/checksum damage.
+  std::uint64_t torn_frames() const { return torn_frames_; }
+  /// Bytes skipped while resynchronising past damage.
+  std::uint64_t skipped_bytes() const { return skipped_bytes_; }
+  /// Bytes buffered but not yet decodable (a frame still in flight).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  /// Drops `n` leading buffer bytes as damage and rescans for magic.
+  void skip_damage(std::size_t n);
+
+  std::string buffer_;
+  std::uint64_t torn_frames_ = 0;
+  std::uint64_t skipped_bytes_ = 0;
+};
+
+}  // namespace viprof::service

@@ -1,0 +1,96 @@
+// Bounded multi-producer/multi-consumer queue.
+//
+// The profile server gives every client session one of these between the
+// frame receiver and the ingest workers: the bound is the backpressure
+// point. push() blocks the sender until space frees up (the service's
+// default overload behaviour — a slow server slows its clients instead of
+// silently shedding), try_push() lets a drop-with-accounting policy refuse
+// instead, and close() releases everyone during shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace viprof::support {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until there is room (backpressure) or the queue is closed.
+  /// Returns false only when closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking: false when full or closed (the caller drops and counts).
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for an item; nullopt once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Wakes all blocked producers and consumers; push becomes a no-op,
+  /// pop drains the remaining items then reports exhaustion.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   // queue became non-empty / closed
+  std::condition_variable space_cv_;  // queue has room / closed
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace viprof::support

@@ -26,9 +26,11 @@ enum class FaultKind : std::uint8_t {
   kNoSpace,     // ENOSPC: rejected, and retrying will not help
 };
 
-/// Simulated processes the injector can kill at a chosen cycle.
-enum class FaultComponent : std::uint8_t { kDaemon, kAgent };
-inline constexpr std::size_t kFaultComponentCount = 2;
+/// Simulated processes the injector can kill at a chosen cycle. kClient is
+/// a streaming profile-service client; "killing" it models a disconnect
+/// mid-stream (the cycle argument counts frames sent, not cycles).
+enum class FaultComponent : std::uint8_t { kDaemon, kAgent, kClient };
+inline constexpr std::size_t kFaultComponentCount = 3;
 
 /// One injection rule. A write matches when its path starts with
 /// `path_prefix`; the first `skip` matching writes pass through, then up to
@@ -102,7 +104,7 @@ class FaultInjector {
   Xoshiro256 rng_;
   std::uint64_t capacity_bytes_ = ~0ull;
   std::uint64_t bytes_accepted_ = 0;
-  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull};
+  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull, ~0ull};
   Stats stats_;
   Telemetry* telemetry_ = nullptr;
   Counter* ctr_writes_seen_ = nullptr;

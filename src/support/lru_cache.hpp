@@ -1,0 +1,89 @@
+// Bounded least-recently-used cache.
+//
+// The continuous-profiling service keeps one prepared CodeMapIndex per
+// (vm, epoch-ceiling) generation; an always-on server accumulating
+// generations forever would leak, so index instances live in an LRU cache
+// sized to the hot set. The cache is deliberately generic (it is also a
+// reasonable home for parsed boot maps or archived resolvers later) and
+// deliberately *not* internally locked: callers that share one across
+// threads wrap it in their own mutex, which lets them batch get-or-load
+// under a single lock acquisition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace viprof::support {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// `capacity` = max resident entries; 0 behaves as capacity 1 (a cache
+  /// that can hold nothing would turn every get() into a rebuild).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Value for `key`, refreshing its recency; nullptr when absent. The
+  /// pointer is invalidated by the next put() (eviction may free it).
+  Value* get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or overwrites) `key`, evicting the least recently used entry
+  /// beyond capacity. Returns a reference valid until the next put().
+  Value& put(const Key& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return it->second->second;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    return order_.front().second;
+  }
+
+  bool contains(const Key& key) const { return index_.count(key) != 0; }
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Keys most-recently-used first (tests assert eviction order).
+  std::optional<Key> most_recent() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.front().first;
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace viprof::support

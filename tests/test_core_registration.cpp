@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/registration.hpp"
+
+namespace viprof::core {
+namespace {
+
+VmRegistration make_reg(hw::Pid pid, hw::Address heap_lo, hw::Address heap_hi,
+                        hw::Address boot_base = 0, std::uint64_t boot_size = 0) {
+  VmRegistration reg;
+  reg.pid = pid;
+  reg.heap_lo = heap_lo;
+  reg.heap_hi = heap_hi;
+  reg.boot_base = boot_base;
+  reg.boot_size = boot_size;
+  return reg;
+}
+
+TEST(RegistrationTable, AddAndLookup) {
+  RegistrationTable table;
+  EXPECT_EQ(table.add(make_reg(7, 0x1000, 0x2000)), RegisterStatus::kOk);
+  ASSERT_NE(table.find_pid(7), nullptr);
+  EXPECT_EQ(table.find_pid(7)->heap_lo, 0x1000u);
+  EXPECT_EQ(table.find_pid(8), nullptr);
+}
+
+TEST(RegistrationTable, RejectsDuplicatePid) {
+  RegistrationTable table;
+  EXPECT_EQ(table.add(make_reg(7, 0x1000, 0x2000)), RegisterStatus::kOk);
+  EXPECT_EQ(table.add(make_reg(7, 0x9000, 0xa000)), RegisterStatus::kDuplicatePid);
+  // The original registration survives the rejected add.
+  EXPECT_EQ(table.find_pid(7)->heap_lo, 0x1000u);
+  EXPECT_EQ(table.all().size(), 1u);
+}
+
+TEST(RegistrationTable, RejectsEmptyOrInvertedHeap) {
+  RegistrationTable table;
+  EXPECT_EQ(table.add(make_reg(1, 0x2000, 0x2000)), RegisterStatus::kBadRange);
+  EXPECT_EQ(table.add(make_reg(2, 0x3000, 0x2000)), RegisterStatus::kBadRange);
+  EXPECT_TRUE(table.all().empty());
+}
+
+TEST(RegistrationTable, RejectsHeapOverlappingOwnBootImage) {
+  RegistrationTable table;
+  // Boot image [0x4000, 0x6000) vs heap [0x5000, 0x8000): overlap.
+  EXPECT_EQ(table.add(make_reg(1, 0x5000, 0x8000, 0x4000, 0x2000)),
+            RegisterStatus::kOverlap);
+  // Adjacent (heap starts exactly at boot end) is fine.
+  EXPECT_EQ(table.add(make_reg(1, 0x6000, 0x8000, 0x4000, 0x2000)),
+            RegisterStatus::kOk);
+}
+
+TEST(RegistrationTable, CrossPidRangesMayCollide) {
+  // Separate address spaces: two VMs may legitimately report the same
+  // virtual heap range.
+  RegistrationTable table;
+  EXPECT_EQ(table.add(make_reg(1, 0x1000, 0x2000)), RegisterStatus::kOk);
+  EXPECT_EQ(table.add(make_reg(2, 0x1000, 0x2000)), RegisterStatus::kOk);
+  EXPECT_EQ(table.all().size(), 2u);
+}
+
+TEST(RegistrationTable, RemoveThenReRegister) {
+  RegistrationTable table;
+  EXPECT_EQ(table.add(make_reg(7, 0x1000, 0x2000)), RegisterStatus::kOk);
+  EXPECT_TRUE(table.remove(7));
+  EXPECT_EQ(table.find_pid(7), nullptr);
+  EXPECT_FALSE(table.remove(7));  // already gone
+  // The pid is free again; the new range wins.
+  EXPECT_EQ(table.add(make_reg(7, 0x9000, 0xa000)), RegisterStatus::kOk);
+  EXPECT_EQ(table.find_pid(7)->heap_lo, 0x9000u);
+}
+
+TEST(RegistrationTable, VersionBumpsOnEveryMutation) {
+  RegistrationTable table;
+  const std::uint64_t v0 = table.version();
+  table.add(make_reg(7, 0x1000, 0x2000));
+  const std::uint64_t v1 = table.version();
+  EXPECT_GT(v1, v0);
+  // Rejected adds leave the version alone.
+  table.add(make_reg(7, 0x1000, 0x2000));
+  EXPECT_EQ(table.version(), v1);
+  table.remove(7);
+  EXPECT_GT(table.version(), v1);
+  const std::uint64_t v2 = table.version();
+  table.remove(7);  // no-op remove
+  EXPECT_EQ(table.version(), v2);
+}
+
+TEST(RegistrationTable, ClearBumpsVersionOnlyWhenNonEmpty) {
+  RegistrationTable table;
+  const std::uint64_t v0 = table.version();
+  table.clear();
+  EXPECT_EQ(table.version(), v0);
+  table.add(make_reg(1, 0x1000, 0x2000));
+  const std::uint64_t v1 = table.version();
+  table.clear();
+  EXPECT_GT(table.version(), v1);
+  EXPECT_TRUE(table.all().empty());
+}
+
+TEST(RegistrationTable, LookupsStayConsistentUnderChurn) {
+  // Register/deregister churn: pid 1 is permanent, pids 2..N cycle. Every
+  // observation of pid 1 must see its full, unchanged registration.
+  RegistrationTable table;
+  ASSERT_EQ(table.add(make_reg(1, 0x10'0000, 0x20'0000)), RegisterStatus::kOk);
+  for (int round = 0; round < 200; ++round) {
+    const hw::Pid pid = static_cast<hw::Pid>(2 + (round % 5));
+    const std::uint64_t base = 0x100'0000ull + static_cast<std::uint64_t>(pid) * 0x10000;
+    ASSERT_EQ(table.add(make_reg(pid, base, base + 0x8000)), RegisterStatus::kOk);
+
+    const VmRegistration* fixed = table.find_pid(1);
+    ASSERT_NE(fixed, nullptr);
+    EXPECT_EQ(fixed->heap_lo, 0x10'0000u);
+    EXPECT_EQ(fixed->heap_hi, 0x20'0000u);
+    ASSERT_NE(table.find_heap(pid, base + 0x100), nullptr);
+
+    ASSERT_TRUE(table.remove(pid));
+    EXPECT_EQ(table.find_pid(pid), nullptr);
+  }
+  EXPECT_EQ(table.all().size(), 1u);
+  // 1 initial add + 200 adds + 200 removes.
+  EXPECT_EQ(table.version(), 401u);
+}
+
+}  // namespace
+}  // namespace viprof::core

@@ -1,0 +1,161 @@
+// Fault injection against the continuous-profiling service: torn wire
+// frames, a client disconnecting mid-stream, and ingest-queue overflow.
+// The invariant under every fault is the same one the PR 1 storage layer
+// established: damage is *counted and survived*, never silently absorbed
+// and never fatal — the server keeps serving every other byte.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/scenario.hpp"
+#include "service/server.hpp"
+#include "support/fault.hpp"
+
+namespace viprof::service {
+namespace {
+
+const std::vector<hw::EventKind> kEvents = {hw::EventKind::kGlobalPowerEvents,
+                                            hw::EventKind::kBsqCacheReference};
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig config;
+  config.vms = 2;
+  config.samples_per_event = 1200;
+  config.epochs = 10;
+  config.methods = 64;
+  return config;
+}
+
+TEST(ServiceFaults, TornFrameIsCountedAndStreamRecovers) {
+  auto scenario = record_scenario(small_scenario());
+  support::FaultInjector fault;
+  support::FaultRule rule;
+  rule.path_prefix = "wire/lossy";
+  rule.kind = support::FaultKind::kTornWrite;
+  rule.skip = 40;  // well into the sample batches
+  rule.count = 2;
+  fault.add_rule(rule);
+
+  ServerConfig config;
+  config.fault = &fault;
+  ProfileServer server(config);
+  {
+    auto conn = server.connect("lossy");
+    ReplayClient client(scenario->vfs(), "lossy", *conn, ReplayOptions{32, &fault});
+    EXPECT_TRUE(client.run());  // the client is oblivious to wire damage
+  }
+  server.drain();
+
+  const SessionStats stats = server.session("lossy")->stats();
+  EXPECT_EQ(fault.stats().torn_writes, 2u);
+  EXPECT_GE(stats.torn_frames, 2u);
+  EXPECT_TRUE(stats.ended);  // kEndStream still made it through
+  // The batches after the damage were ingested: most of the stream lands.
+  EXPECT_GT(stats.records_ingested,
+            2u * small_scenario().samples_per_event * 8 / 10);
+  EXPECT_LT(stats.records_ingested, 2u * small_scenario().samples_per_event);
+  EXPECT_GT(server.telemetry().snapshot().counter("service.frames.torn"), 0u);
+  // The surviving aggregate still renders.
+  EXPECT_NE(server.session_report("lossy", 10, kEvents).find("Image name"),
+            std::string::npos);
+}
+
+TEST(ServiceFaults, LostFrameIsSkippedEntirely) {
+  auto scenario = record_scenario(small_scenario());
+  support::FaultInjector fault;
+  support::FaultRule rule;
+  rule.path_prefix = "wire/drop";
+  rule.kind = support::FaultKind::kWriteError;  // the whole frame vanishes
+  rule.skip = 50;
+  rule.count = 1;
+  fault.add_rule(rule);
+
+  ServerConfig config;
+  config.fault = &fault;
+  ProfileServer server(config);
+  {
+    auto conn = server.connect("drop");
+    ReplayClient client(scenario->vfs(), "drop", *conn, ReplayOptions{32, &fault});
+    EXPECT_TRUE(client.run());
+  }
+  server.drain();
+
+  // A cleanly lost frame leaves no half-decoded bytes behind: the decoder
+  // sees a gap, not garbage, and every later frame still parses.
+  const SessionStats stats = server.session("drop")->stats();
+  EXPECT_TRUE(stats.ended);
+  EXPECT_LT(stats.records_ingested, 2u * small_scenario().samples_per_event);
+}
+
+TEST(ServiceFaults, ClientDisconnectMidStream) {
+  auto scenario = record_scenario(small_scenario());
+  support::FaultInjector fault;
+  fault.schedule_kill(support::FaultComponent::kClient, 30);  // 30 frames in
+
+  ProfileServer server;
+  std::uint64_t frames_before_death = 0;
+  {
+    auto conn = server.connect("flaky");
+    ReplayClient client(scenario->vfs(), "flaky", *conn, ReplayOptions{32, &fault});
+    EXPECT_FALSE(client.run());  // died before kEndStream
+    EXPECT_TRUE(client.disconnected());
+    frames_before_death = client.frames_sent();
+  }  // connection closes here: the server observes the disconnect
+  server.drain();
+
+  EXPECT_EQ(frames_before_death, 30u);
+  EXPECT_EQ(fault.stats().kills, 1u);
+  const SessionStats stats = server.session("flaky")->stats();
+  EXPECT_FALSE(stats.ended);
+  EXPECT_GT(stats.records_ingested, 0u);  // the prefix landed and aggregated
+  EXPECT_GT(server.telemetry().snapshot().counter("service.disconnects"), 0u);
+  // The orphaned session still answers queries.
+  EXPECT_NE(server.query("sessions").find("streaming"), std::string::npos);
+
+  // A reconnecting client resumes the same session id cleanly.
+  {
+    auto conn = server.connect("flaky-retry");
+    ReplayClient client(scenario->vfs(), "flaky", *conn, ReplayOptions{32, nullptr});
+    EXPECT_TRUE(client.run());
+  }
+  server.drain();
+  EXPECT_TRUE(server.session("flaky")->stats().ended);
+}
+
+TEST(ServiceFaults, QueueOverflowDropsAreCounted) {
+  auto scenario = record_scenario(small_scenario());
+  support::FaultInjector fault;
+  support::FaultRule rule;
+  rule.path_prefix = "service/queue/congested";
+  rule.kind = support::FaultKind::kWriteError;  // forced overflow
+  rule.skip = 4;
+  rule.count = 3;
+  fault.add_rule(rule);
+
+  ServerConfig config;
+  config.fault = &fault;
+  ProfileServer server(config);
+  {
+    auto conn = server.connect("congested");
+    ReplayClient client(scenario->vfs(), "congested", *conn, ReplayOptions{64, &fault});
+    EXPECT_TRUE(client.run());
+  }
+  server.drain();
+
+  const SessionStats stats = server.session("congested")->stats();
+  EXPECT_EQ(stats.batches_dropped, 3u);
+  EXPECT_GT(stats.records_dropped, 0u);
+  // Drops never stall the pipeline: everything enqueued was applied.
+  EXPECT_EQ(stats.batches_applied, stats.batches_enqueued);
+  EXPECT_TRUE(stats.ended);
+  EXPECT_EQ(stats.records_ingested + stats.records_dropped,
+            2u * small_scenario().samples_per_event);
+  const auto snap = server.telemetry().snapshot();
+  EXPECT_EQ(snap.counter("service.batches.dropped"), 3u);
+  EXPECT_EQ(snap.counter("service.records.dropped"), stats.records_dropped);
+}
+
+}  // namespace
+}  // namespace viprof::service

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/query.hpp"
+#include "service/scenario.hpp"
+#include "service/server.hpp"
+
+namespace viprof::service {
+namespace {
+
+const std::vector<hw::EventKind> kEvents = {hw::EventKind::kGlobalPowerEvents,
+                                            hw::EventKind::kBsqCacheReference};
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig config;
+  config.vms = 2;
+  config.samples_per_event = 1500;
+  config.epochs = 12;
+  config.methods = 96;
+  return config;
+}
+
+void replay(ProfileServer& server, const os::Vfs& world, const std::string& id,
+            std::size_t batch_records = 128) {
+  auto conn = server.connect(id);
+  ReplayClient client(world, id, *conn, ReplayOptions{batch_records, nullptr});
+  ASSERT_TRUE(client.run());
+}
+
+// The correctness anchor: the online rolling aggregate must render
+// byte-identically to offline viprof_report over the same sample stream,
+// at any ingest thread count and batch size.
+TEST(ProfileServer, OnlineAggregateMatchesOfflineReport) {
+  auto scenario = record_scenario(small_scenario());
+  const std::string offline = offline_render(scenario->vfs(), kEvents, 30);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t batch : {std::size_t{32}, std::size_t{997}}) {
+      ServerConfig config;
+      config.ingest_threads = threads;
+      config.queue_capacity = 4;  // force backpressure on the way
+      ProfileServer server(config);
+      replay(server, scenario->vfs(), "s", batch);
+      server.drain();
+      EXPECT_EQ(server.session_report("s", 30, kEvents), offline)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+TEST(ProfileServer, ConcurrentSessionsStayIsolated) {
+  // Three different recorded sessions streamed by three client threads at
+  // once: each session's aggregate must match its own offline report.
+  std::vector<std::unique_ptr<RecordedScenario>> scenarios;
+  std::vector<std::string> offlines;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ScenarioConfig config = small_scenario();
+    config.samples_per_event = 800;
+    config.seed = 0x900d + i * 17;
+    scenarios.push_back(record_scenario(config));
+    offlines.push_back(offline_render(scenarios.back()->vfs(), kEvents, 20));
+  }
+
+  ServerConfig config;
+  config.ingest_threads = 4;
+  ProfileServer server(config);
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      clients.emplace_back([&server, &scenarios, i] {
+        const std::string id = "vmhost-" + std::to_string(i);
+        auto conn = server.connect(id);
+        ReplayClient client(scenarios[i]->vfs(), id, *conn, ReplayOptions{64, nullptr});
+        EXPECT_TRUE(client.run());
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  server.drain();
+
+  ASSERT_EQ(server.session_ids().size(), 3u);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(server.session_report("vmhost-" + std::to_string(i), 20, kEvents),
+              offlines[i])
+        << "session " << i;
+  }
+}
+
+TEST(ProfileServer, BackpressureNeverDrops) {
+  auto scenario = record_scenario(small_scenario());
+  ServerConfig config;
+  config.ingest_threads = 2;
+  config.queue_capacity = 1;  // maximal pressure
+  ProfileServer server(config);
+  replay(server, scenario->vfs(), "s", 16);
+  server.drain();
+
+  const SessionStats stats = server.session("s")->stats();
+  EXPECT_EQ(stats.batches_dropped, 0u);
+  EXPECT_EQ(stats.records_dropped, 0u);
+  EXPECT_EQ(stats.records_ingested, 2u * small_scenario().samples_per_event);
+  EXPECT_TRUE(stats.ended);
+  EXPECT_EQ(stats.batches_applied, stats.batches_enqueued);
+}
+
+TEST(ProfileServer, QueriesAnswerDuringAndAfterIngest) {
+  auto scenario = record_scenario(small_scenario());
+  ProfileServer server;
+
+  // Queries racing a live stream must stay well-formed (they see a clean
+  // prefix of the stream, applied in order).
+  std::thread streamer([&] {
+    auto conn = server.connect("s");
+    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{32, nullptr});
+    EXPECT_TRUE(client.run());
+  });
+  for (int i = 0; i < 20; ++i) {
+    const std::string out = server.query("top 5 --session s");
+    // Before the kOpenSession frame lands the only acceptable answer is
+    // "no such session"; afterwards the query must render cleanly.
+    if (out.rfind("error", 0) == 0) {
+      EXPECT_NE(out.find("no such session"), std::string::npos) << out;
+    }
+    std::this_thread::yield();
+  }
+  streamer.join();
+  server.drain();
+
+  EXPECT_NE(server.query("sessions").find("ended"), std::string::npos);
+  EXPECT_NE(server.query("top 5").find("Image name"), std::string::npos);
+  EXPECT_NE(server.query("arcs 5").find("Caller"), std::string::npos);
+  EXPECT_EQ(server.query("nonsense").rfind("error", 0), 0u);
+  // since-epoch 0 covers every epoch (ties may order differently than the
+  // merged profile, so compare against the epoch-merged rendering).
+  EXPECT_EQ(server.query("since-epoch 0 --session s"),
+            server.session("s")->profile_since_epoch(0).render(kEvents, 20));
+}
+
+TEST(ProfileServer, QueryFramesTravelTheWire) {
+  auto scenario = record_scenario(small_scenario());
+  ProfileServer server;
+  auto conn = server.connect("s");
+  {
+    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{128, nullptr});
+    ASSERT_TRUE(client.run());
+  }
+  server.drain();
+
+  ASSERT_TRUE(conn->send(encode_frame(FrameType::kQuery, "sessions")));
+  std::optional<Frame> reply;
+  std::optional<Frame> last;
+  while ((last = conn->next_reply())) reply = last;
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kReply);
+  EXPECT_NE(reply->payload.find("ended"), std::string::npos);
+  EXPECT_GT(server.telemetry().snapshot().counter("service.queries"), 0u);
+}
+
+TEST(ProfileServer, RegistrationHardeningOverTheWire) {
+  ProfileServer server;
+  auto conn = server.connect("c");
+  ASSERT_TRUE(conn->send(encode_frame(FrameType::kOpenSession, "s")));
+  ASSERT_TRUE(conn->send(
+      encode_frame(FrameType::kRegisterVm, "reg 7 10000 20000 0 0 - -")));
+  // Duplicate pid: rejected with a kError reply, counted, first one kept.
+  ASSERT_TRUE(conn->send(
+      encode_frame(FrameType::kRegisterVm, "reg 7 30000 40000 0 0 - -")));
+  // Inverted heap range: rejected.
+  ASSERT_TRUE(conn->send(
+      encode_frame(FrameType::kRegisterVm, "reg 8 5000 4000 0 0 - -")));
+
+  std::size_t errors = 0;
+  while (auto reply = conn->next_reply())
+    if (reply->type == FrameType::kError) ++errors;
+  EXPECT_EQ(errors, 2u);
+
+  const SessionStats stats = server.session("s")->stats();
+  EXPECT_EQ(stats.registrations, 1u);
+  EXPECT_EQ(stats.registrations_rejected, 2u);
+  EXPECT_EQ(server.session("s")->registration_version(), 1u);
+}
+
+TEST(ProfileServer, FramesBeforeOpenSessionAreRejected) {
+  ProfileServer server;
+  auto conn = server.connect("c");
+  ASSERT_TRUE(conn->send(
+      encode_frame(FrameType::kSampleBatch, "batch GLOBAL_POWER_EVENTS 0\n")));
+  auto reply = conn->next_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_TRUE(server.session_ids().empty());
+}
+
+TEST(ProfileServer, CodeMapCacheIsSharedAndBounded) {
+  ScenarioConfig sc = small_scenario();
+  sc.vms = 3;  // every batch pins 3 (pid, ceiling) keys — the 2-entry
+               // cache must evict on every batch, never corrupt results
+  auto scenario = record_scenario(sc);
+
+  ServerConfig config;
+  config.ingest_threads = 2;
+  config.code_map_cache_capacity = 2;
+  ProfileServer server(config);
+  replay(server, scenario->vfs(), "s", 48);
+  server.drain();
+
+  EXPECT_LE(server.code_map_cache().capacity(), 2u);
+  // 3 pids cycling through 2 slots guarantee misses and evictions; whether
+  // ingest ever *hits* depends on worker interleaving, so exercise the hit
+  // path deterministically with a direct probe instead.
+  EXPECT_GT(server.code_map_cache().misses(), 0u);
+  EXPECT_GT(server.code_map_cache().evictions(), 0u);
+  const std::uint64_t hits_before = server.code_map_cache().hits();
+  const auto probe = [] { return core::CodeMapIndex(); };
+  (void)server.code_map_cache().get("probe", 999, 0, probe);  // miss
+  (void)server.code_map_cache().get("probe", 999, 0, probe);  // hit
+  EXPECT_EQ(server.code_map_cache().hits(), hits_before + 1);
+  // Metrics are published to the server's registry.
+  const auto snap = server.telemetry().snapshot();
+  EXPECT_GT(snap.gauge("service.code_map_cache.misses"), 0.0);
+  // A tiny cache costs rebuilds, never correctness.
+  EXPECT_EQ(server.session_report("s", 20, kEvents),
+            offline_render(scenario->vfs(), kEvents, 20));
+}
+
+TEST(ProfileServer, SnapshotRoundTripsThroughQueryModule) {
+  auto scenario = record_scenario(small_scenario());
+  ProfileServer server;
+  replay(server, scenario->vfs(), "s");
+  server.drain();
+
+  const auto parsed = ServiceSnapshot::parse(server.snapshot());
+  ASSERT_TRUE(parsed.has_value());
+  const SessionSnapshot* s = parsed->find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->profile.render(kEvents, 20),
+            server.session("s")->merged_profile().render(kEvents, 20));
+  EXPECT_EQ(profile_since(*s, 6).render(kEvents, 20),
+            server.session("s")->profile_since_epoch(6).render(kEvents, 20));
+}
+
+TEST(ProfileServer, CallGraphAccumulatesArcs) {
+  auto scenario = record_scenario(small_scenario());
+  ProfileServer server;
+  replay(server, scenario->vfs(), "s");
+  server.drain();
+
+  const std::vector<core::CallArc> arcs = server.session("s")->ranked_arcs();
+  ASSERT_FALSE(arcs.empty());
+  // The scenario's caller is always the VM executable's main symbol.
+  EXPECT_EQ(arcs[0].caller_symbol, "main");
+  for (std::size_t i = 1; i < arcs.size(); ++i)
+    EXPECT_GE(arcs[i - 1].count, arcs[i].count);
+}
+
+}  // namespace
+}  // namespace viprof::service

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/transport.hpp"
+#include "service/wire.hpp"
+#include "support/fault.hpp"
+
+namespace viprof::service {
+namespace {
+
+std::vector<Frame> decode_all(FrameDecoder& decoder) {
+  std::vector<Frame> frames;
+  Frame f;
+  while (decoder.next(f)) frames.push_back(f);
+  return frames;
+}
+
+TEST(Wire, RoundTripsFrames) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kHello, "client-1"));
+  decoder.feed(encode_frame(FrameType::kSampleBatch, "batch GLOBAL_POWER_EVENTS 0\n"));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(frames[0].payload, "client-1");
+  EXPECT_EQ(frames[1].type, FrameType::kSampleBatch);
+  EXPECT_EQ(decoder.torn_frames(), 0u);
+}
+
+TEST(Wire, DecodesByteByByte) {
+  // Frames split at arbitrary boundaries must reassemble.
+  const std::string bytes = encode_frame(FrameType::kFile, "path\ncontents") +
+                            encode_frame(FrameType::kEndStream, "");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame f;
+  for (char c : bytes) {
+    decoder.feed(&c, 1);
+    while (decoder.next(f)) frames.push_back(f);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "path\ncontents");
+  EXPECT_EQ(frames[1].type, FrameType::kEndStream);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Wire, EmptyPayloadAndBinaryPayload) {
+  std::string binary("\x00\x01VF\xff payload \n with magic inside", 33);
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kQuery, ""));
+  decoder.feed(encode_frame(FrameType::kReply, binary));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "");
+  EXPECT_EQ(frames[1].payload, binary);
+}
+
+TEST(Wire, CorruptCrcSkipsFrameAndResyncs) {
+  std::string damaged = encode_frame(FrameType::kHello, "aaaa");
+  damaged[damaged.size() - 1] ^= 0x40;  // flip a crc bit
+  FrameDecoder decoder;
+  decoder.feed(damaged);
+  decoder.feed(encode_frame(FrameType::kHello, "bbbb"));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "bbbb");
+  EXPECT_GE(decoder.torn_frames(), 1u);
+  EXPECT_GT(decoder.skipped_bytes(), 0u);
+}
+
+TEST(Wire, GarbageBetweenFramesIsSkipped) {
+  FrameDecoder decoder;
+  decoder.feed("no frame here at all ");
+  decoder.feed(encode_frame(FrameType::kHello, "x"));
+  decoder.feed("VF\x7f");  // bogus type: damage, not a frame
+  decoder.feed(encode_frame(FrameType::kHello, "y"));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "x");
+  EXPECT_EQ(frames[1].payload, "y");
+  EXPECT_GE(decoder.torn_frames(), 1u);
+}
+
+TEST(Wire, TruncatedFrameStaysBuffered) {
+  const std::string whole = encode_frame(FrameType::kFile, "p\n0123456789");
+  FrameDecoder decoder;
+  decoder.feed(whole.data(), whole.size() - 3);
+  Frame f;
+  EXPECT_FALSE(decoder.next(f));
+  EXPECT_GT(decoder.buffered_bytes(), 0u);  // a disconnect here = torn frame
+  decoder.feed(whole.data() + whole.size() - 3, 3);
+  EXPECT_TRUE(decoder.next(f));
+  EXPECT_EQ(f.payload, "p\n0123456789");
+}
+
+TEST(Wire, OversizedLengthIsRejectedAsDamage) {
+  // Corrupt the length field to a huge value: the decoder must not wait
+  // for 4GB of payload, it must resync.
+  std::string frame = encode_frame(FrameType::kHello, "zz");
+  frame[4] = '\xff';
+  frame[5] = '\xff';
+  frame[6] = '\xff';
+  frame[7] = '\x7f';
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  decoder.feed(encode_frame(FrameType::kHello, "ok"));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "ok");
+  EXPECT_GE(decoder.torn_frames(), 1u);
+}
+
+TEST(LoopbackTransport, DeliversToSink) {
+  std::string received;
+  LoopbackTransport wire(
+      "c", [&](const char* data, std::size_t size) { received.append(data, size); },
+      nullptr, nullptr);
+  EXPECT_TRUE(wire.send("hello"));
+  EXPECT_TRUE(wire.send(" world"));
+  EXPECT_EQ(received, "hello world");
+  wire.close();
+  EXPECT_FALSE(wire.send("late"));
+  EXPECT_EQ(received, "hello world");
+}
+
+TEST(LoopbackTransport, CloseHookFiresOnce) {
+  int closes = 0;
+  {
+    LoopbackTransport wire("c", [](const char*, std::size_t) {}, [&] { ++closes; },
+                           nullptr);
+    wire.close();
+    wire.close();
+  }  // destructor must not re-fire
+  EXPECT_EQ(closes, 1);
+}
+
+TEST(LoopbackTransport, TornWriteDeliversPrefixOnly) {
+  support::FaultInjector fault;
+  support::FaultRule rule;
+  rule.path_prefix = "wire/c";
+  rule.kind = support::FaultKind::kTornWrite;
+  rule.skip = 1;  // first frame lands intact
+  rule.count = 1;
+  fault.add_rule(rule);
+  std::string received;
+  LoopbackTransport wire(
+      "c", [&](const char* data, std::size_t size) { received.append(data, size); },
+      nullptr, &fault);
+
+  const std::string f1 = encode_frame(FrameType::kHello, "first");
+  const std::string f2 = encode_frame(FrameType::kHello, "second");
+  EXPECT_TRUE(wire.send(f1));
+  wire.send(f2);  // torn mid-frame by the injector
+  EXPECT_EQ(wire.torn_sends(), 1u);
+  EXPECT_LT(received.size(), f1.size() + f2.size());
+
+  // The decoder sees one intact frame and damage, never a corrupt accept.
+  FrameDecoder decoder;
+  decoder.feed(received);
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "first");
+}
+
+}  // namespace
+}  // namespace viprof::service

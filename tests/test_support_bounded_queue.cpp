@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/bounded_queue.hpp"
+
+namespace viprof::support {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_landed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+    second_landed = true;
+  });
+  // The producer must be parked: the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_landed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_landed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenExhausts) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_EQ(q.pop(), 1);    // buffered items still drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);  // then exhausted, not blocked
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace viprof::support

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "support/lru_cache.hpp"
+
+namespace viprof::support {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache<std::string, int> cache(2);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", 1);
+  ASSERT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(*cache.get("a"), 1);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_NE(cache.get("a"), nullptr);  // refresh a; b is now oldest
+  cache.put("c", 3);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutOverwritesInPlace) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("a", 10);  // overwrite, not insert: nothing evicted
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(*cache.get("a"), 10);
+  ASSERT_TRUE(cache.most_recent().has_value());
+  EXPECT_EQ(*cache.most_recent(), "a");
+}
+
+TEST(LruCache, ZeroCapacityClampsToOne) {
+  LruCache<int, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+}
+
+TEST(LruCache, SharedPtrValueSurvivesEviction) {
+  // The code-map cache pattern: a pinned shared_ptr outlives its slot.
+  LruCache<int, std::shared_ptr<int>> cache(1);
+  cache.put(1, std::make_shared<int>(41));
+  std::shared_ptr<int> pin = *cache.get(1);
+  cache.put(2, std::make_shared<int>(42));
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(*pin, 41);
+}
+
+TEST(LruCache, ClearResetsEntriesButKeepsStats) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 1);
+  (void)cache.get(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace viprof::support

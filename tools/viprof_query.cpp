@@ -1,0 +1,145 @@
+// viprof_query — evaluate queries against a service snapshot written by
+// viprof_serve / the server's snapshot frame (the opreport analogue for
+// the continuous-profiling service; DESIGN.md §10).
+//
+//   viprof_query sessions    --snap FILE|DIR
+//   viprof_query top N       --snap FILE|DIR [--session S] [--event E]
+//   viprof_query since-epoch K --snap FILE|DIR [--session S] [--top N]
+//   viprof_query diff --before FILE|DIR --after FILE|DIR\n
+//                     [--session S] [--event E] [--top N]
+//
+// FILE|DIR is a viprof-snapshot v1 file, or a directory containing
+// service.snap (what --export writes). The snapshot carries its own
+// FNV-1a trailer; a damaged file is rejected, never half-parsed.
+//
+// Exit status: 0 ok, 2 load errors (missing/corrupt snapshot), 3 usage.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/query.hpp"
+#include "support/arg_scan.hpp"
+
+namespace {
+
+using namespace viprof;
+
+constexpr const char* kUsage =
+    "usage: viprof_query sessions --snap FILE|DIR\n"
+    "       viprof_query top N --snap FILE|DIR [--session S] [--event E]\n"
+    "       viprof_query since-epoch K --snap FILE|DIR [--session S] [--top N]\n"
+    "       viprof_query diff --before FILE|DIR --after FILE|DIR\n"
+    "                         [--session S] [--event E] [--top N]\n"
+    "FILE|DIR: a viprof-snapshot v1 file, or a directory holding\n"
+    "service.snap (as written by viprof_serve --export).\n"
+    "events: time (GLOBAL_POWER_EVENTS), dmiss (BSQ_CACHE_REFERENCE)\n";
+
+service::ServiceSnapshot load_or_die(const std::string& arg) {
+  std::string path = arg;
+  if (std::filesystem::is_directory(path)) path += "/service.snap";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "viprof_query: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  auto snap = service::ServiceSnapshot::parse(contents.str());
+  if (!snap) {
+    std::fprintf(stderr, "viprof_query: %s is not a valid service snapshot\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  return *std::move(snap);
+}
+
+hw::EventKind event_or_die(const std::string& name) {
+  if (name == "time" || name == hw::to_string(hw::EventKind::kGlobalPowerEvents))
+    return hw::EventKind::kGlobalPowerEvents;
+  if (name == "dmiss" || name == hw::to_string(hw::EventKind::kBsqCacheReference))
+    return hw::EventKind::kBsqCacheReference;
+  std::fprintf(stderr, "viprof_query: unknown event %s\n%s", name.c_str(), kUsage);
+  std::exit(support::kExitUsage);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgScan args(argc, argv, kUsage);
+  if (!args.next()) args.fail();
+  const std::string cmd = args.arg();
+
+  std::uint64_t n = 0;
+  bool has_n = false;
+  if ((cmd == "top" || cmd == "since-epoch") && args.next()) {
+    n = std::strtoull(args.arg(), nullptr, 10);
+    has_n = true;
+  }
+  if ((cmd == "top" || cmd == "since-epoch") && !has_n) args.fail();
+
+  std::string snap_arg, before_arg, after_arg, session, event_name;
+  std::size_t top = 20;
+  while (args.next()) {
+    if (args.is("--snap")) snap_arg = args.value();
+    else if (args.is("--before")) before_arg = args.value();
+    else if (args.is("--after")) after_arg = args.value();
+    else if (args.is("--session")) session = args.value();
+    else if (args.is("--event")) event_name = args.value();
+    else if (args.is("--top")) top = args.value_u64();
+    else args.fail_unknown();
+  }
+
+  const std::vector<hw::EventKind> report_events = {hw::EventKind::kGlobalPowerEvents,
+                                                    hw::EventKind::kBsqCacheReference};
+
+  if (cmd == "sessions") {
+    if (snap_arg.empty()) args.fail();
+    std::printf("%s", service::render_sessions(load_or_die(snap_arg)).c_str());
+    return 0;
+  }
+
+  if (cmd == "top") {
+    if (snap_arg.empty()) args.fail();
+    const service::ServiceSnapshot snap = load_or_die(snap_arg);
+    core::Profile profile;
+    if (session.empty()) {
+      profile = snap.merged();
+    } else if (const service::SessionSnapshot* s = snap.find(session)) {
+      profile = s->profile;
+    } else {
+      std::fprintf(stderr, "viprof_query: no session %s in snapshot\n", session.c_str());
+      return 2;
+    }
+    std::vector<hw::EventKind> events = report_events;
+    if (!event_name.empty()) events = {event_or_die(event_name)};
+    std::printf("%s", profile.render(events, n).c_str());
+    return 0;
+  }
+
+  if (cmd == "since-epoch") {
+    if (snap_arg.empty()) args.fail();
+    const service::ServiceSnapshot snap = load_or_die(snap_arg);
+    core::Profile profile;
+    for (const service::SessionSnapshot& s : snap.sessions) {
+      if (!session.empty() && s.id != session) continue;
+      profile.merge(service::profile_since(s, n));
+    }
+    std::printf("%s", profile.render(report_events, top).c_str());
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    if (before_arg.empty() || after_arg.empty()) args.fail();
+    const service::ServiceSnapshot before = load_or_die(before_arg);
+    const service::ServiceSnapshot after = load_or_die(after_arg);
+    const hw::EventKind event = event_name.empty()
+                                    ? hw::EventKind::kGlobalPowerEvents
+                                    : event_or_die(event_name);
+    std::printf("%s", service::render_diff(before, after, session, event, top).c_str());
+    return 0;
+  }
+
+  args.fail();
+}

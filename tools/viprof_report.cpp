@@ -4,8 +4,6 @@
 //
 //   viprof_report --in /tmp/session [--top 20] [--threads N] [--oprofile-view]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "core/annotate.hpp"
@@ -14,19 +12,17 @@
 #include "core/resolve_pipeline.hpp"
 #include "core/sample_log.hpp"
 #include "os/vfs.hpp"
+#include "support/arg_scan.hpp"
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: viprof_report --in DIR [--top N] [--threads N]\n"
-               "                     [--oprofile-view] [--annotate IMAGE:SYMBOL]\n"
-               "  --threads N resolves samples on N worker threads\n"
-               "  (0 = one per hardware thread); output is identical.\n"
-               "  --oprofile-view resolves as stock OProfile would\n"
-               "  (anon ranges, opaque boot image) for comparison.\n");
-  std::exit(2);
-}
+constexpr const char* kUsage =
+    "usage: viprof_report --in DIR [--top N] [--threads N]\n"
+    "                     [--oprofile-view] [--annotate IMAGE:SYMBOL]\n"
+    "  --threads N resolves samples on N worker threads\n"
+    "  (0 = one per hardware thread); output is identical.\n"
+    "  --oprofile-view resolves as stock OProfile would\n"
+    "  (anon ranges, opaque boot image) for comparison.\n";
 
 }  // namespace
 
@@ -38,22 +34,16 @@ int main(int argc, char** argv) {
   std::size_t top = 20;
   std::size_t threads = 1;
   bool vm_aware = true;
-  for (int i = 1; i < argc; ++i) {
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        usage();
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--in")) in_dir = need("--in");
-    else if (!std::strcmp(argv[i], "--top")) top = std::strtoull(need("--top"), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--threads")) threads = std::strtoull(need("--threads"), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--oprofile-view")) vm_aware = false;
-    else if (!std::strcmp(argv[i], "--annotate")) annotate_target = need("--annotate");
-    else usage();
+  support::ArgScan args(argc, argv, kUsage);
+  while (args.next()) {
+    if (args.is("--in")) in_dir = args.value();
+    else if (args.is("--top")) top = args.value_u64();
+    else if (args.is("--threads")) threads = args.value_u64();
+    else if (args.is("--oprofile-view")) vm_aware = false;
+    else if (args.is("--annotate")) annotate_target = args.value();
+    else args.fail_unknown();
   }
-  if (in_dir.empty()) usage();
+  if (in_dir.empty()) args.fail();
 
   os::Vfs vfs;
   vfs.import_from_directory(in_dir);
@@ -92,7 +82,7 @@ int main(int argc, char** argv) {
     const auto colon = annotate_target.find(':');
     if (colon == std::string::npos) {
       std::fprintf(stderr, "--annotate wants IMAGE:SYMBOL\n");
-      return 2;
+      return support::kExitUsage;
     }
     // Reuse the already-read time samples instead of re-reading the log.
     const core::Annotation ann = core::annotate(

@@ -7,10 +7,10 @@
 //   viprof_report --in /tmp/session --top 20
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "core/viprof.hpp"
+#include "support/arg_scan.hpp"
 #include "workloads/common.hpp"
 #include "workloads/generator.hpp"
 
@@ -18,15 +18,12 @@ namespace {
 
 using namespace viprof;
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: viprof_sim [--workload NAME] [--mode base|oprofile|viprof]\n"
-               "                  [--period CYCLES] [--top N] [--seed N]\n"
-               "                  [--callgraph] [--out DIR]\n"
-               "workloads: pseudojbb JVM98 antlr bloat fop hsqldb pmd xalan ps\n"
-               "           synthetic (default)\n");
-  std::exit(2);
-}
+constexpr const char* kUsage =
+    "usage: viprof_sim [--workload NAME] [--mode base|oprofile|viprof]\n"
+    "                  [--period CYCLES] [--top N] [--seed N]\n"
+    "                  [--callgraph] [--out DIR]\n"
+    "workloads: pseudojbb JVM98 antlr bloat fop hsqldb pmd xalan ps\n"
+    "           synthetic (default)\n";
 
 workloads::Workload find_workload(const std::string& name) {
   if (name == "synthetic") {
@@ -42,7 +39,7 @@ workloads::Workload find_workload(const std::string& name) {
     if (w.name == name) return w;
   }
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
-  std::exit(2);
+  std::exit(support::kExitUsage);
 }
 
 }  // namespace
@@ -56,29 +53,23 @@ int main(int argc, char** argv) {
   bool callgraph = false;
   std::string out_dir;
 
-  for (int i = 1; i < argc; ++i) {
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        usage();
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--workload")) workload_name = need("--workload");
-    else if (!std::strcmp(argv[i], "--mode")) mode_name = need("--mode");
-    else if (!std::strcmp(argv[i], "--period")) period = std::strtoull(need("--period"), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--top")) top = std::strtoull(need("--top"), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(need("--seed"), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--callgraph")) callgraph = true;
-    else if (!std::strcmp(argv[i], "--out")) out_dir = need("--out");
-    else usage();
+  support::ArgScan args(argc, argv, kUsage);
+  while (args.next()) {
+    if (args.is("--workload")) workload_name = args.value();
+    else if (args.is("--mode")) mode_name = args.value();
+    else if (args.is("--period")) period = args.value_u64();
+    else if (args.is("--top")) top = args.value_u64();
+    else if (args.is("--seed")) seed = args.value_u64();
+    else if (args.is("--callgraph")) callgraph = true;
+    else if (args.is("--out")) out_dir = args.value();
+    else args.fail_unknown();
   }
 
-  core::ProfilingMode mode;
+  core::ProfilingMode mode = core::ProfilingMode::kBase;
   if (mode_name == "base") mode = core::ProfilingMode::kBase;
   else if (mode_name == "oprofile") mode = core::ProfilingMode::kOprofile;
   else if (mode_name == "viprof") mode = core::ProfilingMode::kViprof;
-  else usage(), mode = core::ProfilingMode::kBase;
+  else args.fail();
 
   const workloads::Workload w = find_workload(workload_name);
 

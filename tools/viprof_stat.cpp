@@ -13,31 +13,28 @@
 // two snapshots (CI trajectory checks); `snapshot` copies a validated,
 // canonicalised snapshot to FILE for later diffing.
 //
-// Exit status: 0 on success, 1 when `diff` found differences, 2 on usage or
-// load errors.
+// Exit status: 0 on success, 1 when `diff` found differences, 2 on load
+// errors, 3 on bad usage.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "support/arg_scan.hpp"
 #include "support/telemetry.hpp"
 
 namespace {
 
 using viprof::support::TelemetrySnapshot;
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: viprof_stat dump --in DIR|FILE [--json] [--prefix P]\n"
-               "       viprof_stat diff --before DIR|FILE --after DIR|FILE [--prefix P]\n"
-               "       viprof_stat snapshot --in DIR|FILE --out FILE\n"
-               "DIR|FILE: a metrics.json, or an exported session directory\n"
-               "containing one (archive/telemetry/metrics.json).\n");
-  std::exit(2);
-}
+constexpr const char* kUsage =
+    "usage: viprof_stat dump --in DIR|FILE [--json] [--prefix P]\n"
+    "       viprof_stat diff --before DIR|FILE --after DIR|FILE [--prefix P]\n"
+    "       viprof_stat snapshot --in DIR|FILE --out FILE\n"
+    "DIR|FILE: a metrics.json, or an exported session directory\n"
+    "containing one (archive/telemetry/metrics.json).\n";
 
 /// A metrics.json path: the argument itself, or the conventional locations
 /// inside an exported session directory.
@@ -83,30 +80,24 @@ TelemetrySnapshot filtered(TelemetrySnapshot snap, const std::string& prefix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string cmd = argv[1];
+  viprof::support::ArgScan args(argc, argv, kUsage);
+  if (!args.next()) args.fail();
+  const std::string cmd = args.arg();
 
   std::string in_arg, before_arg, after_arg, out_path, prefix;
   bool as_json = false;
-  for (int i = 2; i < argc; ++i) {
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        usage();
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--in")) in_arg = need("--in");
-    else if (!std::strcmp(argv[i], "--before")) before_arg = need("--before");
-    else if (!std::strcmp(argv[i], "--after")) after_arg = need("--after");
-    else if (!std::strcmp(argv[i], "--out")) out_path = need("--out");
-    else if (!std::strcmp(argv[i], "--prefix")) prefix = need("--prefix");
-    else if (!std::strcmp(argv[i], "--json")) as_json = true;
-    else usage();
+  while (args.next()) {
+    if (args.is("--in")) in_arg = args.value();
+    else if (args.is("--before")) before_arg = args.value();
+    else if (args.is("--after")) after_arg = args.value();
+    else if (args.is("--out")) out_path = args.value();
+    else if (args.is("--prefix")) prefix = args.value();
+    else if (args.is("--json")) as_json = true;
+    else args.fail_unknown();
   }
 
   if (cmd == "dump") {
-    if (in_arg.empty()) usage();
+    if (in_arg.empty()) args.fail();
     const TelemetrySnapshot snap = filtered(load_or_die(in_arg), prefix);
     if (as_json) std::fputs(snap.to_json().c_str(), stdout);
     else std::fputs(snap.render_text().c_str(), stdout);
@@ -114,7 +105,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "diff") {
-    if (before_arg.empty() || after_arg.empty()) usage();
+    if (before_arg.empty() || after_arg.empty()) args.fail();
     const TelemetrySnapshot before = filtered(load_or_die(before_arg), prefix);
     const TelemetrySnapshot after = filtered(load_or_die(after_arg), prefix);
     const std::string diff = TelemetrySnapshot::render_diff(before, after);
@@ -123,7 +114,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "snapshot") {
-    if (in_arg.empty() || out_path.empty()) usage();
+    if (in_arg.empty() || out_path.empty()) args.fail();
     const TelemetrySnapshot snap = load_or_die(in_arg);
     std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -135,6 +126,5 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  usage();
-  return 2;
+  args.fail();
 }
