@@ -46,7 +46,7 @@ bool run() {
   const int reps = is_quick ? 2 : 3;
   const int query_rounds = is_quick ? 500 : 2'000;
 
-  std::printf("-- service ingest + query bench (%llu samples/event, %d vms) --\n",
+  std::printf("-- service ingest + query bench (%llu samples/event, %zu vms) --\n",
               static_cast<unsigned long long>(config.samples_per_event), config.vms);
   auto scenario = service::record_scenario(config);
   const std::string offline = service::offline_render(scenario->vfs(), kEvents, 30);

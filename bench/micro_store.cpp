@@ -1,0 +1,238 @@
+// Persistent-store microbench: ingest throughput into segment files,
+// compaction throughput at 1/2/4 compactor threads, and historical query
+// latency (p50/p99) against a fully-compacted store. Before anything is
+// measured the store's answers are checked byte-identical to the offline
+// canonical fold — before and after compaction, at every thread count — so
+// a bench run that got the wrong answer fast is a failure, not a result.
+//
+// Emits BENCH_store.json (harness schema). VIPROF_QUICK=1 shrinks the
+// interval population for CI smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "os/vfs.hpp"
+#include "store/profile_store.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace viprof;
+
+constexpr auto kTime = hw::EventKind::kGlobalPowerEvents;
+constexpr auto kDmiss = hw::EventKind::kBsqCacheReference;
+const std::vector<hw::EventKind> kEvents = {kTime, kDmiss};
+
+core::Resolution res(std::string image, std::string symbol) {
+  core::Resolution r;
+  r.image = std::move(image);
+  r.symbol = std::move(symbol);
+  r.domain = core::SampleDomain::kJit;
+  return r;
+}
+
+/// Interval j of the synthetic history: a few sessions, repeating ticks (so
+/// compaction has merge keys to fold) and a method population wide enough
+/// that segment dictionaries earn their keep.
+store::IntervalProfile make_interval(std::uint64_t j, std::uint64_t methods) {
+  store::IntervalProfile iv;
+  iv.session = "vm-" + std::to_string(j % 3);
+  iv.pid = 40 + j % 3;
+  iv.tick_lo = iv.tick_hi = j / 6;
+  iv.epoch_lo = j;
+  iv.epoch_hi = j + 1;
+  for (std::uint64_t m = 0; m < 4; ++m) {
+    const std::uint64_t method = (j * 7 + m * 13) % methods;
+    iv.profile.add(kTime, res("RVM.map", "method-" + std::to_string(method)),
+                   10 + (j + m) % 97);
+    if (m % 2 == 0) {
+      iv.profile.add(kDmiss, res("RVM.map", "method-" + std::to_string(method)),
+                     1 + (j + m) % 7);
+    }
+  }
+  iv.profile.add(kTime, res("vmlinux", "do_page_fault"), 1 + j % 5);
+  return iv;
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t at = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[at];
+}
+
+store::StoreConfig bench_config() {
+  store::StoreConfig config;
+  config.seal_after_intervals = 16;
+  config.compact_fanin = 4;
+  config.compact_min_segments = 2;
+  return config;
+}
+
+bool run() {
+  const char* quick = std::getenv("VIPROF_QUICK");
+  const bool is_quick = quick != nullptr && quick[0] == '1';
+
+  const std::uint64_t intervals = is_quick ? 600 : 6'000;
+  const std::uint64_t methods = 256;
+  const int reps = is_quick ? 2 : 3;
+  const int query_rounds = is_quick ? 300 : 2'000;
+
+  std::printf("-- profile store ingest + compaction + query bench "
+              "(%llu intervals) --\n",
+              static_cast<unsigned long long>(intervals));
+
+  // The offline oracle: the canonical fold over the whole history.
+  std::string oracle;
+  {
+    std::vector<store::IntervalProfile> ivs;
+    ivs.reserve(intervals);
+    for (std::uint64_t j = 0; j < intervals; ++j) {
+      ivs.push_back(make_interval(j, methods));
+      ivs.back().first_seq = j + 1;
+    }
+    std::sort(ivs.begin(), ivs.end(),
+              [](const store::IntervalProfile& a, const store::IntervalProfile& b) {
+                return store::canonical_less(a, b);
+              });
+    core::Profile folded;
+    for (const store::IntervalProfile& iv : ivs) folded.merge(iv.profile);
+    oracle = folded.render(kEvents, 30);
+  }
+
+  std::vector<bench::BenchRecord> records;
+
+  // Phase 1: ingest throughput (append + seal path, no compaction).
+  {
+    double best_secs = 0.0;
+    std::uint64_t bytes = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      os::Vfs vfs;
+      store::ProfileStore st(vfs, bench_config());
+      if (st.open().verdict != core::FsckVerdict::kClean) {
+        std::fprintf(stderr, "FAIL: fresh store did not open clean\n");
+        return false;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (std::uint64_t j = 0; j < intervals; ++j) {
+        if (!st.ingest(make_interval(j, methods))) {
+          std::fprintf(stderr, "FAIL: ingest rejected interval %llu\n",
+                       static_cast<unsigned long long>(j));
+          return false;
+        }
+      }
+      st.seal_active();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (rep == 0 || elapsed.count() < best_secs) best_secs = elapsed.count();
+      bytes = vfs.bytes_written();
+      if (st.render_top({}, kEvents, 30) != oracle) {
+        std::fprintf(stderr, "FAIL: sealed-store query differs from fold\n");
+        return false;
+      }
+    }
+    const double rate = static_cast<double>(intervals) / best_secs;
+    std::printf("  ingest           %9.0f intervals/sec  (%.3fs, %.1f MB)\n", rate,
+                best_secs, static_cast<double>(bytes) / 1e6);
+    bench::BenchRecord record;
+    record.name = "ingest";
+    record.iterations = reps;
+    record.seconds = best_secs;
+    record.ns_per_op = best_secs * 1e9 / static_cast<double>(intervals);
+    records.push_back(std::move(record));
+  }
+
+  // Phase 2: compaction throughput at several thread counts, each checked
+  // byte-identical to the fold (the determinism anchor, measured).
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    double best_secs = 0.0;
+    std::size_t segments_before = 0, segments_after = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      os::Vfs vfs;
+      store::ProfileStore st(vfs, bench_config());
+      if (st.open().verdict != core::FsckVerdict::kClean) return false;
+      for (std::uint64_t j = 0; j < intervals; ++j)
+        if (!st.ingest(make_interval(j, methods))) return false;
+      st.seal_active();
+      segments_before = st.segment_count();
+
+      support::ThreadPool pool(threads);
+      const auto start = std::chrono::steady_clock::now();
+      while (st.compact(&pool) > 0) {
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (rep == 0 || elapsed.count() < best_secs) best_secs = elapsed.count();
+      segments_after = st.segment_count();
+      if (st.render_top({}, kEvents, 30) != oracle) {
+        std::fprintf(stderr, "FAIL: compacted-store query differs from fold "
+                             "(threads=%zu)\n", threads);
+        return false;
+      }
+    }
+    const double rate = static_cast<double>(intervals) / best_secs;
+    std::printf("  compact threads=%zu %8.0f intervals/sec  (%.3fs, %zu -> %zu "
+                "segments)\n",
+                threads, rate, best_secs, segments_before, segments_after);
+    bench::BenchRecord record;
+    record.name = "compact.t" + std::to_string(threads);
+    record.iterations = reps;
+    record.seconds = best_secs;
+    record.ns_per_op = best_secs * 1e9 / static_cast<double>(intervals);
+    records.push_back(std::move(record));
+  }
+  std::printf("  queries byte-identical to the canonical fold at every stage\n");
+
+  // Phase 3: historical query latency against a fully-compacted store.
+  os::Vfs vfs;
+  store::ProfileStore st(vfs, bench_config());
+  if (st.open().verdict != core::FsckVerdict::kClean) return false;
+  for (std::uint64_t j = 0; j < intervals; ++j)
+    if (!st.ingest(make_interval(j, methods))) return false;
+  st.seal_active();
+  support::ThreadPool pool(2);
+  while (st.compact(&pool) > 0) {
+  }
+
+  const store::WindowSpec window{intervals / 24, intervals / 8, "vm-1"};
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(query_rounds));
+  for (int i = 0; i < query_rounds; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::string out = st.render_top(window, kEvents, 20);
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (out.empty()) {
+      std::fprintf(stderr, "FAIL: windowed query rendered nothing\n");
+      return false;
+    }
+    latencies_us.push_back(elapsed.count());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p99 = percentile(latencies_us, 0.99);
+  std::printf("  windowed 'top 20' x%d  p50 %.1fus  p99 %.1fus\n", query_rounds,
+              p50, p99);
+
+  for (const auto& [name, us] : {std::pair<const char*, double>{"query.window.p50", p50},
+                                 {"query.window.p99", p99}}) {
+    bench::BenchRecord record;
+    record.name = name;
+    record.iterations = query_rounds;
+    record.seconds = us * 1e-6;
+    record.ns_per_op = us * 1e3;
+    records.push_back(std::move(record));
+  }
+
+  bench::write_bench_json("store", records);
+  return true;
+}
+
+}  // namespace
+
+int main() { return run() ? 0 : 1; }

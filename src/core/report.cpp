@@ -105,4 +105,43 @@ std::string Profile::render(const std::vector<hw::EventKind>& events,
   return table.render();
 }
 
+std::string render_diff(const Profile& before, const Profile& after,
+                        hw::EventKind event, std::size_t top_n) {
+  struct Mover {
+    std::int64_t delta;
+    std::uint64_t from, to;
+    const ProfileRow* row;
+  };
+  std::vector<Mover> movers;
+  for (const ProfileRow& row : after.rows()) {
+    const ProfileRow* prev = before.find(row.image, row.symbol);
+    const std::uint64_t from = prev ? prev->count(event) : 0;
+    const std::uint64_t to = row.count(event);
+    if (from != to)
+      movers.push_back({static_cast<std::int64_t>(to) - static_cast<std::int64_t>(from),
+                        from, to, &row});
+  }
+  for (const ProfileRow& row : before.rows()) {
+    if (after.find(row.image, row.symbol) != nullptr) continue;
+    const std::uint64_t from = row.count(event);
+    if (from != 0)
+      movers.push_back({-static_cast<std::int64_t>(from), from, 0, &row});
+  }
+  std::stable_sort(movers.begin(), movers.end(), [](const Mover& x, const Mover& y) {
+    const std::int64_t ax = x.delta < 0 ? -x.delta : x.delta;
+    const std::int64_t ay = y.delta < 0 ? -y.delta : y.delta;
+    return ax > ay;
+  });
+
+  support::TextTable table({"Delta", "Before", "After", "Image", "Symbol"});
+  std::size_t emitted = 0;
+  for (const Mover& m : movers) {
+    if (emitted++ >= top_n) break;
+    table.add_row({(m.delta > 0 ? "+" : "") + std::to_string(m.delta),
+                   std::to_string(m.from), std::to_string(m.to), m.row->image,
+                   m.row->symbol});
+  }
+  return table.render();
+}
+
 }  // namespace viprof::core

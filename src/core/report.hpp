@@ -77,4 +77,11 @@ class Profile {
   std::uint64_t totals_[hw::kEventKindCount] = {};
 };
 
+/// Regression table between two profiles: rows whose `event` count changed,
+/// ranked by |delta| descending (ties keep `after`-then-`before` row order,
+/// so equally-built profiles render byte-identically). Used by the service
+/// snapshot diff and the store's window-vs-window queries.
+std::string render_diff(const Profile& before, const Profile& after,
+                        hw::EventKind event, std::size_t top_n);
+
 }  // namespace viprof::core

@@ -70,10 +70,41 @@ bool Vfs::exists(const std::string& path) const { return files_.count(path) != 0
 
 void Vfs::remove(const std::string& path) { files_.erase(path); }
 
+IoStatus Vfs::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return IoStatus::kIoError;
+  if (from == to) return IoStatus::kOk;
+  if (fault_ != nullptr) {
+    // A rename moves metadata, not bytes: any injected fault rejects it
+    // whole (kNoSpace stays kNoSpace so callers can tell "retrying will not
+    // help"); it can never land torn.
+    const auto outcome = fault_->on_write(to, it->second.size());
+    using Result = support::FaultInjector::WriteOutcome::Result;
+    if (outcome.result == Result::kNoSpace) return IoStatus::kNoSpace;
+    if (outcome.result != Result::kOk) return IoStatus::kIoError;
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  return IoStatus::kOk;
+}
+
 std::optional<std::string> Vfs::read(const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end()) return std::nullopt;
   return it->second;
+}
+
+bool atomic_write_file(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
 }
 
 void Vfs::export_to_directory(const std::string& host_dir,
@@ -82,9 +113,22 @@ void Vfs::export_to_directory(const std::string& host_dir,
     if (path.compare(0, prefix.size(), prefix) != 0) continue;
     const fs::path target = fs::path(host_dir) / path;
     fs::create_directories(target.parent_path());
-    std::ofstream out(target, std::ios::binary);
-    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    atomic_write_file(target.string(), contents);
   }
+}
+
+void Vfs::sync_to_directory(const std::string& host_dir) const {
+  export_to_directory(host_dir);
+  const fs::path root(host_dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return;
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string rel = fs::relative(entry.path(), root).generic_string();
+    if (files_.count(rel) == 0) stale.push_back(entry.path());
+  }
+  for (const fs::path& p : stale) fs::remove(p, ec);
 }
 
 void Vfs::import_from_directory(const std::string& host_dir) {

@@ -51,6 +51,12 @@ class Vfs {
   bool exists(const std::string& path) const;
   void remove(const std::string& path);
 
+  /// Atomic rename: `to` is replaced in one step, or nothing changes.
+  /// kIoError when `from` does not exist or an injected fault rejects the
+  /// operation — a rename is metadata, so it can fail but never tear
+  /// (injected torn-write faults are reported as kIoError too).
+  IoStatus rename(const std::string& from, const std::string& to);
+
   /// Contents, or nullopt if the file does not exist.
   std::optional<std::string> read(const std::string& path) const;
 
@@ -74,9 +80,18 @@ class Vfs {
 
   /// Materialises the VFS (or the subtree under `prefix`) into a host
   /// directory; used by the CLI tools to hand sessions to offline
-  /// post-processing, mirroring OProfile's on-disk sample tree.
+  /// post-processing, mirroring OProfile's on-disk sample tree. Each file
+  /// is published atomically (atomic_write_file), so a reader never sees a
+  /// half-written artifact and a crash mid-export leaves any previous
+  /// version of a file intact.
   void export_to_directory(const std::string& host_dir,
                            const std::string& prefix = "") const;
+
+  /// export_to_directory plus deletion: host files under `host_dir` that no
+  /// longer exist in the VFS are removed, so the directory mirrors the VFS
+  /// exactly (the store tools use this — compaction must retire segment
+  /// files on the host too, not just in memory).
+  void sync_to_directory(const std::string& host_dir) const;
 
   /// Loads every regular file under `host_dir` into the VFS (paths are
   /// relative to `host_dir`).
@@ -90,5 +105,10 @@ class Vfs {
   support::Counter* ctr_writes_ = nullptr;   // vfs.writes
   support::Counter* ctr_bytes_ = nullptr;    // vfs.bytes_written
 };
+
+/// Atomic publish of one host file: write `<path>.tmp`, then rename over
+/// `path`. A crash mid-write leaves the previous `path` untouched (the §7
+/// posture applied to host exports). False when the write or rename fails.
+bool atomic_write_file(const std::string& path, const std::string& contents);
 
 }  // namespace viprof::os

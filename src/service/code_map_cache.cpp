@@ -15,16 +15,21 @@ CodeMapCache::IndexPtr CodeMapCache::get(const std::string& session, hw::Pid pid
 }
 
 void CodeMapCache::publish(support::Telemetry& telemetry) {
-  std::uint64_t h, m, e;
+  std::uint64_t dh, dm, de;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    h = cache_.hits();
-    m = cache_.misses();
-    e = cache_.evictions();
+    dh = cache_.hits() - published_hits_;
+    dm = cache_.misses() - published_misses_;
+    de = cache_.evictions() - published_evictions_;
+    published_hits_ += dh;
+    published_misses_ += dm;
+    published_evictions_ += de;
   }
-  telemetry.gauge("service.code_map_cache.hits").set(static_cast<double>(h));
-  telemetry.gauge("service.code_map_cache.misses").set(static_cast<double>(m));
-  telemetry.gauge("service.code_map_cache.evictions").set(static_cast<double>(e));
+  // counter() registers on first use, so all three appear in a snapshot
+  // (and in `viprof_stat dump`) even when a bin is still zero.
+  telemetry.counter("service.map_cache.hits").inc(dh);
+  telemetry.counter("service.map_cache.misses").inc(dm);
+  telemetry.counter("service.map_cache.evictions").inc(de);
 }
 
 std::uint64_t CodeMapCache::hits() const {

@@ -34,8 +34,10 @@ class CodeMapCache {
   IndexPtr get(const std::string& session, hw::Pid pid, std::uint64_t ceiling,
                const Builder& build);
 
-  /// Mirrors hit/miss/eviction counts into `telemetry` under
-  /// service.code_map_cache.*; call after a batch (cheap, lock + 3 stores).
+  /// Mirrors hit/miss/eviction counts into `telemetry` as monotonic
+  /// counters under service.map_cache.* (each call adds the delta since the
+  /// last publish, so viprof_stat diff works across snapshots); call after
+  /// a batch (cheap, lock + 3 increments).
   void publish(support::Telemetry& telemetry);
 
   std::size_t capacity() const { return cache_.capacity(); }
@@ -46,6 +48,10 @@ class CodeMapCache {
  private:
   mutable std::mutex mu_;
   support::LruCache<std::string, IndexPtr> cache_;
+  // Counts already published, so publish() emits exact deltas (mu_).
+  std::uint64_t published_hits_ = 0;
+  std::uint64_t published_misses_ = 0;
+  std::uint64_t published_evictions_ = 0;
 };
 
 }  // namespace viprof::service

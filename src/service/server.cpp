@@ -7,6 +7,7 @@
 
 #include "core/code_map.hpp"
 #include "service/query.hpp"
+#include "store/profile_store.hpp"
 #include "support/format.hpp"
 
 namespace viprof::service {
@@ -496,6 +497,27 @@ bool ProfileServer::export_state(const std::string& dir, std::size_t top) {
   out.write("metrics.json", telemetry_.snapshot().to_json());
   out.export_to_directory(dir);
   return true;
+}
+
+std::size_t ProfileServer::flush_to_store(store::ProfileStore& store,
+                                          std::uint64_t tick) {
+  std::size_t ingested = 0;
+  for (const std::string& id : session_ids()) {
+    std::shared_ptr<ServerSession> s = session(id);
+    if (!s) continue;
+    ServerSession::FlushDelta delta = s->take_flush();
+    if (!delta.any) continue;
+    store::IntervalProfile iv;
+    iv.session = id;
+    iv.tick_lo = iv.tick_hi = tick;
+    iv.epoch_lo = delta.epoch_lo;
+    iv.epoch_hi = delta.epoch_hi;
+    iv.profile = std::move(delta.profile);
+    if (store.ingest(std::move(iv))) ++ingested;
+  }
+  telemetry_.counter("service.store.flushes").inc();
+  telemetry_.counter("service.store.intervals").inc(ingested);
+  return ingested;
 }
 
 }  // namespace viprof::service

@@ -32,6 +32,10 @@
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
+namespace viprof::store {
+class ProfileStore;
+}
+
 namespace viprof::service {
 
 enum class OverloadPolicy : std::uint8_t {
@@ -113,8 +117,16 @@ class ProfileServer {
   std::string snapshot();
 
   /// Writes <dir>/<session>/profile.txt, <dir>/service.snap and
-  /// <dir>/metrics.json. False when there are no sessions to export.
+  /// <dir>/metrics.json. False when there are no sessions to export. Each
+  /// file is published atomically (temp + rename), so a crash mid-export
+  /// never clobbers a previous snapshot.
   bool export_state(const std::string& dir, std::size_t top = 20);
+
+  /// Flushes each session's delta since the last flush into `store` as one
+  /// interval profile at tick [tick, tick]. Sessions are visited in id
+  /// order; merging a session's flush intervals in tick order reproduces
+  /// its full profile exactly (DESIGN.md §11). Returns intervals ingested.
+  std::size_t flush_to_store(store::ProfileStore& store, std::uint64_t tick);
 
   std::vector<std::string> session_ids() const;
   std::shared_ptr<ServerSession> session(const std::string& id) const;

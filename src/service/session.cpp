@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "core/code_map.hpp"
@@ -95,6 +96,28 @@ std::vector<core::CallArc> ServerSession::ranked_arcs() const {
   return graph_.ranked();
 }
 
+ServerSession::FlushDelta ServerSession::take_flush() {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  FlushDelta delta;
+  delta.any = pending_any_;
+  delta.records = pending_records_;
+  if (pending_epoch_lo_ <= pending_epoch_hi_) {
+    delta.epoch_lo = pending_epoch_lo_;
+    delta.epoch_hi = pending_epoch_hi_;
+  }
+  // Canonical event order, same as merged_profile(): differently-timed
+  // flushes of the same stream fold back to the same row order.
+  for (hw::EventKind event : hw::kAllEventKinds) {
+    delta.profile.merge(pending_event_[hw::event_index(event)]);
+    pending_event_[hw::event_index(event)] = core::Profile{};
+  }
+  pending_epoch_lo_ = ~0ull;
+  pending_epoch_hi_ = 0;
+  pending_records_ = 0;
+  pending_any_ = false;
+  return delta;
+}
+
 void ServerSession::apply(std::uint64_t apply_seq, BatchResult result) {
   std::lock_guard<std::mutex> lock(agg_mu_);
   reorder_.emplace(apply_seq, std::move(result));
@@ -103,7 +126,14 @@ void ServerSession::apply(std::uint64_t apply_seq, BatchResult result) {
     if (it == reorder_.end()) break;
     BatchResult& r = it->second;
     event_profiles_[hw::event_index(r.event)].merge(r.partial);
-    for (auto& [epoch, partial] : r.epoch_partial) epoch_profiles_[epoch].merge(partial);
+    pending_event_[hw::event_index(r.event)].merge(r.partial);
+    pending_records_ += r.records;
+    if (r.partial.row_count() != 0) pending_any_ = true;
+    for (auto& [epoch, partial] : r.epoch_partial) {
+      epoch_profiles_[epoch].merge(partial);
+      pending_epoch_lo_ = std::min(pending_epoch_lo_, epoch);
+      pending_epoch_hi_ = std::max(pending_epoch_hi_, epoch);
+    }
     for (const auto& [caller, callee] : r.arcs) graph_.add_resolved(caller, callee);
     stats_.records_ingested += r.records;
     ++stats_.batches_applied;

@@ -101,6 +101,20 @@ class ServerSession {
   /// Rolling cross-layer call graph (arc list copy).
   std::vector<core::CallArc> ranked_arcs() const;
 
+  /// Everything applied since the previous take_flush(): the increment the
+  /// persistent profile store ingests as one interval (DESIGN.md §11).
+  struct FlushDelta {
+    core::Profile profile;  // per-event deltas merged in canonical event order
+    std::uint64_t epoch_lo = 0, epoch_hi = 0;  // epochs seen in the delta
+    std::uint64_t records = 0;
+    bool any = false;
+  };
+
+  /// Returns and clears the accumulated delta. Batches are folded into the
+  /// pending delta in apply_seq order, so consecutive flush intervals
+  /// merged back together reproduce the session's full profile exactly.
+  FlushDelta take_flush();
+
   /// Copies of the per-epoch profiles (snapshot serialisation).
   std::map<std::uint64_t, core::Profile> epoch_profiles() const {
     std::lock_guard<std::mutex> lock(agg_mu_);
@@ -160,6 +174,12 @@ class ServerSession {
   std::map<std::uint64_t, core::Profile> epoch_profiles_;
   core::CallGraph graph_;
   SessionStats stats_;
+  // Flush-to-store accumulation (agg_mu_): per-event deltas since the last
+  // take_flush(), folded in apply order.
+  core::Profile pending_event_[hw::kEventKindCount];
+  std::uint64_t pending_epoch_lo_ = ~0ull, pending_epoch_hi_ = 0;  // lo>hi: none
+  std::uint64_t pending_records_ = 0;
+  bool pending_any_ = false;
 };
 
 }  // namespace viprof::service

@@ -1,0 +1,52 @@
+// The unit of storage in the profile store: one aggregated profile over a
+// tick interval of one session.
+//
+// The continuous-profiling service answers "what is hot right now"; the
+// store keeps history by persisting *interval profiles* — each one the
+// aggregate the server flushed for a (session, pid) over a tick range and
+// the epoch range that was live during it. Queries fold intervals back
+// together with Profile::merge, so the canonical fold order below is what
+// makes every answer byte-identical however the intervals are physically
+// arranged (unsealed, sealed, or compacted — DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/report.hpp"
+
+namespace viprof::store {
+
+struct IntervalProfile {
+  std::string session;
+  std::uint64_t pid = 0;
+  std::uint64_t tick_lo = 0, tick_hi = 0;    // inclusive tick range
+  std::uint64_t epoch_lo = 0, epoch_hi = 0;  // epochs live during the range
+  /// Store-assigned ingest sequence number; globally unique, so the
+  /// canonical order below is total. A compacted interval keeps the
+  /// smallest first_seq of its constituents.
+  std::uint64_t first_seq = 0;
+  core::Profile profile;
+};
+
+/// Two intervals with the same merge key may be folded into one by the
+/// compactor (Profile::merge in first_seq order).
+inline bool same_merge_key(const IntervalProfile& a, const IntervalProfile& b) {
+  return a.tick_lo == b.tick_lo && a.tick_hi == b.tick_hi && a.pid == b.pid &&
+         a.session == b.session;
+}
+
+/// Canonical query order: (session, pid, tick_lo, tick_hi, first_seq).
+/// first_seq is unique, so this is a strict total order; equal-merge-key
+/// intervals sort adjacent in ingest order, which is exactly the order the
+/// compactor folds them — hence queries over compacted segments reproduce
+/// the uncompacted fold byte for byte.
+inline bool canonical_less(const IntervalProfile& a, const IntervalProfile& b) {
+  if (a.session != b.session) return a.session < b.session;
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.tick_lo != b.tick_lo) return a.tick_lo < b.tick_lo;
+  if (a.tick_hi != b.tick_hi) return a.tick_hi < b.tick_hi;
+  return a.first_seq < b.first_seq;
+}
+
+}  // namespace viprof::store

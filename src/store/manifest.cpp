@@ -1,0 +1,102 @@
+#include "store/manifest.hpp"
+
+#include <cstdio>
+
+#include "support/format.hpp"
+
+namespace viprof::store {
+
+namespace {
+constexpr const char* kHeader = "viprof-store-manifest v1";
+}
+
+std::string Manifest::serialize() const {
+  std::string out = std::string(kHeader) + "\n";
+  out += "gen " + std::to_string(generation) + "\n";
+  out += "next-seq " + std::to_string(next_seq) + "\n";
+  out += "next-segment " + std::to_string(next_segment) + "\n";
+  out += "dropped " + std::to_string(dropped_intervals) + " " +
+         std::to_string(dropped_rows) + " " + std::to_string(dropped_segments) + "\n";
+  for (const ManifestSegment& s : segments) {
+    out += "segment " + std::to_string(s.id) + " " + std::to_string(s.sealed ? 1 : 0) +
+           " " + std::to_string(s.intervals) + " " + std::to_string(s.rows) + " " +
+           std::to_string(s.tick_lo) + " " + std::to_string(s.tick_hi) + " " +
+           std::to_string(s.seq_lo) + " " + std::to_string(s.seq_hi) + "\t" + s.name +
+           "\n";
+  }
+  for (const std::string& t : tombstones) out += "tombstone " + t + "\n";
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "crc %08x\n", support::fnv1a(out));
+  out += crc;
+  return out;
+}
+
+std::optional<Manifest> Manifest::parse(const std::string& text) {
+  const std::size_t crc_at = text.rfind("crc ");
+  if (crc_at == std::string::npos || (crc_at != 0 && text[crc_at - 1] != '\n'))
+    return std::nullopt;
+  unsigned crc_read = 0;
+  if (std::sscanf(text.c_str() + crc_at + 4, "%8x", &crc_read) != 1)
+    return std::nullopt;
+  if (support::fnv1a(text.data(), crc_at) != crc_read) return std::nullopt;
+
+  Manifest m;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < crc_at) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos || nl > crc_at) nl = crc_at;
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeader) return std::nullopt;
+      saw_header = true;
+    } else if (line.rfind("gen ", 0) == 0) {
+      m.generation = std::strtoull(line.c_str() + 4, nullptr, 10);
+    } else if (line.rfind("next-seq ", 0) == 0) {
+      m.next_seq = std::strtoull(line.c_str() + 9, nullptr, 10);
+    } else if (line.rfind("next-segment ", 0) == 0) {
+      m.next_segment = std::strtoull(line.c_str() + 13, nullptr, 10);
+    } else if (line.rfind("dropped ", 0) == 0) {
+      unsigned long long i = 0, r = 0, s = 0;
+      if (std::sscanf(line.c_str() + 8, "%llu %llu %llu", &i, &r, &s) != 3)
+        return std::nullopt;
+      m.dropped_intervals = i;
+      m.dropped_rows = r;
+      m.dropped_segments = s;
+    } else if (line.rfind("segment ", 0) == 0) {
+      const std::size_t tab = line.find('\t');
+      if (tab == std::string::npos) return std::nullopt;
+      unsigned long long id, sealed, ivs, rows, tlo, thi, slo, shi;
+      if (std::sscanf(line.c_str() + 8, "%llu %llu %llu %llu %llu %llu %llu %llu",
+                      &id, &sealed, &ivs, &rows, &tlo, &thi, &slo, &shi) != 8)
+        return std::nullopt;
+      ManifestSegment seg;
+      seg.name = line.substr(tab + 1);
+      seg.id = id;
+      seg.sealed = sealed != 0;
+      seg.intervals = ivs;
+      seg.rows = rows;
+      seg.tick_lo = tlo;
+      seg.tick_hi = thi;
+      seg.seq_lo = slo;
+      seg.seq_hi = shi;
+      m.segments.push_back(std::move(seg));
+    } else if (line.rfind("tombstone ", 0) == 0) {
+      m.tombstones.push_back(line.substr(10));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) return std::nullopt;
+  return m;
+}
+
+const ManifestSegment* Manifest::find(const std::string& name) const {
+  for (const ManifestSegment& s : segments)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace viprof::store

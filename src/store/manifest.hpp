@@ -1,0 +1,52 @@
+// The store manifest: the single source of truth for what is live.
+//
+// A crc-guarded text file listing every live segment (with its authoritative
+// interval/row counts once sealed), the allocation cursors, tombstones for
+// files awaiting deletion, and the cumulative retention-drop bins. It is
+// only ever replaced whole, via temp-file + Vfs::rename, so a reader sees
+// either the old generation or the new one — never a blend. Recovery
+// (DESIGN.md §11) replays it: segments it lists are loaded and salvaged,
+// tombstoned files are deleted, anything else in the segments directory is
+// an orphan from an interrupted compaction and is discarded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace viprof::store {
+
+struct ManifestSegment {
+  std::string name;           // path relative to the store root
+  std::uint64_t id = 0;
+  bool sealed = false;
+  /// Authoritative once sealed; 0 for the active segment (its true counts
+  /// are only knowable from the file itself).
+  std::uint64_t intervals = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t tick_lo = 0, tick_hi = 0;
+  std::uint64_t seq_lo = 0, seq_hi = 0;  // first_seq span (ingest order)
+};
+
+struct Manifest {
+  std::uint64_t generation = 0;
+  std::uint64_t next_seq = 1;      // next interval first_seq to assign
+  std::uint64_t next_segment = 0;  // next segment id to allocate
+  std::vector<ManifestSegment> segments;
+  std::vector<std::string> tombstones;
+  /// Cumulative retention-budget drops — aged-out data is counted forever,
+  /// never silently forgotten.
+  std::uint64_t dropped_intervals = 0;
+  std::uint64_t dropped_rows = 0;
+  std::uint64_t dropped_segments = 0;
+
+  std::string serialize() const;
+  /// nullopt on any damage: a manifest is all-or-nothing (the crc trailer
+  /// guards the whole file), unlike segments which salvage line by line.
+  static std::optional<Manifest> parse(const std::string& text);
+
+  const ManifestSegment* find(const std::string& name) const;
+};
+
+}  // namespace viprof::store

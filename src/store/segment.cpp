@@ -1,0 +1,253 @@
+#include "store/segment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/format.hpp"
+
+namespace viprof::store {
+
+namespace {
+
+std::optional<core::SampleDomain> domain_from(const char* name) {
+  using D = core::SampleDomain;
+  for (D d : {D::kHypervisor, D::kKernel, D::kImage, D::kBoot, D::kJit, D::kAnon,
+              D::kUnknown}) {
+    if (std::strcmp(name, core::to_string(d)) == 0) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SegmentWriter::SegmentWriter(std::uint64_t segment_id) : segment_id_(segment_id) {}
+
+std::string SegmentWriter::frame(const std::string& body) {
+  char crc[16];
+  std::snprintf(crc, sizeof crc, " %08x\n", support::fnv1a(body));
+  return body + crc;
+}
+
+std::string SegmentWriter::header() {
+  return frame(std::to_string(next_seq_++) + " H viprof-segment v1 " +
+               std::to_string(segment_id_));
+}
+
+std::uint64_t SegmentWriter::intern(const std::string& s, std::string& out) {
+  const auto [it, inserted] = dict_.try_emplace(s, next_dict_id_);
+  if (inserted) {
+    ++next_dict_id_;
+    out += frame(std::to_string(next_seq_++) + " D " + std::to_string(it->second) +
+                 "\t" + s);
+  }
+  return it->second;
+}
+
+std::string SegmentWriter::encode_interval(const IntervalProfile& iv) {
+  std::string out;
+  // Dictionary entries must precede the rows that reference them, so a
+  // truncated file never leaves a committed row pointing at nothing.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ids;
+  ids.reserve(iv.profile.row_count());
+  for (const core::ProfileRow& row : iv.profile.rows())
+    ids.emplace_back(intern(row.image, out), intern(row.symbol, out));
+
+  out += frame(std::to_string(next_seq_++) + " I " + std::to_string(iv.tick_lo) +
+               " " + std::to_string(iv.tick_hi) + " " + std::to_string(iv.epoch_lo) +
+               " " + std::to_string(iv.epoch_hi) + " " + std::to_string(iv.pid) +
+               " " + std::to_string(iv.first_seq) + " " +
+               std::to_string(iv.profile.row_count()) + "\t" + iv.session);
+
+  std::size_t i = 0;
+  for (const core::ProfileRow& row : iv.profile.rows()) {
+    std::string body = std::to_string(next_seq_++) + " R " +
+                       core::to_string(row.domain);
+    for (std::size_t e = 0; e < hw::kEventKindCount; ++e)
+      body += " " + std::to_string(row.counts[e]);
+    body += " " + std::to_string(ids[i].first) + " " + std::to_string(ids[i].second);
+    out += frame(body);
+    ++i;
+  }
+  return out;
+}
+
+std::string SegmentWriter::encode_seal(std::uint64_t interval_count) {
+  return frame(std::to_string(next_seq_++) + " S " + std::to_string(interval_count));
+}
+
+namespace {
+
+/// Decode state for the interval currently being assembled.
+struct PendingInterval {
+  bool open = false;
+  bool broken = false;       // unresolvable dictionary id
+  bool orphan = false;       // rows with no surviving interval record
+  std::uint64_t declared_rows = 0;
+  std::uint64_t rows_seen = 0;
+  IntervalProfile iv;
+};
+
+void finalize(PendingInterval& p, SegmentSalvage& out) {
+  if (!p.open) return;
+  if (p.orphan) {
+    // The interval record itself was lost; its observed rows are all we can
+    // count (the segment- or manifest-level totals give the exact figure).
+    ++out.intervals_dropped;
+    out.rows_dropped += p.rows_seen;
+  } else if (!p.broken && p.rows_seen == p.declared_rows) {
+    ++out.intervals_salvaged;
+    out.rows_salvaged += p.declared_rows;
+    out.intervals.push_back(std::move(p.iv));
+  } else {
+    ++out.intervals_dropped;
+    out.rows_dropped += p.declared_rows;
+  }
+  p = PendingInterval{};
+}
+
+}  // namespace
+
+SegmentSalvage read_segment(const std::string& contents) {
+  SegmentSalvage out;
+  std::unordered_map<std::uint64_t, std::string> dict;
+  PendingInterval pending;
+  std::uint64_t last_seq = 0;
+  bool any_seq = false;
+
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    std::size_t nl = contents.find('\n', pos);
+    const bool unterminated = nl == std::string::npos;
+    if (unterminated) nl = contents.size();
+    const std::string line = contents.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    // Verify the frame: `body SP crc8hex` (an unterminated tail is torn).
+    const std::size_t sp = line.rfind(' ');
+    unsigned crc_read = 0;
+    if (unterminated || sp == std::string::npos || line.size() - sp - 1 != 8 ||
+        std::sscanf(line.c_str() + sp + 1, "%8x", &crc_read) != 1 ||
+        support::fnv1a(line.data(), sp) != crc_read) {
+      ++out.lines_discarded;
+      continue;
+    }
+    const std::string body = line.substr(0, sp);
+
+    char* cur = nullptr;
+    const std::uint64_t seq = std::strtoull(body.c_str(), &cur, 10);
+    if (cur == body.c_str() || *cur != ' ') {
+      ++out.lines_discarded;
+      continue;
+    }
+    if (any_seq) {
+      if (seq <= last_seq) {
+        ++out.duplicate_lines;
+        continue;
+      }
+      out.gap_lines += seq - last_seq - 1;
+    }
+    last_seq = seq;
+    any_seq = true;
+    ++out.lines_valid;
+
+    const char type = cur[1];
+    if (type == '\0') {
+      ++out.lines_discarded;
+      --out.lines_valid;
+      continue;
+    }
+    const char* rest = cur + 2;  // " <payload>" or end of body
+    if (*rest == ' ') ++rest;
+
+    if (type == 'H') {
+      unsigned long long id = 0;
+      if (std::sscanf(rest, "viprof-segment v1 %llu", &id) == 1) {
+        out.header_ok = true;
+        out.segment_id = id;
+      } else {
+        ++out.lines_discarded;
+        --out.lines_valid;
+      }
+    } else if (type == 'D') {
+      char* end = nullptr;
+      const std::uint64_t id = std::strtoull(rest, &end, 10);
+      if (end == rest || *end != '\t') {
+        ++out.lines_discarded;
+        --out.lines_valid;
+        continue;
+      }
+      dict[id] = std::string(end + 1);
+    } else if (type == 'I') {
+      finalize(pending, out);
+      unsigned long long tlo, thi, elo, ehi, pid, fseq, rows;
+      const char* tab = std::strchr(rest, '\t');
+      if (tab == nullptr ||
+          std::sscanf(rest, "%llu %llu %llu %llu %llu %llu %llu", &tlo, &thi, &elo,
+                      &ehi, &pid, &fseq, &rows) != 7) {
+        ++out.lines_discarded;
+        --out.lines_valid;
+        continue;
+      }
+      pending.open = true;
+      pending.declared_rows = rows;
+      pending.iv.session = std::string(tab + 1);
+      pending.iv.tick_lo = tlo;
+      pending.iv.tick_hi = thi;
+      pending.iv.epoch_lo = elo;
+      pending.iv.epoch_hi = ehi;
+      pending.iv.pid = pid;
+      pending.iv.first_seq = fseq;
+    } else if (type == 'R') {
+      if (!pending.open) {
+        // Interval record lost but its rows survived: orphans, counted.
+        pending.open = true;
+        pending.orphan = true;
+      }
+      char domain_buf[16] = {};
+      unsigned long long c[hw::kEventKindCount] = {};
+      unsigned long long img = 0, sym = 0;
+      if (std::sscanf(rest, "%15s %llu %llu %llu %llu %llu %llu %llu", domain_buf,
+                      &c[0], &c[1], &c[2], &c[3], &c[4], &img, &sym) != 8) {
+        ++out.lines_discarded;
+        --out.lines_valid;
+        continue;
+      }
+      ++pending.rows_seen;
+      if (pending.orphan || pending.broken) continue;
+      const auto domain = domain_from(domain_buf);
+      const auto img_it = dict.find(img);
+      const auto sym_it = dict.find(sym);
+      if (!domain || img_it == dict.end() || sym_it == dict.end()) {
+        pending.broken = true;
+        continue;
+      }
+      core::Resolution res;
+      res.image = img_it->second;
+      res.symbol = sym_it->second;
+      res.domain = *domain;
+      for (std::size_t e = 0; e < hw::kEventKindCount; ++e) {
+        if (c[e] != 0)
+          pending.iv.profile.add(static_cast<hw::EventKind>(e), res, c[e]);
+      }
+    } else if (type == 'S') {
+      finalize(pending, out);
+      unsigned long long n = 0;
+      if (std::sscanf(rest, "%llu", &n) == 1) {
+        out.sealed = true;
+        out.seal_declared = n;
+      } else {
+        ++out.lines_discarded;
+        --out.lines_valid;
+      }
+    } else {
+      ++out.lines_discarded;
+      --out.lines_valid;
+    }
+  }
+  finalize(pending, out);
+  return out;
+}
+
+}  // namespace viprof::store

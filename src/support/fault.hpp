@@ -29,8 +29,10 @@ enum class FaultKind : std::uint8_t {
 /// Simulated processes the injector can kill at a chosen cycle. kClient is
 /// a streaming profile-service client; "killing" it models a disconnect
 /// mid-stream (the cycle argument counts frames sent, not cycles).
-enum class FaultComponent : std::uint8_t { kDaemon, kAgent, kClient };
-inline constexpr std::size_t kFaultComponentCount = 3;
+/// kCompactor is the profile store's write path (ingest/seal/compact); its
+/// cycle argument counts store kill checkpoints, not cycles.
+enum class FaultComponent : std::uint8_t { kDaemon, kAgent, kClient, kCompactor };
+inline constexpr std::size_t kFaultComponentCount = 4;
 
 /// One injection rule. A write matches when its path starts with
 /// `path_prefix`; the first `skip` matching writes pass through, then up to
@@ -104,7 +106,7 @@ class FaultInjector {
   Xoshiro256 rng_;
   std::uint64_t capacity_bytes_ = ~0ull;
   std::uint64_t bytes_accepted_ = 0;
-  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull, ~0ull};
+  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull, ~0ull, ~0ull};
   Stats stats_;
   Telemetry* telemetry_ = nullptr;
   Counter* ctr_writes_seen_ = nullptr;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "os/vfs.hpp"
+#include "support/fault.hpp"
 
 namespace viprof::os {
 namespace {
@@ -146,6 +147,102 @@ TEST(Vfs, ImportIntoPopulatedVfsOverwritesCollidingPaths) {
   dst.import_from_directory(dir.path.string());
   EXPECT_EQ(*dst.read("f"), "new");
   EXPECT_EQ(*dst.read("untouched"), "keep");
+}
+
+// --- rename / atomic publish / host sync ----------------------------------
+
+TEST(Vfs, RenameMovesAndReplacesAtomically) {
+  Vfs vfs;
+  vfs.write("a", "new");
+  vfs.write("b", "old");
+  EXPECT_EQ(vfs.rename("a", "b"), IoStatus::kOk);
+  EXPECT_FALSE(vfs.exists("a"));
+  EXPECT_EQ(*vfs.read("b"), "new");
+  EXPECT_EQ(vfs.file_count(), 1u);
+}
+
+TEST(Vfs, RenameMissingSourceFailsWithoutDamage) {
+  Vfs vfs;
+  vfs.write("b", "old");
+  EXPECT_EQ(vfs.rename("nope", "b"), IoStatus::kIoError);
+  EXPECT_EQ(*vfs.read("b"), "old");
+}
+
+TEST(Vfs, RenameOntoItselfIsANoOp) {
+  Vfs vfs;
+  vfs.write("f", "keep");
+  EXPECT_EQ(vfs.rename("f", "f"), IoStatus::kOk);
+  EXPECT_EQ(*vfs.read("f"), "keep");
+}
+
+TEST(Vfs, RenameFaultsFailWholeNeverTear) {
+  support::FaultInjector faults;
+  support::FaultRule rule;
+  rule.path_prefix = "dst";
+  rule.kind = support::FaultKind::kTornWrite;  // metadata cannot tear...
+  faults.add_rule(rule);
+  Vfs vfs;
+  vfs.write("src", "payload");
+  vfs.write("dst", "old");
+  vfs.set_fault_injector(&faults);  // armed only for the rename itself
+  EXPECT_EQ(vfs.rename("src", "dst"), IoStatus::kIoError);  // ...so: whole failure
+  EXPECT_EQ(*vfs.read("src"), "payload");  // source untouched
+  EXPECT_EQ(*vfs.read("dst"), "old");      // destination untouched
+}
+
+TEST(Vfs, AtomicWriteFilePublishesWholeAndCleansTemp) {
+  TempDir dir("atomicwrite");
+  const std::string target = (dir.path / "service.snap").string();
+  ASSERT_TRUE(atomic_write_file(target, "v1 contents\n"));
+  EXPECT_EQ(std::filesystem::file_size(target), 12u);
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+
+  // Replacing is equally atomic; the temp never survives.
+  ASSERT_TRUE(atomic_write_file(target, "v2\n"));
+  EXPECT_EQ(std::filesystem::file_size(target), 3u);
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(Vfs, AtomicWriteFileFailureLeavesOldContents) {
+  TempDir dir("atomicfail");
+  const std::string target = (dir.path / "sub" / "f").string();
+  EXPECT_FALSE(atomic_write_file(target, "x"));  // parent dir missing
+  EXPECT_FALSE(std::filesystem::exists(target));
+}
+
+TEST(Vfs, SyncToDirectoryRemovesRetiredFiles) {
+  TempDir dir("sync");
+  Vfs vfs;
+  vfs.write("segments/seg-000000.vseg", "a");
+  vfs.write("segments/seg-000001.vseg", "b");
+  vfs.write("MANIFEST", "m1");
+  vfs.sync_to_directory(dir.path.string());
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "segments/seg-000000.vseg"));
+
+  // Compaction: both inputs retired, one output adopted, manifest swapped.
+  vfs.remove("segments/seg-000000.vseg");
+  vfs.remove("segments/seg-000001.vseg");
+  vfs.write("segments/seg-000002.vseg", "ab");
+  vfs.write("MANIFEST", "m2");
+  vfs.sync_to_directory(dir.path.string());
+
+  EXPECT_FALSE(std::filesystem::exists(dir.path / "segments/seg-000000.vseg"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path / "segments/seg-000001.vseg"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "segments/seg-000002.vseg"));
+
+  Vfs back;
+  back.import_from_directory(dir.path.string());
+  EXPECT_EQ(back.file_count(), 2u);
+  EXPECT_EQ(*back.read("MANIFEST"), "m2");
+}
+
+TEST(Vfs, SyncToMissingDirectoryJustExports) {
+  TempDir dir("syncfresh");
+  std::filesystem::remove_all(dir.path);  // sync must create it
+  Vfs vfs;
+  vfs.write("f", "x");
+  vfs.sync_to_directory(dir.path.string());
+  EXPECT_TRUE(std::filesystem::is_regular_file(dir.path / "f"));
 }
 
 }  // namespace

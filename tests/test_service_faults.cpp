@@ -5,10 +5,14 @@
 // and never fatal — the server keeps serving every other byte.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "service/client.hpp"
+#include "service/query.hpp"
 #include "service/scenario.hpp"
 #include "service/server.hpp"
 #include "support/fault.hpp"
@@ -155,6 +159,54 @@ TEST(ServiceFaults, QueueOverflowDropsAreCounted) {
   const auto snap = server.telemetry().snapshot();
   EXPECT_EQ(snap.counter("service.batches.dropped"), 3u);
   EXPECT_EQ(snap.counter("service.records.dropped"), stats.records_dropped);
+}
+
+// A crash in the middle of `viprof_serve --export` must never leave a
+// reader-visible half-written snapshot: the export publishes every file
+// via temp-write + rename, so the worst a kill can leave behind is a stale
+// *.tmp next to the previous, fully intact version.
+TEST(ServiceFaults, ExportCrashMidPublishLeavesOldSnapshotIntact) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "viprof_service_faults_export";
+  fs::remove_all(dir);
+
+  auto scenario = record_scenario(small_scenario());
+  ProfileServer server;
+  {
+    auto conn = server.connect("s");
+    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{128, nullptr});
+    ASSERT_TRUE(client.run());
+  }
+  server.drain();
+  ASSERT_TRUE(server.export_state(dir.string(), 10));
+
+  const auto read_file = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string v1 = read_file(dir / "service.snap");
+  ASSERT_TRUE(ServiceSnapshot::parse(v1).has_value());
+
+  // Simulate the kill landing between temp-write and rename: the torn temp
+  // is on disk, the publish never happened.
+  {
+    std::ofstream torn(dir / "service.snap.tmp", std::ios::binary);
+    torn << v1.substr(0, v1.size() / 3) << "XXXX torn";
+  }
+  const std::string after_crash = read_file(dir / "service.snap");
+  EXPECT_EQ(after_crash, v1);  // readers still see the old snapshot, whole
+  ASSERT_TRUE(ServiceSnapshot::parse(after_crash).has_value());
+
+  // The next export publishes over both the snapshot and the stale temp.
+  ASSERT_TRUE(server.export_state(dir.string(), 10));
+  const std::string v2 = read_file(dir / "service.snap");
+  ASSERT_TRUE(ServiceSnapshot::parse(v2).has_value());
+  EXPECT_FALSE(fs::exists(dir / "service.snap.tmp"));
+
+  fs::remove_all(dir);
 }
 
 }  // namespace

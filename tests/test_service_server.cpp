@@ -219,9 +219,10 @@ TEST(ProfileServer, CodeMapCacheIsSharedAndBounded) {
   (void)server.code_map_cache().get("probe", 999, 0, probe);  // miss
   (void)server.code_map_cache().get("probe", 999, 0, probe);  // hit
   EXPECT_EQ(server.code_map_cache().hits(), hits_before + 1);
-  // Metrics are published to the server's registry.
+  // Metrics are published to the server's registry as monotonic counters.
   const auto snap = server.telemetry().snapshot();
-  EXPECT_GT(snap.gauge("service.code_map_cache.misses"), 0.0);
+  EXPECT_GT(snap.counter("service.map_cache.misses"), 0u);
+  EXPECT_GT(snap.counter("service.map_cache.evictions"), 0u);
   // A tiny cache costs rebuilds, never correctness.
   EXPECT_EQ(server.session_report("s", 20, kEvents),
             offline_render(scenario->vfs(), kEvents, 20));

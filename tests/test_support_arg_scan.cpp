@@ -1,0 +1,104 @@
+// The shared CLI scanner behind every viprof_* tool: flag matching,
+// value consumption, and the one usage convention the tools converged on —
+// bad usage prints the usage text to stderr and exits kExitUsage (3).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/arg_scan.hpp"
+
+namespace viprof::support {
+namespace {
+
+/// Owned argv for a scanner (ArgScan keeps pointers, so the storage must
+/// outlive it).
+struct Argv {
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+
+  Argv(std::initializer_list<const char*> args) {
+    for (const char* a : args) store.emplace_back(a);
+    for (std::string& s : store) ptrs.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+};
+
+constexpr const char* kUsage = "usage: test-tool --in DIR [--top N]\n";
+
+TEST(ArgScan, ScansFlagsAndValuesInOrder) {
+  Argv a({"tool", "--in", "some/dir", "--top", "7", "--quiet"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+
+  std::string in;
+  std::uint64_t top = 0;
+  bool quiet = false;
+  while (args.next()) {
+    if (args.is("--in")) in = args.value();
+    else if (args.is("--top")) top = args.value_u64();
+    else if (args.is("--quiet")) quiet = true;
+    else args.fail_unknown();
+  }
+  EXPECT_EQ(in, "some/dir");
+  EXPECT_EQ(top, 7u);
+  EXPECT_TRUE(quiet);
+}
+
+TEST(ArgScan, PositionalArgumentsReadableViaArg) {
+  Argv a({"tool", "top", "5"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  ASSERT_TRUE(args.next());
+  EXPECT_STREQ(args.arg(), "top");
+  EXPECT_TRUE(args.is("top"));
+  EXPECT_FALSE(args.is("bottom"));
+  ASSERT_TRUE(args.next());
+  EXPECT_STREQ(args.arg(), "5");
+  EXPECT_FALSE(args.next());  // exhausted
+  // An empty command line (argv[0] only) yields nothing at all.
+  Argv bare({"tool"});
+  ArgScan none(bare.argc(), bare.argv(), kUsage);
+  EXPECT_FALSE(none.next());
+}
+
+TEST(ArgScan, ValueU64ParsesUnsignedRange) {
+  Argv a({"tool", "--n", "18446744073709551615", "--zero", "0", "--junk", "xyz"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  ASSERT_TRUE(args.next());
+  EXPECT_EQ(args.value_u64(), ~0ull);
+  ASSERT_TRUE(args.next());
+  EXPECT_EQ(args.value_u64(), 0u);
+  ASSERT_TRUE(args.next());
+  EXPECT_EQ(args.value_u64(), 0u);  // strtoull: non-numeric reads as 0
+}
+
+TEST(ArgScan, ExitUsageConstantMatchesToolConvention) {
+  // viprof_fsck's verdicts own exit codes 0..2, which pinned usage at 3.
+  EXPECT_EQ(kExitUsage, 3);
+}
+
+TEST(ArgScanDeathTest, MissingValueExitsUsage) {
+  Argv a({"tool", "--in"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  ASSERT_TRUE(args.next());
+  EXPECT_EXIT({ (void)args.value(); }, ::testing::ExitedWithCode(kExitUsage),
+              "--in needs a value");
+}
+
+TEST(ArgScanDeathTest, UnknownFlagExitsUsageWithDiagnostic) {
+  Argv a({"tool", "--frobnicate"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  ASSERT_TRUE(args.next());
+  EXPECT_EXIT(args.fail_unknown(), ::testing::ExitedWithCode(kExitUsage),
+              "unknown argument: --frobnicate");
+}
+
+TEST(ArgScanDeathTest, FailPrintsTheUsageText) {
+  Argv a({"tool"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  EXPECT_EXIT(args.fail(), ::testing::ExitedWithCode(kExitUsage),
+              "usage: test-tool --in DIR");
+}
+
+}  // namespace
+}  // namespace viprof::support

@@ -2,12 +2,17 @@
 // session directory (the e2fsck analogue for a sample tree).
 //
 //   viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet] [--metrics]
+//   viprof_fsck --in DIR --store [--out DIR] [--quiet]
 //
 // Thin CLI over core::fsck_tree: scans every per-event sample log (record
 // framing: sequence numbers + checksums) and every epoch code map (entry
 // count + checksum trailer), reports findings through the self-telemetry
 // registry (fsck.* counters; --metrics dumps them), and — with --out —
 // emits the recoverable subset.
+//
+// --store switches to the persistent profile store layout (DESIGN.md §11):
+// the crc-guarded manifest and §7-framed segment files are checked through
+// store::ProfileStore::fsck, and --out writes the repaired store.
 //
 // Exit status mirrors the verdict:
 //   0  clean          every artifact verified end to end
@@ -22,6 +27,7 @@
 
 #include "core/fsck.hpp"
 #include "os/vfs.hpp"
+#include "store/profile_store.hpp"
 #include "support/telemetry.hpp"
 
 namespace {
@@ -30,9 +36,12 @@ void usage() {
   std::fprintf(stderr,
                "usage: viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet]\n"
                "                   [--metrics]\n"
+               "       viprof_fsck --in DIR --store [--out DIR] [--quiet]\n"
                "  --in DIR        exported session directory to check\n"
                "  --out DIR       write the recoverable subset here\n"
                "  --samples NAME  sample subtree inside DIR (default: samples)\n"
+               "  --store         DIR is a persistent profile store (manifest +\n"
+               "                  segment files) rather than a sample tree\n"
                "  --quiet         only print the final verdict\n"
                "  --metrics       dump the fsck.* telemetry registry after the scan\n");
   std::exit(viprof::core::kFsckExitUsage);
@@ -48,6 +57,7 @@ int main(int argc, char** argv) {
   core::FsckOptions opts;
   bool quiet = false;
   bool metrics = false;
+  bool store_layout = false;
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -59,6 +69,7 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--in")) in_dir = need("--in");
     else if (!std::strcmp(argv[i], "--out")) out_dir = need("--out");
     else if (!std::strcmp(argv[i], "--samples")) opts.samples_dir = need("--samples");
+    else if (!std::strcmp(argv[i], "--store")) store_layout = true;
     else if (!std::strcmp(argv[i], "--quiet")) quiet = true;
     else if (!std::strcmp(argv[i], "--metrics")) metrics = true;
     else usage();
@@ -74,6 +85,22 @@ int main(int argc, char** argv) {
   if (vfs.file_count() == 0) {
     std::fprintf(stderr, "viprof_fsck: nothing under %s\n", in_dir.c_str());
     return core::kFsckExitUsage;
+  }
+
+  if (store_layout) {
+    store::StoreConfig config;
+    config.root = "";  // --in DIR is the store root
+    store::ProfileStore st(vfs, config);
+    // Without --out this is a read-only dry run; with --out, open() applies
+    // the repairs inside the Vfs and the repaired store is exported whole.
+    const store::StoreRecovery rec = out_dir.empty() ? st.fsck() : st.open();
+    const bool recovered =
+        !out_dir.empty() && rec.verdict != core::FsckVerdict::kUnrecoverable;
+    if (recovered) vfs.export_to_directory(out_dir);
+    if (!quiet && !rec.details.empty()) std::fputs(rec.details.c_str(), stdout);
+    std::printf("%s%s\n", rec.summary.c_str(),
+                recovered ? (", repaired store written to " + out_dir).c_str() : "");
+    return static_cast<int>(rec.verdict);
   }
 
   os::Vfs out;

@@ -4,22 +4,34 @@
 //
 //   viprof_query sessions    --snap FILE|DIR
 //   viprof_query top N       --snap FILE|DIR [--session S] [--event E]
+//   viprof_query top N       --store DIR [--from T] [--to T] [--session S] [--event E]
 //   viprof_query since-epoch K --snap FILE|DIR [--session S] [--top N]
 //   viprof_query diff --before FILE|DIR --after FILE|DIR\n
+//                     [--session S] [--event E] [--top N]
+//   viprof_query diff --store DIR --before LO[:HI] --after LO[:HI]
 //                     [--session S] [--event E] [--top N]
 //
 // FILE|DIR is a viprof-snapshot v1 file, or a directory containing
 // service.snap (what --export writes). The snapshot carries its own
 // FNV-1a trailer; a damaged file is rejected, never half-parsed.
 //
-// Exit status: 0 ok, 2 load errors (missing/corrupt snapshot), 3 usage.
+// --store DIR answers the same questions from a persistent profile store
+// (DESIGN.md §11) instead of a single snapshot: top folds every interval
+// in the inclusive tick window, diff compares two tick windows. The full
+// store surface (ingest, compaction, fsck, series) lives in viprof_store.
+//
+// Exit status: 0 ok, 2 load errors (missing/corrupt snapshot or store),
+// 3 usage.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "os/vfs.hpp"
 #include "service/query.hpp"
+#include "store/profile_store.hpp"
 #include "support/arg_scan.hpp"
 
 namespace {
@@ -29,11 +41,16 @@ using namespace viprof;
 constexpr const char* kUsage =
     "usage: viprof_query sessions --snap FILE|DIR\n"
     "       viprof_query top N --snap FILE|DIR [--session S] [--event E]\n"
+    "       viprof_query top N --store DIR [--from T] [--to T] [--session S]\n"
+    "                          [--event E]\n"
     "       viprof_query since-epoch K --snap FILE|DIR [--session S] [--top N]\n"
     "       viprof_query diff --before FILE|DIR --after FILE|DIR\n"
     "                         [--session S] [--event E] [--top N]\n"
+    "       viprof_query diff --store DIR --before LO[:HI] --after LO[:HI]\n"
+    "                         [--session S] [--event E] [--top N]\n"
     "FILE|DIR: a viprof-snapshot v1 file, or a directory holding\n"
     "service.snap (as written by viprof_serve --export).\n"
+    "--store DIR: a persistent profile store; windows are inclusive ticks.\n"
     "events: time (GLOBAL_POWER_EVENTS), dmiss (BSQ_CACHE_REFERENCE)\n";
 
 service::ServiceSnapshot load_or_die(const std::string& arg) {
@@ -53,6 +70,49 @@ service::ServiceSnapshot load_or_die(const std::string& arg) {
     std::exit(2);
   }
   return *std::move(snap);
+}
+
+/// Imports and opens a store directory; exits 2 when it is missing or
+/// unrecoverable. Recovery repairs stay inside the Vfs — queries never
+/// write to the host directory.
+std::unique_ptr<store::ProfileStore> open_store_or_die(os::Vfs& vfs,
+                                                       const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "viprof_query: %s is not a directory\n", dir.c_str());
+    std::exit(2);
+  }
+  vfs.import_from_directory(dir);
+  if (vfs.file_count() == 0) {
+    std::fprintf(stderr, "viprof_query: nothing under %s\n", dir.c_str());
+    std::exit(2);
+  }
+  store::StoreConfig config;
+  config.root = "";  // the host directory is the store root
+  auto st = std::make_unique<store::ProfileStore>(vfs, config);
+  const store::StoreRecovery rec = st->open();
+  if (rec.verdict == core::FsckVerdict::kUnrecoverable) {
+    std::fprintf(stderr, "viprof_query: %s\n", rec.summary.c_str());
+    std::exit(2);
+  }
+  return st;
+}
+
+/// "LO" or "LO:HI" (inclusive ticks) into a store window.
+store::WindowSpec window_or_die(const std::string& spec, const std::string& session,
+                                const char* usage) {
+  store::WindowSpec w;
+  w.session = session;
+  const std::size_t colon = spec.find(':');
+  char* end = nullptr;
+  w.tick_lo = std::strtoull(spec.c_str(), &end, 10);
+  if (end == spec.c_str()) {
+    std::fprintf(stderr, "viprof_query: bad window %s\n%s", spec.c_str(), usage);
+    std::exit(support::kExitUsage);
+  }
+  w.tick_hi = colon == std::string::npos
+                  ? w.tick_lo
+                  : std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+  return w;
 }
 
 hw::EventKind event_or_die(const std::string& name) {
@@ -79,12 +139,16 @@ int main(int argc, char** argv) {
   }
   if ((cmd == "top" || cmd == "since-epoch") && !has_n) args.fail();
 
-  std::string snap_arg, before_arg, after_arg, session, event_name;
+  std::string snap_arg, before_arg, after_arg, session, event_name, store_dir;
+  std::uint64_t from = 0, to = ~0ull;
   std::size_t top = 20;
   while (args.next()) {
     if (args.is("--snap")) snap_arg = args.value();
+    else if (args.is("--store")) store_dir = args.value();
     else if (args.is("--before")) before_arg = args.value();
     else if (args.is("--after")) after_arg = args.value();
+    else if (args.is("--from")) from = args.value_u64();
+    else if (args.is("--to")) to = args.value_u64();
     else if (args.is("--session")) session = args.value();
     else if (args.is("--event")) event_name = args.value();
     else if (args.is("--top")) top = args.value_u64();
@@ -97,6 +161,15 @@ int main(int argc, char** argv) {
   if (cmd == "sessions") {
     if (snap_arg.empty()) args.fail();
     std::printf("%s", service::render_sessions(load_or_die(snap_arg)).c_str());
+    return 0;
+  }
+
+  if (cmd == "top" && !store_dir.empty()) {
+    os::Vfs vfs;
+    auto st = open_store_or_die(vfs, store_dir);
+    std::vector<hw::EventKind> events = report_events;
+    if (!event_name.empty()) events = {event_or_die(event_name)};
+    std::printf("%s", st->render_top({from, to, session}, events, n).c_str());
     return 0;
   }
 
@@ -127,6 +200,20 @@ int main(int argc, char** argv) {
       profile.merge(service::profile_since(s, n));
     }
     std::printf("%s", profile.render(report_events, top).c_str());
+    return 0;
+  }
+
+  if (cmd == "diff" && !store_dir.empty()) {
+    if (before_arg.empty() || after_arg.empty()) args.fail();
+    os::Vfs vfs;
+    auto st = open_store_or_die(vfs, store_dir);
+    const hw::EventKind event = event_name.empty()
+                                    ? hw::EventKind::kGlobalPowerEvents
+                                    : event_or_die(event_name);
+    std::printf("%s", st->render_diff(window_or_die(before_arg, session, kUsage),
+                                      window_or_die(after_arg, session, kUsage),
+                                      event, top)
+                          .c_str());
     return 0;
   }
 
