@@ -3,12 +3,12 @@
 #
 # 1. Configure + build the default (RelWithDebInfo) tree.
 # 2. Run the whole ctest suite — this includes the `faults`, `telemetry`,
-#    `resolve`, `service` and `store` labels — and then each of those labels
-#    once more by name, so a label that silently lost its tests fails the
-#    pipeline.
-# 3. Smoke-run the resolution, service and store benchmarks (VIPROF_QUICK)
-#    and check that they leave non-empty BENCH_resolve.json /
-#    BENCH_service.json / BENCH_store.json behind.
+#    `resolve`, `service`, `store` and `fleet` labels — and then each of
+#    those labels once more by name, so a label that silently lost its tests
+#    fails the pipeline.
+# 3. Smoke-run the resolution, service, store and fleet benchmarks
+#    (VIPROF_QUICK) and check that they leave non-empty BENCH_resolve.json /
+#    BENCH_service.json / BENCH_store.json / BENCH_fleet.json behind.
 # 4. Rebuild one sanitizer configuration (VIPROF_SANITIZE=thread by default;
 #    set VIPROF_SANITIZE=address to switch) and run the concurrency-sensitive
 #    labelled suites under it.
@@ -40,17 +40,20 @@ run_label "$PREFIX" telemetry
 run_label "$PREFIX" resolve
 run_label "$PREFIX" service
 run_label "$PREFIX" store
+run_label "$PREFIX" fleet
 
-echo "=== [2/4] benchmark smoke (BENCH_resolve/service/store.json) ==="
+echo "=== [2/4] benchmark smoke (BENCH_resolve/service/store/fleet.json) ==="
 (cd "$PREFIX" &&
- rm -f BENCH_resolve.json BENCH_service.json BENCH_store.json &&
+ rm -f BENCH_resolve.json BENCH_service.json BENCH_store.json BENCH_fleet.json &&
  VIPROF_QUICK=1 ./bench/micro_resolve \
    --benchmark_filter='BM_CodeMapResolveBackward|BM_RvmMapParse' &&
  test -s BENCH_resolve.json &&
  VIPROF_QUICK=1 ./bench/micro_service &&
  test -s BENCH_service.json &&
  VIPROF_QUICK=1 ./bench/micro_store &&
- test -s BENCH_store.json)
+ test -s BENCH_store.json &&
+ VIPROF_QUICK=1 ./bench/micro_fleet &&
+ test -s BENCH_fleet.json)
 
 echo "=== [3/4] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
 SAN_DIR="$PREFIX-$SANITIZER"
@@ -63,5 +66,6 @@ run_label "$SAN_DIR" telemetry
 run_label "$SAN_DIR" resolve
 run_label "$SAN_DIR" service
 run_label "$SAN_DIR" store
+run_label "$SAN_DIR" fleet
 
 echo "ci.sh: all green"

@@ -1,5 +1,6 @@
 #include "core/agent.hpp"
 
+#include "support/backoff.hpp"
 #include "support/check.hpp"
 
 namespace viprof::core {
@@ -145,11 +146,17 @@ hw::Cycles VmAgent::write_map(std::uint64_t epoch) {
   if (st == os::IoStatus::kIoError || st == os::IoStatus::kNoSpace) {
     ++stats_.map_write_errors;
     tele_map_errors_->inc();
-    for (std::size_t attempt = 0; attempt < config_.map_write_retries &&
-                                  (st == os::IoStatus::kIoError ||
-                                   st == os::IoStatus::kNoSpace);
-         ++attempt) {
-      cost += config_.map_retry_cost;
+    // Shared retry policy (support::Backoff): flat delays (multiplier 1.0),
+    // no jitter — the agent has always retried at a fixed per-attempt cost.
+    support::BackoffConfig policy;
+    policy.initial = config_.map_retry_cost;
+    policy.multiplier = 1.0;
+    policy.max_attempts = config_.map_write_retries;
+    support::Backoff backoff(policy);
+    while (st == os::IoStatus::kIoError || st == os::IoStatus::kNoSpace) {
+      const auto delay = backoff.next();
+      if (!delay) break;
+      cost += *delay;
       ++stats_.map_write_retries;
       st = machine_->vfs().write(path, blob);
     }

@@ -1,5 +1,6 @@
 #include "core/daemon.hpp"
 
+#include "support/backoff.hpp"
 #include "support/check.hpp"
 
 namespace viprof::core {
@@ -95,14 +96,21 @@ hw::Cycles Daemon::flush_logs() {
   LogFlushResult res = log_.flush();
   account(res);
 
+  // Shared retry policy (support::Backoff): doubling delays, no jitter —
+  // the exact schedule the daemon has always used, now driven by the one
+  // tested implementation every retry path shares.
+  support::BackoffConfig policy;
+  policy.initial = config_.flush_retry_cost;
+  policy.multiplier = 2.0;
+  policy.max_attempts = config_.flush_retries;
+  support::Backoff backoff(policy);
   hw::Cycles retry_cost = 0;
-  hw::Cycles backoff = config_.flush_retry_cost;
-  for (std::size_t attempt = 0; !res.fully_flushed && attempt < config_.flush_retries;
-       ++attempt) {
+  while (!res.fully_flushed) {
+    const auto delay = backoff.next();
+    if (!delay) break;
     // The daemon sleeps out the backoff and re-issues the write; both the
     // wait and the rewrite are charged as daemon time.
-    retry_cost += backoff;
-    backoff *= 2;
+    retry_cost += *delay;
     ++stats_.flush_retries;
     tele_flush_retries_->inc();
     res = log_.flush();

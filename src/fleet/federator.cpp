@@ -1,0 +1,243 @@
+#include "fleet/federator.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "hw/event.hpp"
+#include "support/format.hpp"
+
+namespace viprof::fleet {
+
+namespace {
+
+/// The canonical report events (what viprof_report prints).
+const std::vector<hw::EventKind> kReportEvents = {hw::EventKind::kGlobalPowerEvents,
+                                                  hw::EventKind::kBsqCacheReference};
+
+std::optional<hw::EventKind> event_from(const std::string& name) {
+  for (hw::EventKind e : hw::kAllEventKinds)
+    if (name == hw::to_string(e)) return e;
+  if (name == "time") return hw::EventKind::kGlobalPowerEvents;
+  if (name == "dmiss") return hw::EventKind::kBsqCacheReference;
+  return std::nullopt;
+}
+
+std::vector<store::ProfileStore::StoredSession> gather_sessions(
+    const std::vector<store::ProfileStore*>& stores) {
+  std::map<std::string, store::ProfileStore::StoredSession> by_id;
+  for (store::ProfileStore* s : stores) {
+    for (store::ProfileStore::StoredSession& ss : s->sessions()) {
+      auto [it, fresh] = by_id.emplace(ss.session, ss);
+      if (!fresh) {  // defensive: a session lives in exactly one partition
+        it->second.intervals += ss.intervals;
+        it->second.records += ss.records;
+      }
+    }
+  }
+  std::vector<store::ProfileStore::StoredSession> out;
+  out.reserve(by_id.size());
+  for (auto& [id, ss] : by_id) out.push_back(std::move(ss));
+  return out;
+}
+
+core::Profile gather_profile(const std::vector<store::ProfileStore*>& stores,
+                             const std::string& id) {
+  store::WindowSpec w;
+  w.session = id;
+  core::Profile out;
+  for (store::ProfileStore* s : stores) out.merge(s->window_profile(w));
+  return out;
+}
+
+core::Profile gather_merged(const std::vector<store::ProfileStore*>& stores) {
+  // Globally ascending session-id order — exactly the fold order of a
+  // single server's session map, the byte-identity anchor.
+  core::Profile out;
+  for (const store::ProfileStore::StoredSession& ss : gather_sessions(stores))
+    out.merge(gather_profile(stores, ss.session));
+  return out;
+}
+
+std::string stored_sessions_table(const std::vector<store::ProfileStore*>& stores) {
+  support::TextTable table({"Session", "Records", "Intervals"});
+  for (const store::ProfileStore::StoredSession& ss : gather_sessions(stores))
+    table.add_row({ss.session, std::to_string(ss.records),
+                   std::to_string(ss.intervals)});
+  return table.render();
+}
+
+/// Shared "top"/"diff" verb handling; `sessions_text` is the
+/// caller-specific "sessions" answer.
+std::string dispatch_query(const std::vector<store::ProfileStore*>& stores,
+                           const std::string& text,
+                           const std::string& sessions_text) {
+  std::istringstream in(text);
+  std::string verb;
+  in >> verb;
+  if (verb == "sessions") return sessions_text;
+  if (verb == "top") {
+    std::size_t top = 20;
+    in >> top;
+    std::string session_id, event_name, word;
+    while (in >> word) {
+      if (word == "--session") in >> session_id;
+      else if (word == "--event") in >> event_name;
+      else if (word == "--top") in >> top;
+    }
+    std::vector<hw::EventKind> events = kReportEvents;
+    if (!event_name.empty()) {
+      const auto e = event_from(event_name);
+      if (!e) return "error: unknown event: " + event_name + "\n";
+      events = {*e};
+    }
+    const core::Profile merged = session_id.empty()
+                                     ? gather_merged(stores)
+                                     : gather_profile(stores, session_id);
+    return merged.render(events, top);
+  }
+  if (verb == "diff") {
+    std::string before, after;
+    in >> before >> after;
+    if (before.empty() || after.empty())
+      return "error: diff needs two session ids\n";
+    std::size_t top = 20;
+    hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
+    std::string word;
+    while (in >> word) {
+      if (word == "--top") in >> top;
+      else if (word == "--event") {
+        std::string event_name;
+        in >> event_name;
+        const auto e = event_from(event_name);
+        if (!e) return "error: unknown event: " + event_name + "\n";
+        event = *e;
+      }
+    }
+    return core::render_diff(gather_profile(stores, before),
+                             gather_profile(stores, after), event, top);
+  }
+  return "error: unknown query: " + text + "\n";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- federator
+
+std::vector<store::ProfileStore*> Federator::partitions() const {
+  std::vector<store::ProfileStore*> out;
+  for (const std::string& name : router_->shard_names())
+    if (store::ProfileStore* s = router_->partition(name)) out.push_back(s);
+  return out;
+}
+
+std::vector<store::ProfileStore::StoredSession> Federator::sessions() const {
+  return gather_sessions(partitions());
+}
+
+core::Profile Federator::session_profile(const std::string& id) const {
+  return gather_profile(partitions(), id);
+}
+
+core::Profile Federator::merged_profile() const {
+  return gather_merged(partitions());
+}
+
+std::string Federator::render_top(const std::vector<hw::EventKind>& events,
+                                  std::size_t top_n) const {
+  return merged_profile().render(events, top_n);
+}
+
+std::string Federator::sessions_table() const {
+  // Scatter to every live shard, gather rows keyed by session id: the map
+  // re-sorts into the exact row order a single server's session map walks.
+  std::map<std::string, std::vector<std::string>> rows;
+  for (const std::string& name : router_->shard_names()) {
+    if (!router_->alive(name)) continue;
+    service::ProfileServer* server = router_->server(name);
+    if (server == nullptr) continue;
+    for (const std::string& id : server->session_ids()) {
+      const std::shared_ptr<service::ServerSession> s = server->session(id);
+      if (!s) continue;
+      const service::SessionStats st = s->stats();
+      rows[id] = {id,
+                  std::to_string(st.records_ingested),
+                  std::to_string(st.batches_applied),
+                  std::to_string(st.batches_dropped),
+                  std::to_string(st.torn_frames),
+                  std::to_string(st.registrations),
+                  st.ended ? "ended" : "streaming"};
+    }
+  }
+  support::TextTable table(
+      {"Session", "Records", "Batches", "Dropped", "Torn", "VMs", "State"});
+  for (const auto& [id, row] : rows) table.add_row(row);
+  return table.render();
+}
+
+std::string Federator::render_diff(const std::string& before_session,
+                                   const std::string& after_session,
+                                   hw::EventKind event, std::size_t top_n) const {
+  return core::render_diff(session_profile(before_session),
+                           session_profile(after_session), event, top_n);
+}
+
+std::string Federator::query(const std::string& text) const {
+  return dispatch_query(partitions(), text, sessions_table());
+}
+
+// ------------------------------------------------------------ offline fleet
+
+std::optional<OfflineFleet> OfflineFleet::open(os::Vfs& fleet) {
+  const std::optional<std::string> bytes = fleet.read(store::kFleetManifestPath);
+  if (!bytes) return std::nullopt;
+  std::optional<store::FleetManifest> manifest = store::FleetManifest::parse(*bytes);
+  if (!manifest) return std::nullopt;
+  OfflineFleet out;
+  out.manifest_ = std::move(*manifest);
+  for (const store::FleetShard& shard : out.manifest_.shards) {
+    store::StoreConfig sc;
+    sc.root = shard.root;
+    auto st = std::make_unique<store::ProfileStore>(fleet, sc);
+    st->open();  // recovery: salvages whatever the partition holds
+    out.stores_.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<store::ProfileStore*> OfflineFleet::partitions() const {
+  std::vector<store::ProfileStore*> out;
+  out.reserve(stores_.size());
+  for (const auto& s : stores_) out.push_back(s.get());
+  return out;
+}
+
+std::vector<store::ProfileStore::StoredSession> OfflineFleet::sessions() const {
+  return gather_sessions(partitions());
+}
+
+core::Profile OfflineFleet::session_profile(const std::string& id) const {
+  return gather_profile(partitions(), id);
+}
+
+core::Profile OfflineFleet::merged_profile() const {
+  return gather_merged(partitions());
+}
+
+std::string OfflineFleet::render_top(const std::vector<hw::EventKind>& events,
+                                     std::size_t top_n) const {
+  return merged_profile().render(events, top_n);
+}
+
+std::string OfflineFleet::render_diff(const std::string& before_session,
+                                      const std::string& after_session,
+                                      hw::EventKind event,
+                                      std::size_t top_n) const {
+  return core::render_diff(session_profile(before_session),
+                           session_profile(after_session), event, top_n);
+}
+
+std::string OfflineFleet::query(const std::string& text) const {
+  return dispatch_query(partitions(), text, stored_sessions_table(partitions()));
+}
+
+}  // namespace viprof::fleet

@@ -1,0 +1,97 @@
+#include "fleet/fsck.hpp"
+
+#include "hw/event.hpp"
+#include "store/profile_store.hpp"
+
+namespace viprof::fleet {
+
+namespace {
+
+void worsen(core::FsckVerdict& verdict, core::FsckVerdict to) {
+  if (static_cast<int>(to) > static_cast<int>(verdict)) verdict = to;
+}
+
+}  // namespace
+
+FleetFsckReport fsck_fleet(const os::Vfs& fleet) {
+  FleetFsckReport report;
+
+  // Work on a private copy: partition recovery rewrites damaged segments,
+  // and fsck must leave the caller's namespace untouched.
+  os::Vfs scratch = fleet;
+
+  const std::optional<std::string> bytes = scratch.read(store::kFleetManifestPath);
+  if (!bytes) {
+    report.verdict = core::FsckVerdict::kUnrecoverable;
+    report.summary = "fleet: no manifest";
+    return report;
+  }
+  const std::optional<store::FleetManifest> manifest =
+      store::FleetManifest::parse(*bytes);
+  if (!manifest) {
+    report.verdict = core::FsckVerdict::kUnrecoverable;
+    report.summary = "fleet: manifest corrupt (crc)";
+    return report;
+  }
+  report.manifest_ok = true;
+  report.ledger = manifest->ledger;
+
+  for (const store::FleetShard& shard : manifest->shards) {
+    ++report.partitions;
+    store::StoreConfig sc;
+    sc.root = shard.root;
+    store::ProfileStore store(scratch, sc);
+    const store::StoreRecovery rec = store.open();
+    report.partition_intervals_lost += rec.intervals_lost;
+    report.partition_rows_lost += rec.rows_lost;
+    switch (rec.verdict) {
+      case core::FsckVerdict::kClean:
+        ++report.partitions_clean;
+        break;
+      case core::FsckVerdict::kSalvaged:
+        ++report.partitions_salvaged;
+        break;
+      case core::FsckVerdict::kUnrecoverable:
+        ++report.partitions_unrecoverable;
+        break;
+    }
+    worsen(report.verdict, rec.verdict);
+    std::uint64_t partition_records = 0;
+    for (const store::ProfileStore::StoredSession& ss : store.sessions())
+      partition_records += ss.records;
+    report.stored_audit += partition_records;
+    report.details += shard.name + ": " + core::to_string(rec.verdict) + ", " +
+                      std::to_string(partition_records) + " records (manifest says " +
+                      std::to_string(shard.records) + ")\n";
+  }
+
+  report.ledger_balanced = report.ledger.balanced();
+  // The books (ledger) against the shelves (partitions). With undamaged
+  // partitions the two must agree to the record; once recovery salvaged
+  // rows away the audit can only legitimately come in *below* the ledger
+  // (the loss is already counted by the partition's own exact accounting
+  // and the verdict is already kSalvaged) — anything else is unexplained.
+  const bool partitions_damaged =
+      report.partitions_salvaged > 0 || report.partitions_unrecoverable > 0;
+  report.stored_matches =
+      report.ledger.stored_records == report.stored_audit ||
+      (partitions_damaged && report.ledger.stored_records > report.stored_audit);
+  if (!report.ledger_balanced || !report.stored_matches)
+    worsen(report.verdict, core::FsckVerdict::kUnrecoverable);
+
+  report.summary =
+      "fleet: " + std::string(core::to_string(report.verdict)) + ", " +
+      std::to_string(report.partitions) + " partitions (" +
+      std::to_string(report.partitions_clean) + " clean, " +
+      std::to_string(report.partitions_salvaged) + " salvaged, " +
+      std::to_string(report.partitions_unrecoverable) + " unrecoverable), acked " +
+      std::to_string(report.ledger.acked_records) + " == stored " +
+      std::to_string(report.ledger.stored_records) + " + lost " +
+      std::to_string(report.ledger.lost_wire + report.ledger.lost_queue +
+                     report.ledger.lost_dead_records) +
+      (report.ledger_balanced ? " (exact)" : " (IMBALANCED)") +
+      (report.stored_matches ? "" : ", partition audit MISMATCH");
+  return report;
+}
+
+}  // namespace viprof::fleet

@@ -1,0 +1,54 @@
+// Fleet-wide integrity check: `viprof_fsck --fleet` / `viprof_fleet fsck`.
+//
+// Walks the crc-guarded fleet manifest plus every shard partition and
+// proves the exact-accounting invariant (DESIGN.md §12):
+//
+//   acked.records == stored + lost.wire + lost.queue + lost.dead
+//
+// and, independently of the ledger's own bookkeeping, audits the stored
+// side against the partitions themselves: the ledger's stored.records must
+// equal the sum of every partition's per-session profile counts. A fleet
+// where the books balance but the shelves disagree is as broken as one
+// with a corrupt manifest — both are kUnrecoverable. Partition damage
+// found by store recovery degrades the verdict to kSalvaged (the store's
+// own exact loss accounting still holds); a partition that cannot be
+// opened, a missing/corrupt manifest, or an invariant violation is
+// kUnrecoverable. The verdict doubles as the exit code
+// (core::FsckVerdict convention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fsck.hpp"
+#include "os/vfs.hpp"
+#include "store/manifest.hpp"
+
+namespace viprof::fleet {
+
+struct FleetFsckReport {
+  core::FsckVerdict verdict = core::FsckVerdict::kClean;
+  bool manifest_ok = false;
+
+  std::size_t partitions = 0;
+  std::size_t partitions_clean = 0;
+  std::size_t partitions_salvaged = 0;
+  std::size_t partitions_unrecoverable = 0;
+  std::uint64_t partition_intervals_lost = 0;
+  std::uint64_t partition_rows_lost = 0;
+
+  store::FleetLedger ledger;      // as recorded by the manifest
+  std::uint64_t stored_audit = 0; // Σ partitions' per-session record counts
+  bool ledger_balanced = false;   // acked == stored + lost.*
+  bool stored_matches = false;    // ledger.stored == stored_audit
+
+  std::string summary;  // one line
+  std::string details;  // per-partition findings
+};
+
+/// Read-only: works on a copy of `fleet`, so it is safe on a live
+/// namespace or an imported export alike.
+FleetFsckReport fsck_fleet(const os::Vfs& fleet);
+
+}  // namespace viprof::fleet

@@ -1,0 +1,91 @@
+// Consistent-hash ring for session-to-shard routing.
+//
+// Each shard contributes `vnodes` points on a 64-bit ring; a session is
+// owned by the first point clockwise of its own hash. Virtual nodes keep
+// the per-shard load even, and — the property the failover path leans on —
+// adding or removing one shard only moves the keys adjacent to its points,
+// so a rebalance re-routes a bounded slice of the fleet. preference()
+// yields every shard exactly once in clockwise order starting at the
+// owner: the router walks that list when shards die, so two routers with
+// the same membership always agree on the failover target.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace viprof::fleet {
+
+/// 64-bit FNV-1a with an avalanche finalizer. Raw FNV-1a barely moves the
+/// high bits for strings that differ only in a trailing character — which
+/// is exactly what "shard-2#7" vs "shard-2#8" and "sess-41" vs "sess-42"
+/// are — so without the finalizer every shard's vnodes collapse into a few
+/// tight runs and one shard ends up owning the whole ring. The fmix step
+/// spreads those neighbouring hashes across the full 64-bit space.
+inline std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+class Ring {
+ public:
+  explicit Ring(std::size_t vnodes = 16) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+  void add(const std::string& shard) {
+    if (!members_.insert(shard).second) return;
+    for (std::size_t i = 0; i < vnodes_; ++i)
+      points_[fnv1a64(shard + "#" + std::to_string(i))] = shard;
+  }
+
+  void remove(const std::string& shard) {
+    if (members_.erase(shard) == 0) return;
+    for (auto it = points_.begin(); it != points_.end();) {
+      if (it->second == shard) it = points_.erase(it);
+      else ++it;
+    }
+  }
+
+  bool contains(const std::string& shard) const { return members_.count(shard) != 0; }
+
+  /// The shard owning `key`; empty when the ring is empty.
+  std::string owner(const std::string& key) const {
+    const std::vector<std::string> pref = preference(key);
+    return pref.empty() ? std::string() : pref.front();
+  }
+
+  /// Every member exactly once, clockwise from `key`'s point: the owner
+  /// first, then the failover successors in deterministic order.
+  std::vector<std::string> preference(const std::string& key) const {
+    std::vector<std::string> out;
+    if (points_.empty()) return out;
+    std::set<std::string> seen;
+    auto it = points_.lower_bound(fnv1a64(key));
+    for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+      if (it == points_.end()) it = points_.begin();
+      if (seen.insert(it->second).second) out.push_back(it->second);
+      ++it;
+    }
+    return out;
+  }
+
+  std::size_t size() const { return members_.size(); }
+  const std::set<std::string>& members() const { return members_; }
+
+ private:
+  std::size_t vnodes_;
+  std::set<std::string> members_;
+  std::map<std::uint64_t, std::string> points_;
+};
+
+}  // namespace viprof::fleet

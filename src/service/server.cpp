@@ -502,22 +502,41 @@ bool ProfileServer::export_state(const std::string& dir, std::size_t top) {
 std::size_t ProfileServer::flush_to_store(store::ProfileStore& store,
                                           std::uint64_t tick) {
   std::size_t ingested = 0;
-  for (const std::string& id : session_ids()) {
-    std::shared_ptr<ServerSession> s = session(id);
-    if (!s) continue;
-    ServerSession::FlushDelta delta = s->take_flush();
-    if (!delta.any) continue;
-    store::IntervalProfile iv;
-    iv.session = id;
-    iv.tick_lo = iv.tick_hi = tick;
-    iv.epoch_lo = delta.epoch_lo;
-    iv.epoch_hi = delta.epoch_hi;
-    iv.profile = std::move(delta.profile);
-    if (store.ingest(std::move(iv))) ++ingested;
-  }
+  for (const std::string& id : session_ids())
+    ingested += flush_session_to_store(id, store, tick);
   telemetry_.counter("service.store.flushes").inc();
-  telemetry_.counter("service.store.intervals").inc(ingested);
   return ingested;
+}
+
+std::size_t ProfileServer::flush_session_to_store(const std::string& id,
+                                                  store::ProfileStore& store,
+                                                  std::uint64_t tick) {
+  std::shared_ptr<ServerSession> s = session(id);
+  if (!s) return 0;
+  ServerSession::FlushDelta delta = s->take_flush();
+  if (!delta.any) return 0;
+  store::IntervalProfile iv;
+  iv.session = id;
+  iv.tick_lo = iv.tick_hi = tick;
+  iv.epoch_lo = delta.epoch_lo;
+  iv.epoch_hi = delta.epoch_hi;
+  iv.profile = std::move(delta.profile);
+  if (!store.ingest(std::move(iv))) return 0;
+  telemetry_.counter("service.store.intervals").inc();
+  return 1;
+}
+
+bool ProfileServer::drop_session(const std::string& id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  // Connections still holding the shared_ptr keep it alive until they are
+  // abandoned; the server itself forgets the session immediately, so
+  // queries and flushes no longer see the partial state.
+  sessions_.erase(it);
+  telemetry_.gauge("service.sessions").set(static_cast<double>(sessions_.size()));
+  telemetry_.counter("service.sessions.dropped").inc();
+  return true;
 }
 
 }  // namespace viprof::service

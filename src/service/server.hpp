@@ -128,6 +128,23 @@ class ProfileServer {
   /// its full profile exactly (DESIGN.md §11). Returns intervals ingested.
   std::size_t flush_to_store(store::ProfileStore& store, std::uint64_t tick);
 
+  /// Flushes one session's delta (same semantics as flush_to_store, which
+  /// is a loop over this). The fleet router flushes per session at its
+  /// terminal attempt so a shard partition only ever holds completed work.
+  /// Returns intervals ingested (0 when the delta is empty or `id` is
+  /// unknown).
+  std::size_t flush_session_to_store(const std::string& id,
+                                     store::ProfileStore& store,
+                                     std::uint64_t tick);
+
+  /// Discards one session entirely — in-flight batches, stats, profile.
+  /// The fleet router calls this when it circuit-breaks a shard mid-stream:
+  /// the partial session is abandoned here and re-streamed from scratch to
+  /// the ring successor, so nothing of the aborted attempt can be counted
+  /// twice. Completed sessions on this server are untouched. False when
+  /// `id` is unknown.
+  bool drop_session(const std::string& id);
+
   std::vector<std::string> session_ids() const;
   std::shared_ptr<ServerSession> session(const std::string& id) const;
 

@@ -8,6 +8,7 @@ namespace viprof::store {
 
 namespace {
 constexpr const char* kHeader = "viprof-store-manifest v1";
+constexpr const char* kFleetHeader = "viprof-fleet-manifest v1";
 }
 
 std::string Manifest::serialize() const {
@@ -95,6 +96,120 @@ std::optional<Manifest> Manifest::parse(const std::string& text) {
 
 const ManifestSegment* Manifest::find(const std::string& name) const {
   for (const ManifestSegment& s : segments)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::string FleetManifest::serialize() const {
+  std::string out = std::string(kFleetHeader) + "\n";
+  out += "gen " + std::to_string(generation) + "\n";
+  const FleetLedger& l = ledger;
+  out += "acked " + std::to_string(l.acked_sessions) + " " +
+         std::to_string(l.acked_records) + "\n";
+  out += "stored " + std::to_string(l.stored_records) + "\n";
+  out += "lost " + std::to_string(l.lost_wire) + " " + std::to_string(l.lost_queue) +
+         " " + std::to_string(l.lost_dead_records) + " " +
+         std::to_string(l.lost_dead_sessions) + "\n";
+  out += "failover " + std::to_string(l.failover_sessions) + " " +
+         std::to_string(l.failover_records) + "\n";
+  out += "refused " + std::to_string(l.refused_sessions) + "\n";
+  out += "retried " + std::to_string(l.retried_sends) + " " +
+         std::to_string(l.retried_giveups) + " " + std::to_string(l.circuit_opens) +
+         "\n";
+  out += "rebalances " + std::to_string(l.rebalances) + "\n";
+  for (const FleetShard& s : shards) {
+    out += "shard " + std::to_string(s.alive ? 1 : 0) + " " +
+           std::to_string(s.sessions) + " " + std::to_string(s.records) + "\t" +
+           s.name + "\t" + s.root + "\n";
+  }
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "crc %08x\n", support::fnv1a(out));
+  out += crc;
+  return out;
+}
+
+std::optional<FleetManifest> FleetManifest::parse(const std::string& text) {
+  const std::size_t crc_at = text.rfind("crc ");
+  if (crc_at == std::string::npos || (crc_at != 0 && text[crc_at - 1] != '\n'))
+    return std::nullopt;
+  unsigned crc_read = 0;
+  if (std::sscanf(text.c_str() + crc_at + 4, "%8x", &crc_read) != 1)
+    return std::nullopt;
+  if (support::fnv1a(text.data(), crc_at) != crc_read) return std::nullopt;
+
+  FleetManifest m;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < crc_at) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos || nl > crc_at) nl = crc_at;
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kFleetHeader) return std::nullopt;
+      saw_header = true;
+    } else if (line.rfind("gen ", 0) == 0) {
+      m.generation = std::strtoull(line.c_str() + 4, nullptr, 10);
+    } else if (line.rfind("acked ", 0) == 0) {
+      unsigned long long s = 0, r = 0;
+      if (std::sscanf(line.c_str() + 6, "%llu %llu", &s, &r) != 2)
+        return std::nullopt;
+      m.ledger.acked_sessions = s;
+      m.ledger.acked_records = r;
+    } else if (line.rfind("stored ", 0) == 0) {
+      m.ledger.stored_records = std::strtoull(line.c_str() + 7, nullptr, 10);
+    } else if (line.rfind("lost ", 0) == 0) {
+      unsigned long long w = 0, q = 0, dr = 0, ds = 0;
+      if (std::sscanf(line.c_str() + 5, "%llu %llu %llu %llu", &w, &q, &dr, &ds) != 4)
+        return std::nullopt;
+      m.ledger.lost_wire = w;
+      m.ledger.lost_queue = q;
+      m.ledger.lost_dead_records = dr;
+      m.ledger.lost_dead_sessions = ds;
+    } else if (line.rfind("failover ", 0) == 0) {
+      unsigned long long s = 0, r = 0;
+      if (std::sscanf(line.c_str() + 9, "%llu %llu", &s, &r) != 2)
+        return std::nullopt;
+      m.ledger.failover_sessions = s;
+      m.ledger.failover_records = r;
+    } else if (line.rfind("refused ", 0) == 0) {
+      m.ledger.refused_sessions = std::strtoull(line.c_str() + 8, nullptr, 10);
+    } else if (line.rfind("retried ", 0) == 0) {
+      unsigned long long s = 0, g = 0, c = 0;
+      if (std::sscanf(line.c_str() + 8, "%llu %llu %llu", &s, &g, &c) != 3)
+        return std::nullopt;
+      m.ledger.retried_sends = s;
+      m.ledger.retried_giveups = g;
+      m.ledger.circuit_opens = c;
+    } else if (line.rfind("rebalances ", 0) == 0) {
+      m.ledger.rebalances = std::strtoull(line.c_str() + 11, nullptr, 10);
+    } else if (line.rfind("shard ", 0) == 0) {
+      const std::size_t tab1 = line.find('\t');
+      if (tab1 == std::string::npos) return std::nullopt;
+      const std::size_t tab2 = line.find('\t', tab1 + 1);
+      if (tab2 == std::string::npos) return std::nullopt;
+      unsigned long long alive = 0, sessions = 0, records = 0;
+      if (std::sscanf(line.c_str() + 6, "%llu %llu %llu", &alive, &sessions,
+                      &records) != 3)
+        return std::nullopt;
+      FleetShard shard;
+      shard.alive = alive != 0;
+      shard.sessions = sessions;
+      shard.records = records;
+      shard.name = line.substr(tab1 + 1, tab2 - tab1 - 1);
+      shard.root = line.substr(tab2 + 1);
+      m.shards.push_back(std::move(shard));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) return std::nullopt;
+  return m;
+}
+
+const FleetShard* FleetManifest::find(const std::string& name) const {
+  for (const FleetShard& s : shards)
     if (s.name == name) return &s;
   return nullptr;
 }

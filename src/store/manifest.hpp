@@ -49,4 +49,81 @@ struct Manifest {
   const ManifestSegment* find(const std::string& name) const;
 };
 
+/// One shard's entry in the fleet manifest. `root` is its partition root
+/// (every shard's ProfileStore lives under its own directory, see
+/// partition_root()); `sessions`/`records` are the counts the router has
+/// flushed into that partition.
+struct FleetShard {
+  std::string name;
+  std::string root;
+  bool alive = true;
+  std::uint64_t sessions = 0;
+  std::uint64_t records = 0;
+};
+
+/// Fleet-wide degradation ledger. The exact-accounting invariant
+/// (DESIGN.md §12) is:
+///
+///   acked_records == stored_records + lost_wire + lost_queue + lost_dead
+///
+/// where acked counts every record sent on a session's *terminal* attempt
+/// (the attempt that either completed or had nowhere left to fail over to),
+/// stored is what reached the partitions, lost_wire is frames the transport
+/// dropped or tore, lost_queue is shard-side bounded-queue sheds, and
+/// lost_dead is records sent on a terminal attempt whose shard died with no
+/// live ring successor. failover_* counts re-sent work from *aborted*
+/// attempts — informational, deliberately outside the invariant, because
+/// those records were re-streamed and are accounted under their terminal
+/// attempt. refused_sessions were never attempted at all (no live shard);
+/// nothing of theirs enters acked.
+struct FleetLedger {
+  std::uint64_t acked_sessions = 0;
+  std::uint64_t acked_records = 0;
+  std::uint64_t stored_records = 0;
+  std::uint64_t lost_wire = 0;
+  std::uint64_t lost_queue = 0;
+  std::uint64_t lost_dead_records = 0;
+  std::uint64_t lost_dead_sessions = 0;
+  std::uint64_t failover_sessions = 0;
+  std::uint64_t failover_records = 0;
+  std::uint64_t refused_sessions = 0;
+  std::uint64_t retried_sends = 0;
+  std::uint64_t retried_giveups = 0;
+  std::uint64_t circuit_opens = 0;
+  std::uint64_t rebalances = 0;
+
+  /// Records the invariant can place: everything acked must be stored or
+  /// in a counted loss bin.
+  std::uint64_t accounted() const {
+    return stored_records + lost_wire + lost_queue + lost_dead_records;
+  }
+  bool balanced() const { return acked_records == accounted(); }
+};
+
+/// The fleet manifest: the router's crc-guarded record of which shard
+/// partitions exist and the cumulative degradation ledger. Same discipline
+/// as the store Manifest — replaced whole via temp-file + rename, parsed
+/// all-or-nothing — so `viprof_fsck --fleet` either trusts the whole file
+/// or declares the fleet unrecoverable.
+struct FleetManifest {
+  std::uint64_t generation = 0;
+  std::vector<FleetShard> shards;
+  FleetLedger ledger;
+
+  std::string serialize() const;
+  static std::optional<FleetManifest> parse(const std::string& text);
+
+  const FleetShard* find(const std::string& name) const;
+};
+
+/// Canonical partition root for a shard: every shard's ProfileStore lives
+/// under `<shard>/store` inside the fleet Vfs, next to wherever the shard
+/// would keep scratch state.
+inline std::string partition_root(const std::string& shard_name) {
+  return shard_name + "/store";
+}
+
+/// Where the fleet manifest lives inside the fleet Vfs.
+inline constexpr const char* kFleetManifestPath = "MANIFEST";
+
 }  // namespace viprof::store

@@ -460,6 +460,26 @@ std::string ProfileStore::render_segments() const {
   return table.render();
 }
 
+std::vector<ProfileStore::StoredSession> ProfileStore::sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, StoredSession> by_id;
+  const auto fold = [&](const IntervalProfile& iv) {
+    StoredSession& s = by_id[iv.session];
+    s.session = iv.session;
+    ++s.intervals;
+    for (const hw::EventKind event : hw::kAllEventKinds)
+      s.records += iv.profile.total(event);
+  };
+  for (const LoadedSegment& s : sealed_)
+    for (const IntervalProfile& iv : s.intervals) fold(iv);
+  if (active_)
+    for (const IntervalProfile& iv : active_->intervals) fold(iv);
+  std::vector<StoredSession> out;
+  out.reserve(by_id.size());
+  for (auto& [id, s] : by_id) out.push_back(std::move(s));
+  return out;
+}
+
 std::uint64_t ProfileStore::live_intervals() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t n = active_ ? active_->meta.intervals : 0;

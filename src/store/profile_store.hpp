@@ -143,6 +143,19 @@ class ProfileStore {
   /// Segment inventory table (id, state, intervals, rows, tick span).
   std::string render_segments() const;
 
+  /// One distinct session's live footprint in this store. `records` is the
+  /// sum of the session's profile counts over every event — exactly the
+  /// record count the service flushed, which is what the fleet ledger's
+  /// stored side is audited against (viprof_fsck --fleet).
+  struct StoredSession {
+    std::string session;
+    std::uint64_t intervals = 0;
+    std::uint64_t records = 0;
+  };
+
+  /// Distinct sessions across all live intervals, sorted by id.
+  std::vector<StoredSession> sessions() const;
+
   std::uint64_t live_intervals() const;
   std::uint64_t live_rows() const;
   std::size_t segment_count() const;

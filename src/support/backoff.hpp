@@ -1,0 +1,111 @@
+// One retry policy for every retry loop in the tree.
+//
+// PR 1 grew two hand-rolled retry loops (the daemon's flush
+// retry-with-doubling, the agent's fixed-cost map-write retry) and the
+// fleet router needs a third — jittered exponential backoff with a total
+// timeout budget. Rather than a third ad-hoc loop, Backoff is the single
+// tested policy all of them instantiate: an attempt-bounded, optionally
+// capped and jittered geometric delay schedule. All randomness flows
+// through a caller-supplied Xoshiro256, so a retry schedule is exactly
+// reproducible from its seed — the property the fleet's determinism
+// acceptance test (identical fleet.retried.* counters across reruns)
+// leans on.
+//
+// Usage:
+//   Backoff backoff(config, &rng);
+//   while (!attempt_succeeded()) {
+//     const auto delay = backoff.next();
+//     if (!delay) break;          // attempts or budget exhausted: give up
+//     charge_or_sleep(*delay);
+//   }
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "support/rng.hpp"
+
+namespace viprof::support {
+
+struct BackoffConfig {
+  /// Nominal delay of the first retry (cost units are the caller's:
+  /// simulated cycles for the daemon, abstract send-delay for the router).
+  std::uint64_t initial = 1'000;
+  /// Each subsequent nominal delay is the previous times this.
+  double multiplier = 2.0;
+  /// Per-delay ceiling on the nominal delay; 0 = uncapped.
+  std::uint64_t cap = 0;
+  /// Jitter as a fraction of the nominal delay: the actual delay is drawn
+  /// uniformly from [nominal*(1-jitter), nominal*(1+jitter)]. 0 (or a null
+  /// rng) disables jitter entirely — the legacy deterministic schedules.
+  double jitter = 0.0;
+  /// Retries allowed before next() reports exhaustion.
+  std::size_t max_attempts = 3;
+  /// Total delay budget across all retries; a retry whose delay would
+  /// overrun the budget is refused (timeout). 0 = unlimited.
+  std::uint64_t budget = 0;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffConfig& config, Xoshiro256* rng = nullptr) noexcept
+      : config_(config), rng_(rng), nominal_(config.initial) {
+    clamp_nominal();
+  }
+
+  /// Delay to charge before the next retry, or nullopt when the policy is
+  /// exhausted (max_attempts reached, or the budget cannot cover the next
+  /// delay). Exhaustion is sticky until reset().
+  std::optional<std::uint64_t> next() noexcept {
+    if (exhausted_ || attempts_ >= config_.max_attempts) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    std::uint64_t delay = nominal_;
+    if (config_.jitter > 0.0 && rng_ != nullptr && delay > 0) {
+      // Uniform in [nominal*(1-j), nominal*(1+j)], never negative.
+      const double j = config_.jitter > 1.0 ? 1.0 : config_.jitter;
+      const double factor = 1.0 - j + 2.0 * j * rng_->uniform();
+      delay = static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+    }
+    if (config_.budget != 0 && spent_ + delay > config_.budget) {
+      exhausted_ = true;  // timeout: the budget cannot cover this retry
+      return std::nullopt;
+    }
+    ++attempts_;
+    spent_ += delay;
+    nominal_ = static_cast<std::uint64_t>(static_cast<double>(nominal_) *
+                                          config_.multiplier);
+    if (nominal_ == 0) nominal_ = 1;
+    clamp_nominal();
+    return delay;
+  }
+
+  /// Rearms the policy for a fresh operation (attempts, spend, schedule).
+  void reset() noexcept {
+    attempts_ = 0;
+    spent_ = 0;
+    nominal_ = config_.initial;
+    exhausted_ = false;
+    clamp_nominal();
+  }
+
+  std::size_t attempts() const noexcept { return attempts_; }
+  std::uint64_t spent() const noexcept { return spent_; }
+  bool exhausted() const noexcept { return exhausted_; }
+  const BackoffConfig& config() const noexcept { return config_; }
+
+ private:
+  void clamp_nominal() noexcept {
+    if (config_.cap != 0 && nominal_ > config_.cap) nominal_ = config_.cap;
+  }
+
+  BackoffConfig config_;
+  Xoshiro256* rng_;  // not owned; nullptr = no jitter
+  std::uint64_t nominal_;
+  std::size_t attempts_ = 0;
+  std::uint64_t spent_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace viprof::support

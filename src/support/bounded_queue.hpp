@@ -8,6 +8,7 @@
 // instead, and close() releases everyone during shutdown.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -47,6 +48,25 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     item_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Timed pop: blocks up to `timeout` for an item. nullopt on expiry or
+  /// once the queue is closed *and* drained — expiry and close are
+  /// indistinguishable to the caller on purpose (both mean "nothing to do
+  /// now"); use closed() to tell them apart. An item that arrives in the
+  /// same instant close() fires is still delivered, never dropped.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!item_cv_.wait_for(lock, timeout,
+                           [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;  // expired with nothing queued
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
     space_cv_.notify_one();

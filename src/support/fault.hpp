@@ -30,9 +30,12 @@ enum class FaultKind : std::uint8_t {
 /// a streaming profile-service client; "killing" it models a disconnect
 /// mid-stream (the cycle argument counts frames sent, not cycles).
 /// kCompactor is the profile store's write path (ingest/seal/compact); its
-/// cycle argument counts store kill checkpoints, not cycles.
-enum class FaultComponent : std::uint8_t { kDaemon, kAgent, kClient, kCompactor };
-inline constexpr std::size_t kFaultComponentCount = 4;
+/// cycle argument counts store kill checkpoints, not cycles. kFleet is the
+/// fleet router's send path: its cycle argument counts fleet checkpoints
+/// (one per frame routed toward a shard), and the kill takes down the
+/// shard process currently being streamed to (DESIGN.md §12).
+enum class FaultComponent : std::uint8_t { kDaemon, kAgent, kClient, kCompactor, kFleet };
+inline constexpr std::size_t kFaultComponentCount = 5;
 
 /// One injection rule. A write matches when its path starts with
 /// `path_prefix`; the first `skip` matching writes pass through, then up to
@@ -106,7 +109,7 @@ class FaultInjector {
   Xoshiro256 rng_;
   std::uint64_t capacity_bytes_ = ~0ull;
   std::uint64_t bytes_accepted_ = 0;
-  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull, ~0ull, ~0ull};
+  std::uint64_t kill_at_[kFaultComponentCount] = {~0ull, ~0ull, ~0ull, ~0ull, ~0ull};
   Stats stats_;
   Telemetry* telemetry_ = nullptr;
   Counter* ctr_writes_seen_ = nullptr;

@@ -66,6 +66,43 @@ TEST(ServiceFaults, TornFrameIsCountedAndStreamRecovers) {
             std::string::npos);
 }
 
+TEST(ServiceFaults, RepeatedTornFramesInOneStreamEachResync) {
+  // Not one unlucky frame but a rough patch: five consecutive torn writes
+  // in a single stream. The decoder must resync after every one of them —
+  // the frames behind the damage keep landing and kEndStream still closes
+  // the session cleanly.
+  auto scenario = record_scenario(small_scenario());
+  support::FaultInjector fault;
+  support::FaultRule rule;
+  rule.path_prefix = "wire/rough";
+  rule.kind = support::FaultKind::kTornWrite;
+  rule.skip = 40;
+  rule.count = 5;
+  fault.add_rule(rule);
+
+  ServerConfig config;
+  config.fault = &fault;
+  ProfileServer server(config);
+  {
+    auto conn = server.connect("rough");
+    ReplayClient client(scenario->vfs(), "rough", *conn, ReplayOptions{32, &fault});
+    EXPECT_TRUE(client.run());
+  }
+  server.drain();
+
+  const SessionStats stats = server.session("rough")->stats();
+  EXPECT_EQ(fault.stats().torn_writes, 5u);
+  EXPECT_GE(stats.torn_frames, 5u);
+  EXPECT_TRUE(stats.ended);
+  // Five small batches were damaged; the rest of the stream survived.
+  EXPECT_GT(stats.records_ingested,
+            2u * small_scenario().samples_per_event * 7 / 10);
+  EXPECT_LT(stats.records_ingested, 2u * small_scenario().samples_per_event);
+  EXPECT_GE(server.telemetry().snapshot().counter("service.frames.torn"), 5u);
+  EXPECT_NE(server.session_report("rough", 10, kEvents).find("Image name"),
+            std::string::npos);
+}
+
 TEST(ServiceFaults, LostFrameIsSkippedEntirely) {
   auto scenario = record_scenario(small_scenario());
   support::FaultInjector fault;

@@ -83,6 +83,32 @@ TEST(Wire, GarbageBetweenFramesIsSkipped) {
   EXPECT_GE(decoder.torn_frames(), 1u);
 }
 
+TEST(Wire, RepeatedTornFramesResyncEveryTime) {
+  // One stream, many tears: every torn prefix swallows the head of the
+  // frame behind it during the crc check, and the decoder must rescan and
+  // recover the intact frame after *each* tear, not just the first.
+  FrameDecoder decoder;
+  const int kTears = 6;
+  for (int i = 0; i < kTears; ++i) {
+    std::string torn = encode_frame(
+        FrameType::kFile, "doomed-" + std::to_string(i) + "\npayload bytes");
+    torn.resize(torn.size() / 2);  // only a prefix reaches the wire
+    decoder.feed(torn);
+    decoder.feed(encode_frame(FrameType::kSampleBatch,
+                              "batch " + std::to_string(i)));
+  }
+  decoder.feed(encode_frame(FrameType::kEndStream, ""));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(kTears) + 1);
+  for (int i = 0; i < kTears; ++i) {
+    EXPECT_EQ(frames[i].type, FrameType::kSampleBatch);
+    EXPECT_EQ(frames[i].payload, "batch " + std::to_string(i));
+  }
+  EXPECT_EQ(frames.back().type, FrameType::kEndStream);
+  EXPECT_GE(decoder.torn_frames(), static_cast<std::uint64_t>(kTears));
+  EXPECT_GT(decoder.skipped_bytes(), 0u);
+}
+
 TEST(Wire, TruncatedFrameStaysBuffered) {
   const std::string whole = encode_frame(FrameType::kFile, "p\n0123456789");
   FrameDecoder decoder;

@@ -3,6 +3,7 @@
 // bad usage prints the usage text to stderr and exits kExitUsage (3).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,27 @@ TEST(ArgScanDeathTest, FailPrintsTheUsageText) {
   ArgScan args(a.argc(), a.argv(), kUsage);
   EXPECT_EXIT(args.fail(), ::testing::ExitedWithCode(kExitUsage),
               "usage: test-tool --in DIR");
+}
+
+TEST(ArgScanDeathTest, ConflictingModeFlagsExitUsage) {
+  // The viprof_fsck migration pattern: --store and --fleet both parse
+  // fine individually, but selecting two layouts at once is a usage
+  // error, routed through the same fail() → exit-3 path as a bad flag.
+  Argv a({"viprof_fsck", "--store", "--fleet"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  bool store_layout = false;
+  bool fleet_layout = false;
+  const auto parse = [&] {
+    while (args.next()) {
+      if (args.is("--store")) store_layout = true;
+      else if (args.is("--fleet")) fleet_layout = true;
+      else args.fail_unknown();
+    }
+    if (store_layout && fleet_layout) args.fail();
+    std::exit(0);  // unreachable for this argv
+  };
+  EXPECT_EXIT(parse(), ::testing::ExitedWithCode(kExitUsage),
+              "usage: test-tool");
 }
 
 }  // namespace

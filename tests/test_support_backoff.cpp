@@ -1,0 +1,119 @@
+// support::Backoff: the one retry policy behind the daemon's flush retry,
+// the agent's map-write retry, and the fleet router's send retry. The
+// tests pin the exact legacy schedules (so the PR 1 migrations are
+// behaviour-preserving) and the properties the fleet's determinism
+// acceptance leans on: cap, jitter reproducibility under a fixed seed,
+// and timeout-budget exhaustion.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/backoff.hpp"
+#include "support/rng.hpp"
+
+namespace viprof::support {
+namespace {
+
+std::vector<std::uint64_t> drain(Backoff& b) {
+  std::vector<std::uint64_t> out;
+  while (const auto d = b.next()) out.push_back(*d);
+  return out;
+}
+
+TEST(Backoff, DoublingScheduleMatchesLegacyDaemonPolicy) {
+  // The daemon's historical flush retry: 60k, 120k, 240k, then give up.
+  BackoffConfig config;
+  config.initial = 60'000;
+  config.multiplier = 2.0;
+  config.max_attempts = 3;
+  Backoff backoff(config);
+  EXPECT_EQ(drain(backoff), (std::vector<std::uint64_t>{60'000, 120'000, 240'000}));
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_EQ(backoff.attempts(), 3u);
+  EXPECT_EQ(backoff.spent(), 420'000u);
+  // Exhaustion is sticky...
+  EXPECT_FALSE(backoff.next().has_value());
+  // ...until reset rearms the whole schedule.
+  backoff.reset();
+  EXPECT_EQ(backoff.next(), std::optional<std::uint64_t>(60'000));
+}
+
+TEST(Backoff, FlatScheduleMatchesLegacyAgentPolicy) {
+  // The agent's historical map-write retry: a fixed cost per attempt.
+  BackoffConfig config;
+  config.initial = 8'000;
+  config.multiplier = 1.0;
+  config.max_attempts = 4;
+  Backoff backoff(config);
+  EXPECT_EQ(drain(backoff),
+            (std::vector<std::uint64_t>{8'000, 8'000, 8'000, 8'000}));
+}
+
+TEST(Backoff, CapBoundsEveryDelay) {
+  BackoffConfig config;
+  config.initial = 1'000;
+  config.multiplier = 2.0;
+  config.cap = 3'000;
+  config.max_attempts = 6;
+  Backoff backoff(config);
+  EXPECT_EQ(drain(backoff),
+            (std::vector<std::uint64_t>{1'000, 2'000, 3'000, 3'000, 3'000, 3'000}));
+}
+
+TEST(Backoff, JitterIsDeterministicUnderFixedSeed) {
+  BackoffConfig config;
+  config.initial = 1'000;
+  config.multiplier = 2.0;
+  config.jitter = 0.5;
+  config.max_attempts = 8;
+
+  Xoshiro256 rng_a(42), rng_b(42), rng_c(7);
+  Backoff a(config, &rng_a), b(config, &rng_b), c(config, &rng_c);
+  const auto da = drain(a), db = drain(b), dc = drain(c);
+  EXPECT_EQ(da, db);  // same seed, same schedule — replayable
+  EXPECT_NE(da, dc);  // a different seed actually moves the draws
+  ASSERT_EQ(da.size(), 8u);
+  // Every jittered delay stays inside [nominal/2, nominal*3/2].
+  std::uint64_t nominal = 1'000;
+  for (const std::uint64_t d : da) {
+    EXPECT_GE(d, nominal / 2);
+    EXPECT_LE(d, nominal + nominal / 2);
+    nominal *= 2;
+  }
+}
+
+TEST(Backoff, ZeroJitterIgnoresRng) {
+  BackoffConfig config;
+  config.initial = 500;
+  config.multiplier = 2.0;
+  config.max_attempts = 3;
+  Xoshiro256 rng(123);
+  Backoff with_rng(config, &rng);
+  Backoff without(config);
+  EXPECT_EQ(drain(with_rng), drain(without));
+}
+
+TEST(Backoff, BudgetExhaustionActsAsTimeout) {
+  BackoffConfig config;
+  config.initial = 1'000;
+  config.multiplier = 2.0;
+  config.max_attempts = 100;  // attempts never bind; the budget does
+  config.budget = 3'500;      // covers 1000 + 2000, not the 4000 after
+  Backoff backoff(config);
+  EXPECT_EQ(drain(backoff), (std::vector<std::uint64_t>{1'000, 2'000}));
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_EQ(backoff.spent(), 3'000u);
+  EXPECT_LE(backoff.spent(), config.budget);  // never overspends
+}
+
+TEST(Backoff, ZeroAttemptsRefusesImmediately) {
+  BackoffConfig config;
+  config.max_attempts = 0;
+  Backoff backoff(config);
+  EXPECT_FALSE(backoff.next().has_value());
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_EQ(backoff.spent(), 0u);
+}
+
+}  // namespace
+}  // namespace viprof::support

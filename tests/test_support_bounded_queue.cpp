@@ -72,6 +72,52 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   consumer.join();
 }
 
+TEST(BoundedQueue, PopForExpiresEmptyThenDrainsAfterClose) {
+  BoundedQueue<int> q(4);
+  // Expiry on an empty open queue: nullopt, but the queue is NOT closed —
+  // the caller uses closed() to tell a timeout from a shutdown.
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), std::nullopt);
+  EXPECT_FALSE(q.closed());
+  ASSERT_TRUE(q.push(7));
+  q.close();
+  // Closed but not drained: the buffered item is still delivered.
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(5)), 7);
+  // Closed and drained: immediate exhaustion, no timeout wait.
+  EXPECT_EQ(q.pop_for(std::chrono::hours(1)), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, PopForRacingCloseNeverDropsTheLastItem) {
+  // A consumer parked in a timed pop while the producer pushes one final
+  // item and immediately closes: the item must be delivered, and the
+  // consumer must wake from close() without waiting out the full timeout.
+  for (int round = 0; round < 50; ++round) {
+    BoundedQueue<int> q(2);
+    std::optional<int> got;
+    std::optional<int> after;
+    std::thread consumer([&] {
+      got = q.pop_for(std::chrono::seconds(10));
+      after = q.pop_for(std::chrono::seconds(10));
+    });
+    ASSERT_TRUE(q.push(round));
+    q.close();
+    consumer.join();  // bounded by close(), not by the 10 s timeouts
+    EXPECT_EQ(got, round);
+    EXPECT_EQ(after, std::nullopt);
+  }
+}
+
+TEST(BoundedQueue, PopForTimedWaitWokenByLatePush) {
+  BoundedQueue<int> q(1);
+  std::optional<int> got;
+  std::thread consumer(
+      [&] { got = q.pop_for(std::chrono::seconds(10)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(q.push(42));
+  consumer.join();
+  EXPECT_EQ(got, 42);
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 500;

@@ -3,6 +3,7 @@
 //
 //   viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet] [--metrics]
 //   viprof_fsck --in DIR --store [--out DIR] [--quiet]
+//   viprof_fsck --in DIR --fleet [--quiet]
 //
 // Thin CLI over core::fsck_tree: scans every per-event sample log (record
 // framing: sequence numbers + checksums) and every epoch code map (entry
@@ -14,38 +15,44 @@
 // the crc-guarded manifest and §7-framed segment files are checked through
 // store::ProfileStore::fsck, and --out writes the repaired store.
 //
+// --fleet switches to a fleet namespace (DESIGN.md §12): the crc-guarded
+// fleet manifest is parsed, every shard partition is walked through store
+// recovery, and the degradation ledger is audited — the check fails unless
+// acked == stored + lost exactly and the stored total matches what the
+// partitions actually hold.
+//
 // Exit status mirrors the verdict:
 //   0  clean          every artifact verified end to end
 //   1  salvaged       damage found; every damaged artifact partly recovered
 //   2  unrecoverable  some artifact yielded nothing usable
 //   3  usage errors
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <string>
 
 #include "core/fsck.hpp"
+#include "fleet/fsck.hpp"
 #include "os/vfs.hpp"
 #include "store/profile_store.hpp"
+#include "support/arg_scan.hpp"
 #include "support/telemetry.hpp"
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet]\n"
-               "                   [--metrics]\n"
-               "       viprof_fsck --in DIR --store [--out DIR] [--quiet]\n"
-               "  --in DIR        exported session directory to check\n"
-               "  --out DIR       write the recoverable subset here\n"
-               "  --samples NAME  sample subtree inside DIR (default: samples)\n"
-               "  --store         DIR is a persistent profile store (manifest +\n"
-               "                  segment files) rather than a sample tree\n"
-               "  --quiet         only print the final verdict\n"
-               "  --metrics       dump the fsck.* telemetry registry after the scan\n");
-  std::exit(viprof::core::kFsckExitUsage);
-}
+constexpr const char* kUsage =
+    "usage: viprof_fsck --in DIR [--out DIR] [--samples SUBDIR] [--quiet]\n"
+    "                   [--metrics]\n"
+    "       viprof_fsck --in DIR --store [--out DIR] [--quiet]\n"
+    "       viprof_fsck --in DIR --fleet [--quiet]\n"
+    "  --in DIR        exported session directory to check\n"
+    "  --out DIR       write the recoverable subset here\n"
+    "  --samples NAME  sample subtree inside DIR (default: samples)\n"
+    "  --store         DIR is a persistent profile store (manifest +\n"
+    "                  segment files) rather than a sample tree\n"
+    "  --fleet         DIR is a fleet namespace: fleet manifest + one store\n"
+    "                  partition per shard; audits the degradation ledger\n"
+    "  --quiet         only print the final verdict\n"
+    "  --metrics       dump the fsck.* telemetry registry after the scan\n";
 
 }  // namespace
 
@@ -58,33 +65,37 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool metrics = false;
   bool store_layout = false;
-  for (int i = 1; i < argc; ++i) {
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        usage();
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--in")) in_dir = need("--in");
-    else if (!std::strcmp(argv[i], "--out")) out_dir = need("--out");
-    else if (!std::strcmp(argv[i], "--samples")) opts.samples_dir = need("--samples");
-    else if (!std::strcmp(argv[i], "--store")) store_layout = true;
-    else if (!std::strcmp(argv[i], "--quiet")) quiet = true;
-    else if (!std::strcmp(argv[i], "--metrics")) metrics = true;
-    else usage();
+  bool fleet_layout = false;
+  support::ArgScan args(argc, argv, kUsage);
+  while (args.next()) {
+    if (args.is("--in")) in_dir = args.value();
+    else if (args.is("--out")) out_dir = args.value();
+    else if (args.is("--samples")) opts.samples_dir = args.value();
+    else if (args.is("--store")) store_layout = true;
+    else if (args.is("--fleet")) fleet_layout = true;
+    else if (args.is("--quiet")) quiet = true;
+    else if (args.is("--metrics")) metrics = true;
+    else args.fail_unknown();
   }
-  if (in_dir.empty()) usage();
+  if (in_dir.empty()) args.fail();
+  if (store_layout && fleet_layout) args.fail();
   if (!std::filesystem::is_directory(in_dir)) {
     std::fprintf(stderr, "viprof_fsck: %s is not a directory\n", in_dir.c_str());
-    return core::kFsckExitUsage;
+    return support::kExitUsage;
   }
 
   os::Vfs vfs;
   vfs.import_from_directory(in_dir);
   if (vfs.file_count() == 0) {
     std::fprintf(stderr, "viprof_fsck: nothing under %s\n", in_dir.c_str());
-    return core::kFsckExitUsage;
+    return support::kExitUsage;
+  }
+
+  if (fleet_layout) {
+    const fleet::FleetFsckReport report = fleet::fsck_fleet(vfs);
+    if (!quiet && !report.details.empty()) std::fputs(report.details.c_str(), stdout);
+    std::printf("%s\n", report.summary.c_str());
+    return static_cast<int>(report.verdict);
   }
 
   if (store_layout) {

@@ -3,8 +3,10 @@
 // the continuous-profiling service; DESIGN.md §10).
 //
 //   viprof_query sessions    --snap FILE|DIR
+//   viprof_query sessions    --fleet DIR
 //   viprof_query top N       --snap FILE|DIR [--session S] [--event E]
 //   viprof_query top N       --store DIR [--from T] [--to T] [--session S] [--event E]
+//   viprof_query top N       --fleet DIR [--session S] [--event E]
 //   viprof_query since-epoch K --snap FILE|DIR [--session S] [--top N]
 //   viprof_query diff --before FILE|DIR --after FILE|DIR\n
 //                     [--session S] [--event E] [--top N]
@@ -20,6 +22,12 @@
 // in the inclusive tick window, diff compares two tick windows. The full
 // store surface (ingest, compaction, fsck, series) lives in viprof_store.
 //
+// --fleet DIR answers from an exported fleet namespace (DESIGN.md §12):
+// the crc-guarded fleet manifest plus one store partition per shard, as
+// written by `viprof_fleet serve --export`. Federated answers fold every
+// partition in ascending session-id order, byte-identical to a
+// single-server run over the same sessions.
+//
 // Exit status: 0 ok, 2 load errors (missing/corrupt snapshot or store),
 // 3 usage.
 #include <cstdio>
@@ -29,6 +37,7 @@
 #include <sstream>
 #include <string>
 
+#include "fleet/federator.hpp"
 #include "os/vfs.hpp"
 #include "service/query.hpp"
 #include "store/profile_store.hpp"
@@ -40,9 +49,11 @@ using namespace viprof;
 
 constexpr const char* kUsage =
     "usage: viprof_query sessions --snap FILE|DIR\n"
+    "       viprof_query sessions --fleet DIR\n"
     "       viprof_query top N --snap FILE|DIR [--session S] [--event E]\n"
     "       viprof_query top N --store DIR [--from T] [--to T] [--session S]\n"
     "                          [--event E]\n"
+    "       viprof_query top N --fleet DIR [--session S] [--event E]\n"
     "       viprof_query since-epoch K --snap FILE|DIR [--session S] [--top N]\n"
     "       viprof_query diff --before FILE|DIR --after FILE|DIR\n"
     "                         [--session S] [--event E] [--top N]\n"
@@ -51,6 +62,7 @@ constexpr const char* kUsage =
     "FILE|DIR: a viprof-snapshot v1 file, or a directory holding\n"
     "service.snap (as written by viprof_serve --export).\n"
     "--store DIR: a persistent profile store; windows are inclusive ticks.\n"
+    "--fleet DIR: an exported fleet namespace (viprof_fleet serve --export).\n"
     "events: time (GLOBAL_POWER_EVENTS), dmiss (BSQ_CACHE_REFERENCE)\n";
 
 service::ServiceSnapshot load_or_die(const std::string& arg) {
@@ -115,6 +127,23 @@ store::WindowSpec window_or_die(const std::string& spec, const std::string& sess
   return w;
 }
 
+/// Imports an exported fleet namespace and opens it read-only; exits 2
+/// when the directory or its crc-guarded manifest is missing or damaged.
+fleet::OfflineFleet open_fleet_or_die(os::Vfs& vfs, const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "viprof_query: %s is not a directory\n", dir.c_str());
+    std::exit(2);
+  }
+  vfs.import_from_directory(dir);
+  auto fleet = fleet::OfflineFleet::open(vfs);
+  if (!fleet) {
+    std::fprintf(stderr, "viprof_query: %s has no valid fleet manifest\n",
+                 dir.c_str());
+    std::exit(2);
+  }
+  return *std::move(fleet);
+}
+
 hw::EventKind event_or_die(const std::string& name) {
   if (name == "time" || name == hw::to_string(hw::EventKind::kGlobalPowerEvents))
     return hw::EventKind::kGlobalPowerEvents;
@@ -140,11 +169,13 @@ int main(int argc, char** argv) {
   if ((cmd == "top" || cmd == "since-epoch") && !has_n) args.fail();
 
   std::string snap_arg, before_arg, after_arg, session, event_name, store_dir;
+  std::string fleet_dir;
   std::uint64_t from = 0, to = ~0ull;
   std::size_t top = 20;
   while (args.next()) {
     if (args.is("--snap")) snap_arg = args.value();
     else if (args.is("--store")) store_dir = args.value();
+    else if (args.is("--fleet")) fleet_dir = args.value();
     else if (args.is("--before")) before_arg = args.value();
     else if (args.is("--after")) after_arg = args.value();
     else if (args.is("--from")) from = args.value_u64();
@@ -158,9 +189,27 @@ int main(int argc, char** argv) {
   const std::vector<hw::EventKind> report_events = {hw::EventKind::kGlobalPowerEvents,
                                                     hw::EventKind::kBsqCacheReference};
 
+  if (cmd == "sessions" && !fleet_dir.empty()) {
+    os::Vfs vfs;
+    const fleet::OfflineFleet fleet = open_fleet_or_die(vfs, fleet_dir);
+    std::printf("%s", fleet.query("sessions").c_str());
+    return 0;
+  }
+
   if (cmd == "sessions") {
     if (snap_arg.empty()) args.fail();
     std::printf("%s", service::render_sessions(load_or_die(snap_arg)).c_str());
+    return 0;
+  }
+
+  if (cmd == "top" && !fleet_dir.empty()) {
+    os::Vfs vfs;
+    const fleet::OfflineFleet fleet = open_fleet_or_die(vfs, fleet_dir);
+    std::vector<hw::EventKind> events = report_events;
+    if (!event_name.empty()) events = {event_or_die(event_name)};
+    const core::Profile profile =
+        session.empty() ? fleet.merged_profile() : fleet.session_profile(session);
+    std::printf("%s", profile.render(events, n).c_str());
     return 0;
   }
 
