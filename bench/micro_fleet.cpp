@@ -78,7 +78,7 @@ bool run() {
     for (const auto& [id, scenario] : sessions) {
       auto conn = server.connect(id);
       service::ReplayClient client(scenario->vfs(), id, *conn,
-                                   service::ReplayOptions{256, nullptr});
+                                   service::ReplayOptions{256, nullptr, {}});
       if (!client.run()) return false;
     }
     server.drain();

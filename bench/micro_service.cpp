@@ -66,7 +66,7 @@ bool run() {
       {
         auto conn = server.connect("bench");
         service::ReplayClient client(scenario->vfs(), "bench", *conn,
-                                     service::ReplayOptions{256, nullptr});
+                                     service::ReplayOptions{256, nullptr, {}});
         if (!client.run()) {
           std::fprintf(stderr, "FAIL: replay client disconnected\n");
           return false;
@@ -101,7 +101,7 @@ bool run() {
   {
     auto conn = server.connect("bench");
     service::ReplayClient client(scenario->vfs(), "bench", *conn,
-                                 service::ReplayOptions{256, nullptr});
+                                 service::ReplayOptions{256, nullptr, {}});
     if (!client.run()) return false;
   }
   server.drain();

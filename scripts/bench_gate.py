@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the BENCH_*.json CI artifacts.
+
+Compares freshly produced BENCH_<suite>.json files against the checked-in
+reference runs in bench/baselines/ and flags any benchmark whose ns_per_op
+regressed beyond the tolerance band.
+
+The simulated clock makes ns_per_op nearly deterministic for a given build,
+but codegen and allocator drift across toolchains still moves it a few
+percent — hence a band, not an equality check. New benchmarks (present in
+the fresh run but not the baseline) and retired ones are reported but never
+fail the gate; refresh the baselines when the set changes.
+
+Modes:
+  - default: warn-only. Regressions print prominently but exit 0, so a
+    noisy machine can't wedge CI.
+  - VIPROF_GATE=1 (or --enforce): regressions exit 1.
+
+Usage: scripts/bench_gate.py [--fresh DIR] [--baseline DIR]
+                             [--tolerance PCT] [--enforce]
+  --fresh DIR      directory containing BENCH_*.json from this run
+                   (default: current directory)
+  --baseline DIR   checked-in reference directory
+                   (default: bench/baselines next to this script's repo)
+  --tolerance PCT  allowed slowdown in percent (default: 25)
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_results(path):
+    """Return {bench_name: ns_per_op} from one BENCH_*.json file.
+
+    Tolerates schema drift: anything that is a dict with a string "name"
+    and a numeric "ns_per_op" counts, wherever it sits in the document.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    results = {}
+
+    def walk(node):
+        if isinstance(node, dict):
+            name = node.get("name")
+            ns = node.get("ns_per_op")
+            if isinstance(name, str) and isinstance(ns, (int, float)):
+                results[name] = float(ns)
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(doc)
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default=".")
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--tolerance", type=float, default=25.0)
+    parser.add_argument("--enforce", action="store_true")
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_dir = args.baseline or os.path.join(repo, "bench", "baselines")
+    enforce = args.enforce or os.environ.get("VIPROF_GATE") == "1"
+
+    baseline_files = sorted(
+        f for f in os.listdir(baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    ) if os.path.isdir(baseline_dir) else []
+    if not baseline_files:
+        print(f"bench_gate: no baselines under {baseline_dir}; nothing to gate")
+        return 0
+
+    regressions = []
+    improvements = []
+    missing = []
+    compared = 0
+    for fname in baseline_files:
+        fresh_path = os.path.join(args.fresh, fname)
+        if not os.path.isfile(fresh_path):
+            missing.append(fname)
+            continue
+        base = load_results(os.path.join(baseline_dir, fname))
+        fresh = load_results(fresh_path)
+        for name, base_ns in sorted(base.items()):
+            if name not in fresh:
+                print(f"bench_gate: {fname}: '{name}' retired "
+                      f"(in baseline, not in fresh run)")
+                continue
+            if base_ns <= 0:
+                continue
+            compared += 1
+            delta_pct = 100.0 * (fresh[name] - base_ns) / base_ns
+            line = (f"{fname[len('BENCH_'):-len('.json')]}/{name}: "
+                    f"{base_ns:.1f} -> {fresh[name]:.1f} ns/op "
+                    f"({delta_pct:+.1f}%)")
+            if delta_pct > args.tolerance:
+                regressions.append(line)
+            elif delta_pct < -args.tolerance:
+                improvements.append(line)
+        for name in sorted(set(fresh) - set(base)):
+            print(f"bench_gate: {fname}: '{name}' is new (no baseline); "
+                  f"refresh bench/baselines to start gating it")
+
+    for fname in missing:
+        print(f"bench_gate: fresh run has no {fname} "
+              f"(looked in {args.fresh})", file=sys.stderr)
+    for line in improvements:
+        print(f"bench_gate: FASTER than baseline band: {line} "
+              f"(consider refreshing baselines)")
+    if regressions:
+        for line in regressions:
+            print(f"bench_gate: REGRESSION (> {args.tolerance:.0f}%): {line}",
+                  file=sys.stderr)
+        if enforce:
+            print(f"bench_gate: {len(regressions)} regression(s); "
+                  f"failing (VIPROF_GATE=1)", file=sys.stderr)
+            return 1
+        print(f"bench_gate: {len(regressions)} regression(s); warn-only "
+              f"(set VIPROF_GATE=1 to enforce)")
+        return 0
+    if missing and enforce:
+        print("bench_gate: missing fresh BENCH files while enforcing; failing",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: {compared} benchmark(s) within "
+          f"{args.tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,9 @@ echo "=== [2/4] benchmark smoke (BENCH_resolve/service/store/fleet.json) ==="
  test -s BENCH_store.json &&
  VIPROF_QUICK=1 ./bench/micro_fleet &&
  test -s BENCH_fleet.json)
+# Gate against the checked-in reference runs. Warn-only by default (quick
+# runs on a noisy machine jitter); VIPROF_GATE=1 turns regressions fatal.
+python3 scripts/bench_gate.py --fresh "$PREFIX" --baseline bench/baselines
 
 echo "=== [3/4] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
 SAN_DIR="$PREFIX-$SANITIZER"

@@ -2,9 +2,11 @@
 
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "hw/event.hpp"
 #include "support/format.hpp"
+#include "support/traced_mutex.hpp"
 
 namespace viprof::fleet {
 
@@ -181,8 +183,66 @@ std::string Federator::render_diff(const std::string& before_session,
                            session_profile(after_session), event, top_n);
 }
 
+std::string Federator::stats(bool as_json) const {
+  if (as_json) {
+    std::string out = "{\"fleet\":" + router_->telemetry().snapshot().to_json();
+    out += ",\"shards\":{";
+    bool first = true;
+    for (const std::string& name : router_->shard_names()) {
+      service::ProfileServer* server = router_->server(name);
+      if (server == nullptr || !router_->alive(name)) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + name + "\":" + server->telemetry().snapshot().to_json();
+    }
+    out += "}}";
+    return out;
+  }
+  std::ostringstream out;
+  out << "== fleet ==\n" << router_->telemetry().snapshot().render_text();
+  for (const std::string& name : router_->shard_names()) {
+    service::ProfileServer* server = router_->server(name);
+    if (server == nullptr || !router_->alive(name)) continue;
+    out << "== " << name << " ==\n" << server->telemetry().snapshot().render_text();
+  }
+  return out.str();
+}
+
+std::string Federator::merged_trace() const {
+  std::vector<std::pair<std::string, support::ChromeTrace>> inputs;
+  if (auto t = support::parse_chrome_trace(
+          router_->telemetry().spans().to_chrome_json(1000.0)))
+    inputs.emplace_back("fleet", std::move(*t));
+  for (const std::string& name : router_->shard_names()) {
+    service::ProfileServer* server = router_->server(name);
+    if (server == nullptr || !router_->alive(name)) continue;
+    if (auto t = support::parse_chrome_trace(
+            server->telemetry().spans().to_chrome_json(1000.0)))
+      inputs.emplace_back(name, std::move(*t));
+  }
+  return support::merge_chrome_traces(inputs);
+}
+
 std::string Federator::query(const std::string& text) const {
-  return dispatch_query(partitions(), text, sessions_table());
+  const std::uint64_t t0 = support::monotonic_ns();
+  std::istringstream in(text);
+  std::string verb;
+  in >> verb;
+  std::string out;
+  if (verb == "stats") {
+    std::string word;
+    bool as_json = false;
+    while (in >> word)
+      if (word == "--json") as_json = true;
+    out = stats(as_json);
+  } else if (verb == "trace") {
+    out = merged_trace();
+  } else {
+    out = dispatch_query(partitions(), text, sessions_table());
+  }
+  router_->telemetry().spans().record("fleet.query", "fleet", t0,
+                                      support::monotonic_ns());
+  return out;
 }
 
 // ------------------------------------------------------------ offline fleet
@@ -194,12 +254,23 @@ std::optional<OfflineFleet> OfflineFleet::open(os::Vfs& fleet) {
   if (!manifest) return std::nullopt;
   OfflineFleet out;
   out.manifest_ = std::move(*manifest);
+  const auto load_telemetry = [&](const std::string& source,
+                                  const std::string& dir) {
+    ExportedTelemetry t;
+    t.source = source;
+    t.metrics_json = fleet.read(dir + "/metrics.json").value_or("");
+    t.trace_json = fleet.read(dir + "/trace.json").value_or("");
+    if (!t.metrics_json.empty() || !t.trace_json.empty())
+      out.telemetry_.push_back(std::move(t));
+  };
+  load_telemetry("fleet", "fleet");
   for (const store::FleetShard& shard : out.manifest_.shards) {
     store::StoreConfig sc;
     sc.root = shard.root;
     auto st = std::make_unique<store::ProfileStore>(fleet, sc);
     st->open();  // recovery: salvages whatever the partition holds
     out.stores_.push_back(std::move(st));
+    load_telemetry(shard.name, shard.name);
   }
   return out;
 }
@@ -237,6 +308,41 @@ std::string OfflineFleet::render_diff(const std::string& before_session,
 }
 
 std::string OfflineFleet::query(const std::string& text) const {
+  std::istringstream in(text);
+  std::string verb;
+  in >> verb;
+  if (verb == "stats") {
+    std::string word;
+    bool as_json = false;
+    while (in >> word)
+      if (word == "--json") as_json = true;
+    bool any = false;
+    std::string json = "{";
+    std::ostringstream sections;
+    for (const ExportedTelemetry& t : telemetry_) {
+      if (t.metrics_json.empty()) continue;
+      if (any) json += ",";
+      any = true;
+      json += "\"" + t.source + "\":" + t.metrics_json;
+      sections << "== " << t.source << " ==\n" << t.metrics_json << "\n";
+    }
+    json += "}";
+    if (!any) return "error: no telemetry exported (run viprof_fleet serve first)\n";
+    // Offline stats are the exported JSON snapshots verbatim — sectioned
+    // for the eye, or one object keyed by source for machines.
+    return as_json ? json : sections.str();
+  }
+  if (verb == "trace") {
+    std::vector<std::pair<std::string, support::ChromeTrace>> inputs;
+    for (const ExportedTelemetry& t : telemetry_) {
+      if (t.trace_json.empty()) continue;
+      if (auto parsed = support::parse_chrome_trace(t.trace_json))
+        inputs.emplace_back(t.source, std::move(*parsed));
+    }
+    if (inputs.empty())
+      return "error: no telemetry exported (run viprof_fleet serve first)\n";
+    return support::merge_chrome_traces(inputs);
+  }
   return dispatch_query(partitions(), text, stored_sessions_table(partitions()));
 }
 

@@ -56,10 +56,24 @@ class Federator {
                           const std::string& after_session, hw::EventKind event,
                           std::size_t top_n) const;
 
+  /// Scatter-gather of live telemetry: the router's own registry plus
+  /// every alive shard server's, one section per source (text) or one
+  /// combined {"fleet":…,"shards":{…}} object (json). Dead shards are
+  /// absent — their registries died with the process; their contention
+  /// history survives only in exported metrics.json files.
+  std::string stats(bool as_json) const;
+
+  /// Every live span ring — the router's ("fleet", pid 1) and each alive
+  /// shard server's — folded into one Chrome trace via
+  /// support::merge_chrome_traces (shard = pid, worker thread = tid).
+  std::string merged_trace() const;
+
   /// Query-string front end, mirroring ProfileServer::query:
   ///   sessions
   ///   top N [--event time|dmiss] [--session S]
   ///   diff BEFORE AFTER [--event E] [--top N]
+  ///   stats [--json]
+  ///   trace
   std::string query(const std::string& text) const;
 
  private:
@@ -86,8 +100,10 @@ class OfflineFleet {
   std::string render_diff(const std::string& before_session,
                           const std::string& after_session, hw::EventKind event,
                           std::size_t top_n) const;
-  /// Same verbs as Federator::query minus "sessions" (no live stats
-  /// offline); "sessions" renders the stored-session inventory instead.
+  /// Same verbs as Federator::query; "sessions" renders the
+  /// stored-session inventory (no live stats offline), while "stats" and
+  /// "trace" answer from the telemetry files Router::export_telemetry
+  /// published (and are errors when none were exported).
   std::string query(const std::string& text) const;
 
  private:
@@ -97,6 +113,15 @@ class OfflineFleet {
 
   store::FleetManifest manifest_;
   std::vector<std::unique_ptr<store::ProfileStore>> stores_;
+  /// Exported telemetry, when present: (source, metrics json, trace json),
+  /// "fleet" first then shards in manifest order. Missing files load as
+  /// empty strings and are skipped at query time.
+  struct ExportedTelemetry {
+    std::string source;
+    std::string metrics_json;
+    std::string trace_json;
+  };
+  std::vector<ExportedTelemetry> telemetry_;
 };
 
 }  // namespace viprof::fleet

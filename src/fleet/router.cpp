@@ -4,6 +4,7 @@
 
 #include "service/client.hpp"
 #include "support/check.hpp"
+#include "support/traced_mutex.hpp"
 
 namespace viprof::fleet {
 
@@ -114,6 +115,9 @@ Router::Shard& Router::create_shard(const std::string& name) {
   shard->server = std::make_unique<service::ProfileServer>(config_.server);
   store::StoreConfig sc;
   sc.root = store::partition_root(name);
+  // Partitions share the router's registry: every shard's store.manifest
+  // lock folds into one fleet-wide lock.store.manifest.wait_ns histogram.
+  sc.telemetry = &telemetry_;
   shard->store = std::make_unique<store::ProfileStore>(vfs_, sc);
   shard->store->open();
   ring_.add(name);
@@ -159,6 +163,7 @@ void Router::finish_kill(Shard& shard) {
   telemetry_.gauge("fleet.shards").set(static_cast<double>(ring_.size()));
   store::StoreConfig sc;
   sc.root = store::partition_root(shard.name);
+  sc.telemetry = &telemetry_;
   shard.store = std::make_unique<store::ProfileStore>(vfs_, sc);
   shard.store->open();
   bump("fleet.kills");
@@ -167,6 +172,14 @@ void Router::finish_kill(Shard& shard) {
 SessionOutcome Router::ingest(const os::Vfs& world, const std::string& session_id) {
   SessionOutcome out;
   out.session = session_id;
+
+  // One trace context per session, minted from its id — the same id a
+  // standalone server would mint for an untraced stream, so a span is
+  // tagged identically whether the session arrived via the fleet or
+  // directly. Every frame of every attempt carries it; failover re-streams
+  // under the same trace, which is exactly what makes the retries visible.
+  const support::TraceContext trace = support::TraceContext::mint(session_id);
+  const std::uint64_t ingest_t0 = support::monotonic_ns();
 
   struct Attempt {
     Shard* shard = nullptr;
@@ -190,6 +203,7 @@ SessionOutcome Router::ingest(const os::Vfs& world, const std::string& session_i
       RetryTransport transport(*this, *shard, *conn);
       service::ReplayOptions opts;
       opts.batch_records = config_.batch_records;
+      opts.trace = trace;
       service::ReplayClient client(world, session_id, transport, opts);
       attempt.completed = client.run();
       attempt.sent = client.records_sent();
@@ -227,6 +241,8 @@ SessionOutcome Router::ingest(const os::Vfs& world, const std::string& session_i
     out.refused = true;
     ++ledger_.refused_sessions;
     bump("fleet.refused.sessions");
+    telemetry_.spans().record("fleet.ingest", "fleet", ingest_t0,
+                              support::monotonic_ns(), 0, trace.trace_id);
     publish_manifest();
     return out;
   }
@@ -249,6 +265,9 @@ SessionOutcome Router::ingest(const os::Vfs& world, const std::string& session_i
     ++ledger_.lost_dead_sessions;
     bump("fleet.lost.dead.records", terminal.sent);
     bump("fleet.lost.dead.sessions");
+    telemetry_.spans().record("fleet.ingest", "fleet", ingest_t0,
+                              support::monotonic_ns(), attempts.size(),
+                              trace.trace_id);
     publish_manifest();
     return out;
   }
@@ -282,6 +301,9 @@ SessionOutcome Router::ingest(const os::Vfs& world, const std::string& session_i
   bump("fleet.lost.queue", out.records_lost_queue);
   bump("fleet.lost.wire", out.records_lost_wire);
 
+  telemetry_.spans().record("fleet.ingest", "fleet", ingest_t0,
+                            support::monotonic_ns(), attempts.size(),
+                            trace.trace_id);
   publish_manifest();
   return out;
 }
@@ -331,6 +353,24 @@ store::FleetManifest Router::manifest() const {
 
 void Router::bump(const char* counter, std::uint64_t n) {
   telemetry_.counter(counter).inc(n);
+}
+
+std::size_t Router::export_telemetry() {
+  std::size_t written = 0;
+  const auto publish = [&](const std::string& path, const std::string& bytes) {
+    const std::string tmp = path + ".tmp";
+    if (vfs_.write(tmp, bytes) != os::IoStatus::kOk) return;
+    if (vfs_.rename(tmp, path) == os::IoStatus::kOk) ++written;
+  };
+  for (const auto& s : shards_) {
+    if (!s->alive || !s->server) continue;  // a dead process has no registry
+    support::Telemetry& t = s->server->telemetry();
+    publish(s->name + "/metrics.json", t.snapshot().to_json());
+    publish(s->name + "/trace.json", t.spans().to_chrome_json(1000.0));
+  }
+  publish("fleet/metrics.json", telemetry_.snapshot().to_json());
+  publish("fleet/trace.json", telemetry_.spans().to_chrome_json(1000.0));
+  return written;
 }
 
 void Router::publish_manifest() {

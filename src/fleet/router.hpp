@@ -119,6 +119,16 @@ class Router {
   bool alive(const std::string& name) const;
   bool routable(const std::string& name) const;
 
+  /// Publishes the fleet's live telemetry into the fleet Vfs:
+  /// `<shard>/metrics.json` + `<shard>/trace.json` for every shard whose
+  /// process is alive (the shard server's registry and span ring), and
+  /// `fleet/metrics.json` + `fleet/trace.json` for the router's own. Each
+  /// file is written temp + rename, same discipline as the manifests, and
+  /// fleet fsck ignores them. `viprof_stat trace-merge` folds the trace
+  /// files into one fleet-wide Chrome trace; OfflineFleet serves them to
+  /// `viprof_query stats/trace --fleet`. Returns files written.
+  std::size_t export_telemetry();
+
   const store::FleetLedger& ledger() const { return ledger_; }
   /// Current manifest view (same content as the published MANIFEST file).
   store::FleetManifest manifest() const;

@@ -41,7 +41,9 @@ bool ReplayClient::send(FrameType type, const std::string& payload) {
     disconnected_ = true;
     return false;
   }
-  if (!out_.send(encode_frame(type, payload))) {
+  support::TraceContext trace = options_.trace;
+  trace.parent_span = frames_sent_;  // which client hop this frame was
+  if (!out_.send(encode_frame(type, payload, trace))) {
     disconnected_ = true;
     return false;
   }

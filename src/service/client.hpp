@@ -32,6 +32,10 @@ namespace viprof::service {
 struct ReplayOptions {
   std::size_t batch_records = 256;          // sample lines per kSampleBatch
   support::FaultInjector* fault = nullptr;  // kClient = disconnect after N frames
+  /// When valid, every frame carries the trace extension: trace_id from
+  /// here, parent_span = the frame's send ordinal (so the server can tell
+  /// which client-side hop each ingest span descends from).
+  support::TraceContext trace;
 };
 
 class ReplayClient {

@@ -7,7 +7,7 @@ CodeMapCache::IndexPtr CodeMapCache::get(const std::string& session, hw::Pid pid
                                          const Builder& build) {
   const std::string key =
       session + "/" + std::to_string(pid) + "@" + std::to_string(ceiling);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   if (IndexPtr* hit = cache_.get(key)) return *hit;
   auto index = std::make_shared<core::CodeMapIndex>(build());
   index->prepare();  // workers only run const queries afterwards
@@ -17,7 +17,7 @@ CodeMapCache::IndexPtr CodeMapCache::get(const std::string& session, hw::Pid pid
 void CodeMapCache::publish(support::Telemetry& telemetry) {
   std::uint64_t dh, dm, de;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<support::TracedMutex> lock(mu_);
     dh = cache_.hits() - published_hits_;
     dm = cache_.misses() - published_misses_;
     de = cache_.evictions() - published_evictions_;
@@ -33,15 +33,15 @@ void CodeMapCache::publish(support::Telemetry& telemetry) {
 }
 
 std::uint64_t CodeMapCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return cache_.hits();
 }
 std::uint64_t CodeMapCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return cache_.misses();
 }
 std::uint64_t CodeMapCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return cache_.evictions();
 }
 

@@ -18,6 +18,7 @@
 #include "core/code_map.hpp"
 #include "support/lru_cache.hpp"
 #include "support/telemetry.hpp"
+#include "support/traced_mutex.hpp"
 
 namespace viprof::service {
 
@@ -27,6 +28,11 @@ class CodeMapCache {
   using Builder = std::function<core::CodeMapIndex()>;
 
   explicit CodeMapCache(std::size_t capacity) : cache_(capacity) {}
+
+  /// Publishes this cache's lock contention metrics (the cache mutex is a
+  /// prime serialization suspect: builders run *under* it so concurrent
+  /// misses build once, which is exactly what makes workers queue up here).
+  void attach_telemetry(support::Telemetry& telemetry) { mu_.attach(telemetry); }
 
   /// Index for `pid` of `session` at epoch ceiling `ceiling`; `build` runs
   /// (under the cache lock, so concurrent misses on one key build once) on
@@ -46,7 +52,7 @@ class CodeMapCache {
   std::uint64_t evictions() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable support::TracedMutex mu_{"service.map_cache"};
   support::LruCache<std::string, IndexPtr> cache_;
   // Counts already published, so publish() emits exact deltas (mu_).
   std::uint64_t published_hits_ = 0;

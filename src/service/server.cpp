@@ -108,11 +108,15 @@ ProfileServer::ProfileServer(const ServerConfig& config)
       cache_(config.code_map_cache_capacity),
       pool_(config.ingest_threads == 0 ? 1 : config.ingest_threads) {
   telemetry_.gauge("service.ingest_threads").set(static_cast<double>(pool_.size()));
+  // Arm the contention suspects before any traffic (DESIGN.md §13).
+  cache_.attach_telemetry(telemetry_);
+  pool_.attach_telemetry(telemetry_);
+  sessions_mu_.attach(telemetry_);
 }
 
 ProfileServer::~ProfileServer() {
   // Unblock any receiver stuck in backpressure, then let the pool join.
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<support::TracedSharedMutex> lock(sessions_mu_);
   for (auto& [id, session] : sessions_) session->queue_.close();
 }
 
@@ -127,10 +131,12 @@ std::unique_ptr<ServerConnection> ProfileServer::connect(const std::string& clie
 }
 
 std::shared_ptr<ServerSession> ProfileServer::open_session(const std::string& id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<support::TracedSharedMutex> lock(sessions_mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
-    it = sessions_.emplace(id, std::make_shared<ServerSession>(id, config_.queue_capacity))
+    it = sessions_
+             .emplace(id, std::make_shared<ServerSession>(id, config_.queue_capacity,
+                                                          &telemetry_))
              .first;
     telemetry_.gauge("service.sessions").set(static_cast<double>(sessions_.size()));
   }
@@ -139,7 +145,7 @@ std::shared_ptr<ServerSession> ProfileServer::open_session(const std::string& id
 
 void ProfileServer::reply(ServerConnection& conn, FrameType type, std::string text) {
   std::lock_guard<std::mutex> lock(conn.reply_mu_);
-  conn.replies_.push_back(Frame{type, std::move(text)});
+  conn.replies_.push_back(Frame{type, std::move(text), {}});
 }
 
 void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
@@ -154,6 +160,12 @@ void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
         return;
       }
       conn.session_ = open_session(frame.payload);
+      // Adopt the client's trace context; mint one locally for untraced
+      // clients so every span this session produces is still causally
+      // tagged (and deterministically so — mint hashes the session id).
+      conn.session_->set_trace(frame.trace.valid()
+                                   ? frame.trace.trace_id
+                                   : support::TraceContext::mint(frame.payload).trace_id);
       reply(conn, FrameType::kReply, "ok session " + frame.payload);
       return;
     case FrameType::kRegisterVm: {
@@ -204,19 +216,21 @@ void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(conn.session_->agg_mu_);
+        std::lock_guard<support::TracedMutex> lock(conn.session_->agg_mu_);
         conn.session_->stats_.ended = true;
       }
       reply(conn, FrameType::kReply, "ok end");
       return;
     }
     case FrameType::kQuery: {
-      const auto t0 = std::chrono::steady_clock::now();
+      const std::uint64_t t0 = support::monotonic_ns();
       std::string result = query(frame.payload);
-      const auto t1 = std::chrono::steady_clock::now();
+      const std::uint64_t t1 = support::monotonic_ns();
       telemetry_
           .histogram("service.query.latency_us", 0.0, 50.0, 64)
-          .add(std::chrono::duration<double, std::micro>(t1 - t0).count());
+          .add(static_cast<double>(t1 - t0) / 1000.0);
+      telemetry_.spans().record("service.query", "service", t0, t1,
+                                support::SpanTracer::kNoArg, frame.trace.trace_id);
       reply(conn, FrameType::kReply, std::move(result));
       return;
     }
@@ -251,10 +265,11 @@ void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payl
   batch.event = *event;
   bool enqueued = false;
   std::uint64_t record_count = 0;
+  const std::uint64_t parse_t0 = support::monotonic_ns();
   {
     // Serial per-session parse: stream order and the per-event sequence
     // watermark are what make the online aggregate deterministic.
-    std::lock_guard<std::mutex> lock(session->ingest_mu_);
+    std::lock_guard<support::TracedMutex> lock(session->ingest_mu_);
     session->parsers_[hw::event_index(*event)].parse(
         std::string_view(payload).substr(nl + 1), batch.samples);
     batch.ceilings = session->ceilings_;
@@ -276,9 +291,12 @@ void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payl
       if (enqueued) ++session->next_enqueue_seq_;
     }
   }
+  telemetry_.spans().record("service.batch.parse", "service", parse_t0,
+                            support::monotonic_ns(), support::SpanTracer::kNoArg,
+                            session->trace());
 
   {
-    std::lock_guard<std::mutex> lock(session->agg_mu_);
+    std::lock_guard<support::TracedMutex> lock(session->agg_mu_);
     ++session->stats_.frames;
     if (enqueued) {
       ++session->stats_.batches_enqueued;
@@ -334,6 +352,7 @@ void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
         });
   }
 
+  const std::uint64_t resolve_t0 = support::monotonic_ns();
   for (const core::LoggedSample& sample : batch.samples) {
     const core::Resolution res = resolver->resolve(sample, &jit);
     result.partial.add(batch.event, res);
@@ -344,15 +363,20 @@ void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
       result.arcs.emplace_back(caller, res);
     }
   }
+  const std::uint64_t resolve_t1 = support::monotonic_ns();
+  telemetry_.spans().record("service.batch.resolve", "service", resolve_t0, resolve_t1,
+                            batch.apply_seq, session->trace());
   telemetry_.counter("service.records").inc(result.records);
   session->apply(batch.apply_seq, std::move(result));
+  telemetry_.spans().record("service.batch.apply", "service", resolve_t1,
+                            support::monotonic_ns(), batch.apply_seq, session->trace());
   cache_.publish(telemetry_);
 }
 
 void ProfileServer::drain() { pool_.wait_idle(); }
 
 std::vector<std::string> ProfileServer::session_ids() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::shared_lock<support::TracedSharedMutex> lock(sessions_mu_);
   std::vector<std::string> ids;
   ids.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) ids.push_back(id);
@@ -360,7 +384,7 @@ std::vector<std::string> ProfileServer::session_ids() const {
 }
 
 std::shared_ptr<ServerSession> ProfileServer::session(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::shared_lock<support::TracedSharedMutex> lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -469,6 +493,18 @@ std::string ProfileServer::query(const std::string& text) {
     return table.render();
   }
   if (verb == "snapshot") return snapshot();
+  if (verb == "stats") {
+    std::string word;
+    bool as_json = false;
+    while (in >> word)
+      if (word == "--json") as_json = true;
+    const support::TelemetrySnapshot snap = telemetry_.snapshot();
+    return as_json ? snap.to_json() : snap.render_text();
+  }
+  if (verb == "trace") {
+    // Host-side ring: monotonic_ns timestamps, so 1000 "cycles" per µs.
+    return telemetry_.spans().to_chrome_json(1000.0);
+  }
   return "error: unknown query: " + text + "\n";
 }
 
@@ -495,6 +531,7 @@ bool ProfileServer::export_state(const std::string& dir, std::size_t top) {
   }
   out.write("service.snap", snapshot());
   out.write("metrics.json", telemetry_.snapshot().to_json());
+  out.write("trace.json", telemetry_.spans().to_chrome_json(1000.0));
   out.export_to_directory(dir);
   return true;
 }
@@ -513,6 +550,7 @@ std::size_t ProfileServer::flush_session_to_store(const std::string& id,
                                                   std::uint64_t tick) {
   std::shared_ptr<ServerSession> s = session(id);
   if (!s) return 0;
+  const std::uint64_t t0 = support::monotonic_ns();
   ServerSession::FlushDelta delta = s->take_flush();
   if (!delta.any) return 0;
   store::IntervalProfile iv;
@@ -523,11 +561,13 @@ std::size_t ProfileServer::flush_session_to_store(const std::string& id,
   iv.profile = std::move(delta.profile);
   if (!store.ingest(std::move(iv))) return 0;
   telemetry_.counter("service.store.intervals").inc();
+  telemetry_.spans().record("service.flush", "service", t0, support::monotonic_ns(),
+                            tick, s->trace());
   return 1;
 }
 
 bool ProfileServer::drop_session(const std::string& id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<support::TracedSharedMutex> lock(sessions_mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   // Connections still holding the shared_ptr keep it alive until they are

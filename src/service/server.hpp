@@ -111,15 +111,18 @@ class ProfileServer {
   ///   since-epoch K [--session S] [--top N]
   ///   arcs N [--session S]
   ///   snapshot
+  ///   stats [--json]       — live telemetry snapshot (text table / JSON)
+  ///   trace                — the server's span ring as Chrome trace JSON
   std::string query(const std::string& text);
 
   /// viprof-snapshot v1 text over all sessions (see service/query.hpp).
   std::string snapshot();
 
-  /// Writes <dir>/<session>/profile.txt, <dir>/service.snap and
-  /// <dir>/metrics.json. False when there are no sessions to export. Each
-  /// file is published atomically (temp + rename), so a crash mid-export
-  /// never clobbers a previous snapshot.
+  /// Writes <dir>/<session>/profile.txt, <dir>/service.snap,
+  /// <dir>/metrics.json and <dir>/trace.json (the server's own span ring,
+  /// host-clock ns at cycles_per_us = 1000). False when there are no
+  /// sessions to export. Each file is published atomically (temp +
+  /// rename), so a crash mid-export never clobbers a previous snapshot.
   bool export_state(const std::string& dir, std::size_t top = 20);
 
   /// Flushes each session's delta since the last flush into `store` as one
@@ -169,7 +172,9 @@ class ProfileServer {
   ServerConfig config_;
   support::Telemetry telemetry_;
   CodeMapCache cache_;
-  mutable std::mutex sessions_mu_;
+  // Reader-heavy (every query and flush walks the session table) and a
+  // contention suspect: shared for lookups, exclusive for open/drop.
+  mutable support::TracedSharedMutex sessions_mu_{"service.sessions"};
   std::map<std::string, std::shared_ptr<ServerSession>> sessions_;
   // The pool is declared last so its destructor (which joins workers that
   // may still touch sessions/cache/telemetry) runs first.

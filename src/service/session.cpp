@@ -32,7 +32,7 @@ core::RegisterStatus ServerSession::register_vm(const core::VmRegistration& reg)
     std::lock_guard<std::mutex> lock(reg_mu_);
     status = table_.add(reg);
   }
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   if (status == core::RegisterStatus::kOk)
     ++stats_.registrations;
   else
@@ -58,11 +58,11 @@ void ServerSession::store_file(const std::string& path, std::string bytes) {
   const auto epoch = core::CodeMapFile::epoch_from_path(path);
   const auto pid = epoch ? pid_from_map_path(path) : std::nullopt;
   if (epoch && pid) {
-    std::lock_guard<std::mutex> lock(ingest_mu_);
+    std::lock_guard<support::TracedMutex> lock(ingest_mu_);
     auto [it, inserted] = ceilings_.try_emplace(*pid, *epoch);
     if (!inserted && *epoch > it->second) it->second = *epoch;
   }
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   ++stats_.files;
 }
 
@@ -76,7 +76,7 @@ const core::ArchiveResolver* ServerSession::resolver() {
 }
 
 core::Profile ServerSession::merged_profile() const {
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   core::Profile merged;
   for (hw::EventKind event : hw::kAllEventKinds)
     merged.merge(event_profiles_[hw::event_index(event)]);
@@ -84,7 +84,7 @@ core::Profile ServerSession::merged_profile() const {
 }
 
 core::Profile ServerSession::profile_since_epoch(std::uint64_t since) const {
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   core::Profile merged;
   for (const auto& [epoch, profile] : epoch_profiles_)
     if (epoch >= since) merged.merge(profile);
@@ -92,12 +92,12 @@ core::Profile ServerSession::profile_since_epoch(std::uint64_t since) const {
 }
 
 std::vector<core::CallArc> ServerSession::ranked_arcs() const {
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   return graph_.ranked();
 }
 
 ServerSession::FlushDelta ServerSession::take_flush() {
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   FlushDelta delta;
   delta.any = pending_any_;
   delta.records = pending_records_;
@@ -119,7 +119,7 @@ ServerSession::FlushDelta ServerSession::take_flush() {
 }
 
 void ServerSession::apply(std::uint64_t apply_seq, BatchResult result) {
-  std::lock_guard<std::mutex> lock(agg_mu_);
+  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   reorder_.emplace(apply_seq, std::move(result));
   while (true) {
     auto it = reorder_.find(next_apply_seq_);

@@ -8,6 +8,9 @@
 //   ingest_mu_  — parsers, epoch ceilings, enqueue sequencing (receiver)
 //   world_mu_   — the VFS and the lazily built resolver (receiver + workers)
 //   agg_mu_     — aggregates, reorder buffer, stats (workers + queries)
+// ingest_mu_ and agg_mu_ are contention suspects (ROADMAP item 1), so they
+// are TracedMutexes: when the server hands the session a Telemetry, their
+// wait times surface as lock.service.session.{ingest,agg}.wait_ns.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +28,7 @@
 #include "core/report.hpp"
 #include "core/sample_log.hpp"
 #include "support/bounded_queue.hpp"
+#include "support/traced_mutex.hpp"
 
 namespace viprof::service {
 
@@ -67,13 +71,31 @@ class ProfileServer;
 
 class ServerSession {
  public:
-  ServerSession(std::string id, std::size_t queue_capacity)
-      : id_(std::move(id)), queue_(queue_capacity) {}
+  /// `telemetry` (may be null) hosts this session's lock contention
+  /// metrics and queue-depth instrumentation; the server passes its own
+  /// hub so every session folds into one observable registry.
+  ServerSession(std::string id, std::size_t queue_capacity,
+                support::Telemetry* telemetry = nullptr)
+      : id_(std::move(id)), queue_(queue_capacity) {
+    if (telemetry != nullptr) {
+      ingest_mu_.attach(*telemetry);
+      agg_mu_.attach(*telemetry);
+      queue_.instrument(&telemetry->gauge("service.queue.depth"),
+                        &telemetry->histogram("service.queue.depth_hist", 0.0, 1.0, 64));
+    }
+  }
 
   const std::string& id() const { return id_; }
 
+  /// Trace context minted (or received over the wire) for this session;
+  /// every span the server records on its behalf carries this id.
+  void set_trace(std::uint64_t trace_id) {
+    trace_id_.store(trace_id, std::memory_order_relaxed);
+  }
+  std::uint64_t trace() const { return trace_id_.load(std::memory_order_relaxed); }
+
   SessionStats stats() const {
-    std::lock_guard<std::mutex> lock(agg_mu_);
+    std::lock_guard<support::TracedMutex> lock(agg_mu_);
     return stats_;
   }
 
@@ -117,24 +139,24 @@ class ServerSession {
 
   /// Copies of the per-epoch profiles (snapshot serialisation).
   std::map<std::uint64_t, core::Profile> epoch_profiles() const {
-    std::lock_guard<std::mutex> lock(agg_mu_);
+    std::lock_guard<support::TracedMutex> lock(agg_mu_);
     return epoch_profiles_;
   }
 
   std::uint64_t ingested_records() const {
-    std::lock_guard<std::mutex> lock(agg_mu_);
+    std::lock_guard<support::TracedMutex> lock(agg_mu_);
     return stats_.records_ingested;
   }
 
   /// Wire-level damage charged to this session (decoder skips, mid-frame
   /// disconnects).
   void count_torn_frames(std::uint64_t n) {
-    std::lock_guard<std::mutex> lock(agg_mu_);
+    std::lock_guard<support::TracedMutex> lock(agg_mu_);
     stats_.torn_frames += n;
   }
 
   bool ended() const {
-    std::lock_guard<std::mutex> lock(agg_mu_);
+    std::lock_guard<support::TracedMutex> lock(agg_mu_);
     return stats_.ended;
   }
 
@@ -146,9 +168,10 @@ class ServerSession {
   void apply(std::uint64_t apply_seq, BatchResult result);
 
   const std::string id_;
+  std::atomic<std::uint64_t> trace_id_{0};
 
   // ---- receiver side (ingest_mu_)
-  mutable std::mutex ingest_mu_;
+  mutable support::TracedMutex ingest_mu_{"service.session.ingest"};
   core::SampleStreamParser parsers_[hw::kEventKindCount];
   std::map<hw::Pid, std::uint64_t> ceilings_;
   std::uint64_t next_enqueue_seq_ = 0;
@@ -166,8 +189,8 @@ class ServerSession {
   support::BoundedQueue<Batch> queue_;
 
   // ---- aggregates (agg_mu_)
-  mutable std::mutex agg_mu_;
-  std::condition_variable applied_cv_;
+  mutable support::TracedMutex agg_mu_{"service.session.agg"};
+  std::condition_variable_any applied_cv_;
   std::map<std::uint64_t, BatchResult> reorder_;
   std::uint64_t next_apply_seq_ = 0;
   core::Profile event_profiles_[hw::kEventKindCount];

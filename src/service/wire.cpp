@@ -27,6 +27,16 @@ void append_u32le(std::string& out, std::uint32_t v) {
   out.push_back(static_cast<char>((v >> 24) & 0xff));
 }
 
+std::uint64_t read_u64le(const char* p) {
+  return static_cast<std::uint64_t>(read_u32le(p)) |
+         static_cast<std::uint64_t>(read_u32le(p + 4)) << 32;
+}
+
+void append_u64le(std::string& out, std::uint64_t v) {
+  append_u32le(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  append_u32le(out, static_cast<std::uint32_t>(v >> 32));
+}
+
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
          t <= static_cast<std::uint8_t>(FrameType::kError);
@@ -35,13 +45,24 @@ bool valid_type(std::uint8_t t) {
 }  // namespace
 
 std::string encode_frame(FrameType type, const std::string& payload) {
+  return encode_frame(type, payload, support::TraceContext{});
+}
+
+std::string encode_frame(FrameType type, const std::string& payload,
+                         const support::TraceContext& trace) {
+  const bool traced = trace.valid();
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  out.reserve(kFrameHeaderBytes + (traced ? kFrameTraceExtBytes : 0) +
+              payload.size() + kFrameTrailerBytes);
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(static_cast<char>(type));
-  out.push_back(0);  // reserved
+  out.push_back(traced ? static_cast<char>(kFrameFlagTraced) : 0);
   append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  if (traced) {
+    append_u64le(out, trace.trace_id);
+    append_u64le(out, trace.parent_span);
+  }
   out += payload;
   append_u32le(out, support::fnv1a(out.data(), out.size()));
   return out;
@@ -65,21 +86,25 @@ void FrameDecoder::skip_damage(std::size_t min_drop) {
 bool FrameDecoder::next(Frame& out) {
   for (;;) {
     if (buffer_.size() < kFrameHeaderBytes) return false;
+    const auto flags = static_cast<std::uint8_t>(buffer_[3]);
     if (buffer_[0] != kMagic0 || buffer_[1] != kMagic1 ||
-        !valid_type(static_cast<std::uint8_t>(buffer_[2])) || buffer_[3] != 0) {
+        !valid_type(static_cast<std::uint8_t>(buffer_[2])) ||
+        (flags & ~kFrameFlagTraced) != 0) {  // unknown flag bits = damage
       skip_damage(1);
       continue;
     }
+    const std::size_t ext = (flags & kFrameFlagTraced) != 0 ? kFrameTraceExtBytes : 0;
     const std::size_t length = read_u32le(buffer_.data() + 4);
     if (length > kMaxPayload) {
       skip_damage(1);
       continue;
     }
-    const std::size_t total = kFrameHeaderBytes + length + kFrameTrailerBytes;
+    const std::size_t total = kFrameHeaderBytes + ext + length + kFrameTrailerBytes;
     if (buffer_.size() < total) return false;  // frame still in flight
-    const std::uint32_t crc_read = read_u32le(buffer_.data() + kFrameHeaderBytes + length);
+    const std::uint32_t crc_read =
+        read_u32le(buffer_.data() + kFrameHeaderBytes + ext + length);
     const std::uint32_t crc_calc =
-        support::fnv1a(buffer_.data(), kFrameHeaderBytes + length);
+        support::fnv1a(buffer_.data(), kFrameHeaderBytes + ext + length);
     if (crc_read != crc_calc) {
       // A tear inside the frame body: the header looked fine, the bytes
       // did not. Skip past the bogus magic and rescan — anything that was
@@ -88,7 +113,12 @@ bool FrameDecoder::next(Frame& out) {
       continue;
     }
     out.type = static_cast<FrameType>(buffer_[2]);
-    out.payload.assign(buffer_, kFrameHeaderBytes, length);
+    out.trace = support::TraceContext{};
+    if (ext != 0) {
+      out.trace.trace_id = read_u64le(buffer_.data() + kFrameHeaderBytes);
+      out.trace.parent_span = read_u64le(buffer_.data() + kFrameHeaderBytes + 8);
+    }
+    out.payload.assign(buffer_, kFrameHeaderBytes + ext, length);
     buffer_.erase(0, total);
     return true;
   }

@@ -11,15 +11,23 @@
 // Frame layout (little-endian):
 //   offset 0  'V' 'F'        magic
 //   offset 2  u8  type       FrameType
-//   offset 3  u8  reserved   0
-//   offset 4  u32 length     payload byte count
-//   offset 8  payload
-//   offset 8+length u32 crc  FNV-1a over header + payload
+//   offset 3  u8  flags      bit 0: trace extension present; rest reserved 0
+//   offset 4  u32 length     payload byte count (extension not included)
+//   offset 8  [u64 trace_id, u64 parent_span]   iff flags bit 0 (16 bytes)
+//   then      payload
+//   then      u32 crc        FNV-1a over header + extension + payload
+//
+// The flags byte was the always-zero reserved byte through PR 6, so
+// untraced frames are byte-identical to the historical encoding and old
+// captures still decode. Unknown flag bits are treated as damage — a
+// future extension the decoder does not understand must not half-parse.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "support/traced_mutex.hpp"
 
 namespace viprof::service {
 
@@ -53,13 +61,21 @@ inline const char* to_string(FrameType t) {
 struct Frame {
   FrameType type = FrameType::kHello;
   std::string payload;
+  /// Trace extension contents; trace.valid() is false for untraced frames.
+  support::TraceContext trace;
 };
 
-inline constexpr std::size_t kFrameHeaderBytes = 8;   // magic+type+reserved+len
-inline constexpr std::size_t kFrameTrailerBytes = 4;  // crc
+inline constexpr std::size_t kFrameHeaderBytes = 8;    // magic+type+flags+len
+inline constexpr std::size_t kFrameTrailerBytes = 4;   // crc
+inline constexpr std::size_t kFrameTraceExtBytes = 16; // trace_id + parent_span
+inline constexpr std::uint8_t kFrameFlagTraced = 0x1;
 
-/// Serialises one frame (header + payload + checksum).
+/// Serialises one frame (header + payload + checksum). The overload with a
+/// valid TraceContext sets the traced flag and inserts the 16-byte
+/// extension; an invalid context encodes the historical untraced layout.
 std::string encode_frame(FrameType type, const std::string& payload);
+std::string encode_frame(FrameType type, const std::string& payload,
+                         const support::TraceContext& trace);
 
 /// Streaming decoder. feed() raw bytes in any chunking; next() yields
 /// verified frames in order. Damage (bad magic, bad checksum, impossible

@@ -33,6 +33,7 @@ ProfileStore::ProfileStore(os::Vfs& vfs, StoreConfig config)
   if (config_.compact_fanin < 2) config_.compact_fanin = 2;
   if (config_.compact_min_segments < 2) config_.compact_min_segments = 2;
   if (support::Telemetry* t = config_.telemetry) {
+    mu_.attach(*t);
     ctr_ingest_intervals_ = &t->counter("store.ingest.intervals");
     ctr_ingest_rows_ = &t->counter("store.ingest.rows");
     ctr_append_errors_ = &t->counter("store.ingest.append_errors");
@@ -60,7 +61,7 @@ bool ProfileStore::check_kill() {
 }
 
 bool ProfileStore::killed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return killed_;
 }
 
@@ -125,7 +126,7 @@ bool ProfileStore::start_active_locked() {
 }
 
 bool ProfileStore::ingest(IntervalProfile iv) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   if (!open_ || killed_) return false;
   if (!active_ && !start_active_locked()) return false;
 
@@ -160,7 +161,7 @@ bool ProfileStore::ingest(IntervalProfile iv) {
 }
 
 bool ProfileStore::seal_active() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   if (!open_ || killed_) return false;
   return seal_active_locked();
 }
@@ -223,7 +224,7 @@ void ProfileStore::enforce_retention_locked() {
 }
 
 std::size_t ProfileStore::compact(support::ThreadPool* pool) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   if (!open_ || killed_) return 0;
 
   // Plan deterministically, before any parallelism: maximal consecutive
@@ -397,21 +398,21 @@ core::Profile ProfileStore::window_profile_locked(const WindowSpec& w) const {
 }
 
 core::Profile ProfileStore::window_profile(const WindowSpec& w) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return window_profile_locked(w);
 }
 
 std::string ProfileStore::render_top(const WindowSpec& w,
                                      const std::vector<hw::EventKind>& events,
                                      std::size_t top_n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return window_profile_locked(w).render(events, top_n);
 }
 
 std::string ProfileStore::render_series(const WindowSpec& w, const std::string& image,
                                         const std::string& symbol,
                                         hw::EventKind event) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   std::vector<const IntervalProfile*> ivs;
   collect_window_locked(w, ivs);
   // Per-tick folds; map keeps the output in ascending tick order while the
@@ -440,14 +441,14 @@ std::string ProfileStore::render_series(const WindowSpec& w, const std::string& 
 
 std::string ProfileStore::render_diff(const WindowSpec& before, const WindowSpec& after,
                                       hw::EventKind event, std::size_t top_n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   const core::Profile a = window_profile_locked(before);
   const core::Profile b = window_profile_locked(after);
   return core::render_diff(a, b, event, top_n);
 }
 
 std::string ProfileStore::render_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   support::TextTable table({"Segment", "State", "Intervals", "Rows", "Ticks", "Seqs"});
   const auto add = [&](const LoadedSegment& s, const char* state) {
     table.add_row({s.meta.name, state, std::to_string(s.meta.intervals),
@@ -461,7 +462,7 @@ std::string ProfileStore::render_segments() const {
 }
 
 std::vector<ProfileStore::StoredSession> ProfileStore::sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   std::map<std::string, StoredSession> by_id;
   const auto fold = [&](const IntervalProfile& iv) {
     StoredSession& s = by_id[iv.session];
@@ -481,21 +482,21 @@ std::vector<ProfileStore::StoredSession> ProfileStore::sessions() const {
 }
 
 std::uint64_t ProfileStore::live_intervals() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   std::uint64_t n = active_ ? active_->meta.intervals : 0;
   for (const LoadedSegment& s : sealed_) n += s.meta.intervals;
   return n;
 }
 
 std::uint64_t ProfileStore::live_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   std::uint64_t n = active_ ? active_->meta.rows : 0;
   for (const LoadedSegment& s : sealed_) n += s.meta.rows;
   return n;
 }
 
 std::size_t ProfileStore::segment_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   return sealed_.size() + (active_ ? 1 : 0);
 }
 

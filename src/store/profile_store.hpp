@@ -35,11 +35,10 @@
 #include "store/interval.hpp"
 #include "store/manifest.hpp"
 #include "store/segment.hpp"
+#include "support/traced_mutex.hpp"
 
 namespace viprof::support {
 class ThreadPool;
-class Telemetry;
-class Counter;
 }
 
 namespace viprof::store {
@@ -185,7 +184,10 @@ class ProfileStore {
 
   os::Vfs& vfs_;
   StoreConfig config_;
-  mutable std::mutex mu_;
+  // The whole store serialises on this one lock (manifest, segments,
+  // queries) — the "store manifest mutex" of DESIGN.md §13. Contention
+  // metrics publish into config_.telemetry when one is supplied.
+  mutable support::TracedMutex mu_{"store.manifest"};
 
   bool open_ = false;
   bool killed_ = false;

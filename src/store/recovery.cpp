@@ -251,14 +251,14 @@ void ProfileStore::scan(ScanState& st) const {
 }
 
 StoreRecovery ProfileStore::fsck() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   ScanState st;
   scan(st);
   return st.rec;
 }
 
 StoreRecovery ProfileStore::open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<support::TracedMutex> lock(mu_);
   ScanState st;
   scan(st);
 

@@ -16,12 +16,24 @@
 #include <optional>
 #include <utility>
 
+#include "support/telemetry.hpp"
+
 namespace viprof::support {
 
 template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Publishes live queue depth into `depth_gauge` and samples the depth
+  /// observed at each push into `depth_hist` (either may be null). Call
+  /// before the queue sees concurrent traffic — the pointers are read
+  /// under the queue lock but installed without synchronisation.
+  void instrument(Gauge* depth_gauge, LatencyHistogram* depth_hist) {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth_gauge_ = depth_gauge;
+    depth_hist_ = depth_hist;
+  }
 
   /// Blocks until there is room (backpressure) or the queue is closed.
   /// Returns false only when closed.
@@ -30,6 +42,7 @@ class BoundedQueue {
     space_cv_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    note_push_locked();
     item_cv_.notify_one();
     return true;
   }
@@ -39,6 +52,7 @@ class BoundedQueue {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
+    note_push_locked();
     item_cv_.notify_one();
     return true;
   }
@@ -50,6 +64,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    note_pop_locked();
     space_cv_.notify_one();
     return item;
   }
@@ -69,6 +84,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    note_pop_locked();
     space_cv_.notify_one();
     return item;
   }
@@ -79,6 +95,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    note_pop_locked();
     space_cv_.notify_one();
     return item;
   }
@@ -104,13 +121,32 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// High-water mark: the deepest the queue has ever been. How close the
+  /// backpressure bound came to engaging, without watching live gauges.
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
  private:
+  void note_push_locked() {  // mu_ must be held
+    if (items_.size() > peak_) peak_ = items_.size();
+    if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(items_.size()));
+    if (depth_hist_ != nullptr) depth_hist_->add(static_cast<double>(items_.size()));
+  }
+  void note_pop_locked() {  // mu_ must be held
+    if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(items_.size()));
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable item_cv_;   // queue became non-empty / closed
   std::condition_variable space_cv_;  // queue has room / closed
   std::deque<T> items_;
   bool closed_ = false;
+  std::size_t peak_ = 0;
+  Gauge* depth_gauge_ = nullptr;
+  LatencyHistogram* depth_hist_ = nullptr;
 };
 
 }  // namespace viprof::support

@@ -211,10 +211,51 @@ double number_or(const JsonValue* v, double fallback) {
   return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number : fallback;
 }
 
+std::string string_or(const JsonValue* v, const std::string& fallback) {
+  return (v != nullptr && v->kind == JsonValue::Kind::kString) ? v->str : fallback;
+}
+
+/// Re-serialises a parsed value compactly. Used to carry trace-event args
+/// through parse→merge verbatim (modulo whitespace) without modelling them.
+std::string json_serialize(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kNumber: return json_number(v.number);
+    case JsonValue::Kind::kString: return "\"" + json_escape(v.str) + "\"";
+    case JsonValue::Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i > 0) out += ',';
+        out += json_serialize(v.items[i]);
+      }
+      return out + "]";
+    }
+    case JsonValue::Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, m] : v.members) {
+        if (!first) out += ',';
+        first = false;
+        out += "\"" + json_escape(k) + "\":" + json_serialize(m);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
 }  // namespace
 
 bool json_well_formed(const std::string& text) {
   return JsonParser(text).parse().has_value();
+}
+
+std::uint32_t this_thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
 }
 
 // --- LatencyHistogram -------------------------------------------------------
@@ -254,6 +295,23 @@ double LatencyHistogram::percentile_locked(double q) const {
   return max_;  // target mass lives in the overflow bucket: saturate at max
 }
 
+HistogramSummary HistogramSummary::merged(const HistogramSummary& a,
+                                          const HistogramSummary& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  HistogramSummary out;
+  out.count = a.count + b.count;
+  out.sum = a.sum + b.sum;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  const double wa = static_cast<double>(a.count) / static_cast<double>(out.count);
+  const double wb = 1.0 - wa;
+  out.p50 = std::clamp(a.p50 * wa + b.p50 * wb, out.min, out.max);
+  out.p90 = std::clamp(a.p90 * wa + b.p90 * wb, out.min, out.max);
+  out.p99 = std::clamp(a.p99 * wa + b.p99 * wb, out.min, out.max);
+  return out;
+}
+
 HistogramSummary LatencyHistogram::summary() const {
   std::lock_guard<std::mutex> lock(mu_);
   HistogramSummary s;
@@ -275,13 +333,17 @@ SpanTracer::SpanTracer(std::size_t capacity) {
 }
 
 void SpanTracer::record(const char* name, const char* cat, std::uint64_t begin_cycle,
-                        std::uint64_t end_cycle, std::uint64_t arg) {
+                        std::uint64_t end_cycle, std::uint64_t arg,
+                        std::uint64_t trace) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
   Span span;
   span.name = name;
   span.cat = cat;
   span.begin_cycle = begin_cycle;
   span.end_cycle = end_cycle < begin_cycle ? begin_cycle : end_cycle;
   span.arg = arg;
+  span.trace = trace;
+  span.tid = this_thread_ordinal();
   span.instant = false;
   std::lock_guard<std::mutex> lock(mu_);
   ring_[next_ % ring_.size()] = span;  // overwrites the oldest whole span
@@ -289,13 +351,16 @@ void SpanTracer::record(const char* name, const char* cat, std::uint64_t begin_c
 }
 
 void SpanTracer::instant(const char* name, const char* cat, std::uint64_t at_cycle,
-                         std::uint64_t arg) {
+                         std::uint64_t arg, std::uint64_t trace) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
   Span span;
   span.name = name;
   span.cat = cat;
   span.begin_cycle = at_cycle;
   span.end_cycle = at_cycle;
   span.arg = arg;
+  span.trace = trace;
+  span.tid = this_thread_ordinal();
   span.instant = true;
   std::lock_guard<std::mutex> lock(mu_);
   ring_[next_ % ring_.size()] = span;
@@ -323,7 +388,7 @@ std::uint64_t SpanTracer::dropped() const {
   return next_ > ring_.size() ? next_ - ring_.size() : 0;
 }
 
-std::string SpanTracer::to_chrome_json(double cycles_per_us) const {
+std::string SpanTracer::to_chrome_json(double cycles_per_us, int pid) const {
   VIPROF_CHECK(cycles_per_us > 0.0);
   const std::vector<Span> all = spans();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -333,7 +398,8 @@ std::string SpanTracer::to_chrome_json(double cycles_per_us) const {
     first = false;
     const double ts = static_cast<double>(s.begin_cycle) / cycles_per_us;
     out += "{\"name\":\"" + json_escape(s.name) + "\",\"cat\":\"" + json_escape(s.cat) +
-           "\",\"pid\":1,\"tid\":1,\"ts\":" + json_number(ts);
+           "\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(s.tid) + ",\"ts\":" + json_number(ts);
     if (s.instant) {
       out += ",\"ph\":\"i\",\"s\":\"g\"";
     } else {
@@ -341,8 +407,20 @@ std::string SpanTracer::to_chrome_json(double cycles_per_us) const {
           static_cast<double>(s.end_cycle - s.begin_cycle) / cycles_per_us;
       out += ",\"ph\":\"X\",\"dur\":" + json_number(dur);
     }
-    if (s.arg != kNoArg) {
-      out += ",\"args\":{\"epoch\":" + std::to_string(s.arg) + "}";
+    if (s.arg != kNoArg || s.trace != 0) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (s.arg != kNoArg) {
+        out += "\"epoch\":" + std::to_string(s.arg);
+        first_arg = false;
+      }
+      if (s.trace != 0) {
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(s.trace));
+        out += std::string(first_arg ? "" : ",") + "\"trace\":\"" + hex + "\"";
+      }
+      out += '}';
     }
     out += '}';
   }
@@ -376,10 +454,16 @@ LatencyHistogram& Telemetry::histogram(const std::string& name, double lo, doubl
 
 TelemetrySnapshot Telemetry::snapshot() const {
   TelemetrySnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->summary();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) snap.histograms[name] = h->summary();
+  }
+  // The ring's own accounting, injected so truncated traces show up in
+  // every snapshot/diff (tracer_ has its own lock; taken outside mu_).
+  snap.counters["telemetry.spans.recorded"] = tracer_.recorded();
+  snap.counters["telemetry.spans.dropped"] = tracer_.dropped();
   return snap;
 }
 
@@ -549,6 +633,78 @@ std::string TelemetrySnapshot::render_diff(const TelemetrySnapshot& before,
     }
   }
   return out.empty() ? "(no differences)\n" : out;
+}
+
+// --- Chrome-trace parse / fleet merge ---------------------------------------
+
+std::optional<ChromeTrace> parse_chrome_trace(const std::string& json) {
+  const auto root = JsonParser(json).parse();
+  if (!root || root->kind != JsonValue::Kind::kObject) return std::nullopt;
+  const JsonValue* events = root->find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) return std::nullopt;
+  ChromeTrace out;
+  out.events.reserve(events->items.size());
+  for (const JsonValue& e : events->items) {
+    if (e.kind != JsonValue::Kind::kObject) return std::nullopt;
+    ChromeTraceEvent ev;
+    ev.name = string_or(e.find("name"), "");
+    ev.cat = string_or(e.find("cat"), "");
+    ev.ph = string_or(e.find("ph"), "X");
+    ev.ts = number_or(e.find("ts"), 0.0);
+    ev.dur = number_or(e.find("dur"), 0.0);
+    ev.pid = static_cast<int>(number_or(e.find("pid"), 1.0));
+    ev.tid = static_cast<std::uint32_t>(number_or(e.find("tid"), 1.0));
+    if (const JsonValue* args = e.find("args")) ev.args_json = json_serialize(*args);
+    out.events.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::string merge_chrome_traces(
+    const std::vector<std::pair<std::string, ChromeTrace>>& shards) {
+  // Rebase: the earliest real event across every shard becomes ts 0, so
+  // rings whose clocks started at different absolute origins share one
+  // timeline. (Within a shard relative timing is already consistent.)
+  double origin = 0.0;
+  bool any = false;
+  for (const auto& [label, trace] : shards) {
+    for (const ChromeTraceEvent& e : trace.events) {
+      if (e.ph == "M") continue;
+      if (!any || e.ts < origin) origin = e.ts;
+      any = true;
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += event;
+  };
+
+  int pid = 0;
+  for (const auto& [label, trace] : shards) {
+    ++pid;
+    // Shard = process: a metadata record names the lane in the viewer.
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"ts\":0,\"args\":{\"name\":\"" + json_escape(label) + "\"}}");
+    for (const ChromeTraceEvent& e : trace.events) {
+      if (e.ph == "M") continue;  // superseded by our process_name records
+      std::string ev = "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+                       json_escape(e.cat) + "\",\"pid\":" + std::to_string(pid) +
+                       ",\"tid\":" + std::to_string(e.tid) +
+                       ",\"ts\":" + json_number(e.ts - origin) + ",\"ph\":\"" +
+                       json_escape(e.ph) + "\"";
+      if (e.ph == "i") ev += ",\"s\":\"g\"";
+      if (e.ph == "X") ev += ",\"dur\":" + json_number(e.dur);
+      if (!e.args_json.empty()) ev += ",\"args\":" + e.args_json;
+      ev += '}';
+      emit(ev);
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace viprof::support

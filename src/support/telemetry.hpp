@@ -67,6 +67,13 @@ struct HistogramSummary {
   double p99 = 0.0;
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Folds two summaries (e.g. the same lock's histogram from two shards).
+  /// count/sum add and min/max combine exactly; percentiles are count-
+  /// weighted averages — an approximation, clamped to the merged range,
+  /// good enough to *rank* locks (the contention report's job) though not
+  /// to re-derive exact quantiles.
+  static HistogramSummary merged(const HistogramSummary& a, const HistogramSummary& b);
 };
 
 /// Thread-safe distribution tracker over a fixed-bucket support::Histogram.
@@ -126,9 +133,16 @@ struct Span {
   const char* cat = "";
   std::uint64_t begin_cycle = 0;
   std::uint64_t end_cycle = 0;
-  std::uint64_t arg = ~0ull;  // kNoArg = no args object in the trace
+  std::uint64_t arg = ~0ull;   // kNoArg = no args object in the trace
+  std::uint64_t trace = 0;     // TraceContext::trace_id; 0 = untraced
+  std::uint32_t tid = 1;       // recording thread's process-wide ordinal
   bool instant = false;
 };
+
+/// Process-wide dense thread id, starting at 1 (so single-threaded traces
+/// keep the historical tid 1). Stable for the thread's lifetime; exported
+/// as the Chrome-trace tid so per-worker lanes separate in the viewer.
+std::uint32_t this_thread_ordinal();
 
 /// Bounded ring of whole spans. Records are O(1) under a short mutex (the
 /// "lock-light" contract: no allocation, no I/O, no nested locks); once the
@@ -141,9 +155,16 @@ class SpanTracer {
   explicit SpanTracer(std::size_t capacity = 4096);
 
   void record(const char* name, const char* cat, std::uint64_t begin_cycle,
-              std::uint64_t end_cycle, std::uint64_t arg = kNoArg);
+              std::uint64_t end_cycle, std::uint64_t arg = kNoArg,
+              std::uint64_t trace = 0);
   void instant(const char* name, const char* cat, std::uint64_t at_cycle,
-               std::uint64_t arg = kNoArg);
+               std::uint64_t arg = kNoArg, std::uint64_t trace = 0);
+
+  /// Tracing kill switch for overhead experiments: when disabled, record()
+  /// and instant() return before touching the ring (no lock, no count).
+  /// Metrics (counters/gauges/histograms) are unaffected.
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Surviving spans, oldest first.
   std::vector<Span> spans() const;
@@ -153,11 +174,14 @@ class SpanTracer {
   std::size_t capacity() const { return ring_.size(); }
 
   /// Chrome trace format ("trace event format") JSON. Cycles convert to
-  /// microseconds at `cycles_per_us` (3400 for the paper's 3.4 GHz Xeon).
-  std::string to_chrome_json(double cycles_per_us) const;
+  /// microseconds at `cycles_per_us` (3400 for the paper's 3.4 GHz Xeon;
+  /// host-side rings use monotonic_ns at 1000). `pid` labels the process
+  /// lane — trace-merge assigns one per shard.
+  std::string to_chrome_json(double cycles_per_us, int pid = 1) const;
 
  private:
   mutable std::mutex mu_;
+  std::atomic<bool> enabled_{true};
   std::vector<Span> ring_;
   std::uint64_t next_ = 0;  // total spans ever recorded
 };
@@ -182,6 +206,9 @@ class Telemetry {
   SpanTracer& spans() { return tracer_; }
   const SpanTracer& spans() const { return tracer_; }
 
+  /// Includes the span ring's own accounting as `telemetry.spans.recorded`
+  /// / `telemetry.spans.dropped` counters, so a truncated trace is visibly
+  /// counted in every snapshot rather than silently shorter.
   TelemetrySnapshot snapshot() const;
 
  private:
@@ -196,5 +223,36 @@ class Telemetry {
 /// arrays, strings, numbers, booleans, null). Used by viprof_stat, the
 /// snapshot loader and the trace well-formedness tests.
 bool json_well_formed(const std::string& text);
+
+/// One Chrome-trace event as re-read from a trace.json. `args_json` keeps
+/// the raw args object verbatim so a parse→merge round trip is lossless
+/// for fields this struct does not model.
+struct ChromeTraceEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;  // "X" complete, "i" instant, "M" metadata
+  double ts = 0.0;
+  double dur = 0.0;
+  int pid = 1;
+  std::uint32_t tid = 1;
+  std::string args_json;  // raw "{...}" or empty
+};
+
+struct ChromeTrace {
+  std::vector<ChromeTraceEvent> events;
+};
+
+/// Parses a Chrome-trace-format JSON document (as written by
+/// SpanTracer::to_chrome_json or merge_chrome_traces). Returns nullopt on
+/// malformed JSON or a missing traceEvents array.
+std::optional<ChromeTrace> parse_chrome_trace(const std::string& json);
+
+/// Folds per-shard trace rings into one Chrome trace: input i becomes
+/// pid i+1 with a process_name metadata record carrying its label, tids
+/// pass through (worker lanes stay separate), and timestamps are rebased
+/// so the earliest event across all inputs lands at ts 0 — shards with
+/// different clock origins line up on one timeline.
+std::string merge_chrome_traces(
+    const std::vector<std::pair<std::string, ChromeTrace>>& shards);
 
 }  // namespace viprof::support

@@ -16,23 +16,44 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<TracedMutex> lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::attach_telemetry(Telemetry& telemetry) {
+  if (stats_.load(std::memory_order_acquire) != nullptr) return;  // idempotent
+  mu_.attach(telemetry);
+  auto s = std::make_unique<PoolTelemetry>();
+  s->tasks = &telemetry.counter("pool.tasks");
+  s->threads = &telemetry.gauge("pool.threads");
+  s->utilization = &telemetry.gauge("pool.utilization");
+  s->queue_depth = &telemetry.histogram("pool.queue_depth", 0.0, 1.0, 64);
+  s->task_ns = &telemetry.histogram("pool.task_ns", 0.0, 50'000.0, 64);
+  s->threads->set(static_cast<double>(workers_.size()));
+  stats_storage_ = std::move(s);
+  stats_.store(stats_storage_.get(), std::memory_order_release);
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  PoolTelemetry* stats = stats_.load(std::memory_order_acquire);
+  std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<TracedMutex> lock(mu_);
     queue_.push(std::move(task));
+    depth = queue_.size();
   }
   work_cv_.notify_one();
+  if (stats != nullptr) {
+    stats->tasks->inc();
+    stats->queue_depth->add(static_cast<double>(depth));
+  }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<TracedMutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
@@ -55,18 +76,32 @@ void ThreadPool::parallel_for(std::size_t count,
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    PoolTelemetry* stats = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<TracedMutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
       ++active_;
+      stats = stats_.load(std::memory_order_acquire);
+      if (stats != nullptr && !workers_.empty()) {
+        stats->utilization->set(static_cast<double>(active_) /
+                                static_cast<double>(workers_.size()));
+      }
     }
+    const std::uint64_t t0 = stats != nullptr ? monotonic_ns() : 0;
     task();
+    if (stats != nullptr) {
+      stats->task_ns->add(static_cast<double>(monotonic_ns() - t0));
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<TracedMutex> lock(mu_);
       --active_;
+      if (stats != nullptr && !workers_.empty()) {
+        stats->utilization->set(static_cast<double>(active_) /
+                                static_cast<double>(workers_.size()));
+      }
     }
     idle_cv_.notify_all();
   }

@@ -5,15 +5,26 @@
 // aggregate over millions of logged samples) is ordinary host code and can
 // use host threads; this pool exists so the resolution pipeline does not
 // pay thread spawn cost per shard.
+//
+// The pool is one of the named serialization suspects (DESIGN.md §13): its
+// single queue mutex is a TracedMutex ("pool.queue"), and attach_telemetry
+// additionally publishes pool.tasks / pool.queue_depth / pool.task_ns /
+// pool.threads / pool.utilization so queue build-up and worker starvation
+// show up in snapshots. Detached pools carry zero instrumentation cost
+// beyond an untaken branch.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/traced_mutex.hpp"
 
 namespace viprof::support {
 
@@ -29,6 +40,11 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Publishes the pool's queue/utilization metrics (and the pool.queue
+  /// lock's contention metrics) into `telemetry`. Call once, before the
+  /// pool sees traffic you want attributed.
+  void attach_telemetry(Telemetry& telemetry);
+
   /// Enqueues a task. Tasks must not throw — there is no result channel;
   /// communicate through captured state.
   void submit(std::function<void()> task);
@@ -41,15 +57,27 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:
+  struct PoolTelemetry {
+    Counter* tasks = nullptr;            // pool.tasks: total submitted
+    Gauge* threads = nullptr;            // pool.threads: worker count
+    Gauge* utilization = nullptr;        // pool.utilization: busy fraction
+    LatencyHistogram* queue_depth = nullptr;  // depth sampled at submit
+    LatencyHistogram* task_ns = nullptr;      // per-task wall time
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // queue became non-empty / stopping
-  std::condition_variable idle_cv_;   // a task finished; wait_idle re-checks
-  std::size_t active_ = 0;            // tasks currently executing
+  TracedMutex mu_{"pool.queue"};
+  // _any variants: they accept any Lockable, so the cv re-lock on wakeup
+  // goes through TracedMutex::lock() and counts as the real contention it is.
+  std::condition_variable_any work_cv_;  // queue became non-empty / stopping
+  std::condition_variable_any idle_cv_;  // a task finished; wait_idle re-checks
+  std::size_t active_ = 0;               // tasks currently executing
   bool stop_ = false;
+  std::unique_ptr<PoolTelemetry> stats_storage_;
+  std::atomic<PoolTelemetry*> stats_{nullptr};
 };
 
 }  // namespace viprof::support

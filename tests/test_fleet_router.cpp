@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -51,7 +52,7 @@ std::unique_ptr<service::ProfileServer> single_server(
   for (const auto& [id, scenario] : sessions) {
     auto conn = server->connect(id);
     service::ReplayClient client(scenario->vfs(), id, *conn,
-                                 service::ReplayOptions{256, nullptr});
+                                 service::ReplayOptions{256, nullptr, {}});
     EXPECT_TRUE(client.run());
   }
   server->drain();
@@ -230,6 +231,103 @@ TEST(FleetRouter, JoinAndLeaveRebalanceTheRing) {
 
   const FleetFsckReport fsck = fsck_fleet(fleet_vfs);
   EXPECT_EQ(fsck.verdict, core::FsckVerdict::kClean) << fsck.summary;
+}
+
+// --- Cross-layer trace propagation + fleet telemetry (DESIGN.md §13) --------
+
+TEST(FleetTrace, SessionsCarryMintedTraceAcrossShards) {
+  const auto sessions = record_sessions(4);
+  os::Vfs fleet_vfs;
+  FleetConfig config;
+  config.shards = 3;
+  Router router(fleet_vfs, config);
+  std::set<std::string> used_shards;
+  for (const auto& [id, scenario] : sessions) {
+    const SessionOutcome outcome = router.ingest(scenario->vfs(), id);
+    ASSERT_TRUE(outcome.completed);
+    used_shards.insert(outcome.shard);
+
+    // The wire carried the router's minted context; the shard's session
+    // adopted it rather than minting its own.
+    service::ProfileServer* server = router.server(outcome.shard);
+    ASSERT_NE(server, nullptr);
+    const auto session = server->session(id);
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->trace(), support::TraceContext::mint(id).trace_id);
+  }
+  ASSERT_GT(used_shards.size(), 1u);  // the merge below spans ≥ 2 shards
+
+  // Every shard's ingest spans are tagged with some session's trace id.
+  std::set<std::uint64_t> expected;
+  for (const auto& [id, scenario] : sessions)
+    expected.insert(support::TraceContext::mint(id).trace_id);
+  for (const std::string& shard : used_shards) {
+    for (const support::Span& s : router.server(shard)->telemetry().spans().spans()) {
+      if (std::string(s.cat).rfind("lock.", 0) == 0) continue;  // untagged
+      EXPECT_TRUE(expected.count(s.trace)) << s.name << " on " << shard;
+    }
+  }
+
+  // The federated merge folds the fleet ring and every shard ring into one
+  // well-formed Chrome trace with one pid lane per process.
+  Federator federator(router);
+  const std::optional<support::ChromeTrace> merged =
+      support::parse_chrome_trace(federator.query("trace"));
+  ASSERT_TRUE(merged.has_value());
+  std::set<int> pids;
+  bool saw_fleet = false, saw_service = false;
+  for (const support::ChromeTraceEvent& e : merged->events) {
+    EXPECT_FALSE(e.name.empty());
+    pids.insert(e.pid);
+    if (e.name == "fleet.ingest") saw_fleet = true;
+    if (e.name.rfind("service.", 0) == 0) saw_service = true;
+  }
+  EXPECT_GE(pids.size(), 1u + used_shards.size());  // fleet + each used shard
+  EXPECT_TRUE(saw_fleet);
+  EXPECT_TRUE(saw_service);
+}
+
+TEST(FleetTrace, ExportedTelemetryAnswersOffline) {
+  const auto sessions = record_sessions(3);
+  os::Vfs fleet_vfs;
+  FleetConfig config;
+  config.shards = 2;
+  Router router(fleet_vfs, config);
+  for (const auto& [id, scenario] : sessions)
+    ASSERT_TRUE(router.ingest(scenario->vfs(), id).completed);
+
+  // fleet + 2 shards, metrics + trace each.
+  EXPECT_EQ(router.export_telemetry(), 6u);
+  // Telemetry files must not disturb the fsck verdict.
+  const FleetFsckReport fsck = fsck_fleet(fleet_vfs);
+  EXPECT_EQ(fsck.verdict, core::FsckVerdict::kClean) << fsck.summary;
+
+  os::Vfs exported = fleet_vfs;
+  auto offline = OfflineFleet::open(exported);
+  ASSERT_TRUE(offline.has_value());
+
+  // stats: lock contention metrics from every source, shards included.
+  const std::string stats = offline->query("stats --json");
+  EXPECT_NE(stats.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(stats.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(stats.find("lock.store.manifest.acquired"), std::string::npos);
+  EXPECT_NE(stats.find("lock.service.session.agg.acquired"), std::string::npos);
+  EXPECT_TRUE(support::json_well_formed(stats));
+
+  // trace: the offline merge parses and spans the same processes as live.
+  const std::optional<support::ChromeTrace> merged =
+      support::parse_chrome_trace(offline->query("trace"));
+  ASSERT_TRUE(merged.has_value());
+  std::set<int> pids;
+  for (const support::ChromeTraceEvent& e : merged->events) pids.insert(e.pid);
+  EXPECT_GE(pids.size(), 3u);  // fleet + both shards
+
+  // Live federator sections agree on the sources.
+  Federator federator(router);
+  const std::string live = federator.query("stats");
+  EXPECT_NE(live.find("== fleet =="), std::string::npos);
+  EXPECT_NE(live.find("== shard-0 =="), std::string::npos);
+  EXPECT_NE(live.find("== shard-1 =="), std::string::npos);
 }
 
 }  // namespace

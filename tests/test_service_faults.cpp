@@ -47,7 +47,7 @@ TEST(ServiceFaults, TornFrameIsCountedAndStreamRecovers) {
   ProfileServer server(config);
   {
     auto conn = server.connect("lossy");
-    ReplayClient client(scenario->vfs(), "lossy", *conn, ReplayOptions{32, &fault});
+    ReplayClient client(scenario->vfs(), "lossy", *conn, ReplayOptions{32, &fault, {}});
     EXPECT_TRUE(client.run());  // the client is oblivious to wire damage
   }
   server.drain();
@@ -85,7 +85,7 @@ TEST(ServiceFaults, RepeatedTornFramesInOneStreamEachResync) {
   ProfileServer server(config);
   {
     auto conn = server.connect("rough");
-    ReplayClient client(scenario->vfs(), "rough", *conn, ReplayOptions{32, &fault});
+    ReplayClient client(scenario->vfs(), "rough", *conn, ReplayOptions{32, &fault, {}});
     EXPECT_TRUE(client.run());
   }
   server.drain();
@@ -118,7 +118,7 @@ TEST(ServiceFaults, LostFrameIsSkippedEntirely) {
   ProfileServer server(config);
   {
     auto conn = server.connect("drop");
-    ReplayClient client(scenario->vfs(), "drop", *conn, ReplayOptions{32, &fault});
+    ReplayClient client(scenario->vfs(), "drop", *conn, ReplayOptions{32, &fault, {}});
     EXPECT_TRUE(client.run());
   }
   server.drain();
@@ -139,7 +139,7 @@ TEST(ServiceFaults, ClientDisconnectMidStream) {
   std::uint64_t frames_before_death = 0;
   {
     auto conn = server.connect("flaky");
-    ReplayClient client(scenario->vfs(), "flaky", *conn, ReplayOptions{32, &fault});
+    ReplayClient client(scenario->vfs(), "flaky", *conn, ReplayOptions{32, &fault, {}});
     EXPECT_FALSE(client.run());  // died before kEndStream
     EXPECT_TRUE(client.disconnected());
     frames_before_death = client.frames_sent();
@@ -158,7 +158,7 @@ TEST(ServiceFaults, ClientDisconnectMidStream) {
   // A reconnecting client resumes the same session id cleanly.
   {
     auto conn = server.connect("flaky-retry");
-    ReplayClient client(scenario->vfs(), "flaky", *conn, ReplayOptions{32, nullptr});
+    ReplayClient client(scenario->vfs(), "flaky", *conn, ReplayOptions{32, nullptr, {}});
     EXPECT_TRUE(client.run());
   }
   server.drain();
@@ -180,7 +180,7 @@ TEST(ServiceFaults, QueueOverflowDropsAreCounted) {
   ProfileServer server(config);
   {
     auto conn = server.connect("congested");
-    ReplayClient client(scenario->vfs(), "congested", *conn, ReplayOptions{64, &fault});
+    ReplayClient client(scenario->vfs(), "congested", *conn, ReplayOptions{64, &fault, {}});
     EXPECT_TRUE(client.run());
   }
   server.drain();
@@ -212,7 +212,7 @@ TEST(ServiceFaults, ExportCrashMidPublishLeavesOldSnapshotIntact) {
   ProfileServer server;
   {
     auto conn = server.connect("s");
-    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{128, nullptr});
+    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{128, nullptr, {}});
     ASSERT_TRUE(client.run());
   }
   server.drain();

@@ -27,7 +27,7 @@ ScenarioConfig small_scenario() {
 void replay(ProfileServer& server, const os::Vfs& world, const std::string& id,
             std::size_t batch_records = 128) {
   auto conn = server.connect(id);
-  ReplayClient client(world, id, *conn, ReplayOptions{batch_records, nullptr});
+  ReplayClient client(world, id, *conn, ReplayOptions{batch_records, nullptr, {}});
   ASSERT_TRUE(client.run());
 }
 
@@ -74,7 +74,7 @@ TEST(ProfileServer, ConcurrentSessionsStayIsolated) {
       clients.emplace_back([&server, &scenarios, i] {
         const std::string id = "vmhost-" + std::to_string(i);
         auto conn = server.connect(id);
-        ReplayClient client(scenarios[i]->vfs(), id, *conn, ReplayOptions{64, nullptr});
+        ReplayClient client(scenarios[i]->vfs(), id, *conn, ReplayOptions{64, nullptr, {}});
         EXPECT_TRUE(client.run());
       });
     }
@@ -115,7 +115,7 @@ TEST(ProfileServer, QueriesAnswerDuringAndAfterIngest) {
   // prefix of the stream, applied in order).
   std::thread streamer([&] {
     auto conn = server.connect("s");
-    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{32, nullptr});
+    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{32, nullptr, {}});
     EXPECT_TRUE(client.run());
   });
   for (int i = 0; i < 20; ++i) {
@@ -145,7 +145,7 @@ TEST(ProfileServer, QueryFramesTravelTheWire) {
   ProfileServer server;
   auto conn = server.connect("s");
   {
-    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{128, nullptr});
+    ReplayClient client(scenario->vfs(), "s", *conn, ReplayOptions{128, nullptr, {}});
     ASSERT_TRUE(client.run());
   }
   server.drain();

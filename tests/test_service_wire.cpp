@@ -190,5 +190,74 @@ TEST(LoopbackTransport, TornWriteDeliversPrefixOnly) {
   EXPECT_EQ(frames[0].payload, "first");
 }
 
+// --- Trace-context extension (DESIGN.md §13) --------------------------------
+
+TEST(WireTrace, TracedFrameRoundTripsContext) {
+  const support::TraceContext trace{0x1122334455667788ull, 42};
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kSampleBatch, "payload", trace));
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "payload");
+  EXPECT_EQ(frames[0].trace.trace_id, trace.trace_id);
+  EXPECT_EQ(frames[0].trace.parent_span, 42u);
+  EXPECT_EQ(decoder.torn_frames(), 0u);
+}
+
+TEST(WireTrace, UntracedEncodingIsByteIdenticalToHistorical) {
+  // The flags byte was reserved-zero before the extension existed; an
+  // untraced frame must still encode exactly as it always did, so mixed
+  // old/new fleets interoperate.
+  const std::string plain = encode_frame(FrameType::kHello, "abc");
+  const std::string with_empty_ctx =
+      encode_frame(FrameType::kHello, "abc", support::TraceContext{});
+  EXPECT_EQ(plain, with_empty_ctx);
+  EXPECT_EQ(plain.size(), kFrameHeaderBytes + 3 + kFrameTrailerBytes);
+  EXPECT_EQ(plain[3], '\0');  // flags byte stays zero
+
+  const std::string traced =
+      encode_frame(FrameType::kHello, "abc", support::TraceContext{1, 0});
+  EXPECT_EQ(traced.size(), plain.size() + kFrameTraceExtBytes);
+  EXPECT_EQ(static_cast<std::uint8_t>(traced[3]), kFrameFlagTraced);
+
+  FrameDecoder decoder;
+  decoder.feed(plain);
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(frames[0].trace.valid());
+}
+
+TEST(WireTrace, UnknownFlagBitsAreDamageNotMisparses) {
+  // A frame claiming a flag this decoder does not know could carry an
+  // extension of unknown size — skipping it as damage (counted, resynced)
+  // is the only safe read.
+  std::string bytes = encode_frame(FrameType::kHello, "abc");
+  bytes[3] = static_cast<char>(0x2);
+  bytes += encode_frame(FrameType::kEndStream, "");
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const std::vector<Frame> frames = decode_all(decoder);
+  ASSERT_EQ(frames.size(), 1u);  // the good frame after the damage
+  EXPECT_EQ(frames[0].type, FrameType::kEndStream);
+  EXPECT_GE(decoder.torn_frames(), 1u);
+}
+
+TEST(WireTrace, TracedFramesSurviveByteByByteReassembly) {
+  const support::TraceContext trace = support::TraceContext::mint("sess-7");
+  const std::string bytes =
+      encode_frame(FrameType::kFile, "f\nbody", trace) +
+      encode_frame(FrameType::kEndStream, "", trace);
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame f;
+  for (char c : bytes) {
+    decoder.feed(&c, 1);
+    while (decoder.next(f)) frames.push_back(f);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].trace.trace_id, trace.trace_id);
+  EXPECT_EQ(frames[1].trace.trace_id, trace.trace_id);
+}
+
 }  // namespace
 }  // namespace viprof::service

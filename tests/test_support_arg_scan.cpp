@@ -122,5 +122,65 @@ TEST(ArgScanDeathTest, ConflictingModeFlagsExitUsage) {
               "usage: test-tool");
 }
 
+TEST(ArgScanDeathTest, StatsVerbWithoutFleetDirExitsUsage) {
+  // The viprof_query observability verbs: `stats`/`trace` only answer over
+  // an exported fleet namespace, so omitting --fleet is a usage error.
+  Argv a({"viprof_query", "stats", "--json"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  const auto parse = [&] {
+    if (!args.next()) args.fail();
+    const std::string cmd = args.arg();
+    std::string fleet_dir;
+    while (args.next()) {
+      if (args.is("--fleet")) fleet_dir = args.value();
+      else if (args.is("--json")) continue;
+      else args.fail_unknown();
+    }
+    if ((cmd == "stats" || cmd == "trace") && fleet_dir.empty()) args.fail();
+    std::exit(0);  // unreachable for this argv
+  };
+  EXPECT_EXIT(parse(), ::testing::ExitedWithCode(kExitUsage),
+              "usage: test-tool");
+}
+
+TEST(ArgScanDeathTest, TraceMergeWithoutInputsExitsUsage) {
+  // viprof_stat trace-merge/contention: at least one --in is mandatory —
+  // merging or ranking nothing is a usage error, not an empty success.
+  Argv a({"viprof_stat", "trace-merge", "--out", "merged.json"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  const auto parse = [&] {
+    if (!args.next()) args.fail();
+    const std::string cmd = args.arg();
+    std::vector<std::string> in_args;
+    while (args.next()) {
+      if (args.is("--in")) in_args.push_back(args.value());
+      else if (args.is("--out")) (void)args.value();
+      else if (args.is("--top")) (void)args.value_u64();
+      else args.fail_unknown();
+    }
+    if ((cmd == "trace-merge" || cmd == "contention") && in_args.empty())
+      args.fail();
+    std::exit(0);
+  };
+  EXPECT_EXIT(parse(), ::testing::ExitedWithCode(kExitUsage),
+              "usage: test-tool");
+}
+
+TEST(ArgScanDeathTest, ContentionRejectsUnknownFlags) {
+  Argv a({"viprof_stat", "contention", "--in", "dir", "--percentile", "99"});
+  ArgScan args(a.argc(), a.argv(), kUsage);
+  const auto parse = [&] {
+    args.next();  // verb
+    while (args.next()) {
+      if (args.is("--in")) (void)args.value();
+      else if (args.is("--top")) (void)args.value_u64();
+      else args.fail_unknown();
+    }
+    std::exit(0);
+  };
+  EXPECT_EXIT(parse(), ::testing::ExitedWithCode(kExitUsage),
+              "unknown argument: --percentile");
+}
+
 }  // namespace
 }  // namespace viprof::support

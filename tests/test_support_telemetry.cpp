@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/telemetry.hpp"
@@ -240,6 +244,158 @@ TEST(TelemetrySnapshotTest, DiffShowsOnlyChangedMetrics) {
   EXPECT_EQ(diff.find("daemon.crashes"), std::string::npos);
 
   EXPECT_EQ(TelemetrySnapshot::render_diff(after, after), "(no differences)\n");
+}
+
+// --- Summary merging (the contention report's fold) -------------------------
+
+TEST(HistogramSummaryTest, MergedFoldsCountsExactlyAndClampsPercentiles) {
+  LatencyHistogram a(0, 10, 8), b(0, 10, 8);
+  for (int i = 0; i < 10; ++i) a.add(5.0);
+  for (int i = 0; i < 30; ++i) b.add(50.0);
+  const HistogramSummary m = HistogramSummary::merged(a.summary(), b.summary());
+  EXPECT_EQ(m.count, 40u);
+  EXPECT_DOUBLE_EQ(m.sum, 10 * 5.0 + 30 * 50.0);
+  EXPECT_DOUBLE_EQ(m.min, 5.0);   // min/max combine exactly, not estimated
+  EXPECT_DOUBLE_EQ(m.max, 50.0);
+  // Count-weighted percentiles: rank quality only, but always in range and
+  // pulled toward the heavier side.
+  EXPECT_GE(m.p50, m.min);
+  EXPECT_LE(m.p99, m.max);
+  EXPECT_GT(m.p50, 5.0);
+
+  // Merging with an empty summary is the identity.
+  const HistogramSummary id = HistogramSummary::merged(a.summary(), HistogramSummary{});
+  EXPECT_EQ(id.count, 10u);
+  EXPECT_DOUBLE_EQ(id.max, a.summary().max);
+}
+
+TEST(LatencyHistogramTest, BucketMidpointNeverEscapesObservedRange) {
+  // Regression for the clamp: all mass in one wide bucket whose midpoint
+  // (500) lies far outside the observed values — the estimate must clamp
+  // to the exact min/max, not report the midpoint.
+  LatencyHistogram h(0, 1000, 4);
+  h.add(7.0);
+  h.add(7.0);
+  h.add(7.0);
+  const HistogramSummary s = h.summary();
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.p50, 7.0);
+  EXPECT_DOUBLE_EQ(s.p90, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+// --- Chrome trace parse + merge ---------------------------------------------
+
+TEST(ChromeTraceTest, ParseReadsBackEveryEvent) {
+  SpanTracer tracer(16);
+  tracer.record("service.batch.apply", "service", 1000, 4000, /*arg=*/7,
+                /*trace=*/0xabcdef);
+  tracer.instant("daemon.crash", "daemon", 9000);
+  const std::optional<ChromeTrace> trace =
+      parse_chrome_trace(tracer.to_chrome_json(1000.0));
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->events.size(), 2u);
+  const ChromeTraceEvent& x = trace->events[0];
+  EXPECT_EQ(x.name, "service.batch.apply");
+  EXPECT_EQ(x.ph, "X");
+  EXPECT_EQ(x.pid, 1);
+  EXPECT_EQ(x.tid, this_thread_ordinal());
+  EXPECT_DOUBLE_EQ(x.ts, 1.0);   // 1000 ns at 1000 cycles/µs
+  EXPECT_DOUBLE_EQ(x.dur, 3.0);
+  // args survive verbatim (trace tag included) for a lossless re-emit.
+  EXPECT_NE(x.args_json.find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(x.args_json.find("abcdef"), std::string::npos);
+  EXPECT_EQ(trace->events[1].ph, "i");
+}
+
+TEST(ChromeTraceTest, ParseRejectsNonTraces) {
+  EXPECT_FALSE(parse_chrome_trace("not json").has_value());
+  EXPECT_FALSE(parse_chrome_trace("{}").has_value());
+  EXPECT_FALSE(parse_chrome_trace("{\"traceEvents\":7}").has_value());
+  const auto empty = parse_chrome_trace("{\"traceEvents\":[]}");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->events.empty());
+}
+
+TEST(ChromeTraceTest, MergeAssignsPidsNamesProcessesAndRebasesTime) {
+  // Two shard rings with different time origins: the merge must give each
+  // its own pid lane, name the lanes, and rebase to a common zero.
+  SpanTracer early(8), late(8);
+  early.record("service.batch.parse", "service", 5'000, 6'000);
+  late.record("service.flush", "service", 905'000, 909'000);
+  late.instant("mark", "service", 910'000);
+
+  std::vector<std::pair<std::string, ChromeTrace>> inputs;
+  inputs.emplace_back("shard-0", *parse_chrome_trace(early.to_chrome_json(1000.0)));
+  inputs.emplace_back("shard-1", *parse_chrome_trace(late.to_chrome_json(1000.0)));
+  const std::string merged = merge_chrome_traces(inputs);
+  EXPECT_TRUE(json_well_formed(merged));
+
+  const std::optional<ChromeTrace> out = parse_chrome_trace(merged);
+  ASSERT_TRUE(out.has_value());
+  // 2 process_name metadata + 3 events.
+  ASSERT_EQ(out->events.size(), 5u);
+  int meta = 0;
+  double min_ts = 1e18;
+  for (const ChromeTraceEvent& e : out->events) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_GE(e.pid, 1);
+    EXPECT_LE(e.pid, 2);
+    if (e.ph == "M") {
+      ++meta;
+      EXPECT_EQ(e.name, "process_name");
+      continue;
+    }
+    min_ts = std::min(min_ts, e.ts);
+    EXPECT_GE(e.ts, 0.0);
+    if (e.ph == "X") {
+      EXPECT_GT(e.dur, 0.0);
+    }
+  }
+  EXPECT_EQ(meta, 2);
+  EXPECT_DOUBLE_EQ(min_ts, 0.0);  // rebased: earliest event sits at zero
+  EXPECT_NE(merged.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(merged.find("\"shard-1\""), std::string::npos);
+
+  // Lane identity: shard-0's event is pid 1, shard-1's pid 2.
+  for (const ChromeTraceEvent& e : out->events) {
+    if (e.name == "service.batch.parse") {
+      EXPECT_EQ(e.pid, 1);
+    }
+    if (e.name == "service.flush") {
+      EXPECT_EQ(e.pid, 2);
+    }
+  }
+}
+
+TEST(ChromeTraceTest, MergeSkipsIncomingMetadataAndKeepsTids) {
+  // A merged trace re-merged must not duplicate process_name records, and
+  // per-thread lanes survive both hops.
+  SpanTracer tracer(8);
+  tracer.record("a", "t", 0, 1000);
+  std::vector<std::pair<std::string, ChromeTrace>> first;
+  first.emplace_back("inner", *parse_chrome_trace(tracer.to_chrome_json(1000.0)));
+  const std::string once = merge_chrome_traces(first);
+
+  std::vector<std::pair<std::string, ChromeTrace>> second;
+  second.emplace_back("outer", *parse_chrome_trace(once));
+  const std::optional<ChromeTrace> out = parse_chrome_trace(merge_chrome_traces(second));
+  ASSERT_TRUE(out.has_value());
+  int meta = 0;
+  for (const ChromeTraceEvent& e : out->events)
+    if (e.ph == "M") ++meta;
+  EXPECT_EQ(meta, 1);  // one fresh "outer" label, the stale one dropped
+  ASSERT_EQ(out->events.size(), 2u);
+  EXPECT_EQ(out->events[1].tid, this_thread_ordinal());
+}
+
+TEST(TelemetrySnapshotTest, SnapshotSurfacesSpanRingDrops) {
+  Telemetry tele(4);
+  for (int i = 0; i < 7; ++i) tele.spans().record("s", "t", i, i + 1);
+  const TelemetrySnapshot snap = tele.snapshot();
+  EXPECT_EQ(snap.counter("telemetry.spans.recorded"), 7u);
+  EXPECT_EQ(snap.counter("telemetry.spans.dropped"), 3u);
 }
 
 }  // namespace

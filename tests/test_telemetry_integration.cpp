@@ -150,6 +150,48 @@ TEST(TelemetryIntegration, OverheadGaugeMatchesExternalMeasurement) {
   EXPECT_NEAR(internal, external, 1.0);
 }
 
+TEST(TelemetryIntegration, TracingOverheadStaysWithinOnePoint) {
+  // Acceptance gate for DESIGN.md §13: with span tracing enabled,
+  // profiler.overhead_pct must stay within 1 pp of the same run untraced.
+  // Both runs use the same machine seed and sampling period; only the span
+  // kill-switch differs, so any drift is tracing cost leaking into the
+  // profiler's own cycle attribution.
+  SessionRun traced = run_session(core::ProfilingMode::kViprof, 90'000, 0x13c);
+
+  os::MachineConfig mcfg;
+  mcfg.seed = 0x13c;
+  auto machine = std::make_unique<os::Machine>(mcfg);
+  machine->telemetry().spans().set_enabled(false);  // untraced twin
+  workloads::GeneratorOptions opt;
+  opt.name = "tele";
+  opt.seed = 5;
+  opt.methods = 24;
+  opt.total_app_ops = 4'000'000;
+  opt.alloc_intensity = 0.6;
+  opt.nursery_bytes = 512 * 1024;
+  opt.native_frac = 0.08;
+  opt.syscall_frac = 0.04;
+  const workloads::Workload w = workloads::make_synthetic(opt);
+  auto vm = std::make_unique<jvm::Vm>(*machine, w.vm);
+  core::SessionConfig config;
+  config.mode = core::ProfilingMode::kViprof;
+  config.counters = {{hw::EventKind::kGlobalPowerEvents, 90'000, true},
+                     {hw::EventKind::kBsqCacheReference, 90'000 / 64, true}};
+  core::ProfilingSession session(*machine, *vm, config);
+  session.attach();
+  vm->setup(w.program);
+  (void)session.run();
+
+  const double traced_pct =
+      traced.machine->telemetry().snapshot().gauge("profiler.overhead_pct");
+  const double untraced_pct =
+      machine->telemetry().snapshot().gauge("profiler.overhead_pct");
+  EXPECT_GT(traced_pct, 0.0);
+  EXPECT_GT(untraced_pct, 0.0);
+  EXPECT_EQ(machine->telemetry().spans().recorded(), 0u);
+  EXPECT_NEAR(traced_pct, untraced_pct, 1.0);
+}
+
 TEST(TelemetryIntegration, InjectedFaultsCountedExactlyOnce) {
   support::FaultInjector fault(0xfa17);
   support::FaultRule rule;

@@ -2,7 +2,8 @@
 // layer (DESIGN.md §12).
 //
 //   viprof_fleet serve --sessions N --shards K [--kill-at CP] [--batch R]
-//                      [--seed S] [--query "TEXT"]... [--export DIR] [--quiet]
+//                      [--threads T] [--seed S] [--query "TEXT"]...
+//                      [--export DIR] [--quiet]
 //   viprof_fleet query "TEXT" --fleet DIR
 //   viprof_fleet fsck --fleet DIR [--quiet]
 //
@@ -20,6 +21,8 @@
 //   sessions
 //   top N [--event time|dmiss] [--session S]
 //   diff BEFORE AFTER [--event E] [--top N]
+//   stats [--json]
+//   trace
 //
 // Exit status: serve exits 0 only when the ledger balances exactly AND the
 // fleet fsck verdict is clean; query exits 0/2 (load errors); fsck mirrors
@@ -45,8 +48,8 @@ using namespace viprof;
 
 constexpr const char* kUsage =
     "usage: viprof_fleet serve --sessions N --shards K [--kill-at CP]\n"
-    "                          [--batch R] [--seed S] [--query \"TEXT\"]...\n"
-    "                          [--export DIR] [--quiet]\n"
+    "                          [--batch R] [--threads T] [--seed S]\n"
+    "                          [--query \"TEXT\"]... [--export DIR] [--quiet]\n"
     "       viprof_fleet query \"TEXT\" --fleet DIR\n"
     "       viprof_fleet fsck --fleet DIR [--quiet]\n"
     "  serve    stream N synthetic sessions across K shards; --kill-at CP\n"
@@ -55,7 +58,8 @@ constexpr const char* kUsage =
     "  fsck     audit the fleet manifest, partitions, and the exact\n"
     "           degradation ledger (acked == stored + lost)\n"
     "  query text: sessions | top N [--event time|dmiss] [--session S] |\n"
-    "              diff BEFORE AFTER [--event E] [--top N]\n";
+    "              diff BEFORE AFTER [--event E] [--top N] |\n"
+    "              stats [--json] | trace\n";
 
 os::Vfs import_fleet_or_die(const std::string& dir) {
   if (!std::filesystem::is_directory(dir)) {
@@ -76,6 +80,7 @@ int cmd_serve(support::ArgScan& args) {
   std::size_t shards = 3;
   std::uint64_t kill_at = 0;
   std::size_t batch = 256;
+  std::size_t threads = 0;  // 0 = the ServerConfig default
   std::uint64_t seed = 0x5e55;
   std::vector<std::string> queries;
   std::string export_dir;
@@ -85,6 +90,7 @@ int cmd_serve(support::ArgScan& args) {
     else if (args.is("--shards")) shards = args.value_u64();
     else if (args.is("--kill-at")) kill_at = args.value_u64();
     else if (args.is("--batch")) batch = args.value_u64();
+    else if (args.is("--threads")) threads = args.value_u64();
     else if (args.is("--seed")) seed = args.value_u64();
     else if (args.is("--query")) queries.push_back(args.value());
     else if (args.is("--export")) export_dir = args.value();
@@ -100,6 +106,10 @@ int cmd_serve(support::ArgScan& args) {
   fleet::FleetConfig config;
   config.shards = shards;
   config.batch_records = batch;
+  // More ingest workers per shard = more pressure on the named locks;
+  // the contention walkthrough (DESIGN.md §13) raises this to make the
+  // serialisation points visible in `viprof_stat contention`.
+  if (threads > 0) config.server.ingest_threads = threads;
   config.fault = &fault;
   fleet::Router router(fleet_vfs, config);
 
@@ -149,6 +159,11 @@ int cmd_serve(support::ArgScan& args) {
   std::printf("%s\n", fsck.summary.c_str());
 
   if (!export_dir.empty()) {
+    // Telemetry rides along with the namespace: per-shard + fleet
+    // metrics.json / trace.json, so the exported directory answers
+    // `viprof_query stats/trace --fleet` and feeds
+    // `viprof_stat trace-merge` / `viprof_stat contention`.
+    router.export_telemetry();
     fleet_vfs.export_to_directory(export_dir);
     if (!quiet)
       std::printf("fleet namespace written to %s\n", export_dir.c_str());

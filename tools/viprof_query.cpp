@@ -59,10 +59,14 @@ constexpr const char* kUsage =
     "                         [--session S] [--event E] [--top N]\n"
     "       viprof_query diff --store DIR --before LO[:HI] --after LO[:HI]\n"
     "                         [--session S] [--event E] [--top N]\n"
+    "       viprof_query stats --fleet DIR [--json]\n"
+    "       viprof_query trace --fleet DIR\n"
     "FILE|DIR: a viprof-snapshot v1 file, or a directory holding\n"
     "service.snap (as written by viprof_serve --export).\n"
     "--store DIR: a persistent profile store; windows are inclusive ticks.\n"
     "--fleet DIR: an exported fleet namespace (viprof_fleet serve --export).\n"
+    "stats/trace answer from the telemetry files the fleet serve exported\n"
+    "(per-shard + fleet metrics.json / trace.json).\n"
     "events: time (GLOBAL_POWER_EVENTS), dmiss (BSQ_CACHE_REFERENCE)\n";
 
 service::ServiceSnapshot load_or_die(const std::string& arg) {
@@ -172,6 +176,7 @@ int main(int argc, char** argv) {
   std::string fleet_dir;
   std::uint64_t from = 0, to = ~0ull;
   std::size_t top = 20;
+  bool as_json = false;
   while (args.next()) {
     if (args.is("--snap")) snap_arg = args.value();
     else if (args.is("--store")) store_dir = args.value();
@@ -183,11 +188,28 @@ int main(int argc, char** argv) {
     else if (args.is("--session")) session = args.value();
     else if (args.is("--event")) event_name = args.value();
     else if (args.is("--top")) top = args.value_u64();
+    else if (args.is("--json")) as_json = true;
     else args.fail_unknown();
   }
 
   const std::vector<hw::EventKind> report_events = {hw::EventKind::kGlobalPowerEvents,
                                                     hw::EventKind::kBsqCacheReference};
+
+  if (cmd == "stats" || cmd == "trace") {
+    if (fleet_dir.empty()) args.fail();
+    os::Vfs vfs;
+    const fleet::OfflineFleet fleet = open_fleet_or_die(vfs, fleet_dir);
+    const std::string q = cmd == "trace" ? "trace"
+                          : as_json      ? "stats --json"
+                                         : "stats";
+    const std::string out = fleet.query(q);
+    if (out.rfind("error:", 0) == 0) {
+      std::fprintf(stderr, "viprof_query: %s", out.c_str());
+      return 2;
+    }
+    std::printf("%s", out.c_str());
+    return 0;
+  }
 
   if (cmd == "sessions" && !fleet_dir.empty()) {
     os::Vfs vfs;

@@ -44,7 +44,8 @@ constexpr const char* kUsage =
     "  --policy P        overload policy: backpressure (default) or drop\n"
     "  --batch N         sample records per wire batch (default 256)\n"
     "  --query CMD       run a query after ingest (repeatable), e.g.\n"
-    "                    'sessions', 'top 10', 'since-epoch 4', 'arcs 5'\n"
+    "                    'sessions', 'top 10', 'since-epoch 4', 'arcs 5',\n"
+    "                    'stats [--json]', 'trace'\n"
     "  --verify-offline  check each online render against viprof_report's\n"
     "                    offline aggregation (exit 1 on any mismatch)\n"
     "  --export DIR      write per-session reports, service.snap and\n"
@@ -125,7 +126,7 @@ int main(int argc, char** argv) {
             src.world ? *src.world : src.demo_scenario->vfs();
         auto conn = server.connect(src.id);
         service::ReplayClient client(world, src.id, *conn,
-                                     service::ReplayOptions{batch_records, nullptr});
+                                     service::ReplayOptions{batch_records, nullptr, {}});
         client.run();
       });
     }
