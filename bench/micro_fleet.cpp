@@ -91,6 +91,7 @@ bool run() {
   for (const std::size_t shards : {1u, 2u, 4u}) {
     double best_secs = 0.0;
     std::uint64_t ingested = 0;
+    support::TelemetrySnapshot telemetry;
     for (int rep = 0; rep < reps; ++rep) {
       os::Vfs fleet_vfs;
       fleet::FleetConfig config;
@@ -108,12 +109,14 @@ bool run() {
                      "micro_fleet: federated top diverged at %zu shards\n", shards);
         return false;
       }
+      telemetry = router.telemetry().snapshot();  // around the timed region
     }
     bench::BenchRecord record;
     record.name = "ingest.s" + std::to_string(shards);
     record.iterations = reps;
     record.seconds = best_secs;
     record.ns_per_op = best_secs * 1e9 / static_cast<double>(ingested);
+    record.telemetry = std::move(telemetry);
     records.push_back(record);
     std::printf("  ingest  %zu shards: %.3fs (%llu records, %.0f ns/record)\n",
                 shards, best_secs, static_cast<unsigned long long>(ingested),
@@ -142,6 +145,7 @@ bool run() {
     record.iterations = query_rounds;
     record.seconds = us * 1e-6;
     record.ns_per_op = us * 1e3;
+    record.telemetry = router.telemetry().snapshot();
     records.push_back(record);
     std::printf("  query   top20 over 4 shards: %.1f us/query\n", us);
   }
@@ -150,6 +154,7 @@ bool run() {
   {
     double best_secs = 0.0;
     std::uint64_t failovers = 0;
+    support::TelemetrySnapshot telemetry;
     for (int rep = 0; rep < reps; ++rep) {
       os::Vfs fleet_vfs;
       support::FaultInjector fault;
@@ -171,6 +176,7 @@ bool run() {
                      fsck.summary.c_str());
         return false;
       }
+      telemetry = router.telemetry().snapshot();
     }
     bench::BenchRecord record;
     record.name = "failover.kill1of2";
@@ -178,6 +184,7 @@ bool run() {
     record.seconds = best_secs;
     record.ns_per_op =
         best_secs * 1e9 / static_cast<double>(session_count);
+    record.telemetry = std::move(telemetry);
     records.push_back(record);
     std::printf("  failover 1-of-2 shards killed: %.3fs for %zu sessions "
                 "(%llu failed over), fsck clean\n",

@@ -271,8 +271,12 @@ bool run_e2e() {
   std::string baseline_render;
   double baseline_secs = 0.0;
   bool identical = true;
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-    core::ResolvePipeline pipeline(core::PipelineConfig{threads});
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    support::Telemetry telemetry;
+    core::PipelineConfig pipeline_config{threads};
+    pipeline_config.telemetry = &telemetry;
+    core::ResolvePipeline pipeline(pipeline_config);
     double best_secs = 0.0;
     std::string render;
     for (int rep = 0; rep < reps; ++rep) {
@@ -299,6 +303,7 @@ bool run_e2e() {
     record.iterations = reps;
     record.seconds = best_secs;
     record.ns_per_op = best_secs * 1e9 / static_cast<double>(sc->samples.size());
+    record.telemetry = telemetry.snapshot();  // pool.* evidence of the timed region
     records.push_back(std::move(record));
   }
   if (!identical) return false;

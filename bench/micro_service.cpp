@@ -56,8 +56,10 @@ bool run() {
   std::vector<bench::BenchRecord> records;
   double baseline_secs = 0.0;
 
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     double best_secs = 0.0;
+    support::TelemetrySnapshot telemetry;
     for (int rep = 0; rep < reps; ++rep) {
       service::ServerConfig server_config;
       server_config.ingest_threads = threads;
@@ -81,6 +83,10 @@ bool run() {
                              "(threads=%zu)\n", threads);
         return false;
       }
+      // Snapshot before the server dies: the counters, lock-wait
+      // histograms and queue gauges of the timed region are the record's
+      // telemetry payload (empty snapshots defeat the contention evidence).
+      telemetry = server.telemetry().snapshot();
     }
     if (threads == 1) baseline_secs = best_secs;
     const double rate = static_cast<double>(total_records) / best_secs;
@@ -91,6 +97,7 @@ bool run() {
     record.iterations = reps;
     record.seconds = best_secs;
     record.ns_per_op = best_secs * 1e9 / static_cast<double>(total_records);
+    record.telemetry = std::move(telemetry);
     records.push_back(std::move(record));
   }
   std::printf("  online aggregates byte-identical to offline report\n");
@@ -124,6 +131,7 @@ bool run() {
   const double p99 = percentile(latencies_us, 0.99);
   std::printf("  query 'top 20' x%d  p50 %.1fus  p99 %.1fus\n", query_rounds, p50, p99);
 
+  const support::TelemetrySnapshot query_telemetry = server.telemetry().snapshot();
   for (const auto& [name, us] : {std::pair<const char*, double>{"query.top.p50", p50},
                                  {"query.top.p99", p99}}) {
     bench::BenchRecord record;
@@ -131,6 +139,7 @@ bool run() {
     record.iterations = query_rounds;
     record.seconds = us * 1e-6;
     record.ns_per_op = us * 1e3;
+    record.telemetry = query_telemetry;
     records.push_back(std::move(record));
   }
 

@@ -111,9 +111,13 @@ bool run() {
   {
     double best_secs = 0.0;
     std::uint64_t bytes = 0;
+    support::TelemetrySnapshot telemetry;
     for (int rep = 0; rep < reps; ++rep) {
+      support::Telemetry registry;
       os::Vfs vfs;
-      store::ProfileStore st(vfs, bench_config());
+      store::StoreConfig config = bench_config();
+      config.telemetry = &registry;
+      store::ProfileStore st(vfs, config);
       if (st.open().verdict != core::FsckVerdict::kClean) {
         std::fprintf(stderr, "FAIL: fresh store did not open clean\n");
         return false;
@@ -135,6 +139,7 @@ bool run() {
         std::fprintf(stderr, "FAIL: sealed-store query differs from fold\n");
         return false;
       }
+      telemetry = registry.snapshot();  // taken around the timed region
     }
     const double rate = static_cast<double>(intervals) / best_secs;
     std::printf("  ingest           %9.0f intervals/sec  (%.3fs, %.1f MB)\n", rate,
@@ -144,6 +149,7 @@ bool run() {
     record.iterations = reps;
     record.seconds = best_secs;
     record.ns_per_op = best_secs * 1e9 / static_cast<double>(intervals);
+    record.telemetry = std::move(telemetry);
     records.push_back(std::move(record));
   }
 
@@ -152,9 +158,13 @@ bool run() {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     double best_secs = 0.0;
     std::size_t segments_before = 0, segments_after = 0;
+    support::TelemetrySnapshot telemetry;
     for (int rep = 0; rep < reps; ++rep) {
+      support::Telemetry registry;
       os::Vfs vfs;
-      store::ProfileStore st(vfs, bench_config());
+      store::StoreConfig config = bench_config();
+      config.telemetry = &registry;
+      store::ProfileStore st(vfs, config);
       if (st.open().verdict != core::FsckVerdict::kClean) return false;
       for (std::uint64_t j = 0; j < intervals; ++j)
         if (!st.ingest(make_interval(j, methods))) return false;
@@ -162,6 +172,7 @@ bool run() {
       segments_before = st.segment_count();
 
       support::ThreadPool pool(threads);
+      pool.attach_telemetry(registry);
       const auto start = std::chrono::steady_clock::now();
       while (st.compact(&pool) > 0) {
       }
@@ -174,6 +185,7 @@ bool run() {
                              "(threads=%zu)\n", threads);
         return false;
       }
+      telemetry = registry.snapshot();
     }
     const double rate = static_cast<double>(intervals) / best_secs;
     std::printf("  compact threads=%zu %8.0f intervals/sec  (%.3fs, %zu -> %zu "
@@ -184,18 +196,23 @@ bool run() {
     record.iterations = reps;
     record.seconds = best_secs;
     record.ns_per_op = best_secs * 1e9 / static_cast<double>(intervals);
+    record.telemetry = std::move(telemetry);
     records.push_back(std::move(record));
   }
   std::printf("  queries byte-identical to the canonical fold at every stage\n");
 
   // Phase 3: historical query latency against a fully-compacted store.
+  support::Telemetry registry;
   os::Vfs vfs;
-  store::ProfileStore st(vfs, bench_config());
+  store::StoreConfig query_config = bench_config();
+  query_config.telemetry = &registry;
+  store::ProfileStore st(vfs, query_config);
   if (st.open().verdict != core::FsckVerdict::kClean) return false;
   for (std::uint64_t j = 0; j < intervals; ++j)
     if (!st.ingest(make_interval(j, methods))) return false;
   st.seal_active();
   support::ThreadPool pool(2);
+  pool.attach_telemetry(registry);
   while (st.compact(&pool) > 0) {
   }
 
@@ -219,6 +236,7 @@ bool run() {
   std::printf("  windowed 'top 20' x%d  p50 %.1fus  p99 %.1fus\n", query_rounds,
               p50, p99);
 
+  const support::TelemetrySnapshot query_telemetry = registry.snapshot();
   for (const auto& [name, us] : {std::pair<const char*, double>{"query.window.p50", p50},
                                  {"query.window.p99", p99}}) {
     bench::BenchRecord record;
@@ -226,6 +244,7 @@ bool run() {
     record.iterations = query_rounds;
     record.seconds = us * 1e-6;
     record.ns_per_op = us * 1e3;
+    record.telemetry = query_telemetry;
     records.push_back(std::move(record));
   }
 

@@ -11,10 +11,20 @@ percent — hence a band, not an equality check. New benchmarks (present in
 the fresh run but not the baseline) and retired ones are reported but never
 fail the gate; refresh the baselines when the set changes.
 
+Besides the baseline band, the gate enforces *scaling*: the striped ingest
+path (DESIGN.md §14) must make 4 threads strictly cheaper per op than 1 —
+ingest.t4 <= 0.9 x ingest.t1 in BENCH_service.json, and the same ratio for
+e2e_resolve_aggregate.t4 vs .t1 in BENCH_resolve.json. A violation is a
+parallelism regression (a reintroduced global lock, a serialising queue)
+and fails the gate regardless of --enforce. On hosts with fewer than 4
+CPUs the wall-clock speedup physically cannot appear, so the scaling check
+is skipped (with a notice) rather than reporting noise.
+
 Modes:
-  - default: warn-only. Regressions print prominently but exit 0, so a
-    noisy machine can't wedge CI.
-  - VIPROF_GATE=1 (or --enforce): regressions exit 1.
+  - default: warn-only for baseline-band regressions. They print
+    prominently but exit 0, so a noisy machine can't wedge CI. Scaling
+    violations are always fatal (when >= 4 CPUs are present).
+  - VIPROF_GATE=1 (or --enforce): baseline regressions exit 1 too.
 
 Usage: scripts/bench_gate.py [--fresh DIR] [--baseline DIR]
                              [--tolerance PCT] [--enforce]
@@ -55,6 +65,44 @@ def load_results(path):
 
     walk(doc)
     return results
+
+
+# (fresh file, fast config, slow config, max allowed fast/slow ns ratio).
+SCALING_CHECKS = [
+    ("BENCH_service.json", "ingest.t4", "ingest.t1", 0.9),
+    ("BENCH_resolve.json", "e2e_resolve_aggregate.t4",
+     "e2e_resolve_aggregate.t1", 0.9),
+]
+
+
+def check_scaling(fresh_dir):
+    """Returns a list of scaling violations (empty = pass or skipped)."""
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        print(f"bench_gate: scaling gate skipped: host has {cpus} CPU(s); "
+              f"t4-vs-t1 wall-clock speedup needs >= 4")
+        return []
+    violations = []
+    for fname, fast, slow, max_ratio in SCALING_CHECKS:
+        path = os.path.join(fresh_dir, fname)
+        if not os.path.isfile(path):
+            continue  # the missing-file path is reported by the band gate
+        results = load_results(path)
+        if fast not in results or slow not in results:
+            print(f"bench_gate: scaling gate: {fname} lacks "
+                  f"'{fast}'/'{slow}'; skipping that pair")
+            continue
+        if results[slow] <= 0:
+            continue
+        ratio = results[fast] / results[slow]
+        line = (f"{fname}: {fast} = {results[fast]:.1f} ns/op vs "
+                f"{slow} = {results[slow]:.1f} ns/op "
+                f"(ratio {ratio:.2f}, max {max_ratio:.2f})")
+        if ratio > max_ratio:
+            violations.append(line)
+        else:
+            print(f"bench_gate: scaling OK: {line}")
+    return violations
 
 
 def main():
@@ -108,12 +156,20 @@ def main():
             print(f"bench_gate: {fname}: '{name}' is new (no baseline); "
                   f"refresh bench/baselines to start gating it")
 
+    scaling_violations = check_scaling(args.fresh)
+
     for fname in missing:
         print(f"bench_gate: fresh run has no {fname} "
               f"(looked in {args.fresh})", file=sys.stderr)
     for line in improvements:
         print(f"bench_gate: FASTER than baseline band: {line} "
               f"(consider refreshing baselines)")
+    if scaling_violations:
+        for line in scaling_violations:
+            print(f"bench_gate: SCALING REGRESSION: {line}", file=sys.stderr)
+        print(f"bench_gate: {len(scaling_violations)} scaling violation(s): "
+              f"t4 must beat t1 by >= 10% ns/op; failing", file=sys.stderr)
+        return 1
     if regressions:
         for line in regressions:
             print(f"bench_gate: REGRESSION (> {args.tolerance:.0f}%): {line}",

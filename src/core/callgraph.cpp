@@ -6,7 +6,7 @@
 
 namespace viprof::core {
 
-CallArc& CallGraph::arc_for(const CallArc& like) {
+std::size_t CallGraph::arc_slot(const CallArc& like) {
   std::string key;
   key.reserve(like.caller_image.size() + like.caller_symbol.size() +
               like.callee_image.size() + like.callee_symbol.size() + 3);
@@ -23,7 +23,7 @@ CallArc& CallGraph::arc_for(const CallArc& like) {
     arc.count = 0;
     arcs_.push_back(std::move(arc));
   }
-  return arcs_[it->second];
+  return it->second;
 }
 
 void CallGraph::add(const LoggedSample& sample) {
@@ -36,7 +36,15 @@ void CallGraph::add(const LoggedSample& sample) {
 }
 
 void CallGraph::add_resolved(const Resolution& caller, const Resolution& callee) {
-  ++samples_;
+  add_resolved(caller, callee, 1);
+}
+
+void CallGraph::add_resolved(const Resolution& caller, const Resolution& callee,
+                             std::uint64_t count) {
+  bump_arc(arc_index(caller, callee), count);
+}
+
+std::size_t CallGraph::arc_index(const Resolution& caller, const Resolution& callee) {
   CallArc like;
   like.caller_image = caller.image;
   like.caller_symbol = caller.symbol;
@@ -44,7 +52,12 @@ void CallGraph::add_resolved(const Resolution& caller, const Resolution& callee)
   like.callee_symbol = callee.symbol;
   like.caller_domain = caller.domain;
   like.callee_domain = callee.domain;
-  ++arc_for(like).count;
+  return arc_slot(like);
+}
+
+void CallGraph::add_arc(const CallArc& arc) {
+  arcs_[arc_slot(arc)].count += arc.count;
+  samples_ += arc.count;
 }
 
 void CallGraph::merge(const CallGraph& other) {

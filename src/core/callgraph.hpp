@@ -49,8 +49,24 @@ class CallGraph {
 
   /// Accounts one already-resolved (caller → callee) pair; works on
   /// resolver-less graphs. Callers skip samples without a caller PC to
-  /// match add()'s accounting.
+  /// match add()'s accounting. The counted overload folds `count` repeats
+  /// of the same pair in one arc lookup.
   void add_resolved(const Resolution& caller, const Resolution& callee);
+  void add_resolved(const Resolution& caller, const Resolution& callee,
+                    std::uint64_t count);
+
+  /// Folds one finished arc — `arc.count` samples in a single lookup. Used
+  /// by the striped aggregator's order recovery (SeqCallGraph::ordered).
+  void add_arc(const CallArc& arc);
+
+  /// Interning API mirroring Profile::row_index/bump: intern the arc slot
+  /// once, then bump repeats without rebuilding the 4-part key string.
+  /// arc_index() + bump_arc() == add_resolved().
+  std::size_t arc_index(const Resolution& caller, const Resolution& callee);
+  void bump_arc(std::size_t arc, std::uint64_t count = 1) {
+    arcs_[arc].count += count;
+    samples_ += count;
+  }
 
   /// Adds every arc (and the sample count) of `other` into this graph.
   /// Shard-order merging reproduces the serial arc order, as with
@@ -65,11 +81,13 @@ class CallGraph {
 
   std::uint64_t total_arcs() const { return arcs_.size(); }
   std::uint64_t total_samples() const { return samples_; }
+  const std::vector<CallArc>& arcs() const { return arcs_; }
 
   std::string render(std::size_t top_n) const;
 
  private:
-  CallArc& arc_for(const CallArc& like);
+  std::size_t arc_slot(const CallArc& like);
+  CallArc& arc_for(const CallArc& like) { return arcs_[arc_slot(like)]; }
 
   const Resolver* resolver_ = nullptr;
   std::vector<CallArc> arcs_;

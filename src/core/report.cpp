@@ -17,8 +17,8 @@ const char* event_column_title(hw::EventKind event) {
   return "?";
 }
 
-ProfileRow& Profile::row_for(const std::string& image, const std::string& symbol,
-                             SampleDomain domain) {
+std::size_t Profile::row_slot(const std::string& image, const std::string& symbol,
+                              SampleDomain domain) {
   std::string key;
   key.reserve(image.size() + symbol.size() + 1);
   key += image;
@@ -32,7 +32,11 @@ ProfileRow& Profile::row_for(const std::string& image, const std::string& symbol
     row.domain = domain;
     rows_.push_back(std::move(row));
   }
-  return rows_[it->second];
+  return it->second;
+}
+
+std::size_t Profile::row_index(const Resolution& res) {
+  return row_slot(res.image, res.symbol, res.domain);
 }
 
 void Profile::add(hw::EventKind event, const Resolution& res, std::uint64_t count) {

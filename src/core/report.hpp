@@ -60,6 +60,17 @@ class Profile {
   /// Row for an exact (image, symbol), if present.
   const ProfileRow* find(const std::string& image, const std::string& symbol) const;
 
+  /// Interning API for hot aggregation loops (service ingest, resolve
+  /// shards): intern the row slot once, then bump() repeats without
+  /// rebuilding the "image\0symbol" hash key per sample. Indices stay
+  /// valid across later add()s (rows are never removed). bump() maintains
+  /// totals exactly as add() does: row_index() + bump() == add().
+  std::size_t row_index(const Resolution& res);
+  void bump(std::size_t row, hw::EventKind event, std::uint64_t count = 1) {
+    totals_[hw::event_index(event)] += count;
+    rows_[row].counts[hw::event_index(event)] += count;
+  }
+
   /// Fig. 1-style report: one percentage column per event in `events`,
   /// then image and symbol names; top `top_n` rows by the first event.
   std::string render(const std::vector<hw::EventKind>& events, std::size_t top_n) const;
@@ -68,8 +79,12 @@ class Profile {
   const std::vector<ProfileRow>& rows() const { return rows_; }
 
  private:
+  std::size_t row_slot(const std::string& image, const std::string& symbol,
+                       SampleDomain domain);
   ProfileRow& row_for(const std::string& image, const std::string& symbol,
-                      SampleDomain domain);
+                      SampleDomain domain) {
+    return rows_[row_slot(image, symbol, domain)];
+  }
 
   std::vector<ProfileRow> rows_;
   /// "image\0symbol" -> index into rows_ (symbols never contain NUL).

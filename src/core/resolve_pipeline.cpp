@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/striped_agg.hpp"
+
 namespace viprof::core {
 
 ResolvePipeline::ResolvePipeline(PipelineConfig config) : config_(config) {
   threads_ = config_.threads != 0
                  ? config_.threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  if (threads_ > 1) pool_ = std::make_unique<support::ThreadPool>(threads_);
+  if (threads_ > 1) {
+    pool_ = std::make_unique<support::ThreadPool>(threads_);
+    if (config_.telemetry != nullptr) pool_->attach_telemetry(*config_.telemetry);
+  }
 }
 
 ResolvePipeline::~ResolvePipeline() = default;
@@ -27,7 +32,11 @@ ResolveStats ResolvePipeline::aggregate_profile(
   const std::size_t n = samples.size();
   const std::size_t shards = shard_count(n);
   if (shards <= 1) {
-    for (const LoggedSample& s : samples) out.add(event, fn(s, total));
+    // Batched interning even when serial: repeated symbols bump a cached
+    // row index instead of rebuilding the profile key per sample.
+    RowMemo memo;
+    for (const LoggedSample& s : samples)
+      memo.add(out, event, s.pid, s.epoch, fn(s, total));
     return total;
   }
 
@@ -36,8 +45,10 @@ ResolveStats ResolvePipeline::aggregate_profile(
   pool_->parallel_for(shards, [&](std::size_t k) {
     const std::size_t lo = n * k / shards;
     const std::size_t hi = n * (k + 1) / shards;
+    RowMemo memo;  // one per shard: a memo is valid for one target Profile
     for (std::size_t i = lo; i < hi; ++i) {
-      parts[k].add(event, fn(samples[i], stats[k]));
+      const LoggedSample& s = samples[i];
+      memo.add(parts[k], event, s.pid, s.epoch, fn(s, stats[k]));
     }
   });
   // Shard-order merge: deterministic, reproduces the serial row order.

@@ -19,6 +19,7 @@
 #include "core/report.hpp"
 #include "core/resolver.hpp"
 #include "core/sample_log.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace viprof::core {
@@ -29,6 +30,10 @@ struct PipelineConfig {
   /// Minimum samples per shard — below threads*min_shard the pipeline runs
   /// inline, because thread handoff would cost more than it saves.
   std::size_t min_shard = 2048;
+  /// When set, the worker pool's queue lock and task counters register
+  /// here (keys "pool.*") — the same contention evidence the service
+  /// publishes, for offline runs.
+  support::Telemetry* telemetry = nullptr;
 };
 
 class ResolvePipeline {

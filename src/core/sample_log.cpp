@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "support/arena.hpp"
 #include "support/format.hpp"
 
 namespace viprof::core {
@@ -97,7 +98,8 @@ std::vector<LoggedSample> SampleLogReader::read(const os::Vfs& vfs,
   return read_checked(vfs, dir, event, status);
 }
 
-void SampleStreamParser::parse(std::string_view text, std::vector<LoggedSample>& out) {
+template <typename Sink>
+void SampleStreamParser::parse_into(std::string_view text, Sink& out) {
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t nl = text.find('\n', pos);
@@ -164,6 +166,11 @@ void SampleStreamParser::parse(std::string_view text, std::vector<LoggedSample>&
 
   if (status_.corrupt) status_.salvaged = status_.valid;
 }
+
+template void SampleStreamParser::parse_into(std::string_view,
+                                             std::vector<LoggedSample>&);
+template void SampleStreamParser::parse_into(std::string_view,
+                                             support::ArenaVector<LoggedSample>&);
 
 std::vector<LoggedSample> SampleLogReader::read_checked(const os::Vfs& vfs,
                                                         const std::string& dir,

@@ -117,7 +117,17 @@ struct SampleLogReadStatus {
 class SampleStreamParser {
  public:
   /// Parses every line in `text`, appending verified samples to `out`.
-  void parse(std::string_view text, std::vector<LoggedSample>& out);
+  void parse(std::string_view text, std::vector<LoggedSample>& out) {
+    parse_into(text, out);
+  }
+
+  /// Container-generic variant — `Sink` needs push_back(LoggedSample).
+  /// The service decodes batches into arena-backed vectors through this;
+  /// verification, salvage and sequence accounting are the exact same code
+  /// path as the file reader. Explicitly instantiated in sample_log.cpp
+  /// for std::vector<LoggedSample> and support::ArenaVector<LoggedSample>.
+  template <typename Sink>
+  void parse_into(std::string_view text, Sink& out);
 
   /// Accumulated status. `salvaged` is maintained (= valid when damage was
   /// seen); `missing` stays false — only file readers can observe it.

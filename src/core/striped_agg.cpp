@@ -1,0 +1,127 @@
+#include "core/striped_agg.hpp"
+
+#include <algorithm>
+
+namespace viprof::core {
+
+namespace {
+
+std::string row_key(const std::string& image, const std::string& symbol) {
+  std::string key;
+  key.reserve(image.size() + symbol.size() + 1);
+  key += image;
+  key += '\0';
+  key += symbol;
+  return key;
+}
+
+bool before(std::uint64_t seq_a, std::uint32_t idx_a, std::uint64_t seq_b,
+            std::uint32_t idx_b) {
+  return seq_a != seq_b ? seq_a < seq_b : idx_a < idx_b;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- SeqProfile
+
+void SeqProfile::fold_row(const ProfileRow& src, std::uint64_t seq,
+                          std::uint32_t idx) {
+  const auto [it, inserted] =
+      index_.try_emplace(row_key(src.image, src.symbol), rows_.size());
+  if (inserted) {
+    rows_.push_back(SeqRow{src, seq, idx});
+    return;
+  }
+  SeqRow& dst = rows_[it->second];
+  for (std::size_t e = 0; e < hw::kEventKindCount; ++e) dst.row.counts[e] += src.counts[e];
+  if (before(seq, idx, dst.seq, dst.idx)) {
+    // The incoming occurrence is serially earlier: it defines the row's
+    // position *and* its domain (first add wins in the serial path).
+    dst.seq = seq;
+    dst.idx = idx;
+    dst.row.domain = src.domain;
+  }
+}
+
+void SeqProfile::fold(std::uint64_t seq, const Profile& partial) {
+  std::uint32_t idx = 0;
+  for (const ProfileRow& src : partial.rows()) fold_row(src, seq, idx++);
+}
+
+void SeqProfile::fold(const SeqProfile& other) {
+  for (const SeqRow& src : other.rows_) fold_row(src.row, src.seq, src.idx);
+}
+
+Profile SeqProfile::ordered() const {
+  std::vector<const SeqRow*> order;
+  order.reserve(rows_.size());
+  for (const SeqRow& r : rows_) order.push_back(&r);
+  std::sort(order.begin(), order.end(), [](const SeqRow* a, const SeqRow* b) {
+    return before(a->seq, a->idx, b->seq, b->idx);
+  });
+  Profile out;
+  for (const SeqRow* r : order) {
+    Resolution res;
+    res.image = r->row.image;
+    res.symbol = r->row.symbol;
+    res.domain = r->row.domain;
+    const std::size_t slot = out.row_index(res);
+    for (std::size_t e = 0; e < hw::kEventKindCount; ++e) {
+      if (r->row.counts[e] != 0)
+        out.bump(slot, hw::kAllEventKinds[e], r->row.counts[e]);
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- SeqCallGraph
+
+void SeqCallGraph::fold_arc(const CallArc& src, std::uint64_t seq,
+                            std::uint32_t idx) {
+  std::string key;
+  key.reserve(src.caller_image.size() + src.caller_symbol.size() +
+              src.callee_image.size() + src.callee_symbol.size() + 3);
+  key += src.caller_image;
+  key += '\0';
+  key += src.caller_symbol;
+  key += '\0';
+  key += src.callee_image;
+  key += '\0';
+  key += src.callee_symbol;
+  const auto [it, inserted] = index_.try_emplace(std::move(key), arcs_.size());
+  if (inserted) {
+    arcs_.push_back(SeqArc{src, seq, idx});
+    return;
+  }
+  SeqArc& dst = arcs_[it->second];
+  dst.arc.count += src.count;
+  if (before(seq, idx, dst.seq, dst.idx)) {
+    dst.seq = seq;
+    dst.idx = idx;
+    dst.arc.caller_domain = src.caller_domain;
+    dst.arc.callee_domain = src.callee_domain;
+  }
+}
+
+void SeqCallGraph::fold(std::uint64_t seq, const CallGraph& partial) {
+  std::uint32_t idx = 0;
+  for (const CallArc& src : partial.arcs()) fold_arc(src, seq, idx++);
+}
+
+void SeqCallGraph::fold(const SeqCallGraph& other) {
+  for (const SeqArc& src : other.arcs_) fold_arc(src.arc, src.seq, src.idx);
+}
+
+CallGraph SeqCallGraph::ordered() const {
+  std::vector<const SeqArc*> order;
+  order.reserve(arcs_.size());
+  for (const SeqArc& a : arcs_) order.push_back(&a);
+  std::sort(order.begin(), order.end(), [](const SeqArc* a, const SeqArc* b) {
+    return before(a->seq, a->idx, b->seq, b->idx);
+  });
+  CallGraph out;
+  for (const SeqArc* a : order) out.add_arc(a->arc);
+  return out;
+}
+
+}  // namespace viprof::core

@@ -5,22 +5,76 @@ namespace viprof::service {
 CodeMapCache::IndexPtr CodeMapCache::get(const std::string& session, hw::Pid pid,
                                          std::uint64_t ceiling,
                                          const Builder& build) {
-  const std::string key =
-      session + "/" + std::to_string(pid) + "@" + std::to_string(ceiling);
+  std::string key;
+  key.reserve(session.size() + 24);
+  key += session;
+  key += '/';
+  key += std::to_string(pid);
+  key += '@';
+  key += std::to_string(ceiling);
+
+  // Lock-free fast path: resolve against the current immutable snapshot.
+  {
+    const TablePtr table = snapshot_.load(std::memory_order_acquire);
+    const auto it = table->entries.find(key);
+    if (it != table->entries.end()) {
+      it->second->last_used.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->index;
+    }
+  }
+
+  // Miss: writers serialize; re-check under the lock so concurrent misses
+  // on one key build once.
   std::lock_guard<support::TracedMutex> lock(mu_);
-  if (IndexPtr* hit = cache_.get(key)) return *hit;
+  const TablePtr table = snapshot_.load(std::memory_order_acquire);
+  const auto it = table->entries.find(key);
+  if (it != table->entries.end()) {
+    it->second->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                                std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->index;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
   auto index = std::make_shared<core::CodeMapIndex>(build());
   index->prepare();  // workers only run const queries afterwards
-  return cache_.put(key, std::move(index));
+  auto entry = std::make_shared<Entry>();
+  entry->index = index;
+  entry->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+
+  // Copy-on-write install: copy the shared_ptr map (entries themselves are
+  // shared), evict down to capacity, insert, swap the snapshot.
+  auto next = std::make_shared<Table>(*table);
+  while (next->entries.size() >= capacity_) {
+    auto victim = next->entries.begin();
+    std::uint64_t oldest = ~0ull;
+    for (auto cand = next->entries.begin(); cand != next->entries.end(); ++cand) {
+      const std::uint64_t used =
+          cand->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = cand;
+      }
+    }
+    next->entries.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  next->entries.emplace(std::move(key), std::move(entry));
+  snapshot_.store(TablePtr(std::move(next)), std::memory_order_release);
+  return index;
 }
 
 void CodeMapCache::publish(support::Telemetry& telemetry) {
   std::uint64_t dh, dm, de;
   {
-    std::lock_guard<support::TracedMutex> lock(mu_);
-    dh = cache_.hits() - published_hits_;
-    dm = cache_.misses() - published_misses_;
-    de = cache_.evictions() - published_evictions_;
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    dh = hits() - published_hits_;
+    dm = misses() - published_misses_;
+    de = evictions() - published_evictions_;
     published_hits_ += dh;
     published_misses_ += dm;
     published_evictions_ += de;
@@ -30,19 +84,6 @@ void CodeMapCache::publish(support::Telemetry& telemetry) {
   telemetry.counter("service.map_cache.hits").inc(dh);
   telemetry.counter("service.map_cache.misses").inc(dm);
   telemetry.counter("service.map_cache.evictions").inc(de);
-}
-
-std::uint64_t CodeMapCache::hits() const {
-  std::lock_guard<support::TracedMutex> lock(mu_);
-  return cache_.hits();
-}
-std::uint64_t CodeMapCache::misses() const {
-  std::lock_guard<support::TracedMutex> lock(mu_);
-  return cache_.misses();
-}
-std::uint64_t CodeMapCache::evictions() const {
-  std::lock_guard<support::TracedMutex> lock(mu_);
-  return cache_.evictions();
 }
 
 }  // namespace viprof::service

@@ -1,22 +1,33 @@
-// Shared LRU cache of prepared CodeMapIndex instances.
+// Shared cache of prepared CodeMapIndex instances, RCU-style.
 //
 // Ingest workers resolve sample batches against the epoch code maps known
 // at the batch's enqueue time. Rebuilding an index per batch would be
 // O(maps) every few hundred samples; keeping every (vm, epoch-ceiling)
-// generation forever would grow without bound on an always-on server. The
-// cache holds the hot generations, keyed "session/pid@ceiling", and hands
-// out shared_ptr pins — a worker mid-batch keeps its index alive even if
-// the cache evicts that generation under it.
+// generation forever would grow without bound on an always-on server.
+//
+// Through PR 7 this was an LRU map under one mutex, and the TracedMutex
+// evidence showed workers queueing on it for what is overwhelmingly a
+// read-only lookup. The read path is now lock-free: the table lives in an
+// immutable snapshot behind std::atomic<std::shared_ptr>, hits load the
+// snapshot, find their entry and return the pin without ever taking
+// `service.map_cache`. Writers (misses) still serialize on the mutex —
+// concurrent misses on one key build once, as before — and install an
+// updated copy-on-write snapshot with a single atomic store. Entries are
+// shared between snapshot generations, so a swap costs one map copy of
+// shared_ptrs, never an index rebuild. Eviction is least-recently-used by
+// an atomic access tick that hits bump wait-free; a pin handed out keeps
+// its index alive across any later eviction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/code_map.hpp"
-#include "support/lru_cache.hpp"
 #include "support/telemetry.hpp"
 #include "support/traced_mutex.hpp"
 
@@ -27,34 +38,58 @@ class CodeMapCache {
   using IndexPtr = std::shared_ptr<const core::CodeMapIndex>;
   using Builder = std::function<core::CodeMapIndex()>;
 
-  explicit CodeMapCache(std::size_t capacity) : cache_(capacity) {}
+  explicit CodeMapCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    snapshot_.store(std::make_shared<const Table>(), std::memory_order_release);
+  }
 
-  /// Publishes this cache's lock contention metrics (the cache mutex is a
-  /// prime serialization suspect: builders run *under* it so concurrent
-  /// misses build once, which is exactly what makes workers queue up here).
+  /// Publishes the writer mutex's contention metrics. Steady-state reads
+  /// never touch it, so lock.service.map_cache.wait_ns now records only
+  /// build/install serialization (DESIGN.md §14).
   void attach_telemetry(support::Telemetry& telemetry) { mu_.attach(telemetry); }
 
   /// Index for `pid` of `session` at epoch ceiling `ceiling`; `build` runs
-  /// (under the cache lock, so concurrent misses on one key build once) on
-  /// a miss. The returned pin stays valid across later evictions.
+  /// (under the writer lock, so concurrent misses on one key build once)
+  /// on a miss. The returned pin stays valid across later evictions.
   IndexPtr get(const std::string& session, hw::Pid pid, std::uint64_t ceiling,
                const Builder& build);
 
   /// Mirrors hit/miss/eviction counts into `telemetry` as monotonic
   /// counters under service.map_cache.* (each call adds the delta since the
   /// last publish, so viprof_stat diff works across snapshots); call after
-  /// a batch (cheap, lock + 3 increments).
+  /// a batch (cheap: three atomic reads, no cache lock).
   void publish(support::Telemetry& telemetry);
 
-  std::size_t capacity() const { return cache_.capacity(); }
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t evictions() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
-  mutable support::TracedMutex mu_{"service.map_cache"};
-  support::LruCache<std::string, IndexPtr> cache_;
-  // Counts already published, so publish() emits exact deltas (mu_).
+  struct Entry {
+    IndexPtr index;
+    /// Access tick for LRU eviction; hits store relaxed, the (serialized)
+    /// evictor reads — approximate ordering between racing hits is fine,
+    /// eviction choice never affects correctness (pins outlive eviction).
+    mutable std::atomic<std::uint64_t> last_used{0};
+  };
+  /// Immutable after install; generations share Entry objects.
+  struct Table {
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries;
+  };
+  using TablePtr = std::shared_ptr<const Table>;
+
+  const std::size_t capacity_;
+  std::atomic<TablePtr> snapshot_;
+  mutable support::TracedMutex mu_{"service.map_cache"};  // writers only
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  // Counts already published, so publish() emits exact deltas.
+  std::mutex publish_mu_;
   std::uint64_t published_hits_ = 0;
   std::uint64_t published_misses_ = 0;
   std::uint64_t published_evictions_ = 0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <tuple>
 
 #include "core/code_map.hpp"
 #include "service/query.hpp"
@@ -70,8 +71,8 @@ bool ServerConnection::send(const std::string& bytes) {
 
 void ServerConnection::deliver(const char* data, std::size_t size) {
   decoder_.feed(data, size);
-  Frame frame;
-  while (decoder_.next(frame)) server_->dispatch(*this, std::move(frame));
+  FrameView frame;
+  while (decoder_.next_view(frame)) server_->dispatch(*this, frame);
   const std::uint64_t torn = decoder_.torn_frames();
   if (torn > reported_torn_) {
     const std::uint64_t delta = torn - reported_torn_;
@@ -134,9 +135,11 @@ std::shared_ptr<ServerSession> ProfileServer::open_session(const std::string& id
   std::lock_guard<support::TracedSharedMutex> lock(sessions_mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
+    const std::size_t stripes =
+        config_.agg_stripes != 0 ? config_.agg_stripes : pool_.size();
     it = sessions_
              .emplace(id, std::make_shared<ServerSession>(id, config_.queue_capacity,
-                                                          &telemetry_))
+                                                          stripes, &telemetry_))
              .first;
     telemetry_.gauge("service.sessions").set(static_cast<double>(sessions_.size()));
   }
@@ -148,34 +151,37 @@ void ProfileServer::reply(ServerConnection& conn, FrameType type, std::string te
   conn.replies_.push_back(Frame{type, std::move(text), {}});
 }
 
-void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
+void ProfileServer::dispatch(ServerConnection& conn, const FrameView& frame) {
   telemetry_.counter("service.frames").inc();
   switch (frame.type) {
     case FrameType::kHello:
-      reply(conn, FrameType::kReply, "hello " + frame.payload);
+      reply(conn, FrameType::kReply, "hello " + std::string(frame.payload));
       return;
-    case FrameType::kOpenSession:
+    case FrameType::kOpenSession: {
       if (frame.payload.empty()) {
         reply(conn, FrameType::kError, "open-session: empty id");
         return;
       }
-      conn.session_ = open_session(frame.payload);
+      const std::string id(frame.payload);
+      conn.session_ = open_session(id);
       // Adopt the client's trace context; mint one locally for untraced
       // clients so every span this session produces is still causally
       // tagged (and deterministically so — mint hashes the session id).
       conn.session_->set_trace(frame.trace.valid()
                                    ? frame.trace.trace_id
-                                   : support::TraceContext::mint(frame.payload).trace_id);
-      reply(conn, FrameType::kReply, "ok session " + frame.payload);
+                                   : support::TraceContext::mint(id).trace_id);
+      reply(conn, FrameType::kReply, "ok session " + id);
       return;
+    }
     case FrameType::kRegisterVm: {
       if (!conn.session_) {
         reply(conn, FrameType::kError, "register-vm: no session open");
         return;
       }
-      const auto reg = parse_reg_line(frame.payload);
+      const auto reg = parse_reg_line(std::string(frame.payload));
       if (!reg) {
-        reply(conn, FrameType::kError, "register-vm: unparseable: " + frame.payload);
+        reply(conn, FrameType::kError,
+              "register-vm: unparseable: " + std::string(frame.payload));
         return;
       }
       const core::RegisterStatus status = conn.session_->register_vm(*reg);
@@ -199,8 +205,8 @@ void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
         return;
       }
       telemetry_.counter("service.files").inc();
-      conn.session_->store_file(frame.payload.substr(0, nl),
-                                frame.payload.substr(nl + 1));
+      conn.session_->store_file(std::string(frame.payload.substr(0, nl)),
+                                std::string(frame.payload.substr(nl + 1)));
       return;
     }
     case FrameType::kSampleBatch:
@@ -215,16 +221,13 @@ void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
         reply(conn, FrameType::kError, "end-stream: no session open");
         return;
       }
-      {
-        std::lock_guard<support::TracedMutex> lock(conn.session_->agg_mu_);
-        conn.session_->stats_.ended = true;
-      }
+      conn.session_->mark_ended();
       reply(conn, FrameType::kReply, "ok end");
       return;
     }
     case FrameType::kQuery: {
       const std::uint64_t t0 = support::monotonic_ns();
-      std::string result = query(frame.payload);
+      std::string result = query(std::string(frame.payload));
       const std::uint64_t t1 = support::monotonic_ns();
       telemetry_
           .histogram("service.query.latency_us", 0.0, 50.0, 64)
@@ -241,16 +244,16 @@ void ProfileServer::dispatch(ServerConnection& conn, Frame frame) {
   }
 }
 
-void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payload) {
+void ProfileServer::handle_batch(ServerConnection& conn, std::string_view payload) {
   std::shared_ptr<ServerSession> session = conn.session_;
   const std::size_t nl = payload.find('\n');
-  if (nl == std::string::npos) {
+  if (nl == std::string_view::npos) {
     reply(conn, FrameType::kError, "batch: missing header");
     return;
   }
   char event_name[64] = {};
   unsigned long long declared = 0;
-  const std::string header = payload.substr(0, nl);
+  const std::string header(payload.substr(0, nl));
   if (std::sscanf(header.c_str(), "batch %63s %llu", event_name, &declared) != 2) {
     reply(conn, FrameType::kError, "batch: bad header: " + header);
     return;
@@ -263,15 +266,18 @@ void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payl
 
   Batch batch;
   batch.event = *event;
+  batch.arena = rent_arena();
+  batch.samples = support::ArenaVector<core::LoggedSample>(*batch.arena);
   bool enqueued = false;
   std::uint64_t record_count = 0;
   const std::uint64_t parse_t0 = support::monotonic_ns();
   {
     // Serial per-session parse: stream order and the per-event sequence
-    // watermark are what make the online aggregate deterministic.
+    // watermark are what make the online aggregate deterministic. The
+    // samples decode zero-copy: wire-buffer view in, arena storage out.
     std::lock_guard<support::TracedMutex> lock(session->ingest_mu_);
-    session->parsers_[hw::event_index(*event)].parse(
-        std::string_view(payload).substr(nl + 1), batch.samples);
+    session->parsers_[hw::event_index(*event)].parse_into(payload.substr(nl + 1),
+                                                          batch.samples);
     batch.ceilings = session->ceilings_;
     record_count = batch.samples.size();
 
@@ -295,15 +301,12 @@ void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payl
                             support::monotonic_ns(), support::SpanTracer::kNoArg,
                             session->trace());
 
-  {
-    std::lock_guard<support::TracedMutex> lock(session->agg_mu_);
-    ++session->stats_.frames;
-    if (enqueued) {
-      ++session->stats_.batches_enqueued;
-    } else {
-      ++session->stats_.batches_dropped;
-      session->stats_.records_dropped += record_count;
-    }
+  session->frames_.fetch_add(1, std::memory_order_relaxed);
+  if (enqueued) {
+    session->batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    session->batches_dropped_.fetch_add(1, std::memory_order_relaxed);
+    session->records_dropped_.fetch_add(record_count, std::memory_order_relaxed);
   }
   if (enqueued) {
     telemetry_.counter("service.batches").inc();
@@ -313,6 +316,8 @@ void ProfileServer::handle_batch(ServerConnection& conn, const std::string& payl
   } else {
     telemetry_.counter("service.batches.dropped").inc();
     telemetry_.counter("service.records.dropped").inc(record_count);
+    // Dropped before the queue took ownership: the arena comes back here.
+    recycle_arena(std::move(batch.arena));
   }
 }
 
@@ -332,6 +337,7 @@ void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
     telemetry_.counter("service.batches.unresolvable").inc();
     result.records = 0;
     session->apply(batch.apply_seq, std::move(result));
+    recycle_arena(std::move(batch.arena));
     return;
   }
 
@@ -353,14 +359,50 @@ void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
   }
 
   const std::uint64_t resolve_t0 = support::monotonic_ns();
+  // Batched interning (DESIGN.md §14): repeated symbols inside one batch
+  // bump cached row/arc indices; the partials' tables see one key-string
+  // build per distinct row, not one per sample.
+  core::RowMemo combined_memo;
+  std::map<std::uint64_t, core::RowMemo> epoch_memos;
+  core::Profile* epoch_profile = nullptr;
+  core::RowMemo* epoch_memo = nullptr;
+  std::uint64_t memo_epoch = ~0ull;
+  // resolve_pc over a pinned index generation is deterministic per
+  // (pc, pid, epoch), and callers repeat heavily within a batch.
+  std::map<std::tuple<hw::Address, hw::Pid, std::uint64_t>, core::Resolution>
+      caller_memo;
+  std::map<std::tuple<hw::Address, hw::Pid, std::uint64_t, hw::Address, std::uint8_t>,
+           std::size_t>
+      arc_memo;
   for (const core::LoggedSample& sample : batch.samples) {
     const core::Resolution res = resolver->resolve(sample, &jit);
-    result.partial.add(batch.event, res);
-    result.epoch_partial[sample.epoch].add(batch.event, res);
+    combined_memo.add(result.partial, batch.event, sample.pid, sample.epoch, res);
+    if (epoch_profile == nullptr || sample.epoch != memo_epoch) {
+      memo_epoch = sample.epoch;
+      epoch_profile = &result.epoch_partial[sample.epoch];
+      epoch_memo = &epoch_memos[sample.epoch];
+    }
+    epoch_memo->add(*epoch_profile, batch.event, sample.pid, sample.epoch, res);
     if (sample.caller_pc != 0) {
-      const core::Resolution caller = resolver->resolve_pc(
-          sample.caller_pc, hw::CpuMode::kUser, sample.pid, sample.epoch, &jit);
-      result.arcs.emplace_back(caller, res);
+      const auto caller_key =
+          std::make_tuple(sample.caller_pc, sample.pid, sample.epoch);
+      auto [cit, caller_new] = caller_memo.try_emplace(caller_key);
+      if (caller_new)
+        cit->second = resolver->resolve_pc(sample.caller_pc, hw::CpuMode::kUser,
+                                           sample.pid, sample.epoch, &jit);
+      const core::Resolution& caller = cit->second;
+      if (res.symbol_size != 0) {
+        const auto arc_key =
+            std::make_tuple(sample.caller_pc, sample.pid, sample.epoch,
+                            res.symbol_base, static_cast<std::uint8_t>(res.domain));
+        auto [ait, arc_new] = arc_memo.try_emplace(arc_key, 0);
+        if (arc_new) ait->second = result.arcs.arc_index(caller, res);
+        result.arcs.bump_arc(ait->second);
+      } else {
+        // Unresolved bins share symbol_base 0 across distinct names — not
+        // memoisable by identity, same rule as RowMemo.
+        result.arcs.add_resolved(caller, res);
+      }
     }
   }
   const std::uint64_t resolve_t1 = support::monotonic_ns();
@@ -370,7 +412,27 @@ void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
   session->apply(batch.apply_seq, std::move(result));
   telemetry_.spans().record("service.batch.apply", "service", resolve_t1,
                             support::monotonic_ns(), batch.apply_seq, session->trace());
+  recycle_arena(std::move(batch.arena));
   cache_.publish(telemetry_);
+}
+
+std::unique_ptr<support::Arena> ProfileServer::rent_arena() {
+  {
+    std::lock_guard<std::mutex> lock(arena_mu_);
+    if (!arena_pool_.empty()) {
+      std::unique_ptr<support::Arena> arena = std::move(arena_pool_.back());
+      arena_pool_.pop_back();
+      return arena;
+    }
+  }
+  return std::make_unique<support::Arena>();
+}
+
+void ProfileServer::recycle_arena(std::unique_ptr<support::Arena> arena) {
+  if (!arena) return;
+  arena->reset();  // keeps the block chain for the next batch
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (arena_pool_.size() < 64) arena_pool_.push_back(std::move(arena));
 }
 
 void ProfileServer::drain() { pool_.wait_idle(); }

@@ -4,13 +4,15 @@
 // concurrent client connections, each streaming one profiling session:
 // archive world files, VM registrations, and checksummed sample batches.
 // Ingest is staged: the receiver (the client's own thread, via the
-// loopback transport) verifies framing, parses batches serially per
-// session — preserving the stream's sample order and sequence-number
-// accounting — and enqueues them on the session's bounded queue; a shared
-// ThreadPool resolves batches concurrently through the LRU code-map cache;
-// a per-session reorder buffer applies results in enqueue order. The
-// online aggregate is therefore byte-identical to offline viprof_report
-// over the same logs, at any thread count (DESIGN.md §10).
+// loopback transport) verifies framing, decodes batches zero-copy into a
+// recycled per-batch arena — serially per session, preserving the stream's
+// sample order and sequence-number accounting — and enqueues them on the
+// session's bounded queue; a shared ThreadPool resolves batches
+// concurrently through the RCU-snapshot code-map cache and folds each into
+// one of the session's aggregation stripes in whatever order workers
+// finish. Order-recovering accumulators (DESIGN.md §14) make the online
+// aggregate byte-identical to offline viprof_report over the same logs, at
+// any thread count, stripe count and interleaving (DESIGN.md §10).
 //
 // Overload: with kBackpressure a full queue blocks the sender (slow server
 // slows its clients); with kDropNewest the batch is dropped and *counted*
@@ -28,6 +30,7 @@
 #include "service/session.hpp"
 #include "service/transport.hpp"
 #include "service/wire.hpp"
+#include "support/arena.hpp"
 #include "support/fault.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
@@ -48,6 +51,9 @@ struct ServerConfig {
   std::size_t queue_capacity = 64;  // batches buffered per session
   OverloadPolicy policy = OverloadPolicy::kBackpressure;
   std::size_t code_map_cache_capacity = 8;
+  /// Aggregation stripes per session (DESIGN.md §14); 0 = one per ingest
+  /// thread. Output is byte-identical at any value.
+  std::size_t agg_stripes = 0;
   support::FaultInjector* fault = nullptr;  // wire + queue fault points
 };
 
@@ -163,15 +169,23 @@ class ProfileServer {
  private:
   friend class ServerConnection;
 
-  void dispatch(ServerConnection& conn, Frame frame);
-  void handle_batch(ServerConnection& conn, const std::string& payload);
+  void dispatch(ServerConnection& conn, const FrameView& frame);
+  void handle_batch(ServerConnection& conn, std::string_view payload);
   void process_one(std::shared_ptr<ServerSession> session);
   std::shared_ptr<ServerSession> open_session(const std::string& id);
   void reply(ServerConnection& conn, FrameType type, std::string text);
 
+  /// Per-batch arena recycling: batches decode into a rented arena and
+  /// return it (reset, blocks kept) after apply, so steady-state ingest
+  /// allocates no per-frame heap storage.
+  std::unique_ptr<support::Arena> rent_arena();
+  void recycle_arena(std::unique_ptr<support::Arena> arena);
+
   ServerConfig config_;
   support::Telemetry telemetry_;
   CodeMapCache cache_;
+  std::mutex arena_mu_;
+  std::vector<std::unique_ptr<support::Arena>> arena_pool_;
   // Reader-heavy (every query and flush walks the session table) and a
   // contention suspect: shared for lookups, exclusive for open/drop.
   mutable support::TracedSharedMutex sessions_mu_{"service.sessions"};

@@ -26,17 +26,32 @@ std::optional<hw::Pid> pid_from_map_path(const std::string& path) {
 
 }  // namespace
 
+SessionStats ServerSession::stats() const {
+  SessionStats out;
+  out.frames = frames_.load(std::memory_order_relaxed);
+  out.torn_frames = torn_frames_.load(std::memory_order_relaxed);
+  out.files = files_.load(std::memory_order_relaxed);
+  out.batches_enqueued = batches_enqueued_.load(std::memory_order_relaxed);
+  out.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  out.batches_dropped = batches_dropped_.load(std::memory_order_relaxed);
+  out.records_ingested = records_ingested_.load(std::memory_order_relaxed);
+  out.records_dropped = records_dropped_.load(std::memory_order_relaxed);
+  out.registrations = registrations_.load(std::memory_order_relaxed);
+  out.registrations_rejected = registrations_rejected_.load(std::memory_order_relaxed);
+  out.ended = ended_.load(std::memory_order_relaxed);
+  return out;
+}
+
 core::RegisterStatus ServerSession::register_vm(const core::VmRegistration& reg) {
   core::RegisterStatus status;
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
     status = table_.add(reg);
   }
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
   if (status == core::RegisterStatus::kOk)
-    ++stats_.registrations;
+    registrations_.fetch_add(1, std::memory_order_relaxed);
   else
-    ++stats_.registrations_rejected;
+    registrations_rejected_.fetch_add(1, std::memory_order_relaxed);
   return status;
 }
 
@@ -62,8 +77,7 @@ void ServerSession::store_file(const std::string& path, std::string bytes) {
     auto [it, inserted] = ceilings_.try_emplace(*pid, *epoch);
     if (!inserted && *epoch > it->second) it->second = *epoch;
   }
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
-  ++stats_.files;
+  files_.fetch_add(1, std::memory_order_relaxed);
 }
 
 const core::ArchiveResolver* ServerSession::resolver() {
@@ -76,71 +90,99 @@ const core::ArchiveResolver* ServerSession::resolver() {
 }
 
 core::Profile ServerSession::merged_profile() const {
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
+  core::SeqProfile combined[hw::kEventKindCount];
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<support::TracedMutex> lock(stripe->mu);
+    for (std::size_t e = 0; e < hw::kEventKindCount; ++e)
+      combined[e].fold(stripe->event_profiles[e]);
+  }
   core::Profile merged;
   for (hw::EventKind event : hw::kAllEventKinds)
-    merged.merge(event_profiles_[hw::event_index(event)]);
+    merged.merge(combined[hw::event_index(event)].ordered());
   return merged;
 }
 
 core::Profile ServerSession::profile_since_epoch(std::uint64_t since) const {
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
+  std::map<std::uint64_t, core::SeqProfile> combined;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<support::TracedMutex> lock(stripe->mu);
+    for (const auto& [epoch, partial] : stripe->epoch_profiles)
+      if (epoch >= since) combined[epoch].fold(partial);
+  }
   core::Profile merged;
-  for (const auto& [epoch, profile] : epoch_profiles_)
-    if (epoch >= since) merged.merge(profile);
+  for (const auto& [epoch, partial] : combined) merged.merge(partial.ordered());
   return merged;
 }
 
+std::map<std::uint64_t, core::Profile> ServerSession::epoch_profiles() const {
+  std::map<std::uint64_t, core::SeqProfile> combined;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<support::TracedMutex> lock(stripe->mu);
+    for (const auto& [epoch, partial] : stripe->epoch_profiles)
+      combined[epoch].fold(partial);
+  }
+  std::map<std::uint64_t, core::Profile> out;
+  for (const auto& [epoch, partial] : combined) out.emplace(epoch, partial.ordered());
+  return out;
+}
+
 std::vector<core::CallArc> ServerSession::ranked_arcs() const {
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
-  return graph_.ranked();
+  core::SeqCallGraph combined;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<support::TracedMutex> lock(stripe->mu);
+    combined.fold(stripe->graph);
+  }
+  return combined.ordered().ranked();
 }
 
 ServerSession::FlushDelta ServerSession::take_flush() {
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
+  core::SeqProfile combined[hw::kEventKindCount];
   FlushDelta delta;
-  delta.any = pending_any_;
-  delta.records = pending_records_;
-  if (pending_epoch_lo_ <= pending_epoch_hi_) {
-    delta.epoch_lo = pending_epoch_lo_;
-    delta.epoch_hi = pending_epoch_hi_;
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<support::TracedMutex> lock(stripe->mu);
+    for (std::size_t e = 0; e < hw::kEventKindCount; ++e) {
+      combined[e].fold(stripe->pending_event[e]);
+      stripe->pending_event[e] = core::SeqProfile{};
+    }
+    lo = std::min(lo, stripe->pending_epoch_lo);
+    hi = std::max(hi, stripe->pending_epoch_hi);
+    delta.records += stripe->pending_records;
+    delta.any = delta.any || stripe->pending_any;
+    stripe->pending_epoch_lo = ~0ull;
+    stripe->pending_epoch_hi = 0;
+    stripe->pending_records = 0;
+    stripe->pending_any = false;
+  }
+  if (lo <= hi) {
+    delta.epoch_lo = lo;
+    delta.epoch_hi = hi;
   }
   // Canonical event order, same as merged_profile(): differently-timed
   // flushes of the same stream fold back to the same row order.
-  for (hw::EventKind event : hw::kAllEventKinds) {
-    delta.profile.merge(pending_event_[hw::event_index(event)]);
-    pending_event_[hw::event_index(event)] = core::Profile{};
-  }
-  pending_epoch_lo_ = ~0ull;
-  pending_epoch_hi_ = 0;
-  pending_records_ = 0;
-  pending_any_ = false;
+  for (hw::EventKind event : hw::kAllEventKinds)
+    delta.profile.merge(combined[hw::event_index(event)].ordered());
   return delta;
 }
 
 void ServerSession::apply(std::uint64_t apply_seq, BatchResult result) {
-  std::lock_guard<support::TracedMutex> lock(agg_mu_);
-  reorder_.emplace(apply_seq, std::move(result));
-  while (true) {
-    auto it = reorder_.find(next_apply_seq_);
-    if (it == reorder_.end()) break;
-    BatchResult& r = it->second;
-    event_profiles_[hw::event_index(r.event)].merge(r.partial);
-    pending_event_[hw::event_index(r.event)].merge(r.partial);
-    pending_records_ += r.records;
-    if (r.partial.row_count() != 0) pending_any_ = true;
-    for (auto& [epoch, partial] : r.epoch_partial) {
-      epoch_profiles_[epoch].merge(partial);
-      pending_epoch_lo_ = std::min(pending_epoch_lo_, epoch);
-      pending_epoch_hi_ = std::max(pending_epoch_hi_, epoch);
+  Stripe& stripe = *stripes_[apply_seq % stripes_.size()];
+  {
+    std::lock_guard<support::TracedMutex> lock(stripe.mu);
+    const std::size_t e = hw::event_index(result.event);
+    stripe.event_profiles[e].fold(apply_seq, result.partial);
+    stripe.pending_event[e].fold(apply_seq, result.partial);
+    stripe.pending_records += result.records;
+    if (result.partial.row_count() != 0) stripe.pending_any = true;
+    for (const auto& [epoch, partial] : result.epoch_partial) {
+      stripe.epoch_profiles[epoch].fold(apply_seq, partial);
+      stripe.pending_epoch_lo = std::min(stripe.pending_epoch_lo, epoch);
+      stripe.pending_epoch_hi = std::max(stripe.pending_epoch_hi, epoch);
     }
-    for (const auto& [caller, callee] : r.arcs) graph_.add_resolved(caller, callee);
-    stats_.records_ingested += r.records;
-    ++stats_.batches_applied;
-    reorder_.erase(it);
-    ++next_apply_seq_;
+    stripe.graph.fold(apply_seq, result.arcs);
   }
-  applied_cv_.notify_all();
+  records_ingested_.fetch_add(result.records, std::memory_order_relaxed);
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace viprof::service

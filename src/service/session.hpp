@@ -4,20 +4,32 @@
 // manifest, boot maps, epoch code maps) in a private VFS, its registration
 // table, the per-event stream parsers with their sequence watermarks, a
 // bounded batch queue toward the ingest workers, and the rolling
-// aggregates. Three locks, never nested with each other:
-//   ingest_mu_  — parsers, epoch ceilings, enqueue sequencing (receiver)
-//   world_mu_   — the VFS and the lazily built resolver (receiver + workers)
-//   agg_mu_     — aggregates, reorder buffer, stats (workers + queries)
-// ingest_mu_ and agg_mu_ are contention suspects (ROADMAP item 1), so they
-// are TracedMutexes: when the server hands the session a Telemetry, their
-// wait times surface as lock.service.session.{ingest,agg}.wait_ns.
+// aggregates. Locks, never nested with each other:
+//   ingest_mu_   — parsers, epoch ceilings, enqueue sequencing (receiver)
+//   world_mu_    — the VFS and the lazily built resolver (receiver + workers)
+//   stripe locks — one per aggregation stripe (workers + queries)
+//
+// Aggregation is striped (DESIGN.md §14): a batch lands on stripe
+// (apply_seq % stripes) and folds into that stripe's order-recovering
+// SeqProfile/SeqCallGraph accumulators under the stripe's own lock, so
+// concurrent workers only collide when their sequence numbers share a
+// stripe. There is no reorder buffer and no apply-order requirement —
+// every row remembers its first-occurrence (seq, idx), and queries merge
+// the stripes and sort that provenance back into the exact serial order.
+// The online answer stays byte-identical to offline viprof_report at any
+// thread count, stripe count and worker interleaving. Every stripe lock
+// shares the TracedMutex name "service.session.agg", so the PR 7
+// contention evidence reads on the same key before and after.
+//
+// Counters (SessionStats) are plain atomics: stats() composes a snapshot
+// without stopping ingest.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <condition_variable>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +39,8 @@
 #include "core/registration.hpp"
 #include "core/report.hpp"
 #include "core/sample_log.hpp"
+#include "core/striped_agg.hpp"
+#include "support/arena.hpp"
 #include "support/bounded_queue.hpp"
 #include "support/traced_mutex.hpp"
 
@@ -35,21 +49,25 @@ namespace viprof::service {
 /// One parsed sample batch queued for ingest. `ceilings` snapshots, per
 /// pid, the highest code-map epoch announced before this batch — the
 /// worker resolves against exactly that generation of the map index.
+/// Samples are decoded straight into the batch's arena (one bump-allocated
+/// block chain per batch, recycled by the server after apply) — the wire
+/// payload is never copied into per-frame heap vectors.
 struct Batch {
   hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
-  std::vector<core::LoggedSample> samples;
+  support::ArenaVector<core::LoggedSample> samples;
+  std::unique_ptr<support::Arena> arena;  // owns the samples' storage
   std::uint64_t apply_seq = 0;
   std::map<hw::Pid, std::uint64_t> ceilings;
 };
 
-/// A worker's resolved batch, waiting in the reorder buffer. Applying
-/// results in apply_seq order makes the rolling aggregate independent of
-/// worker scheduling — the online/offline identity hinges on it.
+/// A worker's resolved batch: partial aggregates interned per batch (one
+/// shared-table fold per distinct row, not per sample) and handed to
+/// apply() in any order.
 struct BatchResult {
   hw::EventKind event = hw::EventKind::kGlobalPowerEvents;
   core::Profile partial;
   std::map<std::uint64_t, core::Profile> epoch_partial;
-  std::vector<std::pair<core::Resolution, core::Resolution>> arcs;  // caller, callee
+  core::CallGraph arcs;  // resolver-less partial graph
   std::uint64_t records = 0;
 };
 
@@ -71,21 +89,28 @@ class ProfileServer;
 
 class ServerSession {
  public:
-  /// `telemetry` (may be null) hosts this session's lock contention
-  /// metrics and queue-depth instrumentation; the server passes its own
-  /// hub so every session folds into one observable registry.
-  ServerSession(std::string id, std::size_t queue_capacity,
+  /// `stripes` aggregation stripes (clamped to >= 1). `telemetry` (may be
+  /// null) hosts this session's lock contention metrics and queue-depth
+  /// instrumentation; the server passes its own hub so every session folds
+  /// into one observable registry.
+  ServerSession(std::string id, std::size_t queue_capacity, std::size_t stripes = 1,
                 support::Telemetry* telemetry = nullptr)
       : id_(std::move(id)), queue_(queue_capacity) {
+    if (stripes == 0) stripes = 1;
+    stripes_.reserve(stripes);
+    for (std::size_t i = 0; i < stripes; ++i)
+      stripes_.push_back(std::make_unique<Stripe>());
     if (telemetry != nullptr) {
       ingest_mu_.attach(*telemetry);
-      agg_mu_.attach(*telemetry);
+      for (auto& stripe : stripes_) stripe->mu.attach(*telemetry);
       queue_.instrument(&telemetry->gauge("service.queue.depth"),
                         &telemetry->histogram("service.queue.depth_hist", 0.0, 1.0, 64));
     }
   }
 
   const std::string& id() const { return id_; }
+
+  std::size_t stripe_count() const { return stripes_.size(); }
 
   /// Trace context minted (or received over the wire) for this session;
   /// every span the server records on its behalf carries this id.
@@ -94,10 +119,7 @@ class ServerSession {
   }
   std::uint64_t trace() const { return trace_id_.load(std::memory_order_relaxed); }
 
-  SessionStats stats() const {
-    std::lock_guard<support::TracedMutex> lock(agg_mu_);
-    return stats_;
-  }
+  SessionStats stats() const;
 
   /// Registered VMs (wire kRegisterVm frames), with hardening semantics.
   core::RegisterStatus register_vm(const core::VmRegistration& reg);
@@ -132,39 +154,49 @@ class ServerSession {
     bool any = false;
   };
 
-  /// Returns and clears the accumulated delta. Batches are folded into the
-  /// pending delta in apply_seq order, so consecutive flush intervals
-  /// merged back together reproduce the session's full profile exactly.
+  /// Returns and clears the accumulated delta. A batch folds into exactly
+  /// one stripe's pending state, so every batch lands in exactly one
+  /// flush interval; consecutive intervals merged back together reproduce
+  /// the session's full profile exactly (order recovery makes the cut
+  /// points irrelevant).
   FlushDelta take_flush();
 
-  /// Copies of the per-epoch profiles (snapshot serialisation).
-  std::map<std::uint64_t, core::Profile> epoch_profiles() const {
-    std::lock_guard<support::TracedMutex> lock(agg_mu_);
-    return epoch_profiles_;
-  }
+  /// Copies of the per-epoch profiles (snapshot serialisation), each in
+  /// recovered serial order.
+  std::map<std::uint64_t, core::Profile> epoch_profiles() const;
 
   std::uint64_t ingested_records() const {
-    std::lock_guard<support::TracedMutex> lock(agg_mu_);
-    return stats_.records_ingested;
+    return records_ingested_.load(std::memory_order_relaxed);
   }
 
   /// Wire-level damage charged to this session (decoder skips, mid-frame
   /// disconnects).
   void count_torn_frames(std::uint64_t n) {
-    std::lock_guard<support::TracedMutex> lock(agg_mu_);
-    stats_.torn_frames += n;
+    torn_frames_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  bool ended() const {
-    std::lock_guard<support::TracedMutex> lock(agg_mu_);
-    return stats_.ended;
-  }
+  void mark_ended() { ended_.store(true, std::memory_order_relaxed); }
+  bool ended() const { return ended_.load(std::memory_order_relaxed); }
 
  private:
   friend class ProfileServer;
 
-  /// Applies `result` and any consecutively ready successors, in
-  /// apply_seq order. Called by workers under no other lock.
+  /// One aggregation stripe: order-recovering accumulators plus the
+  /// pending flush delta, under the stripe's own lock.
+  struct Stripe {
+    mutable support::TracedMutex mu{"service.session.agg"};
+    core::SeqProfile event_profiles[hw::kEventKindCount];
+    std::map<std::uint64_t, core::SeqProfile> epoch_profiles;
+    core::SeqCallGraph graph;
+    // Flush accumulation since the last take_flush().
+    core::SeqProfile pending_event[hw::kEventKindCount];
+    std::uint64_t pending_epoch_lo = ~0ull, pending_epoch_hi = 0;  // lo>hi: none
+    std::uint64_t pending_records = 0;
+    bool pending_any = false;
+  };
+
+  /// Folds `result` into stripe (apply_seq % stripes). Called by workers
+  /// under no other lock; any order, any interleaving.
   void apply(std::uint64_t apply_seq, BatchResult result);
 
   const std::string id_;
@@ -188,21 +220,21 @@ class ServerSession {
   // ---- ingest queue (self-locked)
   support::BoundedQueue<Batch> queue_;
 
-  // ---- aggregates (agg_mu_)
-  mutable support::TracedMutex agg_mu_{"service.session.agg"};
-  std::condition_variable_any applied_cv_;
-  std::map<std::uint64_t, BatchResult> reorder_;
-  std::uint64_t next_apply_seq_ = 0;
-  core::Profile event_profiles_[hw::kEventKindCount];
-  std::map<std::uint64_t, core::Profile> epoch_profiles_;
-  core::CallGraph graph_;
-  SessionStats stats_;
-  // Flush-to-store accumulation (agg_mu_): per-event deltas since the last
-  // take_flush(), folded in apply order.
-  core::Profile pending_event_[hw::kEventKindCount];
-  std::uint64_t pending_epoch_lo_ = ~0ull, pending_epoch_hi_ = 0;  // lo>hi: none
-  std::uint64_t pending_records_ = 0;
-  bool pending_any_ = false;
+  // ---- aggregates (per-stripe locks)
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // ---- counters (lock-free)
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> torn_frames_{0};
+  std::atomic<std::uint64_t> files_{0};
+  std::atomic<std::uint64_t> batches_enqueued_{0};
+  std::atomic<std::uint64_t> batches_applied_{0};
+  std::atomic<std::uint64_t> batches_dropped_{0};
+  std::atomic<std::uint64_t> records_ingested_{0};
+  std::atomic<std::uint64_t> records_dropped_{0};
+  std::atomic<std::uint64_t> registrations_{0};
+  std::atomic<std::uint64_t> registrations_rejected_{0};
+  std::atomic<bool> ended_{false};
 };
 
 }  // namespace viprof::service

@@ -83,7 +83,8 @@ void FrameDecoder::skip_damage(std::size_t min_drop) {
   buffer_.erase(0, resync);
 }
 
-bool FrameDecoder::next(Frame& out) {
+bool FrameDecoder::next_view(FrameView& out) {
+  compact();
   for (;;) {
     if (buffer_.size() < kFrameHeaderBytes) return false;
     const auto flags = static_cast<std::uint8_t>(buffer_[3]);
@@ -118,10 +119,19 @@ bool FrameDecoder::next(Frame& out) {
       out.trace.trace_id = read_u64le(buffer_.data() + kFrameHeaderBytes);
       out.trace.parent_span = read_u64le(buffer_.data() + kFrameHeaderBytes + 8);
     }
-    out.payload.assign(buffer_, kFrameHeaderBytes + ext, length);
-    buffer_.erase(0, total);
+    out.payload = std::string_view(buffer_).substr(kFrameHeaderBytes + ext, length);
+    consumed_ = total;  // reclaimed lazily by the next compact()
     return true;
   }
+}
+
+bool FrameDecoder::next(Frame& out) {
+  FrameView view;
+  if (!next_view(view)) return false;
+  out.type = view.type;
+  out.trace = view.trace;
+  out.payload.assign(view.payload.data(), view.payload.size());
+  return true;
 }
 
 }  // namespace viprof::service

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "support/traced_mutex.hpp"
 
@@ -65,6 +66,17 @@ struct Frame {
   support::TraceContext trace;
 };
 
+/// Zero-copy view of one verified frame: `payload` points into the
+/// decoder's buffer and stays valid only until the next feed()/next()/
+/// next_view() call on that decoder. The server's batch path decodes
+/// through views — sample payloads go straight from the wire buffer into
+/// the parser without the per-frame payload copy Frame carries.
+struct FrameView {
+  FrameType type = FrameType::kHello;
+  std::string_view payload;
+  support::TraceContext trace;
+};
+
 inline constexpr std::size_t kFrameHeaderBytes = 8;    // magic+type+flags+len
 inline constexpr std::size_t kFrameTrailerBytes = 4;   // crc
 inline constexpr std::size_t kFrameTraceExtBytes = 16; // trace_id + parent_span
@@ -82,24 +94,45 @@ std::string encode_frame(FrameType type, const std::string& payload,
 /// length) is skipped by scanning forward for the next magic marker.
 class FrameDecoder {
  public:
-  void feed(const char* data, std::size_t size) { buffer_.append(data, size); }
-  void feed(const std::string& bytes) { buffer_ += bytes; }
+  void feed(const char* data, std::size_t size) {
+    compact();
+    buffer_.append(data, size);
+  }
+  void feed(const std::string& bytes) {
+    compact();
+    buffer_ += bytes;
+  }
 
-  /// True when a complete verified frame was extracted into `out`.
+  /// True when a complete verified frame was extracted into `out`
+  /// (payload copied out of the buffer).
   bool next(Frame& out);
+
+  /// Zero-copy variant: `out.payload` views the internal buffer and is
+  /// invalidated by the next feed()/next()/next_view(). Consumed bytes are
+  /// reclaimed lazily on the next call, so decoding N buffered frames
+  /// costs one buffer compaction, not N head-erase memmoves.
+  bool next_view(FrameView& out);
 
   /// Frames discarded for framing/checksum damage.
   std::uint64_t torn_frames() const { return torn_frames_; }
   /// Bytes skipped while resynchronising past damage.
   std::uint64_t skipped_bytes() const { return skipped_bytes_; }
   /// Bytes buffered but not yet decodable (a frame still in flight).
-  std::size_t buffered_bytes() const { return buffer_.size(); }
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
  private:
   /// Drops `n` leading buffer bytes as damage and rescans for magic.
   void skip_damage(std::size_t n);
+  /// Erases bytes already handed out through next_view().
+  void compact() {
+    if (consumed_ != 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+  }
 
   std::string buffer_;
+  std::size_t consumed_ = 0;  // leading bytes owned by the last next_view()
   std::uint64_t torn_frames_ = 0;
   std::uint64_t skipped_bytes_ = 0;
 };

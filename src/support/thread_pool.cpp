@@ -52,6 +52,26 @@ void ThreadPool::submit(std::function<void()> task) {
   }
 }
 
+void ThreadPool::submit_many(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    submit(std::move(tasks.front()));
+    return;
+  }
+  PoolTelemetry* stats = stats_.load(std::memory_order_acquire);
+  std::size_t depth = 0;
+  {
+    std::lock_guard<TracedMutex> lock(mu_);
+    for (std::function<void()>& task : tasks) queue_.push(std::move(task));
+    depth = queue_.size();
+  }
+  work_cv_.notify_all();
+  if (stats != nullptr) {
+    stats->tasks->inc(tasks.size());
+    stats->queue_depth->add(static_cast<double>(depth));
+  }
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<TracedMutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -67,43 +87,48 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    submit([&body, i] { body(i); });
+    tasks.emplace_back([&body, i] { body(i); });
   }
+  submit_many(std::move(tasks));
   wait_idle();
 }
 
 void ThreadPool::worker_loop() {
+  // One critical section covers "retire previous task, fetch next": a
+  // worker takes mu_ ~once per task instead of twice, and idle_cv_ is only
+  // signalled when the pool actually went idle — per-task notify storms
+  // were a measurable slice of pool.queue wait under small-work loads.
+  std::unique_lock<TracedMutex> lock(mu_);
   for (;;) {
-    std::function<void()> task;
-    PoolTelemetry* stats = nullptr;
-    {
-      std::unique_lock<TracedMutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-      ++active_;
-      stats = stats_.load(std::memory_order_acquire);
-      if (stats != nullptr && !workers_.empty()) {
-        stats->utilization->set(static_cast<double>(active_) /
-                                static_cast<double>(workers_.size()));
-      }
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop();
+    ++active_;
+    PoolTelemetry* stats = stats_.load(std::memory_order_acquire);
+    if (stats != nullptr && !workers_.empty()) {
+      stats->utilization->set(static_cast<double>(active_) /
+                              static_cast<double>(workers_.size()));
     }
+    lock.unlock();
+
     const std::uint64_t t0 = stats != nullptr ? monotonic_ns() : 0;
     task();
+    task = nullptr;  // release captures before re-locking
     if (stats != nullptr) {
       stats->task_ns->add(static_cast<double>(monotonic_ns() - t0));
     }
-    {
-      std::lock_guard<TracedMutex> lock(mu_);
-      --active_;
-      if (stats != nullptr && !workers_.empty()) {
-        stats->utilization->set(static_cast<double>(active_) /
-                                static_cast<double>(workers_.size()));
-      }
+
+    lock.lock();
+    --active_;
+    if (stats != nullptr && !workers_.empty()) {
+      stats->utilization->set(static_cast<double>(active_) /
+                              static_cast<double>(workers_.size()));
     }
-    idle_cv_.notify_all();
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
   }
 }
 

@@ -49,6 +49,12 @@ class ThreadPool {
   /// communicate through captured state.
   void submit(std::function<void()> task);
 
+  /// Enqueues every task in `tasks` under one queue-lock acquisition and a
+  /// single wakeup broadcast. For small-work fan-outs (parallel_for, batch
+  /// ingest) this is what keeps pool.queue wait from dominating: N submits
+  /// used to mean N lock takes and N notifies racing the workers.
+  void submit_many(std::vector<std::function<void()>> tasks);
+
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
 

@@ -15,6 +15,7 @@
 #include "service/query.hpp"
 #include "service/scenario.hpp"
 #include "service/server.hpp"
+#include "service/wire.hpp"
 #include "support/fault.hpp"
 
 namespace viprof::service {
@@ -196,6 +197,124 @@ TEST(ServiceFaults, QueueOverflowDropsAreCounted) {
   const auto snap = server.telemetry().snapshot();
   EXPECT_EQ(snap.counter("service.batches.dropped"), 3u);
   EXPECT_EQ(snap.counter("service.records.dropped"), stats.records_dropped);
+}
+
+// --- Batched zero-copy decode path (DESIGN.md §14) --------------------------
+//
+// The server now decodes through FrameDecoder::next_view and parses sample
+// payloads straight out of the wire buffer into per-batch arenas. Salvage
+// must be *path-invariant*: the view path skips exactly the frames the
+// per-frame copy path skips, and the striped apply path aggregates exactly
+// what a single stripe would — damage never changes with the decode route.
+
+TEST(ServiceFaults, BatchedViewDecodeSalvagesExactlyLikePerFrameDecode) {
+  // One damaged byte stream, decoded twice: through next(Frame&) (the
+  // per-frame copy path) and through next_view (the batch path the server
+  // uses). Same surviving frames, same tears, same skipped bytes.
+  std::string stream;
+  for (int i = 0; i < 12; ++i) {
+    std::string frame = encode_frame(
+        FrameType::kSampleBatch, "batch payload " + std::to_string(i));
+    if (i % 4 == 1) frame.resize(frame.size() / 2);        // torn mid-frame
+    if (i % 4 == 3) frame[frame.size() - 1] ^= 0x20;       // crc damage
+    stream += frame;
+  }
+  stream += encode_frame(FrameType::kEndStream, "");
+
+  FrameDecoder per_frame;
+  per_frame.feed(stream);
+  std::vector<std::string> copied;
+  Frame f;
+  while (per_frame.next(f)) copied.push_back(f.payload);
+
+  FrameDecoder batched;
+  batched.feed(stream);
+  std::vector<std::string> viewed;
+  FrameView v;
+  while (batched.next_view(v)) viewed.emplace_back(v.payload);
+
+  EXPECT_EQ(viewed, copied);
+  EXPECT_EQ(batched.torn_frames(), per_frame.torn_frames());
+  EXPECT_EQ(batched.skipped_bytes(), per_frame.skipped_bytes());
+  EXPECT_EQ(batched.buffered_bytes(), per_frame.buffered_bytes());
+}
+
+TEST(ServiceFaults, TornStreamSalvageIsStripeAndThreadInvariant) {
+  // The same deterministic torn-write schedule replayed against a 1-thread/
+  // 1-stripe server and a 4-thread/4-stripe server: the frames lost are
+  // decided by the wire schedule, not the ingest topology, so the salvaged
+  // aggregate — including every unresolved.* degradation bin — must render
+  // byte-identically.
+  auto scenario = record_scenario(small_scenario());
+
+  auto run = [&](std::size_t threads, std::size_t stripes, SessionStats* stats) {
+    support::FaultInjector fault;
+    support::FaultRule rule;
+    rule.path_prefix = "wire/invariant";
+    rule.kind = support::FaultKind::kTornWrite;
+    rule.skip = 40;
+    rule.count = 4;
+    fault.add_rule(rule);
+
+    ServerConfig config;
+    config.fault = &fault;
+    config.ingest_threads = threads;
+    config.agg_stripes = stripes;
+    ProfileServer server(config);
+    {
+      auto conn = server.connect("invariant");
+      ReplayClient client(scenario->vfs(), "invariant", *conn,
+                          ReplayOptions{32, &fault, {}});
+      EXPECT_TRUE(client.run());
+    }
+    server.drain();
+    *stats = server.session("invariant")->stats();
+    return server.session_report("invariant", 20, kEvents);
+  };
+
+  SessionStats serial_stats, striped_stats;
+  const std::string serial = run(1, 1, &serial_stats);
+  const std::string striped = run(4, 4, &striped_stats);
+
+  EXPECT_EQ(striped, serial);
+  EXPECT_EQ(striped_stats.records_ingested, serial_stats.records_ingested);
+  EXPECT_EQ(striped_stats.torn_frames, serial_stats.torn_frames);
+  EXPECT_GE(striped_stats.torn_frames, 4u);
+  EXPECT_TRUE(striped_stats.ended);
+}
+
+TEST(ServiceFaults, ClientKillMidStreamThroughStripedBatchPath) {
+  // The PR 2 kill test, re-run against the striped/batched pipeline: the
+  // prefix that reached the wire before the kill aggregates identically
+  // whether one stripe or four absorbed it.
+  auto scenario = record_scenario(small_scenario());
+
+  auto run = [&](std::size_t threads, std::size_t stripes, SessionStats* stats) {
+    support::FaultInjector fault;
+    fault.schedule_kill(support::FaultComponent::kClient, 30);  // past batch #1
+    ServerConfig config;
+    config.ingest_threads = threads;
+    config.agg_stripes = stripes;
+    ProfileServer server(config);
+    {
+      auto conn = server.connect("killed");
+      ReplayClient client(scenario->vfs(), "killed", *conn,
+                          ReplayOptions{32, &fault, {}});
+      EXPECT_FALSE(client.run());  // died before kEndStream
+    }
+    server.drain();
+    *stats = server.session("killed")->stats();
+    return server.session_report("killed", 20, kEvents);
+  };
+
+  SessionStats serial_stats, striped_stats;
+  const std::string serial = run(1, 1, &serial_stats);
+  const std::string striped = run(4, 4, &striped_stats);
+
+  EXPECT_EQ(striped, serial);
+  EXPECT_EQ(striped_stats.records_ingested, serial_stats.records_ingested);
+  EXPECT_GT(striped_stats.records_ingested, 0u);
+  EXPECT_FALSE(striped_stats.ended);
 }
 
 // A crash in the middle of `viprof_serve --export` must never leave a

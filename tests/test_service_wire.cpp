@@ -190,6 +190,117 @@ TEST(LoopbackTransport, TornWriteDeliversPrefixOnly) {
   EXPECT_EQ(frames[0].payload, "first");
 }
 
+// --- Zero-copy view decode (DESIGN.md §14) ----------------------------------
+
+TEST(WireView, NextViewYieldsPayloadsWithoutCopying) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kHello, "client-1"));
+  decoder.feed(encode_frame(FrameType::kSampleBatch, "batch GLOBAL_POWER_EVENTS 0\n"));
+  FrameView v;
+  ASSERT_TRUE(decoder.next_view(v));
+  EXPECT_EQ(v.type, FrameType::kHello);
+  EXPECT_EQ(v.payload, "client-1");
+  ASSERT_TRUE(decoder.next_view(v));
+  EXPECT_EQ(v.type, FrameType::kSampleBatch);
+  EXPECT_EQ(v.payload, "batch GLOBAL_POWER_EVENTS 0\n");
+  EXPECT_FALSE(decoder.next_view(v));
+  // Every consumed byte is accounted: nothing left pending.
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.torn_frames(), 0u);
+}
+
+TEST(WireView, ViewStaysValidUntilNextDecoderCall) {
+  // The contract the server's batch path relies on: the string_view handed
+  // out by next_view() must be readable until the *next* feed()/next()/
+  // next_view() — the parser reads samples straight out of it.
+  FrameDecoder decoder;
+  const std::string big(8 * 1024, 'q');
+  decoder.feed(encode_frame(FrameType::kFile, "a\n" + big));
+  decoder.feed(encode_frame(FrameType::kEndStream, ""));
+  FrameView v;
+  ASSERT_TRUE(decoder.next_view(v));
+  // Consume the view's bytes *after* next_view returned.
+  EXPECT_EQ(v.payload.substr(0, 2), "a\n");
+  EXPECT_EQ(v.payload.size(), 2u + big.size());
+  for (std::size_t i = 2; i < v.payload.size(); i += 997) {
+    ASSERT_EQ(v.payload[i], 'q') << "view byte " << i << " invalidated early";
+  }
+  ASSERT_TRUE(decoder.next_view(v));  // previous view dies here, by contract
+  EXPECT_EQ(v.type, FrameType::kEndStream);
+}
+
+TEST(WireView, LazyCompactionReclaimsConsumedBytesOnFeed) {
+  // Draining N buffered frames through next_view() must not memmove the
+  // buffer head N times: consumed bytes linger (tracked, not visible in
+  // buffered_bytes) and are erased once on the next feed().
+  FrameDecoder decoder;
+  std::string stream;
+  for (int i = 0; i < 16; ++i)
+    stream += encode_frame(FrameType::kQuery, "q" + std::to_string(i));
+  decoder.feed(stream);
+  FrameView v;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(decoder.next_view(v));
+    EXPECT_EQ(v.payload, "q" + std::to_string(i));
+  }
+  EXPECT_FALSE(decoder.next_view(v));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);  // all consumed, none pending
+  // Feeding more triggers the single compaction; decode continues cleanly.
+  decoder.feed(encode_frame(FrameType::kEndStream, ""));
+  ASSERT_TRUE(decoder.next_view(v));
+  EXPECT_EQ(v.type, FrameType::kEndStream);
+}
+
+TEST(WireView, NextAndNextViewInteroperateOnOneStream) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kHello, "h"));
+  decoder.feed(encode_frame(FrameType::kQuery, "top 5"));
+  decoder.feed(encode_frame(FrameType::kEndStream, ""));
+  Frame owned;
+  FrameView view;
+  ASSERT_TRUE(decoder.next(owned));
+  EXPECT_EQ(owned.payload, "h");
+  ASSERT_TRUE(decoder.next_view(view));
+  EXPECT_EQ(view.payload, "top 5");
+  ASSERT_TRUE(decoder.next(owned));
+  EXPECT_EQ(owned.type, FrameType::kEndStream);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireView, TornFramesResyncThroughNextView) {
+  // The zero-copy path must salvage damage exactly like next(): count the
+  // tear, skip to the next magic, and keep decoding.
+  FrameDecoder decoder;
+  std::string torn = encode_frame(FrameType::kFile, "doomed\npayload");
+  torn.resize(torn.size() / 2);
+  decoder.feed(torn);
+  decoder.feed(encode_frame(FrameType::kSampleBatch, "batch survives"));
+  std::string damaged = encode_frame(FrameType::kHello, "cccc");
+  damaged[damaged.size() - 2] ^= 0x10;  // crc damage
+  decoder.feed(damaged);
+  decoder.feed(encode_frame(FrameType::kEndStream, ""));
+
+  FrameView v;
+  std::vector<std::string> payloads;
+  while (decoder.next_view(v)) payloads.emplace_back(v.payload);
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "batch survives");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_GE(decoder.torn_frames(), 2u);
+  EXPECT_GT(decoder.skipped_bytes(), 0u);
+}
+
+TEST(WireView, TracedFrameDecodesContextThroughView) {
+  const support::TraceContext trace{0xabcdef0011223344ull, 9};
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kSampleBatch, "payload", trace));
+  FrameView v;
+  ASSERT_TRUE(decoder.next_view(v));
+  EXPECT_EQ(v.payload, "payload");
+  EXPECT_EQ(v.trace.trace_id, trace.trace_id);
+  EXPECT_EQ(v.trace.parent_span, 9u);
+}
+
 // --- Trace-context extension (DESIGN.md §13) --------------------------------
 
 TEST(WireTrace, TracedFrameRoundTripsContext) {

@@ -1,0 +1,236 @@
+// Property tests for the order-recovering striped aggregation accumulators
+// (DESIGN.md §14). The invariant under test is the byte-identity anchor:
+// for ANY stripe count, ANY batch→stripe assignment and ANY apply
+// interleaving, folding batch partials through SeqProfile/SeqCallGraph and
+// rendering ordered() must reproduce the serial aggregate byte for byte —
+// row order, domains and totals included.
+#include "core/striped_agg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/callgraph.hpp"
+#include "core/report.hpp"
+#include "core/resolver.hpp"
+
+namespace viprof::core {
+namespace {
+
+constexpr auto kTime = hw::EventKind::kGlobalPowerEvents;
+constexpr auto kDmiss = hw::EventKind::kBsqCacheReference;
+const std::vector<hw::EventKind> kEvents = {kTime, kDmiss};
+
+struct Sample {
+  Resolution res;
+  hw::EventKind event = kTime;
+  std::uint64_t count = 1;
+};
+
+Resolution make_res(std::uint64_t id, SampleDomain domain, bool resolved) {
+  Resolution r;
+  if (resolved) {
+    r.image = (id % 3 == 0) ? "RVM.map" : (id % 3 == 1) ? "vmlinux" : "libc.so";
+    r.symbol = "sym-" + std::to_string(id);
+    r.symbol_base = 0x6000'0000 + id * 0x1000;
+    r.symbol_size = 0x800;
+  } else {
+    // The unresolved degradation bins: distinct names, shared base 0.
+    r.image = "[anon]";
+    r.symbol = "unresolved." + std::to_string(id % 4);
+    r.symbol_base = 0;
+    r.symbol_size = 0;
+  }
+  r.domain = domain;
+  return r;
+}
+
+/// A random stream chopped into batches. Symbol ids repeat across batches
+/// (shared rows), some rows are unresolved bins, and a slice of ids
+/// deliberately flips domain between occurrences — serial keeps the
+/// first-seen domain, and recovery must too.
+std::vector<std::vector<Sample>> make_batches(std::mt19937& rng,
+                                              std::size_t batches,
+                                              std::size_t per_batch) {
+  std::vector<std::vector<Sample>> out(batches);
+  std::uniform_int_distribution<std::uint64_t> id_dist(0, 40);
+  std::uniform_int_distribution<int> pct(0, 99);
+  for (std::size_t b = 0; b < batches; ++b) {
+    out[b].reserve(per_batch);
+    for (std::size_t i = 0; i < per_batch; ++i) {
+      Sample s;
+      const std::uint64_t id = id_dist(rng);
+      const bool resolved = pct(rng) < 85;
+      SampleDomain domain = (id % 2 == 0) ? SampleDomain::kJit : SampleDomain::kImage;
+      if (id % 7 == 0 && pct(rng) < 50) domain = SampleDomain::kKernel;  // flips
+      s.res = make_res(id, domain, resolved);
+      s.event = pct(rng) < 70 ? kTime : kDmiss;
+      s.count = 1 + static_cast<std::uint64_t>(pct(rng) % 3);
+      out[b].push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+Profile serial_profile(const std::vector<std::vector<Sample>>& batches) {
+  Profile p;
+  for (const auto& batch : batches)
+    for (const Sample& s : batch) p.add(s.event, s.res, s.count);
+  return p;
+}
+
+Profile batch_partial(const std::vector<Sample>& batch) {
+  Profile p;
+  for (const Sample& s : batch) p.add(s.event, s.res, s.count);
+  return p;
+}
+
+void expect_rows_equal(const Profile& got, const Profile& want) {
+  ASSERT_EQ(got.row_count(), want.row_count());
+  for (std::size_t i = 0; i < want.rows().size(); ++i) {
+    const ProfileRow& g = got.rows()[i];
+    const ProfileRow& w = want.rows()[i];
+    EXPECT_EQ(g.image, w.image) << "row " << i;
+    EXPECT_EQ(g.symbol, w.symbol) << "row " << i;
+    EXPECT_EQ(g.domain, w.domain) << "row " << i;
+    for (std::size_t e = 0; e < hw::kEventKindCount; ++e)
+      EXPECT_EQ(g.counts[e], w.counts[e]) << "row " << i << " event " << e;
+  }
+}
+
+TEST(SeqProfileProperty, AnyStripeCountAndApplyOrderMatchesSerialBytes) {
+  std::mt19937 rng(0x5eed);
+  for (int round = 0; round < 6; ++round) {
+    const auto batches = make_batches(rng, 24, 32);
+    const Profile serial = serial_profile(batches);
+    const std::string serial_render = serial.render(kEvents, 50);
+
+    for (const std::size_t stripes : {1u, 2u, 4u, 8u}) {
+      // Random apply interleaving: batches fold into their stripe in
+      // shuffled completion order, exactly as racing workers would.
+      std::vector<std::size_t> order(batches.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::shuffle(order.begin(), order.end(), rng);
+
+      std::vector<SeqProfile> stripe_accs(stripes);
+      for (const std::size_t seq : order)
+        stripe_accs[seq % stripes].fold(seq, batch_partial(batches[seq]));
+
+      // Cross-stripe merge in a random visit order too: query-time folds
+      // must not depend on stripe enumeration order either.
+      std::vector<std::size_t> visit(stripes);
+      for (std::size_t i = 0; i < stripes; ++i) visit[i] = i;
+      std::shuffle(visit.begin(), visit.end(), rng);
+      SeqProfile combined;
+      for (const std::size_t k : visit) combined.fold(stripe_accs[k]);
+
+      const Profile recovered = combined.ordered();
+      EXPECT_EQ(recovered.render(kEvents, 50), serial_render)
+          << "stripes=" << stripes << " round=" << round;
+      expect_rows_equal(recovered, serial);
+    }
+  }
+}
+
+TEST(SeqProfileProperty, FlushCutPointsAreInvisible) {
+  // Split the same batch set at an arbitrary cut into "pending" windows
+  // (what take_flush drains), recover each window, and merge the windows
+  // in cut order: identical to recovering the whole stream at once.
+  std::mt19937 rng(0xf1a5);
+  const auto batches = make_batches(rng, 20, 24);
+  const Profile serial = serial_profile(batches);
+
+  for (const std::size_t cut : {1u, 7u, 13u, 19u}) {
+    Profile merged;
+    for (const auto& window :
+         {std::pair<std::size_t, std::size_t>{0, cut}, {cut, batches.size()}}) {
+      SeqProfile acc;
+      for (std::size_t seq = window.first; seq < window.second; ++seq)
+        acc.fold(seq, batch_partial(batches[seq]));
+      merged.merge(acc.ordered());
+    }
+    EXPECT_EQ(merged.render(kEvents, 50), serial.render(kEvents, 50))
+        << "cut=" << cut;
+  }
+}
+
+TEST(SeqCallGraphProperty, AnyStripeCountAndApplyOrderMatchesSerial) {
+  std::mt19937 rng(0xca11);
+  std::uniform_int_distribution<std::uint64_t> id_dist(0, 12);
+  std::uniform_int_distribution<int> pct(0, 99);
+
+  // Arc stream: (caller, callee) pairs, batched.
+  const std::size_t batch_count = 18;
+  std::vector<std::vector<std::pair<Resolution, Resolution>>> batches(batch_count);
+  for (auto& batch : batches) {
+    for (int i = 0; i < 20; ++i) {
+      const Resolution caller =
+          make_res(id_dist(rng), SampleDomain::kImage, pct(rng) < 90);
+      const Resolution callee =
+          make_res(id_dist(rng) + 20, SampleDomain::kJit, pct(rng) < 80);
+      batch.emplace_back(caller, callee);
+    }
+  }
+
+  CallGraph serial;
+  for (const auto& batch : batches)
+    for (const auto& [caller, callee] : batch) serial.add_resolved(caller, callee);
+  const std::string serial_render = serial.render(40);
+
+  for (const std::size_t stripes : {1u, 2u, 4u, 8u}) {
+    std::vector<std::size_t> order(batch_count);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    std::vector<SeqCallGraph> stripe_accs(stripes);
+    for (const std::size_t seq : order) {
+      CallGraph partial;
+      for (const auto& [caller, callee] : batches[seq])
+        partial.add_resolved(caller, callee);
+      stripe_accs[seq % stripes].fold(seq, partial);
+    }
+    SeqCallGraph combined;
+    for (auto& acc : stripe_accs) combined.fold(acc);
+
+    const CallGraph recovered = combined.ordered();
+    EXPECT_EQ(recovered.render(40), serial_render) << "stripes=" << stripes;
+    EXPECT_EQ(recovered.total_samples(), serial.total_samples());
+    ASSERT_EQ(recovered.total_arcs(), serial.total_arcs());
+    for (std::size_t i = 0; i < serial.arcs().size(); ++i) {
+      EXPECT_EQ(recovered.arcs()[i].caller_symbol, serial.arcs()[i].caller_symbol);
+      EXPECT_EQ(recovered.arcs()[i].callee_symbol, serial.arcs()[i].callee_symbol);
+      EXPECT_EQ(recovered.arcs()[i].count, serial.arcs()[i].count);
+    }
+  }
+}
+
+TEST(RowMemoProperty, MemoisedAddsEqualDirectAdds) {
+  std::mt19937 rng(0x3e3e);
+  std::uniform_int_distribution<std::uint64_t> id_dist(0, 30);
+  std::uniform_int_distribution<int> pct(0, 99);
+
+  Profile direct, memoised;
+  RowMemo memo;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t id = id_dist(rng);
+    const bool resolved = pct(rng) < 80;
+    const Resolution res = make_res(
+        id, id % 2 == 0 ? SampleDomain::kJit : SampleDomain::kKernel, resolved);
+    const hw::EventKind event = pct(rng) < 60 ? kTime : kDmiss;
+    const hw::Pid pid = 40 + id % 3;
+    const std::uint64_t epoch = id % 5;
+    const std::uint64_t count = 1 + static_cast<std::uint64_t>(pct(rng) % 4);
+    direct.add(event, res, count);
+    memo.add(memoised, event, pid, epoch, res, count);
+  }
+  EXPECT_EQ(memoised.render(kEvents, 60), direct.render(kEvents, 60));
+  expect_rows_equal(memoised, direct);
+  EXPECT_EQ(memoised.total(kTime), direct.total(kTime));
+  EXPECT_EQ(memoised.total(kDmiss), direct.total(kDmiss));
+}
+
+}  // namespace
+}  // namespace viprof::core
