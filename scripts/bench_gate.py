@@ -20,6 +20,13 @@ and fails the gate regardless of --enforce. On hosts with fewer than 4
 CPUs the wall-clock speedup physically cannot appear, so the scaling check
 is skipped (with a notice) rather than reporting noise.
 
+A few benchmarks also carry a *strict* per-benchmark band, tighter than
+the general tolerance and always fatal: ingest.pc_idle in
+BENCH_memprof.json must stay within 5% of baseline, because it measures
+the PC-only ingest hot path with the memprof subsystem compiled in but
+idle — any slip there is object-sample support taxing a path it promised
+to leave alone (DESIGN.md §15).
+
 Modes:
   - default: warn-only for baseline-band regressions. They print
     prominently but exit 0, so a noisy machine can't wedge CI. Scaling
@@ -73,6 +80,39 @@ SCALING_CHECKS = [
     ("BENCH_resolve.json", "e2e_resolve_aggregate.t4",
      "e2e_resolve_aggregate.t1", 0.9),
 ]
+
+
+# (fresh file, benchmark, max allowed regression pct vs baseline). Tighter
+# than the general band: ingest.pc_idle is the PC-only hot path with the
+# memprof subsystem compiled in but idle — object-sample support riding
+# along must cost the PC pipeline nothing, so a >5% slip is a real tax,
+# not noise.
+STRICT_CHECKS = [
+    ("BENCH_memprof.json", "ingest.pc_idle", 5.0),
+]
+
+
+def check_strict(fresh_dir, baseline_dir):
+    """Returns strict per-benchmark regressions (always fatal)."""
+    violations = []
+    for fname, name, max_pct in STRICT_CHECKS:
+        fresh_path = os.path.join(fresh_dir, fname)
+        base_path = os.path.join(baseline_dir, fname)
+        if not os.path.isfile(fresh_path) or not os.path.isfile(base_path):
+            continue  # missing files are reported by the band gate
+        fresh = load_results(fresh_path)
+        base = load_results(base_path)
+        if name not in fresh or name not in base or base[name] <= 0:
+            print(f"bench_gate: strict gate: {fname} lacks '{name}'; skipping")
+            continue
+        delta_pct = 100.0 * (fresh[name] - base[name]) / base[name]
+        line = (f"{fname}: {name} = {base[name]:.1f} -> {fresh[name]:.1f} "
+                f"ns/op ({delta_pct:+.1f}%, max +{max_pct:.0f}%)")
+        if delta_pct > max_pct:
+            violations.append(line)
+        else:
+            print(f"bench_gate: strict OK: {line}")
+    return violations
 
 
 def check_scaling(fresh_dir):
@@ -157,6 +197,7 @@ def main():
                   f"refresh bench/baselines to start gating it")
 
     scaling_violations = check_scaling(args.fresh)
+    strict_violations = check_strict(args.fresh, baseline_dir)
 
     for fname in missing:
         print(f"bench_gate: fresh run has no {fname} "
@@ -169,6 +210,13 @@ def main():
             print(f"bench_gate: SCALING REGRESSION: {line}", file=sys.stderr)
         print(f"bench_gate: {len(scaling_violations)} scaling violation(s): "
               f"t4 must beat t1 by >= 10% ns/op; failing", file=sys.stderr)
+        return 1
+    if strict_violations:
+        for line in strict_violations:
+            print(f"bench_gate: STRICT REGRESSION: {line}", file=sys.stderr)
+        print(f"bench_gate: {len(strict_violations)} strict violation(s): "
+              f"idle-path cost must stay within its band; failing",
+              file=sys.stderr)
         return 1
     if regressions:
         for line in regressions:

@@ -3,12 +3,13 @@
 #
 # 1. Configure + build the default (RelWithDebInfo) tree.
 # 2. Run the whole ctest suite — this includes the `faults`, `telemetry`,
-#    `resolve`, `service`, `store` and `fleet` labels — and then each of
-#    those labels once more by name, so a label that silently lost its tests
-#    fails the pipeline.
-# 3. Smoke-run the resolution, service, store and fleet benchmarks
+#    `resolve`, `service`, `store`, `fleet` and `memprof` labels — and then
+#    each of those labels once more by name, so a label that silently lost
+#    its tests fails the pipeline.
+# 3. Smoke-run the resolution, service, store, fleet and memprof benchmarks
 #    (VIPROF_QUICK) and check that they leave non-empty BENCH_resolve.json /
-#    BENCH_service.json / BENCH_store.json / BENCH_fleet.json behind.
+#    BENCH_service.json / BENCH_store.json / BENCH_fleet.json /
+#    BENCH_memprof.json behind.
 # 4. Rebuild one sanitizer configuration (VIPROF_SANITIZE=thread by default;
 #    set VIPROF_SANITIZE=address to switch) and run the concurrency-sensitive
 #    labelled suites under it.
@@ -41,10 +42,12 @@ run_label "$PREFIX" resolve
 run_label "$PREFIX" service
 run_label "$PREFIX" store
 run_label "$PREFIX" fleet
+run_label "$PREFIX" memprof
 
-echo "=== [2/4] benchmark smoke (BENCH_resolve/service/store/fleet.json) ==="
+echo "=== [2/4] benchmark smoke (BENCH_resolve/service/store/fleet/memprof.json) ==="
 (cd "$PREFIX" &&
- rm -f BENCH_resolve.json BENCH_service.json BENCH_store.json BENCH_fleet.json &&
+ rm -f BENCH_resolve.json BENCH_service.json BENCH_store.json \
+       BENCH_fleet.json BENCH_memprof.json &&
  VIPROF_QUICK=1 ./bench/micro_resolve \
    --benchmark_filter='BM_CodeMapResolveBackward|BM_RvmMapParse' &&
  test -s BENCH_resolve.json &&
@@ -53,13 +56,17 @@ echo "=== [2/4] benchmark smoke (BENCH_resolve/service/store/fleet.json) ==="
  VIPROF_QUICK=1 ./bench/micro_store &&
  test -s BENCH_store.json &&
  VIPROF_QUICK=1 ./bench/micro_fleet &&
- test -s BENCH_fleet.json)
+ test -s BENCH_fleet.json &&
+ VIPROF_QUICK=1 ./bench/micro_memprof &&
+ test -s BENCH_memprof.json)
 # Gate against the checked-in reference runs. Baseline-band drift is
 # warn-only by default (quick runs on a noisy machine jitter);
 # VIPROF_GATE=1 turns it fatal. The scaling gate inside bench_gate.py —
 # ingest.t4 and e2e_resolve_aggregate.t4 must beat their .t1 ns/op by
 # >= 10% — is always fatal on hosts with >= 4 CPUs: losing the parallel
 # speedup means a global lock crept back into the striped ingest path.
+# The strict gate — ingest.pc_idle within 5% of its baseline — is always
+# fatal too: memprof compiled in but idle must not tax PC-only ingest.
 python3 scripts/bench_gate.py --fresh "$PREFIX" --baseline bench/baselines
 
 echo "=== [3/4] sanitizer build (VIPROF_SANITIZE=$SANITIZER) ==="
@@ -74,5 +81,6 @@ run_label "$SAN_DIR" resolve
 run_label "$SAN_DIR" service
 run_label "$SAN_DIR" store
 run_label "$SAN_DIR" fleet
+run_label "$SAN_DIR" memprof
 
 echo "ci.sh: all green"

@@ -45,6 +45,7 @@ hw::Cycles VmAgent::on_vm_start(const jvm::VmStartInfo& info) {
   reg.boot_size = info.boot ? info.boot->size() : 0;
   reg.boot_map_path = info.boot ? info.boot->map_path() : "";
   reg.jit_map_dir = config_.map_dir;
+  reg.obj_map_dir = config_.obj_map_dir;
   table_->add(reg);
 
   stats_.cost_cycles += config_.registration_cost;

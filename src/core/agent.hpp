@@ -55,6 +55,12 @@ struct AgentConfig {
 
   std::string map_dir = "jit_maps";
 
+  /// Where the memory-profiling agent (memprof::MemProfAgent, if attached)
+  /// writes its epoch object maps. Rides along in the VmRegistration —
+  /// there is exactly one registration per pid, so the VM agent announces
+  /// both map directories. Empty = no object profiling.
+  std::string obj_map_dir;
+
   /// Optional fault injector; also consulted for scheduled agent kills.
   support::FaultInjector* fault = nullptr;
 };

@@ -71,7 +71,8 @@ void write_archive(const os::Machine& machine, const RegistrationTable& table,
            support::hex(reg.heap_hi) + " " + support::hex(reg.boot_base) + " " +
            std::to_string(reg.boot_size) + " " +
            (reg.boot_map_path.empty() ? "-" : reg.boot_map_path) + " " +
-           (reg.jit_map_dir.empty() ? "-" : reg.jit_map_dir) + "\n";
+           (reg.jit_map_dir.empty() ? "-" : reg.jit_map_dir) + " " +
+           (reg.obj_map_dir.empty() ? "-" : reg.obj_map_dir) + "\n";
   }
   vfs.write(manifest_path(prefix), std::move(out));
 }
@@ -134,14 +135,15 @@ ArchiveResolver::ArchiveResolver(const os::Vfs& vfs, const std::string& prefix,
       (tag == "kernel" ? kernel_ : hypervisor_) = range;
     } else if (tag == "reg") {
       VmRegistration reg;
-      std::string lo_hex, hi_hex, boot_hex, map_path, jit_dir;
+      std::string lo_hex, hi_hex, boot_hex, map_path, jit_dir, obj_dir;
       ls >> reg.pid >> lo_hex >> hi_hex >> boot_hex >> reg.boot_size >> map_path >>
-          jit_dir;
+          jit_dir >> obj_dir;  // obj_dir absent in pre-memprof archives
       reg.heap_lo = std::stoull(lo_hex, nullptr, 16);
       reg.heap_hi = std::stoull(hi_hex, nullptr, 16);
       reg.boot_base = std::stoull(boot_hex, nullptr, 16);
       reg.boot_map_path = map_path == "-" ? "" : map_path;
       reg.jit_map_dir = jit_dir == "-" ? "" : jit_dir;
+      reg.obj_map_dir = (obj_dir == "-" || obj_dir.empty()) ? "" : obj_dir;
       registrations_.push_back(reg);
     }
   }

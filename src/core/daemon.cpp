@@ -34,6 +34,7 @@ Daemon::Daemon(os::Machine& machine, SampleBuffer& buffer, const RegistrationTab
   tele_wakeups_ = &tele.counter("daemon.wakeups");
   tele_flushes_ = &tele.counter("daemon.flushes");
   tele_jit_samples_ = &tele.counter("daemon.samples.jit");
+  tele_obj_samples_ = &tele.counter("daemon.samples.obj");
   tele_epoch_markers_ = &tele.counter("daemon.epoch_markers");
   tele_flush_errors_ = &tele.counter("daemon.flush.write_errors");
   tele_flush_torn_ = &tele.counter("daemon.flush.torn_writes");
@@ -189,8 +190,16 @@ hw::Cycles Daemon::process(const Sample& sample) {
     } else if (config_.vm_aware &&
                table_->find_heap(sample.pid, sample.pc) != nullptr) {
       // VIProf path: the registered-heap check replaces the anon machinery.
-      ++stats_.jit_samples;
-      tele_jit_samples_->inc();
+      // Object-miss samples carry a *data* address inside the same heap;
+      // the same range check admits them, but they are tallied apart — the
+      // memory profiler resolves them against object maps, not code maps.
+      if (sample.event == hw::EventKind::kObjDmiss) {
+        ++stats_.obj_samples;
+        tele_obj_samples_->inc();
+      } else {
+        ++stats_.jit_samples;
+        tele_jit_samples_->inc();
+      }
       cost = config_.per_sample_jit;
     } else {
       ++stats_.anon_samples;

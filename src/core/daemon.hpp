@@ -62,6 +62,7 @@ struct DaemonStats {
   std::uint64_t image_samples = 0;
   std::uint64_t anon_samples = 0;
   std::uint64_t jit_samples = 0;
+  std::uint64_t obj_samples = 0;  // data-address samples in a registered heap
   std::uint64_t epoch_markers = 0;
   std::uint64_t wakeups = 0;
   hw::Cycles cost_cycles = 0;
@@ -136,6 +137,7 @@ class Daemon : public os::BackgroundService {
   support::Counter* tele_wakeups_ = nullptr;
   support::Counter* tele_flushes_ = nullptr;
   support::Counter* tele_jit_samples_ = nullptr;
+  support::Counter* tele_obj_samples_ = nullptr;
   support::Counter* tele_epoch_markers_ = nullptr;
   support::Counter* tele_flush_errors_ = nullptr;
   support::Counter* tele_flush_torn_ = nullptr;

@@ -23,6 +23,8 @@ struct VmRegistration {
   std::uint64_t boot_size = 0;
   std::string boot_map_path;  // RVM.map location (build product)
   std::string jit_map_dir;    // where the agent writes epoch code maps
+  std::string obj_map_dir;    // where the memprof agent writes epoch object
+                              // maps; empty = no object profiling
 
   bool heap_contains(hw::Address pc) const { return pc >= heap_lo && pc < heap_hi; }
   bool boot_contains(hw::Address pc) const {

@@ -13,6 +13,7 @@ const char* event_column_title(hw::EventKind event) {
     case hw::EventKind::kInstrRetired:      return "Instr %";
     case hw::EventKind::kItlbMiss:          return "ITLB %";
     case hw::EventKind::kBranchMispredict:  return "BrMiss %";
+    case hw::EventKind::kObjDmiss:          return "ObjDmiss %";
   }
   return "?";
 }

@@ -33,6 +33,7 @@ enum class SampleDomain : std::uint8_t {
   kBoot,    // JVM boot image
   kJit,     // dynamically generated code, resolved via code maps
   kAnon,    // anonymous mapping the tool cannot see into
+  kObject,  // heap data object, resolved via epoch object maps (memprof)
   kUnknown,
 };
 
@@ -44,6 +45,7 @@ inline const char* to_string(SampleDomain d) {
     case SampleDomain::kBoot:    return "boot";
     case SampleDomain::kJit:     return "jit";
     case SampleDomain::kAnon:    return "anon";
+    case SampleDomain::kObject:  return "object";
     case SampleDomain::kUnknown: return "unknown";
   }
   return "?";

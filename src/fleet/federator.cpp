@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "hw/event.hpp"
+#include "memprof/report.hpp"
 #include "support/format.hpp"
 #include "support/traced_mutex.hpp"
 
@@ -237,6 +238,29 @@ std::string Federator::query(const std::string& text) const {
     out = stats(as_json);
   } else if (verb == "trace") {
     out = merged_trace();
+  } else if (verb == "memprof") {
+    // Allocation-site tables need the shards' live session worlds (object
+    // maps are session files, not stored profile rows), so this verb
+    // gathers from alive servers. render_memprof reads the profile through
+    // point lookups only, so the shard fold order never shows in the bytes.
+    std::size_t top = 20;
+    in >> top;
+    std::string word;
+    while (in >> word)
+      if (word == "--top") in >> top;
+    memprof::SiteTable sites;
+    core::Profile merged;
+    for (const std::string& name : router_->shard_names()) {
+      service::ProfileServer* server = router_->server(name);
+      if (server == nullptr) continue;
+      for (const std::string& id : server->session_ids()) {
+        const std::shared_ptr<service::ServerSession> s = server->session(id);
+        if (!s) continue;
+        s->fold_object_sites(sites);
+        merged.merge(s->merged_profile());
+      }
+    }
+    out = memprof::render_memprof(sites, merged, top);
   } else {
     out = dispatch_query(partitions(), text, sessions_table());
   }

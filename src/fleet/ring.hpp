@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "support/hash.hpp"
+
 namespace viprof::fleet {
 
 /// 64-bit FNV-1a with an avalanche finalizer. Raw FNV-1a barely moves the
@@ -25,17 +27,7 @@ namespace viprof::fleet {
 /// tight runs and one shard ends up owning the whole ring. The fmix step
 /// spreads those neighbouring hashes across the full 64-bit space.
 inline std::uint64_t fnv1a64(const std::string& s) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ull;
-  h ^= h >> 33;
-  return h;
+  return support::fmix64(support::fnv1a64(s));
 }
 
 class Ring {

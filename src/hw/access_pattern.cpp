@@ -31,7 +31,11 @@ SampledAccesses AccessSampler::sample(const AccessPattern& p, std::uint64_t ops,
     const AccessResult r = cache.access(addr);
     if (!r.l1_hit) {
       ++l1_miss;
-      if (!r.l2_hit) ++l2_miss;
+      if (!r.l2_hit) {
+        ++l2_miss;
+        if (out.miss_addr_count < SampledAccesses::kMissAddrCap)
+          out.miss_addrs[out.miss_addr_count++] = addr;
+      }
     }
   }
   const double scale = out.accesses / static_cast<double>(probes);

@@ -40,6 +40,13 @@ struct SampledAccesses {
   double accesses = 0.0;   // scaled total memory references in the chunk
   double l1_misses = 0.0;  // scaled estimate
   double l2_misses = 0.0;  // scaled estimate
+
+  // The actual probe addresses that missed L2 in this chunk — the
+  // representative *data* addresses the memory profiler attributes object
+  // misses to. Bounded by the probe count, so a fixed array suffices.
+  static constexpr std::uint32_t kMissAddrCap = 16;
+  Address miss_addrs[kMissAddrCap] = {};
+  std::uint32_t miss_addr_count = 0;
 };
 
 /// Stateful sampler: keeps a sequential cursor per call site so consecutive

@@ -59,17 +59,30 @@ void Cpu::advance(Cycles cycles, const ChunkEvents& events) {
   add_kind(EventKind::kItlbMiss, drain_accum(itlb_accum_, events.itlb_misses), cycles);
   add_kind(EventKind::kBranchMispredict,
            drain_accum(branch_accum_, events.branch_mispredicts), cycles);
+  // Object-miss samples share the L2-miss event stream but are delivered by
+  // *data address*; only counted when a counter actually watches the kind so
+  // an idle memprof build costs one predicted branch here.
+  if (counters_.watches(EventKind::kObjDmiss))
+    add_kind(EventKind::kObjDmiss, drain_accum(obj_accum_, events.l2_misses), cycles);
 
   clock_ = start + cycles;
 
   if (pending.empty()) return;
   std::sort(pending.begin(), pending.end(),
             [](const Pending& a, const Pending& b) { return a.at < b.at; });
+  std::uint32_t miss_cursor = 0;
   for (const Pending& p : pending) {
     SampleContext sc;
     sc.event = p.kind;
-    sc.pc = pick_pc(ctx_);
-    sc.caller_pc = ctx_.caller_pc;
+    if (p.kind == EventKind::kObjDmiss && events.miss_addr_count > 0) {
+      // Rotate through the chunk's captured miss addresses; the sample PC
+      // *is* the missing data address (PEBS-style data-address sampling).
+      sc.pc = events.miss_addrs[miss_cursor++ % events.miss_addr_count];
+      sc.caller_pc = 0;
+    } else {
+      sc.pc = pick_pc(ctx_);
+      sc.caller_pc = p.kind == EventKind::kObjDmiss ? 0 : ctx_.caller_pc;
+    }
     sc.mode = ctx_.mode;
     sc.pid = ctx_.pid;
     sc.cycle = p.at;

@@ -54,6 +54,16 @@ struct ChunkEvents {
   double l2_misses = 0.0;
   double itlb_misses = 0.0;
   double branch_mispredicts = 0.0;
+
+  // Representative *data* addresses that missed L2 in this chunk (from the
+  // access sampler). A kObjDmiss counter overflow is delivered with its PC
+  // set to one of these addresses — the memory profiler resolves it against
+  // the heap's object map instead of a code map. Empty = no counter watches
+  // kObjDmiss or the chunk had no misses; delivery then falls back to a
+  // code PC (resolved as untracked).
+  static constexpr std::uint32_t kMissAddrCap = 16;
+  Address miss_addrs[kMissAddrCap] = {};
+  std::uint32_t miss_addr_count = 0;
 };
 
 class Cpu {
@@ -102,6 +112,7 @@ class Cpu {
   double l2_accum_ = 0.0;
   double itlb_accum_ = 0.0;
   double branch_accum_ = 0.0;
+  double obj_accum_ = 0.0;
   std::vector<Overflow> scratch_;  // reused per advance() to avoid allocation
 };
 

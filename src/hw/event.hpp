@@ -16,13 +16,15 @@ enum class EventKind : std::uint8_t {
   kInstrRetired,       // retired instructions
   kItlbMiss,           // instruction TLB misses
   kBranchMispredict,   // mispredicted branches
+  kObjDmiss,           // L2 data misses sampled by *data address* (memprof)
 };
 
-inline constexpr std::size_t kEventKindCount = 5;
+inline constexpr std::size_t kEventKindCount = 6;
 
 inline constexpr std::array<EventKind, kEventKindCount> kAllEventKinds = {
     EventKind::kGlobalPowerEvents, EventKind::kBsqCacheReference,
-    EventKind::kInstrRetired, EventKind::kItlbMiss, EventKind::kBranchMispredict};
+    EventKind::kInstrRetired,      EventKind::kItlbMiss,
+    EventKind::kBranchMispredict,  EventKind::kObjDmiss};
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -31,6 +33,7 @@ inline const char* to_string(EventKind kind) {
     case EventKind::kInstrRetired:      return "INSTR_RETIRED";
     case EventKind::kItlbMiss:          return "ITLB_MISS";
     case EventKind::kBranchMispredict:  return "BRANCH_MISPREDICT";
+    case EventKind::kObjDmiss:          return "DMISS_OBJ";
   }
   return "UNKNOWN_EVENT";
 }

@@ -1,5 +1,7 @@
 #include "jvm/heap.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace viprof::jvm {
@@ -46,6 +48,39 @@ void Heap::kill_code(CodeId id) { code(id).dead = true; }
 
 void Heap::alloc_data(std::uint64_t bytes) { data_since_gc_ += bytes; }
 
+std::uint64_t Heap::object_semi_bytes() const {
+  return config_.data_semi_bytes != 0 ? config_.data_semi_bytes : data_bytes() / 4;
+}
+
+hw::Address Heap::object_semispace_base(std::uint32_t which) const {
+  return data_base() + static_cast<std::uint64_t>(which) * object_semi_bytes();
+}
+
+hw::Address Heap::mature_data_base() const {
+  return data_base() + 2 * object_semi_bytes();
+}
+
+ObjId Heap::alloc_object(std::uint32_t site, std::uint64_t bytes, std::uint32_t lifetime) {
+  // The nursery budget is charged unconditionally so GC cadence is identical
+  // whether or not the object itself could be tracked.
+  data_since_gc_ += bytes;
+  const std::uint64_t aligned = align_up(std::max<std::uint64_t>(bytes, 1));
+  if (!config_.track_objects || obj_semi_cursor_ + aligned > object_semi_bytes()) {
+    untracked_alloc_bytes_ += bytes;
+    return kInvalidObject;
+  }
+  DataObject obj;
+  obj.id = static_cast<ObjId>(objects_.size());
+  obj.site = site;
+  obj.address = object_semispace_base(obj_active_semi_) + obj_semi_cursor_;
+  obj.size = bytes;
+  obj.lifetime = lifetime;
+  obj_semi_cursor_ += aligned;
+  objects_.push_back(obj);
+  live_objects_.push_back(obj.id);
+  return obj.id;
+}
+
 bool Heap::gc_needed() const {
   // Either the data nursery budget is exhausted or the code semispace is
   // nearly full (keep 1/8 headroom so the next compile always fits).
@@ -53,7 +88,9 @@ bool Heap::gc_needed() const {
          semi_cursor_ >= config_.code_semi_bytes - config_.code_semi_bytes / 8;
 }
 
-GcStats Heap::collect(const MoveCallback& on_move) {
+GcStats Heap::collect(const MoveCallback& on_move,
+                      const ObjectMoveCallback& on_obj_move,
+                      const ObjectDeadCallback& on_obj_dead) {
   GcStats stats;
   stats.epoch = epoch_;
 
@@ -89,11 +126,66 @@ GcStats Heap::collect(const MoveCallback& on_move) {
   stats.live_bytes +=
       static_cast<std::uint64_t>(static_cast<double>(data_since_gc_) * config_.data_survival);
 
+  if (config_.track_objects) {
+    // Copying collection over tracked data objects, mirroring the code path:
+    // survivors move to the other object semispace, long-lived ones promote
+    // to the mature data region (and stop moving), expired ones die. The
+    // live list is rebuilt in place so collection stays O(live), not
+    // O(ever-allocated). Note: tracked-object bytes are deliberately *not*
+    // added to stats.live_bytes — data survival volume is already modelled
+    // by data_survival above, and GC cost must not shift when tracking is
+    // enabled.
+    const std::uint32_t obj_to = obj_active_semi_ ^ 1u;
+    std::uint64_t obj_to_cursor = 0;
+    std::vector<ObjId> still_live;
+    still_live.reserve(live_objects_.size());
+    for (const ObjId id : live_objects_) {
+      DataObject& obj = objects_[id];
+      ++obj.survivals;
+      if (obj.survivals > obj.lifetime) {
+        obj.dead = true;
+        obj.reclaimed = true;  // a dead object is simply not copied
+        ++stats.objects_dead;
+        if (on_obj_dead) on_obj_dead(obj);
+        continue;
+      }
+      stats.obj_live_bytes += obj.size;
+      if (obj.in_mature) {  // mature objects no longer move
+        still_live.push_back(id);
+        continue;
+      }
+      const hw::Address old_address = obj.address;
+      const std::uint64_t aligned = align_up(std::max<std::uint64_t>(obj.size, 1));
+      if (obj.survivals >= config_.object_mature_age &&
+          mature_data_cursor_ + aligned <=
+              data_bytes() - 2 * object_semi_bytes()) {
+        obj.address = mature_data_base() + mature_data_cursor_;
+        mature_data_cursor_ += aligned;
+        obj.in_mature = true;
+        ++stats.objects_promoted;
+      } else {
+        obj.address = object_semispace_base(obj_to) + obj_to_cursor;
+        obj_to_cursor += aligned;
+      }
+      ++stats.objects_moved;
+      still_live.push_back(id);
+      if (on_obj_move) on_obj_move(obj, old_address);
+    }
+    live_objects_ = std::move(still_live);
+    obj_active_semi_ = obj_to;
+    obj_semi_cursor_ = obj_to_cursor;
+  }
+
   active_semi_ = to_space;
   semi_cursor_ = to_cursor;
   data_since_gc_ = 0;
   ++epoch_;
   return stats;
+}
+
+const DataObject& Heap::object(ObjId id) const {
+  VIPROF_CHECK(id < objects_.size());
+  return objects_[id];
 }
 
 const CodeObject& Heap::code(CodeId id) const {

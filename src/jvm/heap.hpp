@@ -24,6 +24,26 @@ namespace viprof::jvm {
 using CodeId = std::uint32_t;
 inline constexpr CodeId kInvalidCode = ~0u;
 
+using ObjId = std::uint32_t;
+inline constexpr ObjId kInvalidObject = ~0u;
+
+/// A tracked heap data object (memory profiling). Objects live in a copying
+/// data nursery mirroring the code semispaces: each collection moves the
+/// survivors, promotes long-lived ones to a mature data region, and drops
+/// the dead. `site` names the allocation site (method + bytecode index) that
+/// created it — the unit the memory profiler aggregates by.
+struct DataObject {
+  ObjId id = kInvalidObject;
+  std::uint32_t site = 0;     // allocation-site index (VM-wide)
+  hw::Address address = 0;
+  std::uint64_t size = 0;
+  std::uint32_t lifetime = 0;  // GCs to survive before dying (0 = die young)
+  std::uint32_t survivals = 0;
+  bool in_mature = false;
+  bool dead = false;       // collected; address no longer meaningful
+  bool reclaimed = false;  // space recycled
+};
+
 struct CodeObject {
   CodeId id = kInvalidCode;
   MethodId method = kInvalidMethod;
@@ -44,6 +64,17 @@ struct HeapConfig {
   std::uint64_t nursery_data_bytes = 8ull << 20;  // data budget per epoch
   double data_survival = 0.15;   // fraction of nursery data that is live at GC
   std::uint32_t mature_age = 3;  // survivals before promotion (stops moving)
+
+  // --- Object tracking (memory profiling) -------------------------------
+  // Off by default: alloc_object() then degrades to plain alloc_data()
+  // volume accounting and collect() touches no object state, so builds with
+  // the memory profiler compiled in but idle behave byte-identically to
+  // before it existed.
+  bool track_objects = false;
+  // Two object semispaces carved from the front of the data region; the
+  // remainder is the mature data region. 0 = data_bytes() / 4 each.
+  std::uint64_t data_semi_bytes = 0;
+  std::uint32_t object_mature_age = 3;  // survivals before data promotion
 };
 
 struct GcStats {
@@ -52,6 +83,10 @@ struct GcStats {
   std::uint64_t code_promoted = 0;  // bodies promoted to mature
   std::uint64_t code_reclaimed = 0; // dead bodies dropped
   std::uint64_t live_bytes = 0;     // data+code copied (drives GC cost)
+  std::uint64_t objects_moved = 0;     // tracked objects copied/promoted
+  std::uint64_t objects_promoted = 0;  // tracked objects now mature
+  std::uint64_t objects_dead = 0;      // tracked objects collected
+  std::uint64_t obj_live_bytes = 0;    // bytes of tracked objects surviving
 };
 
 class Heap {
@@ -81,16 +116,41 @@ class Heap {
   /// Records `bytes` of data allocation.
   void alloc_data(std::uint64_t bytes);
 
+  /// Allocates a *tracked* data object of `bytes` for allocation site
+  /// `site`, dying after surviving `lifetime` collections. Always accounts
+  /// the bytes toward the data nursery budget (identical GC cadence to
+  /// alloc_data); when tracking is off or the object semispace is full the
+  /// volume is still charged but the object itself is untracked and
+  /// kInvalidObject is returned — a counted degradation, never an abort.
+  ObjId alloc_object(std::uint32_t site, std::uint64_t bytes, std::uint32_t lifetime);
+
   bool gc_needed() const;
 
   /// One copying collection. `on_move` fires for every body whose address
-  /// changed (after the move). Closes the current epoch.
+  /// changed (after the move). Closes the current epoch. `on_obj_move` /
+  /// `on_obj_dead` fire for tracked data objects that moved or died (both
+  /// optional; only invoked when object tracking is on).
   using MoveCallback = std::function<void(const CodeObject& moved, hw::Address old_address)>;
-  GcStats collect(const MoveCallback& on_move);
+  using ObjectMoveCallback =
+      std::function<void(const DataObject& moved, hw::Address old_address)>;
+  using ObjectDeadCallback = std::function<void(const DataObject& dead)>;
+  GcStats collect(const MoveCallback& on_move,
+                  const ObjectMoveCallback& on_obj_move = {},
+                  const ObjectDeadCallback& on_obj_dead = {});
 
   const CodeObject& code(CodeId id) const;
   CodeObject& code(CodeId id);
   const std::vector<CodeObject>& all_code() const { return code_; }
+
+  const DataObject& object(ObjId id) const;
+  const std::vector<DataObject>& all_objects() const { return objects_; }
+  /// ObjIds of tracked objects currently live (rebuilt at each GC).
+  const std::vector<ObjId>& live_objects() const { return live_objects_; }
+  /// Bytes allocated through alloc_object() that could not be tracked
+  /// (tracking off, or object semispace full) — the counted fallback.
+  std::uint64_t untracked_alloc_bytes() const { return untracked_alloc_bytes_; }
+  /// Per-semispace size actually in effect (resolves the 0 = auto default).
+  std::uint64_t object_semi_bytes() const;
 
   /// Live (non-dead) code bytes currently in the nursery semispace.
   std::uint64_t nursery_code_bytes() const;
@@ -100,6 +160,8 @@ class Heap {
 
  private:
   hw::Address semispace_base(std::uint32_t which) const;
+  hw::Address object_semispace_base(std::uint32_t which) const;
+  hw::Address mature_data_base() const;
 
   hw::Address base_;
   HeapConfig config_;
@@ -109,6 +171,13 @@ class Heap {
   std::uint64_t data_since_gc_ = 0;
   std::uint64_t epoch_ = 0;
   std::vector<CodeObject> code_;         // CodeId-indexed, never shrinks
+  // Object tracking state (all idle unless config_.track_objects).
+  std::uint32_t obj_active_semi_ = 0;
+  std::uint64_t obj_semi_cursor_ = 0;
+  std::uint64_t mature_data_cursor_ = 0;
+  std::uint64_t untracked_alloc_bytes_ = 0;
+  std::vector<DataObject> objects_;      // ObjId-indexed, never shrinks
+  std::vector<ObjId> live_objects_;      // rebuilt per GC; keeps collect O(live)
 };
 
 }  // namespace viprof::jvm

@@ -56,6 +56,33 @@ class VmEventListener {
     return 0;
   }
 
+  /// A new allocation site was announced (method + bytecode index). Fired
+  /// once per site, before any object is allocated at it.
+  virtual hw::Cycles on_alloc_site(std::uint32_t site, const std::string& name) {
+    (void)site; (void)name;
+    return 0;
+  }
+
+  /// A tracked data object was just allocated at `obj.address`.
+  virtual hw::Cycles on_object_alloc(const DataObject& obj) {
+    (void)obj;
+    return 0;
+  }
+
+  /// During GC, after a tracked object moved from `old_address` to
+  /// `obj.address`. Runs inside the collector — keep it cheap (the memory
+  /// profiler flags, exactly like on_method_moved).
+  virtual hw::Cycles on_object_moved(const DataObject& obj, hw::Address old_address) {
+    (void)obj; (void)old_address;
+    return 0;
+  }
+
+  /// During GC, after a tracked object died (was not copied).
+  virtual hw::Cycles on_object_dead(const DataObject& obj) {
+    (void)obj;
+    return 0;
+  }
+
   /// Epoch `epoch` is ending: just before GC launch, or at VM shutdown
   /// (`final_epoch`). This is where VIProf writes the partial code map.
   virtual hw::Cycles on_epoch_end(std::uint64_t epoch, bool final_epoch) {

@@ -53,6 +53,15 @@ struct MethodInfo {
   std::uint64_t ops_per_invocation = 20'000;
   double alloc_bytes_per_op = 0.2;    // nursery pressure
 
+  // Object-level allocation behaviour (memory profiling). When the heap
+  // tracks objects, the method's allocation volume is carved into discrete
+  // objects of ~alloc_object_bytes each, attributed to the method's
+  // allocation sites; alloc_object_lifetime is the number of GCs objects
+  // from the method's long-lived site survive (0 = everything dies young;
+  // large values model leaks).
+  std::uint64_t alloc_object_bytes = 256;
+  std::uint32_t alloc_object_lifetime = 1;
+
   // Data locality of the method's heap accesses.
   std::uint64_t working_set = 32 * 1024;
   std::uint32_t stride = 64;

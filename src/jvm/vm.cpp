@@ -129,6 +129,26 @@ void Vm::setup(const JavaProgramSpec& program) {
   for (VmEventListener* l : listeners_) cost += l->on_vm_start(info);
   charge_listeners(cost);
 
+  // Announce allocation sites (two per method: long-lived and die-young,
+  // each pinned to a deterministic bytecode index) so the memory profiler
+  // knows every site before the first object exists. Skipped entirely when
+  // the heap does not track objects — the baseline run is unperturbed.
+  if (config_.heap.track_objects) {
+    alloc_sites_.reserve(2 * program_.methods.size());
+    hw::Cycles site_cost = 0;
+    for (const MethodInfo& m : program_.methods) {
+      const std::uint64_t bci_long = m.bytecode_size / 3;
+      const std::uint64_t bci_young = (2 * m.bytecode_size) / 3;
+      for (const std::uint64_t bci : {bci_long, bci_young}) {
+        const auto site = static_cast<std::uint32_t>(alloc_sites_.size());
+        alloc_sites_.push_back(m.qualified_name() + "@" + std::to_string(bci));
+        for (VmEventListener* l : listeners_)
+          site_cost += l->on_alloc_site(site, alloc_sites_.back());
+      }
+    }
+    charge_listeners(site_cost);
+  }
+
   setup_done_ = true;
 }
 
@@ -166,6 +186,12 @@ void Vm::exec_chunk(const hw::ExecContext& ctx, std::uint64_t ops, double cpi,
   events.instructions = ops;
   events.l2_misses = acc.l2_misses;
   events.branch_mispredicts = static_cast<double>(ops) * config_.branch_mispredict_rate;
+  // Data addresses that missed L2 ride along so a kObjDmiss overflow can be
+  // delivered PEBS-style against the missing address, not the code PC.
+  static_assert(hw::ChunkEvents::kMissAddrCap >= hw::SampledAccesses::kMissAddrCap);
+  events.miss_addr_count = acc.miss_addr_count;
+  for (std::uint32_t i = 0; i < acc.miss_addr_count; ++i)
+    events.miss_addrs[i] = acc.miss_addrs[i];
   machine_->cpu().set_context(ctx);
   machine_->cpu().advance(std::max<hw::Cycles>(1, static_cast<hw::Cycles>(cycles_f)),
                           events);
@@ -289,6 +315,30 @@ void Vm::set_aggressive_methods(const std::vector<std::string>& qualified_names)
   }
 }
 
+void Vm::alloc_app_objects(MethodRuntime& rt, const MethodInfo& info,
+                           std::uint64_t bytes, hw::Cycles& hook_cost) {
+  // Carve the chunk's allocation volume into discrete objects; what doesn't
+  // fill a whole object carries to the next chunk so total volume — and
+  // with it GC cadence — matches plain alloc_data() exactly.
+  rt.alloc_carry += bytes;
+  const std::uint64_t obj_bytes = std::max<std::uint64_t>(info.alloc_object_bytes, 16);
+  const auto site_base = static_cast<std::uint32_t>(2 * info.id);
+  while (rt.alloc_carry >= obj_bytes) {
+    rt.alloc_carry -= obj_bytes;
+    // Every fourth object is long-lived (the method's configured lifetime);
+    // the rest die young. Deterministic by per-method sequence number.
+    const bool long_lived = rt.obj_seq % 4 == 0;
+    ++rt.obj_seq;
+    const std::uint32_t site = long_lived ? site_base : site_base + 1;
+    const std::uint32_t lifetime = long_lived ? info.alloc_object_lifetime : 0;
+    const ObjId id = heap_->alloc_object(site, obj_bytes, lifetime);
+    if (id == kInvalidObject) continue;  // counted untracked fallback
+    for (VmEventListener* l : listeners_)
+      hook_cost += l->on_object_alloc(heap_->object(id));
+    if (long_lived) rt.anchor = id;  // accesses chase the newest hot object
+  }
+}
+
 void Vm::do_gc() {
   const std::uint64_t closing_epoch = heap_->epoch();
   const hw::Cycles gc_begin = machine_->cpu().now();
@@ -297,10 +347,18 @@ void Vm::do_gc() {
   charge_listeners(cost);
 
   hw::Cycles move_cost = 0;
-  const GcStats gc = heap_->collect([&](const CodeObject& moved, hw::Address old_address) {
-    for (VmEventListener* l : listeners_)
-      move_cost += l->on_method_moved(method(moved.method), old_address, moved);
-  });
+  const GcStats gc = heap_->collect(
+      [&](const CodeObject& moved, hw::Address old_address) {
+        for (VmEventListener* l : listeners_)
+          move_cost += l->on_method_moved(method(moved.method), old_address, moved);
+      },
+      [&](const DataObject& obj, hw::Address old_address) {
+        for (VmEventListener* l : listeners_)
+          move_cost += l->on_object_moved(obj, old_address);
+      },
+      [&](const DataObject& obj) {
+        for (VmEventListener* l : listeners_) move_cost += l->on_object_dead(obj);
+      });
   ++stats_.collections;
 
   // The collector's own execution: copy/scan work proportional to live bytes.
@@ -383,18 +441,36 @@ void Vm::invoke(MethodId id) {
 
   // JIT-code portion, chunked; allocation accrues with execution.
   const double cpi = info.base_cpi * jit_->cpi_scale(rt.level);
+  const bool track = config_.heap.track_objects;
+  hw::Cycles obj_hook_cost = 0;
   std::uint64_t remaining = app_ops;
   while (remaining > 0) {
     const std::uint64_t ops = std::min<std::uint64_t>(config_.chunk_ops, remaining);
     remaining -= ops;
     const CodeObject& body = heap_->code(rt.code);
     hw::ExecContext ctx{body.address, body.size, hw::CpuMode::kUser, process_->pid()};
+    if (track && rt.anchor != kInvalidObject) {
+      // The method's data accesses follow its anchor object — when GC moved
+      // it, the pattern moves too, so post-GC misses land on live objects.
+      const DataObject& a = heap_->object(rt.anchor);
+      if (a.dead) {
+        rt.anchor = kInvalidObject;
+      } else {
+        rt.pattern.base = a.address;
+      }
+    }
     exec_chunk(ctx, ops, cpi, rt.pattern);
     stats_.app_ops += ops;
-    heap_->alloc_data(static_cast<std::uint64_t>(
-        static_cast<double>(ops) * info.alloc_bytes_per_op));
+    const auto alloc_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(ops) * info.alloc_bytes_per_op);
+    if (track && info.alloc_object_bytes > 0) {
+      alloc_app_objects(rt, info, alloc_bytes, obj_hook_cost);
+    } else {
+      heap_->alloc_data(alloc_bytes);
+    }
     if (heap_->gc_needed()) do_gc();
   }
+  if (obj_hook_cost > 0) charge_listeners(obj_hook_cost);
   rt.accumulated_ops += app_ops;
   maybe_glue(app_ops);
 

@@ -110,6 +110,11 @@ class Vm {
   /// the top tier on first touch. Call after setup(), before run().
   void set_aggressive_methods(const std::vector<std::string>& qualified_names);
 
+  /// Allocation-site names ("klass.method@bci"), indexed by site id. Two
+  /// sites per method — [2*id] long-lived, [2*id+1] die-young. Populated at
+  /// setup() only when the heap tracks objects; empty otherwise.
+  const std::vector<std::string>& alloc_sites() const { return alloc_sites_; }
+
  private:
   struct MethodRuntime {
     CodeId code = kInvalidCode;
@@ -118,6 +123,13 @@ class Vm {
     std::uint64_t accumulated_ops = 0;
     hw::AccessPattern pattern;
     bool klass_loaded = false;
+    // Object tracking: the method's data accesses anchor to its most recent
+    // long-lived allocation, so the access pattern *follows the object when
+    // GC moves it* — the behaviour the memory profiler must attribute
+    // correctly across epochs.
+    ObjId anchor = kInvalidObject;
+    std::uint64_t obj_seq = 0;       // objects allocated so far (site split)
+    std::uint64_t alloc_carry = 0;   // bytes short of one object, carried
   };
 
   struct NativeTarget {
@@ -133,6 +145,11 @@ class Vm {
   hw::Cycles charge_listeners(hw::Cycles cost_sum);
   void compile_method(MethodId id, OptLevel level);
   void invoke(MethodId id);
+  /// Carves `bytes` of a method's allocation volume into tracked objects
+  /// (remainder carried to the next chunk); accumulates listener hook costs
+  /// into `hook_cost`.
+  void alloc_app_objects(MethodRuntime& rt, const MethodInfo& info,
+                         std::uint64_t bytes, hw::Cycles& hook_cost);
   void do_gc();
   void maybe_glue(std::uint64_t ops_just_executed);
   MethodId pick_method();
@@ -174,6 +191,9 @@ class Vm {
 
   // Profile-guided feedback: first-touch top-tier compilation targets.
   std::vector<MethodId> aggressive_;
+
+  // Allocation-site names, two per method (only when tracking objects).
+  std::vector<std::string> alloc_sites_;
 };
 
 }  // namespace viprof::jvm

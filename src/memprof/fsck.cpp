@@ -1,0 +1,79 @@
+#include "memprof/fsck.hpp"
+
+#include "memprof/object_map.hpp"
+
+namespace viprof::memprof {
+
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+ObjectFsckReport fsck_object_maps(const os::Vfs& in, os::Vfs* out,
+                                  support::Telemetry& telemetry, bool verbose) {
+  ObjectFsckReport report;
+  for (const std::string& path : in.list("")) {
+    if (basename_of(path).rfind("omap.", 0) != 0) continue;
+    const auto contents = in.read(path);
+    const auto hint = ObjectMapFile::epoch_from_path(path);
+    const ObjectMapFile::Recovery rec =
+        ObjectMapFile::salvage(*contents, hint.value_or(0));
+    if (rec.intact) {
+      ++report.maps_intact;
+      continue;
+    }
+    ++report.maps_truncated;
+    report.corrupt = true;
+    if (!rec.header_ok) {
+      // Nothing verifiable, not even the declared counts: the epoch is a
+      // total loss and only the file name says it existed.
+      ++report.dead_maps;
+      if (verbose)
+        report.details += path + " CORRUPT: no readable header (epoch " +
+                          u64(rec.file.epoch) + " from file name)\n";
+    } else {
+      const std::uint64_t obj_got = rec.file.objects.size();
+      const std::uint64_t dead_got = rec.file.dead.size();
+      report.objects_salvaged += obj_got;
+      report.objects_lost += rec.objects_expected - obj_got;
+      report.deaths_salvaged += dead_got;
+      report.deaths_lost += rec.dead_expected - dead_got;
+      if (obj_got == 0 && dead_got == 0 &&
+          (rec.objects_expected > 0 || rec.dead_expected > 0)) {
+        ++report.dead_maps;
+      }
+      if (verbose) {
+        report.details += path + " CORRUPT: salvaged " + u64(obj_got) + " of " +
+                          u64(rec.objects_expected) + " object(s), " + u64(dead_got) +
+                          " of " + u64(rec.dead_expected) + " death(s) (epoch " +
+                          u64(rec.file.epoch) + ")\n";
+      }
+    }
+    // Rewrite as the salvaged prefix: the truncated marker survives the
+    // round trip, so resolution against the recovery tree still refuses to
+    // walk past this epoch.
+    if (out != nullptr) out->write(path, rec.file.serialize());
+  }
+
+  telemetry.counter("fsck.omaps.intact").inc(report.maps_intact);
+  telemetry.counter("fsck.omaps.truncated").inc(report.maps_truncated);
+  telemetry.counter("fsck.omaps.objects_salvaged").inc(report.objects_salvaged);
+  telemetry.counter("fsck.omaps.objects_lost").inc(report.objects_lost);
+  telemetry.counter("fsck.omaps.deaths_salvaged").inc(report.deaths_salvaged);
+  telemetry.counter("fsck.omaps.deaths_lost").inc(report.deaths_lost);
+  telemetry.counter("fsck.omaps.unrecoverable").inc(report.dead_maps);
+
+  report.summary = u64(report.maps_intact) + " object map(s) intact, " +
+                   u64(report.maps_truncated) + " truncated (" +
+                   u64(report.objects_salvaged) + " object(s) salvaged, " +
+                   u64(report.objects_lost) + " lost)";
+  return report;
+}
+
+}  // namespace viprof::memprof

@@ -1,0 +1,46 @@
+// Integrity scan of epoch object maps — the memprof extension of
+// core::fsck_tree, composed by viprof_fsck after the sample-tree pass.
+//
+// Every omap.<epoch> file under the tree is salvage-parsed. A damaged map
+// yields its longest verifiable prefix; the declared header counts make the
+// loss *exact*: per damaged file, salvaged + lost == declared, and summed
+// over the tree the declared totals equal what the agent acked at write
+// time — so a kill mid object-map write degrades to counted loss
+// (unresolved.obj.no_map at resolve time), never to wrong attribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "os/vfs.hpp"
+#include "support/telemetry.hpp"
+
+namespace viprof::memprof {
+
+struct ObjectFsckReport {
+  bool corrupt = false;
+  std::uint64_t maps_intact = 0;
+  std::uint64_t maps_truncated = 0;
+  /// Exact loss accounting over damaged maps with a readable header:
+  /// objects_salvaged + objects_lost == the headers' declared object counts
+  /// (which is what the writing agent acked).
+  std::uint64_t objects_salvaged = 0;
+  std::uint64_t objects_lost = 0;
+  std::uint64_t deaths_salvaged = 0;
+  std::uint64_t deaths_lost = 0;
+  /// Damaged maps that yielded nothing — no readable header, so even the
+  /// loss count is unknowable from the file alone.
+  std::uint64_t dead_maps = 0;
+
+  std::string details;
+  std::string summary;
+};
+
+/// Scans every omap file in `in`; when `out` is non-null, damaged maps are
+/// rewritten as their salvaged prefix (truncated marker set — resolution
+/// will refuse to walk past them). Findings go to `telemetry` under
+/// fsck.omaps.* and the returned report.
+ObjectFsckReport fsck_object_maps(const os::Vfs& in, os::Vfs* out,
+                                  support::Telemetry& telemetry, bool verbose = true);
+
+}  // namespace viprof::memprof

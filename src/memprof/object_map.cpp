@@ -1,0 +1,275 @@
+#include "memprof/object_map.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+#include "support/str_scan.hpp"
+
+namespace viprof::memprof {
+
+namespace {
+
+// "<hex-addr> <size> <obj_id> <site>" with nothing after.
+bool parse_object_line(std::string_view line, ObjectMapEntry& entry) {
+  std::uint64_t addr = 0, size = 0, obj_id = 0, site = 0;
+  if (!support::scan_hex64(line, addr) || !support::scan_u64(line, size) ||
+      !support::scan_u64(line, obj_id) || !support::scan_u64(line, site) ||
+      site > 0xffffffffull || !support::at_end(line)) {
+    return false;
+  }
+  entry.address = addr;
+  entry.size = size;
+  entry.obj_id = obj_id;
+  entry.site = static_cast<std::uint32_t>(site);
+  return true;
+}
+
+// "dead <obj_id> <size> <site>" with nothing after.
+bool parse_dead_line(std::string_view line, ObjectDeath& death) {
+  std::uint64_t obj_id = 0, size = 0, site = 0;
+  if (!support::scan_lit(line, "dead") || !support::scan_u64(line, obj_id) ||
+      !support::scan_u64(line, size) || !support::scan_u64(line, site) ||
+      site > 0xffffffffull || !support::at_end(line)) {
+    return false;
+  }
+  death.obj_id = obj_id;
+  death.size = size;
+  death.site = static_cast<std::uint32_t>(site);
+  return true;
+}
+
+// "site <idx> <name>" — the name is a single token (site names carry no
+// spaces), capped at the same on-disk limit as code-map symbols.
+bool parse_site_line(std::string_view line, SiteName& site) {
+  std::uint64_t idx = 0;
+  std::string_view name;
+  if (!support::scan_lit(line, "site") || !support::scan_u64(line, idx) ||
+      idx > 0xffffffffull || !support::scan_token(line, name) ||
+      name.size() > 511 || !support::at_end(line)) {
+    return false;
+  }
+  site.site = static_cast<std::uint32_t>(idx);
+  site.name = std::string(name);
+  return true;
+}
+
+// "omap <epoch> objects <N> dead <D>" with nothing after D.
+bool parse_header_line(std::string_view line, std::uint64_t& epoch,
+                       std::uint64_t& objects, std::uint64_t& dead) {
+  if (!support::scan_lit(line, "omap") || !support::scan_u64(line, epoch)) {
+    return false;
+  }
+  support::skip_ws(line);
+  if (!support::scan_lit(line, "objects") || !support::scan_u64(line, objects)) {
+    return false;
+  }
+  support::skip_ws(line);
+  return support::scan_lit(line, "dead") && support::scan_u64(line, dead) &&
+         support::at_end(line);
+}
+
+bool parse_crc_line(std::string_view line, std::uint32_t& crc) {
+  std::uint64_t value = 0;
+  if (!support::scan_lit(line, "crc") ||
+      !support::scan_hex64(line, value, /*max_digits=*/8) ||
+      !support::at_end(line)) {
+    return false;
+  }
+  crc = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string site_symbol(std::uint32_t site) {
+  return "site#" + std::to_string(site);
+}
+
+std::optional<std::uint32_t> site_from_symbol(const std::string& symbol) {
+  if (symbol.rfind("site#", 0) != 0 || symbol.size() == 5) return std::nullopt;
+  std::uint64_t idx = 0;
+  for (std::size_t i = 5; i < symbol.size(); ++i) {
+    if (symbol[i] < '0' || symbol[i] > '9') return std::nullopt;
+    idx = idx * 10 + static_cast<std::uint64_t>(symbol[i] - '0');
+    if (idx > 0xffffffffull) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(idx);
+}
+
+std::string ObjectMapFile::serialize() const {
+  std::string out = "omap " + std::to_string(epoch) + " objects " +
+                    std::to_string(objects.size()) + " dead " +
+                    std::to_string(dead.size()) + "\n";
+  if (truncated) out += "truncated\n";
+  for (const SiteName& s : sites) {
+    out += "site " + std::to_string(s.site) + " " + s.name + "\n";
+  }
+  for (const ObjectMapEntry& e : objects) {
+    out += support::hex(e.address);
+    out += ' ';
+    out += std::to_string(e.size);
+    out += ' ';
+    out += std::to_string(e.obj_id);
+    out += ' ';
+    out += std::to_string(e.site);
+    out += '\n';
+  }
+  for (const ObjectDeath& d : dead) {
+    out += "dead " + std::to_string(d.obj_id) + " " + std::to_string(d.size) +
+           " " + std::to_string(d.site) + "\n";
+  }
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "crc %08x\n", support::fnv1a(out));
+  out += trailer;
+  return out;
+}
+
+std::optional<ObjectMapFile> ObjectMapFile::parse(const std::string& contents) {
+  // Strict parse accepts only fully verified files. A `truncated` marker
+  // written by fsck is fine: the rewritten file carries its own header
+  // counts and crc, so it verifies as intact while keeping the flag.
+  const Recovery r = salvage(contents, 0);
+  if (!r.intact) return std::nullopt;
+  return r.file;
+}
+
+ObjectMapFile::Recovery ObjectMapFile::salvage(const std::string& contents,
+                                               std::uint64_t epoch_hint) {
+  Recovery r;
+  r.file.epoch = epoch_hint;
+  r.file.truncated = true;  // until proven intact
+
+  support::LineCursor cursor(contents);
+  std::string_view line;
+
+  const bool header_unterminated = !cursor.next(line);
+  if (header_unterminated) {
+    if (cursor.tail().empty()) return r;  // empty file
+    line = cursor.tail();
+  }
+  {
+    std::uint64_t epoch = 0, objects = 0, dead = 0;
+    if (!parse_header_line(line, epoch, objects, dead)) {
+      return r;  // header unreadable: epoch_hint stands, nothing salvageable
+    }
+    r.header_ok = true;
+    r.file.epoch = epoch;
+    r.objects_expected = objects;
+    r.dead_expected = dead;
+  }
+  if (header_unterminated) return r;
+
+  bool marked_truncated = false;
+  bool saw_crc = false;
+  std::uint32_t crc_read = 0;
+  std::size_t crc_covers = 0;
+
+  std::size_t consumed = line.size() + 1;
+  bool damaged = false;
+  while (cursor.next(line)) {
+    if (line == "truncated") {
+      marked_truncated = true;
+      consumed += line.size() + 1;
+      continue;
+    }
+    if (parse_crc_line(line, crc_read)) {
+      saw_crc = true;
+      crc_covers = consumed;
+      consumed += line.size() + 1;
+      break;  // trailer is the last line; anything after it is damage
+    }
+    SiteName site;
+    if (parse_site_line(line, site)) {
+      r.file.sites.push_back(std::move(site));
+      consumed += line.size() + 1;
+      continue;
+    }
+    ObjectDeath death;
+    if (parse_dead_line(line, death)) {
+      r.file.dead.push_back(death);
+      consumed += line.size() + 1;
+      continue;
+    }
+    ObjectMapEntry e;
+    if (!parse_object_line(line, e)) {
+      damaged = true;
+      break;  // stop at the first bad line: everything after is suspect
+    }
+    r.file.objects.push_back(e);
+    consumed += line.size() + 1;
+  }
+  if (!damaged && !saw_crc && !cursor.tail().empty()) {
+    // Unterminated final line: a tear mid-line can leave a prefix that
+    // still parses, so nothing short of a newline-terminated line is
+    // trusted.
+    damaged = true;
+  }
+
+  const bool crc_ok =
+      saw_crc && crc_covers <= contents.size() &&
+      support::fnv1a(contents.data(), crc_covers) == crc_read;
+  r.intact = !damaged && crc_ok && r.file.objects.size() == r.objects_expected &&
+             r.file.dead.size() == r.dead_expected && consumed >= contents.size();
+  r.file.truncated = marked_truncated || !r.intact;
+  return r;
+}
+
+std::string ObjectMapFile::path_for(const std::string& dir, hw::Pid pid,
+                                    std::uint64_t epoch) {
+  char buf[64];
+  // Zero-padded epoch keeps VFS listing in epoch order.
+  std::snprintf(buf, sizeof buf, "/%u/omap.%08llu", pid,
+                static_cast<unsigned long long>(epoch));
+  return dir + buf;
+}
+
+std::optional<std::uint64_t> ObjectMapFile::epoch_from_path(const std::string& path) {
+  const auto dot = path.rfind("omap.");
+  if (dot == std::string::npos) return std::nullopt;
+  const std::string digits = path.substr(dot + 5);
+  if (digits.empty()) return std::nullopt;
+  unsigned long long epoch = 0;
+  char extra = 0;
+  if (std::sscanf(digits.c_str(), "%llu%c", &epoch, &extra) != 1) return std::nullopt;
+  return epoch;
+}
+
+core::CodeMapFile ObjectMapFile::to_code_map() const {
+  core::CodeMapFile out;
+  out.epoch = epoch;
+  out.truncated = truncated;
+  out.entries.reserve(objects.size());
+  for (const ObjectMapEntry& e : objects) {
+    core::CodeMapEntry c;
+    c.address = e.address;
+    c.size = e.size;
+    c.symbol = site_symbol(e.site);
+    out.entries.push_back(std::move(c));
+  }
+  return out;
+}
+
+ObjectIndexLoad load_object_index(const os::Vfs& vfs, const std::string& dir,
+                                  hw::Pid pid) {
+  ObjectIndexLoad out;
+  const std::string prefix = dir + "/" + std::to_string(pid) + "/omap.";
+  for (const std::string& path : vfs.list(prefix)) {
+    const auto contents = vfs.read(path);
+    VIPROF_CHECK(contents.has_value());
+    // The file name carries the epoch, so even a fully corrupt file still
+    // registers its epoch as truncated — resolution must know the epoch
+    // existed and is unaccounted for.
+    const auto hint = ObjectMapFile::epoch_from_path(path);
+    ObjectMapFile::Recovery r = ObjectMapFile::salvage(*contents, hint.value_or(0));
+    ++out.maps_loaded;
+    if (r.file.truncated) ++out.maps_truncated;
+    out.objects_loaded += r.file.objects.size();
+    out.index.add(r.file.to_code_map());
+    out.files.push_back(std::move(r.file));
+  }
+  out.index.prepare();
+  return out;
+}
+
+}  // namespace viprof::memprof

@@ -1,0 +1,47 @@
+// Per-allocation-site memory report (DESIGN.md §15).
+//
+// Folds the DMISS_OBJ sample stream and the epoch object maps into the
+// ranking the memory profiler exists for: per allocation site, the share of
+// L2 data misses (hot), bytes allocated, bytes still live, and a
+// memory-inefficiency score — bytes allocated per observed miss, so a site
+// that allocates megabytes the CPU never touches ranks as
+// allocated-but-cold. Sites with zero samples are listed too; absence of
+// misses is the finding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registration.hpp"
+#include "core/report.hpp"
+#include "memprof/resolve.hpp"
+#include "memprof/site_table.hpp"
+#include "os/vfs.hpp"
+
+namespace viprof::memprof {
+
+/// Everything the offline object pass produces from a session directory.
+struct ObjectReport {
+  core::Profile profile;  // object rows + degradation bins, log order
+  SiteTable sites;
+  ObjectResolveStats stats;
+  std::uint64_t samples = 0;
+};
+
+/// Offline builder: for each registration with an obj_map_dir, loads the
+/// epoch object maps, then folds the DMISS_OBJ log serially in record
+/// order. The serial fold in stream order is exactly what the striped
+/// online aggregation recovers, so the resulting profile rows are
+/// byte-identical to the server's at any thread/stripe count.
+ObjectReport build_object_report(const os::Vfs& vfs, const std::string& sample_dir,
+                                 const std::vector<core::VmRegistration>& regs);
+
+/// The per-allocation-site table: sites aggregated across pids by index
+/// (the same collapse JIT.App rows apply to symbols), ranked by miss count,
+/// then bytes allocated, then site index. Ends with the degradation bins —
+/// lost attribution is part of the report, not a footnote.
+std::string render_memprof(const SiteTable& sites, const core::Profile& profile,
+                           std::size_t top_n);
+
+}  // namespace viprof::memprof

@@ -1,0 +1,59 @@
+// Object-sample resolution: data addresses → allocation sites.
+//
+// The cache model's L2-miss stream (hw::EventKind::kObjDmiss) carries data
+// addresses inside a registered VM heap. Each sample resolves against the
+// object map of its logging-time epoch with the same backward walk as JIT
+// code (the index *is* a core::CodeMapIndex over projected object entries),
+// and the same crash-aware refusal: a missing or truncated epoch map sends
+// the sample to a counted unresolved.obj.* bin, never to a neighbouring
+// object that happens to occupy the range today.
+#pragma once
+
+#include <cstdint>
+
+#include "core/code_map.hpp"
+#include "core/resolver.hpp"
+#include "hw/types.hpp"
+
+namespace viprof::memprof {
+
+/// Image name shared by every object-domain row.
+inline constexpr const char* kObjectImage = "heap.objects";
+
+/// Degradation bins for object samples (DESIGN.md §15). `no_map`: the
+/// epoch's object map was never written (agent dead, dropped write, no maps
+/// at all). `truncated`: the map landed torn and the walk refuses to step
+/// past the salvaged prefix. `untracked`: maps are fine but no tracked
+/// object covers the address (untracked-allocation fallback, stack/mature
+/// scratch data).
+inline constexpr const char* kUnresolvedObjNoMap = "unresolved.obj.no_map";
+inline constexpr const char* kUnresolvedObjTruncated = "unresolved.obj.truncated";
+inline constexpr const char* kUnresolvedObjUntracked = "unresolved.obj.untracked";
+
+struct ObjectResolveStats {
+  std::uint64_t resolved = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t backward_steps = 0;
+  std::uint64_t no_map = 0;
+  std::uint64_t truncated_map = 0;
+  std::uint64_t untracked = 0;
+
+  void merge(const ObjectResolveStats& o) {
+    resolved += o.resolved;
+    unresolved += o.unresolved;
+    backward_steps += o.backward_steps;
+    no_map += o.no_map;
+    truncated_map += o.truncated_map;
+    untracked += o.untracked;
+  }
+};
+
+/// Resolves one data address against `index` (nullptr = no maps known for
+/// the pid: everything bins as no_map). Deterministic per (index contents,
+/// addr, epoch) — the online ingest workers and offline viprof_report call
+/// exactly this function, which is what makes their rows byte-identical.
+core::Resolution resolve_object(const core::CodeMapIndex* index, hw::Address addr,
+                                std::uint64_t epoch,
+                                ObjectResolveStats* stats = nullptr);
+
+}  // namespace viprof::memprof

@@ -1,0 +1,43 @@
+#include "memprof/site_table.hpp"
+
+namespace viprof::memprof {
+
+SiteStats& SiteTable::site(hw::Pid pid, std::uint32_t idx) {
+  SiteStats& s = sites_[{pid, idx}];
+  if (s.name.empty()) s.name = site_symbol(idx);
+  return s;
+}
+
+void SiteTable::ingest(const std::string& scope, hw::Pid pid,
+                       const ObjectMapFile& file) {
+  ++maps_ingested_;
+  if (file.truncated) ++maps_truncated_;
+  for (const SiteName& sn : file.sites) {
+    SiteStats& s = site(pid, sn.site);
+    // Lexicographic-min among dictionary names: within a session every
+    // intact map carries the same dictionary, and across sessions that
+    // share a pid the winner is the same no matter which scope folds
+    // first — fold order never shows in the rendered bytes.
+    if (s.name == site_symbol(sn.site) || sn.name < s.name) s.name = sn.name;
+  }
+  for (const ObjectMapEntry& e : file.objects) {
+    if (!seen_alloc_.insert({scope, pid, e.obj_id}).second) continue;
+    SiteStats& s = site(pid, e.site);
+    ++s.alloc_objects;
+    s.alloc_bytes += e.size;
+  }
+  for (const ObjectDeath& d : file.dead) {
+    if (!seen_dead_.insert({scope, pid, d.obj_id}).second) continue;
+    SiteStats& s = site(pid, d.site);
+    ++s.dead_objects;
+    s.dead_bytes += d.size;
+  }
+}
+
+const std::string& SiteTable::name_of(hw::Pid pid, std::uint32_t idx) const {
+  static const std::string kEmpty;
+  const auto it = sites_.find({pid, idx});
+  return it == sites_.end() ? kEmpty : it->second.name;
+}
+
+}  // namespace viprof::memprof

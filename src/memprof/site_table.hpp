@@ -1,0 +1,93 @@
+// Per-allocation-site accounting folded from object maps.
+//
+// Object maps are *partial*: an object appears in the map of every epoch in
+// which it was allocated or moved, and its death is recorded once in the
+// map written after the collection that reclaimed it. The table therefore
+// dedups by (pid, obj_id) — the first sighting of an object charges its
+// allocation, the first death line charges its death — so the same totals
+// fall out no matter how many maps mention an object or in which order the
+// maps are folded. Both the online server and the offline resolver build
+// this table from the same file bytes, which is what makes the rendered
+// per-site rows byte-identical across ingest paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "memprof/object_map.hpp"
+
+namespace viprof::memprof {
+
+struct SiteStats {
+  std::string name;  // first dictionary name seen; "site#<idx>" fallback
+  std::uint64_t alloc_objects = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t dead_objects = 0;
+  std::uint64_t dead_bytes = 0;
+
+  /// Saturating: a death can be charged from a dead line alone when the map
+  /// holding the allocation sighting was lost, so dead may exceed alloc.
+  std::uint64_t live_objects() const {
+    return alloc_objects > dead_objects ? alloc_objects - dead_objects : 0;
+  }
+  std::uint64_t live_bytes() const {
+    return alloc_bytes > dead_bytes ? alloc_bytes - dead_bytes : 0;
+  }
+};
+
+class SiteTable {
+ public:
+  /// Folds one salvaged object map into the table. Safe to feed the same
+  /// map twice (a federated query may see a map through several shards):
+  /// object and death dedup make ingestion idempotent per (scope, pid,
+  /// obj_id). `scope` names the session the map tree belongs to — obj_ids
+  /// are per-session, so two sessions that happen to share a pid must not
+  /// dedup against each other (and must total the same no matter which
+  /// folds first).
+  void ingest(const std::string& scope, hw::Pid pid, const ObjectMapFile& file);
+
+  /// Single-session fold (the offline report path): empty scope.
+  void ingest(hw::Pid pid, const ObjectMapFile& file) { ingest("", pid, file); }
+
+  /// Sites keyed by (pid, site), ordered — deterministic render order.
+  const std::map<std::pair<hw::Pid, std::uint32_t>, SiteStats>& sites() const {
+    return sites_;
+  }
+
+  /// Display name for a site (dictionary name or "site#<idx>").
+  const std::string& name_of(hw::Pid pid, std::uint32_t site) const;
+
+  std::uint64_t maps_ingested() const { return maps_ingested_; }
+  std::uint64_t maps_truncated() const { return maps_truncated_; }
+
+ private:
+  struct Key {
+    std::string scope;
+    hw::Pid pid;
+    std::uint64_t obj_id;
+    bool operator==(const Key& o) const {
+      return pid == o.pid && obj_id == o.obj_id && scope == o.scope;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.scope) ^
+             static_cast<std::size_t>((static_cast<std::uint64_t>(k.pid) << 48) ^
+                                      k.obj_id * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  SiteStats& site(hw::Pid pid, std::uint32_t site);
+
+  std::map<std::pair<hw::Pid, std::uint32_t>, SiteStats> sites_;
+  std::unordered_set<Key, KeyHash> seen_alloc_;
+  std::unordered_set<Key, KeyHash> seen_dead_;
+  std::uint64_t maps_ingested_ = 0;
+  std::uint64_t maps_truncated_ = 0;
+};
+
+}  // namespace viprof::memprof

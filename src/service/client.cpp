@@ -6,6 +6,7 @@
 
 #include "core/code_map.hpp"
 #include "core/sample_log.hpp"
+#include "memprof/object_map.hpp"
 
 namespace viprof::service {
 
@@ -138,8 +139,20 @@ bool ReplayClient::run() {
           const auto epoch = core::CodeMapFile::epoch_from_path(path);
           if (epoch) vm.pending_maps.emplace_back(*epoch, path);
         }
-        std::sort(vm.pending_maps.begin(), vm.pending_maps.end());
       }
+      // Optional 8th token (absent in old manifests): the object-map dir.
+      // Object maps announce on the same epoch schedule as code maps — a
+      // batch referencing epoch E needs both maps of E on the server first.
+      std::string obj_dir;
+      ls >> obj_dir;
+      if (!obj_dir.empty() && obj_dir != "-") {
+        const std::string prefix = obj_dir + "/" + std::to_string(vm.pid) + "/";
+        for (const std::string& path : world_.list(prefix)) {
+          const auto epoch = memprof::ObjectMapFile::epoch_from_path(path);
+          if (epoch) vm.pending_maps.emplace_back(*epoch, path);
+        }
+      }
+      std::sort(vm.pending_maps.begin(), vm.pending_maps.end());
       vms_.push_back(std::move(vm));
     }
     if (!send_file(kManifestPath)) return false;
@@ -149,6 +162,13 @@ bool ReplayClient::run() {
 
   for (hw::EventKind event : hw::kAllEventKinds)
     if (!stream_event_log(event)) return false;
+
+  // Trailing maps no sample forced out (e.g. the final epoch's object map,
+  // which may carry only death records) still belong to the session: flush
+  // them so the server's world matches the recorded one exactly.
+  for (VmInfo& vm : vms_)
+    for (const auto& [epoch, path] : vm.pending_maps)
+      if (!send_file(path)) return false;
 
   return send(FrameType::kEndStream, "");
 }

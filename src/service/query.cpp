@@ -15,7 +15,7 @@ constexpr const char* kHeader = "viprof-snapshot v1";
 std::optional<core::SampleDomain> domain_from(const std::string& name) {
   using D = core::SampleDomain;
   for (D d : {D::kHypervisor, D::kKernel, D::kImage, D::kBoot, D::kJit, D::kAnon,
-              D::kUnknown}) {
+              D::kObject, D::kUnknown}) {
     if (name == core::to_string(d)) return d;
   }
   return std::nullopt;
@@ -27,7 +27,8 @@ void append_counts_and_names(std::string& out, const core::ProfileRow& row) {
   out += "\t" + row.image + "\t" + row.symbol + "\n";
 }
 
-/// "<domain> c0 .. c4\t<image>\t<symbol>" → one add() per event with count.
+/// "<domain> c0 .. cN\t<image>\t<symbol>" (one count per event kind) → one
+/// add() per event with count.
 bool parse_row_into(const std::string& fields, core::Profile& profile) {
   const std::size_t tab1 = fields.find('\t');
   if (tab1 == std::string::npos) return false;
@@ -36,12 +37,17 @@ bool parse_row_into(const std::string& fields, core::Profile& profile) {
 
   std::uint64_t counts[hw::kEventKindCount] = {};
   char domain_buf[16] = {};
-  unsigned long long c[hw::kEventKindCount] = {};
   const std::string head = fields.substr(0, tab1);
-  if (std::sscanf(head.c_str(), "%15s %llu %llu %llu %llu %llu", domain_buf, &c[0],
-                  &c[1], &c[2], &c[3], &c[4]) != 6)
-    return false;
-  for (std::size_t e = 0; e < hw::kEventKindCount; ++e) counts[e] = c[e];
+  int consumed = 0;
+  if (std::sscanf(head.c_str(), "%15s%n", domain_buf, &consumed) != 1) return false;
+  const char* p = head.c_str() + consumed;
+  for (std::size_t e = 0; e < hw::kEventKindCount; ++e) {
+    char* endp = nullptr;
+    const unsigned long long v = std::strtoull(p, &endp, 10);
+    if (endp == p) return false;  // fewer counts than event kinds: damage
+    counts[e] = v;
+    p = endp;
+  }
 
   const auto domain = domain_from(domain_buf);
   if (!domain) return false;

@@ -7,6 +7,9 @@
 #include <tuple>
 
 #include "core/code_map.hpp"
+#include "memprof/object_map.hpp"
+#include "memprof/report.hpp"
+#include "memprof/resolve.hpp"
 #include "service/query.hpp"
 #include "store/profile_store.hpp"
 #include "support/format.hpp"
@@ -27,8 +30,10 @@ std::optional<hw::EventKind> event_from(const std::string& name) {
   return std::nullopt;
 }
 
-/// "reg <pid> <heap_lo> <heap_hi> <boot_base> <boot_size> <map|-> <dir|->",
-/// hex ranges — the archive manifest line format.
+/// "reg <pid> <heap_lo> <heap_hi> <boot_base> <boot_size> <map|-> <dir|->
+/// [<obj_dir|->]", hex ranges — the archive manifest line format. The
+/// object-map dir is a trailing addition; lines from older archives simply
+/// lack it.
 std::optional<core::VmRegistration> parse_reg_line(const std::string& line) {
   std::istringstream ls(line);
   std::string tag, lo_hex, hi_hex, boot_hex, map_path, jit_dir;
@@ -45,6 +50,9 @@ std::optional<core::VmRegistration> parse_reg_line(const std::string& line) {
   }
   reg.boot_map_path = map_path == "-" ? "" : map_path;
   reg.jit_map_dir = jit_dir == "-" ? "" : jit_dir;
+  std::string obj_dir;
+  ls >> obj_dir;
+  reg.obj_map_dir = (obj_dir.empty() || obj_dir == "-") ? "" : obj_dir;
   return reg;
 }
 
@@ -341,6 +349,51 @@ void ProfileServer::process_one(std::shared_ptr<ServerSession> session) {
     return;
   }
 
+  if (batch.event == hw::EventKind::kObjDmiss) {
+    // Object samples resolve against per-pid *object*-map indexes, pinned at
+    // the same epoch ceiling the batch carried — a separate cache keyspace
+    // ("#obj") so the PC hot path shares nothing with this branch. Objects
+    // carry no caller PCs, so there is no arc/caller work here.
+    PinnedJitSource obj;
+    for (const auto& [pid, ceiling] : batch.ceilings) {
+      const core::VmRegistration* reg = nullptr;
+      for (const core::VmRegistration& r : resolver->registrations())
+        if (r.pid == pid) { reg = &r; break; }
+      if (reg == nullptr || reg->obj_map_dir.empty()) continue;
+      const std::string dir = reg->obj_map_dir;
+      obj.pins_[pid] = cache_.get(
+          session->id() + "#obj", pid, ceiling, [session, dir, pid = pid]() {
+            std::lock_guard<std::mutex> lock(session->world_mu_);
+            return memprof::load_object_index(session->world_, dir, pid).index;
+          });
+    }
+    const std::uint64_t resolve_t0 = support::monotonic_ns();
+    core::RowMemo combined_memo;
+    std::map<std::uint64_t, core::RowMemo> epoch_memos;
+    core::Profile* epoch_profile = nullptr;
+    core::RowMemo* epoch_memo = nullptr;
+    std::uint64_t memo_epoch = ~0ull;
+    for (const core::LoggedSample& sample : batch.samples) {
+      const core::Resolution res = memprof::resolve_object(
+          obj.index_for(sample.pid, sample.epoch), sample.pc, sample.epoch);
+      combined_memo.add(result.partial, batch.event, sample.pid, sample.epoch, res);
+      if (epoch_profile == nullptr || sample.epoch != memo_epoch) {
+        memo_epoch = sample.epoch;
+        epoch_profile = &result.epoch_partial[sample.epoch];
+        epoch_memo = &epoch_memos[sample.epoch];
+      }
+      epoch_memo->add(*epoch_profile, batch.event, sample.pid, sample.epoch, res);
+    }
+    telemetry_.spans().record("service.batch.resolve", "service", resolve_t0,
+                              support::monotonic_ns(), batch.apply_seq,
+                              session->trace());
+    telemetry_.counter("service.records").inc(result.records);
+    session->apply(batch.apply_seq, std::move(result));
+    recycle_arena(std::move(batch.arena));
+    cache_.publish(telemetry_);
+    return;
+  }
+
   // Pin the code-map index generation each registered VM had at enqueue.
   PinnedJitSource jit;
   for (const auto& [pid, ceiling] : batch.ceilings) {
@@ -553,6 +606,26 @@ std::string ProfileServer::query(const std::string& text) {
       }
     }
     return table.render();
+  }
+  if (verb == "memprof") {
+    std::size_t top = 20;
+    in >> top;
+    std::string session_id, event_name;
+    scan_options(session_id, event_name, top);
+    memprof::SiteTable sites;
+    core::Profile merged;
+    bool matched = false;
+    for (const std::string& id : session_ids()) {
+      if (!session_id.empty() && id != session_id) continue;
+      std::shared_ptr<ServerSession> s = session(id);
+      if (!s) continue;
+      matched = true;
+      s->fold_object_sites(sites);
+      merged.merge(s->merged_profile());
+    }
+    if (!session_id.empty() && !matched)
+      return "error: no such session: " + session_id + "\n";
+    return memprof::render_memprof(sites, merged, top);
   }
   if (verb == "snapshot") return snapshot();
   if (verb == "stats") {

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/code_map.hpp"
+#include "memprof/object_map.hpp"
 
 namespace viprof::service {
 
@@ -133,6 +134,22 @@ std::vector<core::CallArc> ServerSession::ranked_arcs() const {
     combined.fold(stripe->graph);
   }
   return combined.ordered().ranked();
+}
+
+void ServerSession::fold_object_sites(memprof::SiteTable& sites) const {
+  std::vector<core::VmRegistration> regs;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    regs = table_.all();
+  }
+  std::lock_guard<std::mutex> lock(world_mu_);
+  for (const core::VmRegistration& reg : regs) {
+    if (reg.obj_map_dir.empty()) continue;
+    memprof::ObjectIndexLoad load =
+        memprof::load_object_index(world_, reg.obj_map_dir, reg.pid);
+    for (const memprof::ObjectMapFile& file : load.files)
+      sites.ingest(id_, reg.pid, file);
+  }
 }
 
 ServerSession::FlushDelta ServerSession::take_flush() {

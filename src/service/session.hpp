@@ -40,6 +40,7 @@
 #include "core/report.hpp"
 #include "core/sample_log.hpp"
 #include "core/striped_agg.hpp"
+#include "memprof/site_table.hpp"
 #include "support/arena.hpp"
 #include "support/bounded_queue.hpp"
 #include "support/traced_mutex.hpp"
@@ -144,6 +145,11 @@ class ServerSession {
 
   /// Rolling cross-layer call graph (arc list copy).
   std::vector<core::CallArc> ranked_arcs() const;
+
+  /// Folds the allocation-site table derived from every streamed object
+  /// map of every registered VM into `sites` (additive across sessions;
+  /// per-(pid, obj_id) dedup makes re-folds idempotent).
+  void fold_object_sites(memprof::SiteTable& sites) const;
 
   /// Everything applied since the previous take_flush(): the increment the
   /// persistent profile store ingests as one interval (DESIGN.md §11).

@@ -13,7 +13,7 @@ namespace {
 std::optional<core::SampleDomain> domain_from(const char* name) {
   using D = core::SampleDomain;
   for (D d : {D::kHypervisor, D::kKernel, D::kImage, D::kBoot, D::kJit, D::kAnon,
-              D::kUnknown}) {
+              D::kObject, D::kUnknown}) {
     if (std::strcmp(name, core::to_string(d)) == 0) return d;
   }
   return std::nullopt;
@@ -208,8 +208,25 @@ SegmentSalvage read_segment(const std::string& contents) {
       char domain_buf[16] = {};
       unsigned long long c[hw::kEventKindCount] = {};
       unsigned long long img = 0, sym = 0;
-      if (std::sscanf(rest, "%15s %llu %llu %llu %llu %llu %llu %llu", domain_buf,
-                      &c[0], &c[1], &c[2], &c[3], &c[4], &img, &sym) != 8) {
+      // One count column per event kind, then the two dictionary ids —
+      // parsed with a cursor so the column count tracks kEventKindCount.
+      bool row_ok = false;
+      int consumed = 0;
+      if (std::sscanf(rest, "%15s%n", domain_buf, &consumed) == 1) {
+        const char* p = rest + consumed;
+        row_ok = true;
+        for (std::size_t e = 0; e < hw::kEventKindCount && row_ok; ++e) {
+          char* endp = nullptr;
+          c[e] = std::strtoull(p, &endp, 10);
+          if (endp == p) row_ok = false;
+          p = endp;
+        }
+        if (row_ok &&
+            std::sscanf(p, "%llu %llu%n", &img, &sym, &consumed) != 2) {
+          row_ok = false;
+        }
+      }
+      if (!row_ok) {
         ++out.lines_discarded;
         --out.lines_valid;
         continue;

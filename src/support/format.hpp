@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "support/hash.hpp"  // fnv1a lived here before support/hash.hpp existed
+
 namespace viprof::support {
 
 /// Fixed-point decimal: value with `decimals` digits after the point,
@@ -25,20 +27,6 @@ std::string hex(std::uint64_t value);
 
 /// Join strings with a separator.
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
-
-/// FNV-1a 32-bit hash; the record/file checksum used by the crash-consistent
-/// sample-log and code-map framing. Not cryptographic — it only has to catch
-/// torn writes and bit rot, like the crc fields in real trace formats.
-inline std::uint32_t fnv1a(const char* data, std::size_t size) {
-  std::uint32_t h = 0x811c9dc5u;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x01000193u;
-  }
-  return h;
-}
-
-inline std::uint32_t fnv1a(const std::string& s) { return fnv1a(s.data(), s.size()); }
 
 /// Simple column-aligned table writer: set headers, append rows, render.
 /// Numeric-looking cells are right-aligned; text cells left-aligned.

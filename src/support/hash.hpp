@@ -1,0 +1,56 @@
+// The one home for the project's non-cryptographic hash primitives.
+//
+// Every framed on-disk format (sample logs, code maps, object maps, store
+// segments, manifests) checksums with 32-bit FNV-1a, and the fleet ring /
+// trace-context layers key on 64-bit FNV-1a — historically each site carried
+// its own copy of the constants. They live here exactly once so framed-file
+// byte-identity cannot drift when one copy is "fixed"; tests/test_support_hash
+// pins every constant below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace viprof::support {
+
+/// FNV-1a 32-bit hash; the record/file checksum used by the crash-consistent
+/// sample-log, code-map and object-map framing. Not cryptographic — it only
+/// has to catch torn writes and bit rot, like the crc fields in real trace
+/// formats.
+inline std::uint32_t fnv1a(const char* data, std::size_t size) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+inline std::uint32_t fnv1a(const std::string& s) { return fnv1a(s.data(), s.size()); }
+
+/// Raw FNV-1a 64-bit. Deterministic across shards/runs — the trace-context
+/// minting hash. Note the weak avalanche: strings differing only in a
+/// trailing character land on neighbouring hashes; pair with fmix64() when
+/// the distribution matters (consistent-hash rings).
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;  // 0xcbf29ce484222325
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // 0x100000001b3
+  }
+  return h;
+}
+
+/// MurmurHash3's 64-bit finalizer: full avalanche over a raw hash so that
+/// neighbouring inputs spread across the whole 64-bit space.
+inline std::uint64_t fmix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace viprof::support

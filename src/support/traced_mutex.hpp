@@ -32,6 +32,7 @@
 #include <shared_mutex>
 #include <string_view>
 
+#include "support/hash.hpp"
 #include "support/telemetry.hpp"
 
 namespace viprof::support {
@@ -49,11 +50,7 @@ struct TraceContext {
   /// Deterministic 64-bit FNV-1a of the session id: the same session is
   /// the same trace on every shard, every run, with no coordination.
   static TraceContext mint(std::string_view session_id) {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (char c : session_id) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 0x100000001b3ull;
-    }
+    const std::uint64_t h = fnv1a64(session_id);
     return TraceContext{h == 0 ? 0xcbf29ce484222325ull : h, 0};
   }
 };

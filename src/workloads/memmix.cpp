@@ -1,0 +1,69 @@
+#include "workloads/memmix.hpp"
+
+namespace viprof::workloads {
+
+Workload make_alloc_heavy(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.name = "allocheavy";
+  options.seed = seed;
+  options.methods = 48;
+  options.alloc_intensity = 1.2;          // bytes per op, well above default
+  options.nursery_bytes = 1ull << 20;     // small nursery: frequent GC
+  options.total_app_ops = 12'000'000;
+  Workload w = make_synthetic(options);
+  for (jvm::MethodInfo& m : w.program.methods) {
+    m.alloc_object_bytes = 64 + 32 * (m.id % 7);  // small objects, many of them
+    m.alloc_object_lifetime = 1;                  // die at their first survival check
+  }
+  return w;
+}
+
+Workload make_frag_heavy(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.name = "fragheavy";
+  options.seed = seed;
+  options.methods = 48;
+  options.alloc_intensity = 0.8;
+  options.nursery_bytes = 2ull << 20;
+  options.total_app_ops = 12'000'000;
+  Workload w = make_synthetic(options);
+  // Interleave tiny and huge objects with staggered lifetimes: each GC
+  // copies a different subset forward, so surviving objects change address
+  // repeatedly and neighbouring survivors come from different sites.
+  static const std::uint64_t kSizes[] = {64, 4096, 512, 32768, 128, 8192};
+  for (jvm::MethodInfo& m : w.program.methods) {
+    m.alloc_object_bytes = kSizes[m.id % std::size(kSizes)];
+    m.alloc_object_lifetime = 1 + m.id % 4;
+  }
+  return w;
+}
+
+Workload make_leak_shaped(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.name = "leakshaped";
+  options.seed = seed;
+  options.methods = 48;
+  options.alloc_intensity = 0.5;
+  options.nursery_bytes = 2ull << 20;
+  options.total_app_ops = 12'000'000;
+  Workload w = make_synthetic(options);
+  for (jvm::MethodInfo& m : w.program.methods) {
+    m.alloc_object_bytes = 128;
+    m.alloc_object_lifetime = 1;
+  }
+  // Two moderately-warm methods leak: their long-lived fraction survives
+  // every collection the run will ever perform, yet the methods' working
+  // sets are configured cold so the leaked bytes draw almost no data
+  // misses — peak allocated-but-cold inefficiency.
+  for (std::size_t leak : {std::size_t{3}, std::size_t{7}}) {
+    if (leak >= w.program.methods.size()) continue;
+    jvm::MethodInfo& m = w.program.methods[leak];
+    m.alloc_object_bytes = 1024;
+    m.alloc_object_lifetime = 1'000'000;  // never dies within a run
+    m.working_set = 4 * 1024;             // tight, cache-resident: few misses
+    m.random_frac = 0.02;
+  }
+  return w;
+}
+
+}  // namespace viprof::workloads

@@ -1,0 +1,27 @@
+// Memory-behaviour workload mixes for the object-centric profiler
+// (DESIGN.md §15): three synthetic programs whose allocation shapes stress
+// distinct parts of the memprof pipeline.
+//
+//   alloc-heavy — high allocation rate of small short-lived objects on a
+//     small nursery: many GCs, large per-epoch object maps, high map churn.
+//   frag-heavy  — wildly mixed object sizes with staggered lifetimes:
+//     survivors of different sizes interleave through the copying
+//     collector, so hot objects move repeatedly across epochs (the
+//     backward-walk resolution path).
+//   leak-shaped — a couple of moderately-warm sites allocate objects that
+//     effectively never die while the truly hot code touches other data:
+//     live bytes accumulate with few data misses, the exact shape the
+//     allocated-but-cold memory-inefficiency ranking exists to surface.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/generator.hpp"
+
+namespace viprof::workloads {
+
+Workload make_alloc_heavy(std::uint64_t seed = 11);
+Workload make_frag_heavy(std::uint64_t seed = 13);
+Workload make_leak_shaped(std::uint64_t seed = 17);
+
+}  // namespace viprof::workloads

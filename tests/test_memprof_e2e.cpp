@@ -1,0 +1,200 @@
+// End-to-end memory profiling byte-identity (ISSUE 10 acceptance): a real
+// memprof session — allocation sites, moving GC, epoch object maps, a
+// DMISS_OBJ sample stream spanning several GC moves of hot objects — is
+// exported, then replayed into the continuous-profiling server at several
+// ingest-thread and stripe counts, and routed across fleet shards at 1/2/4.
+// The per-allocation-site table each path renders must equal the offline
+// viprof_report pass byte for byte.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/viprof.hpp"
+#include "fleet/federator.hpp"
+#include "fleet/router.hpp"
+#include "memprof/agent.hpp"
+#include "memprof/object_map.hpp"
+#include "memprof/report.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "workloads/generator.hpp"
+
+namespace viprof::memprof {
+namespace {
+
+/// A leak-shaped mix small enough for a test: most sites die young, two
+/// survive every collection (and therefore move under the copying GC).
+workloads::Workload leaky_workload(std::uint64_t seed) {
+  workloads::GeneratorOptions opt;
+  opt.name = "memleak";
+  opt.seed = seed;
+  opt.methods = 24;
+  opt.alloc_intensity = 1.0;
+  opt.nursery_bytes = 256 * 1024;
+  opt.total_app_ops = 2'500'000;
+  workloads::Workload w = workloads::make_synthetic(opt);
+  for (jvm::MethodInfo& m : w.program.methods) {
+    m.alloc_object_bytes = 96 + 32 * (m.id % 5);
+    m.alloc_object_lifetime = m.id % 3;
+  }
+  for (std::size_t leak : {std::size_t{2}, std::size_t{5}}) {
+    jvm::MethodInfo& m = w.program.methods[leak];
+    m.alloc_object_bytes = 768;
+    m.alloc_object_lifetime = 1'000'000;  // survives — and moves — every GC
+  }
+  w.vm.heap.track_objects = true;
+  return w;
+}
+
+struct RecordedMemprof {
+  std::unique_ptr<os::Machine> machine;
+  std::unique_ptr<jvm::Vm> vm;
+  std::unique_ptr<core::ProfilingSession> session;
+  std::unique_ptr<MemProfAgent> agent;
+
+  const os::Vfs& vfs() const { return machine->vfs(); }
+  std::vector<core::VmRegistration> regs() const {
+    return session->registrations().all();
+  }
+};
+
+RecordedMemprof record_memprof_session(std::uint64_t seed) {
+  RecordedMemprof run;
+  os::MachineConfig mcfg;
+  mcfg.seed = seed;
+  run.machine = std::make_unique<os::Machine>(mcfg);
+  const workloads::Workload w = leaky_workload(seed * 31 + 7);
+  run.vm = std::make_unique<jvm::Vm>(*run.machine, w.vm);
+  core::SessionConfig config;
+  config.mode = core::ProfilingMode::kViprof;
+  config.counters = {{hw::EventKind::kGlobalPowerEvents, 90'000, true},
+                     {hw::EventKind::kBsqCacheReference, 4'000, true},
+                     {hw::EventKind::kObjDmiss, 1'500, true}};
+  config.agent.obj_map_dir = "obj_maps";
+  run.session = std::make_unique<core::ProfilingSession>(*run.machine, *run.vm, config);
+  run.agent = std::make_unique<MemProfAgent>(*run.machine);
+  run.session->attach();
+  run.vm->add_listener(run.agent.get());
+  run.vm->setup(w.program);
+  run.session->run();
+  run.session->export_archive();
+  return run;
+}
+
+std::string offline_memprof(const RecordedMemprof& run, std::size_t top) {
+  const ObjectReport obj = build_object_report(run.vfs(), "samples", run.regs());
+  return render_memprof(obj.sites, obj.profile, top);
+}
+
+void replay(service::ProfileServer& server, const RecordedMemprof& run,
+            const std::string& id) {
+  auto conn = server.connect(id);
+  service::ReplayClient client(run.vfs(), id, *conn,
+                               service::ReplayOptions{128, nullptr, {}});
+  ASSERT_TRUE(client.run());
+}
+
+TEST(MemprofE2E, SessionHasSamplesSpanningGcMoves) {
+  const RecordedMemprof run = record_memprof_session(0xa11a);
+  const hw::Pid pid = run.regs().at(0).pid;
+
+  // Hot survivors moved: some object is sighted at >= 2 addresses.
+  std::map<std::uint64_t, std::set<hw::Address>> addresses;
+  std::uint64_t maps = 0;
+  for (const std::string& path :
+       run.vfs().list("obj_maps/" + std::to_string(pid) + "/")) {
+    const auto parsed = ObjectMapFile::parse(*run.vfs().read(path));
+    ASSERT_TRUE(parsed.has_value()) << path;
+    ++maps;
+    for (const ObjectMapEntry& o : parsed->objects)
+      addresses[o.obj_id].insert(o.address);
+  }
+  ASSERT_GE(maps, 3u);
+  std::uint64_t movers = 0;
+  for (const auto& [id, addrs] : addresses)
+    if (addrs.size() >= 2) ++movers;
+  EXPECT_GT(movers, 0u);
+
+  // The object-sample stream exists and spans multiple epochs, so
+  // resolution genuinely exercises the backward walk across moved maps.
+  const auto samples = core::SampleLogReader::read(run.vfs(), "samples",
+                                                   hw::EventKind::kObjDmiss);
+  ASSERT_GT(samples.size(), 50u);
+  std::set<std::uint64_t> epochs;
+  for (const core::LoggedSample& s : samples) epochs.insert(s.epoch);
+  EXPECT_GE(epochs.size(), 2u);
+
+  // And most of it attributes: the report is about the sites, with the
+  // degradation bins a footnote, not the other way round.
+  const ObjectReport obj = build_object_report(run.vfs(), "samples", run.regs());
+  EXPECT_EQ(obj.samples, samples.size());
+  EXPECT_GT(obj.stats.resolved, obj.samples / 2);
+  EXPECT_EQ(obj.stats.resolved + obj.stats.unresolved, obj.samples);
+  EXPECT_GT(obj.stats.backward_steps, obj.stats.resolved)
+      << "no sample ever resolved through an older epoch's map";
+
+  // The leak sites dominate live bytes.
+  std::uint64_t live = 0, total_alloc = 0;
+  for (const auto& [key, stats] : obj.sites.sites()) {
+    live += stats.live_bytes();
+    total_alloc += stats.alloc_bytes;
+  }
+  EXPECT_GT(live, 0u);
+  EXPECT_GT(total_alloc, live);
+}
+
+TEST(MemprofE2E, OnlineMatchesOfflineAtAnyThreadAndStripeCount) {
+  const RecordedMemprof run = record_memprof_session(0xbee);
+  const std::string oracle = offline_memprof(run, 25);
+  ASSERT_NE(oracle.find("degradation:"), std::string::npos);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    for (const std::size_t stripes : {1u, 4u}) {
+      service::ServerConfig config;
+      config.ingest_threads = threads;
+      config.agg_stripes = stripes;
+      service::ProfileServer server(config);
+      replay(server, run, "mem-e2e");
+      server.drain();
+      EXPECT_EQ(server.query("memprof 25"), oracle)
+          << threads << " threads, " << stripes << " stripes";
+      EXPECT_EQ(server.query("memprof 25 --session mem-e2e"), oracle);
+    }
+  }
+
+  service::ProfileServer server;
+  replay(server, run, "mem-e2e");
+  server.drain();
+  EXPECT_EQ(server.query("memprof 25 --session nope"),
+            "error: no such session: nope\n");
+}
+
+TEST(MemprofE2E, FederatedMemprofMatchesSingleServerAtAnyShardCount) {
+  const RecordedMemprof a = record_memprof_session(0x51);
+  const RecordedMemprof b = record_memprof_session(0x52);
+
+  service::ProfileServer single;
+  replay(single, a, "mem-a");
+  replay(single, b, "mem-b");
+  single.drain();
+  const std::string oracle = single.query("memprof 25");
+  ASSERT_NE(oracle.find("object maps:"), std::string::npos);
+
+  for (const std::size_t shard_count : {1u, 2u, 4u}) {
+    os::Vfs fleet_vfs;
+    fleet::FleetConfig config;
+    config.shards = shard_count;
+    fleet::Router router(fleet_vfs, config);
+    ASSERT_TRUE(router.ingest(a.vfs(), "mem-a").completed);
+    ASSERT_TRUE(router.ingest(b.vfs(), "mem-b").completed);
+    fleet::Federator federator(router);
+    EXPECT_EQ(federator.query("memprof 25"), oracle) << shard_count << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace viprof::memprof

@@ -1,0 +1,78 @@
+// Pins the hash primitives in support/hash.hpp to their canonical constants
+// and reference digests. Every framed on-disk format (sample logs, code
+// maps, object maps, store segments, manifests) and the fleet ring / trace
+// minting key on these functions: if any constant drifts, previously
+// written files stop verifying and byte-identity anchors break silently.
+// This test makes that drift loud.
+#include "support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fleet/ring.hpp"
+#include "support/traced_mutex.hpp"
+
+namespace viprof {
+namespace {
+
+TEST(SupportHash, Fnv1a32PinnedVectors) {
+  // Offset basis: hash of the empty string IS the basis constant.
+  EXPECT_EQ(support::fnv1a(""), 0x811c9dc5u);
+  // Canonical published FNV-1a test vectors.
+  EXPECT_EQ(support::fnv1a("a"), 0xe40c292cu);
+  EXPECT_EQ(support::fnv1a("foobar"), 0xbf9cf968u);
+  // One multiplier step from the basis: (basis ^ 'a') * prime.
+  EXPECT_EQ(support::fnv1a("a"), (0x811c9dc5u ^ 'a') * 0x01000193u);
+}
+
+TEST(SupportHash, Fnv1a32BinarySafe) {
+  const char raw[] = {'\0', '\x01', '\xff', '\0'};
+  const std::uint32_t h = support::fnv1a(raw, sizeof(raw));
+  std::uint32_t want = 0x811c9dc5u;
+  for (const char c : raw) {
+    want ^= static_cast<unsigned char>(c);
+    want *= 0x01000193u;
+  }
+  EXPECT_EQ(h, want);
+}
+
+TEST(SupportHash, Fnv1a64PinnedVectors) {
+  EXPECT_EQ(support::fnv1a64(""), 14695981039346656037ull);  // 0xcbf29ce484222325
+  EXPECT_EQ(support::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(support::fnv1a64("foobar"), 0x85944171f73967e8ull);
+  EXPECT_EQ(support::fnv1a64("a"),
+            (14695981039346656037ull ^ 'a') * 1099511628211ull);
+}
+
+TEST(SupportHash, Fmix64PinnedConstants) {
+  // fmix64(0) must be 0 (all-xor/multiply of zero), and one known vector
+  // pins the two multiplier constants.
+  EXPECT_EQ(support::fmix64(0), 0ull);
+  std::uint64_t h = 1;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  EXPECT_EQ(support::fmix64(1), h);
+  EXPECT_EQ(support::fmix64(1), 0xb456bcfc34c2cb2cull);
+}
+
+// The migrated call sites must keep their historical outputs bit-for-bit:
+// ring vnode placement decides shard ownership (fleet manifest compat) and
+// trace ids are stamped into exported Chrome traces.
+TEST(SupportHash, RingHashIsFmixOfFnv) {
+  const std::string key = "shard-2#7";
+  EXPECT_EQ(fleet::fnv1a64(key), support::fmix64(support::fnv1a64(key)));
+  EXPECT_NE(fleet::fnv1a64("shard-2#7"), fleet::fnv1a64("shard-2#8"));
+}
+
+TEST(SupportHash, TraceMintIsRawFnv64WithZeroGuard) {
+  const auto ctx = support::TraceContext::mint("sess-41");
+  EXPECT_EQ(ctx.trace_id, support::fnv1a64("sess-41"));
+  EXPECT_NE(ctx.trace_id, 0ull);
+  // mint never returns 0 even if the raw hash were 0.
+  EXPECT_TRUE(ctx.valid());
+}
+
+}  // namespace
+}  // namespace viprof

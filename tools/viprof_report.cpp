@@ -11,6 +11,7 @@
 #include "core/report.hpp"
 #include "core/resolve_pipeline.hpp"
 #include "core/sample_log.hpp"
+#include "memprof/report.hpp"
 #include "os/vfs.hpp"
 #include "support/arg_scan.hpp"
 
@@ -68,15 +69,28 @@ int main(int argc, char** argv) {
     pipeline.aggregate_profile(samples, event, resolve_fn, profile);
     if (event == hw::EventKind::kGlobalPowerEvents) time_samples = std::move(samples);
   }
-  if (total == 0) {
+  // Object-centric memory profile (DESIGN.md §15): DMISS_OBJ samples
+  // resolved against the epoch object maps, ranked per allocation site.
+  const memprof::ObjectReport obj =
+      memprof::build_object_report(vfs, "samples", resolver.registrations());
+
+  if (total == 0 && obj.samples == 0) {
     std::fprintf(stderr, "no samples under %s/samples\n", in_dir.c_str());
     return 1;
   }
 
-  std::printf("%llu samples, %zu images, %zu processes (%s view)\n\n",
-              static_cast<unsigned long long>(total), resolver.image_count(),
-              resolver.process_count(), vm_aware ? "VIProf" : "stock OProfile");
-  std::printf("%s", profile.render(events, top).c_str());
+  if (total != 0) {
+    std::printf("%llu samples, %zu images, %zu processes (%s view)\n\n",
+                static_cast<unsigned long long>(total), resolver.image_count(),
+                resolver.process_count(), vm_aware ? "VIProf" : "stock OProfile");
+    std::printf("%s", profile.render(events, top).c_str());
+  }
+
+  if (obj.samples != 0 || !obj.sites.sites().empty()) {
+    std::printf("%s-- memory profile (%llu object samples) --\n%s",
+                total != 0 ? "\n" : "", static_cast<unsigned long long>(obj.samples),
+                memprof::render_memprof(obj.sites, obj.profile, top).c_str());
+  }
 
   if (!annotate_target.empty()) {
     const auto colon = annotate_target.find(':');

@@ -10,9 +10,12 @@
 #include <string>
 
 #include "core/viprof.hpp"
+#include "memprof/agent.hpp"
+#include "memprof/report.hpp"
 #include "support/arg_scan.hpp"
 #include "workloads/common.hpp"
 #include "workloads/generator.hpp"
+#include "workloads/memmix.hpp"
 
 namespace {
 
@@ -21,9 +24,11 @@ using namespace viprof;
 constexpr const char* kUsage =
     "usage: viprof_sim [--workload NAME] [--mode base|oprofile|viprof]\n"
     "                  [--period CYCLES] [--top N] [--seed N]\n"
-    "                  [--callgraph] [--out DIR]\n"
+    "                  [--callgraph] [--memprof] [--out DIR]\n"
     "workloads: pseudojbb JVM98 antlr bloat fop hsqldb pmd xalan ps\n"
-    "           synthetic (default)\n";
+    "           synthetic (default) allocheavy fragheavy leakshaped\n"
+    "  --memprof  track heap objects, sample L2 data misses and rank\n"
+    "             allocation sites (viprof mode only)\n";
 
 workloads::Workload find_workload(const std::string& name) {
   if (name == "synthetic") {
@@ -35,6 +40,9 @@ workloads::Workload find_workload(const std::string& name) {
     opt.syscall_frac = 0.04;
     return workloads::make_synthetic(opt);
   }
+  if (name == "allocheavy") return workloads::make_alloc_heavy();
+  if (name == "fragheavy") return workloads::make_frag_heavy();
+  if (name == "leakshaped") return workloads::make_leak_shaped();
   for (workloads::Workload& w : workloads::figure2_suite()) {
     if (w.name == name) return w;
   }
@@ -51,6 +59,7 @@ int main(int argc, char** argv) {
   std::size_t top = 15;
   std::uint64_t seed = 0x2007;
   bool callgraph = false;
+  bool memprof_on = false;
   std::string out_dir;
 
   support::ArgScan args(argc, argv, kUsage);
@@ -61,6 +70,7 @@ int main(int argc, char** argv) {
     else if (args.is("--top")) top = args.value_u64();
     else if (args.is("--seed")) seed = args.value_u64();
     else if (args.is("--callgraph")) callgraph = true;
+    else if (args.is("--memprof")) memprof_on = true;
     else if (args.is("--out")) out_dir = args.value();
     else args.fail_unknown();
   }
@@ -71,11 +81,13 @@ int main(int argc, char** argv) {
   else if (mode_name == "viprof") mode = core::ProfilingMode::kViprof;
   else args.fail();
 
-  const workloads::Workload w = find_workload(workload_name);
+  workloads::Workload w = find_workload(workload_name);
 
+  memprof_on = memprof_on && mode == core::ProfilingMode::kViprof;
   os::MachineConfig mcfg;
   mcfg.seed = seed;
   os::Machine machine(mcfg);
+  if (memprof_on) w.vm.heap.track_objects = true;
   jvm::Vm vm(machine, w.vm);
   core::SessionConfig config;
   config.mode = mode;
@@ -83,8 +95,15 @@ int main(int argc, char** argv) {
       {hw::EventKind::kGlobalPowerEvents, period, true},
       {hw::EventKind::kBsqCacheReference, std::max<std::uint64_t>(period / 64, 200), true},
   };
+  if (memprof_on) {
+    config.counters.push_back(
+        {hw::EventKind::kObjDmiss, std::max<std::uint64_t>(period / 64, 200), true});
+    config.agent.obj_map_dir = "obj_maps";
+  }
   core::ProfilingSession session(machine, vm, config);
+  memprof::MemProfAgent memprof_agent(machine);
   session.attach();
+  if (memprof_on) vm.add_listener(&memprof_agent);
   vm.setup(w.program);
   const core::SessionResult result = session.run();
 
@@ -106,6 +125,13 @@ int main(int argc, char** argv) {
                   session.build_callgraph(hw::EventKind::kGlobalPowerEvents)
                       .render(top)
                       .c_str());
+    }
+    if (memprof_on) {
+      const memprof::ObjectReport obj = memprof::build_object_report(
+          machine.vfs(), "samples", session.registrations().all());
+      std::printf("-- memory profile (%llu object samples) --\n%s\n",
+                  static_cast<unsigned long long>(obj.samples),
+                  memprof::render_memprof(obj.sites, obj.profile, top).c_str());
     }
   }
 
